@@ -1,0 +1,153 @@
+//! System configuration — Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the simulated CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of stacked chips.
+    pub chips: usize,
+    /// Cores per chip (Table 1: 4, the bottom mesh row).
+    pub cores_per_chip: usize,
+    /// L2 banks per chip (Table 1: 12, the remaining tiles).
+    pub l2_banks_per_chip: usize,
+    /// Mesh width (Table 1: 4×4).
+    pub mesh_x: usize,
+    /// Mesh height.
+    pub mesh_y: usize,
+    /// Core clock, GHz (all chips run the same step, §3.2).
+    pub freq_ghz: f64,
+    /// Cache line size, bytes (Table 1: 64 B).
+    pub line_bytes: u64,
+    /// L1 data cache size, KiB (Table 1: 128).
+    pub l1d_kib: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 hit latency, cycles (Table 1: 1).
+    pub l1_latency: u64,
+    /// One L2 bank's size, KiB (12 banks × 1 MiB = Table 1's 12 MiB).
+    pub l2_bank_kib: u64,
+    /// L2 associativity (Table 1: 8).
+    pub l2_assoc: usize,
+    /// L2 hit latency, cycles (Table 1: 6).
+    pub l2_latency: u64,
+    /// DRAM access time, nanoseconds (Table 1's 160 cycles at 2.0 GHz).
+    pub dram_ns: f64,
+    /// Router pipeline depth (Table 1: \[RC]\[VSA]\[ST/LT] = 3).
+    pub router_stages: u64,
+    /// Per-VC buffer, flits (Table 1: 5).
+    pub vc_buffer_flits: u64,
+    /// Control packet size, flits (Table 1: 1).
+    pub ctrl_flits: u64,
+    /// Data packet size, flits (Table 1: 5).
+    pub data_flits: u64,
+    /// Extra latency of a vertical (TSV/TCI) hop, cycles.
+    pub vertical_hop_cycles: u64,
+    /// Enable the L1 stride prefetcher (extension; off reproduces
+    /// the paper's baseline).
+    pub prefetch_next_line: bool,
+    /// Prefetch distance in cache lines (how far ahead of the demand
+    /// stream the prefetcher runs; an in-order blocking core needs a
+    /// large distance to hide an 80 ns DRAM behind ~2-cycle accesses).
+    pub prefetch_distance: u64,
+}
+
+impl SystemConfig {
+    /// The Table 1 baseline with `chips` stacked chips at `freq_ghz`.
+    pub fn baseline(chips: usize, freq_ghz: f64) -> Self {
+        assert!(chips >= 1, "at least one chip");
+        assert!(freq_ghz > 0.0);
+        SystemConfig {
+            chips,
+            cores_per_chip: 4,
+            l2_banks_per_chip: 12,
+            mesh_x: 4,
+            mesh_y: 4,
+            freq_ghz,
+            line_bytes: 64,
+            l1d_kib: 128,
+            l1_assoc: 8,
+            l1_latency: 1,
+            l2_bank_kib: 1024,
+            l2_assoc: 8,
+            l2_latency: 6,
+            dram_ns: 80.0,
+            router_stages: 3,
+            vc_buffer_flits: 5,
+            ctrl_flits: 1,
+            data_flits: 5,
+            vertical_hop_cycles: 1,
+            prefetch_next_line: false,
+            prefetch_distance: 16,
+        }
+    }
+
+    /// The baseline with the next-line prefetcher enabled.
+    pub fn with_prefetcher(mut self) -> Self {
+        self.prefetch_next_line = true;
+        self
+    }
+
+    /// Total hardware threads (one per core; the paper runs 24 or 32
+    /// threads on 6- or 8-chip CMPs).
+    pub fn threads(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Tiles per chip.
+    pub fn tiles_per_chip(&self) -> usize {
+        self.mesh_x * self.mesh_y
+    }
+
+    /// Total L2 banks in the system.
+    pub fn total_l2_banks(&self) -> usize {
+        self.chips * self.l2_banks_per_chip
+    }
+
+    /// Aggregate L2 capacity per chip, KiB (Table 1 check: 12 MiB).
+    pub fn l2_total_kib(&self) -> u64 {
+        self.l2_bank_kib * self.l2_banks_per_chip as u64
+    }
+
+    /// DRAM latency in core cycles at this configuration's frequency.
+    pub fn dram_cycles(&self) -> u64 {
+        (self.dram_ns * self.freq_ghz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_anchors() {
+        let c = SystemConfig::baseline(1, 2.0);
+        assert_eq!(c.l2_total_kib(), 12 * 1024); // 12 MiB
+        assert_eq!(c.threads(), 4);
+        assert_eq!(c.tiles_per_chip(), 16);
+        // 160-cycle memory at 2.0 GHz (the Table 1 row).
+        assert_eq!(c.dram_cycles(), 160);
+    }
+
+    #[test]
+    fn dram_cycles_scale_with_frequency() {
+        // Fixed 80 ns: more cycles at higher frequency — the key
+        // mechanism limiting memory-bound speedup.
+        let slow = SystemConfig::baseline(1, 1.0);
+        let fast = SystemConfig::baseline(1, 3.6);
+        assert_eq!(slow.dram_cycles(), 80);
+        assert_eq!(fast.dram_cycles(), 288);
+    }
+
+    #[test]
+    fn thread_counts_match_paper() {
+        assert_eq!(SystemConfig::baseline(6, 2.0).threads(), 24);
+        assert_eq!(SystemConfig::baseline(8, 2.0).threads(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chips_rejected() {
+        SystemConfig::baseline(0, 2.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benches for the gem5-like CMP simulator: simulated
+//! instructions per wall second for a compute-bound (EP) and a
+//! memory/coherence-bound (CG) workload, and scaling with chip count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use immersion_archsim::{System, SystemConfig};
+use immersion_npb::{Benchmark, TraceGenerator};
+
+fn bench_workloads(c: &mut Criterion) {
+    let ops = 20_000u64;
+    let mut g = c.benchmark_group("simulate_20k_ops_per_thread");
+    g.sample_size(10);
+    for bench in [Benchmark::Ep, Benchmark::Cg, Benchmark::Lu] {
+        let cfg = SystemConfig::baseline(2, 2.0);
+        g.throughput(Throughput::Elements(ops * cfg.threads() as u64));
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| {
+                let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops, 7);
+                System::new(cfg).run(&gen).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chip_scaling(c: &mut Criterion) {
+    let ops = 10_000u64;
+    let mut g = c.benchmark_group("simulate_chip_scaling_ft");
+    g.sample_size(10);
+    for &chips in &[1usize, 4, 8] {
+        let cfg = SystemConfig::baseline(chips, 2.0);
+        g.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |b, _| {
+            b.iter(|| {
+                let gen =
+                    TraceGenerator::new(Benchmark::Ft.descriptor(), cfg.threads(), ops, 7);
+                System::new(cfg).run(&gen).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_chip_scaling);
+criterion_main!(benches);

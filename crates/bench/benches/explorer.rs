@@ -1,0 +1,30 @@
+//! Criterion benches for the design-space explorer: cost of one
+//! max-frequency search (a handful of warm-started CG thermal solves)
+//! across cooling options.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use immersion_core::design::CmpDesign;
+use immersion_core::explorer::max_frequency;
+use immersion_power::chips::high_frequency_cmp;
+use immersion_thermal::stack3d::CoolingParams;
+
+fn bench_max_frequency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_frequency_6_chips");
+    g.sample_size(10);
+    for cooling in [
+        CoolingParams::air(),
+        CoolingParams::water_pipe(),
+        CoolingParams::water_immersion(),
+    ] {
+        g.bench_function(cooling.name, |b| {
+            b.iter(|| {
+                let d = CmpDesign::new(high_frequency_cmp(), 6, cooling).with_grid(8, 8);
+                max_frequency(&d).map(|s| s.freq_ghz)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_max_frequency);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the real NPB mini-kernels: absolute runtime
+//! per kernel at class S, and the rayon scaling of EP (the
+//! embarrassingly parallel one, where scaling should be near-linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use immersion_npb::kernels::{self, Class};
+
+fn bench_all_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_class_s");
+    g.sample_size(10);
+    for name in ["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = match name {
+                    "BT" => kernels::bt::run(Class::S, 2),
+                    "CG" => kernels::cg::run(Class::S, 2),
+                    "EP" => kernels::ep::run(Class::S, 2),
+                    "FT" => kernels::ft::run(Class::S, 2),
+                    "IS" => kernels::is::run(Class::S, 2),
+                    "LU" => kernels::lu::run(Class::S, 2),
+                    "MG" => kernels::mg::run(Class::S, 2),
+                    "SP" => kernels::sp::run(Class::S, 2),
+                    "UA" => kernels::ua::run(Class::S, 2),
+                    _ => unreachable!(),
+                };
+                assert!(r.verified);
+                r.checksum
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ep_thread_scaling");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| kernels::ep::run(Class::S, threads).checksum),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_all_kernels, bench_ep_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the HotSpot-like thermal solver: steady-state
+//! solve cost vs grid resolution and stack height, plus the warm-start
+//! advantage the explorer exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use immersion_power::chips::high_frequency_cmp;
+use immersion_power::mcpat::analyze;
+use immersion_thermal::stack3d::{CoolingParams, StackBuilder};
+
+fn bench_steady_solve(c: &mut Criterion) {
+    let chip = high_frequency_cmp();
+    let report = analyze(&chip, chip.vfs.max_step(), None);
+
+    let mut g = c.benchmark_group("steady_solve_grid");
+    for &n in &[8usize, 16, 24] {
+        let model = StackBuilder::new(chip.floorplan.clone())
+            .chips(4)
+            .grid(n, n)
+            .cooling(CoolingParams::water_immersion())
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        for die in 0..4 {
+            for (b, &w) in &report.per_block {
+                p.set(die, b, w).unwrap();
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| model.solve_steady(&p).unwrap().max_temp())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("steady_solve_chips");
+    for &chips in &[2usize, 6, 10] {
+        let model = StackBuilder::new(chip.floorplan.clone())
+            .chips(chips)
+            .grid(12, 12)
+            .cooling(CoolingParams::water_immersion())
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        for die in 0..chips {
+            for (b, &w) in &report.per_block {
+                p.set(die, b, w).unwrap();
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |bench, _| {
+            bench.iter(|| model.solve_steady(&p).unwrap().max_temp())
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let chip = high_frequency_cmp();
+    let report = analyze(&chip, chip.vfs.max_step(), None);
+    let model = StackBuilder::new(chip.floorplan.clone())
+        .chips(4)
+        .grid(16, 16)
+        .cooling(CoolingParams::water_immersion())
+        .build()
+        .unwrap();
+    let mut p = model.zero_power();
+    for die in 0..4 {
+        for (b, &w) in &report.per_block {
+            p.set(die, b, w).unwrap();
+        }
+    }
+    let warm = model.solve_steady(&p).unwrap().into_temps();
+    c.bench_function("steady_solve_cold", |b| {
+        b.iter(|| model.solve_steady(&p).unwrap().iterations())
+    });
+    c.bench_function("steady_solve_warm", |b| {
+        b.iter(|| model.solve_steady_from(&p, &warm).unwrap().iterations())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_steady_solve, bench_warm_start
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! experiments <name>... [--quick] [--csv DIR] [--json DIR]
+//! experiments all [--quick] [--csv DIR] [--json DIR]
+//! experiments list
+//! ```
+//!
+//! `--quick` trades fidelity for speed (coarser thermal grids, shorter
+//! traces) — useful to smoke-test the harness. `--csv DIR` additionally
+//! writes each table as a CSV file into `DIR`.
+
+use immersion_bench::{run_experiment, Quality, EXPERIMENTS};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory argument");
+                    std::process::exit(2);
+                });
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--json" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory argument");
+                    std::process::exit(2);
+                });
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "list" => {
+                for n in EXPERIMENTS {
+                    println!("{n}");
+                }
+                return;
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => names.push(other.to_string()),
+        }
+    }
+
+    if names.is_empty() {
+        eprintln!("usage: experiments <name>...|all [--quick] [--csv DIR] [--json DIR]");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
+    let q = if quick { Quality::quick() } else { Quality::full() };
+    for dir in [&csv_dir, &json_dir].into_iter().flatten() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+
+    for name in names {
+        let t0 = std::time::Instant::now();
+        let Some(tables) = run_experiment(&name, q) else {
+            eprintln!("unknown experiment '{name}' (try 'list')");
+            std::process::exit(2);
+        };
+        for (i, table) in tables.iter().enumerate() {
+            println!("{table}");
+            if let Some(dir) = &csv_dir {
+                let file = dir.join(format!("{name}_{i}.csv"));
+                let mut fh = std::fs::File::create(&file).expect("create csv");
+                fh.write_all(table.to_csv().as_bytes()).expect("write csv");
+            }
+            if let Some(dir) = &json_dir {
+                let file = dir.join(format!("{name}_{i}.json"));
+                let json = serde_json::to_string_pretty(table).expect("serialise table");
+                std::fs::write(&file, json).expect("write json");
+            }
+        }
+        eprintln!("[{name}: {:.1?}]", t0.elapsed());
+    }
+}

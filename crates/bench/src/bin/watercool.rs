@@ -1,0 +1,12 @@
+//! The `watercool` CLI — see `immersion_bench::cli` for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match immersion_bench::cli::parse(&args).and_then(immersion_bench::cli::run) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

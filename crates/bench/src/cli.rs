@@ -1,0 +1,351 @@
+//! The `watercool` command-line interface: the library's capabilities
+//! as a tool a downstream user can drive without writing Rust.
+//!
+//! ```text
+//! watercool max-freq  --chip hf --chips 4 --cooling water [--flip]
+//! watercool sweep     --chip lp --max-chips 12
+//! watercool thermal-map --chip hf --chips 4 --cooling water --freq 3.6
+//! watercool simulate  --benchmark CG --chips 2 --freq 2.0 --ops 50000 [--gem5-stats]
+//! watercool export-flp --chip e5
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency) and unit-tested
+//! here; the binary in `src/bin/watercool.rs` is a thin wrapper.
+
+use immersion_core::design::CmpDesign;
+use immersion_core::explorer::{frequency_vs_chips, max_frequency, solve_at};
+use immersion_power::chips::{
+    high_frequency_cmp, low_power_cmp, xeon_e5_2667v4, xeon_phi_7290, ChipModel,
+};
+use immersion_thermal::stack3d::CoolingParams;
+
+/// A parsed command, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Maximum sustainable frequency of one design.
+    MaxFreq {
+        /// Chip key.
+        chip: String,
+        /// Stack height.
+        chips: usize,
+        /// Cooling key.
+        cooling: String,
+        /// §4.2 flip layout.
+        flip: bool,
+    },
+    /// Frequency-vs-chips sweep over all cooling options.
+    Sweep {
+        /// Chip key.
+        chip: String,
+        /// Maximum stack height.
+        max_chips: usize,
+    },
+    /// ASCII thermal map of the hottest die.
+    ThermalMap {
+        /// Chip key.
+        chip: String,
+        /// Stack height.
+        chips: usize,
+        /// Cooling key.
+        cooling: String,
+        /// Operating frequency, GHz.
+        freq: f64,
+    },
+    /// Run one NPB benchmark on the CMP simulator.
+    Simulate {
+        /// Benchmark name (BT..UA).
+        benchmark: String,
+        /// Stack height.
+        chips: usize,
+        /// Clock, GHz.
+        freq: f64,
+        /// Instructions per thread.
+        ops: u64,
+        /// Emit gem5-style stats.txt instead of a summary.
+        gem5_stats: bool,
+    },
+    /// Print a chip's floorplan in HotSpot .flp format.
+    ExportFlp {
+        /// Chip key.
+        chip: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(usage)?;
+    let rest: Vec<&str> = it.collect();
+    let get = |flag: &str| -> Option<&str> {
+        rest.iter()
+            .position(|&a| a == flag)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let has = |flag: &str| rest.contains(&flag);
+    let get_or = |flag: &str, default: &str| get(flag).unwrap_or(default).to_string();
+    let num = |flag: &str, default: &str| -> Result<f64, String> {
+        get_or(flag, default)
+            .parse::<f64>()
+            .map_err(|_| format!("{flag}: expected a number"))
+    };
+    match sub {
+        "max-freq" => Ok(Command::MaxFreq {
+            chip: get_or("--chip", "hf"),
+            chips: num("--chips", "4")? as usize,
+            cooling: get_or("--cooling", "water"),
+            flip: has("--flip"),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            chip: get_or("--chip", "hf"),
+            max_chips: num("--max-chips", "12")? as usize,
+        }),
+        "thermal-map" => Ok(Command::ThermalMap {
+            chip: get_or("--chip", "hf"),
+            chips: num("--chips", "4")? as usize,
+            cooling: get_or("--cooling", "water"),
+            freq: num("--freq", "3.6")?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            benchmark: get_or("--benchmark", "CG"),
+            chips: num("--chips", "2")? as usize,
+            freq: num("--freq", "2.0")?,
+            ops: num("--ops", "50000")? as u64,
+            gem5_stats: has("--gem5-stats"),
+        }),
+        "export-flp" => Ok(Command::ExportFlp {
+            chip: get_or("--chip", "hf"),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: watercool <command> [flags]\n\
+     commands:\n\
+       max-freq    --chip lp|hf|e5|phi --chips N --cooling air|pipe|oil|fc|water [--flip]\n\
+       sweep       --chip lp|hf|e5|phi --max-chips N\n\
+       thermal-map --chip ... --chips N --cooling ... --freq GHz\n\
+       simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
+       export-flp  --chip lp|hf|e5|phi"
+        .to_string()
+}
+
+/// Resolve a chip key.
+pub fn chip_by_key(key: &str) -> Result<ChipModel, String> {
+    match key {
+        "lp" | "low-power" => Ok(low_power_cmp()),
+        "hf" | "high-frequency" => Ok(high_frequency_cmp()),
+        "e5" => Ok(xeon_e5_2667v4()),
+        "phi" => Ok(xeon_phi_7290()),
+        other => Err(format!("unknown chip '{other}' (lp|hf|e5|phi)")),
+    }
+}
+
+/// Resolve a cooling key.
+pub fn cooling_by_key(key: &str) -> Result<CoolingParams, String> {
+    match key {
+        "air" => Ok(CoolingParams::air()),
+        "pipe" | "water-pipe" => Ok(CoolingParams::water_pipe()),
+        "oil" | "mineral-oil" => Ok(CoolingParams::mineral_oil()),
+        "fc" | "fluorinert" => Ok(CoolingParams::fluorinert()),
+        "water" => Ok(CoolingParams::water_immersion()),
+        other => Err(format!("unknown cooling '{other}' (air|pipe|oil|fc|water)")),
+    }
+}
+
+/// Execute a parsed command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::MaxFreq {
+            chip,
+            chips,
+            cooling,
+            flip,
+        } => {
+            let d = CmpDesign::new(chip_by_key(&chip)?, chips, cooling_by_key(&cooling)?)
+                .with_flip(flip);
+            match max_frequency(&d) {
+                Some(step) => {
+                    let model = d.thermal_model().map_err(|e| e.to_string())?;
+                    let sol = solve_at(&d, &model, step, None).map_err(|e| e.to_string())?;
+                    Ok(format!(
+                        "{chip} x{chips} under {cooling}{}: {:.1} GHz (peak {:.1} C, threshold {:.0} C)",
+                        if flip { " (flip)" } else { "" },
+                        step.freq_ghz,
+                        sol.die_max(),
+                        d.threshold()
+                    ))
+                }
+                None => Ok(format!(
+                    "{chip} x{chips} under {cooling}: infeasible at every VFS step"
+                )),
+            }
+        }
+        Command::Sweep { chip, max_chips } => {
+            let model = chip_by_key(&chip)?;
+            let mut out = format!("max frequency (GHz) vs chips, {chip}:\n");
+            for cooling in CoolingParams::paper_options() {
+                let base = CmpDesign::new(model.clone(), 1, cooling).with_grid(8, 8);
+                out.push_str(&format!("{:>12}", cooling.name));
+                for (_, step) in frequency_vs_chips(&base, max_chips) {
+                    match step {
+                        Some(s) => out.push_str(&format!("{:>6.1}", s.freq_ghz)),
+                        None => out.push_str(&format!("{:>6}", "-")),
+                    }
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Command::ThermalMap {
+            chip,
+            chips,
+            cooling,
+            freq,
+        } => {
+            let model_chip = chip_by_key(&chip)?;
+            let step = model_chip
+                .vfs
+                .step_at_or_below(freq)
+                .ok_or(format!("{freq} GHz below this chip's VFS range"))?;
+            let d = CmpDesign::new(model_chip, chips, cooling_by_key(&cooling)?);
+            let model = d.thermal_model().map_err(|e| e.to_string())?;
+            let sol = solve_at(&d, &model, step, None).map_err(|e| e.to_string())?;
+            let map = sol.die_map(0).ok_or("no die map")?;
+            Ok(format!(
+                "bottom die at {:.1} GHz under {cooling} ({:.1}..{:.1} C):\n{}",
+                step.freq_ghz,
+                map.min(),
+                map.max(),
+                map.ascii()
+            ))
+        }
+        Command::Simulate {
+            benchmark,
+            chips,
+            freq,
+            ops,
+            gem5_stats,
+        } => {
+            use immersion_archsim::{System, SystemConfig};
+            use immersion_npb::{Benchmark, TraceGenerator};
+            let bench = Benchmark::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(&benchmark))
+                .ok_or(format!("unknown benchmark '{benchmark}' (BT..UA)"))?;
+            let cfg = SystemConfig::baseline(chips, freq);
+            let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops, 42);
+            let stats = System::new(cfg).run(&gen);
+            if gem5_stats {
+                Ok(stats.to_stats_txt())
+            } else {
+                Ok(format!(
+                    "{} on {chips} chip(s) @ {freq} GHz: {:.3} ms, IPC {:.3}, \
+                     L1 miss {:.1}%, DRAM {} fetches, p50/p99 miss {}/{} ns",
+                    bench.name(),
+                    stats.exec_time_secs * 1e3,
+                    stats.ipc,
+                    stats.l1_miss_rate * 100.0,
+                    stats.dram_accesses,
+                    stats.p50_miss_latency_ns,
+                    stats.p99_miss_latency_ns
+                ))
+            }
+        }
+        Command::ExportFlp { chip } => {
+            let model = chip_by_key(&chip)?;
+            Ok(immersion_thermal::hotspot_compat::to_flp(&model.floorplan))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_max_freq() {
+        let cmd = parse(&args("max-freq --chip lp --chips 6 --cooling oil --flip")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::MaxFreq {
+                chip: "lp".into(),
+                chips: 6,
+                cooling: "oil".into(),
+                flip: true
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse(&args("max-freq")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::MaxFreq {
+                chip: "hf".into(),
+                chips: 4,
+                cooling: "water".into(),
+                flip: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_bad_numbers() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("sweep --max-chips banana")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn chip_and_cooling_keys_resolve() {
+        for k in ["lp", "hf", "e5", "phi"] {
+            assert!(chip_by_key(k).is_ok());
+        }
+        assert!(chip_by_key("486").is_err());
+        for k in ["air", "pipe", "oil", "fc", "water"] {
+            assert!(cooling_by_key(k).is_ok());
+        }
+        assert!(cooling_by_key("lava").is_err());
+    }
+
+    #[test]
+    fn max_freq_runs_end_to_end() {
+        let out = run(parse(&args("max-freq --chip hf --chips 2 --cooling water")).unwrap())
+            .unwrap();
+        assert!(out.contains("GHz"), "{out}");
+    }
+
+    #[test]
+    fn simulate_runs_and_emits_gem5_stats() {
+        let out = run(parse(&args(
+            "simulate --benchmark EP --chips 1 --freq 2.0 --ops 2000 --gem5-stats",
+        ))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("sim_insts"));
+    }
+
+    #[test]
+    fn export_flp_is_parsable() {
+        let out = run(parse(&args("export-flp --chip phi")).unwrap()).unwrap();
+        let fp = immersion_thermal::hotspot_compat::from_flp(&out).unwrap();
+        assert_eq!(fp.len(), 36);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("watercool"));
+    }
+}

@@ -1,0 +1,15 @@
+//! # immersion-bench
+//!
+//! The experiment harness: one function per table and figure of the
+//! paper, each returning a [`Table`](immersion_core::report::Table)
+//! with the same rows/series the paper reports. The `experiments`
+//! binary dispatches to these; integration tests smoke-test their
+//! shapes (who wins, where the feasibility walls fall).
+//!
+//! Criterion benches for the substrates themselves (thermal solver,
+//! NPB kernels, CMP simulator, explorer) live under `benches/`.
+
+pub mod cli;
+pub mod experiments;
+
+pub use experiments::{run_experiment, Quality, EXPERIMENTS};

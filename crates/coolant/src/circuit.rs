@@ -1,0 +1,298 @@
+//! Lumped thermal-resistance circuits.
+//!
+//! The thermal solver in `immersion-thermal` handles full 3-D fields;
+//! for board-level prototype questions a handful of lumped nodes is the
+//! right tool (and what §4.4.1 means by "an equivalent circuit of
+//! thermal resistances"). This module provides a tiny dense network
+//! solver and the calibrated model of the paper's film-coated PRIMERGY
+//! TX1320 M2 prototype (§2.4 / Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A lumped steady-state thermal network.
+///
+/// Nodes are temperatures (°C); resistances connect node pairs or a node
+/// to the ambient; sources inject watts into nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    /// `(a, b, resistance K/W)` between internal nodes.
+    resistances: Vec<(usize, usize, f64)>,
+    /// `(node, resistance K/W, ambient °C)` ties to fixed temperature.
+    ambient_ties: Vec<(usize, f64, f64)>,
+    /// Watts injected per node.
+    sources: Vec<f64>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its index.
+    pub fn node(&mut self, name: &str) -> usize {
+        self.names.push(name.to_string());
+        self.sources.push(0.0);
+        self.names.len() - 1
+    }
+
+    /// Connect nodes `a` and `b` with `r` K/W.
+    ///
+    /// # Panics
+    /// Panics on a non-positive resistance or unknown node.
+    pub fn resistor(&mut self, a: usize, b: usize, r: f64) -> &mut Self {
+        assert!(r > 0.0, "resistance must be positive");
+        assert!(a < self.names.len() && b < self.names.len() && a != b);
+        self.resistances.push((a, b, r));
+        self
+    }
+
+    /// Tie node `a` to an ambient at `t_amb` °C through `r` K/W.
+    pub fn to_ambient(&mut self, a: usize, r: f64, t_amb: f64) -> &mut Self {
+        assert!(r > 0.0, "resistance must be positive");
+        assert!(a < self.names.len());
+        self.ambient_ties.push((a, r, t_amb));
+        self
+    }
+
+    /// Inject `watts` into node `a`.
+    pub fn source(&mut self, a: usize, watts: f64) -> &mut Self {
+        self.sources[a] += watts;
+        self
+    }
+
+    /// Solve for all node temperatures (°C) by dense Gaussian
+    /// elimination with partial pivoting.
+    ///
+    /// # Panics
+    /// Panics when the network is singular (a node with no path to any
+    /// ambient).
+    pub fn solve(&self) -> Vec<f64> {
+        let n = self.names.len();
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut b = self.sources.clone();
+        for &(i, j, r) in &self.resistances {
+            let g = 1.0 / r;
+            a[i][i] += g;
+            a[j][j] += g;
+            a[i][j] -= g;
+            a[j][i] -= g;
+        }
+        for &(i, r, t) in &self.ambient_ties {
+            let g = 1.0 / r;
+            a[i][i] += g;
+            b[i] += g * t;
+        }
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
+                .unwrap();
+            assert!(
+                a[piv][col].abs() > 1e-12,
+                "singular network: node '{}' is floating",
+                self.names[col]
+            );
+            a.swap(col, piv);
+            b.swap(col, piv);
+            for row in (col + 1)..n {
+                let f = a[row][col] / a[col][col];
+                if f != 0.0 {
+                    for k in col..n {
+                        a[row][k] -= f * a[col][k];
+                    }
+                    b[row] -= f * b[col];
+                }
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc -= a[row][k] * x[k];
+            }
+            x[row] = acc / a[row][row];
+        }
+        x
+    }
+
+    /// Node index by name.
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// The three cooling options measured on the PRIMERGY TX1320 M2
+/// prototype (§2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrototypeCooling {
+    /// Board next to a high-speed fan.
+    ForcedAir,
+    /// Only the heatsink immersed; board in air. The paper measured a
+    /// mere 5 °C improvement — still, unstirred water around a sink.
+    HeatsinkInWater,
+    /// The whole film-coated board under water.
+    FullImmersion,
+}
+
+/// Parameters of the prototype server model, calibrated to the §2.4
+/// measurements (Xeon E3-1270v5 running `stress` at max frequency).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrototypeServer {
+    /// Package power under `stress`, watts.
+    pub power: f64,
+    /// Junction → heatsink-surface resistance (die + TIM + sink
+    /// conduction), K/W.
+    pub r_junction_sink: f64,
+    /// Junction → board path (socket + package balls), K/W.
+    pub r_junction_board: f64,
+    /// Sink convective area, m².
+    pub sink_area: f64,
+    /// Board wetted area (both faces), m².
+    pub board_area: f64,
+    /// Effective h for the high-speed fan over the sink, W/(m²·K).
+    pub h_forced_air: f64,
+    /// Effective h for *unstirred* water (no pump; the prototype tub),
+    /// W/(m²·K).
+    pub h_still_water: f64,
+    /// Parylene film series resistance per area, m²·K/W.
+    pub film_r: f64,
+    /// Room / water temperature, °C.
+    pub ambient: f64,
+}
+
+impl Default for PrototypeServer {
+    fn default() -> Self {
+        PrototypeServer {
+            power: 65.0,
+            r_junction_sink: 0.45,
+            r_junction_board: 1.20,
+            sink_area: 0.078,
+            board_area: 0.060,
+            h_forced_air: 38.0,
+            h_still_water: 50.0,
+            film_r: 120e-6 / 0.14,
+            ambient: 25.0,
+        }
+    }
+}
+
+impl PrototypeServer {
+    /// Steady-state junction temperature (°C) under the given option —
+    /// the Figure 4 bars.
+    pub fn chip_temperature(&self, cooling: PrototypeCooling) -> f64 {
+        let mut c = Circuit::new();
+        let junction = c.node("junction");
+        let sink = c.node("sink");
+        c.source(junction, self.power);
+        c.resistor(junction, sink, self.r_junction_sink);
+        match cooling {
+            PrototypeCooling::ForcedAir => {
+                c.to_ambient(sink, 1.0 / (self.h_forced_air * self.sink_area), self.ambient);
+            }
+            PrototypeCooling::HeatsinkInWater => {
+                c.to_ambient(sink, 1.0 / (self.h_still_water * self.sink_area), self.ambient);
+            }
+            PrototypeCooling::FullImmersion => {
+                c.to_ambient(sink, 1.0 / (self.h_still_water * self.sink_area), self.ambient);
+                // Secondary path: junction → board → (film) → water.
+                let board = c.node("board");
+                c.resistor(junction, board, self.r_junction_board);
+                let conv = 1.0 / (self.h_still_water * self.board_area)
+                    + self.film_r / self.board_area;
+                c.to_ambient(board, conv, self.ambient);
+            }
+        }
+        c.solve()[junction]
+    }
+
+    /// All three Figure 4 bars: `(air, heatsink-in-water, full)`.
+    pub fn figure4(&self) -> (f64, f64, f64) {
+        (
+            self.chip_temperature(PrototypeCooling::ForcedAir),
+            self.chip_temperature(PrototypeCooling::HeatsinkInWater),
+            self.chip_temperature(PrototypeCooling::FullImmersion),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_divider_sanity() {
+        // 10 W through two 1 K/W resistors to a 25 C ambient:
+        // far node at 35 C, near node at 35 - wait: source at n0,
+        // n0 -> n1 (1 K/W) -> ambient (1 K/W): n0 = 25 + 10*2, n1 = 25 + 10.
+        let mut c = Circuit::new();
+        let n0 = c.node("hot");
+        let n1 = c.node("mid");
+        c.source(n0, 10.0);
+        c.resistor(n0, n1, 1.0);
+        c.to_ambient(n1, 1.0, 25.0);
+        let t = c.solve();
+        assert!((t[n0] - 45.0).abs() < 1e-9);
+        assert!((t[n1] - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_halve_resistance() {
+        let mut c = Circuit::new();
+        let n = c.node("x");
+        c.source(n, 10.0);
+        c.to_ambient(n, 2.0, 25.0);
+        c.to_ambient(n, 2.0, 25.0);
+        assert!((c.solve()[n] - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "floating")]
+    fn floating_node_panics() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let _b = c.node("b"); // no connection at all
+        c.to_ambient(a, 1.0, 25.0);
+        c.solve();
+    }
+
+    #[test]
+    fn figure4_matches_measurements() {
+        // Paper §2.4: 76 C (air), 71 C (heatsink in water), 56 C (full
+        // immersion). The calibrated model must land within 2 C of each.
+        let proto = PrototypeServer::default();
+        let (air, sink_water, full) = proto.figure4();
+        assert!((air - 76.0).abs() < 2.0, "air {air}");
+        assert!((sink_water - 71.0).abs() < 2.0, "heatsink-in-water {sink_water}");
+        assert!((full - 56.0).abs() < 2.0, "full immersion {full}");
+    }
+
+    #[test]
+    fn figure4_ordering() {
+        let (air, sink_water, full) = PrototypeServer::default().figure4();
+        assert!(air > sink_water);
+        assert!(sink_water > full);
+        // "about 20 C" total reduction (§1, abstract).
+        assert!(air - full > 15.0 && air - full < 25.0);
+    }
+
+    #[test]
+    fn more_power_is_hotter() {
+        let mut p = PrototypeServer::default();
+        let base = p.chip_temperature(PrototypeCooling::FullImmersion);
+        p.power *= 1.5;
+        assert!(p.chip_temperature(PrototypeCooling::FullImmersion) > base);
+    }
+
+    #[test]
+    fn thicker_film_is_hotter_underwater() {
+        let mut p = PrototypeServer::default();
+        let base = p.chip_temperature(PrototypeCooling::FullImmersion);
+        p.film_r *= 10.0;
+        let worse = p.chip_temperature(PrototypeCooling::FullImmersion);
+        assert!(worse > base);
+        // But the film penalty is small compared to the immersion win.
+        assert!(worse - base < 5.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense packing of compute nodes — the paper's second future-work
+//! item ("evaluation for the ability to densely pack compute nodes").
+//!
+//! Air-cooled racks are limited by airflow: servers need inlet/outlet
+//! plenums, hot/cold aisle separation, and per-rack power is capped by
+//! how much heat a CRAC-fed aisle can swallow (~15–30 kW/rack in
+//! practice; the paper cites ABCI's 70 kW/rack as the warm-water
+//! state of the art). Immersion tanks remove the airflow constraint
+//! entirely: boards sit millimetres apart in coolant, and the per-tank
+//! limit is the loop's heat-exchange capacity — or, for direct natural
+//! water, essentially the river.
+//!
+//! This module turns those constraints into numbers: nodes and IT
+//! megawatts per square metre of floor for each cooling architecture.
+
+use crate::pue::{pue, CoolingArchitecture};
+use serde::{Deserialize, Serialize};
+
+/// The packing constraints of one cooling style.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PackingModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Board pitch (spacing between adjacent boards), metres. Air needs
+    /// ~44.5 mm (1U) plus duct volume; immersion needs only the board +
+    /// a coolant gap.
+    pub board_pitch_m: f64,
+    /// Fraction of floor area consumed by non-compute support (aisles,
+    /// CRACs, plenums, heat exchangers, pump skids).
+    pub support_area_fraction: f64,
+    /// Heat-removal ceiling per enclosure footprint, W/m² of enclosure.
+    pub heat_ceiling_w_per_m2: f64,
+    /// Matching facility architecture for the PUE term.
+    pub architecture: CoolingArchitecture,
+}
+
+impl PackingModel {
+    /// A conventional air-cooled hot/cold-aisle hall.
+    pub fn air_hall() -> PackingModel {
+        PackingModel {
+            name: "air hall",
+            board_pitch_m: 0.0445,              // 1U
+            support_area_fraction: 0.60,        // aisles + CRACs
+            heat_ceiling_w_per_m2: 25_000.0,    // ~25 kW per rack m²
+            architecture: CoolingArchitecture::air_chilled(),
+        }
+    }
+
+    /// Warm-water cold plates (ABCI-style, §4.4's 70 kW/rack citation).
+    pub fn warm_water_rack() -> PackingModel {
+        PackingModel {
+            name: "warm-water rack",
+            board_pitch_m: 0.0445,
+            support_area_fraction: 0.45,
+            heat_ceiling_w_per_m2: 70_000.0,
+            architecture: CoolingArchitecture::water_pipe_warm(),
+        }
+    }
+
+    /// An immersion tank (oil or film-coated water): boards at 15 mm
+    /// pitch, heat exchanger skid alongside.
+    pub fn immersion_tank() -> PackingModel {
+        PackingModel {
+            name: "immersion tank",
+            board_pitch_m: 0.015,
+            support_area_fraction: 0.35,
+            heat_ceiling_w_per_m2: 150_000.0,
+            architecture: CoolingArchitecture::water_immersion_tank(),
+        }
+    }
+
+    /// Film-coated boards directly in natural water (the §4.4
+    /// proposal): the "floor" is a submerged frame; no aisles, no
+    /// exchanger — the water body is the heat sink.
+    pub fn natural_water_frame() -> PackingModel {
+        PackingModel {
+            name: "natural-water frame",
+            board_pitch_m: 0.015,
+            support_area_fraction: 0.15, // anchoring + cabling space
+            heat_ceiling_w_per_m2: 300_000.0,
+            architecture: CoolingArchitecture::direct_natural_water(),
+        }
+    }
+
+    /// The four packing styles.
+    pub fn all() -> Vec<PackingModel> {
+        vec![
+            Self::air_hall(),
+            Self::warm_water_rack(),
+            Self::immersion_tank(),
+            Self::natural_water_frame(),
+        ]
+    }
+
+    /// Boards per square metre of total floor, for boards of
+    /// `board_depth_m × board_height_m` stood on edge in rows.
+    pub fn boards_per_m2(&self, board_depth_m: f64) -> f64 {
+        assert!(board_depth_m > 0.0);
+        // One row of boards occupies (depth × pitch·N); rows repeat,
+        // with the support fraction folded in.
+        let per_row_metre = 1.0 / self.board_pitch_m;
+        let rows_per_metre_depth = 1.0 / board_depth_m;
+        per_row_metre * rows_per_metre_depth * (1.0 - self.support_area_fraction)
+    }
+
+    /// IT watts per square metre of floor for `node_watts` boards,
+    /// respecting both the geometric and the heat-removal ceilings.
+    pub fn it_density_w_per_m2(&self, node_watts: f64, board_depth_m: f64) -> f64 {
+        assert!(node_watts > 0.0);
+        let geometric = self.boards_per_m2(board_depth_m) * node_watts;
+        geometric.min(self.heat_ceiling_w_per_m2 * (1.0 - self.support_area_fraction))
+    }
+
+    /// Total facility watts per square metre (IT × PUE).
+    pub fn facility_density_w_per_m2(&self, node_watts: f64, board_depth_m: f64) -> f64 {
+        self.it_density_w_per_m2(node_watts, board_depth_m) * pue(&self.architecture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODE_W: f64 = 500.0; // a dense accelerator node
+    const DEPTH: f64 = 0.5; // half-metre boards
+
+    #[test]
+    fn immersion_packs_more_boards_than_air() {
+        let air = PackingModel::air_hall().boards_per_m2(DEPTH);
+        let tank = PackingModel::immersion_tank().boards_per_m2(DEPTH);
+        assert!(tank > 2.0 * air, "tank {tank} vs air {air}");
+    }
+
+    #[test]
+    fn density_ordering_matches_the_papers_story() {
+        let d = |m: PackingModel| m.it_density_w_per_m2(NODE_W, DEPTH);
+        let air = d(PackingModel::air_hall());
+        let warm = d(PackingModel::warm_water_rack());
+        let tank = d(PackingModel::immersion_tank());
+        let river = d(PackingModel::natural_water_frame());
+        assert!(air < warm, "air {air} !< warm {warm}");
+        assert!(warm < tank, "warm {warm} !< tank {tank}");
+        assert!(tank <= river, "tank {tank} !<= river {river}");
+    }
+
+    #[test]
+    fn air_is_heat_limited_not_space_limited() {
+        // At 1 kW/node (accelerator boards), the air hall hits its
+        // thermal ceiling well before its geometric one — the situation
+        // the paper's high-power chips create.
+        let m = PackingModel::air_hall();
+        let geometric = m.boards_per_m2(DEPTH) * 1000.0;
+        let actual = m.it_density_w_per_m2(1000.0, DEPTH);
+        assert!(actual < geometric, "air should clip at the heat ceiling");
+        // The tank swallows the same boards geometrically unclipped.
+        let tank = PackingModel::immersion_tank();
+        let tank_geometric = tank.boards_per_m2(DEPTH) * 1000.0;
+        let tank_actual = tank.it_density_w_per_m2(1000.0, DEPTH);
+        assert!((tank_actual - tank_geometric.min(97_500.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn natural_water_wins_on_facility_density_too() {
+        // PUE compounds the win: the river frame spends ~nothing on
+        // cooling overhead.
+        let tank = PackingModel::immersion_tank();
+        let river = PackingModel::natural_water_frame();
+        let tank_overhead = tank.facility_density_w_per_m2(NODE_W, DEPTH)
+            / tank.it_density_w_per_m2(NODE_W, DEPTH);
+        let river_overhead = river.facility_density_w_per_m2(NODE_W, DEPTH)
+            / river.it_density_w_per_m2(NODE_W, DEPTH);
+        assert!(river_overhead < tank_overhead);
+    }
+
+    #[test]
+    fn low_power_nodes_are_space_limited_everywhere() {
+        // 50 W boards never hit any thermal ceiling; density is purely
+        // geometric and immersion's pitch advantage shows directly.
+        let air = PackingModel::air_hall().it_density_w_per_m2(50.0, DEPTH);
+        let tank = PackingModel::immersion_tank().it_density_w_per_m2(50.0, DEPTH);
+        let ratio = tank / air;
+        assert!(ratio > 3.0 && ratio < 10.0, "ratio {ratio}");
+    }
+}

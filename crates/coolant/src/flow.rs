@@ -1,0 +1,160 @@
+//! Coolant-flow engineering: the §4.1 "turbines" question, made
+//! quantitative.
+//!
+//! §4.1 observes that even past water's h = 800 W/(m²K) "it could be
+//! worthwhile in practice to increase coolant flow speed (e.g., via
+//! turbines)". But pumping is not free: forced-convection h grows like
+//! `v^0.8` (Dittus–Boelter) while hydraulic power grows like `v³`
+//! (pressure drop `∝ v²` times volumetric flow `∝ v`). This module
+//! models that trade-off and finds the flow speed that maximises *net*
+//! benefit — the knob a real immersion-tank designer turns.
+
+use crate::properties::Coolant;
+use serde::{Deserialize, Serialize};
+
+/// A circulation system for an immersion tank.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowSystem {
+    /// The coolant being pumped.
+    pub coolant: Coolant,
+    /// Flow speed at which the coolant's reference `h` holds, m/s.
+    pub v_ref: f64,
+    /// Hydraulic power at `v_ref`, watts (pump shaft power for the
+    /// tank's loop at the reference speed).
+    pub pump_power_ref: f64,
+    /// Pump + motor efficiency (electrical watts per hydraulic watt).
+    pub pump_efficiency: f64,
+}
+
+impl FlowSystem {
+    /// A tap-water immersion tank: reference speed 0.2 m/s costs 40 W
+    /// of hydraulic power, pumped at 60 % wire-to-water efficiency.
+    pub fn water_tank() -> FlowSystem {
+        FlowSystem {
+            coolant: Coolant::get(crate::properties::CoolantKind::Water),
+            v_ref: 0.2,
+            pump_power_ref: 40.0,
+            pump_efficiency: 0.6,
+        }
+    }
+
+    /// Heat-transfer coefficient at flow speed `v`, W/(m²·K).
+    pub fn h_at(&self, v: f64) -> f64 {
+        self.coolant.h_at_flow(v, self.v_ref)
+    }
+
+    /// Electrical pump power at flow speed `v`, watts (`∝ v³`).
+    pub fn pump_power_at(&self, v: f64) -> f64 {
+        assert!(v >= 0.0);
+        self.pump_power_ref * (v / self.v_ref).powi(3) / self.pump_efficiency
+    }
+
+    /// Find the flow speed maximising `benefit(h) − pump_power`, where
+    /// `benefit` converts a heat-transfer coefficient into an
+    /// application-level gain in watts-equivalent (e.g. the extra IT
+    /// power the thermal budget admits at that h). Golden-section
+    /// search on `[v_lo, v_hi]`; `benefit` must be monotone
+    /// non-decreasing in h (physically it always is).
+    pub fn optimal_flow(
+        &self,
+        v_lo: f64,
+        v_hi: f64,
+        benefit: impl Fn(f64) -> f64,
+    ) -> FlowOperatingPoint {
+        assert!(v_lo > 0.0 && v_hi > v_lo);
+        let net = |v: f64| benefit(self.h_at(v)) - self.pump_power_at(v);
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let (mut a, mut b) = (v_lo, v_hi);
+        let mut c = b - phi * (b - a);
+        let mut d = a + phi * (b - a);
+        let (mut fc, mut fd) = (net(c), net(d));
+        for _ in 0..80 {
+            if fc > fd {
+                b = d;
+                d = c;
+                fd = fc;
+                c = b - phi * (b - a);
+                fc = net(c);
+            } else {
+                a = c;
+                c = d;
+                fc = fd;
+                d = a + phi * (b - a);
+                fd = net(d);
+            }
+        }
+        let v = 0.5 * (a + b);
+        FlowOperatingPoint {
+            v,
+            h: self.h_at(v),
+            pump_power: self.pump_power_at(v),
+            net_benefit: net(v),
+        }
+    }
+}
+
+/// The chosen operating point of a circulation loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowOperatingPoint {
+    /// Flow speed, m/s.
+    pub v: f64,
+    /// Resulting heat-transfer coefficient, W/(m²·K).
+    pub h: f64,
+    /// Electrical pump power, watts.
+    pub pump_power: f64,
+    /// `benefit(h) − pump_power`, watts-equivalent.
+    pub net_benefit: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_anchors() {
+        let s = FlowSystem::water_tank();
+        assert!((s.h_at(s.v_ref) - 800.0).abs() < 1e-9);
+        assert!((s.pump_power_at(s.v_ref) - 40.0 / 0.6).abs() < 1e-9);
+        assert_eq!(s.pump_power_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn pump_power_is_cubic() {
+        let s = FlowSystem::water_tank();
+        let p1 = s.pump_power_at(0.2);
+        let p2 = s.pump_power_at(0.4);
+        assert!((p2 / p1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diminishing_benefit_has_interior_optimum() {
+        // A saturating benefit curve (the Figure 14 shape: temperature
+        // gains flatten past water's h) must give a bounded optimal
+        // speed — pumping harder eventually costs more than it buys.
+        let s = FlowSystem::water_tank();
+        let benefit = |h: f64| 300.0 * (1.0 - (-h / 600.0).exp());
+        let opt = s.optimal_flow(0.05, 5.0, benefit);
+        assert!(opt.v > 0.05 && opt.v < 4.9, "optimum on the boundary: {}", opt.v);
+        // Perturbing in either direction is worse.
+        let net = |v: f64| benefit(s.h_at(v)) - s.pump_power_at(v);
+        assert!(opt.net_benefit >= net(opt.v * 0.7) - 1e-6);
+        assert!(opt.net_benefit >= net(opt.v * 1.3) - 1e-6);
+    }
+
+    #[test]
+    fn linear_benefit_pushes_flow_up() {
+        // If every W/m2K keeps paying, the optimum sits above the
+        // saturating case's.
+        let s = FlowSystem::water_tank();
+        let sat = s.optimal_flow(0.05, 5.0, |h| 300.0 * (1.0 - (-h / 600.0).exp()));
+        let lin = s.optimal_flow(0.05, 5.0, |h| 0.4 * h);
+        assert!(lin.v > sat.v, "linear {} !> saturating {}", lin.v, sat.v);
+    }
+
+    #[test]
+    fn zero_benefit_means_no_pumping() {
+        let s = FlowSystem::water_tank();
+        let opt = s.optimal_flow(0.01, 2.0, |_| 0.0);
+        assert!(opt.v < 0.02, "should slide to the minimum: {}", opt.v);
+    }
+}

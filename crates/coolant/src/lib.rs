@@ -1,0 +1,34 @@
+//! # immersion-coolant
+//!
+//! Coolant and facility models for the water-immersion reproduction:
+//!
+//! * [`properties`]: the physical properties of the four coolants the
+//!   paper compares (air, mineral oil, fluorinert, water), their heat
+//!   transfer coefficients (§3.2), flow-speed scaling (§4.1's "turbines"
+//!   remark), cost and safety attributes (§1's motivation).
+//! * [`circuit`]: small lumped thermal-resistance networks, used to
+//!   model the physical prototypes — in particular the film-coated
+//!   PRIMERGY TX1320 M2 server of §2.4 whose measured chip temperatures
+//!   (76 °C air / 71 °C heatsink-in-water / 56 °C full immersion) are
+//!   Figure 4.
+//! * [`flow`]: the §4.1 flow-speed/pump-power trade-off — how hard is
+//!   it worth pumping the water past h = 800 W/(m²K)?
+//! * [`mod@pue`]: the §4.4 facility model: primary/secondary coolant loops,
+//!   pumps, fans and chillers → power usage effectiveness per cooling
+//!   architecture, including direct natural-water cooling with PUE ≈ 1.
+//! * [`reliability`]: the §2.2–2.3 test-board lifetime model: per
+//!   component hazard rates under a parylene film as a function of film
+//!   thickness and placement (underwater vs above the surface), with a
+//!   Monte-Carlo board-lifetime simulator calibrated to the paper's
+//!   2-year observations.
+
+pub mod circuit;
+pub mod datacenter;
+pub mod flow;
+pub mod properties;
+pub mod pue;
+pub mod reliability;
+pub mod tank;
+
+pub use properties::{Coolant, CoolantKind};
+pub use pue::{pue, CoolingArchitecture};

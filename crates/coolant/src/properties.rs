@@ -1,0 +1,200 @@
+//! Coolant property tables.
+//!
+//! The paper motivates water immersion with four attributes (§1): high
+//! thermal conductivity, direct-immersion capability, safety, and cost.
+//! This module carries those attributes plus the heat-transfer
+//! coefficients used in the HotSpot simulations (§3.2) and a
+//! forced-convection scaling law for the §4.1 "increase coolant flow
+//! speed (e.g., via turbines)" remark.
+
+use serde::{Deserialize, Serialize};
+
+/// The coolants the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoolantKind {
+    /// Forced air.
+    Air,
+    /// Mineral oil (e.g. the Tsubame-KFC coolant).
+    MineralOil,
+    /// 3M Fluorinert (e.g. Cray-2, Yahoo kukai).
+    Fluorinert,
+    /// Tap water behind a parylene film (this paper).
+    Water,
+    /// Natural water (river / sea, §4.4): same physics as tap water but
+    /// a free, pre-cooled, unlimited supply.
+    NaturalWater,
+}
+
+/// Physical and economic properties of one coolant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coolant {
+    /// Which coolant.
+    pub kind: CoolantKind,
+    /// Reference heat-transfer coefficient at the paper's operating
+    /// point, W/(m²·K) — Table in §3.2: air 14, oil 160, FC 180,
+    /// water 800.
+    pub h: f64,
+    /// Bulk thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Density, kg/m³.
+    pub density: f64,
+    /// Specific heat, J/(kg·K).
+    pub specific_heat: f64,
+    /// Kinematic viscosity, m²/s (for Reynolds-number scaling).
+    pub kinematic_viscosity: f64,
+    /// Electrically insulating as-is (water is not; hence the film).
+    pub dielectric: bool,
+    /// Indicative coolant cost, USD per litre (air free, fluorinert
+    /// famously not).
+    pub cost_usd_per_litre: f64,
+    /// Flammability / environmental safety concern (the paper counts
+    /// mineral oil's flammability and fluorinert's GWP against them).
+    pub safety_concern: bool,
+}
+
+impl Coolant {
+    /// Property table lookup.
+    pub fn get(kind: CoolantKind) -> Coolant {
+        match kind {
+            CoolantKind::Air => Coolant {
+                kind,
+                h: 14.0,
+                conductivity: 0.026,
+                density: 1.2,
+                specific_heat: 1005.0,
+                kinematic_viscosity: 1.5e-5,
+                dielectric: true,
+                cost_usd_per_litre: 0.0,
+                safety_concern: false,
+            },
+            CoolantKind::MineralOil => Coolant {
+                kind,
+                h: 160.0,
+                conductivity: 0.14,
+                density: 850.0,
+                specific_heat: 1900.0,
+                kinematic_viscosity: 2.0e-5,
+                dielectric: true,
+                cost_usd_per_litre: 2.0,
+                safety_concern: true, // flammable, messy to service
+            },
+            CoolantKind::Fluorinert => Coolant {
+                kind,
+                h: 180.0,
+                conductivity: 0.065,
+                density: 1850.0,
+                specific_heat: 1100.0,
+                kinematic_viscosity: 4.0e-7,
+                dielectric: true,
+                cost_usd_per_litre: 150.0,
+                safety_concern: true, // very high global-warming potential
+            },
+            CoolantKind::Water | CoolantKind::NaturalWater => Coolant {
+                kind,
+                h: 800.0,
+                conductivity: 0.6,
+                density: 998.0,
+                specific_heat: 4186.0,
+                kinematic_viscosity: 1.0e-6,
+                dielectric: false, // tap/natural water conducts: needs the film
+                cost_usd_per_litre: if kind == CoolantKind::NaturalWater {
+                    0.0
+                } else {
+                    0.002
+                },
+                safety_concern: false,
+            },
+        }
+    }
+
+    /// Heat-transfer coefficient at a flow speed `v` (m/s) relative to
+    /// the reference speed `v_ref` at which [`Coolant::h`] holds:
+    /// forced-convection correlations (Dittus–Boelter) give
+    /// `h ∝ Re^0.8`, i.e. `h(v) = h · (v / v_ref)^0.8`.
+    ///
+    /// This is the §4.1 observation that "it could be worthwhile in
+    /// practice to increase coolant flow speed (e.g., via turbines)".
+    pub fn h_at_flow(&self, v: f64, v_ref: f64) -> f64 {
+        assert!(v > 0.0 && v_ref > 0.0, "flow speeds must be positive");
+        self.h * (v / v_ref).powf(0.8)
+    }
+
+    /// Volumetric heat capacity ρ·c, J/(m³·K) — how much heat a litre of
+    /// coolant carries away per kelvin (water's standout property).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+
+    /// All four distinct physical coolants (natural water shares
+    /// water's physics and is omitted).
+    pub fn all() -> Vec<Coolant> {
+        [
+            CoolantKind::Air,
+            CoolantKind::MineralOil,
+            CoolantKind::Fluorinert,
+            CoolantKind::Water,
+        ]
+        .into_iter()
+        .map(Coolant::get)
+        .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_h_values() {
+        assert_eq!(Coolant::get(CoolantKind::Air).h, 14.0);
+        assert_eq!(Coolant::get(CoolantKind::MineralOil).h, 160.0);
+        assert_eq!(Coolant::get(CoolantKind::Fluorinert).h, 180.0);
+        assert_eq!(Coolant::get(CoolantKind::Water).h, 800.0);
+    }
+
+    #[test]
+    fn water_needs_the_film() {
+        assert!(!Coolant::get(CoolantKind::Water).dielectric);
+        assert!(Coolant::get(CoolantKind::MineralOil).dielectric);
+        assert!(Coolant::get(CoolantKind::Fluorinert).dielectric);
+    }
+
+    #[test]
+    fn water_has_best_h_and_heat_capacity() {
+        let water = Coolant::get(CoolantKind::Water);
+        for c in Coolant::all() {
+            assert!(water.h >= c.h);
+            assert!(water.volumetric_heat_capacity() >= c.volumetric_heat_capacity() * 0.99);
+        }
+    }
+
+    #[test]
+    fn fluorinert_is_expensive() {
+        let fc = Coolant::get(CoolantKind::Fluorinert);
+        let water = Coolant::get(CoolantKind::Water);
+        assert!(fc.cost_usd_per_litre > 1000.0 * water.cost_usd_per_litre);
+    }
+
+    #[test]
+    fn flow_scaling_is_monotone_and_anchored() {
+        let w = Coolant::get(CoolantKind::Water);
+        assert!((w.h_at_flow(1.0, 1.0) - 800.0).abs() < 1e-9);
+        assert!(w.h_at_flow(2.0, 1.0) > 800.0);
+        assert!(w.h_at_flow(0.5, 1.0) < 800.0);
+        // Doubling flow gives 2^0.8 ≈ 1.74x.
+        assert!((w.h_at_flow(2.0, 1.0) / 800.0 - 2f64.powf(0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_flow_rejected() {
+        Coolant::get(CoolantKind::Water).h_at_flow(0.0, 1.0);
+    }
+
+    #[test]
+    fn natural_water_is_free() {
+        assert_eq!(Coolant::get(CoolantKind::NaturalWater).cost_usd_per_litre, 0.0);
+        assert_eq!(Coolant::get(CoolantKind::NaturalWater).h, 800.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Power usage effectiveness (§4.4).
+//!
+//! The paper's argument for *direct* natural-water cooling is
+//! structural: every conventional architecture spends energy moving heat
+//! from a primary coolant into a secondary coolant and finally rejecting
+//! it (chillers, cooling towers, dry coolers, long pump runs like CSCS's
+//! 2.8 km lake loop); dropping the film-coated board into the natural
+//! water deletes the secondary loop and most of the machinery.
+//!
+//! This module models a facility as: IT load + primary circulation +
+//! secondary circulation + heat rejection, and computes
+//! `PUE = total / IT`.
+
+use serde::{Deserialize, Serialize};
+
+/// How the facility finally rejects heat to the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeatRejection {
+    /// Compression chiller with the given coefficient of performance
+    /// (conventional CRAC-cooled rooms).
+    Chiller {
+        /// Coefficient of performance (heat moved per work in).
+        cop: f64,
+    },
+    /// Dry cooler / cooling tower: fans only, as a fraction of IT power.
+    DryCooler {
+        /// Fan power as a fraction of IT power.
+        fan_fraction: f64,
+    },
+    /// A natural body of water (river, lake, sea): free, but may need an
+    /// intake pump.
+    NaturalBody {
+        /// Intake/outfall pump power as a fraction of IT power.
+        pump_fraction: f64,
+    },
+}
+
+/// A cooling architecture: circulation overheads + rejection stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingArchitecture {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Primary-loop circulation (fans over sinks, immersion-tank pumps,
+    /// cold-plate pumps) as a fraction of IT power.
+    pub primary_fraction: f64,
+    /// Secondary-loop circulation (room air handlers, facility water
+    /// pumps) as a fraction of IT power. Zero when the primary coolant
+    /// itself is the environment — the paper's direct cooling.
+    pub secondary_fraction: f64,
+    /// Final heat rejection.
+    pub rejection: HeatRejection,
+}
+
+impl CoolingArchitecture {
+    /// Conventional air cooling with CRAC units and a chiller plant.
+    pub fn air_chilled() -> Self {
+        CoolingArchitecture {
+            name: "air+chiller",
+            primary_fraction: 0.05,  // server + CRAC fans
+            secondary_fraction: 0.08, // air handlers, chilled-water pumps
+            rejection: HeatRejection::Chiller { cop: 4.0 },
+        }
+    }
+
+    /// Closed-loop water-pipe (cold plate) cooling rejected by dry
+    /// coolers (warm-water cooling à la Aquasar / ABCI).
+    pub fn water_pipe_warm() -> Self {
+        CoolingArchitecture {
+            name: "water-pipe+dry-cooler",
+            primary_fraction: 0.03, // loop pumps
+            secondary_fraction: 0.03,
+            rejection: HeatRejection::DryCooler { fan_fraction: 0.04 },
+        }
+    }
+
+    /// Oil immersion with a water secondary loop and cooling tower
+    /// (Tsubame-KFC style; reported PUE ≈ 1.09, GRC white paper ≈ 1.05).
+    pub fn oil_immersion_tower() -> Self {
+        CoolingArchitecture {
+            name: "oil-immersion+tower",
+            primary_fraction: 0.02, // tank circulation
+            secondary_fraction: 0.02,
+            rejection: HeatRejection::DryCooler { fan_fraction: 0.03 },
+        }
+    }
+
+    /// Water immersion in a tank with a heat exchanger to facility
+    /// water.
+    pub fn water_immersion_tank() -> Self {
+        CoolingArchitecture {
+            name: "water-immersion+exchanger",
+            primary_fraction: 0.02,
+            secondary_fraction: 0.02,
+            rejection: HeatRejection::DryCooler { fan_fraction: 0.02 },
+        }
+    }
+
+    /// The paper's proposal: film-coated boards directly in natural
+    /// water — no secondary loop, no rejection machinery beyond a small
+    /// intake pump (or none at all when placed *in* the river/bay).
+    pub fn direct_natural_water() -> Self {
+        CoolingArchitecture {
+            name: "direct-natural-water",
+            primary_fraction: 0.01,
+            secondary_fraction: 0.0,
+            rejection: HeatRejection::NaturalBody { pump_fraction: 0.005 },
+        }
+    }
+
+    /// The architectures compared in the §4.4 discussion.
+    pub fn all() -> Vec<CoolingArchitecture> {
+        vec![
+            Self::air_chilled(),
+            Self::water_pipe_warm(),
+            Self::oil_immersion_tower(),
+            Self::water_immersion_tank(),
+            Self::direct_natural_water(),
+        ]
+    }
+}
+
+/// Power usage effectiveness of an architecture.
+///
+/// `PUE = (IT + cooling) / IT`; the IT power cancels because every
+/// overhead is modelled as a fraction of it, except the chiller, whose
+/// work is the *entire* IT heat divided by COP.
+pub fn pue(arch: &CoolingArchitecture) -> f64 {
+    let mut overhead = arch.primary_fraction + arch.secondary_fraction;
+    overhead += match arch.rejection {
+        HeatRejection::Chiller { cop } => {
+            assert!(cop > 0.0, "chiller COP must be positive");
+            1.0 / cop
+        }
+        HeatRejection::DryCooler { fan_fraction } => fan_fraction,
+        HeatRejection::NaturalBody { pump_fraction } => pump_fraction,
+    };
+    1.0 + overhead
+}
+
+/// Annual cooling energy (kWh) for an `it_kw` facility under `arch`.
+pub fn annual_cooling_energy_kwh(arch: &CoolingArchitecture, it_kw: f64) -> f64 {
+    assert!(it_kw >= 0.0);
+    (pue(arch) - 1.0) * it_kw * 24.0 * 365.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_is_worst_natural_water_is_best() {
+        let archs = CoolingArchitecture::all();
+        let pues: Vec<f64> = archs.iter().map(pue).collect();
+        let air = pues[0];
+        let natural = pues[4];
+        for (a, &p) in archs.iter().zip(&pues) {
+            assert!(p >= natural, "{} beats natural water", a.name);
+            assert!(p <= air, "{} worse than chilled air", a.name);
+        }
+    }
+
+    #[test]
+    fn pue_bands_match_reported_systems() {
+        // Chilled air: the industry-typical ~1.4.
+        assert!((pue(&CoolingArchitecture::air_chilled()) - 1.38).abs() < 0.05);
+        // Oil immersion: the §1-cited ~1.03–1.10 band.
+        let oil = pue(&CoolingArchitecture::oil_immersion_tower());
+        assert!(oil > 1.02 && oil < 1.10, "oil PUE {oil}");
+        // Direct natural water: "approximately 1.00" (§4.4).
+        let nat = pue(&CoolingArchitecture::direct_natural_water());
+        assert!(nat < 1.02, "natural-water PUE {nat}");
+    }
+
+    #[test]
+    fn removing_the_secondary_loop_always_helps() {
+        let mut arch = CoolingArchitecture::water_immersion_tank();
+        let with = pue(&arch);
+        arch.secondary_fraction = 0.0;
+        assert!(pue(&arch) < with);
+    }
+
+    #[test]
+    fn chiller_cop_drives_pue() {
+        let mut arch = CoolingArchitecture::air_chilled();
+        let base = pue(&arch);
+        arch.rejection = HeatRejection::Chiller { cop: 8.0 };
+        assert!(pue(&arch) < base);
+    }
+
+    #[test]
+    fn annual_energy_scales_linearly() {
+        let arch = CoolingArchitecture::air_chilled();
+        let e1 = annual_cooling_energy_kwh(&arch, 100.0);
+        let e2 = annual_cooling_energy_kwh(&arch, 200.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Coolant-volume thermal mass: what happens to the water itself.
+//!
+//! The steady-state chip analysis assumes coolant at a fixed 25 °C.
+//! That is true for a river (the §4.4 deployment) but only transiently
+//! true for a tub or tank: the IT load heats the coolant volume until
+//! the tank's heat exchanger (or its walls) carries the power away.
+//! This module answers the engineering questions around that:
+//!
+//! * how fast does a given tank warm up under a given load?
+//! * how long can the paper's exchanger-less prototype tub run before
+//!   the "25 °C water" assumption breaks?
+//! * how much exchanger capacity keeps a production tank at its design
+//!   temperature?
+
+use crate::properties::{Coolant, CoolantKind};
+use serde::{Deserialize, Serialize};
+
+/// A coolant volume with (optional) heat exchange to an ambient.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Tank {
+    /// Coolant in the tank.
+    pub coolant: Coolant,
+    /// Volume, litres.
+    pub volume_litres: f64,
+    /// Exchanger + wall conductance to the ambient, W/K (zero for a
+    /// plain tub).
+    pub exchanger_w_per_k: f64,
+    /// Ambient / exchanger sink temperature, °C.
+    pub ambient: f64,
+}
+
+impl Tank {
+    /// The paper's prototype: roughly a 60-litre tub of tap water, no
+    /// exchanger, walls leaking a few W/K to the room.
+    pub fn prototype_tub() -> Tank {
+        Tank {
+            coolant: Coolant::get(CoolantKind::Water),
+            volume_litres: 60.0,
+            exchanger_w_per_k: 3.0,
+            ambient: 25.0,
+        }
+    }
+
+    /// A production immersion tank with a plate exchanger to facility
+    /// water.
+    pub fn production_tank(volume_litres: f64, exchanger_w_per_k: f64) -> Tank {
+        assert!(volume_litres > 0.0 && exchanger_w_per_k >= 0.0);
+        Tank {
+            coolant: Coolant::get(CoolantKind::Water),
+            volume_litres,
+            exchanger_w_per_k,
+            ambient: 25.0,
+        }
+    }
+
+    /// Heat capacity of the volume, J/K.
+    pub fn heat_capacity(&self) -> f64 {
+        self.coolant.volumetric_heat_capacity() * self.volume_litres / 1000.0
+    }
+
+    /// Coolant temperature after `secs` under constant `watts`,
+    /// starting from the ambient: the single-pole RC response
+    /// `T = amb + (P/UA)(1 − e^{−t·UA/C})`, degenerating to a linear
+    /// ramp when there is no exchanger.
+    pub fn temp_after(&self, watts: f64, secs: f64) -> f64 {
+        assert!(watts >= 0.0 && secs >= 0.0);
+        let c = self.heat_capacity();
+        if self.exchanger_w_per_k <= 0.0 {
+            return self.ambient + watts * secs / c;
+        }
+        let t_final = watts / self.exchanger_w_per_k;
+        let tau = c / self.exchanger_w_per_k;
+        self.ambient + t_final * (1.0 - (-secs / tau).exp())
+    }
+
+    /// The steady coolant temperature under `watts` (infinite for a
+    /// plain tub — it never stops warming).
+    pub fn steady_temp(&self, watts: f64) -> Option<f64> {
+        (self.exchanger_w_per_k > 0.0).then(|| self.ambient + watts / self.exchanger_w_per_k)
+    }
+
+    /// Seconds until the coolant reaches `limit` °C under `watts`
+    /// (`None` if it never does).
+    pub fn time_to_temp(&self, watts: f64, limit: f64) -> Option<f64> {
+        assert!(watts > 0.0);
+        if limit <= self.ambient {
+            return Some(0.0);
+        }
+        let c = self.heat_capacity();
+        if self.exchanger_w_per_k <= 0.0 {
+            return Some((limit - self.ambient) * c / watts);
+        }
+        let t_final = self.ambient + watts / self.exchanger_w_per_k;
+        if limit >= t_final {
+            return None; // settles below the limit
+        }
+        let tau = c / self.exchanger_w_per_k;
+        let frac = (limit - self.ambient) / (t_final - self.ambient);
+        Some(-tau * (1.0 - frac).ln())
+    }
+
+    /// Exchanger conductance (W/K) needed to hold the coolant at
+    /// `limit` °C under `watts`.
+    pub fn required_exchanger(watts: f64, ambient: f64, limit: f64) -> f64 {
+        assert!(limit > ambient);
+        watts / (limit - ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_tub_warms_slowly() {
+        // 65 W into ~60 litres: the §2.4 measurements (minutes long)
+        // comfortably fit inside the "coolant stays ~25 C" window.
+        let tub = Tank::prototype_tub();
+        let after_30min = tub.temp_after(65.0, 1800.0);
+        assert!(after_30min < 26.0, "tub at {after_30min} C after 30 min");
+        // But a day of continuous stress would cook the assumption.
+        let after_day = tub.temp_after(65.0, 86_400.0);
+        assert!(after_day > 35.0, "tub at {after_day} C after a day");
+    }
+
+    #[test]
+    fn exchangerless_tub_heats_linearly() {
+        let mut tub = Tank::prototype_tub();
+        tub.exchanger_w_per_k = 0.0;
+        let t1 = tub.temp_after(100.0, 1000.0) - tub.ambient;
+        let t2 = tub.temp_after(100.0, 2000.0) - tub.ambient;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert!(tub.steady_temp(100.0).is_none());
+    }
+
+    #[test]
+    fn exchanger_settles_the_temperature() {
+        let tank = Tank::production_tank(500.0, 100.0);
+        let steady = tank.steady_temp(1000.0).unwrap();
+        assert!((steady - 35.0).abs() < 1e-9); // 25 + 1000/100
+        // The transient approaches it from below.
+        let late = tank.temp_after(1000.0, 1e7);
+        assert!((late - steady).abs() < 0.01);
+        for &t in &[100.0, 1000.0, 10_000.0] {
+            assert!(tank.temp_after(1000.0, t) < steady);
+        }
+    }
+
+    #[test]
+    fn time_to_temp_consistency() {
+        let tank = Tank::production_tank(200.0, 50.0);
+        let watts = 2000.0; // settles at 65 C
+        let t = tank.time_to_temp(watts, 40.0).unwrap();
+        let reached = tank.temp_after(watts, t);
+        assert!((reached - 40.0).abs() < 1e-6, "reached {reached}");
+        // A limit above the settling point is never reached.
+        assert!(tank.time_to_temp(watts, 70.0).is_none());
+        // A limit below ambient is immediate.
+        assert_eq!(tank.time_to_temp(watts, 20.0), Some(0.0));
+    }
+
+    #[test]
+    fn required_exchanger_sizing() {
+        // Hold 10 kW at 40 C over a 25 C sink: 10 kW / 15 K.
+        let ua = Tank::required_exchanger(10_000.0, 25.0, 40.0);
+        assert!((ua - 666.67).abs() < 0.1);
+        let tank = Tank::production_tank(1000.0, ua);
+        assert!((tank.steady_temp(10_000.0).unwrap() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_tanks_buy_time_not_steady_state() {
+        let small = Tank::production_tank(100.0, 10.0);
+        let big = Tank::production_tank(1000.0, 10.0);
+        let w = 500.0;
+        assert_eq!(small.steady_temp(w), big.steady_temp(w));
+        let t_small = small.time_to_temp(w, 40.0).unwrap();
+        let t_big = big.time_to_temp(w, 40.0).unwrap();
+        assert!(t_big > 5.0 * t_small);
+    }
+}

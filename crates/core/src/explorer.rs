@@ -1,0 +1,243 @@
+//! The frequency explorer: the paper's §3.2 procedure.
+//!
+//! Given a design (chip × stack height × cooling), find the highest VFS
+//! step at which **all** chips can run simultaneously — full activity on
+//! every block, steady state — without the hottest die cell exceeding
+//! the temperature threshold.
+//!
+//! Feasibility is monotone in the step index (both dynamic and static
+//! power grow with frequency, and the temperature field is a monotone
+//! function of the power map), so the search is a binary search over the
+//! VFS table, warm-starting each CG solve from the previous field.
+
+use crate::design::CmpDesign;
+use immersion_power::mcpat::analyze;
+use immersion_power::vfs::VfsStep;
+use immersion_thermal::grid::{PowerAssignment, ThermalModel};
+use immersion_thermal::steady::Solution;
+use immersion_thermal::{Result, ThermalError};
+
+/// Build the power assignment for every die at `step`.
+///
+/// `junction_temp` drives leakage feedback when the design enables it.
+pub fn power_at(
+    design: &CmpDesign,
+    model: &ThermalModel,
+    step: VfsStep,
+    junction_temp: Option<f64>,
+) -> Result<PowerAssignment> {
+    let report = analyze(&design.chip, step, junction_temp);
+    let mut p = model.zero_power();
+    for die in 0..design.chips {
+        for (block, &watts) in &report.per_block {
+            p.set(die, block, watts)?;
+        }
+    }
+    Ok(p)
+}
+
+/// The peak die temperature of the design at `step` (°C), with leakage
+/// feedback iterated to a fixpoint when enabled.
+pub fn peak_temperature(design: &CmpDesign, model: &ThermalModel, step: VfsStep) -> Result<f64> {
+    Ok(solve_at(design, model, step, None)?.die_max())
+}
+
+/// Solve the thermal field of the design at `step`. `warm` optionally
+/// provides an initial guess (the previous step of a sweep).
+pub fn solve_at<'m>(
+    design: &CmpDesign,
+    model: &'m ThermalModel,
+    step: VfsStep,
+    warm: Option<&[f64]>,
+) -> Result<Solution<'m>> {
+    let solve = |power: &PowerAssignment, guess: Option<&[f64]>| match guess {
+        Some(g) => model.solve_steady_from(power, g),
+        None => model.solve_steady(power),
+    };
+
+    if !design.leakage_feedback {
+        let p = power_at(design, model, step, None)?;
+        return solve(&p, warm);
+    }
+
+    // Fixpoint: leakage depends on temperature depends on leakage.
+    // Damped iteration from the characterisation temperature; converges
+    // in a handful of rounds because the coupling is weak.
+    let mut t_j = design.chip.leakage_ref_temp;
+    let mut sol = {
+        let p = power_at(design, model, step, Some(t_j))?;
+        solve(&p, warm)?
+    };
+    for _ in 0..20 {
+        let t_new = sol.die_max();
+        if (t_new - t_j).abs() < 0.05 {
+            return Ok(sol);
+        }
+        t_j = 0.5 * t_j + 0.5 * t_new;
+        let temps = sol.into_temps();
+        let p = power_at(design, model, step, Some(t_j))?;
+        sol = solve(&p, Some(&temps))?;
+    }
+    Err(ThermalError::SolverDiverged {
+        iterations: 20,
+        residual: f64::NAN,
+    })
+}
+
+/// The highest feasible VFS step of the design, or `None` when even the
+/// lowest step violates the threshold (the paper's "cannot be drawn in
+/// the figure" cases — e.g. air beyond 4 low-power chips).
+pub fn max_frequency(design: &CmpDesign) -> Option<VfsStep> {
+    let model = design.thermal_model().ok()?;
+    max_frequency_with_model(design, &model)
+}
+
+/// [`max_frequency`] against a pre-built thermal model (the model does
+/// not depend on the step, so sweeps reuse it).
+pub fn max_frequency_with_model(design: &CmpDesign, model: &ThermalModel) -> Option<VfsStep> {
+    let steps = design.chip.vfs.steps();
+    let threshold = design.threshold();
+    let feasible = |idx: usize| -> bool {
+        solve_at(design, model, steps[idx], None)
+            .map(|s| s.die_max() <= threshold)
+            .unwrap_or(false)
+    };
+    // Binary search for the last feasible index.
+    if !feasible(0) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, steps.len() - 1);
+    if feasible(hi) {
+        return Some(steps[hi]);
+    }
+    // Invariant: feasible(lo), !feasible(hi).
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(steps[lo])
+}
+
+/// Maximum frequency for stack heights `1..=max_chips` — one series of
+/// Figures 1, 7, 8 and 17.
+pub fn frequency_vs_chips(base: &CmpDesign, max_chips: usize) -> Vec<(usize, Option<VfsStep>)> {
+    (1..=max_chips)
+        .map(|n| {
+            let mut d = base.clone();
+            d.chips = n;
+            (n, max_frequency(&d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immersion_power::chips::{high_frequency_cmp, low_power_cmp};
+    use immersion_thermal::stack3d::CoolingParams;
+
+    fn quick(design: CmpDesign) -> CmpDesign {
+        design.with_grid(8, 8)
+    }
+
+    #[test]
+    fn single_chip_any_coolant_reaches_top_step() {
+        // One low-power chip at 47.2 W is comfortably coolable by every
+        // liquid option (Figure 7 at x = 1).
+        for cooling in [
+            CoolingParams::water_pipe(),
+            CoolingParams::mineral_oil(),
+            CoolingParams::fluorinert(),
+            CoolingParams::water_immersion(),
+        ] {
+            let d = quick(CmpDesign::new(low_power_cmp(), 1, cooling));
+            let f = max_frequency(&d).expect("one chip must be coolable");
+            assert!(
+                (f.freq_ghz - 2.0).abs() < 1e-9,
+                "{}: {} GHz",
+                cooling.name,
+                f.freq_ghz
+            );
+        }
+    }
+
+    #[test]
+    fn water_sustains_at_least_what_oil_sustains() {
+        for n in [2usize, 6] {
+            let oil = quick(CmpDesign::new(
+                low_power_cmp(),
+                n,
+                CoolingParams::mineral_oil(),
+            ));
+            let water = quick(CmpDesign::new(
+                low_power_cmp(),
+                n,
+                CoolingParams::water_immersion(),
+            ));
+            let f_oil = max_frequency(&oil).map(|s| s.freq_ghz).unwrap_or(0.0);
+            let f_water = max_frequency(&water).map(|s| s.freq_ghz).unwrap_or(0.0);
+            assert!(f_water >= f_oil, "{n} chips: water {f_water} < oil {f_oil}");
+        }
+    }
+
+    #[test]
+    fn frequency_decreases_with_stack_height() {
+        let d = quick(CmpDesign::new(
+            high_frequency_cmp(),
+            1,
+            CoolingParams::water_immersion(),
+        ));
+        let series = frequency_vs_chips(&d, 8);
+        let mut last = f64::INFINITY;
+        for (n, step) in series {
+            let f = step.map(|s| s.freq_ghz).unwrap_or(0.0);
+            assert!(f <= last + 1e-9, "{n} chips: {f} > {last}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn air_fails_before_water() {
+        let air = quick(CmpDesign::new(low_power_cmp(), 10, CoolingParams::air()));
+        let water = quick(CmpDesign::new(
+            low_power_cmp(),
+            10,
+            CoolingParams::water_immersion(),
+        ));
+        assert!(max_frequency(&air).is_none(), "air cannot hold 10 chips");
+        assert!(max_frequency(&water).is_some(), "water holds 10 chips");
+    }
+
+    #[test]
+    fn leakage_feedback_never_raises_frequency() {
+        let base = quick(CmpDesign::new(
+            high_frequency_cmp(),
+            4,
+            CoolingParams::mineral_oil(),
+        ));
+        let with_fb = base.clone().with_leakage_feedback(true);
+        let f0 = max_frequency(&base).map(|s| s.freq_ghz).unwrap_or(0.0);
+        let f1 = max_frequency(&with_fb).map(|s| s.freq_ghz).unwrap_or(0.0);
+        // Feedback at sub-threshold temperatures lowers leakage, so it can
+        // only help or tie relative to the pinned worst case.
+        assert!(f1 >= f0, "feedback {f1} < pinned {f0}");
+    }
+
+    #[test]
+    fn tighter_threshold_lowers_frequency() {
+        let d = quick(CmpDesign::new(
+            high_frequency_cmp(),
+            2,
+            CoolingParams::mineral_oil(),
+        ));
+        let loose = max_frequency(&d).map(|s| s.freq_ghz).unwrap_or(0.0);
+        let tight = max_frequency(&d.clone().with_threshold(60.0))
+            .map(|s| s.freq_ghz)
+            .unwrap_or(0.0);
+        assert!(tight <= loose);
+    }
+}

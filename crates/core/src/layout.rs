@@ -1,0 +1,191 @@
+//! Thermal-aware 3-D layout optimization (extension).
+//!
+//! §4.2 demonstrates one hand-picked layout (rotate every second chip
+//! by 180°) and the conclusion lists "a more thorough exploration of
+//! the 3-D chip integration layout design" as future work. This module
+//! does that exploration over the rotation space the paper's hardware
+//! allows (rectangular dies stack only at 0° or 180°):
+//!
+//! * [`optimize_exhaustive`] enumerates all `2^(n-1)` rotation patterns
+//!   (die 0 pinned; rotating every die together is a symmetry of the
+//!   stack) — exact, fine for short stacks;
+//! * [`optimize_annealed`] runs simulated annealing over the same space
+//!   for tall stacks, warm-starting each thermal solve from the
+//!   previous one.
+//!
+//! The objective is the steady-state peak die temperature at a fixed
+//! operating point; lower peak translates directly into a higher
+//! sustainable VFS step (Figure 15).
+
+use crate::design::CmpDesign;
+use crate::explorer::solve_at;
+use immersion_power::vfs::VfsStep;
+use immersion_thermal::{Result, ThermalError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An evaluated rotation pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayoutResult {
+    /// Per-die rotation (`true` = 180°).
+    pub rotations: Vec<bool>,
+    /// Peak die temperature at the evaluated step, °C.
+    pub peak_temp: f64,
+    /// Patterns evaluated to find it.
+    pub evaluations: usize,
+}
+
+/// Evaluate one rotation pattern at `step`.
+pub fn evaluate_pattern(design: &CmpDesign, step: VfsStep, pattern: &[bool]) -> Result<f64> {
+    if pattern.len() != design.chips {
+        return Err(ThermalError::BadParameter(format!(
+            "pattern of {} entries for {} chips",
+            pattern.len(),
+            design.chips
+        )));
+    }
+    let d = design.clone().with_rotations(pattern.to_vec());
+    let model = d.thermal_model()?;
+    // `solve_at` handles the (possible) leakage feedback loop.
+    Ok(solve_at(&d, &model, step, None)?.die_max())
+}
+
+/// Exhaustive search over all rotation patterns with die 0 pinned
+/// un-rotated. Exact; cost `2^(chips-1)` thermal solves.
+///
+/// # Panics
+/// Panics when `design.chips > 12` — use [`optimize_annealed`] there.
+pub fn optimize_exhaustive(design: &CmpDesign, step: VfsStep) -> Result<LayoutResult> {
+    let n = design.chips;
+    assert!(n <= 12, "exhaustive search is 2^(n-1); use annealing");
+    let mut best: Option<LayoutResult> = None;
+    let mut evals = 0usize;
+    for bits in 0..(1u32 << (n - 1)) {
+        let pattern: Vec<bool> = (0..n)
+            .map(|i| i > 0 && (bits >> (i - 1)) & 1 == 1)
+            .collect();
+        let peak = evaluate_pattern(design, step, &pattern)?;
+        evals += 1;
+        if best.as_ref().is_none_or(|b| peak < b.peak_temp) {
+            best = Some(LayoutResult {
+                rotations: pattern,
+                peak_temp: peak,
+                evaluations: evals,
+            });
+        }
+    }
+    let mut b = best.expect("at least one pattern");
+    b.evaluations = evals;
+    Ok(b)
+}
+
+/// Simulated annealing over rotation patterns: single-die flip moves,
+/// exponential cooling schedule, deterministic under `seed`.
+pub fn optimize_annealed(
+    design: &CmpDesign,
+    step: VfsStep,
+    iterations: usize,
+    seed: u64,
+) -> Result<LayoutResult> {
+    let n = design.chips;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from the paper's flip pattern — a good heuristic seed.
+    let mut current: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+    let mut current_peak = evaluate_pattern(design, step, &current)?;
+    let mut best = LayoutResult {
+        rotations: current.clone(),
+        peak_temp: current_peak,
+        evaluations: 1,
+    };
+    let t0: f64 = 3.0; // kelvin of acceptable uphill at the start
+    for k in 0..iterations {
+        let temp = t0 * (1.0 - k as f64 / iterations as f64).max(0.01);
+        let die = rng.gen_range(0..n);
+        current[die] = !current[die];
+        let peak = evaluate_pattern(design, step, &current)?;
+        best.evaluations += 1;
+        let accept = peak < current_peak
+            || rng.gen_range(0.0..1.0f64) < (-(peak - current_peak) / temp).exp();
+        if accept {
+            current_peak = peak;
+            if peak < best.peak_temp {
+                best.peak_temp = peak;
+                best.rotations = current.clone();
+            }
+        } else {
+            current[die] = !current[die]; // undo
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immersion_power::chips::high_frequency_cmp;
+    use immersion_thermal::stack3d::CoolingParams;
+
+    fn design(chips: usize) -> CmpDesign {
+        CmpDesign::new(high_frequency_cmp(), chips, CoolingParams::water_immersion())
+            .with_grid(8, 8)
+    }
+
+    #[test]
+    fn exhaustive_beats_or_ties_the_papers_flip() {
+        let d = design(4);
+        let step = d.chip.vfs.max_step();
+        let flip_pattern = vec![false, true, false, true];
+        let flip_peak = evaluate_pattern(&d, step, &flip_pattern).unwrap();
+        let best = optimize_exhaustive(&d, step).unwrap();
+        assert!(
+            best.peak_temp <= flip_peak + 1e-9,
+            "optimizer {} C worse than flip {} C",
+            best.peak_temp,
+            flip_peak
+        );
+        assert_eq!(best.evaluations, 8); // 2^3 patterns
+    }
+
+    #[test]
+    fn no_rotation_is_worst_for_core_heavy_stacks() {
+        // Stacking identical core bands on top of each other must be
+        // beaten by any alternating pattern.
+        let d = design(4);
+        let step = d.chip.vfs.max_step();
+        let plain = evaluate_pattern(&d, step, &[false; 4]).unwrap();
+        let best = optimize_exhaustive(&d, step).unwrap();
+        assert!(best.peak_temp < plain - 2.0, "best {} vs plain {plain}", best.peak_temp);
+    }
+
+    #[test]
+    fn annealing_finds_the_exhaustive_optimum_on_small_stacks() {
+        let d = design(4);
+        let step = d.chip.vfs.step(0); // low power point: fast solves
+        let exact = optimize_exhaustive(&d, step).unwrap();
+        let annealed = optimize_annealed(&d, step, 40, 3).unwrap();
+        assert!(
+            annealed.peak_temp <= exact.peak_temp + 0.2,
+            "annealed {} vs exact {}",
+            annealed.peak_temp,
+            exact.peak_temp
+        );
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let d = design(3);
+        let step = d.chip.vfs.step(0);
+        let a = optimize_annealed(&d, step, 15, 42).unwrap();
+        let b = optimize_annealed(&d, step, 15, 42).unwrap();
+        assert_eq!(a.rotations, b.rotations);
+        assert_eq!(a.peak_temp, b.peak_temp);
+    }
+
+    #[test]
+    fn bad_pattern_length_rejected() {
+        let d = design(3);
+        let step = d.chip.vfs.max_step();
+        assert!(evaluate_pattern(&d, step, &[true; 5]).is_err());
+    }
+}

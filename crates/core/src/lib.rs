@@ -1,0 +1,54 @@
+//! # immersion-core
+//!
+//! The paper's contribution layer: thermal-aware design-space
+//! exploration of 3-D stacked chip multiprocessors under different
+//! cooling options.
+//!
+//! Everything below this crate is a substrate ([`immersion_power`] for
+//! McPAT-style power maps, [`immersion_thermal`] for HotSpot-style
+//! steady-state analysis, [`immersion_archsim`] for gem5-style execution
+//! simulation); this crate wires them into the paper's experiments:
+//!
+//! * [`design`]: a [`design::CmpDesign`] bundles chip model ×
+//!   stack height × cooling option × layout (flip) × thresholds.
+//! * [`explorer`]: given a design, find the maximum common operating
+//!   frequency whose worst-case steady-state peak temperature stays
+//!   under the threshold (§3.2); sweep chip counts, coolants, h values
+//!   and layouts (Figures 1, 7, 8, 14, 15, 17).
+//! * [`perf`]: couple the explorer's frequencies to the CMP simulator to
+//!   obtain NAS-Parallel-Benchmark execution times (§3.3, Figures
+//!   10–13).
+//! * [`dtm`]: dynamic thermal management on the transient solver — the
+//!   §5.2 companion study the steady-state analysis points at.
+//! * [`layout`]: thermal-aware rotation-pattern optimization — the
+//!   conclusion's "more thorough exploration of the 3-D chip
+//!   integration layout design".
+//! * [`report`]: row/CSV emission shared by the `experiments` binary.
+//!
+//! ## Example: who cools best?
+//!
+//! ```
+//! use immersion_core::design::CmpDesign;
+//! use immersion_core::explorer;
+//! use immersion_power::chips;
+//! use immersion_thermal::stack3d::CoolingParams;
+//!
+//! let chip = chips::low_power_cmp();
+//! let water = CmpDesign::new(chip.clone(), 4, CoolingParams::water_immersion());
+//! let air = CmpDesign::new(chip, 4, CoolingParams::air());
+//! let f_water = explorer::max_frequency(&water).unwrap();
+//! let f_air = explorer::max_frequency(&air);
+//! // Four stacked low-power chips: water immersion sustains a higher
+//! // clock than air (air may not sustain any step at all).
+//! assert!(f_air.is_none() || f_water.freq_ghz >= f_air.unwrap().freq_ghz);
+//! ```
+
+pub mod design;
+pub mod dtm;
+pub mod explorer;
+pub mod layout;
+pub mod perf;
+pub mod report;
+
+pub use design::CmpDesign;
+pub use explorer::{frequency_vs_chips, max_frequency};

@@ -1,0 +1,189 @@
+//! Application-performance coupling: §3.3 of the paper.
+//!
+//! For every cooling option, find the maximum sustainable frequency
+//! (the §3.2 explorer), then run the nine NAS Parallel Benchmarks on
+//! the cycle-approximate CMP simulator at that frequency. Execution
+//! times relative to a reference cooling option are exactly the bars of
+//! Figures 10–13.
+//!
+//! Benchmarks for a configuration run in parallel under rayon — each
+//! simulation is single-threaded and deterministic.
+
+use crate::design::CmpDesign;
+use crate::explorer::max_frequency;
+use immersion_archsim::{ExecStats, System, SystemConfig};
+use immersion_npb::{Benchmark, TraceGenerator};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Instructions simulated per thread for the figure-quality runs.
+pub const DEFAULT_OPS_PER_THREAD: u64 = 100_000;
+
+/// The outcome of one (cooling, benchmark) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NpbResult {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Cooling option name.
+    pub cooling: String,
+    /// Frequency the option sustains, GHz.
+    pub freq_ghz: f64,
+    /// Simulated execution statistics.
+    pub stats: ExecStats,
+}
+
+/// All NPB results for one cooling option (or `None` when the option
+/// cannot sustain the stack at any VFS step — the paper's missing
+/// bars).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoolingRun {
+    /// Cooling option name.
+    pub cooling: String,
+    /// The sustained frequency, if any.
+    pub freq_ghz: Option<f64>,
+    /// Per-benchmark results (empty when infeasible).
+    pub results: Vec<NpbResult>,
+}
+
+/// Simulate the nine NPB programs on `design`'s CMP at the maximum
+/// frequency its cooling sustains.
+pub fn run_npb_suite(design: &CmpDesign, ops_per_thread: u64, seed: u64) -> CoolingRun {
+    let Some(step) = max_frequency(design) else {
+        return CoolingRun {
+            cooling: design.cooling.name.to_string(),
+            freq_ghz: None,
+            results: Vec::new(),
+        };
+    };
+    let results = run_npb_at(design, step.freq_ghz, ops_per_thread, seed);
+    CoolingRun {
+        cooling: design.cooling.name.to_string(),
+        freq_ghz: Some(step.freq_ghz),
+        results,
+    }
+}
+
+/// Simulate the suite at an explicit frequency (used by ablations).
+pub fn run_npb_at(
+    design: &CmpDesign,
+    freq_ghz: f64,
+    ops_per_thread: u64,
+    seed: u64,
+) -> Vec<NpbResult> {
+    let cooling = design.cooling.name.to_string();
+    Benchmark::all()
+        .into_par_iter()
+        .map(|bench| {
+            let cfg = SystemConfig::baseline(design.chips, freq_ghz);
+            let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops_per_thread, seed);
+            let stats = System::new(cfg).run(&gen);
+            NpbResult {
+                benchmark: bench,
+                cooling: cooling.clone(),
+                freq_ghz,
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// Execution times of `run` relative to `reference` (per benchmark,
+/// reference = 1.0; lower is better). `None` when either side is
+/// infeasible.
+pub fn relative_times(run: &CoolingRun, reference: &CoolingRun) -> Option<Vec<(Benchmark, f64)>> {
+    if run.freq_ghz.is_none() || reference.freq_ghz.is_none() {
+        return None;
+    }
+    Some(
+        run.results
+            .iter()
+            .zip(&reference.results)
+            .map(|(r, base)| {
+                debug_assert_eq!(r.benchmark, base.benchmark);
+                (
+                    r.benchmark,
+                    r.stats.exec_time_secs / base.stats.exec_time_secs,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Geometric-mean relative time across the suite (the paper's "up to
+/// 14 % on average" is over this kind of aggregate).
+pub fn geomean_relative(rel: &[(Benchmark, f64)]) -> f64 {
+    let log_sum: f64 = rel.iter().map(|(_, r)| r.ln()).sum();
+    (log_sum / rel.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immersion_power::chips::low_power_cmp;
+    use immersion_thermal::stack3d::CoolingParams;
+
+    fn design(cooling: CoolingParams) -> CmpDesign {
+        CmpDesign::new(low_power_cmp(), 2, cooling).with_grid(8, 8)
+    }
+
+    #[test]
+    fn suite_runs_and_orders_correctly() {
+        let water = run_npb_suite(&design(CoolingParams::water_immersion()), 5_000, 11);
+        assert!(water.freq_ghz.is_some());
+        assert_eq!(water.results.len(), 9);
+        for r in &water.results {
+            assert!(r.stats.exec_time_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_frequency_never_slows_a_benchmark() {
+        let d = design(CoolingParams::water_immersion());
+        let slow = run_npb_at(&d, 1.0, 5_000, 11);
+        let fast = run_npb_at(&d, 2.0, 5_000, 11);
+        for (s, f) in slow.iter().zip(&fast) {
+            assert!(
+                f.stats.exec_time_secs < s.stats.exec_time_secs,
+                "{:?} got slower at 2.0 GHz",
+                s.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn ep_gains_most_cg_least_from_frequency() {
+        let d = design(CoolingParams::water_immersion());
+        let slow = run_npb_at(&d, 1.0, 20_000, 11);
+        let fast = run_npb_at(&d, 2.0, 20_000, 11);
+        let gain = |b: Benchmark| {
+            let s = slow.iter().find(|r| r.benchmark == b).unwrap();
+            let f = fast.iter().find(|r| r.benchmark == b).unwrap();
+            s.stats.exec_time_secs / f.stats.exec_time_secs
+        };
+        let ep = gain(Benchmark::Ep);
+        let cg = gain(Benchmark::Cg);
+        assert!(ep > cg, "EP gain {ep} vs CG gain {cg}");
+    }
+
+    #[test]
+    fn relative_times_against_self_are_unity() {
+        let run = run_npb_suite(&design(CoolingParams::water_immersion()), 5_000, 11);
+        let rel = relative_times(&run, &run).unwrap();
+        for (b, r) in &rel {
+            assert!((r - 1.0).abs() < 1e-12, "{b:?} rel {r}");
+        }
+        assert!((geomean_relative(&rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_cooling_yields_none() {
+        // 12 low-power chips under air: not sustainable.
+        let mut d = design(CoolingParams::air());
+        d.chips = 12;
+        let run = run_npb_suite(&d, 1_000, 11);
+        assert!(run.freq_ghz.is_none());
+        assert!(run.results.is_empty());
+        let water = run_npb_suite(&design(CoolingParams::water_immersion()), 1_000, 11);
+        assert!(relative_times(&run, &water).is_none());
+    }
+}

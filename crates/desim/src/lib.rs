@@ -1,0 +1,47 @@
+//! # immersion-desim
+//!
+//! A small, deterministic discrete-event simulation (DES) engine.
+//!
+//! This crate is the substrate underneath `immersion-archsim`, the
+//! gem5-like chip-multiprocessor simulator used by the water-immersion
+//! reproduction. It deliberately contains **no** architecture knowledge:
+//! it only knows about simulated time, events, deterministic ordering,
+//! and statistics collection.
+//!
+//! ## Model
+//!
+//! Simulated time is measured in **picoseconds** ([`Time`]) so that
+//! components clocked at different frequencies (a 2.0 GHz core next to a
+//! fixed-latency DRAM) can coexist without rounding surprises.
+//!
+//! Events are dispatched through a single [`EventQueue`] keyed by
+//! `(time, priority, sequence-number)`. The sequence number makes the
+//! simulation fully deterministic: two events scheduled for the same
+//! instant are delivered in the order they were scheduled.
+//!
+//! ## Example
+//!
+//! ```
+//! use immersion_desim::{EventQueue, Time};
+//!
+//! // A tiny ping-pong simulation: each event re-schedules the next one
+//! // 100 ps later until 10 events have fired.
+//! let mut q: EventQueue<u32> = EventQueue::new();
+//! q.schedule(Time::ZERO, 0, 0);
+//! let mut fired = Vec::new();
+//! while let Some(ev) = q.pop() {
+//!     fired.push(ev.payload);
+//!     if ev.payload < 9 {
+//!         q.schedule(ev.time + Time::from_ps(100), 0, ev.payload + 1);
+//!     }
+//! }
+//! assert_eq!(fired, (0..10).collect::<Vec<_>>());
+//! ```
+
+pub mod engine;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Event, EventQueue, Priority};
+pub use stats::{Counter, Histogram, StatSet, TimeWeighted};
+pub use time::{Clock, Time};

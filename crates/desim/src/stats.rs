@@ -1,0 +1,296 @@
+//! Statistics primitives for simulation components.
+//!
+//! Mirrors the shape of gem5's stats framework at 1/100th the size:
+//! monotone counters, power-of-two histograms for latency distributions,
+//! and time-weighted averages for occupancy-style quantities (buffer
+//! fill, link utilisation).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A histogram with power-of-two buckets, suitable for latency
+/// distributions spanning several orders of magnitude.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))`; bucket 0 holds 0 and 1.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v < 2 { 0 } else { 64 - (v.leading_zeros() as usize) - 1 };
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// An approximate quantile (by bucket lower bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// A time-weighted average of a piecewise-constant quantity, e.g. buffer
+/// occupancy: `set` records a new value at a timestamp; the average
+/// weights each value by how long it was held.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: Time,
+    last_value: f64,
+    weighted_sum: f64,
+    start: Time,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: Time::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            start: Time::ZERO,
+            started: false,
+        }
+    }
+
+    /// Record that the tracked quantity takes value `v` from time `t` on.
+    pub fn set(&mut self, t: Time, v: f64) {
+        if !self.started {
+            self.start = t;
+            self.started = true;
+        } else {
+            let dt = t.saturating_sub(self.last_time).as_ps() as f64;
+            self.weighted_sum += self.last_value * dt;
+        }
+        self.last_time = t;
+        self.last_value = v;
+    }
+
+    /// The time-weighted mean over `[first set, now]`.
+    pub fn average(&self, now: Time) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let tail = now.saturating_sub(self.last_time).as_ps() as f64;
+        let total = now.saturating_sub(self.start).as_ps() as f64;
+        if total == 0.0 {
+            return self.last_value;
+        }
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+}
+
+/// A named bag of scalar statistics, for end-of-run reporting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or overwrite) a named statistic.
+    pub fn set(&mut self, name: &str, v: f64) {
+        self.values.insert(name.to_string(), v);
+    }
+
+    /// Add to a named statistic (starting from zero).
+    pub fn add(&mut self, name: &str, v: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Read a named statistic.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterate in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another set into this one, summing overlapping names.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<40} {v:.6}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let mean = (1 + 2 + 3 + 4 + 100 + 1000) as f64 / 7.0;
+        assert!((h.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let q10 = h.quantile(0.1).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q10 <= q50 && q50 <= q99);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Time::from_ps(0), 2.0); // 2.0 for 100 ps
+        tw.set(Time::from_ps(100), 4.0); // 4.0 for 100 ps
+        let avg = tw.average(Time::from_ps(200));
+        assert!((avg - 3.0).abs() < 1e-12, "avg = {avg}");
+    }
+
+    #[test]
+    fn time_weighted_unset_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.average(Time::from_ps(100)), 0.0);
+    }
+
+    #[test]
+    fn statset_merge_sums() {
+        let mut a = StatSet::new();
+        a.set("x", 1.0);
+        a.set("y", 2.0);
+        let mut b = StatSet::new();
+        b.set("y", 3.0);
+        b.set("z", 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(1.0));
+        assert_eq!(a.get("y"), Some(5.0));
+        assert_eq!(a.get("z"), Some(4.0));
+    }
+}

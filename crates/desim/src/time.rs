@@ -1,0 +1,247 @@
+//! Simulated time, measured in picoseconds.
+//!
+//! Picoseconds are fine enough to represent any realistic clock period
+//! exactly enough for our purposes (a 3.6 GHz clock is 277.78 ps; the
+//! rounding error of storing it as 278 ps is 0.08 %, far below the
+//! fidelity of the architectural model) while a `u64` of picoseconds can
+//! still represent ~213 days of simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "infinitely far away"
+    /// sentinel for idle components.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Construct from a (possibly fractional) number of nanoseconds.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        Time((ns * 1e3).round().max(0.0) as u64)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Time((s * 1e12).round().max(0.0) as u64)
+    }
+
+    /// This time expressed in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Integer multiple of a duration.
+    #[inline]
+    pub fn mul(self, n: u64) -> Time {
+        Time(self.0 * n)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A clock domain: converts between cycle counts and [`Time`].
+///
+/// Components in the CMP simulator (cores, routers, cache controllers)
+/// are clocked; DRAM is specified in wall-clock nanoseconds. `Clock`
+/// performs the cycle↔time conversion for one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clock {
+    /// Clock period in picoseconds.
+    period_ps: u64,
+    /// Frequency in GHz (kept for reporting; `period_ps` is authoritative).
+    freq_ghz: f64,
+}
+
+impl Clock {
+    /// A clock running at `freq_ghz` GHz.
+    ///
+    /// # Panics
+    /// Panics if the frequency is not strictly positive.
+    pub fn from_ghz(freq_ghz: f64) -> Self {
+        assert!(freq_ghz > 0.0, "clock frequency must be positive");
+        let period_ps = (1000.0 / freq_ghz).round().max(1.0) as u64;
+        Clock { period_ps, freq_ghz }
+    }
+
+    /// The period of this clock.
+    #[inline]
+    pub fn period(&self) -> Time {
+        Time(self.period_ps)
+    }
+
+    /// The nominal frequency in GHz.
+    #[inline]
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// The duration of `n` cycles.
+    #[inline]
+    pub fn cycles(&self, n: u64) -> Time {
+        Time(self.period_ps * n)
+    }
+
+    /// How many whole cycles fit into `t` (rounding down).
+    #[inline]
+    pub fn cycles_in(&self, t: Time) -> u64 {
+        t.0 / self.period_ps
+    }
+
+    /// The first clock edge at or after `t`.
+    #[inline]
+    pub fn next_edge(&self, t: Time) -> Time {
+        let rem = t.0 % self.period_ps;
+        if rem == 0 {
+            t
+        } else {
+            Time(t.0 + (self.period_ps - rem))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(Time::from_ns(3), Time::from_ps(3000));
+        assert_eq!(Time::from_us(2), Time::from_ns(2000));
+        assert_eq!(Time::from_ns_f64(1.5), Time::from_ps(1500));
+        assert_eq!(Time::from_secs_f64(1e-9), Time::from_ns(1));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ps(500);
+        let b = Time::from_ps(200);
+        assert_eq!(a + b, Time::from_ps(700));
+        assert_eq!(a - b, Time::from_ps(300));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(b.mul(3), Time::from_ps(600));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_ps(700));
+    }
+
+    #[test]
+    fn time_display_picks_unit() {
+        assert_eq!(format!("{}", Time::from_ps(12)), "12 ps");
+        assert!(format!("{}", Time::from_ns(12)).ends_with("ns"));
+        assert!(format!("{}", Time::from_us(12)).ends_with("us"));
+        assert!(format!("{}", Time::from_secs_f64(1.5)).ends_with("s"));
+    }
+
+    #[test]
+    fn clock_period_rounding() {
+        let c = Clock::from_ghz(2.0);
+        assert_eq!(c.period(), Time::from_ps(500));
+        // 3.6 GHz -> 277.78 ps -> rounds to 278 ps.
+        let c = Clock::from_ghz(3.6);
+        assert_eq!(c.period(), Time::from_ps(278));
+    }
+
+    #[test]
+    fn clock_cycles_roundtrip() {
+        let c = Clock::from_ghz(1.0);
+        assert_eq!(c.cycles(160), Time::from_ns(160));
+        assert_eq!(c.cycles_in(Time::from_ns(160)), 160);
+    }
+
+    #[test]
+    fn clock_next_edge() {
+        let c = Clock::from_ghz(2.0); // 500 ps period
+        assert_eq!(c.next_edge(Time::from_ps(0)), Time::from_ps(0));
+        assert_eq!(c.next_edge(Time::from_ps(1)), Time::from_ps(500));
+        assert_eq!(c.next_edge(Time::from_ps(500)), Time::from_ps(500));
+        assert_eq!(c.next_edge(Time::from_ps(501)), Time::from_ps(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_rejects_zero_frequency() {
+        let _ = Clock::from_ghz(0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-block power decomposition.
+//!
+//! McPAT reports power per architectural component; HotSpot wants power
+//! per floorplan block. This module carries the mapping: each floorplan
+//! block receives a share of the chip's dynamic and static budgets.
+//!
+//! The shares for the baseline 16-tile CMP follow McPAT v1.3's typical
+//! decomposition of a 4-core, 12-L2-bank tiled chip at 22 nm HP: the
+//! out-of-order cores dominate dynamic power, while the large SRAM
+//! arrays dominate leakage. Router power is folded into its tile's
+//! block, as McPAT reports NoC power per tile.
+
+use serde::{Deserialize, Serialize};
+
+/// The architectural kind of a floorplan block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A processor core (plus its L1s and router).
+    Core,
+    /// A last-level-cache bank (plus its router).
+    CacheBank,
+    /// A memory controller / uncore block.
+    Uncore,
+}
+
+/// One block's share of the chip budgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentShare {
+    /// Floorplan block name this share paints onto.
+    pub block: String,
+    /// Kind (for reporting).
+    pub kind: ComponentKind,
+    /// Fraction of the chip's dynamic power at full activity.
+    pub dynamic_fraction: f64,
+    /// Fraction of the chip's static power.
+    pub static_fraction: f64,
+}
+
+/// A chip's complete decomposition. Fractions sum to 1 per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    shares: Vec<ComponentShare>,
+}
+
+impl Decomposition {
+    /// Build from shares; validates both columns sum to 1 (±1e-6).
+    pub fn new(shares: Vec<ComponentShare>) -> Self {
+        let dyn_sum: f64 = shares.iter().map(|s| s.dynamic_fraction).sum();
+        let stat_sum: f64 = shares.iter().map(|s| s.static_fraction).sum();
+        assert!(
+            (dyn_sum - 1.0).abs() < 1e-6,
+            "dynamic fractions sum to {dyn_sum}"
+        );
+        assert!(
+            (stat_sum - 1.0).abs() < 1e-6,
+            "static fractions sum to {stat_sum}"
+        );
+        Decomposition { shares }
+    }
+
+    /// The shares.
+    pub fn shares(&self) -> &[ComponentShare] {
+        &self.shares
+    }
+
+    /// The share of one block.
+    pub fn share(&self, block: &str) -> Option<&ComponentShare> {
+        self.shares.iter().find(|s| s.block == block)
+    }
+
+    /// The baseline 16-tile CMP decomposition (4 cores, 12 L2 banks):
+    /// cores take 72 % of dynamic and 42 % of static power; the twelve
+    /// L2 banks take the rest (SRAM leakage dominates their static
+    /// share).
+    pub fn baseline_16_tile() -> Self {
+        let mut shares = Vec::with_capacity(16);
+        for c in 1..=4 {
+            shares.push(ComponentShare {
+                block: format!("CORE{c}"),
+                kind: ComponentKind::Core,
+                dynamic_fraction: 0.72 / 4.0,
+                static_fraction: 0.42 / 4.0,
+            });
+        }
+        for b in 1..=12 {
+            shares.push(ComponentShare {
+                block: format!("L2_{b}"),
+                kind: ComponentKind::CacheBank,
+                dynamic_fraction: 0.28 / 12.0,
+                static_fraction: 0.58 / 12.0,
+            });
+        }
+        Decomposition::new(shares)
+    }
+
+    /// A uniform decomposition over `n` identically named tile blocks
+    /// (`prefix1..prefixN`) — used for the many-core Xeon Phi model,
+    /// whose power is spread evenly across the die (§4.3 notes its
+    /// more uniform thermal distribution).
+    pub fn uniform_tiles(prefix: &str, n: usize, kind: ComponentKind) -> Self {
+        let shares = (1..=n)
+            .map(|i| ComponentShare {
+                block: format!("{prefix}{i}"),
+                kind,
+                dynamic_fraction: 1.0 / n as f64,
+                static_fraction: 1.0 / n as f64,
+            })
+            .collect();
+        Decomposition::new(shares)
+    }
+
+    /// The Xeon E5-2667v4 model: eight cores in two columns flanking a
+    /// shared L3 / uncore column. Cores 65 % dynamic / 40 % static; L3
+    /// 25 % / 45 %; uncore 10 % / 15 %.
+    pub fn xeon_e5() -> Self {
+        let mut shares = Vec::new();
+        for c in 1..=8 {
+            shares.push(ComponentShare {
+                block: format!("CORE{c}"),
+                kind: ComponentKind::Core,
+                dynamic_fraction: 0.65 / 8.0,
+                static_fraction: 0.40 / 8.0,
+            });
+        }
+        for b in 1..=4 {
+            shares.push(ComponentShare {
+                block: format!("L3_{b}"),
+                kind: ComponentKind::CacheBank,
+                dynamic_fraction: 0.25 / 4.0,
+                static_fraction: 0.45 / 4.0,
+            });
+        }
+        shares.push(ComponentShare {
+            block: "UNCORE".to_string(),
+            kind: ComponentKind::Uncore,
+            dynamic_fraction: 0.10,
+            static_fraction: 0.15,
+        });
+        Decomposition::new(shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_sums_to_one() {
+        let d = Decomposition::baseline_16_tile();
+        assert_eq!(d.shares().len(), 16);
+        let dyn_sum: f64 = d.shares().iter().map(|s| s.dynamic_fraction).sum();
+        assert!((dyn_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cores_have_higher_power_density_than_l2() {
+        // Same tile area, so share ratio == density ratio.
+        let d = Decomposition::baseline_16_tile();
+        let core = d.share("CORE1").unwrap();
+        let l2 = d.share("L2_1").unwrap();
+        assert!(core.dynamic_fraction > 3.0 * l2.dynamic_fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic fractions")]
+    fn bad_sums_rejected() {
+        Decomposition::new(vec![ComponentShare {
+            block: "X".into(),
+            kind: ComponentKind::Core,
+            dynamic_fraction: 0.5,
+            static_fraction: 1.0,
+        }]);
+    }
+
+    #[test]
+    fn uniform_tiles_are_uniform() {
+        let d = Decomposition::uniform_tiles("TILE", 36, ComponentKind::Core);
+        assert_eq!(d.shares().len(), 36);
+        for s in d.shares() {
+            assert!((s.dynamic_fraction - 1.0 / 36.0).abs() < 1e-12);
+        }
+        assert!(d.share("TILE36").is_some());
+        assert!(d.share("TILE37").is_none());
+    }
+
+    #[test]
+    fn xeon_e5_has_13_blocks() {
+        let d = Decomposition::xeon_e5();
+        assert_eq!(d.shares().len(), 13);
+        assert!(d.share("UNCORE").is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! # immersion-power
+//!
+//! A McPAT-like analytical power and area model, providing everything
+//! the water-immersion reproduction needs from McPAT v1.3:
+//!
+//! * **VFS model** ([`vfs`]): the paper's §3.1 gate-delay relation
+//!   `Tdelay ∝ C·V / (V − Vth)^α` with α = 1.3, inverted numerically to
+//!   obtain the supply voltage at each frequency step, and the derived
+//!   dynamic (`∝ V²·f`) and static (`∝ V²`) power scaling — the curves of
+//!   Figure 6.
+//! * **Component models** ([`components`]): the per-block split of a
+//!   chip's power budget (cores, L2 banks, NoC routers) used to paint
+//!   the power map onto the floorplan.
+//! * **Chip library** ([`chips`]): the paper's four chip models — the
+//!   "low-power CMP" (11 VFS steps, 1.0–2.0 GHz, 47.2 W max), the
+//!   "high-frequency CMP" (13 steps, 1.2–3.6 GHz, 56.8 W max), and
+//!   calibrated models of the Intel Xeon E5-2667v4 and Xeon Phi 7290.
+//! * **Analysis entry point** ([`mcpat`]): produce a per-block power
+//!   report for a chip at a chosen VFS step (optionally with
+//!   temperature-dependent leakage), the input HotSpot-style thermal
+//!   analysis consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use immersion_power::chips;
+//! use immersion_power::mcpat::analyze;
+//!
+//! let chip = chips::low_power_cmp();
+//! let top = chip.vfs.max_step();
+//! let report = analyze(&chip, top, None);
+//! assert!((report.total() - 47.2).abs() < 1e-6); // Table 1 anchor
+//! ```
+
+pub mod cacti;
+pub mod chips;
+pub mod components;
+pub mod mcpat;
+pub mod scaling;
+pub mod vfs;
+
+pub use chips::ChipModel;
+pub use mcpat::{analyze, PowerReport};
+pub use vfs::{VfsCurve, VfsStep, VfsTable};

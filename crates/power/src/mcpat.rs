@@ -1,0 +1,205 @@
+//! The McPAT-style analysis entry point: chip model × operating point →
+//! per-block power report.
+//!
+//! The paper runs McPAT v1.3 once per VFS step to obtain the power trace
+//! HotSpot consumes; [`analyze`] is that run. The optional junction
+//! temperature argument enables leakage-temperature feedback (an
+//! extension over the paper's flow, which characterises leakage at the
+//! threshold temperature — a conservative, worst-case choice we keep as
+//! the default).
+
+use crate::chips::ChipModel;
+use crate::vfs::{leakage_temperature_factor, power_scale, VfsStep};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A per-block power report at one operating point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Operating point the report was produced for.
+    pub step: VfsStep,
+    /// Watts per floorplan block.
+    pub per_block: BTreeMap<String, f64>,
+    /// Total dynamic power, watts.
+    pub dynamic: f64,
+    /// Total static (leakage) power, watts.
+    pub static_: f64,
+}
+
+impl PowerReport {
+    /// Total chip power, watts.
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.static_
+    }
+
+    /// Power of one block, watts.
+    pub fn block(&self, name: &str) -> Option<f64> {
+        self.per_block.get(name).copied()
+    }
+}
+
+/// Analyse `chip` at `step`, with worst-case full activity on every
+/// block (the paper's steady-state assumption: "each module fully
+/// works").
+///
+/// `junction_temp` enables temperature-dependent leakage relative to the
+/// chip's characterisation temperature; `None` reproduces the paper's
+/// flow (leakage pinned at the threshold-temperature worst case).
+pub fn analyze(chip: &ChipModel, step: VfsStep, junction_temp: Option<f64>) -> PowerReport {
+    let scale = power_scale(step, chip.vfs.max_step());
+    let mut dynamic = chip.max_power_watts * chip.dynamic_fraction * scale.dynamic;
+    let mut static_ = chip.max_power_watts * (1.0 - chip.dynamic_fraction) * scale.static_;
+    if let Some(t) = junction_temp {
+        static_ *= leakage_temperature_factor(t, chip.leakage_ref_temp);
+    }
+    // Avoid -0.0 artifacts at pathological inputs.
+    dynamic = dynamic.max(0.0);
+    static_ = static_.max(0.0);
+
+    let per_block = chip
+        .decomposition
+        .shares()
+        .iter()
+        .map(|s| {
+            (
+                s.block.clone(),
+                dynamic * s.dynamic_fraction + static_ * s.static_fraction,
+            )
+        })
+        .collect();
+
+    PowerReport {
+        step,
+        per_block,
+        dynamic,
+        static_,
+    }
+}
+
+/// The chip's full power/frequency curve, normalised to the maximum
+/// step — the data series of Figure 6.
+pub fn relative_power_curve(chip: &ChipModel) -> Vec<(f64, f64)> {
+    let top = chip.vfs.max_step();
+    let p_max = analyze(chip, top, None).total();
+    chip.vfs
+        .steps()
+        .iter()
+        .map(|&s| (s.freq_ghz, analyze(chip, s, None).total() / p_max))
+        .collect()
+}
+
+/// Per-block area report (m²), straight from the floorplan — McPAT's
+/// area output.
+pub fn area_report(chip: &ChipModel) -> BTreeMap<String, f64> {
+    chip.floorplan
+        .blocks()
+        .iter()
+        .map(|b| (b.name.clone(), b.rect.area()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::{all_chips, high_frequency_cmp, low_power_cmp, rapl_anchors, xeon_e5_2667v4};
+
+    #[test]
+    fn max_step_hits_anchor_power() {
+        for chip in all_chips() {
+            let r = analyze(&chip, chip.vfs.max_step(), None);
+            assert!(
+                (r.total() - chip.max_power_watts).abs() < 1e-9,
+                "{}: {} != {}",
+                chip.name,
+                r.total(),
+                chip.max_power_watts
+            );
+        }
+    }
+
+    #[test]
+    fn per_block_sums_to_total() {
+        let chip = high_frequency_cmp();
+        for &s in chip.vfs.steps() {
+            let r = analyze(&chip, s, None);
+            let sum: f64 = r.per_block.values().sum();
+            assert!((sum - r.total()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency() {
+        for chip in all_chips() {
+            let mut last = 0.0;
+            for &s in chip.vfs.steps() {
+                let p = analyze(&chip, s, None).total();
+                assert!(p > last, "{}: power not monotone", chip.name);
+                last = p;
+            }
+        }
+    }
+
+    #[test]
+    fn core_block_denser_than_l2_block() {
+        let chip = low_power_cmp();
+        let r = analyze(&chip, chip.vfs.max_step(), None);
+        // Equal tile areas, so block power ratio == density ratio.
+        assert!(r.block("CORE1").unwrap() > 2.0 * r.block("L2_1").unwrap());
+    }
+
+    #[test]
+    fn leakage_feedback_increases_power_when_hot() {
+        let chip = high_frequency_cmp();
+        let s = chip.vfs.max_step();
+        let cold = analyze(&chip, s, Some(40.0)).total();
+        let pinned = analyze(&chip, s, None).total();
+        let hot = analyze(&chip, s, Some(100.0)).total();
+        assert!(cold < pinned, "cold {cold} !< pinned {pinned}");
+        assert!(hot > pinned, "hot {hot} !> pinned {pinned}");
+    }
+
+    #[test]
+    fn relative_curve_is_normalised_and_convex() {
+        let chip = high_frequency_cmp();
+        let curve = relative_power_curve(&chip);
+        assert_eq!(curve.len(), 13);
+        let (_, last) = curve[curve.len() - 1];
+        assert!((last - 1.0).abs() < 1e-12);
+        // Convexity: second differences non-negative.
+        for w in curve.windows(3) {
+            let d1 = w[1].1 - w[0].1;
+            let d2 = w[2].1 - w[1].1;
+            assert!(d2 >= d1 - 1e-9, "curve not convex at {:?}", w[1]);
+        }
+    }
+
+    #[test]
+    fn model_tracks_rapl_anchors() {
+        // The paper verified its VFS model against RAPL measurements
+        // (Figure 6); our model must track the (synthetic) anchor points
+        // to within 10 % of max power.
+        let chip = xeon_e5_2667v4();
+        let curve = relative_power_curve(&chip);
+        for (f, measured) in rapl_anchors("e5").unwrap() {
+            let modeled = curve
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - f).abs().partial_cmp(&(b.0 - f).abs()).unwrap()
+                })
+                .unwrap()
+                .1;
+            assert!(
+                (modeled - measured).abs() < 0.10,
+                "f = {f}: model {modeled} vs anchor {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn area_report_covers_die() {
+        let chip = low_power_cmp();
+        let areas = area_report(&chip);
+        let total: f64 = areas.values().sum();
+        assert!((total - 169e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Technology scaling: the paper's §1 motivation, made runnable.
+//!
+//! The introduction anchors the urgency of better cooling on the IRDS
+//! roadmap: "425 Watts in a conventional CMP in 2033". This module
+//! projects the baseline chip models along that trajectory — same die,
+//! rising power (density scaling outpaces voltage scaling) — so the
+//! experiment harness can ask *when* each cooling option stops being
+//! able to hold a 3-D stack.
+
+use crate::chips::ChipModel;
+use serde::{Deserialize, Serialize};
+
+/// One point on the power-density roadmap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Label ("2019", "2033", ...).
+    pub name: &'static str,
+    /// Calendar year of the node.
+    pub year: u32,
+    /// Chip max-power multiplier relative to the paper's 2019 baseline.
+    pub power_factor: f64,
+}
+
+/// The IRDS-anchored trajectory: geometric interpolation from the
+/// paper's 2019 baseline (56.8 W high-frequency CMP) to the cited
+/// 425 W conventional CMP of 2033 — a 7.48× rise over 14 years,
+/// ≈ 15.5 %/year.
+pub fn irds_trajectory() -> Vec<TechNode> {
+    const TARGET: f64 = 425.0 / 56.8;
+    let factor = |year: u32| TARGET.powf((year - 2019) as f64 / 14.0);
+    vec![
+        TechNode { name: "2019", year: 2019, power_factor: 1.0 },
+        TechNode { name: "2022", year: 2022, power_factor: factor(2022) },
+        TechNode { name: "2025", year: 2025, power_factor: factor(2025) },
+        TechNode { name: "2028", year: 2028, power_factor: factor(2028) },
+        TechNode { name: "2031", year: 2031, power_factor: factor(2031) },
+        TechNode { name: "2033", year: 2033, power_factor: TARGET },
+    ]
+}
+
+/// Project a chip model onto a node: identical die and floorplan
+/// (power *density* is what rises), scaled maximum power.
+pub fn project(chip: &ChipModel, node: &TechNode) -> ChipModel {
+    let mut c = chip.clone();
+    c.max_power_watts *= node.power_factor;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::high_frequency_cmp;
+    use crate::mcpat::analyze;
+
+    #[test]
+    fn trajectory_hits_the_irds_anchor() {
+        let nodes = irds_trajectory();
+        assert_eq!(nodes.first().unwrap().power_factor, 1.0);
+        let chip = project(&high_frequency_cmp(), nodes.last().unwrap());
+        assert!(
+            (chip.max_power_watts - 425.0).abs() < 0.5,
+            "2033 chip at {} W",
+            chip.max_power_watts
+        );
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let nodes = irds_trajectory();
+        for w in nodes.windows(2) {
+            assert!(w[1].year > w[0].year);
+            assert!(w[1].power_factor > w[0].power_factor);
+        }
+    }
+
+    #[test]
+    fn projection_scales_every_block() {
+        let base = high_frequency_cmp();
+        let node = TechNode { name: "x", year: 2025, power_factor: 2.0 };
+        let scaled = project(&base, &node);
+        let rb = analyze(&base, base.vfs.max_step(), None);
+        let rs = analyze(&scaled, scaled.vfs.max_step(), None);
+        for (block, &w) in &rb.per_block {
+            let ws = rs.per_block[block];
+            assert!((ws / w - 2.0).abs() < 1e-9, "{block}: {w} -> {ws}");
+        }
+        // Geometry untouched: density is what doubled.
+        assert_eq!(base.floorplan.area(), scaled.floorplan.area());
+    }
+}

@@ -1,0 +1,350 @@
+//! Die floorplans: named rectangular blocks on a die outline.
+//!
+//! This mirrors HotSpot's `.flp` files. A floorplan carries geometry
+//! only; power is assigned separately (a `BTreeMap<block, watts>`-shaped
+//! [`grid::PowerAssignment`](crate::grid::PowerAssignment)), exactly like
+//! HotSpot's separation between `.flp` and `.ptrace`.
+
+use crate::{Result, ThermalError};
+use serde::{Deserialize, Serialize};
+
+const GEOM_EPS: f64 = 1e-12;
+
+/// An axis-aligned rectangle, in meters, with origin at the die's
+/// lower-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (m).
+    pub x: f64,
+    /// Bottom edge (m).
+    pub y: f64,
+    /// Width (m).
+    pub w: f64,
+    /// Height (m).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Construct a rectangle from its lower-left corner and size.
+    pub const fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Area in m².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Area of the intersection with `other`, in m² (zero if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let ox = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let oy = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if ox <= 0.0 || oy <= 0.0 {
+            0.0
+        } else {
+            ox * oy
+        }
+    }
+
+    /// This rectangle rotated 180° about the center of a `(die_w, die_h)`
+    /// outline.
+    pub fn rotate_180(&self, die_w: f64, die_h: f64) -> Rect {
+        Rect {
+            x: die_w - self.x - self.w,
+            y: die_h - self.y - self.h,
+            w: self.w,
+            h: self.h,
+        }
+    }
+
+    /// True if this rectangle lies within the `(die_w, die_h)` outline
+    /// (up to floating-point slack).
+    pub fn within(&self, die_w: f64, die_h: f64) -> bool {
+        self.x >= -GEOM_EPS
+            && self.y >= -GEOM_EPS
+            && self.x + self.w <= die_w + 1e-9
+            && self.y + self.h <= die_h + 1e-9
+    }
+}
+
+/// A named block of a floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name, e.g. `"CORE1"` or `"L2_3"`.
+    pub name: String,
+    /// Block outline.
+    pub rect: Rect,
+}
+
+/// A die floorplan: an outline plus named blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width: f64,
+    height: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// An empty floorplan with the given die outline (meters).
+    ///
+    /// # Panics
+    /// Panics if either dimension is not strictly positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "die outline must have positive area"
+        );
+        Floorplan {
+            width,
+            height,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Die width in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Die area in m².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The blocks, in insertion order.
+    #[inline]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the floorplan has no blocks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Add a block. Rejects zero-area rects, rects outside the die
+    /// outline, and duplicate names.
+    pub fn add_block(&mut self, name: &str, rect: Rect) -> Result<()> {
+        if rect.w <= 0.0 || rect.h <= 0.0 {
+            return Err(ThermalError::BadBlock(format!("{name}: zero area")));
+        }
+        if !rect.within(self.width, self.height) {
+            return Err(ThermalError::BadBlock(format!(
+                "{name}: outside the {}x{} m die outline",
+                self.width, self.height
+            )));
+        }
+        if self.blocks.iter().any(|b| b.name == name) {
+            return Err(ThermalError::BadBlock(format!("{name}: duplicate name")));
+        }
+        self.blocks.push(Block {
+            name: name.to_string(),
+            rect,
+        });
+        Ok(())
+    }
+
+    /// Look up a block by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Index of a block by name.
+    pub fn block_index(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Sum of the block areas, in m². For a complete floorplan this
+    /// equals [`Floorplan::area`].
+    pub fn covered_area(&self) -> f64 {
+        self.blocks.iter().map(|b| b.rect.area()).sum()
+    }
+
+    /// The floorplan rotated 180° in place on the same outline — the
+    /// "flip" transform of the paper's §4.2 (rectangular dies cannot be
+    /// stacked after a 90° rotation, so 180° is the rotation studied).
+    pub fn rotate_180(&self) -> Floorplan {
+        Floorplan {
+            width: self.width,
+            height: self.height,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| Block {
+                    name: b.name.clone(),
+                    rect: b.rect.rotate_180(self.width, self.height),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rasterise one block onto an `nx × ny` grid covering the die
+    /// outline: returns `(cell_index, fraction_of_block_area_in_cell)`
+    /// pairs. The fractions over all cells sum to 1, so distributing a
+    /// block's power by these weights conserves it exactly.
+    pub fn rasterize_block(&self, block_idx: usize, nx: usize, ny: usize) -> Vec<(usize, f64)> {
+        let b = &self.blocks[block_idx];
+        let dx = self.width / nx as f64;
+        let dy = self.height / ny as f64;
+        let total = b.rect.area();
+        let ix0 = ((b.rect.x / dx).floor() as isize).max(0) as usize;
+        let ix1 = (((b.rect.x + b.rect.w) / dx).ceil() as usize).min(nx);
+        let iy0 = ((b.rect.y / dy).floor() as isize).max(0) as usize;
+        let iy1 = (((b.rect.y + b.rect.h) / dy).ceil() as usize).min(ny);
+        let mut out = Vec::new();
+        for iy in iy0..iy1 {
+            for ix in ix0..ix1 {
+                let cell = Rect::new(ix as f64 * dx, iy as f64 * dy, dx, dy);
+                let a = b.rect.overlap_area(&cell);
+                if a > GEOM_EPS * total.max(1e-30) {
+                    out.push((iy * nx + ix, a / total));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build the paper's 16-tile baseline floorplan: a 13 × 13 mm die
+/// (169 mm², Table 1) as a 4×4 tile grid, with the four cores on the
+/// bottom row and twelve L2 banks above (Figure 5).
+///
+/// Block names are `CORE1..CORE4` and `L2_1..L2_12`. Each tile also
+/// contains its mesh router; router power is folded into the tile block
+/// (McPAT reports NoC power per tile).
+pub fn baseline_16_tile() -> Floorplan {
+    let die = 0.013; // 13 mm; 169 mm^2
+    let tile = die / 4.0;
+    let mut fp = Floorplan::new(die, die);
+    // Bottom row: cores (high power density).
+    for c in 0..4 {
+        fp.add_block(
+            &format!("CORE{}", c + 1),
+            Rect::new(c as f64 * tile, 0.0, tile, tile),
+        )
+        .expect("baseline floorplan is valid");
+    }
+    // Remaining 12 tiles: L2 banks, row-major from the second row.
+    let mut bank = 1;
+    for row in 1..4 {
+        for col in 0..4 {
+            fp.add_block(
+                &format!("L2_{bank}"),
+                Rect::new(col as f64 * tile, row as f64 * tile, tile, tile),
+            )
+            .expect("baseline floorplan is valid");
+            bank += 1;
+        }
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_area_and_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.area(), 4.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+    }
+
+    #[test]
+    fn rect_rotation_is_involution() {
+        let r = Rect::new(0.001, 0.002, 0.003, 0.004);
+        let rr = r.rotate_180(0.013, 0.013).rotate_180(0.013, 0.013);
+        assert!((r.x - rr.x).abs() < 1e-15);
+        assert!((r.y - rr.y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_block_validation() {
+        let mut fp = Floorplan::new(0.01, 0.01);
+        assert!(fp.add_block("A", Rect::new(0.0, 0.0, 0.005, 0.005)).is_ok());
+        // duplicate name
+        assert!(fp.add_block("A", Rect::new(0.005, 0.0, 0.005, 0.005)).is_err());
+        // zero area
+        assert!(fp.add_block("B", Rect::new(0.0, 0.0, 0.0, 0.005)).is_err());
+        // out of bounds
+        assert!(fp
+            .add_block("C", Rect::new(0.008, 0.0, 0.005, 0.005))
+            .is_err());
+    }
+
+    #[test]
+    fn baseline_floorplan_tiles() {
+        let fp = baseline_16_tile();
+        assert_eq!(fp.len(), 16);
+        assert!((fp.area() - 169e-6).abs() < 1e-9);
+        // Complete tiling: covered area equals die area.
+        assert!((fp.covered_area() - fp.area()).abs() < 1e-12);
+        // Cores on the bottom row.
+        let c1 = fp.block("CORE1").unwrap();
+        assert_eq!(c1.rect.y, 0.0);
+        let l12 = fp.block("L2_12").unwrap();
+        assert!(l12.rect.y > 0.009);
+    }
+
+    #[test]
+    fn flip_moves_cores_to_top_row() {
+        let fp = baseline_16_tile();
+        let flipped = fp.rotate_180();
+        let c1 = flipped.block("CORE1").unwrap();
+        // Bottom row tile (y=0) maps to the top row.
+        assert!((c1.rect.y - 3.0 * 0.013 / 4.0).abs() < 1e-12);
+        // And flipping twice returns the original.
+        let back = flipped.rotate_180();
+        for (a, b) in fp.blocks().iter().zip(back.blocks()) {
+            assert!((a.rect.x - b.rect.x).abs() < 1e-15);
+            assert!((a.rect.y - b.rect.y).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rasterize_conserves_weight() {
+        let fp = baseline_16_tile();
+        for (i, _) in fp.blocks().iter().enumerate() {
+            for &(nx, ny) in &[(4usize, 4usize), (7, 5), (32, 32)] {
+                let w: f64 = fp.rasterize_block(i, nx, ny).iter().map(|(_, f)| f).sum();
+                assert!((w - 1.0).abs() < 1e-9, "block {i} grid {nx}x{ny}: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn rasterize_aligned_block_hits_exact_cells() {
+        let mut fp = Floorplan::new(1.0, 1.0);
+        fp.add_block("Q", Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap();
+        // On a 2x2 grid the block covers exactly cell 0.
+        let cells = fp.rasterize_block(0, 2, 2);
+        assert_eq!(cells, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let fp = baseline_16_tile();
+        assert!(fp.block("CORE3").is_some());
+        assert!(fp.block("NOPE").is_none());
+        assert_eq!(fp.block_index("CORE1"), Some(0));
+    }
+}

@@ -1,0 +1,234 @@
+//! HotSpot file-format interoperability.
+//!
+//! The paper's released artifact is a HotSpot 6.0 extension, and the
+//! wider thermal-modelling ecosystem speaks HotSpot's plain-text
+//! formats. This module reads and writes the two that matter:
+//!
+//! * **`.flp` floorplans** — one block per line:
+//!   `<name> <width> <height> <left-x> <bottom-y>` (metres), `#`
+//!   comments and blank lines ignored;
+//! * **`.ptrace` power traces** — a header line of block names followed
+//!   by one row of per-block watts per interval.
+//!
+//! Round-tripping through these formats lets our floorplans be checked
+//! against the real HotSpot, and lets HotSpot users bring their
+//! floorplans here.
+
+use crate::floorplan::{Floorplan, Rect};
+use crate::{Result, ThermalError};
+
+/// Serialise a floorplan as HotSpot `.flp` text.
+pub fn to_flp(fp: &Floorplan) -> String {
+    let mut out = String::new();
+    out.push_str("# Floorplan exported by immersion-thermal\n");
+    out.push_str(&format!(
+        "# die outline: {:.6e} x {:.6e} m\n",
+        fp.width(),
+        fp.height()
+    ));
+    out.push_str("# <unit-name>\t<width>\t<height>\t<left-x>\t<bottom-y>\n");
+    for b in fp.blocks() {
+        out.push_str(&format!(
+            "{}\t{:.6e}\t{:.6e}\t{:.6e}\t{:.6e}\n",
+            b.name, b.rect.w, b.rect.h, b.rect.x, b.rect.y
+        ));
+    }
+    out
+}
+
+/// Parse a HotSpot `.flp` file. The die outline is the bounding box of
+/// the blocks.
+pub fn from_flp(text: &str) -> Result<Floorplan> {
+    let mut blocks: Vec<(String, Rect)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(ThermalError::BadParameter(format!(
+                "flp line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        let num = |s: &str| -> Result<f64> {
+            s.parse::<f64>().map_err(|_| {
+                ThermalError::BadParameter(format!("flp line {}: bad number '{s}'", lineno + 1))
+            })
+        };
+        let (w, h, x, y) = (num(fields[1])?, num(fields[2])?, num(fields[3])?, num(fields[4])?);
+        blocks.push((fields[0].to_string(), Rect::new(x, y, w, h)));
+    }
+    if blocks.is_empty() {
+        return Err(ThermalError::BadParameter("flp: no blocks".into()));
+    }
+    let die_w = blocks
+        .iter()
+        .map(|(_, r)| r.x + r.w)
+        .fold(0.0f64, f64::max);
+    let die_h = blocks
+        .iter()
+        .map(|(_, r)| r.y + r.h)
+        .fold(0.0f64, f64::max);
+    let mut fp = Floorplan::new(die_w, die_h);
+    for (name, rect) in blocks {
+        fp.add_block(&name, rect)?;
+    }
+    Ok(fp)
+}
+
+/// Serialise per-block powers (one interval) as HotSpot `.ptrace` text.
+/// Block order follows the floorplan.
+pub fn to_ptrace(fp: &Floorplan, watts: &[(String, f64)]) -> Result<String> {
+    let mut header = Vec::with_capacity(fp.len());
+    let mut row = Vec::with_capacity(fp.len());
+    for b in fp.blocks() {
+        let w = watts
+            .iter()
+            .find(|(n, _)| n == &b.name)
+            .map(|&(_, w)| w)
+            .ok_or_else(|| ThermalError::UnknownBlock(format!("ptrace: no power for {}", b.name)))?;
+        header.push(b.name.clone());
+        row.push(format!("{w:.6}"));
+    }
+    Ok(format!("{}\n{}\n", header.join("\t"), row.join("\t")))
+}
+
+/// Parse a HotSpot `.ptrace` file: returns the per-interval rows of
+/// `(block, watts)` pairs.
+pub fn from_ptrace(text: &str) -> Result<Vec<Vec<(String, f64)>>> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header: Vec<String> = lines
+        .next()
+        .ok_or_else(|| ThermalError::BadParameter("ptrace: empty file".into()))?
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let vals: Vec<&str> = line.split_whitespace().collect();
+        if vals.len() != header.len() {
+            return Err(ThermalError::BadParameter(format!(
+                "ptrace row {}: {} values for {} blocks",
+                i + 1,
+                vals.len(),
+                header.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(header.len());
+        for (name, v) in header.iter().zip(vals) {
+            let w: f64 = v.parse().map_err(|_| {
+                ThermalError::BadParameter(format!("ptrace row {}: bad number '{v}'", i + 1))
+            })?;
+            row.push((name.clone(), w));
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(ThermalError::BadParameter("ptrace: no data rows".into()));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::baseline_16_tile;
+
+    #[test]
+    fn flp_roundtrip_preserves_geometry() {
+        let fp = baseline_16_tile();
+        let text = to_flp(&fp);
+        let back = from_flp(&text).unwrap();
+        assert_eq!(back.len(), fp.len());
+        assert!((back.width() - fp.width()).abs() < 1e-12);
+        for (a, b) in fp.blocks().iter().zip(back.blocks()) {
+            assert_eq!(a.name, b.name);
+            assert!((a.rect.x - b.rect.x).abs() < 1e-12);
+            assert!((a.rect.w - b.rect.w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flp_parses_hotspot_style_input() {
+        // A fragment in the upstream format (HotSpot's ev6.flp style).
+        let text = "\
+# comment line
+L2_left\t0.004900\t0.006200\t0.000000\t0.009800
+L2\t0.016000\t0.009800\t0.000000\t0.000000
+Icache\t0.003100\t0.002600\t0.004900\t0.009800
+";
+        let fp = from_flp(text).unwrap();
+        assert_eq!(fp.len(), 3);
+        assert!(fp.block("Icache").is_some());
+        assert!((fp.width() - 0.016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flp_rejects_garbage() {
+        assert!(from_flp("").is_err());
+        assert!(from_flp("onlyname 1.0 2.0").is_err());
+        assert!(from_flp("x a b c d").is_err());
+    }
+
+    #[test]
+    fn ptrace_roundtrip() {
+        let fp = baseline_16_tile();
+        let watts: Vec<(String, f64)> = fp
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.name.clone(), i as f64 * 0.5 + 1.0))
+            .collect();
+        let text = to_ptrace(&fp, &watts).unwrap();
+        let rows = from_ptrace(&text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), 16);
+        assert_eq!(rows[0][0].0, "CORE1");
+        assert!((rows[0][3].1 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ptrace_multi_interval() {
+        let text = "A\tB\n1.0\t2.0\n3.0\t4.0\n";
+        let rows = from_ptrace(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], ("B".to_string(), 4.0));
+    }
+
+    #[test]
+    fn ptrace_rejects_ragged_rows() {
+        assert!(from_ptrace("A\tB\n1.0\n").is_err());
+        assert!(from_ptrace("A\n").is_err());
+        assert!(from_ptrace("").is_err());
+    }
+
+    #[test]
+    fn ptrace_requires_all_blocks() {
+        let fp = baseline_16_tile();
+        let partial = vec![("CORE1".to_string(), 5.0)];
+        assert!(to_ptrace(&fp, &partial).is_err());
+    }
+
+    #[test]
+    fn exported_flp_feeds_the_stack_builder() {
+        // A floorplan that went through the HotSpot format still builds
+        // a working thermal model.
+        use crate::stack3d::{CoolingParams, StackBuilder};
+        let fp = from_flp(&to_flp(&baseline_16_tile())).unwrap();
+        let model = StackBuilder::new(fp)
+            .chips(2)
+            .grid(8, 8)
+            .cooling(CoolingParams::water_immersion())
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        p.fill_with(|_, _| 1.0);
+        assert!(model.solve_steady(&p).unwrap().max_temp() > 25.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Material property library.
+//!
+//! Thermal conductivities and volumetric heat capacities for every
+//! material the paper's HotSpot configuration (Table 2) references, plus
+//! the board-level materials needed to model full immersion of the
+//! motherboard.
+//!
+//! Values are bulk properties at ~300 K; conductivities in W/(m·K),
+//! volumetric heat capacities in J/(m³·K).
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly transversely isotropic) material.
+///
+/// Laminated structures — PCBs with copper planes, organic package
+/// substrates — conduct heat far better in-plane than through-plane.
+/// `conductivity` is the through-plane (vertical) value used for
+/// inter-layer coupling and convective half-paths; `lateral_conductivity`
+/// is the in-plane value used for conduction within a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Human-readable name (used in reports).
+    pub name: &'static str,
+    /// Through-plane thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// In-plane thermal conductivity, W/(m·K).
+    pub lateral_conductivity: f64,
+    /// Volumetric heat capacity, J/(m³·K). Only used by the transient
+    /// solver; steady-state solves ignore it.
+    pub volumetric_heat_capacity: f64,
+}
+
+impl Material {
+    /// An isotropic material.
+    pub const fn new(name: &'static str, conductivity: f64, vhc: f64) -> Self {
+        Material {
+            name,
+            conductivity,
+            lateral_conductivity: conductivity,
+            volumetric_heat_capacity: vhc,
+        }
+    }
+
+    /// A transversely isotropic material (laminate).
+    pub const fn anisotropic(
+        name: &'static str,
+        through_plane: f64,
+        in_plane: f64,
+        vhc: f64,
+    ) -> Self {
+        Material {
+            name,
+            conductivity: through_plane,
+            lateral_conductivity: in_plane,
+            volumetric_heat_capacity: vhc,
+        }
+    }
+}
+
+/// Bulk silicon (HotSpot's default die conductivity).
+pub const SILICON: Material = Material::new("silicon", 100.0, 1.75e6);
+
+/// Copper: heat spreader and heatsink base (Table 2 gives 400 W/mK).
+pub const COPPER: Material = Material::new("copper", 400.0, 3.55e6);
+
+/// Thermal interface material between die and spreader / spreader and
+/// sink.
+///
+/// HotSpot v6.0's default interface conductivity (4 W/mK). The paper's
+/// Table 2 prints 0.25 W/mK for "TIM / Glue", but at 0.25 the
+/// die–spreader interface alone would contribute ≈0.47 K/W on the
+/// 169 mm² die — over 100 K at the paper's 4-chip high-frequency power,
+/// contradicting every figure in the evaluation. We therefore read
+/// Table 2's 0.25 as the inter-die *glue* ([`GLUE`]) and keep HotSpot's
+/// default for the TIM proper. See DESIGN.md §2.
+pub const TIM: Material = Material::new("TIM", 4.0, 4.0e6);
+
+/// Inter-die bond glue (Table 2: 0.25 W/mK).
+pub const GLUE: Material = Material::new("glue", 0.25, 4.0e6);
+
+/// Parylene (diX C Plus) conformal film (Table 2: 0.14 W/mK).
+pub const PARYLENE: Material = Material::new("parylene", 0.14, 1.1e6);
+
+/// Organic package substrate (build-up laminate with copper planes):
+/// ~10 W/mK through-plane (via fields), ~30 W/mK in-plane (planes).
+pub const PACKAGE_SUBSTRATE: Material =
+    Material::anisotropic("package-substrate", 10.0, 30.0, 2.0e6);
+
+/// FR-4 printed circuit board: ~2 W/mK through-plane (thermal vias under
+/// the package), ~30 W/mK in-plane (power/ground copper planes).
+pub const PCB: Material = Material::anisotropic("PCB", 2.0, 30.0, 2.2e6);
+
+/// Still air (used only when an air gap is explicitly modelled).
+pub const AIR: Material = Material::new("air", 0.026, 1.2e3);
+
+/// The inter-die bond of a 3-D stack: die-attach glue with a vertical
+/// metal (TSV / ThruChip-interface keep-out fill) fraction.
+///
+/// The paper's Table 2 lists a bare 20 µm, 0.25 W/mK glue, but its own
+/// frequency-vs-chip-count results (15-chip stacks under water) are only
+/// reachable when the bond includes vertical metal: a pure 0.25 W/mK
+/// series stack would accumulate a bottom-die gradient an order of
+/// magnitude over the 55 K budget. `bond_material` mixes glue and copper
+/// by area fraction (parallel thermal paths), which is how HotSpot users
+/// model TSV fields in practice. See DESIGN.md §2 for the calibration.
+pub fn bond_material(metal_fraction: f64) -> Material {
+    let f = metal_fraction.clamp(0.0, 1.0);
+    // Parallel combination of glue and copper paths.
+    let k = GLUE.conductivity * (1.0 - f) + COPPER.conductivity * f;
+    let c = GLUE.volumetric_heat_capacity * (1.0 - f) + COPPER.volumetric_heat_capacity * f;
+    Material {
+        name: "bond(glue+TSV)",
+        conductivity: k,
+        lateral_conductivity: k,
+        volumetric_heat_capacity: c,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        assert_eq!(COPPER.conductivity, 400.0);
+        assert_eq!(GLUE.conductivity, 0.25);
+        assert_eq!(PARYLENE.conductivity, 0.14);
+    }
+
+    #[test]
+    fn bond_material_mixes_linearly() {
+        let pure_glue = bond_material(0.0);
+        assert!((pure_glue.conductivity - GLUE.conductivity).abs() < 1e-12);
+        let pure_metal = bond_material(1.0);
+        assert!((pure_metal.conductivity - COPPER.conductivity).abs() < 1e-12);
+        let half = bond_material(0.5);
+        assert!(half.conductivity > pure_glue.conductivity);
+        assert!(half.conductivity < pure_metal.conductivity);
+    }
+
+    #[test]
+    fn bond_material_clamps_fraction() {
+        assert_eq!(bond_material(-1.0).conductivity, bond_material(0.0).conductivity);
+        assert_eq!(bond_material(2.0).conductivity, bond_material(1.0).conductivity);
+    }
+
+    #[test]
+    fn conductivity_ordering_is_physical() {
+        assert!(COPPER.conductivity > SILICON.conductivity);
+        assert!(SILICON.conductivity > PACKAGE_SUBSTRATE.conductivity);
+        assert!(PACKAGE_SUBSTRATE.conductivity > TIM.conductivity);
+        assert!(TIM.conductivity > PCB.conductivity);
+        assert!(PCB.conductivity > GLUE.conductivity);
+        assert!(GLUE.conductivity > PARYLENE.conductivity);
+        assert!(PARYLENE.conductivity > AIR.conductivity);
+    }
+}

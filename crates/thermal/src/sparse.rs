@@ -1,0 +1,394 @@
+//! Minimal sparse linear algebra: CSR matrices and a Jacobi-preconditioned
+//! conjugate-gradient solver.
+//!
+//! The steady-state heat equation discretised by finite volumes yields a
+//! symmetric positive-definite conductance matrix `G` (diagonal = sum of
+//! incident conductances + convective conductance; off-diagonals =
+//! −conductance between neighbouring cells). CG with a Jacobi
+//! preconditioner is the textbook solver for such M-matrices and needs
+//! only matrix-vector products, which we parallelise with rayon per the
+//! hpc-parallel guides.
+
+use crate::{Result, ThermalError};
+use rayon::prelude::*;
+
+/// A triplet-form builder for assembling a sparse matrix.
+#[derive(Debug, Default, Clone)]
+pub struct TripletMatrix {
+    n: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletMatrix {
+    /// An empty `n × n` builder.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "matrix too large for u32 indices");
+        TripletMatrix {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulate `v` into entry `(i, j)`. Duplicates are summed on
+    /// conversion to CSR.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n, "index out of range");
+        if v != 0.0 {
+            self.entries.push((i as u32, j as u32, v));
+        }
+    }
+
+    /// Add a symmetric conductance `g` between nodes `i` and `j`:
+    /// `+g` on both diagonals, `−g` on both off-diagonals.
+    #[inline]
+    pub fn add_conductance(&mut self, i: usize, j: usize, g: f64) {
+        debug_assert!(i != j, "self-conductance is meaningless");
+        self.add(i, i, g);
+        self.add(j, j, g);
+        self.add(i, j, -g);
+        self.add(j, i, -g);
+    }
+
+    /// Add a grounded conductance at node `i` (e.g. a convective tie to
+    /// the ambient node, which is eliminated onto the right-hand side).
+    #[inline]
+    pub fn add_grounded(&mut self, i: usize, g: f64) {
+        self.add(i, i, g);
+    }
+
+    /// Finish assembly: sort, merge duplicates, and build CSR.
+    pub fn to_csr(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(i, j, _)| ((i as u64) << 32) | j as u64);
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(i, j, v) in &self.entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == i && last.1 == j => last.2 += v,
+                _ => merged.push((i, j, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; self.n + 1];
+        for &(i, _, _) in &merged {
+            row_ptr[i as usize + 1] += 1;
+        }
+        for r in 0..self.n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            n: self.n,
+            row_ptr,
+            col_idx: merged.iter().map(|e| e.1).collect(),
+            values: merged.iter().map(|e| e.2).collect(),
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read entry `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        match self.col_idx[lo..hi].binary_search(&(j as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate over the stored `(column, value)` pairs of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&j, &v)| (j as usize, v))
+    }
+
+    /// The diagonal of the matrix.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// `y = A·x`, parallelised over rows.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yi = acc;
+        });
+    }
+
+    /// Check structural symmetry with value agreement to `tol`
+    /// (diagnostic; O(nnz·log) — use in tests, not hot paths).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k] as usize;
+                if (self.values[k] - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Options for the CG solve.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual tolerance ‖r‖/‖b‖.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tolerance: 1e-9,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Solve `A·x = b` for SPD `A` by Jacobi-preconditioned conjugate
+/// gradients, starting from `x0` (pass zeros when no better guess
+/// exists — the steady solver passes the previous operating point when
+/// sweeping frequencies).
+pub fn solve_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], opts: CgOptions) -> Result<(Vec<f64>, usize)> {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    let inv_diag: Vec<f64> = a
+        .diagonal()
+        .iter()
+        .map(|&d| {
+            if d.abs() < 1e-300 {
+                1.0
+            } else {
+                1.0 / d
+            }
+        })
+        .collect();
+
+    let bnorm = l2(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], 0));
+    }
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    a.mul_vec(&x, &mut r);
+    r.par_iter_mut().zip(b.par_iter()).for_each(|(ri, &bi)| *ri = bi - *ri);
+
+    let mut z: Vec<f64> = r
+        .par_iter()
+        .zip(inv_diag.par_iter())
+        .map(|(&ri, &di)| ri * di)
+        .collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 0..opts.max_iterations {
+        let rnorm = l2(&r);
+        if rnorm <= opts.tolerance * bnorm {
+            return Ok((x, it));
+        }
+        a.mul_vec(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not SPD (or breakdown): fail loudly rather than return junk.
+            return Err(ThermalError::SolverDiverged {
+                iterations: it,
+                residual: rnorm / bnorm,
+            });
+        }
+        let alpha = rz / pap;
+        x.par_iter_mut().zip(p.par_iter()).for_each(|(xi, &pi)| *xi += alpha * pi);
+        r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= alpha * api);
+        z.par_iter_mut()
+            .zip(r.par_iter().zip(inv_diag.par_iter()))
+            .for_each(|(zi, (&ri, &di))| *zi = ri * di);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        p.par_iter_mut().zip(z.par_iter()).for_each(|(pi, &zi)| *pi = zi + beta * *pi);
+    }
+
+    let rnorm = l2(&r) / bnorm;
+    if rnorm <= opts.tolerance * 10.0 {
+        // Close enough for reporting purposes; accept with the cap hit.
+        Ok((x, opts.max_iterations))
+    } else {
+        Err(ThermalError::SolverDiverged {
+            iterations: opts.max_iterations,
+            residual: rnorm,
+        })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+}
+
+fn l2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Dirichlet-anchored 1-D Laplacian: SPD tridiagonal.
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.0);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn csr_assembly_merges_duplicates() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.0);
+        t.add(0, 1, -1.5);
+        t.add(1, 1, 4.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), -1.5);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.get(1, 1), 4.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn csr_handles_empty_rows() {
+        let mut t = TripletMatrix::new(4);
+        t.add(0, 0, 1.0);
+        t.add(3, 3, 1.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.get(2, 2), 0.0);
+        let mut y = vec![0.0; 4];
+        a.mul_vec(&[1.0, 2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn add_conductance_is_symmetric_and_zero_rowsum() {
+        let mut t = TripletMatrix::new(3);
+        t.add_conductance(0, 1, 2.0);
+        t.add_conductance(1, 2, 3.0);
+        let a = t.to_csr();
+        assert!(a.is_symmetric(1e-12));
+        // Row sums are zero for a pure conductance network (no ground).
+        for i in 0..3 {
+            let s: f64 = (0..3).map(|j| a.get(i, j)).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = laplacian_1d(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![0.0; 5];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn cg_solves_identity() {
+        let mut t = TripletMatrix::new(3);
+        for i in 0..3 {
+            t.add(i, i, 1.0);
+        }
+        let a = t.to_csr();
+        let (x, _) = solve_cg(&a, &[1.0, 2.0, 3.0], &[0.0; 3], CgOptions::default()).unwrap();
+        for (xi, bi) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 200;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let (x, iters) = solve_cg(&a, &b, &vec![0.0; n], CgOptions::default()).unwrap();
+        // Verify residual directly.
+        let mut ax = vec![0.0; n];
+        a.mul_vec(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-6, "residual {res}, iters {iters}");
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = laplacian_1d(10);
+        let (x, it) = solve_cg(&a, &[0.0; 10], &[0.0; 10], CgOptions::default()).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert_eq!(it, 0);
+    }
+
+    #[test]
+    fn cg_warm_start_converges_faster() {
+        let n = 500;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let (x, cold_iters) = solve_cg(&a, &b, &vec![0.0; n], CgOptions::default()).unwrap();
+        let (_, warm_iters) = solve_cg(&a, &b, &x, CgOptions::default()).unwrap();
+        assert!(warm_iters <= 2, "warm start should finish immediately");
+        assert!(cold_iters > warm_iters);
+    }
+
+    #[test]
+    fn cg_rejects_indefinite() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, -1.0);
+        let a = t.to_csr();
+        let r = solve_cg(&a, &[0.0, 1.0], &[0.0, 0.0], CgOptions::default());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Steady-state solution: temperature field queries and thermal maps.
+
+use crate::grid::ThermalModel;
+use serde::Serialize;
+
+/// A steady-state (or one transient snapshot) temperature field, °C.
+pub struct Solution<'m> {
+    model: &'m ThermalModel,
+    temps: Vec<f64>,
+    iterations: usize,
+}
+
+impl<'m> Solution<'m> {
+    pub(crate) fn new(model: &'m ThermalModel, temps: Vec<f64>, iterations: usize) -> Self {
+        Solution {
+            model,
+            temps,
+            iterations,
+        }
+    }
+
+    /// The raw per-node temperatures.
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Take ownership of the per-node temperatures (e.g. as the initial
+    /// state of a transient run or the warm start of the next solve).
+    pub fn into_temps(self) -> Vec<f64> {
+        self.temps
+    }
+
+    /// CG iterations the solve took.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Hottest node anywhere in the model.
+    pub fn max_temp(&self) -> f64 {
+        self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Coolest node anywhere in the model.
+    pub fn min_temp(&self) -> f64 {
+        self.temps.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Hottest node within physical layer `li`.
+    pub fn layer_max(&self, li: usize) -> f64 {
+        let off = self.model.layer_offset(li);
+        let n = self.model.layers()[li].nx * self.model.layers()[li].ny;
+        self.temps[off..off + n]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Hottest node across all *die* (power) layers — the quantity the
+    /// paper compares against the temperature threshold.
+    pub fn die_max(&self) -> f64 {
+        (0..self.model.n_power_layers())
+            .filter_map(|pl| self.model.power_layer_physical(pl))
+            .map(|li| self.layer_max(li))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The temperature field of physical layer `li`, row-major
+    /// (`ny` rows × `nx` columns).
+    pub fn layer_map(&self, li: usize) -> Vec<f64> {
+        let l = &self.model.layers()[li];
+        let off = self.model.layer_offset(li);
+        self.temps[off..off + l.nx * l.ny].to_vec()
+    }
+
+    /// The thermal map of power layer (die) `pl`, as a [`ThermalMap`].
+    pub fn die_map(&self, pl: usize) -> Option<ThermalMap> {
+        let li = self.model.power_layer_physical(pl)?;
+        let l = &self.model.layers()[li];
+        Some(ThermalMap {
+            name: l.name.clone(),
+            nx: l.nx,
+            ny: l.ny,
+            temps: self.layer_map(li),
+        })
+    }
+
+    /// Area-weighted maximum temperature of one floorplan block on die
+    /// `pl` (`None` if the block is unknown).
+    pub fn block_max(&self, pl: usize, block: &str) -> Option<f64> {
+        let cells = self.model.block_cells(pl, block)?;
+        cells
+            .iter()
+            .map(|&(n, _)| self.temps[n])
+            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.max(t))))
+    }
+
+    /// Area-weighted mean temperature of one floorplan block on die `pl`.
+    pub fn block_mean(&self, pl: usize, block: &str) -> Option<f64> {
+        let cells = self.model.block_cells(pl, block)?;
+        let (mut num, mut den) = (0.0, 0.0);
+        for &(n, w) in cells {
+            num += self.temps[n] * w;
+            den += w;
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+/// A rectangular per-die temperature map, ready to print or serialise —
+/// the reproduction of the paper's Figures 9, 16 and 18.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalMap {
+    /// Layer name.
+    pub name: String,
+    /// Columns.
+    pub nx: usize,
+    /// Rows.
+    pub ny: usize,
+    /// Row-major temperatures, °C.
+    pub temps: Vec<f64>,
+}
+
+impl ThermalMap {
+    /// Hottest cell.
+    pub fn max(&self) -> f64 {
+        self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Coolest cell.
+    pub fn min(&self) -> f64 {
+        self.temps.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Temperature at `(ix, iy)`.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.temps[iy * self.nx + ix]
+    }
+
+    /// Render as coarse ASCII art (one char per cell, ten shades from
+    /// the map's own min to max), matching the paper's "colour scales
+    /// are not the same" convention.
+    pub fn ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let (lo, hi) = (self.min(), self.max());
+        let span = (hi - lo).max(1e-9);
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        // Print top row (largest y) first so the map reads like the figure.
+        for iy in (0..self.ny).rev() {
+            for ix in 0..self.nx {
+                let t = (self.at(ix, iy) - lo) / span;
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+                out.push(SHADES[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{Floorplan, Rect};
+    use crate::grid::{Convection, LayerSpec, ModelBuilder, Surface};
+    use crate::materials::SILICON;
+
+    fn model() -> ThermalModel {
+        let mut fp = Floorplan::new(0.01, 0.01);
+        fp.add_block("HOT", Rect::new(0.0, 0.0, 0.005, 0.01)).unwrap();
+        fp.add_block("COLD", Rect::new(0.005, 0.0, 0.005, 0.01)).unwrap();
+        let mut mb = ModelBuilder::new();
+        let l = mb.add_layer(LayerSpec::new(
+            "die",
+            SILICON,
+            0.15e-3,
+            Rect::new(0.0, 0.0, 0.01, 0.01),
+            8,
+            8,
+        ));
+        mb.add_convection(Convection::simple(l, Surface::Top, 200.0, 25.0));
+        mb.add_power_floorplan(l, fp);
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn block_queries() {
+        let m = model();
+        let mut p = m.zero_power();
+        p.set(0, "HOT", 20.0).unwrap();
+        p.set(0, "COLD", 1.0).unwrap();
+        let s = m.solve_steady(&p).unwrap();
+        assert!(s.block_mean(0, "HOT").unwrap() > s.block_mean(0, "COLD").unwrap());
+        assert!(s.block_max(0, "HOT").unwrap() >= s.block_mean(0, "HOT").unwrap());
+        assert!(s.block_max(0, "MISSING").is_none());
+        assert!(s.die_max() <= s.max_temp() + 1e-12);
+    }
+
+    #[test]
+    fn thermal_map_geometry() {
+        let m = model();
+        let mut p = m.zero_power();
+        p.set(0, "HOT", 20.0).unwrap();
+        let s = m.solve_steady(&p).unwrap();
+        let map = s.die_map(0).unwrap();
+        assert_eq!(map.nx, 8);
+        assert_eq!(map.ny, 8);
+        assert_eq!(map.temps.len(), 64);
+        // Hot block is the left half: left column hotter than right column.
+        assert!(map.at(0, 4) > map.at(7, 4));
+        let art = map.ascii();
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.lines().all(|l| l.chars().count() == 8));
+    }
+
+    #[test]
+    fn map_min_max_bound_cells() {
+        let m = model();
+        let mut p = m.zero_power();
+        p.set(0, "HOT", 5.0).unwrap();
+        let s = m.solve_steady(&p).unwrap();
+        let map = s.die_map(0).unwrap();
+        for &t in &map.temps {
+            assert!(t >= map.min() && t <= map.max());
+        }
+    }
+}

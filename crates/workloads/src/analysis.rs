@@ -1,0 +1,165 @@
+//! Analytical working-set analysis of the workload descriptors.
+//!
+//! A closed-form prediction of each benchmark's steady-state L1
+//! behaviour, derived purely from the descriptor. Its purpose is
+//! *cross-validation*: the CMP simulator measures miss rates by
+//! simulating tens of thousands of accesses; this model predicts them
+//! from first principles. When the two agree, we know the trace
+//! generator emits what the descriptor promises and the simulator's
+//! caches consume it faithfully (see `tests/properties.rs` and the
+//! integration suite).
+
+use crate::descriptor::WorkloadDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// Predicted steady-state cache behaviour for one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachePrediction {
+    /// Predicted L1 miss rate over memory instructions (steady state,
+    /// cold misses amortised over `ops` instructions).
+    pub l1_miss_rate: f64,
+    /// The steady-state component (excludes cold misses).
+    pub steady_miss_rate: f64,
+    /// The cold-miss component.
+    pub cold_miss_rate: f64,
+}
+
+/// Predict the L1 miss rate of `desc` on a cache of `l1_kib` KiB with
+/// `line_bytes` lines, for a thread executing `ops` instructions.
+///
+/// The model decomposes accesses into four classes:
+/// * **streaming private** — a new line every `line/stride` accesses;
+///   hits thereafter if the private working set fits the cache, misses
+///   on every new line otherwise (cyclic reuse distance > capacity);
+/// * **random private** — miss probability `max(0, 1 − C/W)` for
+///   working set `W` over effective capacity `C`;
+/// * **shared accesses** — same geometry over the shared working set,
+///   plus an invalidation term: another thread's store to a cached
+///   shared line forces a re-miss (approximated by the store share of
+///   sharers' traffic);
+/// * **cold misses** — each distinct touched line misses once.
+pub fn predict_l1(
+    desc: &WorkloadDescriptor,
+    l1_kib: u64,
+    line_bytes: u64,
+    threads: usize,
+    ops: u64,
+) -> CachePrediction {
+    let cache = (l1_kib * 1024) as f64;
+    let line = line_bytes as f64;
+    let mem_frac = desc.memory_fraction();
+    let mem_ops = (ops as f64 * mem_frac).max(1.0);
+
+    let private_ws = (desc.private_ws_kib * 1024) as f64;
+    let shared_ws = (desc.shared_ws_kib * 1024) as f64;
+
+    // Effective capacity available to each region: the two regions
+    // compete; give each its traffic-weighted share.
+    let shared_traffic = desc.shared_fraction;
+    let private_traffic = 1.0 - shared_traffic;
+    let cap_private = cache * private_traffic.max(0.05);
+    let cap_shared = cache * shared_traffic.max(0.05);
+
+    // Steady-state miss probability of one region.
+    let region_miss = |ws: f64, cap: f64, random: f64| -> f64 {
+        let fits = ws <= cap;
+        // Streaming with stride == line: every access is a new line; a
+        // cyclic sweep larger than the cache never hits (LRU worst
+        // case). Sub-line strides reuse the line stride/line times.
+        let new_line_rate = (desc.stride_bytes as f64 / line).min(1.0);
+        let stream_miss = if fits { 0.0 } else { new_line_rate };
+        let rand_miss = (1.0 - cap / ws).max(0.0);
+        (1.0 - random) * stream_miss + random * rand_miss
+    };
+
+    let p_miss = region_miss(private_ws, cap_private, desc.random_fraction);
+    let s_geom = region_miss(shared_ws, cap_shared, desc.random_fraction);
+    // Coherence: a cached shared line is invalidated when any of the
+    // other threads stores to it before the next access. With T threads
+    // uniformly touching W/line lines, the chance another thread's
+    // store hits "our" line between our consecutive accesses grows with
+    // store share and falls with working-set size; first-order term:
+    let store_share = desc.store_fraction / mem_frac.max(1e-9);
+    let lines_shared = (shared_ws / line).max(1.0);
+    let inval = ((threads.saturating_sub(1)) as f64 * store_share
+        * (mem_ops * desc.shared_fraction) / lines_shared
+        / mem_ops.max(1.0))
+    .min(1.0);
+    let s_miss = (s_geom + (1.0 - s_geom) * inval).min(1.0);
+
+    let steady = private_traffic * p_miss + shared_traffic * s_miss;
+
+    // Cold misses: distinct lines touched, once each.
+    let touched_private = (private_ws / line).min(mem_ops * private_traffic);
+    let touched_shared = (shared_ws / line).min(mem_ops * shared_traffic);
+    let cold = (touched_private + touched_shared) / mem_ops;
+
+    // Cold misses overlap with steady misses; don't double-count the
+    // streaming-thrash case (those lines miss anyway).
+    let cold_extra = cold * (1.0 - steady);
+    CachePrediction {
+        l1_miss_rate: (steady + cold_extra).min(1.0),
+        steady_miss_rate: steady,
+        cold_miss_rate: cold_extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Benchmark;
+
+    #[test]
+    fn ep_is_predicted_nearly_miss_free_at_long_runs() {
+        let p = predict_l1(&Benchmark::Ep.descriptor(), 128, 64, 4, 10_000_000);
+        assert!(p.l1_miss_rate < 0.1, "EP predicted {p:?}");
+    }
+
+    #[test]
+    fn cg_is_predicted_memory_bound() {
+        let p = predict_l1(&Benchmark::Cg.descriptor(), 128, 64, 4, 1_000_000);
+        assert!(p.l1_miss_rate > 0.5, "CG predicted {p:?}");
+    }
+
+    #[test]
+    fn ordering_matches_descriptor_intuition() {
+        let rate = |b: Benchmark| predict_l1(&b.descriptor(), 128, 64, 4, 1_000_000).l1_miss_rate;
+        assert!(rate(Benchmark::Ep) < rate(Benchmark::Bt));
+        assert!(rate(Benchmark::Bt) < rate(Benchmark::Cg) + 0.3);
+    }
+
+    #[test]
+    fn cold_misses_amortise_with_run_length() {
+        let d = Benchmark::Ep.descriptor();
+        let short = predict_l1(&d, 128, 64, 4, 10_000);
+        let long = predict_l1(&d, 128, 64, 4, 10_000_000);
+        assert!(short.cold_miss_rate > long.cold_miss_rate);
+        assert!(short.l1_miss_rate >= long.l1_miss_rate);
+    }
+
+    #[test]
+    fn bigger_cache_never_hurts() {
+        for b in Benchmark::all() {
+            let small = predict_l1(&b.descriptor(), 32, 64, 4, 100_000);
+            let big = predict_l1(&b.descriptor(), 1024, 64, 4, 100_000);
+            assert!(
+                big.l1_miss_rate <= small.l1_miss_rate + 1e-9,
+                "{}: {} -> {}",
+                b.name(),
+                small.l1_miss_rate,
+                big.l1_miss_rate
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for b in Benchmark::all() {
+            for ops in [1_000u64, 100_000, 10_000_000] {
+                let p = predict_l1(&b.descriptor(), 128, 64, 8, ops);
+                assert!((0.0..=1.0).contains(&p.l1_miss_rate), "{}: {p:?}", b.name());
+                assert!(p.steady_miss_rate >= 0.0 && p.cold_miss_rate >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Statistical workload descriptors for the nine NPB programs.
+//!
+//! gem5 executes the real binaries; our CMP simulator executes abstract
+//! per-thread operation streams generated from these descriptors
+//! (DESIGN.md §2). Each descriptor captures what determines a program's
+//! frequency sensitivity on a fixed memory system:
+//!
+//! * the **instruction mix** (how much of the work is core-bound
+//!   arithmetic vs memory operations),
+//! * the **working set and access pattern** (cache hit rates, and thus
+//!   how often the core stalls on DRAM, whose latency does *not* scale
+//!   with core frequency),
+//! * **sharing** (coherence traffic through the NoC), and
+//! * **synchronisation density** (barriers serialise at the speed of
+//!   the slowest thread).
+//!
+//! The numbers follow the well-documented computational character of
+//! each kernel and are sanity-checked against our own mini-kernel
+//! implementations (see `tests`): EP is the compute-bound extreme,
+//! CG/IS the memory-bound extremes, LU the synchronisation-heavy one.
+
+use serde::{Deserialize, Serialize};
+
+/// The nine NPB programs of the paper's Figures 10–13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Block-tridiagonal ADI solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3-D FFT.
+    Ft,
+    /// Integer sort.
+    Is,
+    /// SSOR (wavefront) solver.
+    Lu,
+    /// Multigrid.
+    Mg,
+    /// Scalar pentadiagonal ADI solver.
+    Sp,
+    /// Unstructured adaptive.
+    Ua,
+}
+
+impl Benchmark {
+    /// All nine, in the paper's figure order.
+    pub fn all() -> [Benchmark; 9] {
+        [
+            Benchmark::Bt,
+            Benchmark::Cg,
+            Benchmark::Ep,
+            Benchmark::Ft,
+            Benchmark::Is,
+            Benchmark::Lu,
+            Benchmark::Mg,
+            Benchmark::Sp,
+            Benchmark::Ua,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bt => "BT",
+            Benchmark::Cg => "CG",
+            Benchmark::Ep => "EP",
+            Benchmark::Ft => "FT",
+            Benchmark::Is => "IS",
+            Benchmark::Lu => "LU",
+            Benchmark::Mg => "MG",
+            Benchmark::Sp => "SP",
+            Benchmark::Ua => "UA",
+        }
+    }
+
+    /// The workload descriptor for this benchmark.
+    pub fn descriptor(self) -> WorkloadDescriptor {
+        use Benchmark::*;
+        // (fp, int, load, store) fractions; (private KiB, shared KiB);
+        // random fraction; shared-access fraction; barrier interval.
+        let (mix, ws, random, shared, barrier) = match self {
+            Bt => ((0.55, 0.10, 0.25, 0.10), (512, 1024), 0.05, 0.05, 200_000),
+            Cg => ((0.25, 0.15, 0.45, 0.15), (256, 8192), 0.60, 0.50, 100_000),
+            Ep => ((0.70, 0.20, 0.07, 0.03), (16, 16), 0.00, 0.01, 5_000_000),
+            Ft => ((0.45, 0.10, 0.30, 0.15), (512, 4096), 0.25, 0.40, 150_000),
+            Is => ((0.02, 0.38, 0.35, 0.25), (128, 4096), 0.70, 0.50, 100_000),
+            Lu => ((0.45, 0.15, 0.28, 0.12), (1024, 1024), 0.10, 0.15, 20_000),
+            Mg => ((0.35, 0.12, 0.36, 0.17), (512, 6144), 0.15, 0.30, 80_000),
+            Sp => ((0.50, 0.10, 0.28, 0.12), (2048, 1024), 0.10, 0.10, 60_000),
+            Ua => ((0.30, 0.20, 0.33, 0.17), (512, 3072), 0.50, 0.35, 40_000),
+        };
+        WorkloadDescriptor {
+            benchmark: self,
+            fp_fraction: mix.0,
+            int_fraction: mix.1,
+            load_fraction: mix.2,
+            store_fraction: mix.3,
+            private_ws_kib: ws.0,
+            shared_ws_kib: ws.1,
+            random_fraction: random,
+            shared_fraction: shared,
+            stride_bytes: 64,
+            barrier_interval_ops: barrier,
+        }
+    }
+}
+
+/// The statistical model of one benchmark (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadDescriptor {
+    /// Which benchmark this describes.
+    pub benchmark: Benchmark,
+    /// Fraction of instructions that are floating-point arithmetic.
+    pub fp_fraction: f64,
+    /// Fraction that are integer/control arithmetic.
+    pub int_fraction: f64,
+    /// Fraction that are loads.
+    pub load_fraction: f64,
+    /// Fraction that are stores.
+    pub store_fraction: f64,
+    /// Per-thread private working set, KiB.
+    pub private_ws_kib: u64,
+    /// Shared (read-write) working set, KiB.
+    pub shared_ws_kib: u64,
+    /// Fraction of memory accesses with random (non-streaming) targets.
+    pub random_fraction: f64,
+    /// Fraction of memory accesses into the shared region.
+    pub shared_fraction: f64,
+    /// Streaming stride, bytes.
+    pub stride_bytes: u64,
+    /// Instructions between global barriers.
+    pub barrier_interval_ops: u64,
+}
+
+impl WorkloadDescriptor {
+    /// Fraction of instructions that touch memory.
+    pub fn memory_fraction(&self) -> f64 {
+        self.load_fraction + self.store_fraction
+    }
+
+    /// Arithmetic intensity proxy: compute per memory instruction.
+    pub fn compute_per_memory_op(&self) -> f64 {
+        (self.fp_fraction + self.int_fraction) / self.memory_fraction().max(1e-9)
+    }
+
+    /// Check the mix sums to one.
+    pub fn is_normalised(&self) -> bool {
+        let s = self.fp_fraction + self.int_fraction + self.load_fraction + self.store_fraction;
+        (s - 1.0).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_descriptors_are_normalised() {
+        for b in Benchmark::all() {
+            let d = b.descriptor();
+            assert!(d.is_normalised(), "{}: mix does not sum to 1", b.name());
+            assert!(d.random_fraction >= 0.0 && d.random_fraction <= 1.0);
+            assert!(d.shared_fraction >= 0.0 && d.shared_fraction <= 1.0);
+            assert!(d.barrier_interval_ops > 0);
+        }
+    }
+
+    #[test]
+    fn ep_is_the_compute_extreme() {
+        let ep = Benchmark::Ep.descriptor();
+        for b in Benchmark::all() {
+            let d = b.descriptor();
+            assert!(
+                ep.compute_per_memory_op() >= d.compute_per_memory_op(),
+                "{} out-computes EP",
+                b.name()
+            );
+            assert!(ep.private_ws_kib <= d.private_ws_kib);
+        }
+    }
+
+    #[test]
+    fn cg_and_is_are_the_memory_extremes() {
+        let all = Benchmark::all();
+        let mut by_mem: Vec<_> = all.iter().map(|b| (b.name(), b.descriptor().memory_fraction())).collect();
+        by_mem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top2: Vec<&str> = by_mem[..2].iter().map(|x| x.0).collect();
+        assert!(top2.contains(&"CG") && top2.contains(&"IS"), "{top2:?}");
+    }
+
+    #[test]
+    fn lu_has_the_densest_barriers() {
+        let lu = Benchmark::Lu.descriptor();
+        for b in Benchmark::all() {
+            assert!(lu.barrier_interval_ops <= b.descriptor().barrier_interval_ops);
+        }
+    }
+
+    #[test]
+    fn mini_kernels_agree_with_descriptors() {
+        // Our real kernels' measured flops/bytes ratio must order EP
+        // above FT/BT above CG/IS — the same ordering the descriptors
+        // encode. (Coarse check: compute-bound vs memory-bound split.)
+        use crate::kernels::{self, Class};
+        let results = kernels::run_all(Class::S, 2);
+        let intensity = |name: &str| {
+            let r = results.iter().find(|r| r.name == name).unwrap();
+            r.flops / r.bytes
+        };
+        assert!(intensity("EP") > intensity("FT"));
+        assert!(intensity("EP") > intensity("CG"));
+        assert!(intensity("BT") > intensity("IS"));
+        assert!(intensity("FT") > intensity("IS"));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::all() {
+            assert_eq!(b.descriptor().benchmark, b);
+            assert!(!b.name().is_empty());
+        }
+    }
+}

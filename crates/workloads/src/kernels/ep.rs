@@ -1,0 +1,129 @@
+//! EP — the Embarrassingly Parallel kernel.
+//!
+//! Generates pairs of uniform deviates with the NPB LCG, transforms
+//! accepted pairs into Gaussian deviates by the Marsaglia polar method,
+//! and tallies them into square annuli. There is no communication at
+//! all; EP measures raw floating-point throughput, which is why it is
+//! the most frequency-sensitive program in Figures 10–13.
+
+use super::{with_pool, Class, KernelResult, NpbRng};
+use rayon::prelude::*;
+
+/// NPB's EP seed.
+const SEED: u64 = 271_828_183;
+/// Annulus count (NPB uses 10).
+const NQ: usize = 10;
+
+/// Per-chunk tallies.
+#[derive(Debug, Clone, Default)]
+struct Tally {
+    counts: [u64; NQ],
+    sx: f64,
+    sy: f64,
+    accepted: u64,
+}
+
+fn chunk_tally(start_pair: u64, pairs: u64) -> Tally {
+    let mut rng = NpbRng::new(SEED);
+    rng.jump(2 * start_pair);
+    let mut t = Tally::default();
+    for _ in 0..pairs {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let r2 = x * x + y * y;
+        if r2 <= 1.0 && r2 > 0.0 {
+            let f = (-2.0 * r2.ln() / r2).sqrt();
+            let gx = x * f;
+            let gy = y * f;
+            let l = gx.abs().max(gy.abs()) as usize;
+            if l < NQ {
+                t.counts[l] += 1;
+            }
+            t.sx += gx;
+            t.sy += gy;
+            t.accepted += 1;
+        }
+    }
+    t
+}
+
+/// Number of pairs at a class.
+pub fn pairs(class: Class) -> u64 {
+    1 << (16 + 2 * class.scale() as u64) // S: 2^18, W: 2^20, A: 2^24
+}
+
+/// Run EP.
+pub fn run(class: Class, threads: usize) -> KernelResult {
+    let n = pairs(class);
+    let chunks = (threads * 8) as u64;
+    let per = n / chunks;
+    let tallies: Vec<Tally> = with_pool(threads, || {
+        (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * per;
+                let count = if c == chunks - 1 { n - start } else { per };
+                chunk_tally(start, count)
+            })
+            .collect()
+    });
+    // Deterministic ordered reduction (FP addition order fixed).
+    let mut total = Tally::default();
+    for t in &tallies {
+        for q in 0..NQ {
+            total.counts[q] += t.counts[q];
+        }
+        total.sx += t.sx;
+        total.sy += t.sy;
+        total.accepted += t.accepted;
+    }
+
+    // Verification: the acceptance rate of the polar method is π/4, and
+    // every accepted pair lands in exactly one annulus.
+    let acc_rate = total.accepted as f64 / n as f64;
+    let counted: u64 = total.counts.iter().sum();
+    let verified =
+        (acc_rate - std::f64::consts::FRAC_PI_4).abs() < 0.01 && counted == total.accepted;
+
+    KernelResult {
+        name: "EP",
+        verified,
+        checksum: total.sx + total.sy,
+        flops: n as f64 * 14.0,
+        bytes: 64.0 * (NQ as f64 + 8.0), // essentially nothing: cache-resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_and_is_deterministic() {
+        let a = run(Class::S, 1);
+        let b = run(Class::S, 4);
+        assert!(a.verified);
+        assert_eq!(a.checksum, b.checksum, "jump-ahead must make EP exact");
+    }
+
+    #[test]
+    fn acceptance_rate_is_pi_over_four() {
+        let n = pairs(Class::S);
+        let t = chunk_tally(0, n);
+        let rate = t.accepted as f64 / n as f64;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn gaussian_sums_are_near_zero() {
+        let r = run(Class::S, 2);
+        let n = pairs(Class::S) as f64;
+        // Mean of ~n gaussians: |sum| = O(sqrt(n)).
+        assert!(r.checksum.abs() < 8.0 * n.sqrt(), "checksum {}", r.checksum);
+    }
+
+    #[test]
+    fn class_w_does_more_work() {
+        assert!(pairs(Class::W) > pairs(Class::S));
+    }
+}

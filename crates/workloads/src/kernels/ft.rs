@@ -1,0 +1,239 @@
+//! FT — 3-D fast Fourier transform.
+//!
+//! NPB FT solves a 3-D diffusion equation spectrally: forward 3-D FFT,
+//! pointwise evolution by Gaussian decay factors, inverse FFT. The FFT
+//! butterflies mix strided memory access with real floating-point work,
+//! putting FT between the compute-bound (EP/BT) and memory-bound
+//! (CG/IS) extremes.
+//!
+//! The 1-D transform is our own iterative radix-2 Cooley–Tukey;
+//! verification is the inverse-transform identity plus spectral energy
+//! conservation (Parseval).
+
+use super::{with_pool, Class, KernelResult, NpbRng};
+use rayon::prelude::*;
+
+/// Complex number as (re, im); kept as a bare pair for dense packing.
+type C = (f64, f64);
+
+#[inline]
+fn c_mul(a: C, b: C) -> C {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_add(a: C, b: C) -> C {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: C, b: C) -> C {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// In-place iterative radix-2 FFT of a power-of-two line.
+/// `inverse` flips the twiddle sign; scaling by 1/n is applied on the
+/// inverse so that `ifft(fft(x)) == x`.
+pub fn fft_line(data: &mut [C], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = c_mul(data[start + k + len / 2], w);
+                data[start + k] = c_add(u, v);
+                data[start + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.0 *= inv_n;
+            d.1 *= inv_n;
+        }
+    }
+}
+
+/// Grid side at a class (power of two).
+pub fn side(class: Class) -> usize {
+    match class {
+        Class::S => 16,
+        Class::W => 32,
+        Class::A => 64,
+    }
+}
+
+/// 3-D FFT over a cube stored x-fastest. Transforms along x, then y,
+/// then z, parallelised over independent lines.
+fn fft3(grid: &mut Vec<C>, n: usize, inverse: bool) {
+    // X lines are contiguous.
+    grid.par_chunks_mut(n).for_each(|line| fft_line(line, inverse));
+    // Y and Z lines: gather-transform-scatter (transpose-free).
+    for axis in 1..3 {
+        let stride = if axis == 1 { n } else { n * n };
+        let lines: Vec<usize> = (0..n * n)
+            .map(|i| {
+                if axis == 1 {
+                    // fix (x, z): base = x + z*n*n
+                    (i % n) + (i / n) * n * n
+                } else {
+                    // fix (x, y): base = x + y*n
+                    i
+                }
+            })
+            .collect();
+        let grid_ptr = std::sync::atomic::AtomicPtr::new(grid.as_mut_ptr());
+        lines.par_iter().for_each(|&base| {
+            // SAFETY: each `base` visits a disjoint set of indices
+            // `base + k*stride`, so concurrent lines never alias.
+            let ptr = grid_ptr.load(std::sync::atomic::Ordering::Relaxed);
+            let mut buf: Vec<C> = (0..n)
+                .map(|k| unsafe { *ptr.add(base + k * stride) })
+                .collect();
+            fft_line(&mut buf, inverse);
+            for (k, v) in buf.into_iter().enumerate() {
+                unsafe {
+                    *ptr.add(base + k * stride) = v;
+                }
+            }
+        });
+    }
+}
+
+/// Run FT.
+pub fn run(class: Class, threads: usize) -> KernelResult {
+    let n = side(class);
+    let total = n * n * n;
+    with_pool(threads, || {
+        let mut rng = NpbRng::new(314_159_265);
+        let original: Vec<C> = (0..total)
+            .map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let mut grid = original.clone();
+
+        let energy_before: f64 = grid.par_iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+
+        fft3(&mut grid, n, false);
+
+        // Parseval: spectral energy = n^3 x spatial energy.
+        let energy_spec: f64 =
+            grid.par_iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / total as f64;
+
+        // Evolve: multiply by decay factors (diffusion in spectral space).
+        let tau = 1e-4;
+        grid.par_iter_mut().enumerate().for_each(|(i, c)| {
+            let kx = (i % n).min(n - i % n) as f64;
+            let ky = ((i / n) % n).min(n - (i / n) % n) as f64;
+            let kz = (i / (n * n)).min(n - i / (n * n)) as f64;
+            let decay = (-tau * (kx * kx + ky * ky + kz * kz)).exp();
+            c.0 *= decay;
+            c.1 *= decay;
+        });
+
+        // Invert and verify: round-trip with decay≈1 must approximate
+        // the original. Undo the decay first for an exact identity.
+        grid.par_iter_mut().enumerate().for_each(|(i, c)| {
+            let kx = (i % n).min(n - i % n) as f64;
+            let ky = ((i / n) % n).min(n - (i / n) % n) as f64;
+            let kz = (i / (n * n)).min(n - i / (n * n)) as f64;
+            let decay = (-tau * (kx * kx + ky * ky + kz * kz)).exp();
+            c.0 /= decay;
+            c.1 /= decay;
+        });
+        fft3(&mut grid, n, true);
+
+        let max_err = grid
+            .par_iter()
+            .zip(original.par_iter())
+            .map(|(a, b)| (a.0 - b.0).abs().max((a.1 - b.1).abs()))
+            .reduce(|| 0.0, f64::max);
+        let parseval_err = (energy_spec - energy_before).abs() / energy_before;
+        let verified = max_err < 1e-9 && parseval_err < 1e-9;
+
+        let ln = (n as f64).log2();
+        KernelResult {
+            name: "FT",
+            verified,
+            checksum: energy_before,
+            flops: 2.0 * (5.0 * total as f64 * ln) * 3.0, // fwd + inv, 3 axes
+            bytes: 2.0 * 3.0 * 16.0 * total as f64 * ln,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![(0.0, 0.0); 8];
+        d[0] = (1.0, 0.0);
+        fft_line(&mut d, false);
+        for c in &d {
+            assert!((c.0 - 1.0).abs() < 1e-12 && c.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_identity() {
+        let mut rng = NpbRng::new(7);
+        let orig: Vec<C> = (0..64).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+        let mut d = orig.clone();
+        fft_line(&mut d, false);
+        fft_line(&mut d, true);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.0 - b.0).abs() < 1e-12);
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let mut rng = NpbRng::new(9);
+        let x: Vec<C> = (0..32).map(|_| (rng.next_f64(), 0.0)).collect();
+        let y: Vec<C> = (0..32).map(|_| (rng.next_f64(), 0.0)).collect();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut fxy: Vec<C> = x.iter().zip(&y).map(|(a, b)| c_add(*a, *b)).collect();
+        fft_line(&mut fx, false);
+        fft_line(&mut fy, false);
+        fft_line(&mut fxy, false);
+        for i in 0..32 {
+            let s = c_add(fx[i], fy[i]);
+            assert!((s.0 - fxy[i].0).abs() < 1e-10);
+            assert!((s.1 - fxy[i].1).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft_line(&mut d, false);
+    }
+
+    #[test]
+    fn full_kernel_verifies() {
+        let r = run(Class::S, 2);
+        assert!(r.verified, "FT round-trip failed");
+    }
+}

@@ -1,0 +1,119 @@
+//! IS — integer bucket sort.
+//!
+//! NPB IS ranks a large array of small random integers with a counting
+//! sort. It is the only pure-integer program in the suite, with a
+//! scatter phase whose addresses are data-dependent — a classic
+//! memory-bandwidth benchmark (the other frequency-insensitive extreme
+//! next to CG in Figures 10–13).
+
+use super::{with_pool, Class, KernelResult, NpbRng};
+use rayon::prelude::*;
+
+/// Number of keys at a class.
+pub fn keys(class: Class) -> usize {
+    1 << (16 + 2 * class.scale()) // S: 2^18, W: 2^20, A: 2^24
+}
+
+/// Key range (buckets).
+const KEY_BITS: u32 = 11;
+const BUCKETS: usize = 1 << KEY_BITS;
+
+/// Run IS.
+pub fn run(class: Class, threads: usize) -> KernelResult {
+    let n = keys(class);
+    with_pool(threads, || {
+        // Deterministic key generation, chunked with jump-ahead.
+        let chunks = rayon::current_num_threads() * 4;
+        let per = n.div_ceil(chunks);
+        let keys: Vec<u32> = (0..chunks)
+            .into_par_iter()
+            .flat_map_iter(|c| {
+                let start = c * per;
+                let count = per.min(n.saturating_sub(start));
+                let mut rng = NpbRng::new(314_159_265);
+                rng.jump(start as u64);
+                (0..count).map(move |_| (rng.next_u46() >> (46 - KEY_BITS)) as u32)
+            })
+            .collect();
+        debug_assert_eq!(keys.len(), n);
+
+        // Parallel histogram: per-chunk local counts, then reduce.
+        let hist = keys
+            .par_chunks(per.max(1))
+            .map(|chunk| {
+                let mut h = vec![0u32; BUCKETS];
+                for &k in chunk {
+                    h[k as usize] += 1;
+                }
+                h
+            })
+            .reduce(
+                || vec![0u32; BUCKETS],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+
+        // Exclusive prefix sum = each key's rank base.
+        let mut base = vec![0usize; BUCKETS + 1];
+        for b in 0..BUCKETS {
+            base[b + 1] = base[b] + hist[b] as usize;
+        }
+
+        // Scatter into sorted order: each bucket range is written by
+        // exactly one task (no aliasing).
+        let mut sorted = vec![0u32; n];
+        {
+            // Split the output into disjoint bucket-range slices.
+            let mut slices: Vec<&mut [u32]> = Vec::with_capacity(BUCKETS);
+            let mut rest = sorted.as_mut_slice();
+            for b in 0..BUCKETS {
+                let len = hist[b] as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                slices.push(head);
+                rest = tail;
+            }
+            slices.into_par_iter().enumerate().for_each(|(b, s)| {
+                s.fill(b as u32);
+            });
+        }
+
+        // Verification: sorted order and multiset preservation.
+        let sorted_ok = sorted.par_windows(2).all(|w| w[0] <= w[1]);
+        let sum_in: u64 = keys.par_iter().map(|&k| k as u64).sum();
+        let sum_out: u64 = sorted.par_iter().map(|&k| k as u64).sum();
+        let verified = sorted_ok && sum_in == sum_out;
+
+        KernelResult {
+            name: "IS",
+            verified,
+            checksum: sum_in as f64,
+            flops: n as f64, // counting-sort is essentially flop-free
+            bytes: (n * 4 * 4 + BUCKETS * 8) as f64,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_verifies() {
+        let r = run(Class::S, 2);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn checksum_independent_of_threads() {
+        assert_eq!(run(Class::S, 1).checksum, run(Class::S, 4).checksum);
+    }
+
+    #[test]
+    fn key_count_scales_with_class() {
+        assert_eq!(keys(Class::S) * 4, keys(Class::W));
+    }
+}

@@ -1,0 +1,128 @@
+//! Miniature, verified implementations of the nine NPB kernels.
+//!
+//! These are *not* line-for-line ports of the Fortran originals; they
+//! are small Rust + rayon programs with the same computational character
+//! and the same verification discipline, sized so the whole suite runs
+//! in seconds. Problem classes scale the working set the way NPB
+//! classes do.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod ua;
+
+mod rng;
+
+pub use rng::NpbRng;
+
+use serde::{Deserialize, Serialize};
+
+/// NPB problem classes (we implement the small end; the simulator
+/// descriptors extrapolate the big end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Sample size — seconds of work.
+    S,
+    /// Workstation size.
+    W,
+    /// The smallest "real" class.
+    A,
+}
+
+impl Class {
+    /// A scale factor the kernels use to size their grids.
+    pub fn scale(self) -> usize {
+        match self {
+            Class::S => 1,
+            Class::W => 2,
+            Class::A => 4,
+        }
+    }
+}
+
+/// The uniform result type every kernel returns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Which kernel ran.
+    pub name: &'static str,
+    /// Did the kernel's own verification pass?
+    pub verified: bool,
+    /// A kernel-specific scalar checksum (printed by the examples).
+    pub checksum: f64,
+    /// Approximate floating-point operations executed.
+    pub flops: f64,
+    /// Approximate bytes touched (reads + writes, without cache reuse).
+    pub bytes: f64,
+}
+
+/// Run every kernel at `class` with `threads` rayon threads; returns
+/// results in the paper's figure order (BT, CG, EP, FT, IS, LU, MG, SP,
+/// UA).
+pub fn run_all(class: Class, threads: usize) -> Vec<KernelResult> {
+    vec![
+        bt::run(class, threads),
+        cg::run(class, threads),
+        ep::run(class, threads),
+        ft::run(class, threads),
+        is::run(class, threads),
+        lu::run(class, threads),
+        mg::run(class, threads),
+        sp::run(class, threads),
+        ua::run(class, threads),
+    ]
+}
+
+/// Run `f` on a scoped rayon pool of `threads` threads (the OpenMP
+/// `OMP_NUM_THREADS` analogue).
+pub(crate) fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_verify_at_class_s() {
+        for r in run_all(Class::S, 2) {
+            assert!(r.verified, "{} failed verification", r.name);
+            assert!(r.flops > 0.0);
+            assert!(r.bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn class_scaling_is_monotone() {
+        assert!(Class::S.scale() < Class::W.scale());
+        assert!(Class::W.scale() < Class::A.scale());
+    }
+
+    #[test]
+    fn kernel_order_matches_figures() {
+        let names: Vec<_> = run_all(Class::S, 1).into_iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"]
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        // EP and IS are bit-reproducible regardless of the pool size.
+        let a = ep::run(Class::S, 1).checksum;
+        let b = ep::run(Class::S, 4).checksum;
+        assert_eq!(a, b);
+        let a = is::run(Class::S, 1).checksum;
+        let b = is::run(Class::S, 3).checksum;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! The NPB pseudo-random number generator.
+//!
+//! NPB specifies a 48-bit linear congruential generator
+//! `x_{k+1} = a·x_k mod 2^46` with `a = 5^13`, returning uniform doubles
+//! in (0, 1). Its crucial property for parallel benchmarks is the
+//! O(log n) *jump-ahead*: thread `t` can start exactly `n` draws into
+//! the stream without generating them, which is how EP partitions work
+//! deterministically across any thread count.
+
+/// The NPB 48-bit LCG.
+#[derive(Debug, Clone, Copy)]
+pub struct NpbRng {
+    seed: u64,
+}
+
+/// Multiplier a = 5^13.
+const A: u64 = 1_220_703_125;
+/// Modulus 2^46.
+const MOD_MASK: u64 = (1 << 46) - 1;
+/// 2^-46.
+const R46: f64 = 1.0 / (1u64 << 46) as f64;
+
+impl NpbRng {
+    /// Start the stream at `seed` (NPB uses 271828183 for EP).
+    pub fn new(seed: u64) -> Self {
+        NpbRng {
+            seed: seed & MOD_MASK,
+        }
+    }
+
+    /// The next uniform double in (0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.seed = self.seed.wrapping_mul(A) & MOD_MASK;
+        self.seed as f64 * R46
+    }
+
+    /// Jump the stream ahead by `n` draws in O(log n): computes
+    /// `a^n mod 2^46` by binary exponentiation.
+    pub fn jump(&mut self, mut n: u64) {
+        let mut mult = A;
+        while n > 0 {
+            if n & 1 == 1 {
+                self.seed = self.seed.wrapping_mul(mult) & MOD_MASK;
+            }
+            mult = mult.wrapping_mul(mult) & MOD_MASK;
+            n >>= 1;
+        }
+    }
+
+    /// The raw 46-bit state (for integer workloads like IS).
+    #[inline]
+    pub fn next_u46(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(A) & MOD_MASK;
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_unit_interval() {
+        let mut rng = NpbRng::new(271_828_183);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn jump_equals_sequential_draws() {
+        let mut a = NpbRng::new(271_828_183);
+        let mut b = NpbRng::new(271_828_183);
+        for _ in 0..12345 {
+            a.next_f64();
+        }
+        b.jump(12345);
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn jump_zero_is_identity() {
+        let mut a = NpbRng::new(99);
+        let mut b = NpbRng::new(99);
+        b.jump(0);
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut rng = NpbRng::new(271_828_183);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,146 @@
+//! SP — scalar pentadiagonal / ADI solver.
+//!
+//! NPB SP advances the Navier–Stokes equations with an
+//! alternating-direction-implicit scheme: every time step performs
+//! independent scalar line solves along each axis. Our miniature is ADI
+//! for the 2-D heat equation — Thomas-algorithm tridiagonal solves along
+//! x then y — with the same structure: perfectly parallel over lines,
+//! direction-swapping memory strides, verified by discrete conservation.
+
+use super::{with_pool, Class, KernelResult};
+use rayon::prelude::*;
+
+/// Grid side at a class.
+pub fn side(class: Class) -> usize {
+    32 * class.scale()
+}
+
+/// Solve a tridiagonal system with constant stencil
+/// `(-a) x[i-1] + (1 + 2a) x[i] + (-a) x[i+1] = d[i]`
+/// with zero-flux boundaries folded in (Thomas algorithm, in place).
+pub fn thomas_const(a: f64, d: &mut [f64], scratch: &mut [f64]) {
+    let n = d.len();
+    debug_assert_eq!(scratch.len(), n);
+    // Neumann boundaries: first/last diagonal is (1 + a).
+    let diag = |i: usize| if i == 0 || i == n - 1 { 1.0 + a } else { 1.0 + 2.0 * a };
+    // Forward elimination.
+    scratch[0] = -a / diag(0);
+    d[0] /= diag(0);
+    for i in 1..n {
+        let m = diag(i) + a * scratch[i - 1];
+        scratch[i] = -a / m;
+        d[i] = (d[i] + a * d[i - 1]) / m;
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        let next = d[i + 1];
+        d[i] -= scratch[i] * next;
+    }
+}
+
+/// Run SP.
+pub fn run(class: Class, threads: usize) -> KernelResult {
+    let n = side(class);
+    with_pool(threads, || {
+        // A hot square in a cold field.
+        let mut u = vec![0.0f64; n * n];
+        for y in n / 4..n / 2 {
+            for x in n / 4..n / 2 {
+                u[x + y * n] = 1.0;
+            }
+        }
+        let total0: f64 = u.par_iter().sum();
+        let max0 = u.par_iter().cloned().fold(|| 0.0, f64::max).reduce(|| 0.0, f64::max);
+
+        let alpha = 0.4; // diffusion number per half-step
+        let steps = 20;
+        for _ in 0..steps {
+            // X-direction implicit solves: rows are contiguous.
+            u.par_chunks_mut(n).for_each(|row| {
+                let mut scratch = vec![0.0; n];
+                thomas_const(alpha, row, &mut scratch);
+            });
+            // Y-direction: gather each column, solve, scatter.
+            let cols: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .map(|x| {
+                    let mut col: Vec<f64> = (0..n).map(|y| u[x + y * n]).collect();
+                    let mut scratch = vec![0.0; n];
+                    thomas_const(alpha, &mut col, &mut scratch);
+                    col
+                })
+                .collect();
+            for (x, col) in cols.iter().enumerate() {
+                for (y, &v) in col.iter().enumerate() {
+                    u[x + y * n] = v;
+                }
+            }
+        }
+
+        let total1: f64 = u.par_iter().sum();
+        let max1 = u.par_iter().cloned().fold(|| 0.0, f64::max).reduce(|| 0.0, f64::max);
+        // Verification: implicit diffusion with Neumann walls conserves
+        // total heat and is a contraction (max principle).
+        let conserved = (total1 - total0).abs() / total0 < 1e-9;
+        let contracting = max1 < max0 && max1 > 0.0;
+        let verified = conserved && contracting;
+
+        let cells = (n * n) as f64;
+        KernelResult {
+            name: "SP",
+            verified,
+            checksum: max1,
+            flops: steps as f64 * cells * 2.0 * 8.0,
+            bytes: steps as f64 * cells * 8.0 * 6.0,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_verifies() {
+        let r = run(Class::S, 2);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn thomas_solves_identity_when_a_zero() {
+        let mut d = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut s = vec![0.0; 5];
+        thomas_const(0.0, &mut d, &mut s);
+        assert_eq!(d, vec![3.0, 1.0, 4.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn thomas_matches_dense_solve() {
+        // Check A x = d with the tridiagonal A reconstructed explicitly.
+        let a = 0.7;
+        let n = 6;
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin() + 2.0).collect();
+        let mut x = rhs.clone();
+        let mut s = vec![0.0; n];
+        thomas_const(a, &mut x, &mut s);
+        for i in 0..n {
+            let diag = if i == 0 || i == n - 1 { 1.0 + a } else { 1.0 + 2.0 * a };
+            let mut lhs = diag * x[i];
+            if i > 0 {
+                lhs -= a * x[i - 1];
+            }
+            if i + 1 < n {
+                lhs -= a * x[i + 1];
+            }
+            assert!((lhs - rhs[i]).abs() < 1e-10, "row {i}: {lhs} vs {}", rhs[i]);
+        }
+    }
+
+    #[test]
+    fn diffusion_spreads_heat() {
+        let r = run(Class::S, 1);
+        // After 20 steps the initial unit maximum must have dropped well
+        // below 1 but stay positive.
+        assert!(r.checksum < 0.9 && r.checksum > 0.0, "max {}", r.checksum);
+    }
+}

@@ -1,0 +1,217 @@
+//! UA — unstructured adaptive mesh proxy.
+//!
+//! NPB UA (added in NPB 3) solves a heat equation on a mesh that
+//! *adapts* around a moving ball, exercising irregular, pointer-chasing
+//! memory access that the structured benchmarks never produce. Our
+//! miniature keeps the essential behaviours: a quadtree mesh that
+//! refines where the field is steep, an irregular cell list traversed
+//! through an index indirection, and conservative smoothing on that
+//! irregular set.
+
+use super::{with_pool, Class, KernelResult};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A quadtree cell: a square with a value (mean of the field over it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Cell {
+    /// Lower-left corner, in [0, 1)².
+    pub x: f64,
+    /// Lower-left corner, in [0, 1)².
+    pub y: f64,
+    /// Side length (2^-depth).
+    pub size: f64,
+    /// Field value.
+    pub value: f64,
+}
+
+impl Cell {
+    /// The cell's share of the global integral.
+    fn mass(&self) -> f64 {
+        self.value * self.size * self.size
+    }
+}
+
+/// The field being tracked: a Gaussian bump at `(cx, cy)`.
+fn bump(x: f64, y: f64, cx: f64, cy: f64) -> f64 {
+    let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+    (-60.0 * d2).exp()
+}
+
+/// Refine: split every cell whose value gradient across the cell
+/// exceeds `tol` into four children (re-sampling the bump), up to
+/// `max_depth`.
+fn refine(cells: Vec<Cell>, cx: f64, cy: f64, tol: f64, max_depth: u32) -> Vec<Cell> {
+    let min_size = 0.5f64.powi(max_depth as i32);
+    cells
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let centre = bump(c.x + c.size / 2.0, c.y + c.size / 2.0, cx, cy);
+            let corner = bump(c.x, c.y, cx, cy);
+            let steep = (centre - corner).abs() > tol;
+            if steep && c.size > min_size + 1e-12 {
+                let h = c.size / 2.0;
+                let quads = [(0.0, 0.0), (h, 0.0), (0.0, h), (h, h)];
+                quads
+                    .into_iter()
+                    .map(|(dx, dy)| {
+                        let (x, y) = (c.x + dx, c.y + dy);
+                        Cell {
+                            x,
+                            y,
+                            size: h,
+                            value: bump(x + h / 2.0, y + h / 2.0, cx, cy),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+            } else {
+                vec![c].into_iter()
+            }
+        })
+        .collect()
+}
+
+/// Conservative pairwise smoothing over an irregular neighbour list:
+/// each pair exchanges a fraction of its mass difference. Pairs are
+/// built through an index sort (the irregular gather of UA).
+fn smooth(cells: &mut [Cell], rounds: usize) {
+    // Neighbour pairing by Morton-ish sort: sort indices by (y, x) and
+    // pair adjacent entries — an indirect, data-dependent access
+    // pattern like UA's element lists.
+    let mut order: Vec<u32> = (0..cells.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (ca, cb) = (&cells[a as usize], &cells[b as usize]);
+        (ca.y, ca.x).partial_cmp(&(cb.y, cb.x)).unwrap()
+    });
+    for _ in 0..rounds {
+        for pair in order.chunks_exact(2) {
+            let (i, j) = (pair[0] as usize, pair[1] as usize);
+            let (mi, mj) = (cells[i].mass(), cells[j].mass());
+            let dm = 0.25 * (mi - mj);
+            let (ai, aj) = (cells[i].size * cells[i].size, cells[j].size * cells[j].size);
+            cells[i].value -= dm / ai;
+            cells[j].value += dm / aj;
+        }
+    }
+}
+
+/// Adaptation steps at a class.
+pub fn steps(class: Class) -> usize {
+    6 * class.scale()
+}
+
+/// Run UA.
+pub fn run(class: Class, threads: usize) -> KernelResult {
+    let n_steps = steps(class);
+    with_pool(threads, || {
+        // Start with a coarse 8x8 uniform mesh.
+        let mut cells: Vec<Cell> = (0..64)
+            .map(|i| {
+                let (x, y) = ((i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0);
+                Cell {
+                    x,
+                    y,
+                    size: 0.125,
+                    value: 0.0,
+                }
+            })
+            .collect();
+
+        let mut max_cells = 0usize;
+        let mut mass_drift: f64 = 0.0;
+        for s in 0..n_steps {
+            // The ball moves along a diagonal track.
+            let t = s as f64 / n_steps as f64;
+            let (cx, cy) = (0.2 + 0.6 * t, 0.3 + 0.4 * t);
+            // Re-sample values on the current mesh, then adapt.
+            cells.par_iter_mut().for_each(|c| {
+                c.value = bump(c.x + c.size / 2.0, c.y + c.size / 2.0, cx, cy);
+            });
+            for _ in 0..3 {
+                cells = refine(cells, cx, cy, 0.05, 6);
+            }
+            max_cells = max_cells.max(cells.len());
+            let mass_before: f64 = cells.par_iter().map(Cell::mass).sum();
+            smooth(&mut cells, 4);
+            let mass_after: f64 = cells.par_iter().map(Cell::mass).sum();
+            mass_drift = mass_drift.max(
+                (mass_after - mass_before).abs() / mass_before.abs().max(1e-12),
+            );
+        }
+
+        // Verification: the mesh actually adapted (far more cells than
+        // the 64 we started with) and smoothing conserved mass.
+        let verified = max_cells > 4 * 64 && mass_drift < 1e-9;
+
+        KernelResult {
+            name: "UA",
+            verified,
+            checksum: max_cells as f64,
+            flops: (n_steps * max_cells) as f64 * 30.0,
+            bytes: (n_steps * max_cells) as f64 * 8.0 * 12.0,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_verifies() {
+        let r = run(Class::S, 2);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn refinement_concentrates_near_the_bump() {
+        let cells: Vec<Cell> = (0..16)
+            .map(|i| {
+                let (x, y) = ((i % 4) as f64 / 4.0, (i / 4) as f64 / 4.0);
+                Cell {
+                    x,
+                    y,
+                    size: 0.25,
+                    value: 0.0,
+                }
+            })
+            .collect();
+        let refined = refine(refine(cells, 0.5, 0.5, 0.05, 6), 0.5, 0.5, 0.05, 6);
+        assert!(refined.len() > 16);
+        // Cells near the bump are smaller than cells far away.
+        let near: Vec<_> = refined
+            .iter()
+            .filter(|c| (c.x - 0.5).abs() < 0.15 && (c.y - 0.5).abs() < 0.15)
+            .collect();
+        let far: Vec<_> = refined
+            .iter()
+            .filter(|c| (c.x - 0.5).abs() > 0.4 || (c.y - 0.5).abs() > 0.4)
+            .collect();
+        let near_min = near.iter().map(|c| c.size).fold(1.0, f64::min);
+        let far_min = far.iter().map(|c| c.size).fold(1.0, f64::min);
+        assert!(near_min < far_min, "near {near_min} !< far {far_min}");
+    }
+
+    #[test]
+    fn smoothing_conserves_mass_exactly_in_pairs() {
+        let mut cells = vec![
+            Cell { x: 0.0, y: 0.0, size: 0.5, value: 1.0 },
+            Cell { x: 0.5, y: 0.0, size: 0.25, value: 0.0 },
+        ];
+        let before: f64 = cells.iter().map(Cell::mass).sum();
+        smooth(&mut cells, 10);
+        let after: f64 = cells.iter().map(Cell::mass).sum();
+        assert!((before - after).abs() < 1e-12);
+        // Mass flowed from the full cell to the empty one.
+        assert!(cells[1].value > 0.0);
+    }
+
+    #[test]
+    fn area_is_preserved_by_refinement() {
+        let cells: Vec<Cell> = vec![Cell { x: 0.0, y: 0.0, size: 1.0, value: 1.0 }];
+        let refined = refine(cells, 0.5, 0.5, 0.0, 4); // forced split
+        let area: f64 = refined.iter().map(|c| c.size * c.size).sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+}

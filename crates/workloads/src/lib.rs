@@ -1,0 +1,36 @@
+//! # immersion-npb
+//!
+//! The NAS Parallel Benchmarks, twice over:
+//!
+//! 1. **Real miniature kernels** ([`kernels`]): runnable Rust + rayon
+//!    implementations of the nine OpenMP NPB programs the paper executes
+//!    on gem5 (BT, CG, EP, FT, IS, LU, MG, SP, UA). Each kernel carries
+//!    its own verification criterion (residual norms, sortedness,
+//!    inverse-transform identity, conservation) in the NPB tradition.
+//!    They serve three purposes: they validate the workload descriptors
+//!    below, they are honest rayon benchmark payloads for Criterion, and
+//!    they make the examples self-contained.
+//! 2. **Workload descriptors** ([`descriptor`], [`trace`]): statistical
+//!    models of each benchmark (instruction mix, working set, locality,
+//!    sharing, synchronisation density) that generate the abstract
+//!    per-thread operation streams the `immersion-archsim` CMP simulator
+//!    executes — the substitute for gem5's full-system binaries
+//!    (DESIGN.md §2).
+//!
+//! ## Example
+//!
+//! ```
+//! use immersion_npb::kernels::{ep, Class};
+//!
+//! // Run the EP kernel at the smallest class and verify it.
+//! let result = ep::run(Class::S, 2);
+//! assert!(result.verified);
+//! ```
+
+pub mod analysis;
+pub mod descriptor;
+pub mod kernels;
+pub mod trace;
+
+pub use descriptor::{Benchmark, WorkloadDescriptor};
+pub use trace::{Op, TraceGenerator};

@@ -1,0 +1,329 @@
+//! Abstract operation streams for the CMP simulator.
+//!
+//! A [`TraceGenerator`] turns a [`WorkloadDescriptor`] into
+//! deterministic per-thread streams of [`Op`]s: batched compute,
+//! individual loads/stores with realistic address patterns, and global
+//! barriers. The address space is laid out so the simulator's caches
+//! and directory see the right phenomena:
+//!
+//! * thread-private regions (streamed or random within the private
+//!   working set) — these hit in L1/L2 according to working-set size;
+//! * a shared region touched by every thread — these create coherence
+//!   traffic (invalidations, remote L2 hits) through the mesh.
+
+use crate::descriptor::WorkloadDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// Base of thread-private address regions.
+pub const PRIVATE_BASE: u64 = 0x1000_0000_0000;
+/// Size reserved per thread.
+pub const PRIVATE_STRIDE: u64 = 1 << 32;
+/// Base of the shared region.
+pub const SHARED_BASE: u64 = 0x2000_0000_0000;
+
+/// One abstract operation of a thread's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// A run of arithmetic instructions executed back-to-back.
+    Compute {
+        /// Integer instructions in the run.
+        int_ops: u32,
+        /// Floating-point instructions in the run.
+        fp_ops: u32,
+    },
+    /// A load from `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A global barrier across all threads of the program.
+    Barrier,
+}
+
+impl Op {
+    /// How many instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute { int_ops, fp_ops } => (*int_ops + *fp_ops) as u64,
+            Op::Load { .. } | Op::Store { .. } => 1,
+            Op::Barrier => 0,
+        }
+    }
+}
+
+/// A small, fast xorshift generator — deterministic per (seed, thread).
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generates the per-thread op streams of one program run.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    desc: WorkloadDescriptor,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// A generator for `threads` threads, `ops_per_thread` instructions
+    /// each (the simulated region of interest).
+    pub fn new(desc: WorkloadDescriptor, threads: usize, ops_per_thread: u64, seed: u64) -> Self {
+        assert!(threads > 0 && ops_per_thread > 0);
+        TraceGenerator {
+            desc,
+            threads,
+            ops_per_thread,
+            seed,
+        }
+    }
+
+    /// Thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Instructions per thread.
+    pub fn ops_per_thread(&self) -> u64 {
+        self.ops_per_thread
+    }
+
+    /// The descriptor driving this generator.
+    pub fn descriptor(&self) -> &WorkloadDescriptor {
+        &self.desc
+    }
+
+    /// The stream for thread `tid` (an exact-length iterator of ops
+    /// whose `instructions()` sum to `ops_per_thread`, ± the final
+    /// compute batch, with barriers interleaved).
+    pub fn thread_stream(&self, tid: usize) -> ThreadTrace {
+        assert!(tid < self.threads);
+        ThreadTrace {
+            desc: self.desc,
+            rng: XorShift::new(self.seed ^ ((tid as u64 + 1) << 32)),
+            remaining: self.ops_per_thread,
+            since_barrier: 0,
+            private_base: PRIVATE_BASE + tid as u64 * PRIVATE_STRIDE,
+            stream_ptr: 0,
+            done: false,
+            mem_pending: false,
+        }
+    }
+}
+
+/// The per-thread op iterator.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    desc: WorkloadDescriptor,
+    rng: XorShift,
+    remaining: u64,
+    since_barrier: u64,
+    private_base: u64,
+    stream_ptr: u64,
+    done: bool,
+    mem_pending: bool,
+}
+
+impl ThreadTrace {
+    fn memory_op(&mut self) -> Op {
+        let d = &self.desc;
+        let shared = self.rng.next_f64() < d.shared_fraction;
+        let (base, ws_bytes) = if shared {
+            (SHARED_BASE, d.shared_ws_kib * 1024)
+        } else {
+            (self.private_base, d.private_ws_kib * 1024)
+        };
+        let ws = ws_bytes.max(64);
+        let addr = if self.rng.next_f64() < d.random_fraction {
+            base + (self.rng.next_u64() % ws) / 8 * 8
+        } else {
+            // Streaming: advance the thread's pointer by the stride.
+            self.stream_ptr = (self.stream_ptr + d.stride_bytes) % ws;
+            base + self.stream_ptr
+        };
+        let is_store = {
+            let mem = d.load_fraction + d.store_fraction;
+            self.rng.next_f64() < d.store_fraction / mem
+        };
+        if is_store {
+            Op::Store { addr }
+        } else {
+            Op::Load { addr }
+        }
+    }
+}
+
+impl Iterator for ThreadTrace {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.done {
+            return None;
+        }
+        let d = &self.desc;
+        if self.remaining == 0 {
+            // Final barrier ends the parallel region (OpenMP join).
+            self.done = true;
+            return Some(Op::Barrier);
+        }
+        if self.since_barrier >= d.barrier_interval_ops {
+            self.since_barrier = 0;
+            return Some(Op::Barrier);
+        }
+        // Alternate geometric compute runs with single memory ops so
+        // the expected memory-instruction fraction is exactly the
+        // descriptor's: a run of k compute instructions before a memory
+        // op has P(k) = (1-m)^k * m, mean (1-m)/m.
+        if self.mem_pending {
+            self.mem_pending = false;
+            self.remaining -= 1;
+            self.since_barrier += 1;
+            return Some(self.memory_op());
+        }
+        let m = d.memory_fraction().clamp(1e-6, 1.0);
+        let u = self.rng.next_f64().max(1e-12);
+        let run = if m >= 1.0 {
+            0
+        } else {
+            (u.ln() / (1.0 - m).ln()).floor() as u64
+        };
+        let run = run.min(self.remaining.saturating_sub(1)).min(1 << 20);
+        if run == 0 {
+            self.remaining -= 1;
+            self.since_barrier += 1;
+            Some(self.memory_op())
+        } else {
+            self.mem_pending = true;
+            let fp_share = d.fp_fraction / (d.fp_fraction + d.int_fraction).max(1e-9);
+            let fp = (run as f64 * fp_share).round() as u32;
+            let int = run as u32 - fp;
+            self.remaining -= run;
+            self.since_barrier += run;
+            Some(Op::Compute {
+                int_ops: int,
+                fp_ops: fp,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Benchmark;
+
+    fn generator(b: Benchmark) -> TraceGenerator {
+        TraceGenerator::new(b.descriptor(), 4, 50_000, 42)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let g = generator(Benchmark::Cg);
+        let a: Vec<Op> = g.thread_stream(0).collect();
+        let b: Vec<Op> = g.thread_stream(0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_threads_differ() {
+        let g = generator(Benchmark::Cg);
+        let a: Vec<Op> = g.thread_stream(0).take(100).collect();
+        let b: Vec<Op> = g.thread_stream(1).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn instruction_budget_is_respected() {
+        let g = generator(Benchmark::Ft);
+        let total: u64 = g.thread_stream(2).map(|op| op.instructions()).sum();
+        assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn stream_ends_with_exactly_one_final_barrier() {
+        let g = generator(Benchmark::Ep);
+        let ops: Vec<Op> = g.thread_stream(0).collect();
+        assert_eq!(*ops.last().unwrap(), Op::Barrier);
+    }
+
+    #[test]
+    fn memory_mix_matches_descriptor() {
+        let g = generator(Benchmark::Is);
+        let d = Benchmark::Is.descriptor();
+        let ops: Vec<Op> = g.thread_stream(0).collect();
+        let mem = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Load { .. } | Op::Store { .. }))
+            .count() as f64;
+        let total: u64 = ops.iter().map(|o| o.instructions()).sum();
+        let frac = mem / total as f64;
+        assert!(
+            (frac - d.memory_fraction()).abs() < 0.03,
+            "mem fraction {frac} vs {}",
+            d.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn lu_barriers_are_denser_than_ep() {
+        let count_barriers = |b: Benchmark| {
+            generator(b)
+                .thread_stream(0)
+                .filter(|o| matches!(o, Op::Barrier))
+                .count()
+        };
+        assert!(count_barriers(Benchmark::Lu) > count_barriers(Benchmark::Ep));
+    }
+
+    #[test]
+    fn private_addresses_stay_in_thread_region() {
+        let g = generator(Benchmark::Bt);
+        for op in g.thread_stream(3) {
+            if let Op::Load { addr } | Op::Store { addr } = op {
+                let shared = addr >= SHARED_BASE;
+                let in_private = (PRIVATE_BASE + 3 * PRIVATE_STRIDE..PRIVATE_BASE + 4 * PRIVATE_STRIDE).contains(&addr);
+                assert!(shared || in_private, "stray address {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn ep_generates_mostly_compute() {
+        let g = generator(Benchmark::Ep);
+        let ops: Vec<Op> = g.thread_stream(0).collect();
+        let (mut fp, mut mem) = (0u64, 0u64);
+        for op in &ops {
+            match op {
+                Op::Compute { fp_ops, .. } => fp += *fp_ops as u64,
+                Op::Load { .. } | Op::Store { .. } => mem += 1,
+                _ => {}
+            }
+        }
+        assert!(fp > 5 * mem, "EP: fp {fp} vs mem {mem}");
+    }
+}

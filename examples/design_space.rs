@@ -1,0 +1,65 @@
+//! Design-space exploration: the §3.2/§4 questions in one binary.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+//!
+//! 1. How deep can each coolant stack the low-power CMP (Figure 7)?
+//! 2. What does a faster coolant flow (higher h, §4.1) buy?
+//! 3. What does the thermal-aware flip layout (§4.2) buy?
+
+use water_immersion::core_::design::CmpDesign;
+use water_immersion::core_::explorer::{frequency_vs_chips, max_frequency, solve_at};
+use water_immersion::power::chips::{high_frequency_cmp, low_power_cmp};
+use water_immersion::thermal::stack3d::CoolingParams;
+
+fn main() {
+    // 1. Frequency vs chips (Figure 7's series, coarse grid for speed).
+    println!("max frequency (GHz) vs stack height, low-power CMP:");
+    print!("{:<14}", "cooling");
+    for n in 1..=12 {
+        print!("{n:>5}");
+    }
+    println!();
+    for cooling in CoolingParams::paper_options() {
+        let base = CmpDesign::new(low_power_cmp(), 1, cooling).with_grid(8, 8);
+        print!("{:<14}", cooling.name);
+        for (_, step) in frequency_vs_chips(&base, 12) {
+            match step {
+                Some(s) => print!("{:>5.1}", s.freq_ghz),
+                None => print!("{:>5}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // 2. The §4.1 h sweep: even past water's 800 W/m2K there is
+    // headroom (pumps/turbines).
+    println!("\npeak temp (C) of 4 stacked high-frequency chips at 3.6 GHz vs coolant h:");
+    let chip = high_frequency_cmp();
+    let step = chip.vfs.max_step();
+    for h in [14.0, 160.0, 800.0, 1600.0, 3200.0] {
+        let d = CmpDesign::new(chip.clone(), 4, CoolingParams::custom_immersion("h", h))
+            .with_grid(8, 8);
+        let model = d.thermal_model().expect("model builds");
+        let t = solve_at(&d, &model, step, None).expect("solve").die_max();
+        println!("  h = {h:>6.0} W/m2K -> {t:>6.1} C");
+    }
+
+    // 3. The §4.2 flip: rotate every second chip 180 degrees.
+    println!("\nflip study (4-chip high-frequency CMP):");
+    for cooling in [CoolingParams::air(), CoolingParams::water_immersion()] {
+        for flip in [false, true] {
+            let d = CmpDesign::new(chip.clone(), 4, cooling)
+                .with_grid(16, 16)
+                .with_flip(flip);
+            let f = max_frequency(&d).map(|s| s.freq_ghz);
+            println!(
+                "  {:<7} flip={:<5} -> max {} GHz",
+                cooling.name,
+                flip,
+                f.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into())
+            );
+        }
+    }
+}

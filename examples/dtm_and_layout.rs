@@ -1,0 +1,56 @@
+//! Extensions in action: dynamic thermal management (§5.2) and
+//! thermal-aware layout optimization (the paper's future work).
+//!
+//! ```sh
+//! cargo run --release --example dtm_and_layout
+//! ```
+
+use water_immersion::core_::design::CmpDesign;
+use water_immersion::core_::dtm::{simulate, DtmController, PowerPhases};
+use water_immersion::core_::layout::{evaluate_pattern, optimize_exhaustive};
+use water_immersion::power::chips::high_frequency_cmp;
+use water_immersion::thermal::stack3d::CoolingParams;
+
+fn main() {
+    let chip = high_frequency_cmp();
+
+    // --- DTM: run hot, throttle when the sensor trips -------------------
+    println!("DTM on the 4-chip high-frequency CMP (trip at 80 C):");
+    let ctrl = DtmController::new(80.0, 4.0);
+    for cooling in [CoolingParams::air(), CoolingParams::water_immersion()] {
+        let d = CmpDesign::new(chip.clone(), 4, cooling).with_grid(8, 8);
+        let out = simulate(&d, PowerPhases::worst_case(), ctrl, 700.0, 2.0).expect("dtm");
+        let half = out.freq_trace.len() / 2;
+        let settled: f64 =
+            out.freq_trace[half..].iter().sum::<f64>() / (out.freq_trace.len() - half) as f64;
+        println!(
+            "  {:<7} settled at {:.2} GHz, peak {:.1} C, throttled {:.0}% of the time",
+            cooling.name,
+            settled,
+            out.peak_temp,
+            out.throttled_fraction * 100.0
+        );
+    }
+
+    // --- Layout: search the rotation space the paper sampled ------------
+    println!("\nrotation-pattern search (4 chips, water, 3.6 GHz):");
+    let d = CmpDesign::new(chip.clone(), 4, CoolingParams::water_immersion()).with_grid(16, 16);
+    let step = chip.vfs.max_step();
+    let show = |label: &str, pattern: &[bool]| {
+        let peak = evaluate_pattern(&d, step, pattern).expect("eval");
+        let pat: String = pattern.iter().map(|&r| if r { 'R' } else { '.' }).collect();
+        println!("  {label:<22} {pat}  peak {peak:.1} C");
+    };
+    show("no rotation", &[false; 4]);
+    show("paper's flip", &[false, true, false, true]);
+    let best = optimize_exhaustive(&d, step).expect("search");
+    let pat: String = best
+        .rotations
+        .iter()
+        .map(|&r| if r { 'R' } else { '.' })
+        .collect();
+    println!(
+        "  {:<22} {}  peak {:.1} C   ({} patterns evaluated)",
+        "exhaustive optimum", pat, best.peak_temp, best.evaluations
+    );
+}

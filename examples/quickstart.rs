@@ -1,0 +1,66 @@
+//! Quickstart: how much faster can a stacked CMP clock when you drop
+//! the whole board in water?
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's high-frequency 16-tile CMP (Table 1), stacks it
+//! four high, and asks the thermal-aware explorer for the maximum
+//! sustainable frequency under each cooling option of §3.2 — then shows
+//! the resulting peak temperature and the thermal map of the hottest
+//! die.
+
+use water_immersion::core_::design::CmpDesign;
+use water_immersion::core_::explorer::{max_frequency, solve_at};
+use water_immersion::power::chips::high_frequency_cmp;
+use water_immersion::thermal::stack3d::CoolingParams;
+
+fn main() {
+    let chip = high_frequency_cmp();
+    println!(
+        "chip: {} ({} cores, {:.1} W @ {:.1} GHz, threshold {} C)",
+        chip.name,
+        chip.cores,
+        chip.max_power_watts,
+        chip.vfs.max_step().freq_ghz,
+        chip.temp_threshold
+    );
+    println!("stack: 4 chips, Table 2 package\n");
+
+    println!(
+        "{:<14} {:>10} {:>12}",
+        "cooling", "max freq", "peak temp"
+    );
+    for cooling in CoolingParams::paper_options() {
+        let design = CmpDesign::new(chip.clone(), 4, cooling);
+        match max_frequency(&design) {
+            Some(step) => {
+                let model = design.thermal_model().expect("model builds");
+                let sol = solve_at(&design, &model, step, None).expect("solve");
+                println!(
+                    "{:<14} {:>7.1} GHz {:>10.1} C",
+                    cooling.name,
+                    step.freq_ghz,
+                    sol.die_max()
+                );
+            }
+            None => println!("{:<14} {:>10} {:>12}", cooling.name, "-", "infeasible"),
+        }
+    }
+
+    // The thermal map of the bottom (hottest) die under water at the
+    // water-sustained frequency.
+    let design = CmpDesign::new(chip.clone(), 4, CoolingParams::water_immersion());
+    let step = max_frequency(&design).expect("water sustains the stack");
+    let model = design.thermal_model().expect("model builds");
+    let sol = solve_at(&design, &model, step, None).expect("solve");
+    let map = sol.die_map(0).expect("bottom die");
+    println!(
+        "\nbottom die at {:.1} GHz under water ({:.1}..{:.1} C; cores are the hot band):",
+        step.freq_ghz,
+        map.min(),
+        map.max()
+    );
+    print!("{}", map.ascii());
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the water-immersion reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can
+//! `use water_immersion::*`-style paths without naming each crate.
+
+pub use immersion_archsim as archsim;
+pub use immersion_coolant as coolant;
+pub use immersion_core as core_;
+pub use immersion_desim as desim;
+pub use immersion_npb as npb;
+pub use immersion_power as power;
+pub use immersion_thermal as thermal;

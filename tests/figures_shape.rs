@@ -1,0 +1,140 @@
+//! Shape tests for the figure-regeneration harness: every experiment
+//! runs at quick quality, and the qualitative claims the paper makes
+//! about each figure hold — who wins, by roughly what factor, where the
+//! feasibility walls fall.
+
+use immersion_bench::{run_experiment, Quality, EXPERIMENTS};
+use water_immersion::core_::design::CmpDesign;
+use water_immersion::core_::explorer::max_frequency;
+use water_immersion::power::chips::{high_frequency_cmp, low_power_cmp};
+use water_immersion::thermal::stack3d::CoolingParams;
+
+#[test]
+fn every_experiment_produces_rows() {
+    for name in EXPERIMENTS {
+        // The NPB figures are exercised separately (they dominate the
+        // runtime), and the DTM co-simulation is covered by its own
+        // unit tests; everything else runs here.
+        if (name.starts_with("fig1") && name.len() == 5) || *name == "dtm" {
+            continue; // fig10..fig13, dtm
+        }
+        let tables = run_experiment(name, Quality::quick())
+            .unwrap_or_else(|| panic!("unknown experiment {name}"));
+        assert!(!tables.is_empty(), "{name}: no tables");
+        for t in &tables {
+            assert!(!t.is_empty(), "{name}: empty table '{}'", t.title());
+        }
+    }
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(run_experiment("fig99", Quality::quick()).is_none());
+}
+
+#[test]
+fn figure7_walls_are_ordered() {
+    // Air dies first, then the water pipe; the immersion liquids go
+    // deepest and water at least as deep as oil (Figure 7's story).
+    let wall = |c: CoolingParams| {
+        let base = CmpDesign::new(low_power_cmp(), 1, c).with_grid(8, 8);
+        (1..=15)
+            .map(|n| {
+                let mut d = base.clone();
+                d.chips = n;
+                max_frequency(&d)
+            })
+            .take_while(|s| s.is_some())
+            .count()
+    };
+    let air = wall(CoolingParams::air());
+    let pipe = wall(CoolingParams::water_pipe());
+    let oil = wall(CoolingParams::mineral_oil());
+    let water = wall(CoolingParams::water_immersion());
+    assert!(air < pipe, "air wall {air} !< pipe wall {pipe}");
+    assert!(pipe < oil, "pipe wall {pipe} !< oil wall {oil}");
+    assert!(water >= oil, "water wall {water} < oil wall {oil}");
+    assert!(air <= 8, "air reaches implausibly deep: {air}");
+    assert!(water >= 10, "water should stack deep: {water}");
+}
+
+#[test]
+fn figure8_water_wins_at_every_height() {
+    for n in [2usize, 4, 6, 8] {
+        let f = |c: CoolingParams| {
+            let d = CmpDesign::new(high_frequency_cmp(), n, c).with_grid(8, 8);
+            max_frequency(&d).map(|s| s.freq_ghz).unwrap_or(0.0)
+        };
+        let water = f(CoolingParams::water_immersion());
+        for c in [
+            CoolingParams::air(),
+            CoolingParams::water_pipe(),
+            CoolingParams::mineral_oil(),
+            CoolingParams::fluorinert(),
+        ] {
+            let other = f(c);
+            assert!(
+                water >= other,
+                "{n} chips: water {water} GHz < {} {other} GHz",
+                c.name
+            );
+        }
+    }
+}
+
+#[test]
+fn figure15_flip_never_hurts() {
+    for cooling in [CoolingParams::air(), CoolingParams::water_immersion()] {
+        let plain = CmpDesign::new(high_frequency_cmp(), 4, cooling).with_grid(16, 16);
+        let flipped = plain.clone().with_flip(true);
+        let f_plain = max_frequency(&plain).map(|s| s.freq_ghz).unwrap_or(0.0);
+        let f_flip = max_frequency(&flipped).map(|s| s.freq_ghz).unwrap_or(0.0);
+        assert!(
+            f_flip >= f_plain,
+            "{}: flip lowered frequency {f_plain} -> {f_flip}",
+            cooling.name
+        );
+    }
+}
+
+#[test]
+fn figure14_temperature_decreases_with_h() {
+    let tables = run_experiment("fig14", Quality::quick()).unwrap();
+    let csv = tables[0].to_csv();
+    // Parse the numeric body: column 1 = low-power temps.
+    let temps: Vec<f64> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(1).unwrap().parse::<f64>().unwrap())
+        .collect();
+    for w in temps.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "temperature rose with h: {w:?}");
+    }
+    // And the §4.1 point: there is still a visible gain beyond water's
+    // 800 W/m2K.
+    let at_800 = temps[temps.len() - 4];
+    let at_5000 = *temps.last().unwrap();
+    assert!(at_800 - at_5000 > 0.5, "no headroom past water: {at_800} vs {at_5000}");
+}
+
+#[test]
+fn npb_figure10_shape() {
+    let tables = run_experiment("fig10", Quality::quick()).unwrap();
+    let csv = tables[0].to_csv();
+    let mut water_geo = None;
+    let mut pipe_geo = None;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let geo: f64 = cells.last().unwrap().parse().unwrap_or(f64::NAN);
+        match cells[0] {
+            "water" => water_geo = Some(geo),
+            "water-pipe" => pipe_geo = Some(geo),
+            _ => {}
+        }
+    }
+    let water = water_geo.expect("water row");
+    let pipe = pipe_geo.expect("pipe row");
+    assert!((pipe - 1.0).abs() < 1e-9, "pipe is the reference");
+    assert!(water < 1.0, "water must beat the pipe: {water}");
+    assert!(water > 0.75, "win should be bounded (paper: up to 14%): {water}");
+}

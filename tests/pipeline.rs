@@ -1,0 +1,136 @@
+//! End-to-end integration: power model → thermal solver → frequency
+//! explorer → CMP simulator, exactly the paper's §3 pipeline.
+
+use water_immersion::archsim::{System, SystemConfig};
+use water_immersion::core_::design::CmpDesign;
+use water_immersion::core_::explorer::{max_frequency, power_at, solve_at};
+use water_immersion::core_::perf::{relative_times, run_npb_suite};
+use water_immersion::npb::{Benchmark, TraceGenerator};
+use water_immersion::power::chips::{high_frequency_cmp, low_power_cmp};
+use water_immersion::power::mcpat::analyze;
+use water_immersion::thermal::stack3d::CoolingParams;
+
+fn quick(chip: water_immersion::power::ChipModel, n: usize, c: CoolingParams) -> CmpDesign {
+    CmpDesign::new(chip, n, c).with_grid(8, 8)
+}
+
+#[test]
+fn mcpat_power_map_drives_hotspot_solve() {
+    // The per-block McPAT report must inject exactly its total power
+    // into the thermal model, and the solve must dissipate all of it.
+    let chip = high_frequency_cmp();
+    let d = quick(chip.clone(), 3, CoolingParams::mineral_oil());
+    let model = d.thermal_model().unwrap();
+    let step = chip.vfs.max_step();
+    let p = power_at(&d, &model, step, None).unwrap();
+    let report = analyze(&chip, step, None);
+    assert!((p.total() - 3.0 * report.total()).abs() < 1e-9);
+
+    let sol = model.solve_steady(&p).unwrap();
+    let out: f64 = model
+        .conv_ties()
+        .iter()
+        .map(|&(n, g, amb)| g * (sol.temps()[n] - amb))
+        .sum();
+    assert!(
+        (out - p.total()).abs() / p.total() < 1e-6,
+        "energy balance: {out} W out vs {} W in",
+        p.total()
+    );
+}
+
+#[test]
+fn explored_frequency_is_tight() {
+    // The explorer's answer must be feasible, and one step higher must
+    // not be (unless it found the top step).
+    let chip = high_frequency_cmp();
+    let d = quick(chip.clone(), 5, CoolingParams::water_immersion());
+    let model = d.thermal_model().unwrap();
+    let step = max_frequency(&d).expect("feasible");
+    let t = solve_at(&d, &model, step, None).unwrap().die_max();
+    assert!(t <= d.threshold() + 1e-9, "chosen step is infeasible: {t}");
+
+    let steps = chip.vfs.steps();
+    let idx = steps
+        .iter()
+        .position(|s| (s.freq_ghz - step.freq_ghz).abs() < 1e-9)
+        .unwrap();
+    if idx + 1 < steps.len() {
+        let t_next = solve_at(&d, &model, steps[idx + 1], None).unwrap().die_max();
+        assert!(
+            t_next > d.threshold(),
+            "a higher step was feasible: {t_next} C at {} GHz",
+            steps[idx + 1].freq_ghz
+        );
+    }
+}
+
+#[test]
+fn frequencies_feed_the_simulator_consistently() {
+    // Running the suite through perf must equal running the simulator
+    // by hand at the explorer's frequency.
+    let d = quick(low_power_cmp(), 2, CoolingParams::water_immersion());
+    let suite = run_npb_suite(&d, 3_000, 9);
+    let f = suite.freq_ghz.expect("feasible");
+    let cfg = SystemConfig::baseline(2, f);
+    let gen = TraceGenerator::new(Benchmark::Ep.descriptor(), cfg.threads(), 3_000, 9);
+    let manual = System::new(cfg).run(&gen);
+    let from_suite = suite
+        .results
+        .iter()
+        .find(|r| r.benchmark == Benchmark::Ep)
+        .unwrap();
+    assert_eq!(manual.cycles, from_suite.stats.cycles, "determinism across paths");
+}
+
+#[test]
+fn water_beats_pipe_end_to_end() {
+    // The paper's headline, end to end: at 6 chips the water-immersed
+    // CMP runs every NPB program at least as fast as the water-pipe
+    // CMP, and strictly faster on the geomean.
+    let chip = low_power_cmp();
+    let water = run_npb_suite(&quick(chip.clone(), 6, CoolingParams::water_immersion()), 4_000, 9);
+    let pipe = run_npb_suite(&quick(chip, 6, CoolingParams::water_pipe()), 4_000, 9);
+    let rel = relative_times(&water, &pipe).expect("both feasible");
+    for (b, r) in &rel {
+        assert!(*r <= 1.001, "{b:?}: water slower than pipe ({r})");
+    }
+    let geo = water_immersion::core_::perf::geomean_relative(&rel);
+    assert!(geo < 0.99, "no meaningful end-to-end win: geomean {geo}");
+}
+
+#[test]
+fn leakage_feedback_changes_power_not_protocol() {
+    // With feedback on, the sustained frequency may differ, but the
+    // simulator output at a given frequency is untouched (power and
+    // performance models are decoupled, as in the paper's toolchain).
+    let base = quick(high_frequency_cmp(), 4, CoolingParams::mineral_oil());
+    let fb = base.clone().with_leakage_feedback(true);
+    let f_base = max_frequency(&base).unwrap().freq_ghz;
+    let f_fb = max_frequency(&fb).unwrap().freq_ghz;
+    assert!(f_fb >= f_base, "sub-threshold feedback can only help");
+}
+
+#[test]
+fn transient_approach_to_the_steady_operating_point() {
+    // Extension: the transient solver converges to the steady solution
+    // the explorer used.
+    use water_immersion::thermal::transient::TransientSolver;
+    let chip = low_power_cmp();
+    let d = quick(chip.clone(), 2, CoolingParams::water_immersion());
+    let model = d.thermal_model().unwrap();
+    let step = max_frequency(&d).unwrap();
+    let p = power_at(&d, &model, step, None).unwrap();
+    let steady = model.solve_steady(&p).unwrap().max_temp();
+    let mut ts = TransientSolver::new(&model, 5.0);
+    let traj = ts.run(&p, 400).unwrap();
+    let last = *traj.last().unwrap();
+    assert!(
+        (last - steady).abs() < 0.5,
+        "transient {last} C vs steady {steady} C"
+    );
+    // And the approach is monotone from a cold start.
+    for w in traj.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9);
+    }
+}

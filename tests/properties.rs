@@ -1,0 +1,361 @@
+//! Cross-crate property-based tests (proptest): physical and protocol
+//! invariants that must hold for *any* input, not just the paper's
+//! configurations.
+
+use proptest::prelude::*;
+use water_immersion::archsim::{System, SystemConfig};
+use water_immersion::npb::descriptor::{Benchmark, WorkloadDescriptor};
+use water_immersion::npb::TraceGenerator;
+use water_immersion::power::chips::{high_frequency_cmp, low_power_cmp};
+use water_immersion::power::mcpat::analyze;
+use water_immersion::power::vfs::{power_scale, VfsCurve};
+use water_immersion::thermal::floorplan::{Floorplan, Rect};
+use water_immersion::thermal::grid::{Convection, LayerSpec, ModelBuilder, Surface};
+use water_immersion::thermal::materials::SILICON;
+use water_immersion::thermal::stack3d::{CoolingParams, StackBuilder};
+
+// ---------------------------------------------------------------------------
+// Thermal invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Energy conservation: whatever power pattern is injected, exactly
+    /// that much heat leaves through the convective boundary.
+    #[test]
+    fn steady_solve_conserves_energy(
+        powers in proptest::collection::vec(0.0f64..20.0, 16),
+        h in 20.0f64..2000.0,
+    ) {
+        let fp = water_immersion::thermal::floorplan::baseline_16_tile();
+        let mut cooling = CoolingParams::water_immersion();
+        if let water_immersion::thermal::stack3d::PrimaryCooling::Heatsink { h: ref mut hh } =
+            cooling.primary
+        {
+            *hh = h;
+        }
+        let model = StackBuilder::new(fp)
+            .chips(1)
+            .grid(8, 8)
+            .cooling(cooling)
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        let mut i = 0;
+        p.fill_with(|_, _| {
+            let v = powers[i % powers.len()];
+            i += 1;
+            v
+        });
+        let total = p.total();
+        prop_assume!(total > 1e-6);
+        let sol = model.solve_steady(&p).unwrap();
+        let out: f64 = model
+            .conv_ties()
+            .iter()
+            .map(|&(n, g, amb)| g * (sol.temps()[n] - amb))
+            .sum();
+        prop_assert!((out - total).abs() / total < 1e-6, "in {total} out {out}");
+        // And nothing is colder than the coolant.
+        prop_assert!(sol.min_temp() >= 25.0 - 1e-9);
+    }
+
+    /// Monotonicity: adding power anywhere never cools anything.
+    #[test]
+    fn more_power_never_cools(extra in 0.1f64..30.0, block in 0usize..16) {
+        let fp = water_immersion::thermal::floorplan::baseline_16_tile();
+        let names: Vec<String> = fp.blocks().iter().map(|b| b.name.clone()).collect();
+        let model = StackBuilder::new(fp)
+            .chips(1)
+            .grid(8, 8)
+            .cooling(CoolingParams::mineral_oil())
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        p.fill_with(|_, _| 1.0);
+        let base = model.solve_steady(&p).unwrap().into_temps();
+        p.set(0, &names[block], 1.0 + extra).unwrap();
+        let hotter = model.solve_steady(&p).unwrap().into_temps();
+        for (b, h) in base.iter().zip(&hotter) {
+            prop_assert!(h >= &(b - 1e-9));
+        }
+    }
+
+    /// Rasterisation conserves power for arbitrary block rectangles.
+    #[test]
+    fn rasterisation_conserves_weight(
+        x in 0.0f64..0.8,
+        y in 0.0f64..0.8,
+        w in 0.01f64..0.2,
+        h in 0.01f64..0.2,
+        nx in 1usize..24,
+        ny in 1usize..24,
+    ) {
+        let mut fp = Floorplan::new(1.0, 1.0);
+        fp.add_block("B", Rect::new(x, y, w, h)).unwrap();
+        let total: f64 = fp.rasterize_block(0, nx, ny).iter().map(|(_, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "lost weight: {total}");
+    }
+
+    /// The flip transform is an involution on arbitrary floorplans.
+    #[test]
+    fn flip_is_involution(
+        rects in proptest::collection::vec((0.0f64..0.5, 0.0f64..0.5, 0.01f64..0.4, 0.01f64..0.4), 1..8)
+    ) {
+        let mut fp = Floorplan::new(1.0, 1.0);
+        for (i, (x, y, w, h)) in rects.iter().enumerate() {
+            // Clamp to the die; skip degenerate rects.
+            let w = w.min(1.0 - x);
+            let h = h.min(1.0 - y);
+            if w > 1e-6 && h > 1e-6 {
+                fp.add_block(&format!("B{i}"), Rect::new(*x, *y, w, h)).unwrap();
+            }
+        }
+        prop_assume!(!fp.is_empty());
+        let back = fp.rotate_180().rotate_180();
+        for (a, b) in fp.blocks().iter().zip(back.blocks()) {
+            prop_assert!((a.rect.x - b.rect.x).abs() < 1e-12);
+            prop_assert!((a.rect.y - b.rect.y).abs() < 1e-12);
+        }
+    }
+
+    /// A single-layer uniform slab is spatially uniform no matter the
+    /// resolution (discretisation does not invent gradients).
+    #[test]
+    fn uniform_slab_stays_uniform(nx in 2usize..20, ny in 2usize..20, watts in 0.5f64..50.0) {
+        let mut fp = Floorplan::new(0.02, 0.02);
+        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.02, 0.02)).unwrap();
+        let mut mb = ModelBuilder::new();
+        let l = mb.add_layer(LayerSpec::new(
+            "slab",
+            SILICON,
+            0.5e-3,
+            Rect::new(0.0, 0.0, 0.02, 0.02),
+            nx,
+            ny,
+        ));
+        mb.add_convection(Convection::simple(l, Surface::Top, 500.0, 25.0));
+        mb.add_power_floorplan(l, fp);
+        let model = mb.build().unwrap();
+        let mut p = model.zero_power();
+        p.set(0, "ALL", watts).unwrap();
+        let sol = model.solve_steady(&p).unwrap();
+        prop_assert!((sol.max_temp() - sol.min_temp()).abs() < 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Power-model invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The VFS voltage solve inverts the frequency relation everywhere.
+    #[test]
+    fn vfs_inversion_holds(f_frac in 0.05f64..1.0, vth in 0.15f64..0.5) {
+        let curve = VfsCurve::new(3.6, vth + 0.7, vth);
+        let f = f_frac * 3.6;
+        let v = curve.voltage_for(f).unwrap();
+        prop_assert!((curve.freq_at(v) - f).abs() < 1e-6);
+        prop_assert!(v >= vth && v <= vth + 0.7 + 1e-9);
+    }
+
+    /// Power scaling is monotone and bounded by the cube law.
+    #[test]
+    fn power_scale_bounds(f_lo in 0.3f64..0.9) {
+        let curve = VfsCurve::new(2.0, 0.9, 0.3);
+        let top = curve.step_for(2.0).unwrap();
+        let lo = curve.step_for(f_lo * 2.0).unwrap();
+        let s = power_scale(lo, top);
+        prop_assert!(s.dynamic > 0.0 && s.dynamic < 1.0);
+        prop_assert!(s.static_ > 0.0 && s.static_ < 1.0);
+        // Dynamic scaling lies between linear (f) and cubic (f^3).
+        prop_assert!(s.dynamic <= f_lo + 1e-9, "dyn {} > linear {}", s.dynamic, f_lo);
+        prop_assert!(s.dynamic >= f_lo.powi(3) - 1e-9);
+    }
+
+    /// Block powers are non-negative and sum to the chip total at any
+    /// step of any chip.
+    #[test]
+    fn block_powers_partition_total(step_idx in 0usize..11, hot in proptest::bool::ANY) {
+        let chip = if hot { high_frequency_cmp() } else { low_power_cmp() };
+        let idx = step_idx % chip.vfs.len();
+        let r = analyze(&chip, chip.vfs.step(idx), None);
+        let sum: f64 = r.per_block.values().sum();
+        prop_assert!((sum - r.total()).abs() < 1e-9);
+        prop_assert!(r.per_block.values().all(|&w| w >= 0.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator invariants
+// ---------------------------------------------------------------------------
+
+fn arb_descriptor() -> impl Strategy<Value = WorkloadDescriptor> {
+    (
+        0.05f64..0.9,  // memory fraction
+        0.0f64..1.0,   // random fraction
+        0.0f64..0.8,   // shared fraction
+        4u64..512,     // private ws KiB
+        16u64..2048,   // shared ws KiB
+        1000u64..50_000, // barrier interval
+    )
+        .prop_map(|(mem, random, shared, pws, sws, barrier)| {
+            let fp = (1.0 - mem) * 0.6;
+            let int = (1.0 - mem) * 0.4;
+            WorkloadDescriptor {
+                benchmark: Benchmark::Ep,
+                fp_fraction: fp,
+                int_fraction: int,
+                load_fraction: mem * 0.7,
+                store_fraction: mem * 0.3,
+                private_ws_kib: pws,
+                shared_ws_kib: sws,
+                random_fraction: random,
+                shared_fraction: shared,
+                stride_bytes: 64,
+                barrier_interval_ops: barrier,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The CMP simulator terminates (no protocol deadlock) and retires
+    /// exactly the requested instructions for arbitrary workload
+    /// descriptors — stores, sharing, invalidation storms and all.
+    #[test]
+    fn simulator_never_deadlocks(desc in arb_descriptor(), seed in 0u64..1000) {
+        let cfg = SystemConfig::baseline(2, 2.0);
+        let ops = 3_000u64;
+        let gen = TraceGenerator::new(desc, cfg.threads(), ops, seed);
+        let stats = System::new(cfg).run(&gen);
+        prop_assert_eq!(stats.instructions, ops * cfg.threads() as u64);
+        prop_assert!(stats.exec_time_secs > 0.0);
+        prop_assert!(stats.ipc > 0.0 && stats.ipc <= 1.0);
+        prop_assert!(stats.l1_miss_rate >= 0.0 && stats.l1_miss_rate <= 1.0);
+    }
+
+    /// Determinism: identical inputs give identical cycle counts.
+    #[test]
+    fn simulator_is_deterministic(desc in arb_descriptor(), seed in 0u64..1000) {
+        let cfg = SystemConfig::baseline(1, 3.0);
+        let gen = TraceGenerator::new(desc, cfg.threads(), 2_000, seed);
+        let a = System::new(cfg).run(&gen);
+        let b = System::new(cfg).run(&gen);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.dram_accesses, b.dram_accesses);
+        prop_assert_eq!(a.noc.packets, b.noc.packets);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue delivers any schedule in nondecreasing time
+    /// order, FIFO within (time, priority).
+    #[test]
+    fn event_queue_orders_any_schedule(
+        times in proptest::collection::vec(0u64..10_000, 1..200),
+        prios in proptest::collection::vec(0u8..4, 1..200),
+    ) {
+        use water_immersion::desim::EventQueue;
+        use water_immersion::desim::Time;
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, (&t, &p)) in times.iter().zip(prios.iter().cycle()).enumerate() {
+            q.schedule(Time::from_ps(t), p, i);
+        }
+        let mut last: Option<(Time, u8, u64)> = None;
+        let mut delivered = 0;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, lp, lseq)) = last {
+                prop_assert!(ev.time >= lt);
+                if ev.time == lt {
+                    prop_assert!(ev.priority >= lp);
+                    if ev.priority == lp {
+                        prop_assert!(ev.seq > lseq, "FIFO violated");
+                    }
+                }
+            }
+            last = Some((ev.time, ev.priority, ev.seq));
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, times.len().min(200));
+    }
+
+    /// The cache's LRU array never loses a line silently: after any
+    /// access sequence, every line reported evicted plus every line
+    /// still probe-able accounts for every line ever installed.
+    #[test]
+    fn cache_conserves_lines(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+        use water_immersion::archsim::cache::{Access, CacheArray};
+        use std::collections::HashSet;
+        let mut c: CacheArray<()> = CacheArray::new(2, 2, 64); // tiny: 32 lines
+        let mut installed: HashSet<u64> = HashSet::new();
+        let mut evicted: HashSet<u64> = HashSet::new();
+        for &a in &addrs {
+            let addr = a * 64; // line-aligned
+            match c.access(addr, ()) {
+                Access::Hit => {
+                    prop_assert!(installed.contains(&addr), "hit on never-installed line");
+                }
+                Access::Miss => {
+                    installed.insert(addr);
+                    evicted.remove(&addr);
+                }
+                Access::MissEvict(v, ()) => {
+                    prop_assert!(installed.contains(&v), "evicted a ghost line");
+                    evicted.insert(v);
+                    installed.insert(addr);
+                    evicted.remove(&addr);
+                }
+            }
+        }
+        // Everything installed is either still resident or was evicted.
+        for &line in &installed {
+            let resident = c.probe(line).is_some();
+            prop_assert!(
+                resident || evicted.contains(&line),
+                "line {line:#x} vanished"
+            );
+        }
+    }
+
+    /// NoC routing: arrival is never before the zero-load latency and
+    /// never decreases when the same link is reused.
+    #[test]
+    fn noc_latency_bounds(
+        pairs in proptest::collection::vec((0u16..16, 0u16..16), 1..40),
+        chips in 1usize..4,
+    ) {
+        use water_immersion::archsim::noc::{Mesh, MsgClass, Node};
+        use water_immersion::archsim::SystemConfig;
+        use water_immersion::desim::Time;
+        let cfg = SystemConfig::baseline(chips, 2.0);
+        let mut mesh = Mesh::new(cfg);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let src = Node { chip: (i % chips) as u16, tile: a };
+            let dst = Node { chip: ((i + 1) % chips) as u16, tile: b };
+            let now = Time::from_ps(i as u64 * 100);
+            let hops = mesh.hops(src, dst);
+            let arrive = mesh.route(src, dst, MsgClass::Request, 5, now);
+            // Zero-load: hops x (3-stage pipeline + 5 flits) at 500 ps,
+            // plus vertical-hop extras; local delivery is 3 cycles.
+            let min_ps = if hops == 0 { 1500 } else { hops * (3 + 5) * 500 };
+            prop_assert!(
+                arrive.as_ps() >= now.as_ps() + min_ps,
+                "{} hops arrived too fast: {} < {}",
+                hops,
+                arrive.as_ps() - now.as_ps(),
+                min_ps
+            );
+        }
+    }
+}

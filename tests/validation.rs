@@ -1,0 +1,146 @@
+//! Cross-validation: independent models of the same quantity must
+//! agree — the analytical working-set predictor vs the cycle-level
+//! simulator, and the sparse CG solver vs dense Gaussian elimination.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use water_immersion::archsim::{System, SystemConfig};
+use water_immersion::npb::analysis::predict_l1;
+use water_immersion::npb::{Benchmark, TraceGenerator};
+use water_immersion::thermal::sparse::{solve_cg, CgOptions, TripletMatrix};
+
+#[test]
+fn analytical_and_simulated_miss_rates_agree() {
+    // The closed-form working-set model and the tag-accurate simulator
+    // are two independent implementations of the same descriptor
+    // semantics; they must agree within a coarse tolerance on every
+    // benchmark.
+    let cfg = SystemConfig::baseline(1, 2.0);
+    let ops = 60_000u64;
+    for bench in Benchmark::all() {
+        let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops, 7);
+        let simulated = System::new(cfg).run(&gen).l1_miss_rate;
+        let predicted = predict_l1(
+            &bench.descriptor(),
+            cfg.l1d_kib,
+            cfg.line_bytes,
+            cfg.threads(),
+            ops,
+        )
+        .l1_miss_rate;
+        assert!(
+            (simulated - predicted).abs() < 0.25,
+            "{}: simulated {simulated:.3} vs predicted {predicted:.3}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn analytical_model_ranks_benchmarks_like_the_simulator() {
+    // Beyond absolute agreement, the *ordering* (which benchmark
+    // misses more) must match — that ordering is what drives the
+    // relative frequency sensitivity of Figures 10–13.
+    let cfg = SystemConfig::baseline(1, 2.0);
+    let ops = 40_000u64;
+    let mut sim: Vec<(f64, &str)> = Vec::new();
+    let mut pred: Vec<(f64, &str)> = Vec::new();
+    for bench in Benchmark::all() {
+        let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops, 7);
+        sim.push((System::new(cfg).run(&gen).l1_miss_rate, bench.name()));
+        pred.push((
+            predict_l1(&bench.descriptor(), cfg.l1d_kib, cfg.line_bytes, cfg.threads(), ops)
+                .l1_miss_rate,
+            bench.name(),
+        ));
+    }
+    // Spearman-ish: the two orderings of the extremes must agree.
+    let min_sim = sim.iter().min_by(|a, b| a.0.partial_cmp(&b.0).unwrap()).unwrap().1;
+    let min_pred = pred.iter().min_by(|a, b| a.0.partial_cmp(&b.0).unwrap()).unwrap().1;
+    assert_eq!(min_sim, min_pred, "least memory-bound benchmark disagrees");
+    assert_eq!(min_sim, "EP");
+}
+
+#[test]
+fn sparse_cg_matches_dense_gaussian_elimination() {
+    // Random SPD conductance networks: the thermal solver's CG result
+    // must match a dense direct solve to tight tolerance.
+    let mut rng = StdRng::seed_from_u64(99);
+    for trial in 0..10 {
+        let n = rng.gen_range(5..40);
+        let mut trip = TripletMatrix::new(n);
+        let mut dense = vec![vec![0.0f64; n]; n];
+        // Random conductances on a random graph + grounding.
+        for _ in 0..(3 * n) {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                let g = rng.gen_range(0.1..5.0);
+                trip.add_conductance(i, j, g);
+                dense[i][i] += g;
+                dense[j][j] += g;
+                dense[i][j] -= g;
+                dense[j][i] -= g;
+            }
+        }
+        for i in 0..n {
+            let g = rng.gen_range(0.5..2.0);
+            trip.add_grounded(i, g);
+            dense[i][i] += g;
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+
+        let a = trip.to_csr();
+        let (x_cg, _) = solve_cg(&a, &b, &vec![0.0; n], CgOptions::default()).unwrap();
+
+        // Dense Gaussian elimination with partial pivoting.
+        let mut m = dense.clone();
+        let mut rhs = b.clone();
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&p, &q| m[p][col].abs().partial_cmp(&m[q][col].abs()).unwrap())
+                .unwrap();
+            m.swap(col, piv);
+            rhs.swap(col, piv);
+            for row in col + 1..n {
+                let f = m[row][col] / m[col][col];
+                for k in col..n {
+                    m[row][k] -= f * m[col][k];
+                }
+                rhs[row] -= f * rhs[col];
+            }
+        }
+        let mut x_dense = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in row + 1..n {
+                acc -= m[row][k] * x_dense[k];
+            }
+            x_dense[row] = acc / m[row][row];
+        }
+
+        for (i, (a, b)) in x_cg.iter().zip(&x_dense).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6 * (1.0 + b.abs()),
+                "trial {trial}, x[{i}]: cg {a} vs dense {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cacti_and_table1_agree_on_cache_latencies() {
+    // The CACTI-lite geometry model must be consistent with the
+    // latencies the simulator config hard-codes from Table 1.
+    use water_immersion::power::cacti::SramArray;
+    let cfg = SystemConfig::baseline(1, 2.0);
+    let l1 = SramArray::new(cfg.l1d_kib, cfg.l1_assoc, cfg.line_bytes);
+    let l2 = SramArray::new(cfg.l2_bank_kib, cfg.l2_assoc, cfg.line_bytes);
+    assert!(l1.latency_cycles(cfg.freq_ghz) <= cfg.l1_latency + 1);
+    let l2_cycles = l2.latency_cycles(cfg.freq_ghz);
+    assert!(
+        l2_cycles >= cfg.l2_latency / 2 && l2_cycles <= cfg.l2_latency * 2,
+        "L2 model {l2_cycles} cycles vs Table 1's {}",
+        cfg.l2_latency
+    );
+}
