@@ -157,7 +157,10 @@ impl Mesh {
                 if cur.chip < dst.chip {
                     (DIR_UP, Node::new(cur.chip as usize + 1, cur.tile as usize))
                 } else {
-                    (DIR_DOWN, Node::new(cur.chip as usize - 1, cur.tile as usize))
+                    (
+                        DIR_DOWN,
+                        Node::new(cur.chip as usize - 1, cur.tile as usize),
+                    )
                 }
             } else {
                 break;
@@ -216,9 +219,21 @@ mod tests {
     #[test]
     fn latency_scales_with_distance() {
         let mut m = mesh(1, 2.0);
-        let t1 = m.route(Node::new(0, 0), Node::new(0, 1), MsgClass::Request, 1, Time::ZERO);
+        let t1 = m.route(
+            Node::new(0, 0),
+            Node::new(0, 1),
+            MsgClass::Request,
+            1,
+            Time::ZERO,
+        );
         let mut m = mesh(1, 2.0);
-        let t3 = m.route(Node::new(0, 0), Node::new(0, 3), MsgClass::Request, 1, Time::ZERO);
+        let t3 = m.route(
+            Node::new(0, 0),
+            Node::new(0, 3),
+            MsgClass::Request,
+            1,
+            Time::ZERO,
+        );
         assert!(t3 > t1);
         // 1 hop at 2 GHz: 3-stage pipeline + 1 flit = 4 cycles = 2000 ps.
         assert_eq!(t1, Time::from_ps(2000));
@@ -227,17 +242,41 @@ mod tests {
     #[test]
     fn data_packets_take_longer_than_control() {
         let mut m = mesh(1, 2.0);
-        let ctrl = m.route(Node::new(0, 0), Node::new(0, 3), MsgClass::Request, 1, Time::ZERO);
+        let ctrl = m.route(
+            Node::new(0, 0),
+            Node::new(0, 3),
+            MsgClass::Request,
+            1,
+            Time::ZERO,
+        );
         let mut m = mesh(1, 2.0);
-        let data = m.route(Node::new(0, 0), Node::new(0, 3), MsgClass::Response, 5, Time::ZERO);
+        let data = m.route(
+            Node::new(0, 0),
+            Node::new(0, 3),
+            MsgClass::Response,
+            5,
+            Time::ZERO,
+        );
         assert!(data > ctrl);
     }
 
     #[test]
     fn contention_serialises_same_link() {
         let mut m = mesh(1, 2.0);
-        let a = m.route(Node::new(0, 0), Node::new(0, 1), MsgClass::Request, 5, Time::ZERO);
-        let b = m.route(Node::new(0, 0), Node::new(0, 1), MsgClass::Request, 5, Time::ZERO);
+        let a = m.route(
+            Node::new(0, 0),
+            Node::new(0, 1),
+            MsgClass::Request,
+            5,
+            Time::ZERO,
+        );
+        let b = m.route(
+            Node::new(0, 0),
+            Node::new(0, 1),
+            MsgClass::Request,
+            5,
+            Time::ZERO,
+        );
         assert!(b > a, "second packet must queue behind the first");
         assert!(m.stats().contention_ps > 0);
     }
@@ -245,8 +284,20 @@ mod tests {
     #[test]
     fn classes_do_not_block_each_other() {
         let mut m = mesh(1, 2.0);
-        let a = m.route(Node::new(0, 0), Node::new(0, 1), MsgClass::Request, 5, Time::ZERO);
-        let b = m.route(Node::new(0, 0), Node::new(0, 1), MsgClass::Response, 5, Time::ZERO);
+        let a = m.route(
+            Node::new(0, 0),
+            Node::new(0, 1),
+            MsgClass::Request,
+            5,
+            Time::ZERO,
+        );
+        let b = m.route(
+            Node::new(0, 0),
+            Node::new(0, 1),
+            MsgClass::Response,
+            5,
+            Time::ZERO,
+        );
         // Different VCs: same physical link modelled per-class, so the
         // response is not delayed behind the request.
         assert_eq!(a, b);
@@ -255,7 +306,13 @@ mod tests {
     #[test]
     fn vertical_hops_counted() {
         let mut m = mesh(4, 2.0);
-        m.route(Node::new(0, 5), Node::new(3, 5), MsgClass::Request, 1, Time::ZERO);
+        m.route(
+            Node::new(0, 5),
+            Node::new(3, 5),
+            MsgClass::Request,
+            1,
+            Time::ZERO,
+        );
         assert_eq!(m.stats().vertical_hops, 3);
     }
 
@@ -263,15 +320,33 @@ mod tests {
     fn higher_frequency_is_faster() {
         let mut slow = mesh(1, 1.0);
         let mut fast = mesh(1, 3.6);
-        let a = slow.route(Node::new(0, 0), Node::new(0, 15), MsgClass::Request, 5, Time::ZERO);
-        let b = fast.route(Node::new(0, 0), Node::new(0, 15), MsgClass::Request, 5, Time::ZERO);
+        let a = slow.route(
+            Node::new(0, 0),
+            Node::new(0, 15),
+            MsgClass::Request,
+            5,
+            Time::ZERO,
+        );
+        let b = fast.route(
+            Node::new(0, 0),
+            Node::new(0, 15),
+            MsgClass::Request,
+            5,
+            Time::ZERO,
+        );
         assert!(b < a);
     }
 
     #[test]
     fn local_delivery_is_one_pipeline() {
         let mut m = mesh(1, 2.0);
-        let t = m.route(Node::new(0, 7), Node::new(0, 7), MsgClass::Response, 5, Time::ZERO);
+        let t = m.route(
+            Node::new(0, 7),
+            Node::new(0, 7),
+            MsgClass::Response,
+            5,
+            Time::ZERO,
+        );
         assert_eq!(t, Time::from_ps(1500)); // 3 cycles at 2 GHz
     }
 }

@@ -7,7 +7,7 @@ use crate::cache::{Access, CacheArray};
 use crate::coherence::{DirEntry, DirUpdate, L1State, MsgKind};
 use crate::config::SystemConfig;
 use crate::cpu::{Core, CoreState};
-use crate::noc::{Mesh, Node, NocStats};
+use crate::noc::{Mesh, NocStats, Node};
 use immersion_desim::{Clock, EventQueue, Histogram, Time};
 use immersion_npb::trace::{Op, ThreadTrace};
 use immersion_npb::TraceGenerator;
@@ -123,22 +123,93 @@ impl ExecStats {
         let mut line = |name: &str, value: String, desc: &str| {
             out.push_str(&format!("{name:<40} {value:>20}  # {desc}\n"));
         };
-        line("sim_seconds", format!("{:.9}", self.exec_time_secs), "Number of seconds simulated");
-        line("sim_cycles", format!("{}", self.cycles), "Core cycles simulated");
-        line("sim_insts", format!("{}", self.instructions), "Number of instructions committed");
-        line("system.cpu.ipc_total", format!("{:.6}", self.ipc), "IPC: total IPC of all threads");
-        line("system.cpu.dcache.overall_accesses", format!("{}", self.mem_ops), "number of overall (read+write) accesses");
-        line("system.cpu.dcache.overall_miss_rate", format!("{:.6}", self.l1_miss_rate), "miss rate for overall accesses");
-        line("system.l2.overall_hit_rate", format!("{:.6}", self.l2_hit_rate), "hit rate for overall accesses");
-        line("system.mem_ctrls.num_reads", format!("{}", self.dram_accesses), "Number of DRAM line fetches");
-        line("system.cpu.dcache.overall_avg_miss_latency", format!("{:.3}", self.avg_miss_latency_ns), "average overall miss latency (ns)");
-        line("system.cpu.dcache.miss_latency_p50", format!("{}", self.p50_miss_latency_ns), "median miss latency (ns)");
-        line("system.cpu.dcache.miss_latency_p99", format!("{}", self.p99_miss_latency_ns), "99th percentile miss latency (ns)");
-        line("system.ruby.network.packets_injected", format!("{}", self.noc.packets), "Packets injected into the NoC");
-        line("system.ruby.network.total_hops", format!("{}", self.noc.hops), "Total hops traversed");
-        line("system.ruby.network.avg_hops", format!("{:.4}", if self.noc.packets == 0 { 0.0 } else { self.noc.hops as f64 / self.noc.packets as f64 }), "Average hops per packet");
-        line("system.cpu.prefetcher.num_issued", format!("{}", self.prefetches), "Prefetches issued");
-        line("barrier_time_fraction", format!("{:.6}", self.barrier_fraction), "Fraction of core-time at barriers");
+        line(
+            "sim_seconds",
+            format!("{:.9}", self.exec_time_secs),
+            "Number of seconds simulated",
+        );
+        line(
+            "sim_cycles",
+            format!("{}", self.cycles),
+            "Core cycles simulated",
+        );
+        line(
+            "sim_insts",
+            format!("{}", self.instructions),
+            "Number of instructions committed",
+        );
+        line(
+            "system.cpu.ipc_total",
+            format!("{:.6}", self.ipc),
+            "IPC: total IPC of all threads",
+        );
+        line(
+            "system.cpu.dcache.overall_accesses",
+            format!("{}", self.mem_ops),
+            "number of overall (read+write) accesses",
+        );
+        line(
+            "system.cpu.dcache.overall_miss_rate",
+            format!("{:.6}", self.l1_miss_rate),
+            "miss rate for overall accesses",
+        );
+        line(
+            "system.l2.overall_hit_rate",
+            format!("{:.6}", self.l2_hit_rate),
+            "hit rate for overall accesses",
+        );
+        line(
+            "system.mem_ctrls.num_reads",
+            format!("{}", self.dram_accesses),
+            "Number of DRAM line fetches",
+        );
+        line(
+            "system.cpu.dcache.overall_avg_miss_latency",
+            format!("{:.3}", self.avg_miss_latency_ns),
+            "average overall miss latency (ns)",
+        );
+        line(
+            "system.cpu.dcache.miss_latency_p50",
+            format!("{}", self.p50_miss_latency_ns),
+            "median miss latency (ns)",
+        );
+        line(
+            "system.cpu.dcache.miss_latency_p99",
+            format!("{}", self.p99_miss_latency_ns),
+            "99th percentile miss latency (ns)",
+        );
+        line(
+            "system.ruby.network.packets_injected",
+            format!("{}", self.noc.packets),
+            "Packets injected into the NoC",
+        );
+        line(
+            "system.ruby.network.total_hops",
+            format!("{}", self.noc.hops),
+            "Total hops traversed",
+        );
+        line(
+            "system.ruby.network.avg_hops",
+            format!(
+                "{:.4}",
+                if self.noc.packets == 0 {
+                    0.0
+                } else {
+                    self.noc.hops as f64 / self.noc.packets as f64
+                }
+            ),
+            "Average hops per packet",
+        );
+        line(
+            "system.cpu.prefetcher.num_issued",
+            format!("{}", self.prefetches),
+            "Prefetches issued",
+        );
+        line(
+            "barrier_time_fraction",
+            format!("{:.6}", self.barrier_fraction),
+            "Fraction of core-time at barriers",
+        );
         out.push_str("---------- End Simulation Statistics   ----------\n");
         out
     }
@@ -262,8 +333,7 @@ impl System {
             for core in &self.cores {
                 eprintln!(
                     "core {}: state {:?} pending {:?} inflight {:?} barrier_count {}",
-                    core.id, core.state, core.pending, core.prefetch_inflight,
-                    self.barrier_count
+                    core.id, core.state, core.pending, core.prefetch_inflight, self.barrier_count
                 );
             }
             panic!(
@@ -333,7 +403,11 @@ impl System {
                     let from = core.node;
                     let already_inflight = !is_write && core.prefetch_inflight.remove(&line);
                     if !already_inflight {
-                        let kind = if is_write { MsgKind::GetM } else { MsgKind::GetS };
+                        let kind = if is_write {
+                            MsgKind::GetM
+                        } else {
+                            MsgKind::GetS
+                        };
                         let home = self.home_of(line);
                         self.send_to_home(
                             from,
@@ -361,7 +435,8 @@ impl System {
                         self.cfg.ctrl_flits,
                         t,
                     );
-                    self.queue.schedule(arrive, 0, Ev::BarrierArrive { core: c });
+                    self.queue
+                        .schedule(arrive, 0, Ev::BarrierArrive { core: c });
                     return;
                 }
             }
@@ -407,7 +482,8 @@ impl System {
                     self.cfg.ctrl_flits,
                     now,
                 );
-                self.queue.schedule(arrive, 0, Ev::BarrierRelease { core: c });
+                self.queue
+                    .schedule(arrive, 0, Ev::BarrierRelease { core: c });
             }
         }
     }
@@ -581,7 +657,10 @@ impl System {
         if !self.cores[c as usize].transaction_complete() {
             return;
         }
-        let p = self.cores[c as usize].pending.take().expect("pending checked");
+        let p = self.cores[c as usize]
+            .pending
+            .take()
+            .expect("pending checked");
         let latency_ps = now.saturating_sub(p.started).as_ps();
         self.cores[c as usize].stats.miss_latency_ps += latency_ps;
         self.miss_latency_hist.record(latency_ps / 1000); // ns buckets
@@ -742,8 +821,7 @@ impl System {
                     let bank = &mut self.banks[b as usize];
                     let entry = bank.dir.entry(msg.line).or_default();
                     let was_sharer = entry.is_sharer(req);
-                    let targets: Vec<u32> =
-                        entry.sharer_ids().filter(|&s| s != req).collect();
+                    let targets: Vec<u32> = entry.sharer_ids().filter(|&s| s != req).collect();
                     entry.sharers = 0;
                     (targets, was_sharer)
                 };
@@ -1004,10 +1082,9 @@ impl System {
         let misses: u64 = self.cores.iter().map(|c| c.stats.l1_misses).sum();
         let miss_lat: u64 = self.cores.iter().map(|c| c.stats.miss_latency_ps).sum();
         let barrier_ps: u64 = self.cores.iter().map(|c| c.stats.barrier_wait_ps).sum();
-        let (l2_hits, l2_misses) = self
-            .banks
-            .iter()
-            .fold((0u64, 0u64), |(h, m), b| (h + b.l2.hits(), m + b.l2.misses()));
+        let (l2_hits, l2_misses) = self.banks.iter().fold((0u64, 0u64), |(h, m), b| {
+            (h + b.l2.hits(), m + b.l2.misses())
+        });
         let dram: u64 = self.banks.iter().map(|b| b.dram_accesses).sum();
         let exec = self.finish.as_secs_f64();
         let cycles = self.clock.cycles_in(self.finish);
@@ -1226,7 +1303,9 @@ mod stats_txt_tests {
         let s = System::new(cfg).run(&gen);
         let txt = s.to_stats_txt();
         assert!(txt.starts_with("---------- Begin Simulation Statistics"));
-        assert!(txt.trim_end().ends_with("End Simulation Statistics   ----------"));
+        assert!(txt
+            .trim_end()
+            .ends_with("End Simulation Statistics   ----------"));
         assert!(txt.contains("sim_insts"));
         assert!(txt.contains("system.cpu.dcache.overall_miss_rate"));
         // Every stat line carries a gem5-style comment.
@@ -1235,7 +1314,12 @@ mod stats_txt_tests {
         }
         // sim_insts value round-trips.
         let insts_line = txt.lines().find(|l| l.starts_with("sim_insts")).unwrap();
-        let v: u64 = insts_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let v: u64 = insts_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert_eq!(v, s.instructions);
     }
 }

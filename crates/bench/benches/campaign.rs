@@ -1,0 +1,79 @@
+//! Campaign-engine overhead: what scheduling costs when the jobs
+//! themselves do nothing, and how fast the content-addressed cache
+//! answers. These bound the fixed tax the orchestrator adds on top of
+//! the experiments it runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use immersion_campaign::{Cache, CacheEntry, Campaign, Job, RunOptions};
+use serde_json::Value;
+
+fn noop_campaign(n: usize) -> Campaign {
+    let mut c = Campaign::new();
+    for i in 0..n {
+        c.add(Job::new(format!("job{i:03}"), &i, |_| Ok(Value::Null)));
+    }
+    c
+}
+
+/// Full run of N no-op jobs with no cache: pure scheduling overhead
+/// (graph validation, worker pool, key hashing, event plumbing).
+fn scheduler_overhead(c: &mut Criterion) {
+    let opts = RunOptions {
+        workers: 2,
+        retries: 0,
+        ..RunOptions::default()
+    };
+    let mut group = c.benchmark_group("scheduler");
+    for n in [16usize, 64] {
+        let camp = noop_campaign(n);
+        group.bench_function(format!("noop_jobs_{n}"), |b| {
+            b.iter(|| {
+                let report = camp.run(&opts, &|_| {}).unwrap();
+                assert!(report.all_ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cache performance: a raw single-entry load, and a full campaign run
+/// where every job is served from a warm cache (the resume path).
+fn cache_hits(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("watercool-campaign-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cache = Cache::open(dir.join("raw")).unwrap();
+    let entry = CacheEntry {
+        job: "warm".to_string(),
+        config: Value::U64(1),
+        output: Value::Str("x".repeat(256)),
+        wall_ms: 1,
+    };
+    cache.store("00112233aabbccdd", &entry).unwrap();
+    c.bench_function("cache_hit_load", |b| {
+        b.iter(|| {
+            let got = cache.load("00112233aabbccdd").unwrap();
+            assert_eq!(got.job, "warm");
+        })
+    });
+
+    let opts = RunOptions {
+        workers: 2,
+        retries: 0,
+        cache_dir: Some(dir.join("campaign")),
+        ..RunOptions::default()
+    };
+    let camp = noop_campaign(16);
+    camp.run(&opts, &|_| {}).unwrap(); // populate
+    c.bench_function("warm_campaign_16_jobs", |b| {
+        b.iter(|| {
+            let report = camp.run(&opts, &|_| {}).unwrap();
+            assert_eq!(report.cache_hits, 16);
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, scheduler_overhead, cache_hits);
+criterion_main!(benches);

@@ -31,8 +31,7 @@ fn bench_chip_scaling(c: &mut Criterion) {
         let cfg = SystemConfig::baseline(chips, 2.0);
         g.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |b, _| {
             b.iter(|| {
-                let gen =
-                    TraceGenerator::new(Benchmark::Ft.descriptor(), cfg.threads(), ops, 7);
+                let gen = TraceGenerator::new(Benchmark::Ft.descriptor(), cfg.threads(), ops, 7);
                 System::new(cfg).run(&gen).cycles
             })
         });

@@ -12,7 +12,7 @@
 //! writes each table as a CSV file into `DIR`.
 
 use immersion_bench::{run_experiment, Quality, EXPERIMENTS};
-use std::io::Write;
+use immersion_campaign::fsutil::atomic_write;
 use std::path::PathBuf;
 
 fn main() {
@@ -57,7 +57,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let q = if quick { Quality::quick() } else { Quality::full() };
+    let q = if quick {
+        Quality::quick()
+    } else {
+        Quality::full()
+    };
     for dir in [&csv_dir, &json_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
@@ -72,13 +76,12 @@ fn main() {
             println!("{table}");
             if let Some(dir) = &csv_dir {
                 let file = dir.join(format!("{name}_{i}.csv"));
-                let mut fh = std::fs::File::create(&file).expect("create csv");
-                fh.write_all(table.to_csv().as_bytes()).expect("write csv");
+                atomic_write(&file, table.to_csv().as_bytes()).expect("write csv");
             }
             if let Some(dir) = &json_dir {
                 let file = dir.join(format!("{name}_{i}.json"));
                 let json = serde_json::to_string_pretty(table).expect("serialise table");
-                std::fs::write(&file, json).expect("write json");
+                atomic_write(&file, json.as_bytes()).expect("write json");
             }
         }
         eprintln!("[{name}: {:.1?}]", t0.elapsed());

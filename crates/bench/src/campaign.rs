@@ -1,0 +1,126 @@
+//! The paper's experiment suite as a campaign: every table/figure
+//! function from [`crate::experiments`] registered as a [`Job`] whose
+//! config (experiment name + [`Quality`] knobs) is its cache identity,
+//! plus a `summary` roll-up job that depends on all of them.
+//!
+//! Running the suite through the engine instead of the flat loop in
+//! `src/bin/experiments.rs` buys parallelism across independent
+//! experiments, resume after a mid-run kill, and a machine-readable
+//! manifest mapping each job to its cache entry and CSV artifacts.
+
+use immersion_campaign::fsutil::atomic_write;
+use immersion_campaign::{Campaign, CampaignReport, Job};
+use immersion_core::report::Table;
+use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+use crate::experiments::{run_experiment, Quality, EXPERIMENTS};
+
+/// Name of the roll-up job that depends on every experiment.
+pub const SUMMARY_JOB: &str = "summary";
+
+/// The cache identity of one experiment job.
+#[derive(Serialize)]
+struct ExperimentConfig {
+    experiment: String,
+    quality: Quality,
+}
+
+/// Build the full campaign: one job per experiment in
+/// [`EXPERIMENTS`], then a [`SUMMARY_JOB`] ordered after all of them
+/// that tabulates what each produced (exercising dependency edges and
+/// downstream cache invalidation).
+pub fn build_campaign(q: Quality) -> Campaign {
+    let mut c = Campaign::new();
+    for &name in EXPERIMENTS {
+        let config = ExperimentConfig {
+            experiment: name.to_string(),
+            quality: q,
+        };
+        c.add(Job::new(name, &config, move |_ctx| {
+            let tables =
+                run_experiment(name, q).ok_or_else(|| format!("unknown experiment '{name}'"))?;
+            serde_json::to_value(&tables).map_err(|e| e.to_string())
+        }));
+    }
+
+    let config = ExperimentConfig {
+        experiment: SUMMARY_JOB.to_string(),
+        quality: q,
+    };
+    let mut summary = Job::new(SUMMARY_JOB, &config, |ctx| {
+        let mut t = Table::new("Campaign summary", &["experiment", "tables", "rows"]);
+        for (name, output) in ctx.deps() {
+            let tables = tables_from_output(output)?;
+            let rows: usize = tables.iter().map(Table::len).sum();
+            t.row(vec![
+                name.clone(),
+                tables.len().to_string(),
+                rows.to_string(),
+            ]);
+        }
+        serde_json::to_value(&vec![t]).map_err(|e| e.to_string())
+    });
+    for &name in EXPERIMENTS {
+        summary = summary.after(name);
+    }
+    c.add(summary);
+    c
+}
+
+/// Decode a job output (as stored in the cache) back into tables.
+pub fn tables_from_output(v: &Value) -> Result<Vec<Table>, String> {
+    serde_json::from_value(v).map_err(|e| e.to_string())
+}
+
+/// Write each completed job's tables to `<out>/<job>_<i>.csv`, in
+/// registration order so reruns are byte-identical, atomically so a
+/// kill never leaves a torn file. Returns `(job, path)` pairs for the
+/// manifest's artifact list.
+pub fn emit_csvs(
+    campaign: &Campaign,
+    report: &CampaignReport,
+    out_dir: &Path,
+) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut artifacts = Vec::new();
+    for name in campaign.job_names() {
+        let Some(output) = report.output(name) else {
+            continue;
+        };
+        let tables = tables_from_output(output)?;
+        for (i, t) in tables.iter().enumerate() {
+            let path = out_dir.join(format!("{name}_{i}.csv"));
+            atomic_write(&path, t.to_csv().as_bytes())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            artifacts.push((name.to_string(), path));
+        }
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_registers_every_experiment_plus_summary() {
+        let c = build_campaign(Quality::quick());
+        assert_eq!(c.len(), EXPERIMENTS.len() + 1);
+        let names: Vec<&str> = c.job_names().collect();
+        for &e in EXPERIMENTS {
+            assert!(names.contains(&e), "missing experiment job {e}");
+        }
+        assert_eq!(*names.last().unwrap(), SUMMARY_JOB);
+    }
+
+    #[test]
+    fn experiment_outputs_round_trip_as_tables() {
+        let tables = run_experiment("table1", Quality::quick()).unwrap();
+        let v = serde_json::to_value(&tables).unwrap();
+        let back = tables_from_output(&v).unwrap();
+        assert_eq!(back.len(), tables.len());
+        assert_eq!(back[0].title(), tables[0].title());
+        assert_eq!(back[0].to_csv(), tables[0].to_csv());
+    }
+}

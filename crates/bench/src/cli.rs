@@ -7,11 +7,16 @@
 //! watercool thermal-map --chip hf --chips 4 --cooling water --freq 3.6
 //! watercool simulate  --benchmark CG --chips 2 --freq 2.0 --ops 50000 [--gem5-stats]
 //! watercool export-flp --chip e5
+//! watercool campaign  [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR]
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency) and unit-tested
 //! here; the binary in `src/bin/watercool.rs` is a thin wrapper.
 
+use crate::campaign::{build_campaign, emit_csvs, SUMMARY_JOB};
+use crate::experiments::{Quality, EXPERIMENTS};
+use immersion_campaign::glob::glob_match;
+use immersion_campaign::{Cache, Manifest, ProgressPrinter, RunOptions};
 use immersion_core::design::CmpDesign;
 use immersion_core::explorer::{frequency_vs_chips, max_frequency, solve_at};
 use immersion_power::chips::{
@@ -69,6 +74,21 @@ pub enum Command {
         /// Chip key.
         chip: String,
     },
+    /// Run the experiment suite through the campaign engine.
+    Campaign {
+        /// Worker threads (0 = one per available core).
+        jobs: usize,
+        /// Glob over job names; selected jobs pull in their deps.
+        filter: Option<String>,
+        /// Ignore existing cache entries (fresh results still stored).
+        no_cache: bool,
+        /// Smoke-test quality instead of figure quality.
+        quick: bool,
+        /// Directory for CSVs, the manifest, and the result cache.
+        out: String,
+        /// Extra attempts after a first failure.
+        retries: u32,
+    },
     /// Print usage.
     Help,
 }
@@ -117,6 +137,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "export-flp" => Ok(Command::ExportFlp {
             chip: get_or("--chip", "hf"),
         }),
+        "campaign" => Ok(Command::Campaign {
+            jobs: num("--jobs", "0")? as usize,
+            filter: get("--filter").map(str::to_string),
+            no_cache: has("--no-cache"),
+            quick: has("--quick"),
+            out: get_or("--out", "results"),
+            retries: num("--retries", "2")? as u32,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -130,7 +158,8 @@ pub fn usage() -> String {
        sweep       --chip lp|hf|e5|phi --max-chips N\n\
        thermal-map --chip ... --chips N --cooling ... --freq GHz\n\
        simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
-       export-flp  --chip lp|hf|e5|phi"
+       export-flp  --chip lp|hf|e5|phi\n\
+       campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]"
         .to_string()
 }
 
@@ -261,6 +290,70 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let model = chip_by_key(&chip)?;
             Ok(immersion_thermal::hotspot_compat::to_flp(&model.floorplan))
         }
+        Command::Campaign {
+            jobs,
+            filter,
+            no_cache,
+            quick,
+            out,
+            retries,
+        } => {
+            let q = if quick {
+                Quality::quick()
+            } else {
+                Quality::full()
+            };
+            let c = build_campaign(q);
+            let out_dir = std::path::PathBuf::from(&out);
+            let cache_dir = out_dir.join("cache");
+            let opts = RunOptions {
+                workers: jobs,
+                cache_dir: Some(cache_dir.clone()),
+                use_cache: !no_cache,
+                retries,
+                filter: filter.clone(),
+                ..RunOptions::default()
+            };
+            // The summary job depends on everything, so a filter that
+            // matches it selects the whole suite.
+            let total = match filter.as_deref() {
+                None => c.len(),
+                Some(g) if glob_match(g, SUMMARY_JOB) => c.len(),
+                Some(g) => EXPERIMENTS.iter().filter(|n| glob_match(g, n)).count(),
+            };
+            let progress = ProgressPrinter::new(total);
+            let report = c
+                .run(&opts, &|ev| progress.handle(ev))
+                .map_err(|e| e.to_string())?;
+            let artifacts = emit_csvs(&c, &report, &out_dir)?;
+            let cache = Cache::open(&cache_dir).map_err(|e| e.to_string())?;
+            let mut manifest = Manifest::from_report(&report, jobs, Some(&cache));
+            for (job, path) in &artifacts {
+                manifest.add_artifact(job, path.display().to_string());
+            }
+            let manifest_path = out_dir.join("campaign_manifest.json");
+            manifest.write(&manifest_path).map_err(|e| e.to_string())?;
+            let completed = report.jobs.len() - report.failed - report.skipped;
+            let summary = format!(
+                "{} job(s): {completed} ok ({} from cache), {} failed, {} skipped \
+                 in {:.1}s; cache hit rate {:.0}%\n\
+                 {} CSV file(s) under {}; manifest at {}",
+                report.jobs.len(),
+                report.cache_hits,
+                report.failed,
+                report.skipped,
+                report.wall_ms as f64 / 1000.0,
+                report.cache_hit_rate() * 100.0,
+                artifacts.len(),
+                out_dir.display(),
+                manifest_path.display()
+            );
+            if report.all_ok() {
+                Ok(summary)
+            } else {
+                Err(summary)
+            }
+        }
     }
 }
 
@@ -321,8 +414,8 @@ mod tests {
 
     #[test]
     fn max_freq_runs_end_to_end() {
-        let out = run(parse(&args("max-freq --chip hf --chips 2 --cooling water")).unwrap())
-            .unwrap();
+        let out =
+            run(parse(&args("max-freq --chip hf --chips 2 --cooling water")).unwrap()).unwrap();
         assert!(out.contains("GHz"), "{out}");
     }
 
@@ -341,6 +434,35 @@ mod tests {
         let out = run(parse(&args("export-flp --chip phi")).unwrap()).unwrap();
         let fp = immersion_thermal::hotspot_compat::from_flp(&out).unwrap();
         assert_eq!(fp.len(), 36);
+    }
+
+    #[test]
+    fn parses_campaign_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("campaign")).unwrap(),
+            Command::Campaign {
+                jobs: 0,
+                filter: None,
+                no_cache: false,
+                quick: false,
+                out: "results".into(),
+                retries: 2,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "campaign --jobs 4 --filter fig1* --no-cache --quick --out /tmp/x --retries 0"
+            ))
+            .unwrap(),
+            Command::Campaign {
+                jobs: 4,
+                filter: Some("fig1*".into()),
+                no_cache: true,
+                quick: true,
+                out: "/tmp/x".into(),
+                retries: 0,
+            }
+        );
     }
 
     #[test]

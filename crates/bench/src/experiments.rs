@@ -23,10 +23,11 @@ use immersion_power::chips::{
 use immersion_power::mcpat::{area_report, relative_power_curve};
 use immersion_power::scaling::{irds_trajectory, project};
 use immersion_thermal::stack3d::{CoolingParams, PackageParams};
+use serde::{Deserialize, Serialize};
 
 /// Fidelity knobs: `full()` reproduces figure-quality settings,
 /// `quick()` is for smoke tests and CI.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Quality {
     /// Die thermal-grid resolution.
     pub grid: (usize, usize),
@@ -82,29 +83,40 @@ pub fn table1(_q: Quality) -> Vec<Table> {
     row("L1 cache latency", format!("{} cycle", cfg.l1_latency));
     row(
         "L2 cache size",
-        format!(
-            "{} MiB (assoc:{})",
-            cfg.l2_total_kib() / 1024,
-            cfg.l2_assoc
-        ),
+        format!("{} MiB (assoc:{})", cfg.l2_total_kib() / 1024, cfg.l2_assoc),
     );
     row("L2 cache latency", format!("{} cycles", cfg.l2_latency));
     row(
         "memory latency",
-        format!("{} cycles @ 2.0 GHz ({} ns)", cfg.dram_cycles(), cfg.dram_ns),
+        format!(
+            "{} cycles @ 2.0 GHz ({} ns)",
+            cfg.dram_cycles(),
+            cfg.dram_ns
+        ),
     );
     let area: f64 = area_report(&lp).values().sum();
     row("area", format!("{:.0} mm2", area * 1e6));
     row(
         "max power (low-power)",
-        format!("{} W @ {} GHz", lp.max_power_watts, lp.vfs.max_step().freq_ghz),
+        format!(
+            "{} W @ {} GHz",
+            lp.max_power_watts,
+            lp.vfs.max_step().freq_ghz
+        ),
     );
     row(
         "max power (high-frequency)",
-        format!("{} W @ {} GHz", hf.max_power_watts, hf.vfs.max_step().freq_ghz),
+        format!(
+            "{} W @ {} GHz",
+            hf.max_power_watts,
+            hf.vfs.max_step().freq_ghz
+        ),
     );
     row("router pipeline", "[RC][VSA][ST/LT]".into());
-    row("buffer size", format!("{} flits per VC", cfg.vc_buffer_flits));
+    row(
+        "buffer size",
+        format!("{} flits per VC", cfg.vc_buffer_flits),
+    );
     row("protocol", "MOESI directory".into());
     row("# of VCs", "3 (one per message class)".into());
     row(
@@ -121,7 +133,10 @@ pub fn table1(_q: Quality) -> Vec<Table> {
 /// Table 2: the HotSpot-style simulation parameters.
 pub fn table2(_q: Quality) -> Vec<Table> {
     let p = PackageParams::default();
-    let mut t = Table::new("Table 2: thermal simulation parameters", &["field", "value"]);
+    let mut t = Table::new(
+        "Table 2: thermal simulation parameters",
+        &["field", "value"],
+    );
     let mut row = |k: &str, v: String| {
         t.row(vec![k.to_string(), v]);
     };
@@ -155,7 +170,10 @@ pub fn table2(_q: Quality) -> Vec<Table> {
     );
     row(
         "TIM",
-        format!("{:.0} um, 4.0 W/mK (HotSpot default; see DESIGN.md)", p.tim_thickness * 1e6),
+        format!(
+            "{:.0} um, 4.0 W/mK (HotSpot default; see DESIGN.md)",
+            p.tim_thickness * 1e6
+        ),
     );
     row("outside temp", "25 C".into());
     row(
@@ -184,11 +202,7 @@ fn freq_vs_chips_table(
         let d = design(chip.clone(), 1, cooling, q);
         let series = frequency_vs_chips(&d, max_chips);
         let mut cells = vec![cooling.name.to_string()];
-        cells.extend(
-            series
-                .iter()
-                .map(|(_, s)| fmt_freq(s.map(|x| x.freq_ghz))),
-        );
+        cells.extend(series.iter().map(|(_, s)| fmt_freq(s.map(|x| x.freq_ghz))));
         t.row(cells);
     }
     t
@@ -325,7 +339,17 @@ fn thermal_map_tables(
         let core_max = sol.block_max(die, "CORE1").or(sol.block_max(die, "TILE1"));
         let l2_max = sol.block_max(die, "L2_6").or(sol.block_max(die, "TILE18"));
         summary.row(vec![
-            format!("die {} ({})", die + 1, if die == 0 { "bottom" } else if die == chips - 1 { "top" } else { "mid" }),
+            format!(
+                "die {} ({})",
+                die + 1,
+                if die == 0 {
+                    "bottom"
+                } else if die == chips - 1 {
+                    "top"
+                } else {
+                    "mid"
+                }
+            ),
             format!("{:.1}", map.min()),
             format!("{:.1}", map.max()),
             core_max.map(|v| format!("{v:.1}")).unwrap_or("-".into()),
@@ -337,7 +361,11 @@ fn thermal_map_tables(
     for (label, die) in [("bottom", 0usize), ("top", chips - 1)] {
         let map = sol.die_map(die).expect("die map");
         let mut t = Table::new(
-            &format!("{title} — {label} die map ({:.1}..{:.1} C)", map.min(), map.max()),
+            &format!(
+                "{title} — {label} die map ({:.1}..{:.1} C)",
+                map.min(),
+                map.max()
+            ),
             &["ascii"],
         );
         for line in map.ascii().lines() {
@@ -413,12 +441,18 @@ fn npb_figure(
     let reference = runs
         .iter()
         .find(|r| r.cooling == reference_name && r.freq_ghz.is_some())
-        .or_else(|| runs.iter().find(|r| r.cooling == "mineral-oil" && r.freq_ghz.is_some()))
+        .or_else(|| {
+            runs.iter()
+                .find(|r| r.cooling == "mineral-oil" && r.freq_ghz.is_some())
+        })
         .expect("a reference cooling must be feasible")
         .clone();
 
     let mut t = Table::new(
-        &format!("{title} (relative to {}, lower is better)", reference.cooling),
+        &format!(
+            "{title} (relative to {}, lower is better)",
+            reference.cooling
+        ),
         &[
             "cooling", "freq", "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "geomean",
         ],
@@ -661,8 +695,10 @@ pub fn ablations(q: Quality) -> Vec<Table> {
 
     // TSV/TCI metal fraction.
     for (label, frac) in [("bond metal 0%", 0.0), ("bond metal 5%", 0.05)] {
-        let mut p = PackageParams::default();
-        p.bond_metal_fraction = frac;
+        let p = PackageParams {
+            bond_metal_fraction: frac,
+            ..PackageParams::default()
+        };
         let d = design(chip.clone(), 6, CoolingParams::water_immersion(), q).with_package(p);
         t.row(vec![
             label.into(),
@@ -710,7 +746,6 @@ pub fn grid_convergence(_q: Quality) -> Vec<Table> {
     vec![t]
 }
 
-
 // ----------------------------------------------------------------------------
 // Extensions: DTM, layout optimization, flow engineering, IRDS scaling
 // ----------------------------------------------------------------------------
@@ -722,7 +757,12 @@ pub fn dtm_study(q: Quality) -> Vec<Table> {
     let ctrl = DtmController::new(chip.temp_threshold, 4.0);
     let mut t = Table::new(
         "DTM on the 4-chip high-frequency CMP (80 C trip, worst-case load)",
-        &["cooling", "settled freq (GHz)", "peak temp (C)", "throttled %"],
+        &[
+            "cooling",
+            "settled freq (GHz)",
+            "peak temp (C)",
+            "throttled %",
+        ],
     );
     for cooling in [
         CoolingParams::air(),
@@ -813,16 +853,20 @@ pub fn flow_study(q: Quality) -> Vec<Table> {
             q,
         );
         match max_frequency(&d) {
-            Some(step) => {
-                8.0 * immersion_power::mcpat::analyze(&chip, step, None).total()
-            }
+            Some(step) => 8.0 * immersion_power::mcpat::analyze(&chip, step, None).total(),
             None => 0.0,
         }
     };
     let sys = FlowSystem::water_tank();
     let mut t = Table::new(
         "Flow engineering: net sustained power vs pump speed (8-chip HF stack)",
-        &["v (m/s)", "h (W/m2K)", "pump (W)", "sustained (W)", "net (W)"],
+        &[
+            "v (m/s)",
+            "h (W/m2K)",
+            "pump (W)",
+            "sustained (W)",
+            "net (W)",
+        ],
     );
     for v in [0.05, 0.1, 0.2, 0.4, 0.8, 1.6] {
         let h = sys.h_at(v);
@@ -837,7 +881,10 @@ pub fn flow_study(q: Quality) -> Vec<Table> {
         ]);
     }
     let opt = sys.optimal_flow(0.05, 1.6, benefit);
-    let mut o = Table::new("Optimal operating point", &["v (m/s)", "h", "pump (W)", "net (W)"]);
+    let mut o = Table::new(
+        "Optimal operating point",
+        &["v (m/s)", "h", "pump (W)", "net (W)"],
+    );
     o.row(vec![
         format!("{:.2}", opt.v),
         format!("{:.0}", opt.h),
@@ -854,7 +901,14 @@ pub fn irds_study(q: Quality) -> Vec<Table> {
     let base = high_frequency_cmp();
     let mut t = Table::new(
         "IRDS power scaling: max frequency (GHz) of a 4-chip stack by year",
-        &["year", "chip W @ fmax", "air", "water-pipe", "mineral-oil", "water"],
+        &[
+            "year",
+            "chip W @ fmax",
+            "air",
+            "water-pipe",
+            "mineral-oil",
+            "water",
+        ],
     );
     for node in irds_trajectory() {
         let chip = project(&base, &node);
@@ -876,7 +930,6 @@ pub fn irds_study(q: Quality) -> Vec<Table> {
     vec![t]
 }
 
-
 /// Extension (§5.1 comparison): interlayer microchannel cooling vs
 /// plain immersion — frequency vs stack height.
 pub fn microchannel_study(q: Quality) -> Vec<Table> {
@@ -891,7 +944,10 @@ pub fn microchannel_study(q: Quality) -> Vec<Table> {
     );
     for (label, mc) in [
         ("water immersion", None),
-        ("immersion + microchannels", Some(MicrochannelParams::default())),
+        (
+            "immersion + microchannels",
+            Some(MicrochannelParams::default()),
+        ),
     ] {
         let mut cells = vec![label.to_string()];
         for n in 1..=12 {
@@ -1020,13 +1076,22 @@ pub fn riverfarm_study(q: Quality) -> Vec<Table> {
     let hall_pack = PackingModel::air_hall();
     t.row(vec![
         "IT density (kW/m2)".into(),
-        format!("{:.1}", frame.it_density_w_per_m2(w_river.max(1.0), 0.5) / 1000.0),
-        format!("{:.1}", hall_pack.it_density_w_per_m2(w_hall.max(1.0), 0.5) / 1000.0),
+        format!(
+            "{:.1}",
+            frame.it_density_w_per_m2(w_river.max(1.0), 0.5) / 1000.0
+        ),
+        format!(
+            "{:.1}",
+            hall_pack.it_density_w_per_m2(w_hall.max(1.0), 0.5) / 1000.0
+        ),
     ]);
     t.row(vec![
         "PUE".into(),
         format!("{:.3}", immersion_coolant::pue::pue(&frame.architecture)),
-        format!("{:.3}", immersion_coolant::pue::pue(&hall_pack.architecture)),
+        format!(
+            "{:.3}",
+            immersion_coolant::pue::pue(&hall_pack.architecture)
+        ),
     ]);
     // Reliability: node lifetime in 18 C river water vs dry hall.
     let board = BoardConfig::server_recommended(150.0);
@@ -1053,8 +1118,7 @@ pub fn prefetch_study(q: Quality) -> Vec<Table> {
         let run = |prefetch: bool| {
             let mut cfg = SystemConfig::baseline(2, 2.0);
             cfg.prefetch_next_line = prefetch;
-            let gen =
-                TraceGenerator::new(bench.descriptor(), cfg.threads(), q.ops_per_thread, 42);
+            let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), q.ops_per_thread, 42);
             System::new(cfg).run(&gen)
         };
         let off = run(false);
@@ -1075,9 +1139,36 @@ pub fn prefetch_study(q: Quality) -> Vec<Table> {
 
 /// All experiments by name, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "lifetime", "pue",
-    "ablations", "grid", "dtm", "layout", "flow", "irds", "prefetch", "microchannel", "density", "tsv", "riverfarm",
+    "table1",
+    "table2",
+    "fig1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "lifetime",
+    "pue",
+    "ablations",
+    "grid",
+    "dtm",
+    "layout",
+    "flow",
+    "irds",
+    "prefetch",
+    "microchannel",
+    "density",
+    "tsv",
+    "riverfarm",
 ];
 
 /// Run one experiment by name.

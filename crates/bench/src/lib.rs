@@ -9,7 +9,9 @@
 //! Criterion benches for the substrates themselves (thermal solver,
 //! NPB kernels, CMP simulator, explorer) live under `benches/`.
 
+pub mod campaign;
 pub mod cli;
 pub mod experiments;
 
+pub use campaign::{build_campaign, SUMMARY_JOB};
 pub use experiments::{run_experiment, Quality, EXPERIMENTS};

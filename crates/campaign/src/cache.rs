@@ -1,0 +1,120 @@
+//! Content-addressed on-disk result cache: one JSON file per cache
+//! key under `<dir>/<key>.json`. Entries self-describe (job name,
+//! config, output, wall time), so a cache directory is inspectable
+//! with nothing but `cat`. Corrupt or unreadable entries are treated
+//! as misses, never as errors — a killed run can always resume.
+
+use crate::fsutil::atomic_write;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One cached job result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The job that produced this entry.
+    pub job: String,
+    /// The job's full config (provenance; the key already commits to it).
+    pub config: Value,
+    /// The job's output payload.
+    pub output: Value,
+    /// Wall time of the producing run, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// A cache directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Cache { dir })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a given key maps to.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Look up a key. Missing or corrupt entries are `None`.
+    pub fn load(&self, key: &str) -> Option<CacheEntry> {
+        let bytes = std::fs::read(self.path_for(key)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Store an entry under `key` (atomic; concurrent writers of the
+    /// same key are idempotent because the content is identical).
+    pub fn store(&self, key: &str, entry: &CacheEntry) -> io::Result<PathBuf> {
+        let path = self.path_for(key);
+        let json = serde_json::to_string_pretty(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(&path, json.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Number of entries currently on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_cache(tag: &str) -> Cache {
+        let d =
+            std::env::temp_dir().join(format!("immersion-cache-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&d);
+        Cache::open(d).unwrap()
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let cache = scratch_cache("rt");
+        let entry = CacheEntry {
+            job: "fig7".into(),
+            config: serde_json::from_str(r#"{"grid": [8, 8]}"#).unwrap(),
+            output: serde_json::from_str(r#"[1, 2, 3]"#).unwrap(),
+            wall_ms: 42,
+        };
+        assert!(cache.load("abc").is_none());
+        cache.store("abc", &entry).unwrap();
+        let back = cache.load("abc").unwrap();
+        assert_eq!(back.job, "fig7");
+        assert_eq!(back.wall_ms, 42);
+        assert_eq!(back.output, entry.output);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = scratch_cache("corrupt");
+        std::fs::write(cache.path_for("bad"), b"{not json").unwrap();
+        assert!(cache.load("bad").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

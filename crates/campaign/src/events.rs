@@ -1,0 +1,149 @@
+//! Structured scheduler events, plus a human-readable progress
+//! reporter. The engine emits every state transition through a
+//! callback; consumers can render live progress, log to a file, or
+//! ignore events entirely.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One scheduler state transition.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A job left the ready queue and began executing.
+    Started {
+        /// Job name.
+        job: String,
+    },
+    /// A job was satisfied straight from the result cache.
+    CacheHit {
+        /// Job name.
+        job: String,
+        /// The content-addressed key that hit.
+        key: String,
+    },
+    /// A job ran to completion.
+    Finished {
+        /// Job name.
+        job: String,
+        /// The key its result was stored under.
+        key: String,
+        /// Wall time of this run in milliseconds.
+        wall_ms: u64,
+        /// Number of attempts it took (1 = first try).
+        attempts: u32,
+    },
+    /// An attempt failed and the job will be retried after a backoff.
+    Retrying {
+        /// Job name.
+        job: String,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// The failure message.
+        error: String,
+        /// Backoff before the next attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A job exhausted its retries.
+    Failed {
+        /// Job name.
+        job: String,
+        /// Total attempts made.
+        attempts: u32,
+        /// The final failure message.
+        error: String,
+    },
+    /// A job was skipped because a dependency failed or was skipped.
+    Skipped {
+        /// Job name.
+        job: String,
+        /// The dependency that caused the skip.
+        because: String,
+    },
+}
+
+impl Event {
+    /// The job this event concerns.
+    pub fn job(&self) -> &str {
+        match self {
+            Event::Started { job }
+            | Event::CacheHit { job, .. }
+            | Event::Finished { job, .. }
+            | Event::Retrying { job, .. }
+            | Event::Failed { job, .. }
+            | Event::Skipped { job, .. } => job,
+        }
+    }
+}
+
+/// Renders events as `[done/total]` progress lines on stderr.
+pub struct ProgressPrinter {
+    total: usize,
+    done: AtomicUsize,
+}
+
+impl ProgressPrinter {
+    /// A printer expecting `total` terminal events.
+    pub fn new(total: usize) -> ProgressPrinter {
+        ProgressPrinter {
+            total,
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    /// Handle one event (thread-safe).
+    pub fn handle(&self, ev: &Event) {
+        let line = match ev {
+            Event::Started { .. } => return, // only report terminal transitions
+            Event::CacheHit { job, key } => {
+                let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                format!("[{n}/{}] {job}: cached ({key})", self.total)
+            }
+            Event::Finished {
+                job,
+                wall_ms,
+                attempts,
+                ..
+            } => {
+                let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                let retry = if *attempts > 1 {
+                    format!(" after {attempts} attempts")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "[{n}/{}] {job}: done in {:.1}s{retry}",
+                    self.total,
+                    *wall_ms as f64 / 1000.0
+                )
+            }
+            Event::Retrying {
+                job,
+                attempt,
+                error,
+                backoff_ms,
+            } => format!(
+                "      {job}: attempt {attempt} failed ({error}); retrying in {backoff_ms} ms"
+            ),
+            Event::Failed {
+                job,
+                attempts,
+                error,
+            } => {
+                let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                format!(
+                    "[{n}/{}] {job}: FAILED after {attempts} attempts: {error}",
+                    self.total
+                )
+            }
+            Event::Skipped { job, because } => {
+                let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                format!(
+                    "[{n}/{}] {job}: skipped ({because} did not complete)",
+                    self.total
+                )
+            }
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}

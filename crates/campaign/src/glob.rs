@@ -1,0 +1,52 @@
+//! Minimal glob matching for `--filter`: `*` matches any run of
+//! characters, `?` matches exactly one. No character classes, no
+//! separators — job names are flat.
+
+/// Does `text` match `pattern`?
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative matcher with single-star backtracking.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after *, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::glob_match;
+
+    #[test]
+    fn literals_and_wildcards() {
+        assert!(glob_match("fig7", "fig7"));
+        assert!(!glob_match("fig7", "fig8"));
+        assert!(glob_match("fig*", "fig12"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("fig?", "fig7"));
+        assert!(!glob_match("fig?", "fig12"));
+        assert!(glob_match("*oil*", "mineral_oil_sweep"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-b-y"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("**", "x"));
+    }
+}

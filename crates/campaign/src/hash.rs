@@ -1,0 +1,70 @@
+//! Content hashing for cache keys: FNV-1a over the canonical JSON
+//! encoding of a job's config. Canonical means object keys are sorted
+//! — which the JSON layer guarantees by construction (objects are
+//! `BTreeMap`s) — so a config hashes identically no matter how it was
+//! built or round-tripped.
+
+use serde_json::Value;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The cache key for a job: a 16-hex-digit digest of its canonical
+/// JSON config plus the cache keys of its dependencies (so a change
+/// anywhere upstream invalidates everything downstream).
+pub fn cache_key(config: &Value, dep_keys: &[(String, String)]) -> String {
+    let mut material = std::collections::BTreeMap::new();
+    material.insert("config".to_string(), config.clone());
+    material.insert(
+        "deps".to_string(),
+        Value::Map(
+            dep_keys
+                .iter()
+                .map(|(name, key)| (name.clone(), Value::Str(key.clone())))
+                .collect(),
+        ),
+    );
+    let canonical = serde_json::to_string(&Value::Map(material))
+        .expect("canonical JSON serialization cannot fail");
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_ignores_map_insertion_order() {
+        let a: Value = serde_json::from_str(r#"{"x": 1, "y": 2}"#).unwrap();
+        let b: Value = serde_json::from_str(r#"{"y": 2, "x": 1}"#).unwrap();
+        assert_eq!(cache_key(&a, &[]), cache_key(&b, &[]));
+    }
+
+    #[test]
+    fn key_changes_with_config_and_deps() {
+        let a: Value = serde_json::from_str(r#"{"x": 1}"#).unwrap();
+        let b: Value = serde_json::from_str(r#"{"x": 2}"#).unwrap();
+        assert_ne!(cache_key(&a, &[]), cache_key(&b, &[]));
+        let with_dep = cache_key(&a, &[("d".into(), "00".into())]);
+        assert_ne!(cache_key(&a, &[]), with_dep);
+        assert_ne!(cache_key(&a, &[("d".into(), "01".into())]), with_dep);
+    }
+}

@@ -1,0 +1,91 @@
+//! Job definitions: a stable name, a serializable config (the cache
+//! identity), dependency edges, and the work closure itself.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// The work a job performs: given its context (dependency outputs),
+/// produce a JSON payload or a failure message.
+pub type Work = Box<dyn Fn(&JobCtx) -> Result<Value, String> + Send + Sync>;
+
+/// One unit of schedulable work.
+pub struct Job {
+    pub(crate) name: String,
+    pub(crate) config: Value,
+    pub(crate) deps: Vec<String>,
+    pub(crate) work: Work,
+}
+
+impl Job {
+    /// A job named `name` whose identity is `config` (serialized
+    /// canonically and hashed into the cache key). Two jobs with equal
+    /// configs and equal dependency results share a cache entry.
+    pub fn new<C, F>(name: impl Into<String>, config: &C, work: F) -> Job
+    where
+        C: Serialize,
+        F: Fn(&JobCtx) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        Job {
+            name: name.into(),
+            config: serde_json::to_value(config).expect("job config must serialize"),
+            deps: Vec::new(),
+            work: Box::new(work),
+        }
+    }
+
+    /// Require `dep` to complete successfully before this job runs;
+    /// its output becomes visible through [`JobCtx::dep`].
+    pub fn after(mut self, dep: impl Into<String>) -> Job {
+        self.deps.push(dep.into());
+        self
+    }
+
+    /// This job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This job's canonical config.
+    pub fn config(&self) -> &Value {
+        &self.config
+    }
+
+    /// Declared dependencies, in declaration order.
+    pub fn deps(&self) -> &[String] {
+        &self.deps
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a running job can see: its own name and the outputs of its
+/// dependencies.
+pub struct JobCtx {
+    pub(crate) name: String,
+    pub(crate) dep_outputs: BTreeMap<String, Value>,
+}
+
+impl JobCtx {
+    /// The running job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The output of dependency `name`, if declared and completed.
+    pub fn dep(&self, name: &str) -> Option<&Value> {
+        self.dep_outputs.get(name)
+    }
+
+    /// All dependency outputs, keyed by job name.
+    pub fn deps(&self) -> &BTreeMap<String, Value> {
+        &self.dep_outputs
+    }
+}

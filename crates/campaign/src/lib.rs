@@ -1,0 +1,85 @@
+//! # immersion-campaign
+//!
+//! A deterministic experiment-orchestration engine. Each experiment is
+//! a [`Job`]: a stable name, a serializable config that *is* its cache
+//! identity, dependency edges, and a work closure producing a JSON
+//! payload. A [`Campaign`] schedules ready jobs across a worker pool,
+//! stores every successful result in a content-addressed on-disk
+//! cache, and therefore resumes instantly after partial failures or a
+//! mid-run kill: anything already computed for the same config (and
+//! the same upstream results) is a cache hit.
+//!
+//! ```
+//! use immersion_campaign::{Campaign, Job, RunOptions};
+//! use serde_json::Value;
+//!
+//! let mut c = Campaign::new();
+//! c.add(Job::new("double", &21u64, |_| Ok(Value::U64(42))));
+//! c.add(Job::new("report", &"sum", |ctx| {
+//!     Ok(ctx.dep("double").cloned().unwrap())
+//! }).after("double"));
+//! let report = c.run(&RunOptions::default(), &|_| {}).unwrap();
+//! assert!(report.all_ok());
+//! assert_eq!(report.output("report"), Some(&Value::U64(42)));
+//! ```
+
+pub mod cache;
+pub mod events;
+pub mod fsutil;
+pub mod glob;
+pub mod hash;
+mod job;
+pub mod manifest;
+mod scheduler;
+
+pub use cache::{Cache, CacheEntry};
+pub use events::{Event, ProgressPrinter};
+pub use job::{Job, JobCtx};
+pub use manifest::Manifest;
+pub use scheduler::{CampaignError, CampaignReport, JobRecord, JobStatus, RunOptions};
+
+/// A set of jobs plus their dependency edges; run it with
+/// [`Campaign::run`].
+#[derive(Default)]
+pub struct Campaign {
+    jobs: Vec<Job>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Campaign {
+        Campaign::default()
+    }
+
+    /// Register a job. Names must be unique (checked at run time so
+    /// registration can stay infallible and chainable).
+    pub fn add(&mut self, job: Job) -> &mut Campaign {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Registered job names, in registration order.
+    pub fn job_names(&self) -> impl Iterator<Item = &str> {
+        self.jobs.iter().map(Job::name)
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Is the campaign empty?
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute the campaign. `on_event` observes every scheduler
+    /// transition (pass `&|_| {}` to ignore them).
+    pub fn run(
+        &self,
+        opts: &RunOptions,
+        on_event: &(dyn Fn(&Event) + Sync),
+    ) -> Result<CampaignReport, CampaignError> {
+        scheduler::run(&self.jobs, opts, on_event)
+    }
+}

@@ -1,0 +1,105 @@
+//! The machine-readable campaign manifest: what ran, from where, and
+//! which artifacts each job produced. Written atomically so a
+//! manifest on disk always describes a consistent campaign.
+
+use crate::cache::Cache;
+use crate::fsutil::atomic_write;
+use crate::scheduler::{CampaignReport, JobStatus};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Cache statistics for one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ManifestCacheStats {
+    /// Jobs served from cache.
+    pub hits: usize,
+    /// Jobs that executed.
+    pub misses: usize,
+    /// hits / (hits + misses), 0 when nothing ran.
+    pub hit_rate: f64,
+}
+
+/// One job's row in the manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct ManifestJob {
+    /// Job name.
+    pub name: String,
+    /// Content-addressed cache key.
+    pub key: Option<String>,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Wall time this run, milliseconds.
+    pub wall_ms: u64,
+    /// Attempts made.
+    pub attempts: u32,
+    /// Final error, for failed jobs.
+    pub error: Option<String>,
+    /// Path of the cache entry backing this result, if cached to disk.
+    pub cache_file: Option<String>,
+    /// Result artifacts (e.g. CSV files) derived from this job's
+    /// output, filled in by the caller that writes them.
+    pub artifacts: Vec<String>,
+}
+
+/// The campaign manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub schema: u32,
+    /// Total campaign wall time, milliseconds.
+    pub wall_ms: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache statistics.
+    pub cache: ManifestCacheStats,
+    /// Per-job rows, in registration order.
+    pub jobs: Vec<ManifestJob>,
+}
+
+impl Manifest {
+    /// Build a manifest from a finished run.
+    pub fn from_report(report: &CampaignReport, workers: usize, cache: Option<&Cache>) -> Manifest {
+        Manifest {
+            schema: 1,
+            wall_ms: report.wall_ms,
+            workers,
+            cache: ManifestCacheStats {
+                hits: report.cache_hits,
+                misses: report.cache_misses,
+                hit_rate: report.cache_hit_rate(),
+            },
+            jobs: report
+                .jobs
+                .iter()
+                .map(|r| ManifestJob {
+                    name: r.name.clone(),
+                    key: r.key.clone(),
+                    status: r.status,
+                    wall_ms: r.wall_ms,
+                    attempts: r.attempts,
+                    error: r.error.clone(),
+                    cache_file: match (&r.key, cache) {
+                        (Some(k), Some(c)) => Some(c.path_for(k).to_string_lossy().into_owned()),
+                        _ => None,
+                    },
+                    artifacts: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Record that `job` produced the artifact at `path`.
+    pub fn add_artifact(&mut self, job: &str, path: impl Into<String>) {
+        if let Some(row) = self.jobs.iter_mut().find(|j| j.name == job) {
+            row.artifacts.push(path.into());
+        }
+    }
+
+    /// Write the manifest as pretty JSON, atomically.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(path, json.as_bytes())
+    }
+}

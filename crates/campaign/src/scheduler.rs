@@ -1,0 +1,584 @@
+//! The campaign scheduler: Kahn-validated dependency graph, a scoped
+//! worker pool pulling from a ready queue, per-job retry with capped
+//! exponential backoff, and content-addressed caching of every
+//! successful result.
+
+use crate::cache::{Cache, CacheEntry};
+use crate::events::Event;
+use crate::glob::glob_match;
+use crate::hash::cache_key;
+use crate::job::{Job, JobCtx};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// How a campaign run should execute.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Result-cache directory; `None` disables persistence entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Consult existing cache entries? When `false`, jobs always
+    /// re-run (fresh results are still stored).
+    pub use_cache: bool,
+    /// Extra attempts after the first failure.
+    pub retries: u32,
+    /// First retry backoff in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Glob over job names; selected jobs pull in their transitive
+    /// dependencies.
+    pub filter: Option<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            workers: 0,
+            cache_dir: None,
+            use_cache: true,
+            retries: 2,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2000,
+            filter: None,
+        }
+    }
+}
+
+/// Why a campaign could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// Two jobs share a name.
+    DuplicateJob(String),
+    /// A job depends on a name that was never registered.
+    UnknownDependency {
+        /// The depending job.
+        job: String,
+        /// The missing dependency.
+        dep: String,
+    },
+    /// The dependency graph has a cycle through these jobs.
+    Cycle(Vec<String>),
+    /// The cache directory could not be opened.
+    Io(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::DuplicateJob(name) => write!(f, "duplicate job name: {name}"),
+            CampaignError::UnknownDependency { job, dep } => {
+                write!(f, "job {job} depends on unknown job {dep}")
+            }
+            CampaignError::Cycle(names) => {
+                write!(f, "dependency cycle through: {}", names.join(", "))
+            }
+            CampaignError::Io(e) => write!(f, "cache I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Ran to completion this run.
+    Completed,
+    /// Satisfied from the result cache.
+    Cached,
+    /// Exhausted its retries.
+    Failed,
+    /// Not run because a dependency did not complete.
+    Skipped,
+}
+
+/// The record a finished campaign keeps for each selected job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job name.
+    pub name: String,
+    /// Content-addressed cache key (absent for skipped jobs).
+    pub key: Option<String>,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Wall time spent on the job this run, in milliseconds.
+    pub wall_ms: u64,
+    /// Attempts made (0 for cached or skipped jobs).
+    pub attempts: u32,
+    /// Final error, for failed jobs.
+    pub error: Option<String>,
+}
+
+/// The outcome of a campaign run.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-job records, in registration order (selected jobs only).
+    pub jobs: Vec<JobRecord>,
+    /// Outputs of successful jobs, keyed by name.
+    pub outputs: BTreeMap<String, Value>,
+    /// Total wall time in milliseconds.
+    pub wall_ms: u64,
+    /// Jobs satisfied from the cache.
+    pub cache_hits: usize,
+    /// Jobs that actually executed.
+    pub cache_misses: usize,
+    /// Jobs that exhausted retries.
+    pub failed: usize,
+    /// Jobs skipped due to upstream failure.
+    pub skipped: usize,
+}
+
+impl CampaignReport {
+    /// The output of job `name`, if it succeeded.
+    pub fn output(&self, name: &str) -> Option<&Value> {
+        self.outputs.get(name)
+    }
+
+    /// Fraction of non-skipped jobs served from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.cache_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+
+    /// Did every selected job succeed (run or cached)?
+    pub fn all_ok(&self) -> bool {
+        self.failed == 0 && self.skipped == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+struct State {
+    ready: VecDeque<usize>,
+    /// Unsatisfied selected dependencies per job.
+    pending: Vec<usize>,
+    records: Vec<Option<JobRecord>>,
+    outputs: Vec<Option<Value>>,
+    keys: Vec<Option<String>>,
+    remaining: usize,
+}
+
+struct Shared<'a> {
+    jobs: &'a [Job],
+    dependents: Vec<Vec<usize>>,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// Select the jobs to run: those matching `filter` (all, if none)
+/// plus their transitive dependencies. Returns a selected flag per
+/// job index.
+fn select(jobs: &[Job], by_name: &HashMap<&str, usize>, filter: Option<&str>) -> Vec<bool> {
+    let mut selected = vec![false; jobs.len()];
+    let mut stack: Vec<usize> = match filter {
+        None => (0..jobs.len()).collect(),
+        Some(pat) => jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| glob_match(pat, &j.name))
+            .map(|(i, _)| i)
+            .collect(),
+    };
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut selected[i], true) {
+            continue;
+        }
+        for dep in &jobs[i].deps {
+            stack.push(by_name[dep.as_str()]);
+        }
+    }
+    selected
+}
+
+/// Kahn's algorithm over the selected subgraph; errors with the names
+/// still unprocessed if a cycle exists.
+fn check_acyclic(
+    jobs: &[Job],
+    by_name: &HashMap<&str, usize>,
+    selected: &[bool],
+) -> Result<(), CampaignError> {
+    let mut indegree: Vec<usize> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| if selected[i] { j.deps.len() } else { 0 })
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+    for (i, j) in jobs.iter().enumerate() {
+        if selected[i] {
+            for dep in &j.deps {
+                dependents[by_name[dep.as_str()]].push(i);
+            }
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..jobs.len())
+        .filter(|&i| selected[i] && indegree[i] == 0)
+        .collect();
+    let mut done = vec![false; jobs.len()];
+    while let Some(i) = queue.pop_front() {
+        done[i] = true;
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    let stuck: Vec<String> = (0..jobs.len())
+        .filter(|&i| selected[i] && !done[i])
+        .map(|i| jobs[i].name.clone())
+        .collect();
+    if stuck.is_empty() {
+        Ok(())
+    } else {
+        Err(CampaignError::Cycle(stuck))
+    }
+}
+
+pub(crate) fn run(
+    jobs: &[Job],
+    opts: &RunOptions,
+    on_event: &(dyn Fn(&Event) + Sync),
+) -> Result<CampaignReport, CampaignError> {
+    let started = Instant::now();
+
+    // --- Validate the graph.
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        if by_name.insert(j.name.as_str(), i).is_some() {
+            return Err(CampaignError::DuplicateJob(j.name.clone()));
+        }
+    }
+    for j in jobs {
+        for dep in &j.deps {
+            if !by_name.contains_key(dep.as_str()) {
+                return Err(CampaignError::UnknownDependency {
+                    job: j.name.clone(),
+                    dep: dep.clone(),
+                });
+            }
+            if dep == &j.name {
+                return Err(CampaignError::Cycle(vec![j.name.clone()]));
+            }
+        }
+    }
+    let selected = select(jobs, &by_name, opts.filter.as_deref());
+    check_acyclic(jobs, &by_name, &selected)?;
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(Cache::open(dir).map_err(|e| CampaignError::Io(e.to_string()))?),
+        None => None,
+    };
+
+    // --- Build scheduler state.
+    let n_selected = selected.iter().filter(|&&s| s).count();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+    let mut pending = vec![0usize; jobs.len()];
+    for (i, j) in jobs.iter().enumerate() {
+        if selected[i] {
+            pending[i] = j.deps.len();
+            for dep in &j.deps {
+                dependents[by_name[dep.as_str()]].push(i);
+            }
+        }
+    }
+    let ready: VecDeque<usize> = (0..jobs.len())
+        .filter(|&i| selected[i] && pending[i] == 0)
+        .collect();
+    let shared = Shared {
+        jobs,
+        dependents,
+        state: Mutex::new(State {
+            ready,
+            pending,
+            records: vec![None; jobs.len()],
+            outputs: vec![None; jobs.len()],
+            keys: vec![None; jobs.len()],
+            remaining: n_selected,
+        }),
+        wake: Condvar::new(),
+    };
+
+    let workers = match opts.workers {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+    .min(n_selected.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker(&shared, opts, cache.as_ref(), on_event));
+        }
+    });
+
+    // --- Assemble the report.
+    let state = shared.state.into_inner().expect("scheduler state poisoned");
+    let mut report = CampaignReport {
+        jobs: Vec::with_capacity(n_selected),
+        outputs: BTreeMap::new(),
+        wall_ms: started.elapsed().as_millis() as u64,
+        cache_hits: 0,
+        cache_misses: 0,
+        failed: 0,
+        skipped: 0,
+    };
+    for (i, &sel) in selected.iter().enumerate() {
+        if !sel {
+            continue;
+        }
+        let record = state.records[i]
+            .clone()
+            .expect("selected job left without a terminal record");
+        match record.status {
+            JobStatus::Completed => report.cache_misses += 1,
+            JobStatus::Cached => report.cache_hits += 1,
+            JobStatus::Failed => report.failed += 1,
+            JobStatus::Skipped => report.skipped += 1,
+        }
+        if let Some(out) = &state.outputs[i] {
+            report.outputs.insert(record.name.clone(), out.clone());
+        }
+        report.jobs.push(record);
+    }
+    Ok(report)
+}
+
+fn worker(
+    shared: &Shared<'_>,
+    opts: &RunOptions,
+    cache: Option<&Cache>,
+    on_event: &(dyn Fn(&Event) + Sync),
+) {
+    loop {
+        // --- Claim a ready job (or exit when the campaign is done).
+        let idx;
+        let dep_keys;
+        let ctx;
+        {
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            idx = loop {
+                if let Some(i) = st.ready.pop_front() {
+                    break i;
+                }
+                if st.remaining == 0 {
+                    return;
+                }
+                st = shared.wake.wait(st).expect("scheduler state poisoned");
+            };
+            let job = &shared.jobs[idx];
+            dep_keys = job
+                .deps
+                .iter()
+                .map(|d| {
+                    let di = shared.jobs.iter().position(|j| &j.name == d).unwrap();
+                    (
+                        d.clone(),
+                        st.keys[di].clone().expect("dep finished without key"),
+                    )
+                })
+                .collect::<Vec<_>>();
+            ctx = JobCtx {
+                name: job.name.clone(),
+                dep_outputs: job
+                    .deps
+                    .iter()
+                    .map(|d| {
+                        let di = shared.jobs.iter().position(|j| &j.name == d).unwrap();
+                        (
+                            d.clone(),
+                            st.outputs[di].clone().expect("dep finished without output"),
+                        )
+                    })
+                    .collect(),
+            };
+        }
+
+        let job = &shared.jobs[idx];
+        let key = cache_key(&job.config, &dep_keys);
+
+        // --- Cache probe.
+        if opts.use_cache {
+            if let Some(entry) = cache.and_then(|c| c.load(&key)) {
+                on_event(&Event::CacheHit {
+                    job: job.name.clone(),
+                    key: key.clone(),
+                });
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    key: Some(key),
+                    status: JobStatus::Cached,
+                    wall_ms: 0,
+                    attempts: 0,
+                    error: None,
+                };
+                finish(shared, idx, record, Some(entry.output), on_event);
+                continue;
+            }
+        }
+
+        // --- Execute, with retries.
+        on_event(&Event::Started {
+            job: job.name.clone(),
+        });
+        let job_start = Instant::now();
+        let max_attempts = opts.retries + 1;
+        let mut outcome: Result<Value, String> = Err("job never ran".to_string());
+        let mut attempts = 0;
+        for attempt in 1..=max_attempts {
+            attempts = attempt;
+            let result = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));
+            outcome = match result {
+                Ok(r) => r,
+                // as_ref() so we downcast the payload, not the Box.
+                Err(panic) => Err(panic_message(panic.as_ref())),
+            };
+            if outcome.is_ok() {
+                break;
+            }
+            if attempt < max_attempts {
+                let backoff = (opts.backoff_base_ms << (attempt - 1)).min(opts.backoff_cap_ms);
+                on_event(&Event::Retrying {
+                    job: job.name.clone(),
+                    attempt,
+                    error: outcome.as_ref().err().cloned().unwrap_or_default(),
+                    backoff_ms: backoff,
+                });
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
+        let wall_ms = job_start.elapsed().as_millis() as u64;
+
+        match outcome {
+            Ok(output) => {
+                if let Some(c) = cache {
+                    // Best-effort: a failed store costs a future
+                    // cache hit, not the result.
+                    let _ = c.store(
+                        &key,
+                        &CacheEntry {
+                            job: job.name.clone(),
+                            config: job.config.clone(),
+                            output: output.clone(),
+                            wall_ms,
+                        },
+                    );
+                }
+                on_event(&Event::Finished {
+                    job: job.name.clone(),
+                    key: key.clone(),
+                    wall_ms,
+                    attempts,
+                });
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    key: Some(key),
+                    status: JobStatus::Completed,
+                    wall_ms,
+                    attempts,
+                    error: None,
+                };
+                finish(shared, idx, record, Some(output), on_event);
+            }
+            Err(error) => {
+                on_event(&Event::Failed {
+                    job: job.name.clone(),
+                    attempts,
+                    error: error.clone(),
+                });
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    key: Some(key),
+                    status: JobStatus::Failed,
+                    wall_ms,
+                    attempts,
+                    error: Some(error),
+                };
+                finish(shared, idx, record, None, on_event);
+            }
+        }
+    }
+}
+
+/// Commit a terminal record: release dependents on success, cascade
+/// skips on failure, wake waiting workers.
+fn finish(
+    shared: &Shared<'_>,
+    idx: usize,
+    record: JobRecord,
+    output: Option<Value>,
+    on_event: &(dyn Fn(&Event) + Sync),
+) {
+    let succeeded = matches!(record.status, JobStatus::Completed | JobStatus::Cached);
+    let mut skip_events = Vec::new();
+    {
+        let mut st = shared.state.lock().expect("scheduler state poisoned");
+        st.keys[idx] = record.key.clone();
+        st.records[idx] = Some(record);
+        st.outputs[idx] = output;
+        st.remaining -= 1;
+        if succeeded {
+            for &d in &shared.dependents[idx] {
+                if st.records[d].is_some() {
+                    continue; // already skipped via another dep
+                }
+                st.pending[d] -= 1;
+                if st.pending[d] == 0 {
+                    st.ready.push_back(d);
+                }
+            }
+        } else {
+            // Transitively skip everything downstream.
+            let cause = shared.jobs[idx].name.clone();
+            let mut stack = vec![(idx, cause)];
+            while let Some((j, because)) = stack.pop() {
+                for &d in &shared.dependents[j] {
+                    if st.records[d].is_some() {
+                        continue;
+                    }
+                    st.records[d] = Some(JobRecord {
+                        name: shared.jobs[d].name.clone(),
+                        key: None,
+                        status: JobStatus::Skipped,
+                        wall_ms: 0,
+                        attempts: 0,
+                        error: Some(format!("dependency {because} did not complete")),
+                    });
+                    st.remaining -= 1;
+                    skip_events.push(Event::Skipped {
+                        job: shared.jobs[d].name.clone(),
+                        because: because.clone(),
+                    });
+                    stack.push((d, shared.jobs[d].name.clone()));
+                }
+            }
+        }
+    }
+    for ev in &skip_events {
+        on_event(ev);
+    }
+    shared.wake.notify_all();
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}

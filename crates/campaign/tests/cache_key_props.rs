@@ -1,0 +1,93 @@
+//! Property tests for cache-key stability: a job config that goes
+//! through a serde round trip (serialize to JSON text, parse back)
+//! must land on the same content-addressed key, or resumed campaigns
+//! would silently recompute everything.
+
+use immersion_campaign::hash::cache_key;
+use proptest::prelude::*;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Short lowercase identifier strings.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..10)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// A leaf JSON value: finite floats, signed/unsigned ints, bools,
+/// strings, null.
+fn arb_leaf() -> impl Strategy<Value = Value> {
+    (
+        0u8..6,
+        -1.0e9f64..1.0e9,
+        0u64..1_000_000_000,
+        -1_000_000i64..1_000_000,
+        proptest::bool::ANY,
+        arb_name(),
+    )
+        .prop_map(|(tag, f, u, i, b, s)| match tag {
+            0 => Value::F64(f),
+            1 => Value::U64(u),
+            // Through to_value so integers get the same U64/I64
+            // normalisation the engine's configs get.
+            2 => serde_json::to_value(&i).unwrap(),
+            3 => Value::Bool(b),
+            4 => Value::Str(s),
+            _ => Value::Null,
+        })
+}
+
+/// A config shaped like a real experiment config: a map of leaves,
+/// sequences of leaves, and one nested map (e.g. `quality`).
+fn arb_config() -> impl Strategy<Value = Value> {
+    (
+        proptest::collection::vec((arb_name(), arb_leaf()), 1..8),
+        proptest::collection::vec(arb_leaf(), 0..6),
+        proptest::collection::vec((arb_name(), arb_leaf()), 0..5),
+        arb_name(),
+    )
+        .prop_map(|(fields, seq, nested, seq_key)| {
+            let mut map: BTreeMap<String, Value> = fields.into_iter().collect();
+            map.insert(seq_key, Value::Seq(seq));
+            map.insert(
+                "quality".to_string(),
+                Value::Map(nested.into_iter().collect()),
+            );
+            Value::Map(map)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize -> parse -> rehash is the identity on cache keys.
+    #[test]
+    fn serde_round_trip_preserves_cache_key(config in arb_config()) {
+        let key = cache_key(&config, &[]);
+        let text = serde_json::to_string(&config).unwrap();
+        let reparsed: Value = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(&reparsed, &config, "round trip changed the value");
+        prop_assert_eq!(cache_key(&reparsed, &[]), key);
+        // Pretty-printing must not matter either.
+        let pretty: Value =
+            serde_json::from_str(&serde_json::to_string_pretty(&config).unwrap()).unwrap();
+        prop_assert_eq!(cache_key(&pretty, &[]), key);
+    }
+
+    /// Keys commit to dependency keys: permuting dep order must not
+    /// change the key (the material is key-sorted), but changing any
+    /// dep key must.
+    #[test]
+    fn dep_keys_feed_the_hash(config in arb_config(), flip in proptest::bool::ANY) {
+        let deps = vec![
+            ("alpha".to_string(), "0011223344556677".to_string()),
+            ("beta".to_string(), "8899aabbccddeeff".to_string()),
+        ];
+        let mut reversed = deps.clone();
+        reversed.reverse();
+        prop_assert_eq!(cache_key(&config, &deps), cache_key(&config, &reversed));
+        let mut mutated = deps.clone();
+        mutated[usize::from(flip)].1 = "ffffffffffffffff".to_string();
+        prop_assert!(cache_key(&config, &deps) != cache_key(&config, &mutated));
+    }
+}

@@ -1,0 +1,396 @@
+//! Integration tests for the campaign engine: scheduling order,
+//! concurrency, cache-key stability, resume after partial failure,
+//! and retry exhaustion.
+
+use immersion_campaign::{Campaign, Event, Job, JobStatus, Manifest, RunOptions};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "immersion-campaign-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn quiet() -> impl Fn(&Event) + Sync {
+    |_: &Event| {}
+}
+
+fn no_retry() -> RunOptions {
+    RunOptions {
+        retries: 0,
+        backoff_base_ms: 0,
+        ..RunOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dependencies_run_before_dependents() {
+    let order = Arc::new(Mutex::new(Vec::<String>::new()));
+    let mut c = Campaign::new();
+    for (name, deps) in [
+        ("d", vec!["b", "c"]),
+        ("b", vec!["a"]),
+        ("c", vec!["a"]),
+        ("a", vec![]),
+    ] {
+        let order = Arc::clone(&order);
+        let mut job = Job::new(name, &name, move |ctx| {
+            order.lock().unwrap().push(ctx.name().to_string());
+            Ok(Value::Null)
+        });
+        for d in deps {
+            job = job.after(d);
+        }
+        c.add(job);
+    }
+    let report = c.run(&no_retry(), &quiet()).unwrap();
+    assert!(report.all_ok());
+    let order = order.lock().unwrap();
+    let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+    assert!(pos("a") < pos("b"));
+    assert!(pos("a") < pos("c"));
+    assert!(pos("b") < pos("d"));
+    assert!(pos("c") < pos("d"));
+    // Report rows come back in registration order.
+    let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+    assert_eq!(names, ["d", "b", "c", "a"]);
+}
+
+#[test]
+fn independent_jobs_run_concurrently() {
+    let running = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut c = Campaign::new();
+    for name in ["left", "right"] {
+        let running = Arc::clone(&running);
+        let peak = Arc::clone(&peak);
+        c.add(Job::new(name, &name, move |_| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            running.fetch_sub(1, Ordering::SeqCst);
+            Ok(Value::Null)
+        }));
+    }
+    let opts = RunOptions {
+        workers: 2,
+        ..no_retry()
+    };
+    let report = c.run(&opts, &quiet()).unwrap();
+    assert!(report.all_ok());
+    assert_eq!(
+        peak.load(Ordering::SeqCst),
+        2,
+        "two independent jobs with two workers never overlapped"
+    );
+}
+
+#[test]
+fn cycles_and_unknown_deps_are_rejected() {
+    let mut c = Campaign::new();
+    c.add(Job::new("a", &1u32, |_| Ok(Value::Null)).after("b"));
+    c.add(Job::new("b", &2u32, |_| Ok(Value::Null)).after("a"));
+    assert!(matches!(
+        c.run(&no_retry(), &quiet()),
+        Err(immersion_campaign::CampaignError::Cycle(_))
+    ));
+
+    let mut c = Campaign::new();
+    c.add(Job::new("a", &1u32, |_| Ok(Value::Null)).after("ghost"));
+    assert!(matches!(
+        c.run(&no_retry(), &quiet()),
+        Err(immersion_campaign::CampaignError::UnknownDependency { .. })
+    ));
+}
+
+#[test]
+fn filter_selects_matching_jobs_plus_their_deps() {
+    let mut c = Campaign::new();
+    c.add(Job::new("base", &0u32, |_| Ok(Value::U64(1))));
+    c.add(Job::new("fig7", &7u32, |_| Ok(Value::U64(7))).after("base"));
+    c.add(Job::new("fig8", &8u32, |_| Ok(Value::U64(8))));
+    c.add(Job::new("table1", &1u32, |_| Ok(Value::U64(10))));
+    let opts = RunOptions {
+        filter: Some("fig*".to_string()),
+        ..no_retry()
+    };
+    let report = c.run(&opts, &quiet()).unwrap();
+    let mut names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(names, ["base", "fig7", "fig8"]);
+}
+
+// ---------------------------------------------------------------------------
+// Caching and resume
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct ExperimentConfig {
+    name: String,
+    grid: (usize, usize),
+    trials: usize,
+    threshold: f64,
+}
+
+#[test]
+fn second_run_is_all_cache_hits() {
+    let dir = scratch_dir("rerun");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let build = |runs: Arc<AtomicUsize>| {
+        let mut c = Campaign::new();
+        for name in ["x", "y", "z"] {
+            let runs = Arc::clone(&runs);
+            c.add(Job::new(name, &name, move |_| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Str(name.to_string()))
+            }));
+        }
+        c
+    };
+    let opts = RunOptions {
+        cache_dir: Some(dir.clone()),
+        ..no_retry()
+    };
+    let first = build(Arc::clone(&runs)).run(&opts, &quiet()).unwrap();
+    assert_eq!(first.cache_misses, 3);
+    assert_eq!(first.cache_hits, 0);
+    assert_eq!(runs.load(Ordering::SeqCst), 3);
+
+    let second = build(Arc::clone(&runs)).run(&opts, &quiet()).unwrap();
+    assert_eq!(second.cache_hits, 3);
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(runs.load(Ordering::SeqCst), 3, "cached jobs re-ran");
+    assert!((second.cache_hit_rate() - 1.0).abs() < 1e-12);
+    // Outputs are identical either way.
+    assert_eq!(first.output("x"), second.output("x"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_change_invalidates_only_that_job() {
+    let dir = scratch_dir("invalidate");
+    let run_with_trials = |trials: usize| {
+        let mut c = Campaign::new();
+        for name in ["stable", "tuned"] {
+            let cfg = ExperimentConfig {
+                name: name.to_string(),
+                grid: (8, 8),
+                trials: if name == "tuned" { trials } else { 1 },
+                threshold: 0.5,
+            };
+            c.add(Job::new(name, &cfg, move |_| Ok(Value::U64(trials as u64))));
+        }
+        let opts = RunOptions {
+            cache_dir: Some(dir.clone()),
+            ..no_retry()
+        };
+        c.run(&opts, &quiet()).unwrap()
+    };
+    run_with_trials(3);
+    let second = run_with_trials(5);
+    assert_eq!(second.cache_hits, 1, "unchanged job should hit");
+    assert_eq!(second.cache_misses, 1, "changed config should miss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_after_partial_failure_redoes_only_the_failure() {
+    let dir = scratch_dir("resume");
+    let healthy = Arc::new(AtomicBool::new(false));
+    let build = |healthy: Arc<AtomicBool>| {
+        let mut c = Campaign::new();
+        c.add(Job::new("good", &"good", |_| Ok(Value::U64(1))));
+        c.add(Job::new("flaky", &"flaky", move |_| {
+            if healthy.load(Ordering::SeqCst) {
+                Ok(Value::U64(2))
+            } else {
+                Err("injected failure".to_string())
+            }
+        }));
+        c.add(
+            Job::new("downstream", &"downstream", |ctx| {
+                Ok(ctx.dep("flaky").cloned().unwrap())
+            })
+            .after("flaky"),
+        );
+        c
+    };
+    let opts = RunOptions {
+        cache_dir: Some(dir.clone()),
+        ..no_retry()
+    };
+
+    let first = build(Arc::clone(&healthy)).run(&opts, &quiet()).unwrap();
+    let status = |r: &immersion_campaign::CampaignReport, n: &str| {
+        r.jobs.iter().find(|j| j.name == n).unwrap().status
+    };
+    assert_eq!(status(&first, "good"), JobStatus::Completed);
+    assert_eq!(status(&first, "flaky"), JobStatus::Failed);
+    assert_eq!(status(&first, "downstream"), JobStatus::Skipped);
+    assert!(!first.all_ok());
+
+    // "Fix the bug" and resume: completed work is not redone.
+    healthy.store(true, Ordering::SeqCst);
+    let second = build(Arc::clone(&healthy)).run(&opts, &quiet()).unwrap();
+    assert_eq!(status(&second, "good"), JobStatus::Cached);
+    assert_eq!(status(&second, "flaky"), JobStatus::Completed);
+    assert_eq!(status(&second, "downstream"), JobStatus::Completed);
+    assert!(second.all_ok());
+    assert_eq!(second.output("downstream"), Some(&Value::U64(2)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_flag_reruns_but_still_stores() {
+    let dir = scratch_dir("nocache");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let build = |runs: Arc<AtomicUsize>| {
+        let mut c = Campaign::new();
+        let r = Arc::clone(&runs);
+        c.add(Job::new("j", &"j", move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::Null)
+        }));
+        c
+    };
+    let fresh = RunOptions {
+        cache_dir: Some(dir.clone()),
+        use_cache: false,
+        ..no_retry()
+    };
+    build(Arc::clone(&runs)).run(&fresh, &quiet()).unwrap();
+    build(Arc::clone(&runs)).run(&fresh, &quiet()).unwrap();
+    assert_eq!(runs.load(Ordering::SeqCst), 2, "--no-cache must re-run");
+    // But the stored entry serves a later cached run.
+    let cached = RunOptions {
+        cache_dir: Some(dir.clone()),
+        ..no_retry()
+    };
+    let report = build(Arc::clone(&runs)).run(&cached, &quiet()).unwrap();
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Retries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_failures_are_retried_to_success() {
+    let attempts_seen = Arc::new(AtomicUsize::new(0));
+    let mut c = Campaign::new();
+    let a = Arc::clone(&attempts_seen);
+    c.add(Job::new("transient", &"transient", move |_| {
+        if a.fetch_add(1, Ordering::SeqCst) < 2 {
+            Err("not yet".to_string())
+        } else {
+            Ok(Value::Bool(true))
+        }
+    }));
+    let opts = RunOptions {
+        retries: 3,
+        backoff_base_ms: 0,
+        ..RunOptions::default()
+    };
+    let report = c.run(&opts, &quiet()).unwrap();
+    let job = &report.jobs[0];
+    assert_eq!(job.status, JobStatus::Completed);
+    assert_eq!(job.attempts, 3);
+}
+
+#[test]
+fn retry_exhaustion_fails_the_job_and_reports_every_attempt() {
+    let events = Arc::new(Mutex::new(Vec::<String>::new()));
+    let mut c = Campaign::new();
+    c.add(Job::new("doomed", &"doomed", |_| {
+        Err("always broken".to_string())
+    }));
+    let opts = RunOptions {
+        retries: 2,
+        backoff_base_ms: 0,
+        ..RunOptions::default()
+    };
+    let sink = {
+        let events = Arc::clone(&events);
+        move |ev: &Event| {
+            let tag = match ev {
+                Event::Started { .. } => "started",
+                Event::Retrying { .. } => "retrying",
+                Event::Failed { .. } => "failed",
+                _ => "other",
+            };
+            events.lock().unwrap().push(tag.to_string());
+        }
+    };
+    let report = c.run(&opts, &sink).unwrap();
+    let job = &report.jobs[0];
+    assert_eq!(job.status, JobStatus::Failed);
+    assert_eq!(job.attempts, 3, "1 try + 2 retries");
+    assert_eq!(job.error.as_deref(), Some("always broken"));
+    assert_eq!(
+        events.lock().unwrap().as_slice(),
+        ["started", "retrying", "retrying", "failed"]
+    );
+}
+
+#[test]
+fn panicking_jobs_are_caught_not_fatal() {
+    let mut c = Campaign::new();
+    c.add(Job::new("boom", &"boom", |_| -> Result<Value, String> {
+        panic!("kaboom");
+    }));
+    c.add(Job::new("fine", &"fine", |_| Ok(Value::Null)));
+    let report = c.run(&no_retry(), &quiet()).unwrap();
+    let boom = report.jobs.iter().find(|j| j.name == "boom").unwrap();
+    assert_eq!(boom.status, JobStatus::Failed);
+    assert!(boom.error.as_deref().unwrap().contains("kaboom"));
+    let fine = report.jobs.iter().find(|j| j.name == "fine").unwrap();
+    assert_eq!(fine.status, JobStatus::Completed);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+#[test]
+fn manifest_records_jobs_and_artifacts() {
+    let dir = scratch_dir("manifest");
+    let mut c = Campaign::new();
+    c.add(Job::new("fig7", &7u32, |_| Ok(Value::U64(7))));
+    let opts = RunOptions {
+        cache_dir: Some(dir.clone()),
+        ..no_retry()
+    };
+    let report = c.run(&opts, &quiet()).unwrap();
+    let cache = immersion_campaign::Cache::open(&dir).unwrap();
+    let mut manifest = Manifest::from_report(&report, 2, Some(&cache));
+    manifest.add_artifact("fig7", "results/fig7_0.csv");
+    let path = dir.join("campaign_manifest.json");
+    manifest.write(&path).unwrap();
+
+    let raw = std::fs::read_to_string(&path).unwrap();
+    let v: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1));
+    let jobs = v.get("jobs").and_then(Value::as_seq).unwrap();
+    assert_eq!(jobs.len(), 1);
+    let row = jobs[0].as_map().unwrap();
+    assert_eq!(row["name"].as_str(), Some("fig7"));
+    assert_eq!(row["status"].as_str(), Some("Completed"));
+    assert_eq!(
+        row["artifacts"].as_seq().unwrap()[0].as_str(),
+        Some("results/fig7_0.csv")
+    );
+    assert!(row["cache_file"].as_str().unwrap().ends_with(".json"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

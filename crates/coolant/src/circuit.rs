@@ -99,8 +99,9 @@ impl Circuit {
             for row in (col + 1)..n {
                 let f = a[row][col] / a[col][col];
                 if f != 0.0 {
-                    for k in col..n {
-                        a[row][k] -= f * a[col][k];
+                    let (top, bottom) = a.split_at_mut(row);
+                    for (dst, &src) in bottom[0][col..].iter_mut().zip(&top[col][col..]) {
+                        *dst -= f * src;
                     }
                     b[row] -= f * b[col];
                 }
@@ -189,18 +190,30 @@ impl PrototypeServer {
         c.resistor(junction, sink, self.r_junction_sink);
         match cooling {
             PrototypeCooling::ForcedAir => {
-                c.to_ambient(sink, 1.0 / (self.h_forced_air * self.sink_area), self.ambient);
+                c.to_ambient(
+                    sink,
+                    1.0 / (self.h_forced_air * self.sink_area),
+                    self.ambient,
+                );
             }
             PrototypeCooling::HeatsinkInWater => {
-                c.to_ambient(sink, 1.0 / (self.h_still_water * self.sink_area), self.ambient);
+                c.to_ambient(
+                    sink,
+                    1.0 / (self.h_still_water * self.sink_area),
+                    self.ambient,
+                );
             }
             PrototypeCooling::FullImmersion => {
-                c.to_ambient(sink, 1.0 / (self.h_still_water * self.sink_area), self.ambient);
+                c.to_ambient(
+                    sink,
+                    1.0 / (self.h_still_water * self.sink_area),
+                    self.ambient,
+                );
                 // Secondary path: junction → board → (film) → water.
                 let board = c.node("board");
                 c.resistor(junction, board, self.r_junction_board);
-                let conv = 1.0 / (self.h_still_water * self.board_area)
-                    + self.film_r / self.board_area;
+                let conv =
+                    1.0 / (self.h_still_water * self.board_area) + self.film_r / self.board_area;
                 c.to_ambient(board, conv, self.ambient);
             }
         }
@@ -264,7 +277,10 @@ mod tests {
         let proto = PrototypeServer::default();
         let (air, sink_water, full) = proto.figure4();
         assert!((air - 76.0).abs() < 2.0, "air {air}");
-        assert!((sink_water - 71.0).abs() < 2.0, "heatsink-in-water {sink_water}");
+        assert!(
+            (sink_water - 71.0).abs() < 2.0,
+            "heatsink-in-water {sink_water}"
+        );
         assert!((full - 56.0).abs() < 2.0, "full immersion {full}");
     }
 

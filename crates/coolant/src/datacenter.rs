@@ -39,9 +39,9 @@ impl PackingModel {
     pub fn air_hall() -> PackingModel {
         PackingModel {
             name: "air hall",
-            board_pitch_m: 0.0445,              // 1U
-            support_area_fraction: 0.60,        // aisles + CRACs
-            heat_ceiling_w_per_m2: 25_000.0,    // ~25 kW per rack m²
+            board_pitch_m: 0.0445,           // 1U
+            support_area_fraction: 0.60,     // aisles + CRACs
+            heat_ceiling_w_per_m2: 25_000.0, // ~25 kW per rack m²
             architecture: CoolingArchitecture::air_chilled(),
         }
     }
@@ -165,8 +165,8 @@ mod tests {
         // cooling overhead.
         let tank = PackingModel::immersion_tank();
         let river = PackingModel::natural_water_frame();
-        let tank_overhead = tank.facility_density_w_per_m2(NODE_W, DEPTH)
-            / tank.it_density_w_per_m2(NODE_W, DEPTH);
+        let tank_overhead =
+            tank.facility_density_w_per_m2(NODE_W, DEPTH) / tank.it_density_w_per_m2(NODE_W, DEPTH);
         let river_overhead = river.facility_density_w_per_m2(NODE_W, DEPTH)
             / river.it_density_w_per_m2(NODE_W, DEPTH);
         assert!(river_overhead < tank_overhead);

@@ -134,7 +134,11 @@ mod tests {
         let s = FlowSystem::water_tank();
         let benefit = |h: f64| 300.0 * (1.0 - (-h / 600.0).exp());
         let opt = s.optimal_flow(0.05, 5.0, benefit);
-        assert!(opt.v > 0.05 && opt.v < 4.9, "optimum on the boundary: {}", opt.v);
+        assert!(
+            opt.v > 0.05 && opt.v < 4.9,
+            "optimum on the boundary: {}",
+            opt.v
+        );
         // Perturbing in either direction is worse.
         let net = |v: f64| benefit(s.h_at(v)) - s.pump_power_at(v);
         assert!(opt.net_benefit >= net(opt.v * 0.7) - 1e-6);

@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn natural_water_is_free() {
-        assert_eq!(Coolant::get(CoolantKind::NaturalWater).cost_usd_per_litre, 0.0);
+        assert_eq!(
+            Coolant::get(CoolantKind::NaturalWater).cost_usd_per_litre,
+            0.0
+        );
         assert_eq!(Coolant::get(CoolantKind::NaturalWater).h, 800.0);
     }
 }

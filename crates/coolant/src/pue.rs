@@ -56,7 +56,7 @@ impl CoolingArchitecture {
     pub fn air_chilled() -> Self {
         CoolingArchitecture {
             name: "air+chiller",
-            primary_fraction: 0.05,  // server + CRAC fans
+            primary_fraction: 0.05,   // server + CRAC fans
             secondary_fraction: 0.08, // air handlers, chilled-water pumps
             rejection: HeatRejection::Chiller { cop: 4.0 },
         }
@@ -103,7 +103,9 @@ impl CoolingArchitecture {
             name: "direct-natural-water",
             primary_fraction: 0.01,
             secondary_fraction: 0.0,
-            rejection: HeatRejection::NaturalBody { pump_fraction: 0.005 },
+            rejection: HeatRejection::NaturalBody {
+                pump_fraction: 0.005,
+            },
         }
     }
 

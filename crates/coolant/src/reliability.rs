@@ -199,7 +199,9 @@ impl BoardConfig {
         let mut cfg = Self::server_naive(film_um);
         for c in &mut cfg.components {
             match c.kind {
-                ComponentType::PciEx4 | ComponentType::Rj45 | ComponentType::MPcie
+                ComponentType::PciEx4
+                | ComponentType::Rj45
+                | ComponentType::MPcie
                 | ComponentType::MemorySlot => c.placement = Placement::AboveSurface,
                 ComponentType::Cr2032 => c.placement = Placement::Removed,
                 _ => {}
@@ -303,7 +305,11 @@ mod tests {
         // CR2032 ~5/5, USB/PGA/AVR ~0/5.
         let cfg = BoardConfig::test_board(120.0);
         let p = |k| failure_probability(&cfg, k, 2.0, TRIALS, 7);
-        assert!(p(ComponentType::PciEx4) > 0.9, "PCIex4 {}", p(ComponentType::PciEx4));
+        assert!(
+            p(ComponentType::PciEx4) > 0.9,
+            "PCIex4 {}",
+            p(ComponentType::PciEx4)
+        );
         let rj45 = p(ComponentType::Rj45);
         assert!(rj45 > 0.1 && rj45 < 0.35, "RJ45 {rj45}");
         let mpcie = p(ComponentType::MPcie);

@@ -138,7 +138,7 @@ mod tests {
         let tank = Tank::production_tank(500.0, 100.0);
         let steady = tank.steady_temp(1000.0).unwrap();
         assert!((steady - 35.0).abs() < 1e-9); // 25 + 1000/100
-        // The transient approaches it from below.
+                                               // The transient approaches it from below.
         let late = tank.temp_after(1000.0, 1e7);
         assert!((late - steady).abs() < 0.01);
         for &t in &[100.0, 1000.0, 10_000.0] {

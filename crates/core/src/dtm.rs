@@ -198,7 +198,10 @@ pub fn compare_coolings(
         .map(|&c| {
             let mut d = base.clone();
             d.cooling = c;
-            (c.name.to_string(), simulate(&d, phases, controller, duration_s, 0.5))
+            (
+                c.name.to_string(),
+                simulate(&d, phases, controller, duration_s, 0.5),
+            )
         })
         .collect()
 }
@@ -246,7 +249,11 @@ mod tests {
             0.5,
         )
         .unwrap();
-        assert!(out.peak_temp < 88.0, "overshoot too large: {}", out.peak_temp);
+        assert!(
+            out.peak_temp < 88.0,
+            "overshoot too large: {}",
+            out.peak_temp
+        );
         assert!(out.step_downs > 0, "air at 3.6 GHz must throttle");
         assert!(out.throttled_fraction > 0.2);
         // And it still runs well above the floor.

@@ -127,8 +127,12 @@ mod tests {
     use immersion_thermal::stack3d::CoolingParams;
 
     fn design(chips: usize) -> CmpDesign {
-        CmpDesign::new(high_frequency_cmp(), chips, CoolingParams::water_immersion())
-            .with_grid(8, 8)
+        CmpDesign::new(
+            high_frequency_cmp(),
+            chips,
+            CoolingParams::water_immersion(),
+        )
+        .with_grid(8, 8)
     }
 
     #[test]
@@ -155,7 +159,11 @@ mod tests {
         let step = d.chip.vfs.max_step();
         let plain = evaluate_pattern(&d, step, &[false; 4]).unwrap();
         let best = optimize_exhaustive(&d, step).unwrap();
-        assert!(best.peak_temp < plain - 2.0, "best {} vs plain {plain}", best.peak_temp);
+        assert!(
+            best.peak_temp < plain - 2.0,
+            "best {} vs plain {plain}",
+            best.peak_temp
+        );
     }
 
     #[test]

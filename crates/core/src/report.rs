@@ -2,11 +2,11 @@
 //! examples: aligned text tables for the terminal and CSV for
 //! post-processing.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simple column-aligned table.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Table {
     title: String,
     headers: Vec<String>,

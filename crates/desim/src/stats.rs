@@ -60,7 +60,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v < 2 { 0 } else { 64 - (v.leading_zeros() as usize) - 1 };
+        let idx = if v < 2 {
+            0
+        } else {
+            64 - (v.leading_zeros() as usize) - 1
+        };
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }

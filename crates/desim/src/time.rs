@@ -78,6 +78,7 @@ impl Time {
     }
 
     /// Integer multiple of a duration.
+    #[allow(clippy::should_implement_trait)] // rhs is a scalar count, not a Time
     #[inline]
     pub fn mul(self, n: u64) -> Time {
         Time(self.0 * n)
@@ -142,7 +143,10 @@ impl Clock {
     pub fn from_ghz(freq_ghz: f64) -> Self {
         assert!(freq_ghz > 0.0, "clock frequency must be positive");
         let period_ps = (1000.0 / freq_ghz).round().max(1.0) as u64;
-        Clock { period_ps, freq_ghz }
+        Clock {
+            period_ps,
+            freq_ghz,
+        }
     }
 
     /// The period of this clock.

@@ -40,12 +40,12 @@ pub struct SramTech {
 impl Default for SramTech {
     fn default() -> Self {
         SramTech {
-            bitcell_area_m2: 0.15e-12,      // 0.15 um^2 effective (cell + intra-array overhead)
-            leakage_per_bit_w: 30e-9,       // 30 nW/bit at ~80 C, HP cells
-            wire_energy_j: 0.18e-12,        // 0.18 pJ x sqrt(kbit)
-            base_access_energy_j: 3e-12,    // 3 pJ decode+sense
-            base_latency_s: 0.25e-9,        // 250 ps core array
-            wire_delay_s_per_m: 0.4e-6,     // RC-repeated global wire
+            bitcell_area_m2: 0.15e-12, // 0.15 um^2 effective (cell + intra-array overhead)
+            leakage_per_bit_w: 30e-9,  // 30 nW/bit at ~80 C, HP cells
+            wire_energy_j: 0.18e-12,   // 0.18 pJ x sqrt(kbit)
+            base_access_energy_j: 3e-12, // 3 pJ decode+sense
+            base_latency_s: 0.25e-9,   // 250 ps core array
+            wire_delay_s_per_m: 0.4e-6, // RC-repeated global wire
         }
     }
 }

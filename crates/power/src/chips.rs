@@ -99,11 +99,8 @@ pub fn xeon_e5_2667v4() -> ChipModel {
             Rect::new(w - core_w, y, core_w, row_h),
         )
         .expect("E5 floorplan is valid");
-        fp.add_block(
-            &format!("L3_{}", r + 1),
-            Rect::new(core_w, y, l3_w, row_h),
-        )
-        .expect("E5 floorplan is valid");
+        fp.add_block(&format!("L3_{}", r + 1), Rect::new(core_w, y, l3_w, row_h))
+            .expect("E5 floorplan is valid");
     }
     fp.add_block("UNCORE", Rect::new(0.0, 0.0, w, strip))
         .expect("E5 floorplan is valid");
@@ -181,12 +178,7 @@ pub fn rapl_anchors(chip_name: &str) -> Option<Vec<(f64, f64)>> {
             (3.0, 0.650),
             (3.6, 1.000),
         ]),
-        "phi" => Some(vec![
-            (1.0, 0.430),
-            (1.2, 0.565),
-            (1.4, 0.760),
-            (1.6, 1.000),
-        ]),
+        "phi" => Some(vec![(1.0, 0.430), (1.2, 0.565), (1.4, 0.760), (1.6, 1.000)]),
         _ => None,
     }
 }

@@ -101,7 +101,9 @@ pub fn area_report(chip: &ChipModel) -> BTreeMap<String, f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chips::{all_chips, high_frequency_cmp, low_power_cmp, rapl_anchors, xeon_e5_2667v4};
+    use crate::chips::{
+        all_chips, high_frequency_cmp, low_power_cmp, rapl_anchors, xeon_e5_2667v4,
+    };
 
     #[test]
     fn max_step_hits_anchor_power() {
@@ -183,9 +185,7 @@ mod tests {
         for (f, measured) in rapl_anchors("e5").unwrap() {
             let modeled = curve
                 .iter()
-                .min_by(|a, b| {
-                    (a.0 - f).abs().partial_cmp(&(b.0 - f).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.0 - f).abs().partial_cmp(&(b.0 - f).abs()).unwrap())
                 .unwrap()
                 .1;
             assert!(

@@ -29,12 +29,36 @@ pub fn irds_trajectory() -> Vec<TechNode> {
     const TARGET: f64 = 425.0 / 56.8;
     let factor = |year: u32| TARGET.powf((year - 2019) as f64 / 14.0);
     vec![
-        TechNode { name: "2019", year: 2019, power_factor: 1.0 },
-        TechNode { name: "2022", year: 2022, power_factor: factor(2022) },
-        TechNode { name: "2025", year: 2025, power_factor: factor(2025) },
-        TechNode { name: "2028", year: 2028, power_factor: factor(2028) },
-        TechNode { name: "2031", year: 2031, power_factor: factor(2031) },
-        TechNode { name: "2033", year: 2033, power_factor: TARGET },
+        TechNode {
+            name: "2019",
+            year: 2019,
+            power_factor: 1.0,
+        },
+        TechNode {
+            name: "2022",
+            year: 2022,
+            power_factor: factor(2022),
+        },
+        TechNode {
+            name: "2025",
+            year: 2025,
+            power_factor: factor(2025),
+        },
+        TechNode {
+            name: "2028",
+            year: 2028,
+            power_factor: factor(2028),
+        },
+        TechNode {
+            name: "2031",
+            year: 2031,
+            power_factor: factor(2031),
+        },
+        TechNode {
+            name: "2033",
+            year: 2033,
+            power_factor: TARGET,
+        },
     ]
 }
 
@@ -76,7 +100,11 @@ mod tests {
     #[test]
     fn projection_scales_every_block() {
         let base = high_frequency_cmp();
-        let node = TechNode { name: "x", year: 2025, power_factor: 2.0 };
+        let node = TechNode {
+            name: "x",
+            year: 2025,
+            power_factor: 2.0,
+        };
         let scaled = project(&base, &node);
         let rb = analyze(&base, base.vfs.max_step(), None);
         let rs = analyze(&scaled, scaled.vfs.max_step(), None);

@@ -282,7 +282,9 @@ mod tests {
         let mut fp = Floorplan::new(0.01, 0.01);
         assert!(fp.add_block("A", Rect::new(0.0, 0.0, 0.005, 0.005)).is_ok());
         // duplicate name
-        assert!(fp.add_block("A", Rect::new(0.005, 0.0, 0.005, 0.005)).is_err());
+        assert!(fp
+            .add_block("A", Rect::new(0.005, 0.0, 0.005, 0.005))
+            .is_err());
         // zero area
         assert!(fp.add_block("B", Rect::new(0.0, 0.0, 0.0, 0.005)).is_err());
         // out of bounds

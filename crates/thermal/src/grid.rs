@@ -67,7 +67,14 @@ pub struct LayerSpec {
 
 impl LayerSpec {
     /// A layer spanning `extent` with resolution `nx × ny`.
-    pub fn new(name: &str, material: Material, thickness: f64, extent: Rect, nx: usize, ny: usize) -> Self {
+    pub fn new(
+        name: &str,
+        material: Material,
+        thickness: f64,
+        extent: Rect,
+        nx: usize,
+        ny: usize,
+    ) -> Self {
         LayerSpec {
             name: name.to_string(),
             material,
@@ -101,7 +108,8 @@ impl LayerSpec {
                     // rasterize weights are fractions of the *block*;
                     // convert to the fraction of the *cell* covered.
                     let covered = (frac_of_block * block.rect.area() / cell_area).min(1.0);
-                    k_lat[cell] += covered * (mat.lateral_conductivity - self.material.lateral_conductivity);
+                    k_lat[cell] +=
+                        covered * (mat.lateral_conductivity - self.material.lateral_conductivity);
                     k_vert[cell] += covered * (mat.conductivity - self.material.conductivity);
                     vhc[cell] += covered
                         * (mat.volumetric_heat_capacity - self.material.volumetric_heat_capacity);
@@ -244,7 +252,11 @@ impl PowerAssignment {
 
     /// Power of one block.
     pub fn get(&self, layer: usize, block: &str) -> Option<f64> {
-        let idx = self.block_names.get(layer)?.iter().position(|n| n == block)?;
+        let idx = self
+            .block_names
+            .get(layer)?
+            .iter()
+            .position(|n| n == block)?;
         Some(self.values[layer][idx])
     }
 }
@@ -394,10 +406,9 @@ impl ModelBuilder {
         // Convective ties.
         let mut conv_ties = Vec::new();
         for c in &self.convections {
-            let l = self
-                .layers
-                .get(c.layer)
-                .ok_or_else(|| ThermalError::BadParameter(format!("convection on layer {}", c.layer)))?;
+            let l = self.layers.get(c.layer).ok_or_else(|| {
+                ThermalError::BadParameter(format!("convection on layer {}", c.layer))
+            })?;
             if c.h <= 0.0 || c.area_multiplier <= 0.0 {
                 return Err(ThermalError::BadParameter(format!(
                     "convection on layer {}: non-positive h",
@@ -408,8 +419,8 @@ impl ModelBuilder {
             let dx = l.extent.w / l.nx as f64;
             let dy = l.extent.h / l.ny as f64;
             let off = offsets[c.layer];
-            for cell in 0..l.cells() {
-                let half_r = l.thickness / (2.0 * k_vert[cell]);
+            for (cell, &k) in k_vert.iter().enumerate().take(l.cells()) {
+                let half_r = l.thickness / (2.0 * k);
                 let g_cell = c.conductance_per_area(half_r) * dx * dy;
                 trip.add_grounded(off + cell, g_cell);
                 conv_ties.push((off + cell, g_cell, c.ambient));
@@ -424,10 +435,9 @@ impl ModelBuilder {
         // Power layers.
         let mut power_layers = Vec::new();
         for (li, fp) in &self.power_floorplans {
-            let l = self
-                .layers
-                .get(*li)
-                .ok_or_else(|| ThermalError::BadParameter(format!("power floorplan on layer {li}")))?;
+            let l = self.layers.get(*li).ok_or_else(|| {
+                ThermalError::BadParameter(format!("power floorplan on layer {li}"))
+            })?;
             if (fp.width() - l.extent.w).abs() > 1e-9 || (fp.height() - l.extent.h).abs() > 1e-9 {
                 return Err(ThermalError::BadParameter(format!(
                     "floorplan ({} x {}) does not match layer {} extent ({} x {})",
@@ -563,7 +573,11 @@ impl ThermalModel {
 
     /// Steady-state solve warm-started from `guess` (e.g. the previous
     /// frequency step of a sweep).
-    pub fn solve_steady_from(&self, power: &PowerAssignment, guess: &[f64]) -> Result<Solution<'_>> {
+    pub fn solve_steady_from(
+        &self,
+        power: &PowerAssignment,
+        guess: &[f64],
+    ) -> Result<Solution<'_>> {
         let q = self.rhs(power)?;
         let (t, iters) = solve_cg(&self.matrix, &q, guess, self.cg)?;
         Ok(Solution::new(self, t, iters))
@@ -629,7 +643,8 @@ mod tests {
     fn slab_model(nx: usize, ny: usize, h: f64) -> ThermalModel {
         // A single 10x10 mm silicon slab, 0.5 mm thick, convection on top.
         let mut fp = Floorplan::new(0.01, 0.01);
-        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01)).unwrap();
+        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01))
+            .unwrap();
         let mut mb = ModelBuilder::new();
         let l = mb.add_layer(LayerSpec::new(
             "slab",
@@ -667,7 +682,8 @@ mod tests {
         // Power in the bottom layer, convection on the top of the top layer.
         let ext = Rect::new(0.0, 0.0, 0.01, 0.01);
         let mut fp = Floorplan::new(0.01, 0.01);
-        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01)).unwrap();
+        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01))
+            .unwrap();
         let mut mb = ModelBuilder::new();
         let bot = mb.add_layer(LayerSpec::new("bot", SILICON, 0.4e-3, ext, 4, 4));
         let top = mb.add_layer(LayerSpec::new("top", COPPER, 1.0e-3, ext, 4, 4));
@@ -710,8 +726,10 @@ mod tests {
     fn hotspot_block_is_hotter_than_cold_block() {
         let ext = Rect::new(0.0, 0.0, 0.01, 0.01);
         let mut fp = Floorplan::new(0.01, 0.01);
-        fp.add_block("HOT", Rect::new(0.0, 0.0, 0.005, 0.01)).unwrap();
-        fp.add_block("COLD", Rect::new(0.005, 0.0, 0.005, 0.01)).unwrap();
+        fp.add_block("HOT", Rect::new(0.0, 0.0, 0.005, 0.01))
+            .unwrap();
+        fp.add_block("COLD", Rect::new(0.005, 0.0, 0.005, 0.01))
+            .unwrap();
         let mut mb = ModelBuilder::new();
         let l = mb.add_layer(LayerSpec::new("die", SILICON, 0.15e-3, ext, 16, 16));
         mb.add_convection(Convection::simple(l, Surface::Top, 800.0, 25.0));

@@ -58,20 +58,19 @@ pub fn from_flp(text: &str) -> Result<Floorplan> {
                 ThermalError::BadParameter(format!("flp line {}: bad number '{s}'", lineno + 1))
             })
         };
-        let (w, h, x, y) = (num(fields[1])?, num(fields[2])?, num(fields[3])?, num(fields[4])?);
+        let (w, h, x, y) = (
+            num(fields[1])?,
+            num(fields[2])?,
+            num(fields[3])?,
+            num(fields[4])?,
+        );
         blocks.push((fields[0].to_string(), Rect::new(x, y, w, h)));
     }
     if blocks.is_empty() {
         return Err(ThermalError::BadParameter("flp: no blocks".into()));
     }
-    let die_w = blocks
-        .iter()
-        .map(|(_, r)| r.x + r.w)
-        .fold(0.0f64, f64::max);
-    let die_h = blocks
-        .iter()
-        .map(|(_, r)| r.y + r.h)
-        .fold(0.0f64, f64::max);
+    let die_w = blocks.iter().map(|(_, r)| r.x + r.w).fold(0.0f64, f64::max);
+    let die_h = blocks.iter().map(|(_, r)| r.y + r.h).fold(0.0f64, f64::max);
     let mut fp = Floorplan::new(die_w, die_h);
     for (name, rect) in blocks {
         fp.add_block(&name, rect)?;
@@ -89,7 +88,9 @@ pub fn to_ptrace(fp: &Floorplan, watts: &[(String, f64)]) -> Result<String> {
             .iter()
             .find(|(n, _)| n == &b.name)
             .map(|&(_, w)| w)
-            .ok_or_else(|| ThermalError::UnknownBlock(format!("ptrace: no power for {}", b.name)))?;
+            .ok_or_else(|| {
+                ThermalError::UnknownBlock(format!("ptrace: no power for {}", b.name))
+            })?;
         header.push(b.name.clone());
         row.push(format!("{w:.6}"));
     }

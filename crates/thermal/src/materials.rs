@@ -141,8 +141,14 @@ mod tests {
 
     #[test]
     fn bond_material_clamps_fraction() {
-        assert_eq!(bond_material(-1.0).conductivity, bond_material(0.0).conductivity);
-        assert_eq!(bond_material(2.0).conductivity, bond_material(1.0).conductivity);
+        assert_eq!(
+            bond_material(-1.0).conductivity,
+            bond_material(0.0).conductivity
+        );
+        assert_eq!(
+            bond_material(2.0).conductivity,
+            bond_material(1.0).conductivity
+        );
     }
 
     #[test]

@@ -183,20 +183,19 @@ impl Default for CgOptions {
 /// gradients, starting from `x0` (pass zeros when no better guess
 /// exists — the steady solver passes the previous operating point when
 /// sweeping frequencies).
-pub fn solve_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], opts: CgOptions) -> Result<(Vec<f64>, usize)> {
+pub fn solve_cg(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: CgOptions,
+) -> Result<(Vec<f64>, usize)> {
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     let inv_diag: Vec<f64> = a
         .diagonal()
         .iter()
-        .map(|&d| {
-            if d.abs() < 1e-300 {
-                1.0
-            } else {
-                1.0 / d
-            }
-        })
+        .map(|&d| if d.abs() < 1e-300 { 1.0 } else { 1.0 / d })
         .collect();
 
     let bnorm = l2(b);
@@ -207,7 +206,9 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], opts: CgOptions) -> Result
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     a.mul_vec(&x, &mut r);
-    r.par_iter_mut().zip(b.par_iter()).for_each(|(ri, &bi)| *ri = bi - *ri);
+    r.par_iter_mut()
+        .zip(b.par_iter())
+        .for_each(|(ri, &bi)| *ri = bi - *ri);
 
     let mut z: Vec<f64> = r
         .par_iter()
@@ -233,15 +234,21 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], opts: CgOptions) -> Result
             });
         }
         let alpha = rz / pap;
-        x.par_iter_mut().zip(p.par_iter()).for_each(|(xi, &pi)| *xi += alpha * pi);
-        r.par_iter_mut().zip(ap.par_iter()).for_each(|(ri, &api)| *ri -= alpha * api);
+        x.par_iter_mut()
+            .zip(p.par_iter())
+            .for_each(|(xi, &pi)| *xi += alpha * pi);
+        r.par_iter_mut()
+            .zip(ap.par_iter())
+            .for_each(|(ri, &api)| *ri -= alpha * api);
         z.par_iter_mut()
             .zip(r.par_iter().zip(inv_diag.par_iter()))
             .for_each(|(zi, (&ri, &di))| *zi = ri * di);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        p.par_iter_mut().zip(z.par_iter()).for_each(|(pi, &zi)| *pi = zi + beta * *pi);
+        p.par_iter_mut()
+            .zip(z.par_iter())
+            .for_each(|(pi, &zi)| *pi = zi + beta * *pi);
     }
 
     let rnorm = l2(&r) / bnorm;

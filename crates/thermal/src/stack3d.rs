@@ -90,7 +90,9 @@ impl CoolingParams {
     pub fn water_pipe() -> Self {
         CoolingParams {
             name: "water-pipe",
-            primary: PrimaryCooling::ColdPlate { effective_h: 2800.0 },
+            primary: PrimaryCooling::ColdPlate {
+                effective_h: 2800.0,
+            },
             board_h: htc::AIR,
             film_thickness: None,
             ambient: 25.0,
@@ -101,7 +103,9 @@ impl CoolingParams {
     pub fn mineral_oil() -> Self {
         CoolingParams {
             name: "mineral-oil",
-            primary: PrimaryCooling::Heatsink { h: htc::MINERAL_OIL },
+            primary: PrimaryCooling::Heatsink {
+                h: htc::MINERAL_OIL,
+            },
             board_h: htc::MINERAL_OIL,
             film_thickness: None,
             ambient: 25.0,
@@ -360,7 +364,9 @@ impl StackBuilder {
     /// Assemble the thermal model and return the layer layout too.
     pub fn build_with_layout(self) -> Result<(ThermalModel, StackLayout)> {
         if self.chips == 0 {
-            return Err(ThermalError::BadParameter("stack needs at least 1 chip".into()));
+            return Err(ThermalError::BadParameter(
+                "stack needs at least 1 chip".into(),
+            ));
         }
         let p = &self.package;
         let die_w = self.floorplan.width();
@@ -608,7 +614,12 @@ mod tests {
             let p = uniform_power(&model, 47.2);
             temps.push(model.solve_steady(&p).unwrap().die_max());
         }
-        assert!(temps[1] < temps[0], "water {} !< air {}", temps[1], temps[0]);
+        assert!(
+            temps[1] < temps[0],
+            "water {} !< air {}",
+            temps[1],
+            temps[0]
+        );
     }
 
     #[test]

@@ -91,7 +91,9 @@ impl<'m> Solution<'m> {
         cells
             .iter()
             .map(|&(n, _)| self.temps[n])
-            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.max(t))))
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
     }
 
     /// Area-weighted mean temperature of one floorplan block on die `pl`.
@@ -166,8 +168,10 @@ mod tests {
 
     fn model() -> ThermalModel {
         let mut fp = Floorplan::new(0.01, 0.01);
-        fp.add_block("HOT", Rect::new(0.0, 0.0, 0.005, 0.01)).unwrap();
-        fp.add_block("COLD", Rect::new(0.005, 0.0, 0.005, 0.01)).unwrap();
+        fp.add_block("HOT", Rect::new(0.0, 0.0, 0.005, 0.01))
+            .unwrap();
+        fp.add_block("COLD", Rect::new(0.005, 0.0, 0.005, 0.01))
+            .unwrap();
         let mut mb = ModelBuilder::new();
         let l = mb.add_layer(LayerSpec::new(
             "die",

@@ -43,8 +43,8 @@ impl<'m> TransientSolver<'m> {
         // system = G + diag(C/dt). Rebuild via triplets on top of G's entries.
         let g = model.matrix();
         let mut trip = TripletMatrix::new(n);
-        for i in 0..n {
-            trip.add(i, i, c_over_dt[i]);
+        for (i, &c) in c_over_dt.iter().enumerate() {
+            trip.add(i, i, c);
         }
         // Copy G by probing rows (CSR exposes get; cheaper: use mul on unit
         // vectors would be O(n^2) — instead re-add via raw iteration).
@@ -87,8 +87,8 @@ impl<'m> TransientSolver<'m> {
     /// Advance one step under the given power assignment.
     pub fn step(&mut self, power: &PowerAssignment) -> Result<()> {
         let mut rhs = self.model.rhs(power)?;
-        for i in 0..rhs.len() {
-            rhs[i] += self.c_over_dt[i] * self.temps[i];
+        for ((r, &c), &t) in rhs.iter_mut().zip(&self.c_over_dt).zip(&self.temps) {
+            *r += c * t;
         }
         let (t, _) = solve_cg(&self.system, &rhs, &self.temps, self.cg)?;
         self.temps = t;
@@ -117,7 +117,8 @@ mod tests {
 
     fn slab() -> ThermalModel {
         let mut fp = Floorplan::new(0.01, 0.01);
-        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01)).unwrap();
+        fp.add_block("ALL", Rect::new(0.0, 0.0, 0.01, 0.01))
+            .unwrap();
         let mut mb = ModelBuilder::new();
         let l = mb.add_layer(LayerSpec::new(
             "die",

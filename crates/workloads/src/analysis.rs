@@ -81,10 +81,11 @@ pub fn predict_l1(
     // store share and falls with working-set size; first-order term:
     let store_share = desc.store_fraction / mem_frac.max(1e-9);
     let lines_shared = (shared_ws / line).max(1.0);
-    let inval = ((threads.saturating_sub(1)) as f64 * store_share
-        * (mem_ops * desc.shared_fraction) / lines_shared
-        / mem_ops.max(1.0))
-    .min(1.0);
+    let inval =
+        ((threads.saturating_sub(1)) as f64 * store_share * (mem_ops * desc.shared_fraction)
+            / lines_shared
+            / mem_ops.max(1.0))
+        .min(1.0);
     let s_miss = (s_geom + (1.0 - s_geom) * inval).min(1.0);
 
     let steady = private_traffic * p_miss + shared_traffic * s_miss;

@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn cg_and_is_are_the_memory_extremes() {
         let all = Benchmark::all();
-        let mut by_mem: Vec<_> = all.iter().map(|b| (b.name(), b.descriptor().memory_fraction())).collect();
+        let mut by_mem: Vec<_> = all
+            .iter()
+            .map(|b| (b.name(), b.descriptor().memory_fraction()))
+            .collect();
         by_mem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let top2: Vec<&str> = by_mem[..2].iter().map(|x| x.0).collect();
         assert!(top2.contains(&"CG") && top2.contains(&"IS"), "{top2:?}");

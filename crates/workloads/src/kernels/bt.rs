@@ -59,7 +59,13 @@ fn v_add(a: V2, b: V2) -> V2 {
 fn block_thomas(c: M2, d_inner: M2, d_bound: M2, rhs: &mut [V2]) {
     let n = rhs.len();
     let mut gamma: Vec<M2> = vec![[0.0; 4]; n];
-    let diag = |i: usize| if i == 0 || i == n - 1 { d_bound } else { d_inner };
+    let diag = |i: usize| {
+        if i == 0 || i == n - 1 {
+            d_bound
+        } else {
+            d_inner
+        }
+    };
     let mut inv = m_inv(diag(0));
     gamma[0] = m_mul(inv, c);
     rhs[0] = m_v(inv, rhs[0]);
@@ -100,10 +106,7 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
                 field[x + y * n] = [1.0, 0.5];
             }
         }
-        let sum0: V2 = field
-            .par_iter()
-            .cloned()
-            .reduce(|| [0.0, 0.0], v_add);
+        let sum0: V2 = field.par_iter().cloned().reduce(|| [0.0, 0.0], v_add);
 
         let steps = 12;
         for _ in 0..steps {
@@ -127,10 +130,7 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
             }
         }
 
-        let sum1: V2 = field
-            .par_iter()
-            .cloned()
-            .reduce(|| [0.0, 0.0], v_add);
+        let sum1: V2 = field.par_iter().cloned().reduce(|| [0.0, 0.0], v_add);
         // The exchange coupling moves mass between fields but conserves
         // the combined total u + v.
         let combined0 = sum0[0] + sum0[1];
@@ -184,7 +184,11 @@ mod tests {
         let mut x = rhs.clone();
         block_thomas(c, d_inner, d_bound, &mut x);
         for i in 0..n {
-            let diag = if i == 0 || i == n - 1 { d_bound } else { d_inner };
+            let diag = if i == 0 || i == n - 1 {
+                d_bound
+            } else {
+                d_inner
+            };
             let mut lhs = m_v(diag, x[i]);
             if i > 0 {
                 let t = m_v(c, x[i - 1]);

@@ -125,12 +125,18 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
         for _ in 0..iters {
             a.mul(&p, &mut ap);
             let alpha = rr / dot(&p, &ap);
-            x.par_iter_mut().zip(&p).for_each(|(xi, pi)| *xi += alpha * pi);
-            r.par_iter_mut().zip(&ap).for_each(|(ri, ai)| *ri -= alpha * ai);
+            x.par_iter_mut()
+                .zip(&p)
+                .for_each(|(xi, pi)| *xi += alpha * pi);
+            r.par_iter_mut()
+                .zip(&ap)
+                .for_each(|(ri, ai)| *ri -= alpha * ai);
             let rr_new = dot(&r, &r);
             let beta = rr_new / rr;
             rr = rr_new;
-            p.iter_mut().zip(&r).for_each(|(pi, ri)| *pi = ri + beta * *pi);
+            p.iter_mut()
+                .zip(&r)
+                .for_each(|(pi, ri)| *pi = ri + beta * *pi);
         }
         let final_res = rr.sqrt() / r0;
         let verified = final_res < 1e-6 && final_res.is_finite();

@@ -85,7 +85,8 @@ pub fn side(class: Class) -> usize {
 /// then z, parallelised over independent lines.
 fn fft3(grid: &mut Vec<C>, n: usize, inverse: bool) {
     // X lines are contiguous.
-    grid.par_chunks_mut(n).for_each(|line| fft_line(line, inverse));
+    grid.par_chunks_mut(n)
+        .for_each(|line| fft_line(line, inverse));
     // Y and Z lines: gather-transform-scatter (transpose-free).
     for axis in 1..3 {
         let stride = if axis == 1 { n } else { n * n };

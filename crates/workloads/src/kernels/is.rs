@@ -70,8 +70,8 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
             // Split the output into disjoint bucket-range slices.
             let mut slices: Vec<&mut [u32]> = Vec::with_capacity(BUCKETS);
             let mut rest = sorted.as_mut_slice();
-            for b in 0..BUCKETS {
-                let len = hist[b] as usize;
+            for &count in hist.iter().take(BUCKETS) {
+                let len = count as usize;
                 let (head, tail) = rest.split_at_mut(len);
                 slices.push(head);
                 rest = tail;

@@ -76,8 +76,7 @@ fn residual_norm(g: &Grid) -> f64 {
             let mut acc = 0.0;
             for x in 1..=n {
                 let i = x + y * s;
-                let au =
-                    4.0 * g.u[i] - g.u[i - 1] - g.u[i + 1] - g.u[i - s] - g.u[i + s];
+                let au = 4.0 * g.u[i] - g.u[i - 1] - g.u[i + 1] - g.u[i - s] - g.u[i + s];
                 let r = g.rhs[i] - au;
                 acc += r * r;
             }

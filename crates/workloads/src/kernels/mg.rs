@@ -216,8 +216,7 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
         // magnitude overall.
         // (Injection prolongation gives an asymptotic factor ~0.8; the
         // early cycles are much faster.)
-        let verified =
-            reductions.iter().all(|&f| f < 0.9) && last < 0.1 * r0 && last.is_finite();
+        let verified = reductions.iter().all(|&f| f < 0.9) && last < 0.1 * r0 && last.is_finite();
 
         let cells = (n * n * n) as f64;
         KernelResult {

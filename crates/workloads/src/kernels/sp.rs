@@ -22,7 +22,13 @@ pub fn thomas_const(a: f64, d: &mut [f64], scratch: &mut [f64]) {
     let n = d.len();
     debug_assert_eq!(scratch.len(), n);
     // Neumann boundaries: first/last diagonal is (1 + a).
-    let diag = |i: usize| if i == 0 || i == n - 1 { 1.0 + a } else { 1.0 + 2.0 * a };
+    let diag = |i: usize| {
+        if i == 0 || i == n - 1 {
+            1.0 + a
+        } else {
+            1.0 + 2.0 * a
+        }
+    };
     // Forward elimination.
     scratch[0] = -a / diag(0);
     d[0] /= diag(0);
@@ -50,7 +56,11 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
             }
         }
         let total0: f64 = u.par_iter().sum();
-        let max0 = u.par_iter().cloned().fold(|| 0.0, f64::max).reduce(|| 0.0, f64::max);
+        let max0 = u
+            .par_iter()
+            .cloned()
+            .fold(|| 0.0, f64::max)
+            .reduce(|| 0.0, f64::max);
 
         let alpha = 0.4; // diffusion number per half-step
         let steps = 20;
@@ -78,7 +88,11 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
         }
 
         let total1: f64 = u.par_iter().sum();
-        let max1 = u.par_iter().cloned().fold(|| 0.0, f64::max).reduce(|| 0.0, f64::max);
+        let max1 = u
+            .par_iter()
+            .cloned()
+            .fold(|| 0.0, f64::max)
+            .reduce(|| 0.0, f64::max);
         // Verification: implicit diffusion with Neumann walls conserves
         // total heat and is a contraction (max principle).
         let conserved = (total1 - total0).abs() / total0 < 1e-9;
@@ -124,7 +138,11 @@ mod tests {
         let mut s = vec![0.0; n];
         thomas_const(a, &mut x, &mut s);
         for i in 0..n {
-            let diag = if i == 0 || i == n - 1 { 1.0 + a } else { 1.0 + 2.0 * a };
+            let diag = if i == 0 || i == n - 1 {
+                1.0 + a
+            } else {
+                1.0 + 2.0 * a
+            };
             let mut lhs = diag * x[i];
             if i > 0 {
                 lhs -= a * x[i - 1];

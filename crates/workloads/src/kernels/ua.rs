@@ -135,9 +135,8 @@ pub fn run(class: Class, threads: usize) -> KernelResult {
             let mass_before: f64 = cells.par_iter().map(Cell::mass).sum();
             smooth(&mut cells, 4);
             let mass_after: f64 = cells.par_iter().map(Cell::mass).sum();
-            mass_drift = mass_drift.max(
-                (mass_after - mass_before).abs() / mass_before.abs().max(1e-12),
-            );
+            mass_drift =
+                mass_drift.max((mass_after - mass_before).abs() / mass_before.abs().max(1e-12));
         }
 
         // Verification: the mesh actually adapted (far more cells than
@@ -196,8 +195,18 @@ mod tests {
     #[test]
     fn smoothing_conserves_mass_exactly_in_pairs() {
         let mut cells = vec![
-            Cell { x: 0.0, y: 0.0, size: 0.5, value: 1.0 },
-            Cell { x: 0.5, y: 0.0, size: 0.25, value: 0.0 },
+            Cell {
+                x: 0.0,
+                y: 0.0,
+                size: 0.5,
+                value: 1.0,
+            },
+            Cell {
+                x: 0.5,
+                y: 0.0,
+                size: 0.25,
+                value: 0.0,
+            },
         ];
         let before: f64 = cells.iter().map(Cell::mass).sum();
         smooth(&mut cells, 10);
@@ -209,7 +218,12 @@ mod tests {
 
     #[test]
     fn area_is_preserved_by_refinement() {
-        let cells: Vec<Cell> = vec![Cell { x: 0.0, y: 0.0, size: 1.0, value: 1.0 }];
+        let cells: Vec<Cell> = vec![Cell {
+            x: 0.0,
+            y: 0.0,
+            size: 1.0,
+            value: 1.0,
+        }];
         let refined = refine(cells, 0.5, 0.5, 0.0, 4); // forced split
         let area: f64 = refined.iter().map(|c| c.size * c.size).sum();
         assert!((area - 1.0).abs() < 1e-12);

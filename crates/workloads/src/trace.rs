@@ -306,7 +306,9 @@ mod tests {
         for op in g.thread_stream(3) {
             if let Op::Load { addr } | Op::Store { addr } = op {
                 let shared = addr >= SHARED_BASE;
-                let in_private = (PRIVATE_BASE + 3 * PRIVATE_STRIDE..PRIVATE_BASE + 4 * PRIVATE_STRIDE).contains(&addr);
+                let in_private = (PRIVATE_BASE + 3 * PRIVATE_STRIDE
+                    ..PRIVATE_BASE + 4 * PRIVATE_STRIDE)
+                    .contains(&addr);
                 assert!(shared || in_private, "stray address {addr:#x}");
             }
         }

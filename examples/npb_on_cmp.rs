@@ -45,7 +45,10 @@ fn main() {
             continue;
         };
         let mut times = Vec::new();
-        print!("  {:<12} @ {:.1} GHz  rel-times:", cooling.name, step.freq_ghz);
+        print!(
+            "  {:<12} @ {:.1} GHz  rel-times:",
+            cooling.name, step.freq_ghz
+        );
         for bench in Benchmark::all() {
             let cfg = SystemConfig::baseline(chips, step.freq_ghz);
             let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), 20_000, 42);

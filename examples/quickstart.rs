@@ -28,10 +28,7 @@ fn main() {
     );
     println!("stack: 4 chips, Table 2 package\n");
 
-    println!(
-        "{:<14} {:>10} {:>12}",
-        "cooling", "max freq", "peak temp"
-    );
+    println!("{:<14} {:>10} {:>12}", "cooling", "max freq", "peak temp");
     for cooling in CoolingParams::paper_options() {
         let design = CmpDesign::new(chip.clone(), 4, cooling);
         match max_frequency(&design) {

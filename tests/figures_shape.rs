@@ -114,7 +114,10 @@ fn figure14_temperature_decreases_with_h() {
     // 800 W/m2K.
     let at_800 = temps[temps.len() - 4];
     let at_5000 = *temps.last().unwrap();
-    assert!(at_800 - at_5000 > 0.5, "no headroom past water: {at_800} vs {at_5000}");
+    assert!(
+        at_800 - at_5000 > 0.5,
+        "no headroom past water: {at_800} vs {at_5000}"
+    );
 }
 
 #[test]
@@ -136,5 +139,8 @@ fn npb_figure10_shape() {
     let pipe = pipe_geo.expect("pipe row");
     assert!((pipe - 1.0).abs() < 1e-9, "pipe is the reference");
     assert!(water < 1.0, "water must beat the pipe: {water}");
-    assert!(water > 0.75, "win should be bounded (paper: up to 14%): {water}");
+    assert!(
+        water > 0.75,
+        "win should be bounded (paper: up to 14%): {water}"
+    );
 }

@@ -56,7 +56,9 @@ fn explored_frequency_is_tight() {
         .position(|s| (s.freq_ghz - step.freq_ghz).abs() < 1e-9)
         .unwrap();
     if idx + 1 < steps.len() {
-        let t_next = solve_at(&d, &model, steps[idx + 1], None).unwrap().die_max();
+        let t_next = solve_at(&d, &model, steps[idx + 1], None)
+            .unwrap()
+            .die_max();
         assert!(
             t_next > d.threshold(),
             "a higher step was feasible: {t_next} C at {} GHz",
@@ -80,7 +82,10 @@ fn frequencies_feed_the_simulator_consistently() {
         .iter()
         .find(|r| r.benchmark == Benchmark::Ep)
         .unwrap();
-    assert_eq!(manual.cycles, from_suite.stats.cycles, "determinism across paths");
+    assert_eq!(
+        manual.cycles, from_suite.stats.cycles,
+        "determinism across paths"
+    );
 }
 
 #[test]
@@ -89,7 +94,11 @@ fn water_beats_pipe_end_to_end() {
     // CMP runs every NPB program at least as fast as the water-pipe
     // CMP, and strictly faster on the geomean.
     let chip = low_power_cmp();
-    let water = run_npb_suite(&quick(chip.clone(), 6, CoolingParams::water_immersion()), 4_000, 9);
+    let water = run_npb_suite(
+        &quick(chip.clone(), 6, CoolingParams::water_immersion()),
+        4_000,
+        9,
+    );
     let pipe = run_npb_suite(&quick(chip, 6, CoolingParams::water_pipe()), 4_000, 9);
     let rel = relative_times(&water, &pipe).expect("both feasible");
     for (b, r) in &rel {

@@ -195,11 +195,11 @@ proptest! {
 
 fn arb_descriptor() -> impl Strategy<Value = WorkloadDescriptor> {
     (
-        0.05f64..0.9,  // memory fraction
-        0.0f64..1.0,   // random fraction
-        0.0f64..0.8,   // shared fraction
-        4u64..512,     // private ws KiB
-        16u64..2048,   // shared ws KiB
+        0.05f64..0.9,    // memory fraction
+        0.0f64..1.0,     // random fraction
+        0.0f64..0.8,     // shared fraction
+        4u64..512,       // private ws KiB
+        16u64..2048,     // shared ws KiB
         1000u64..50_000, // barrier interval
     )
         .prop_map(|(mem, random, shared, pws, sws, barrier)| {

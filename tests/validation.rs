@@ -49,14 +49,28 @@ fn analytical_model_ranks_benchmarks_like_the_simulator() {
         let gen = TraceGenerator::new(bench.descriptor(), cfg.threads(), ops, 7);
         sim.push((System::new(cfg).run(&gen).l1_miss_rate, bench.name()));
         pred.push((
-            predict_l1(&bench.descriptor(), cfg.l1d_kib, cfg.line_bytes, cfg.threads(), ops)
-                .l1_miss_rate,
+            predict_l1(
+                &bench.descriptor(),
+                cfg.l1d_kib,
+                cfg.line_bytes,
+                cfg.threads(),
+                ops,
+            )
+            .l1_miss_rate,
             bench.name(),
         ));
     }
     // Spearman-ish: the two orderings of the extremes must agree.
-    let min_sim = sim.iter().min_by(|a, b| a.0.partial_cmp(&b.0).unwrap()).unwrap().1;
-    let min_pred = pred.iter().min_by(|a, b| a.0.partial_cmp(&b.0).unwrap()).unwrap().1;
+    let min_sim = sim
+        .iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .unwrap()
+        .1;
+    let min_pred = pred
+        .iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .unwrap()
+        .1;
     assert_eq!(min_sim, min_pred, "least memory-bound benchmark disagrees");
     assert_eq!(min_sim, "EP");
 }
@@ -83,10 +97,10 @@ fn sparse_cg_matches_dense_gaussian_elimination() {
                 dense[j][i] -= g;
             }
         }
-        for i in 0..n {
+        for (i, row) in dense.iter_mut().enumerate() {
             let g = rng.gen_range(0.5..2.0);
             trip.add_grounded(i, g);
-            dense[i][i] += g;
+            row[i] += g;
         }
         let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
 
@@ -104,8 +118,9 @@ fn sparse_cg_matches_dense_gaussian_elimination() {
             rhs.swap(col, piv);
             for row in col + 1..n {
                 let f = m[row][col] / m[col][col];
-                for k in col..n {
-                    m[row][k] -= f * m[col][k];
+                let (top, bottom) = m.split_at_mut(row);
+                for (dst, &src) in bottom[0][col..].iter_mut().zip(&top[col][col..]) {
+                    *dst -= f * src;
                 }
                 rhs[row] -= f * rhs[col];
             }

@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde` with the same surface this workspace
+//! uses: `Serialize` / `Deserialize` traits, `#[derive(Serialize,
+//! Deserialize)]`, and impls for the std types that appear in our
+//! models. The build container has no crates.io access, so the real
+//! serde cannot be fetched; this shim routes everything through a
+//! canonical JSON-like [`Value`] tree instead of serde's visitor data
+//! model. Object keys are kept in a `BTreeMap`, so serialisation is
+//! canonical by construction — a property the campaign engine's
+//! content-addressed cache keys rely on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the common data model every `Serialize` /
+/// `Deserialize` impl converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with canonically (lexicographically) ordered keys.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object underneath, if this is a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements underneath, if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string underneath, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean underneath, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (any of the three number shapes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64` when lossless.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) => i64::try_from(u).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` when lossless.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(i) => u64::try_from(i).ok(),
+            Value::U64(u) => Some(u),
+            Value::F64(f) if f.fract() == 0.0 && (0.0..1.9e19).contains(&f) => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on maps (`None` on other shapes or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialisation/deserialisation error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// A struct field was absent from the input map.
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error(format!("missing field `{field}` while deserialising {ty}"))
+    }
+
+    /// The input value had the wrong JSON shape.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        let shape = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        };
+        Error(format!("expected {what}, got {shape}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into the common [`Value`] model.
+pub trait Serialize {
+    /// This value as a JSON-shaped tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the common [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a JSON-shaped tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // Non-negative integers normalise to U64 (as in real
+                // serde_json) so a value compares equal across a
+                // serialize/parse round trip.
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+// 128-bit integers: JSON numbers top out at 64 bits here, so values
+// that fit go out as numbers and anything wider as a decimal string;
+// deserialization accepts both forms.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(u) => Value::U64(u),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if let Some(u) = v.as_u64() {
+            return Ok(u128::from(u));
+        }
+        if let Some(s) = v.as_str() {
+            return s.parse().map_err(|_| Error::custom("bad u128 string"));
+        }
+        Err(Error::expected("u128", v))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        if let Ok(u) = u64::try_from(*self) {
+            Value::U64(u)
+        } else if let Ok(i) = i64::try_from(*self) {
+            Value::I64(i)
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if let Some(i) = v.as_i64() {
+            return Ok(i128::from(i));
+        }
+        if let Some(u) = v.as_u64() {
+            return Ok(i128::from(u));
+        }
+        if let Some(s) = v.as_str() {
+            return s.parse().map_err(|_| Error::custom("bad i128 string"));
+        }
+        Err(Error::expected("i128", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            // serde_json writes non-finite floats as null; accept the
+            // round trip.
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+/// Interner so `&'static str` fields (e.g. cooling-option names) can
+/// round-trip: each distinct string is leaked exactly once.
+static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn intern(s: &str) -> &'static str {
+    let mut set = INTERNED.lock().expect("intern table poisoned");
+    if let Some(&hit) = set.iter().find(|&&x| x == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.push(leaked);
+    leaked
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(intern)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("tuple array", v))?;
+                let expect = [$($idx),+].len();
+                if seq.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected a {expect}-element array, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-3i32).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".into()));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let o: Option<f64> = None;
+        assert!(Option::<f64>::from_value(&o.to_value()).unwrap().is_none());
+        let t = (1u8, "x".to_string(), 2.5f64);
+        assert_eq!(<(u8, String, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn static_str_interns() {
+        let a = <&'static str>::from_value(&Value::Str("water".into())).unwrap();
+        let b = <&'static str>::from_value(&Value::Str("water".into())).unwrap();
+        assert!(std::ptr::eq(a, b), "same string must intern to one leak");
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // A JSON parser may surface 3 as I64 even for a u64 field.
+        assert_eq!(u64::from_value(&Value::I64(3)), Ok(3));
+        assert_eq!(f64::from_value(&Value::I64(3)), Ok(3.0));
+        assert!(u8::from_value(&Value::I64(-1)).is_err());
+    }
+}

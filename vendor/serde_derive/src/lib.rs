@@ -1,0 +1,477 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in. Written against `proc_macro` alone — the container
+//! has no crates.io access, so `syn`/`quote` are unavailable and the
+//! item is parsed by walking raw token trees.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, tuple structs (newtype and n-ary),
+//!   unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation);
+//! - simple type generics (`enum Access<M> { .. }`), which receive a
+//!   `Serialize`/`Deserialize` bound per parameter.
+//!
+//! `#[serde(...)]` attributes are not supported (none exist in this
+//! workspace) and are rejected loudly rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A tiny structural model of the input item
+// ---------------------------------------------------------------------------
+
+enum Body {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T, ..);` — field count.
+    Tuple(usize),
+    /// `struct S { a: T, .. }` — field names.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["M"]`.
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&toks, &mut i)?;
+    skip_visibility(&toks, &mut i);
+
+    let kind_kw = expect_ident(&toks, &mut i)?;
+    if kind_kw != "struct" && kind_kw != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind_kw}`"));
+    }
+    let name = expect_ident(&toks, &mut i)?;
+    let generics = parse_generics(&toks, &mut i)?;
+
+    if kind_kw == "struct" {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        };
+        Ok(Item {
+            name,
+            generics,
+            kind: ItemKind::Struct(body),
+        })
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(Item {
+            name,
+            generics,
+            kind: ItemKind::Enum(parse_variants(body)?),
+        })
+    }
+}
+
+/// Skip `#[...]` attributes (including doc comments). `#[serde(...)]`
+/// is rejected: this shim implements none of its knobs.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if g.to_string().starts_with("[serde") {
+                return Err("#[serde(...)] attributes are not supported by the offline \
+                            serde stand-in"
+                    .to_string());
+            }
+            *i += 2;
+        } else {
+            return Err("malformed attribute".to_string());
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            // `pub(crate)`, `pub(super)`, ...
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parse `<A, B, ..>` after the type name; returns the parameter
+/// identifiers. Lifetimes and bounds would need real serde — reject
+/// them so failures are loud.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err("lifetime generics are not supported by the offline serde \
+                            stand-in"
+                    .to_string())
+            }
+            Some(TokenTree::Ident(id)) => {
+                if expect_param {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => return Err("unbalanced generics".to_string()),
+        }
+        *i += 1;
+    }
+    Ok(params)
+}
+
+/// Field names of `{ a: T, b: U, .. }`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        names.push(expect_ident(&toks, &mut i)?);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type: everything until a top-level comma. Groups are
+        // single trees, so only angle brackets need depth tracking.
+        let mut angle = 0isize;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Number of fields in `(T, U, ..)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0isize;
+    let mut fields = 1usize;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = toks.last() {
+        if p.as_char() == ',' {
+            fields -= 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let b = Body::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                b
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let b = Body::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                b
+            }
+            _ => Body::Unit,
+        };
+        // Skip to the next variant: discriminants (`= expr`) and the
+        // separating comma.
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{trait_name} for {}", item.name)
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        let args = item.generics.join(", ");
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{args}>",
+            bounds.join(", "),
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::Struct(Body::Unit) => "serde::Value::Null".to_string(),
+        ItemKind::Struct(Body::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Body::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Body::Named(fields)) => {
+            let mut s = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("serde::Value::Map(__m)");
+            s
+        }
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             serde::Value::Map(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let mut inner =
+                            String::from("let mut __v = ::std::collections::BTreeMap::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__v.insert(::std::string::String::from(\"{f}\"), \
+                                 serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Map(__v));\n\
+                             serde::Value::Map(__m)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "{} {{\nfn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_named_ctor(ty: &str, path: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!(
+        "let __m = {src}.as_map().ok_or_else(|| \
+         serde::Error::expected(\"object for {ty}\", {src}))?;\n"
+    );
+    s.push_str(&format!("Ok({path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: serde::Deserialize::from_value(__m.get(\"{f}\")\
+             .ok_or_else(|| serde::Error::missing_field(\"{ty}\", \"{f}\"))?)?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_tuple_ctor(ty: &str, path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!("Ok({path}(serde::Deserialize::from_value({src})?))");
+    }
+    let mut s = format!(
+        "let __s = {src}.as_seq().ok_or_else(|| \
+         serde::Error::expected(\"array for {ty}\", {src}))?;\n\
+         if __s.len() != {n} {{\n\
+         return Err(serde::Error::custom(\"wrong tuple arity for {ty}\"));\n}}\n"
+    );
+    let elems: Vec<String> = (0..n)
+        .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+        .collect();
+    s.push_str(&format!("Ok({path}({}))", elems.join(", ")));
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Body::Unit) => format!("let _ = __v; Ok({name})"),
+        ItemKind::Struct(Body::Tuple(n)) => gen_tuple_ctor(name, name, *n, "__v"),
+        ItemKind::Struct(Body::Named(fields)) => gen_named_ctor(name, name, fields, "__v"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Body::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n{}\n}}\n",
+                        gen_tuple_ctor(name, &format!("{name}::{vn}"), *n, "__inner")
+                    )),
+                    Body::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n{}\n}}\n",
+                        gen_named_ctor(name, &format!("{name}::{vn}"), fields, "__inner")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 __other => Err(serde::Error::expected(\"a {name} variant\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "{} {{\nfn from_value(__v: &serde::Value) -> \
+         ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}\n",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn run(input: TokenStream, gen: fn(&Item) -> String, which: &str) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => {
+            let msg = format!("derive({which}): {e}").replace('"', "\\\"");
+            return format!("compile_error!(\"{msg}\");").parse().unwrap();
+        }
+    };
+    gen(&item)
+        .parse()
+        .unwrap_or_else(|e| panic!("derive({which}) generated invalid code: {e}"))
+}
+
+/// Derive `serde::Serialize` (offline stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize, "Serialize")
+}
+
+/// Derive `serde::Deserialize` (offline stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize, "Deserialize")
+}
