@@ -1109,7 +1109,7 @@ impl System {
             } else {
                 miss_lat as f64 / misses as f64 / 1e3
             },
-            barrier_fraction: if exec == 0.0 {
+            barrier_fraction: if exec <= 0.0 {
                 0.0
             } else {
                 barrier_ps as f64 / 1e12 / (exec * self.cores.len() as f64)

@@ -89,6 +89,11 @@ pub enum Command {
         /// Extra attempts after a first failure.
         retries: u32,
     },
+    /// Run the repo's static-analysis rules (R1–R5) over the workspace.
+    Lint {
+        /// Rewrite lint.allow to the current violation counts.
+        fix_allowlist: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -145,6 +150,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: get_or("--out", "results"),
             retries: num("--retries", "2")? as u32,
         }),
+        "lint" => Ok(Command::Lint {
+            fix_allowlist: has("--fix-allowlist"),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -159,7 +167,8 @@ pub fn usage() -> String {
        thermal-map --chip ... --chips N --cooling ... --freq GHz\n\
        simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
        export-flp  --chip lp|hf|e5|phi\n\
-       campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]"
+       campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]\n\
+       lint        [--fix-allowlist]"
         .to_string()
 }
 
@@ -190,6 +199,19 @@ pub fn cooling_by_key(key: &str) -> Result<CoolingParams, String> {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(usage()),
+        Command::Lint { fix_allowlist } => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            let root = immersion_lint::find_workspace_root(&cwd)
+                .ok_or("not inside a cargo workspace (no Cargo.toml with [workspace] above cwd)")?;
+            let report =
+                immersion_lint::lint_workspace(&root, fix_allowlist).map_err(|e| e.to_string())?;
+            let text = report.render();
+            if report.is_clean() {
+                Ok(text)
+            } else {
+                Err(text)
+            }
+        }
         Command::MaxFreq {
             chip,
             chips,

@@ -23,6 +23,7 @@ use immersion_power::chips::{
 use immersion_power::mcpat::{area_report, relative_power_curve};
 use immersion_power::scaling::{irds_trajectory, project};
 use immersion_thermal::stack3d::{CoolingParams, PackageParams};
+use immersion_units::{Celsius, HeatTransferCoeff};
 use serde::{Deserialize, Serialize};
 
 /// Fidelity knobs: `full()` reproduces figure-quality settings,
@@ -144,19 +145,19 @@ pub fn table2(_q: Quality) -> Vec<Table> {
         "heatsink",
         format!(
             "{:.0}x{:.0}x{:.0} cm, 400 W/mK, {} m2 fin area",
-            p.sink_side * 100.0,
-            p.sink_side * 100.0,
-            p.sink_thickness * 100.0,
-            p.sink_fin_area
+            p.sink_side_m * 100.0,
+            p.sink_side_m * 100.0,
+            p.sink_thickness_m * 100.0,
+            p.sink_fin_area_m2
         ),
     );
     row(
         "heat spreader",
         format!(
             "{:.0}x{:.0}x{:.1} cm, 400 W/mK",
-            p.spreader_side * 100.0,
-            p.spreader_side * 100.0,
-            p.spreader_thickness * 100.0
+            p.spreader_side_m * 100.0,
+            p.spreader_side_m * 100.0,
+            p.spreader_thickness_m * 100.0
         ),
     );
     row("parylene film", "120 um, 0.14 W/mK".into());
@@ -164,7 +165,7 @@ pub fn table2(_q: Quality) -> Vec<Table> {
         "inter-die bond",
         format!(
             "{:.0} um glue (0.25 W/mK) + {:.1}% TSV/TCI metal",
-            p.bond_thickness * 1e6,
+            p.bond_thickness_m * 1e6,
             p.bond_metal_fraction * 100.0
         ),
     );
@@ -172,7 +173,7 @@ pub fn table2(_q: Quality) -> Vec<Table> {
         "TIM",
         format!(
             "{:.0} um, 4.0 W/mK (HotSpot default; see DESIGN.md)",
-            p.tim_thickness * 1e6
+            p.tim_thickness_m * 1e6
         ),
     );
     row("outside temp", "25 C".into());
@@ -542,7 +543,7 @@ pub fn fig14(q: Quality) -> Vec<Table> {
             let d = design(
                 chip.clone(),
                 4,
-                CoolingParams::custom_immersion("sweep", h),
+                CoolingParams::custom_immersion("sweep", HeatTransferCoeff::new(h)),
                 q,
             );
             let model = d.thermal_model().expect("model builds");
@@ -685,7 +686,7 @@ pub fn ablations(q: Quality) -> Vec<Table> {
         ("no film (hypothetical)", None),
     ] {
         let mut cooling = CoolingParams::water_immersion();
-        cooling.film_thickness = film;
+        cooling.film_thickness_m = film;
         let d = design(chip.clone(), 6, cooling, q);
         t.row(vec![
             label.into(),
@@ -754,7 +755,7 @@ pub fn grid_convergence(_q: Quality) -> Vec<Table> {
 /// option — settled DVFS frequency and throttling residency.
 pub fn dtm_study(q: Quality) -> Vec<Table> {
     let chip = high_frequency_cmp();
-    let ctrl = DtmController::new(chip.temp_threshold, 4.0);
+    let ctrl = DtmController::new(chip.temp_threshold_c, 4.0);
     let mut t = Table::new(
         "DTM on the 4-chip high-frequency CMP (80 C trip, worst-case load)",
         &[
@@ -849,7 +850,7 @@ pub fn flow_study(q: Quality) -> Vec<Table> {
         let d = design(
             chip.clone(),
             8,
-            CoolingParams::custom_immersion("flow", h),
+            CoolingParams::custom_immersion("flow", HeatTransferCoeff::new(h)),
             q,
         );
         match max_frequency(&d) {
@@ -869,7 +870,7 @@ pub fn flow_study(q: Quality) -> Vec<Table> {
         ],
     );
     for v in [0.05, 0.1, 0.2, 0.4, 0.8, 1.6] {
-        let h = sys.h_at(v);
+        let h = sys.h_at(v).raw();
         let pump = sys.pump_power_at(v);
         let sustained = benefit(h);
         t.row(vec![
@@ -886,10 +887,10 @@ pub fn flow_study(q: Quality) -> Vec<Table> {
         &["v (m/s)", "h", "pump (W)", "net (W)"],
     );
     o.row(vec![
-        format!("{:.2}", opt.v),
-        format!("{:.0}", opt.h),
-        format!("{:.0}", opt.pump_power),
-        format!("{:.1}", opt.net_benefit),
+        format!("{:.2}", opt.v_m_per_s),
+        format!("{:.0}", opt.h.raw()),
+        format!("{:.0}", opt.pump_power_w),
+        format!("{:.1}", opt.net_benefit_w),
     ]);
     vec![t, o]
 }
@@ -1049,7 +1050,7 @@ pub fn riverfarm_study(q: Quality) -> Vec<Table> {
     );
     // Thermal: sustained frequency of each node.
     let mut river_cooling = CoolingParams::water_immersion();
-    river_cooling.ambient = 18.0; // river water arrives pre-cooled
+    river_cooling.ambient = Celsius::new(18.0); // river water arrives pre-cooled
     let river = design(chip.clone(), 4, river_cooling, q);
     let hall = design(chip.clone(), 4, CoolingParams::air(), q);
     let f_river = max_frequency(&river).map(|s| s.freq_ghz);

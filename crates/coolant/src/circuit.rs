@@ -7,6 +7,7 @@
 //! solver and the calibrated model of the paper's film-coated PRIMERGY
 //! TX1320 M2 prototype (§2.4 / Figure 4).
 
+use immersion_units::HeatTransferCoeff;
 use serde::{Deserialize, Serialize};
 
 /// A lumped steady-state thermal network.
@@ -41,18 +42,18 @@ impl Circuit {
     ///
     /// # Panics
     /// Panics on a non-positive resistance or unknown node.
-    pub fn resistor(&mut self, a: usize, b: usize, r: f64) -> &mut Self {
-        assert!(r > 0.0, "resistance must be positive");
+    pub fn resistor(&mut self, a: usize, b: usize, r_k_per_w: f64) -> &mut Self {
+        assert!(r_k_per_w > 0.0, "resistance must be positive");
         assert!(a < self.names.len() && b < self.names.len() && a != b);
-        self.resistances.push((a, b, r));
+        self.resistances.push((a, b, r_k_per_w));
         self
     }
 
-    /// Tie node `a` to an ambient at `t_amb` °C through `r` K/W.
-    pub fn to_ambient(&mut self, a: usize, r: f64, t_amb: f64) -> &mut Self {
-        assert!(r > 0.0, "resistance must be positive");
+    /// Tie node `a` to an ambient through a resistance in K/W.
+    pub fn to_ambient(&mut self, a: usize, r_k_per_w: f64, t_amb_c: f64) -> &mut Self {
+        assert!(r_k_per_w > 0.0, "resistance must be positive");
         assert!(a < self.names.len());
-        self.ambient_ties.push((a, r, t_amb));
+        self.ambient_ties.push((a, r_k_per_w, t_amb_c));
         self
     }
 
@@ -87,8 +88,8 @@ impl Circuit {
         // Gaussian elimination with partial pivoting.
         for col in 0..n {
             let piv = (col..n)
-                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
-                .unwrap();
+                .max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
+                .unwrap_or(col);
             assert!(
                 a[piv][col].abs() > 1e-12,
                 "singular network: node '{}' is floating",
@@ -98,7 +99,7 @@ impl Circuit {
             b.swap(col, piv);
             for row in (col + 1)..n {
                 let f = a[row][col] / a[col][col];
-                if f != 0.0 {
+                if f.abs() > 0.0 {
                     let (top, bottom) = a.split_at_mut(row);
                     for (dst, &src) in bottom[0][col..].iter_mut().zip(&top[col][col..]) {
                         *dst -= f * src;
@@ -142,39 +143,38 @@ pub enum PrototypeCooling {
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PrototypeServer {
     /// Package power under `stress`, watts.
-    pub power: f64,
+    pub power_w: f64,
     /// Junction → heatsink-surface resistance (die + TIM + sink
     /// conduction), K/W.
-    pub r_junction_sink: f64,
+    pub r_junction_sink_k_per_w: f64,
     /// Junction → board path (socket + package balls), K/W.
-    pub r_junction_board: f64,
+    pub r_junction_board_k_per_w: f64,
     /// Sink convective area, m².
-    pub sink_area: f64,
+    pub sink_area_m2: f64,
     /// Board wetted area (both faces), m².
-    pub board_area: f64,
-    /// Effective h for the high-speed fan over the sink, W/(m²·K).
-    pub h_forced_air: f64,
-    /// Effective h for *unstirred* water (no pump; the prototype tub),
-    /// W/(m²·K).
-    pub h_still_water: f64,
+    pub board_area_m2: f64,
+    /// Effective h for the high-speed fan over the sink.
+    pub h_forced_air: HeatTransferCoeff,
+    /// Effective h for *unstirred* water (no pump; the prototype tub).
+    pub h_still_water: HeatTransferCoeff,
     /// Parylene film series resistance per area, m²·K/W.
-    pub film_r: f64,
+    pub film_r_m2_k_per_w: f64,
     /// Room / water temperature, °C.
-    pub ambient: f64,
+    pub ambient_c: f64,
 }
 
 impl Default for PrototypeServer {
     fn default() -> Self {
         PrototypeServer {
-            power: 65.0,
-            r_junction_sink: 0.45,
-            r_junction_board: 1.20,
-            sink_area: 0.078,
-            board_area: 0.060,
-            h_forced_air: 38.0,
-            h_still_water: 50.0,
-            film_r: 120e-6 / 0.14,
-            ambient: 25.0,
+            power_w: 65.0,
+            r_junction_sink_k_per_w: 0.45,
+            r_junction_board_k_per_w: 1.20,
+            sink_area_m2: 0.078,
+            board_area_m2: 0.060,
+            h_forced_air: HeatTransferCoeff::new(38.0),
+            h_still_water: HeatTransferCoeff::new(50.0),
+            film_r_m2_k_per_w: 120e-6 / 0.14,
+            ambient_c: 25.0,
         }
     }
 }
@@ -186,35 +186,35 @@ impl PrototypeServer {
         let mut c = Circuit::new();
         let junction = c.node("junction");
         let sink = c.node("sink");
-        c.source(junction, self.power);
-        c.resistor(junction, sink, self.r_junction_sink);
+        c.source(junction, self.power_w);
+        c.resistor(junction, sink, self.r_junction_sink_k_per_w);
         match cooling {
             PrototypeCooling::ForcedAir => {
                 c.to_ambient(
                     sink,
-                    1.0 / (self.h_forced_air * self.sink_area),
-                    self.ambient,
+                    self.h_forced_air.resistance_k_per_w(self.sink_area_m2),
+                    self.ambient_c,
                 );
             }
             PrototypeCooling::HeatsinkInWater => {
                 c.to_ambient(
                     sink,
-                    1.0 / (self.h_still_water * self.sink_area),
-                    self.ambient,
+                    self.h_still_water.resistance_k_per_w(self.sink_area_m2),
+                    self.ambient_c,
                 );
             }
             PrototypeCooling::FullImmersion => {
                 c.to_ambient(
                     sink,
-                    1.0 / (self.h_still_water * self.sink_area),
-                    self.ambient,
+                    self.h_still_water.resistance_k_per_w(self.sink_area_m2),
+                    self.ambient_c,
                 );
                 // Secondary path: junction → board → (film) → water.
                 let board = c.node("board");
-                c.resistor(junction, board, self.r_junction_board);
-                let conv =
-                    1.0 / (self.h_still_water * self.board_area) + self.film_r / self.board_area;
-                c.to_ambient(board, conv, self.ambient);
+                c.resistor(junction, board, self.r_junction_board_k_per_w);
+                let conv = self.h_still_water.resistance_k_per_w(self.board_area_m2)
+                    + self.film_r_m2_k_per_w / self.board_area_m2;
+                c.to_ambient(board, conv, self.ambient_c);
             }
         }
         c.solve()[junction]
@@ -297,7 +297,7 @@ mod tests {
     fn more_power_is_hotter() {
         let mut p = PrototypeServer::default();
         let base = p.chip_temperature(PrototypeCooling::FullImmersion);
-        p.power *= 1.5;
+        p.power_w *= 1.5;
         assert!(p.chip_temperature(PrototypeCooling::FullImmersion) > base);
     }
 
@@ -305,7 +305,7 @@ mod tests {
     fn thicker_film_is_hotter_underwater() {
         let mut p = PrototypeServer::default();
         let base = p.chip_temperature(PrototypeCooling::FullImmersion);
-        p.film_r *= 10.0;
+        p.film_r_m2_k_per_w *= 10.0;
         let worse = p.chip_temperature(PrototypeCooling::FullImmersion);
         assert!(worse > base);
         // But the film penalty is small compared to the immersion win.

@@ -10,6 +10,7 @@
 //! benefit — the knob a real immersion-tank designer turns.
 
 use crate::properties::Coolant;
+use immersion_units::HeatTransferCoeff;
 use serde::{Deserialize, Serialize};
 
 /// A circulation system for an immersion tank.
@@ -18,10 +19,10 @@ pub struct FlowSystem {
     /// The coolant being pumped.
     pub coolant: Coolant,
     /// Flow speed at which the coolant's reference `h` holds, m/s.
-    pub v_ref: f64,
-    /// Hydraulic power at `v_ref`, watts (pump shaft power for the
-    /// tank's loop at the reference speed).
-    pub pump_power_ref: f64,
+    pub v_ref_m_per_s: f64,
+    /// Hydraulic power at the reference speed, watts (pump shaft power
+    /// for the tank's loop).
+    pub pump_power_ref_w: f64,
     /// Pump + motor efficiency (electrical watts per hydraulic watt).
     pub pump_efficiency: f64,
 }
@@ -32,21 +33,21 @@ impl FlowSystem {
     pub fn water_tank() -> FlowSystem {
         FlowSystem {
             coolant: Coolant::get(crate::properties::CoolantKind::Water),
-            v_ref: 0.2,
-            pump_power_ref: 40.0,
+            v_ref_m_per_s: 0.2,
+            pump_power_ref_w: 40.0,
             pump_efficiency: 0.6,
         }
     }
 
-    /// Heat-transfer coefficient at flow speed `v`, W/(m²·K).
-    pub fn h_at(&self, v: f64) -> f64 {
-        self.coolant.h_at_flow(v, self.v_ref)
+    /// Heat-transfer coefficient at flow speed `v` (m/s).
+    pub fn h_at(&self, v_m_per_s: f64) -> HeatTransferCoeff {
+        self.coolant.h_at_flow(v_m_per_s, self.v_ref_m_per_s)
     }
 
-    /// Electrical pump power at flow speed `v`, watts (`∝ v³`).
-    pub fn pump_power_at(&self, v: f64) -> f64 {
-        assert!(v >= 0.0);
-        self.pump_power_ref * (v / self.v_ref).powi(3) / self.pump_efficiency
+    /// Electrical pump power at flow speed `v` (m/s), watts (`∝ v³`).
+    pub fn pump_power_at(&self, v_m_per_s: f64) -> f64 {
+        assert!(v_m_per_s >= 0.0);
+        self.pump_power_ref_w * (v_m_per_s / self.v_ref_m_per_s).powi(3) / self.pump_efficiency
     }
 
     /// Find the flow speed maximising `benefit(h) − pump_power`, where
@@ -57,14 +58,14 @@ impl FlowSystem {
     /// non-decreasing in h (physically it always is).
     pub fn optimal_flow(
         &self,
-        v_lo: f64,
-        v_hi: f64,
+        v_lo_m_per_s: f64,
+        v_hi_m_per_s: f64,
         benefit: impl Fn(f64) -> f64,
     ) -> FlowOperatingPoint {
-        assert!(v_lo > 0.0 && v_hi > v_lo);
-        let net = |v: f64| benefit(self.h_at(v)) - self.pump_power_at(v);
+        assert!(v_lo_m_per_s > 0.0 && v_hi_m_per_s > v_lo_m_per_s);
+        let net = |v: f64| benefit(self.h_at(v).raw()) - self.pump_power_at(v);
         let phi = (5f64.sqrt() - 1.0) / 2.0;
-        let (mut a, mut b) = (v_lo, v_hi);
+        let (mut a, mut b) = (v_lo_m_per_s, v_hi_m_per_s);
         let mut c = b - phi * (b - a);
         let mut d = a + phi * (b - a);
         let (mut fc, mut fd) = (net(c), net(d));
@@ -85,10 +86,10 @@ impl FlowSystem {
         }
         let v = 0.5 * (a + b);
         FlowOperatingPoint {
-            v,
+            v_m_per_s: v,
             h: self.h_at(v),
-            pump_power: self.pump_power_at(v),
-            net_benefit: net(v),
+            pump_power_w: self.pump_power_at(v),
+            net_benefit_w: net(v),
         }
     }
 }
@@ -97,13 +98,13 @@ impl FlowSystem {
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlowOperatingPoint {
     /// Flow speed, m/s.
-    pub v: f64,
-    /// Resulting heat-transfer coefficient, W/(m²·K).
-    pub h: f64,
+    pub v_m_per_s: f64,
+    /// Resulting heat-transfer coefficient.
+    pub h: HeatTransferCoeff,
     /// Electrical pump power, watts.
-    pub pump_power: f64,
+    pub pump_power_w: f64,
     /// `benefit(h) − pump_power`, watts-equivalent.
-    pub net_benefit: f64,
+    pub net_benefit_w: f64,
 }
 
 #[cfg(test)]
@@ -113,8 +114,8 @@ mod tests {
     #[test]
     fn reference_point_anchors() {
         let s = FlowSystem::water_tank();
-        assert!((s.h_at(s.v_ref) - 800.0).abs() < 1e-9);
-        assert!((s.pump_power_at(s.v_ref) - 40.0 / 0.6).abs() < 1e-9);
+        assert!((s.h_at(s.v_ref_m_per_s).raw() - 800.0).abs() < 1e-9);
+        assert!((s.pump_power_at(s.v_ref_m_per_s) - 40.0 / 0.6).abs() < 1e-9);
         assert_eq!(s.pump_power_at(0.0), 0.0);
     }
 
@@ -135,14 +136,14 @@ mod tests {
         let benefit = |h: f64| 300.0 * (1.0 - (-h / 600.0).exp());
         let opt = s.optimal_flow(0.05, 5.0, benefit);
         assert!(
-            opt.v > 0.05 && opt.v < 4.9,
+            opt.v_m_per_s > 0.05 && opt.v_m_per_s < 4.9,
             "optimum on the boundary: {}",
-            opt.v
+            opt.v_m_per_s
         );
         // Perturbing in either direction is worse.
-        let net = |v: f64| benefit(s.h_at(v)) - s.pump_power_at(v);
-        assert!(opt.net_benefit >= net(opt.v * 0.7) - 1e-6);
-        assert!(opt.net_benefit >= net(opt.v * 1.3) - 1e-6);
+        let net = |v: f64| benefit(s.h_at(v).raw()) - s.pump_power_at(v);
+        assert!(opt.net_benefit_w >= net(opt.v_m_per_s * 0.7) - 1e-6);
+        assert!(opt.net_benefit_w >= net(opt.v_m_per_s * 1.3) - 1e-6);
     }
 
     #[test]
@@ -152,13 +153,22 @@ mod tests {
         let s = FlowSystem::water_tank();
         let sat = s.optimal_flow(0.05, 5.0, |h| 300.0 * (1.0 - (-h / 600.0).exp()));
         let lin = s.optimal_flow(0.05, 5.0, |h| 0.4 * h);
-        assert!(lin.v > sat.v, "linear {} !> saturating {}", lin.v, sat.v);
+        assert!(
+            lin.v_m_per_s > sat.v_m_per_s,
+            "linear {} !> saturating {}",
+            lin.v_m_per_s,
+            sat.v_m_per_s
+        );
     }
 
     #[test]
     fn zero_benefit_means_no_pumping() {
         let s = FlowSystem::water_tank();
         let opt = s.optimal_flow(0.01, 2.0, |_| 0.0);
-        assert!(opt.v < 0.02, "should slide to the minimum: {}", opt.v);
+        assert!(
+            opt.v_m_per_s < 0.02,
+            "should slide to the minimum: {}",
+            opt.v_m_per_s
+        );
     }
 }

@@ -22,6 +22,8 @@
 //!   Monte-Carlo board-lifetime simulator calibrated to the paper's
 //!   2-year observations.
 
+pub use immersion_units as units;
+
 pub mod circuit;
 pub mod datacenter;
 pub mod flow;

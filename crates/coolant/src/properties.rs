@@ -7,6 +7,7 @@
 //! forced-convection scaling law for the §4.1 "increase coolant flow
 //! speed (e.g., via turbines)" remark.
 
+use immersion_units::{HeatTransferCoeff, JoulesPerCubicMeterKelvin, WattsPerMeterKelvin};
 use serde::{Deserialize, Serialize};
 
 /// The coolants the paper compares.
@@ -31,17 +32,16 @@ pub struct Coolant {
     /// Which coolant.
     pub kind: CoolantKind,
     /// Reference heat-transfer coefficient at the paper's operating
-    /// point, W/(m²·K) — Table in §3.2: air 14, oil 160, FC 180,
-    /// water 800.
-    pub h: f64,
-    /// Bulk thermal conductivity, W/(m·K).
-    pub conductivity: f64,
+    /// point — Table in §3.2: air 14, oil 160, FC 180, water 800.
+    pub h: HeatTransferCoeff,
+    /// Bulk thermal conductivity.
+    pub conductivity: WattsPerMeterKelvin,
     /// Density, kg/m³.
-    pub density: f64,
+    pub density_kg_per_m3: f64,
     /// Specific heat, J/(kg·K).
-    pub specific_heat: f64,
+    pub specific_heat_j_per_kg_k: f64,
     /// Kinematic viscosity, m²/s (for Reynolds-number scaling).
-    pub kinematic_viscosity: f64,
+    pub kinematic_viscosity_m2_per_s: f64,
     /// Electrically insulating as-is (water is not; hence the film).
     pub dielectric: bool,
     /// Indicative coolant cost, USD per litre (air free, fluorinert
@@ -58,44 +58,44 @@ impl Coolant {
         match kind {
             CoolantKind::Air => Coolant {
                 kind,
-                h: 14.0,
-                conductivity: 0.026,
-                density: 1.2,
-                specific_heat: 1005.0,
-                kinematic_viscosity: 1.5e-5,
+                h: HeatTransferCoeff::new(14.0),
+                conductivity: WattsPerMeterKelvin::new(0.026),
+                density_kg_per_m3: 1.2,
+                specific_heat_j_per_kg_k: 1005.0,
+                kinematic_viscosity_m2_per_s: 1.5e-5,
                 dielectric: true,
                 cost_usd_per_litre: 0.0,
                 safety_concern: false,
             },
             CoolantKind::MineralOil => Coolant {
                 kind,
-                h: 160.0,
-                conductivity: 0.14,
-                density: 850.0,
-                specific_heat: 1900.0,
-                kinematic_viscosity: 2.0e-5,
+                h: HeatTransferCoeff::new(160.0),
+                conductivity: WattsPerMeterKelvin::new(0.14),
+                density_kg_per_m3: 850.0,
+                specific_heat_j_per_kg_k: 1900.0,
+                kinematic_viscosity_m2_per_s: 2.0e-5,
                 dielectric: true,
                 cost_usd_per_litre: 2.0,
                 safety_concern: true, // flammable, messy to service
             },
             CoolantKind::Fluorinert => Coolant {
                 kind,
-                h: 180.0,
-                conductivity: 0.065,
-                density: 1850.0,
-                specific_heat: 1100.0,
-                kinematic_viscosity: 4.0e-7,
+                h: HeatTransferCoeff::new(180.0),
+                conductivity: WattsPerMeterKelvin::new(0.065),
+                density_kg_per_m3: 1850.0,
+                specific_heat_j_per_kg_k: 1100.0,
+                kinematic_viscosity_m2_per_s: 4.0e-7,
                 dielectric: true,
                 cost_usd_per_litre: 150.0,
                 safety_concern: true, // very high global-warming potential
             },
             CoolantKind::Water | CoolantKind::NaturalWater => Coolant {
                 kind,
-                h: 800.0,
-                conductivity: 0.6,
-                density: 998.0,
-                specific_heat: 4186.0,
-                kinematic_viscosity: 1.0e-6,
+                h: HeatTransferCoeff::new(800.0),
+                conductivity: WattsPerMeterKelvin::new(0.6),
+                density_kg_per_m3: 998.0,
+                specific_heat_j_per_kg_k: 4186.0,
+                kinematic_viscosity_m2_per_s: 1.0e-6,
                 dielectric: false, // tap/natural water conducts: needs the film
                 cost_usd_per_litre: if kind == CoolantKind::NaturalWater {
                     0.0
@@ -114,15 +114,18 @@ impl Coolant {
     ///
     /// This is the §4.1 observation that "it could be worthwhile in
     /// practice to increase coolant flow speed (e.g., via turbines)".
-    pub fn h_at_flow(&self, v: f64, v_ref: f64) -> f64 {
-        assert!(v > 0.0 && v_ref > 0.0, "flow speeds must be positive");
-        self.h * (v / v_ref).powf(0.8)
+    pub fn h_at_flow(&self, v_m_per_s: f64, v_ref_m_per_s: f64) -> HeatTransferCoeff {
+        assert!(
+            v_m_per_s > 0.0 && v_ref_m_per_s > 0.0,
+            "flow speeds must be positive"
+        );
+        self.h * (v_m_per_s / v_ref_m_per_s).powf(0.8)
     }
 
-    /// Volumetric heat capacity ρ·c, J/(m³·K) — how much heat a litre of
-    /// coolant carries away per kelvin (water's standout property).
-    pub fn volumetric_heat_capacity(&self) -> f64 {
-        self.density * self.specific_heat
+    /// Volumetric heat capacity ρ·c — how much heat a litre of coolant
+    /// carries away per kelvin (water's standout property).
+    pub fn volumetric_heat_capacity(&self) -> JoulesPerCubicMeterKelvin {
+        JoulesPerCubicMeterKelvin::new(self.density_kg_per_m3 * self.specific_heat_j_per_kg_k)
     }
 
     /// All four distinct physical coolants (natural water shares
@@ -147,10 +150,10 @@ mod tests {
 
     #[test]
     fn paper_h_values() {
-        assert_eq!(Coolant::get(CoolantKind::Air).h, 14.0);
-        assert_eq!(Coolant::get(CoolantKind::MineralOil).h, 160.0);
-        assert_eq!(Coolant::get(CoolantKind::Fluorinert).h, 180.0);
-        assert_eq!(Coolant::get(CoolantKind::Water).h, 800.0);
+        assert_eq!(Coolant::get(CoolantKind::Air).h.raw(), 14.0);
+        assert_eq!(Coolant::get(CoolantKind::MineralOil).h.raw(), 160.0);
+        assert_eq!(Coolant::get(CoolantKind::Fluorinert).h.raw(), 180.0);
+        assert_eq!(Coolant::get(CoolantKind::Water).h.raw(), 800.0);
     }
 
     #[test]
@@ -179,11 +182,11 @@ mod tests {
     #[test]
     fn flow_scaling_is_monotone_and_anchored() {
         let w = Coolant::get(CoolantKind::Water);
-        assert!((w.h_at_flow(1.0, 1.0) - 800.0).abs() < 1e-9);
-        assert!(w.h_at_flow(2.0, 1.0) > 800.0);
-        assert!(w.h_at_flow(0.5, 1.0) < 800.0);
+        assert!((w.h_at_flow(1.0, 1.0).raw() - 800.0).abs() < 1e-9);
+        assert!(w.h_at_flow(2.0, 1.0).raw() > 800.0);
+        assert!(w.h_at_flow(0.5, 1.0).raw() < 800.0);
         // Doubling flow gives 2^0.8 ≈ 1.74x.
-        assert!((w.h_at_flow(2.0, 1.0) / 800.0 - 2f64.powf(0.8)).abs() < 1e-9);
+        assert!((w.h_at_flow(2.0, 1.0).raw() / 800.0 - 2f64.powf(0.8)).abs() < 1e-9);
     }
 
     #[test]
@@ -198,6 +201,6 @@ mod tests {
             Coolant::get(CoolantKind::NaturalWater).cost_usd_per_litre,
             0.0
         );
-        assert_eq!(Coolant::get(CoolantKind::NaturalWater).h, 800.0);
+        assert_eq!(Coolant::get(CoolantKind::NaturalWater).h.raw(), 800.0);
     }
 }

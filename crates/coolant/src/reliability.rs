@@ -249,7 +249,7 @@ pub fn simulate_board(cfg: &BoardConfig, horizon_years: f64, rng: &mut StdRng) -
             }
         }
     }
-    failures.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    failures.sort_by(|a, b| a.1.total_cmp(&b.1));
     BoardLife {
         lifetime_years: death,
         failures,

@@ -15,18 +15,18 @@
 use crate::properties::{Coolant, CoolantKind};
 use serde::{Deserialize, Serialize};
 
-/// A coolant volume with (optional) heat exchange to an ambient.
+/// A coolant volume with (optional) heat exchange to an ambient_c.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Tank {
     /// Coolant in the tank.
     pub coolant: Coolant,
     /// Volume, litres.
     pub volume_litres: f64,
-    /// Exchanger + wall conductance to the ambient, W/K (zero for a
+    /// Exchanger + wall conductance to the ambient_c, W/K (zero for a
     /// plain tub).
     pub exchanger_w_per_k: f64,
     /// Ambient / exchanger sink temperature, °C.
-    pub ambient: f64,
+    pub ambient_c: f64,
 }
 
 impl Tank {
@@ -37,7 +37,7 @@ impl Tank {
             coolant: Coolant::get(CoolantKind::Water),
             volume_litres: 60.0,
             exchanger_w_per_k: 3.0,
-            ambient: 25.0,
+            ambient_c: 25.0,
         }
     }
 
@@ -49,61 +49,61 @@ impl Tank {
             coolant: Coolant::get(CoolantKind::Water),
             volume_litres,
             exchanger_w_per_k,
-            ambient: 25.0,
+            ambient_c: 25.0,
         }
     }
 
     /// Heat capacity of the volume, J/K.
     pub fn heat_capacity(&self) -> f64 {
-        self.coolant.volumetric_heat_capacity() * self.volume_litres / 1000.0
+        self.coolant.volumetric_heat_capacity().raw() * self.volume_litres / 1000.0
     }
 
     /// Coolant temperature after `secs` under constant `watts`,
-    /// starting from the ambient: the single-pole RC response
+    /// starting from the ambient_c: the single-pole RC response
     /// `T = amb + (P/UA)(1 − e^{−t·UA/C})`, degenerating to a linear
     /// ramp when there is no exchanger.
     pub fn temp_after(&self, watts: f64, secs: f64) -> f64 {
         assert!(watts >= 0.0 && secs >= 0.0);
         let c = self.heat_capacity();
         if self.exchanger_w_per_k <= 0.0 {
-            return self.ambient + watts * secs / c;
+            return self.ambient_c + watts * secs / c;
         }
         let t_final = watts / self.exchanger_w_per_k;
         let tau = c / self.exchanger_w_per_k;
-        self.ambient + t_final * (1.0 - (-secs / tau).exp())
+        self.ambient_c + t_final * (1.0 - (-secs / tau).exp())
     }
 
     /// The steady coolant temperature under `watts` (infinite for a
     /// plain tub — it never stops warming).
     pub fn steady_temp(&self, watts: f64) -> Option<f64> {
-        (self.exchanger_w_per_k > 0.0).then(|| self.ambient + watts / self.exchanger_w_per_k)
+        (self.exchanger_w_per_k > 0.0).then(|| self.ambient_c + watts / self.exchanger_w_per_k)
     }
 
-    /// Seconds until the coolant reaches `limit` °C under `watts`
+    /// Seconds until the coolant reaches `limit_c` °C under `watts`
     /// (`None` if it never does).
-    pub fn time_to_temp(&self, watts: f64, limit: f64) -> Option<f64> {
+    pub fn time_to_temp(&self, watts: f64, limit_c: f64) -> Option<f64> {
         assert!(watts > 0.0);
-        if limit <= self.ambient {
+        if limit_c <= self.ambient_c {
             return Some(0.0);
         }
         let c = self.heat_capacity();
         if self.exchanger_w_per_k <= 0.0 {
-            return Some((limit - self.ambient) * c / watts);
+            return Some((limit_c - self.ambient_c) * c / watts);
         }
-        let t_final = self.ambient + watts / self.exchanger_w_per_k;
-        if limit >= t_final {
-            return None; // settles below the limit
+        let t_final = self.ambient_c + watts / self.exchanger_w_per_k;
+        if limit_c >= t_final {
+            return None; // settles below the limit_c
         }
         let tau = c / self.exchanger_w_per_k;
-        let frac = (limit - self.ambient) / (t_final - self.ambient);
+        let frac = (limit_c - self.ambient_c) / (t_final - self.ambient_c);
         Some(-tau * (1.0 - frac).ln())
     }
 
     /// Exchanger conductance (W/K) needed to hold the coolant at
-    /// `limit` °C under `watts`.
-    pub fn required_exchanger(watts: f64, ambient: f64, limit: f64) -> f64 {
-        assert!(limit > ambient);
-        watts / (limit - ambient)
+    /// `limit_c` °C under `watts`.
+    pub fn required_exchanger(watts: f64, ambient_c: f64, limit_c: f64) -> f64 {
+        assert!(limit_c > ambient_c);
+        watts / (limit_c - ambient_c)
     }
 }
 
@@ -127,8 +127,8 @@ mod tests {
     fn exchangerless_tub_heats_linearly() {
         let mut tub = Tank::prototype_tub();
         tub.exchanger_w_per_k = 0.0;
-        let t1 = tub.temp_after(100.0, 1000.0) - tub.ambient;
-        let t2 = tub.temp_after(100.0, 2000.0) - tub.ambient;
+        let t1 = tub.temp_after(100.0, 1000.0) - tub.ambient_c;
+        let t2 = tub.temp_after(100.0, 2000.0) - tub.ambient_c;
         assert!((t2 / t1 - 2.0).abs() < 1e-9);
         assert!(tub.steady_temp(100.0).is_none());
     }
@@ -153,9 +153,9 @@ mod tests {
         let t = tank.time_to_temp(watts, 40.0).unwrap();
         let reached = tank.temp_after(watts, t);
         assert!((reached - 40.0).abs() < 1e-6, "reached {reached}");
-        // A limit above the settling point is never reached.
+        // A limit_c above the settling point is never reached.
         assert!(tank.time_to_temp(watts, 70.0).is_none());
-        // A limit below ambient is immediate.
+        // A limit_c below ambient_c is immediate.
         assert_eq!(tank.time_to_temp(watts, 20.0), Some(0.0));
     }
 

@@ -53,7 +53,8 @@ impl CmpDesign {
 
     /// The applicable temperature threshold, °C.
     pub fn threshold(&self) -> f64 {
-        self.threshold_override.unwrap_or(self.chip.temp_threshold)
+        self.threshold_override
+            .unwrap_or(self.chip.temp_threshold_c)
     }
 
     /// Builder-style: enable the §4.2 flip layout.

@@ -63,7 +63,7 @@ pub fn solve_at<'m>(
     // Fixpoint: leakage depends on temperature depends on leakage.
     // Damped iteration from the characterisation temperature; converges
     // in a handful of rounds because the coupling is weak.
-    let mut t_j = design.chip.leakage_ref_temp;
+    let mut t_j = design.chip.leakage_ref_temp_c;
     let mut sol = {
         let p = power_at(design, model, step, Some(t_j))?;
         solve(&p, warm)?

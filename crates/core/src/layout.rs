@@ -75,7 +75,9 @@ pub fn optimize_exhaustive(design: &CmpDesign, step: VfsStep) -> Result<LayoutRe
             });
         }
     }
-    let mut b = best.expect("at least one pattern");
+    let mut b = best.ok_or_else(|| {
+        ThermalError::BadParameter("no rotation patterns were evaluated".to_string())
+    })?;
     b.evaluations = evals;
     Ok(b)
 }

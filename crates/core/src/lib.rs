@@ -43,6 +43,9 @@
 //! assert!(f_air.is_none() || f_water.freq_ghz >= f_air.unwrap().freq_ghz);
 //! ```
 
+/// Typed physical units, re-exported from `immersion-units`.
+pub use immersion_units as units;
+
 pub mod design;
 pub mod dtm;
 pub mod explorer;

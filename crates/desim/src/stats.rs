@@ -166,7 +166,7 @@ impl TimeWeighted {
         }
         let tail = now.saturating_sub(self.last_time).as_ps() as f64;
         let total = now.saturating_sub(self.start).as_ps() as f64;
-        if total == 0.0 {
+        if total <= 0.0 {
             return self.last_value;
         }
         (self.weighted_sum + self.last_value * tail) / total

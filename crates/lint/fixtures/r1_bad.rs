@@ -1,0 +1,11 @@
+//! R1 negative fixture: panicking calls in shipped code.
+
+pub fn lookup(map: &std::collections::HashMap<String, f64>, key: &str) -> f64 {
+    // Each of the three banned forms, outside any test module.
+    let a = map.get(key).unwrap();
+    let b = map.get(key).expect("key present");
+    if a != b {
+        panic!("inconsistent map");
+    }
+    *a
+}

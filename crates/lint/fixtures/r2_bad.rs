@@ -1,0 +1,14 @@
+//! R2 negative fixture: unit-less public f64 surface.
+
+/// A struct whose public fields hide their units.
+pub struct PumpSpec {
+    /// What unit is this? Watts? Horsepower?
+    pub power: f64,
+    /// Metres? Litres? Nobody knows.
+    pub volume: f64,
+}
+
+/// A temperature parameter with no scale in its name.
+pub fn set_limit(limit: f64) -> f64 {
+    limit
+}

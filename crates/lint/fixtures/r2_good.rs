@@ -1,0 +1,27 @@
+//! R2 positive fixture: every public f64 carries its unit, is a
+//! blessed quantity word, or is typed; private fields are exempt.
+
+pub struct PumpSpec {
+    /// Suffixed: watts.
+    pub power_w: f64,
+    /// Suffixed: litres.
+    pub volume_litres: f64,
+    /// Compound suffix ending in a base unit.
+    pub exchanger_w_per_k: f64,
+    /// Dimensionless marker.
+    pub duty_fraction: f64,
+    /// Blessed dimensionless name.
+    pub alpha: f64,
+    /// Private fields are not part of the public surface.
+    internal_scratch: f64,
+}
+
+/// Blessed quantity word as a whole name.
+pub fn set_limit(celsius: f64, watts: f64) -> f64 {
+    celsius + watts
+}
+
+/// Non-f64 parameters are out of scope for R2.
+pub fn resize(n: usize, label: &str) -> usize {
+    n + label.len()
+}

@@ -1,0 +1,18 @@
+//! R3 negative fixture: NaN-unsafe float comparisons.
+
+pub fn hottest(temps: &[f64]) -> Option<f64> {
+    // partial_cmp().unwrap() panics the moment a NaN appears.
+    temps
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+pub fn is_ambient(t: f64) -> bool {
+    // Exact equality against a float literal.
+    t == 25.0
+}
+
+pub fn is_not_zero(x: f64) -> bool {
+    x != 0.0
+}

@@ -1,0 +1,18 @@
+//! R3 positive fixture: NaN-safe comparisons.
+
+pub fn hottest(temps: &[f64]) -> Option<f64> {
+    temps.iter().copied().max_by(f64::total_cmp)
+}
+
+pub fn is_ambient(t: f64) -> bool {
+    (t - 25.0).abs() < 1e-9
+}
+
+pub fn is_not_zero(x: f64) -> bool {
+    x.abs() > 0.0
+}
+
+pub fn count_matches(n: usize) -> bool {
+    // Integer equality is fine.
+    n == 25
+}

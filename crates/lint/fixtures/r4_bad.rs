@@ -1,0 +1,5 @@
+//! R4 negative fixture: unsafe outside vendor/.
+
+pub fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute::<u64, f64>(x) }
+}

@@ -1,0 +1,11 @@
+//! R4 positive fixture: the same conversion through a safe API; the
+//! word unsafe in comments or strings does not count.
+
+pub fn reinterpret(x: u64) -> f64 {
+    // f64::from_bits is the safe spelling of that unsafe transmute.
+    f64::from_bits(x)
+}
+
+pub fn describe() -> &'static str {
+    "no unsafe here"
+}

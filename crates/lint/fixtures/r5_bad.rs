@@ -1,0 +1,15 @@
+//! R5 negative fixture: registry and dispatch drifted in both
+//! directions ("fig2" registered but never dispatched, "orphan"
+//! dispatched but never registered) and an experiment shadows the
+//! campaign summary job.
+
+pub const EXPERIMENTS: &[&str] = &["fig1", "fig2", "summary"];
+
+pub fn run_experiment(name: &str) -> Option<u32> {
+    Some(match name {
+        "fig1" => 1,
+        "orphan" => 99,
+        "summary" => 100,
+        _ => return None,
+    })
+}

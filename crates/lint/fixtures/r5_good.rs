@@ -1,0 +1,12 @@
+//! R5 positive fixture: registry and dispatch agree exactly, and no
+//! experiment collides with the summary job name.
+
+pub const EXPERIMENTS: &[&str] = &["fig1", "fig2"];
+
+pub fn run_experiment(name: &str) -> Option<u32> {
+    Some(match name {
+        "fig1" => 1,
+        "fig2" => 2,
+        _ => return None,
+    })
+}

@@ -1,0 +1,162 @@
+//! The frozen-debt allowlist (`lint.allow` at the workspace root).
+//!
+//! Each line is `<rule> <workspace-relative-path> <count>`: the number
+//! of violations of that rule the file is allowed to keep. The file is
+//! a ratchet: counts may only go down. `watercool lint` fails when a
+//! (rule, file) pair exceeds its budget, and warns when the budget is
+//! stale (actual count below the recorded one) so `--fix-allowlist`
+//! can ratchet it down. Entries never get added for new code — new
+//! violations are errors.
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: (rule, file) → allowed violation count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(Rule, String), usize>,
+}
+
+impl Allowlist {
+    /// Parse the `lint.allow` format. Blank lines and `#` comments are
+    /// skipped; malformed lines are reported with their line number.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let (rule, file, count) = match (cols.next(), cols.next(), cols.next(), cols.next()) {
+                (Some(r), Some(f), Some(c), None) => (r, f, c),
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{}: expected `<rule> <file> <count>`, got `{line}`",
+                        idx + 1
+                    ))
+                }
+            };
+            let rule = Rule::from_id(rule)
+                .ok_or_else(|| format!("lint.allow:{}: unknown rule `{rule}`", idx + 1))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("lint.allow:{}: bad count `{count}`", idx + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "lint.allow:{}: zero-count entry for {file} — delete the line",
+                    idx + 1
+                ));
+            }
+            if entries.insert((rule, file.to_string()), count).is_some() {
+                return Err(format!(
+                    "lint.allow:{}: duplicate entry for {} {file}",
+                    idx + 1,
+                    rule.id()
+                ));
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Allowed count for a (rule, file) pair; 0 when unlisted.
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.entries
+            .get(&(rule, file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Entries whose (rule, file) pair is absent from `actual` — debt
+    /// that has been fully paid off but is still listed.
+    pub fn stale_entries<'a>(
+        &'a self,
+        actual: &BTreeMap<(Rule, String), usize>,
+    ) -> Vec<(&'a (Rule, String), usize)> {
+        self.entries
+            .iter()
+            .filter(|(key, _)| !actual.contains_key(*key))
+            .map(|(key, &count)| (key, count))
+            .collect()
+    }
+
+    /// Total number of allowed violations across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Total allowed violations for one rule.
+    pub fn total_for(&self, rule: Rule) -> usize {
+        self.entries
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Render current violation counts in the `lint.allow` format
+    /// (deterministic order), used by `--fix-allowlist`.
+    pub fn render(actual: &BTreeMap<(Rule, String), usize>) -> String {
+        let mut out = String::from(
+            "# Frozen static-analysis debt: `<rule> <file> <allowed-count>` per line.\n\
+             # This file is a ratchet — counts only go down. `watercool lint` fails\n\
+             # when a file exceeds its budget; run `watercool lint --fix-allowlist`\n\
+             # after paying debt down. Never add entries for new code.\n",
+        );
+        for ((rule, file), count) in actual {
+            if *count > 0 {
+                out.push_str(&format!("{} {file} {count}\n", rule.id()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_looks_up() {
+        let a =
+            Allowlist::parse("# comment\n\nR1 crates/foo/src/bar.rs 3\nR4 crates/w/src/k.rs 1\n")
+                .unwrap();
+        assert_eq!(a.allowed(Rule::R1, "crates/foo/src/bar.rs"), 3);
+        assert_eq!(a.allowed(Rule::R4, "crates/w/src/k.rs"), 1);
+        assert_eq!(a.allowed(Rule::R1, "crates/other.rs"), 0);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.total_for(Rule::R1), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("R1 only-two-cols").is_err());
+        assert!(Allowlist::parse("R9 f.rs 1").is_err());
+        assert!(Allowlist::parse("R1 f.rs banana").is_err());
+        assert!(Allowlist::parse("R1 f.rs 0").is_err());
+        assert!(Allowlist::parse("R1 f.rs 1\nR1 f.rs 2").is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let mut actual = BTreeMap::new();
+        actual.insert((Rule::R1, "a.rs".to_string()), 2);
+        actual.insert((Rule::R2, "b.rs".to_string()), 1);
+        actual.insert((Rule::R3, "c.rs".to_string()), 0); // dropped
+        let text = Allowlist::render(&actual);
+        let parsed = Allowlist::parse(&text).unwrap();
+        assert_eq!(parsed.allowed(Rule::R1, "a.rs"), 2);
+        assert_eq!(parsed.allowed(Rule::R2, "b.rs"), 1);
+        assert_eq!(parsed.allowed(Rule::R3, "c.rs"), 0);
+    }
+
+    #[test]
+    fn stale_entries_surface_paid_debt() {
+        let a = Allowlist::parse("R1 gone.rs 2\nR1 kept.rs 1\n").unwrap();
+        let mut actual = BTreeMap::new();
+        actual.insert((Rule::R1, "kept.rs".to_string()), 1);
+        let stale = a.stale_entries(&actual);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].0 .1, "gone.rs");
+    }
+}

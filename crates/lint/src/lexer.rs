@@ -1,0 +1,538 @@
+//! A minimal Rust lexer: just enough to token-scan source files for the
+//! R1–R5 rules without false positives from comments and string
+//! literals.
+//!
+//! This is deliberately not a parser. The rules only need a token
+//! stream with comments and literals resolved, plus brace matching to
+//! carve out `#[cfg(test)]` items. Anything rustc accepts lexes here;
+//! anything that does not lex cleanly (unterminated string, stray
+//! quote) is reported as a lex error rather than silently skipped, so
+//! the linter cannot be blinded by a malformed file.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `pub`, `f64`, ...).
+    Ident,
+    /// Numeric literal, verbatim (`42`, `1.5e-3`, `0xff`, `1_000.0f64`).
+    Number,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`),
+    /// with the quotes stripped and escapes left as written.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`), quotes stripped.
+    Char,
+    /// Lifetime (`'a`, `'static`), leading quote stripped.
+    Lifetime,
+    /// Punctuation; multi-character operators (`==`, `=>`, `::`, ...)
+    /// arrive as a single token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (literals have their delimiters stripped).
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+
+    /// True when this is a numeric literal with a fractional part or
+    /// exponent (i.e. a float, not an integer).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+            return false;
+        }
+        t.contains('.')
+            || t.contains('e')
+            || t.contains('E')
+            || t.ends_with("f64")
+            || t.ends_with("f32")
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex a whole source file. Returns the token stream or a description
+/// of the first thing that would not lex (with its line number).
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(format!("line {start_line}: unterminated block comment"));
+                }
+                continue;
+            }
+        }
+        // Raw strings: r"..." / r#"..."# / br"..." etc.
+        if (c == 'r' || c == 'b') && raw_string_start(b, i) {
+            let start_line = line;
+            let mut j = i;
+            while b[j] == b'b' || b[j] == b'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            // raw_string_start guarantees the opening quote.
+            j += 1;
+            let content_start = j;
+            loop {
+                if j >= b.len() {
+                    return Err(format!("line {start_line}: unterminated raw string"));
+                }
+                if b[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    let mut k = j + 1;
+                    let mut seen = 0;
+                    while k < b.len() && b[k] == b'#' && seen < hashes {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: src[content_start..j].to_string(),
+                            line: start_line,
+                        });
+                        i = k;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            continue;
+        }
+        // Ordinary (or byte) strings.
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let content_start = j;
+            loop {
+                if j >= b.len() {
+                    return Err(format!("line {start_line}: unterminated string"));
+                }
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => break,
+                    b'\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: src[content_start..j].to_string(),
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Lifetimes and char literals both start with a single quote.
+        if c == '\'' || (c == 'b' && i + 1 < b.len() && b[i + 1] == b'\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            // Lifetime: 'ident not followed by a closing quote.
+            let after = q + 1;
+            if c != 'b'
+                && after < b.len()
+                && (b[after].is_ascii_alphabetic() || b[after] == b'_')
+                && !is_char_literal(b, q)
+            {
+                let mut j = after;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: src[after..j].to_string(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal.
+            let mut j = after;
+            if j < b.len() && b[j] == b'\\' {
+                j += 2;
+                // \u{...} and \x.. escapes: scan to the closing quote.
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+            } else if j < b.len() {
+                // One (possibly multi-byte) character.
+                let ch_len = src[j..].chars().next().map(char::len_utf8).unwrap_or(1);
+                j += ch_len;
+            }
+            if j >= b.len() || b[j] != b'\'' {
+                return Err(format!("line {line}: unterminated char literal"));
+            }
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text: src[after..j].to_string(),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (integers, floats, hex/oct/bin, suffixes).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    // `1e-3` / `1E+5`: the sign belongs to the number.
+                    if (d == b'e' || d == b'E')
+                        && !src[start..i].starts_with("0x")
+                        && i + 1 < b.len()
+                        && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                // A dot continues the number only before a digit, so
+                // ranges (`0..n`) and method calls (`1.max(x)`) stop it.
+                if d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    continue;
+                }
+                // Trailing dot (`1.`) — consume unless it is `..`.
+                if d == b'.'
+                    && (i + 1 >= b.len() || b[i + 1] != b'.')
+                    && !src[start..i].contains('.')
+                {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &src[i..];
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += op.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        if c.is_ascii() {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        } else {
+            // Non-ASCII outside strings/comments: skip (e.g. in a
+            // degree sign that somehow escaped a literal).
+            i += src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        }
+    }
+    Ok(tokens)
+}
+
+/// Does a raw-string literal start at `i` (`r"`, `r#`, `br"`, ...)?
+fn raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime): a char literal has a
+/// closing quote right after one character.
+fn is_char_literal(b: &[u8], quote: usize) -> bool {
+    quote + 2 < b.len() && b[quote + 2] == b'\''
+}
+
+/// Strip every token that belongs to a `#[cfg(test)]` item (module,
+/// function, impl or use), so the rules only see shipped code.
+///
+/// The scan finds each `#[cfg(test)]` attribute, skips any further
+/// attributes, then drops tokens to the end of the annotated item:
+/// the matching close brace of its first block, or the first `;` for
+/// brace-less items.
+pub fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut keep = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip to the end of this attribute.
+            i = skip_attribute(tokens, i);
+            // Skip any stacked attributes (e.g. #[cfg(test)] #[allow..]).
+            while i < tokens.len() && tokens[i].is_punct("#") {
+                i = skip_attribute(tokens, i);
+            }
+            // Drop the annotated item.
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                let t = &tokens[i];
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if t.is_punct(";") && depth == 0 {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        keep.push(tokens[i].clone());
+        i += 1;
+    }
+    keep
+}
+
+/// Is the token at `i` the `#` of a `#[cfg(test)]` attribute?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let t = tokens;
+    i + 5 < t.len()
+        && t[i].is_punct("#")
+        && t[i + 1].is_punct("[")
+        && t[i + 2].is_ident("cfg")
+        && t[i + 3].is_punct("(")
+        && t[i + 4].is_ident("test")
+        && t[i + 5].is_punct(")")
+}
+
+/// Given `i` at a `#`, return the index just past the attribute's `]`.
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = kinds("let x = \"unwrap()\"; // unwrap()\n/* panic! */ y");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds(r####"r#"a "quoted" b"# "esc\"aped" 'x' '\n'"####);
+        assert_eq!(toks[0], (TokenKind::Str, "a \"quoted\" b".into()));
+        assert_eq!(toks[1], (TokenKind::Str, "esc\\\"aped".into()));
+        assert_eq!(toks[2], (TokenKind::Char, "x".into()));
+        assert_eq!(toks[3], (TokenKind::Char, "\\n".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "a"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "q"));
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        let toks = kinds("1.5e-3 0x1f 2..10 3.0f64 7.");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5e-3".into()));
+        assert!(lex("1.5e-3").unwrap()[0].is_float_literal());
+        assert!(!lex("0x1f").unwrap()[0].is_float_literal());
+        // `2..10` is number, range-punct, number.
+        assert_eq!(toks[2], (TokenKind::Number, "2".into()));
+        assert_eq!(toks[3], (TokenKind::Punct, "..".into()));
+        assert_eq!(toks[4], (TokenKind::Number, "10".into()));
+        assert!(lex("3.0f64").unwrap()[0].is_float_literal());
+        assert_eq!(toks[6], (TokenKind::Number, "7.".into()));
+    }
+
+    #[test]
+    fn multi_char_puncts_are_single_tokens() {
+        let toks = kinds("a == b != c => d :: e -> f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "=>", "::", "->"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn strip_test_items_removes_cfg_test_mod() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn after() {}";
+        let toks = strip_test_items(&lex(src).unwrap());
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"live"));
+        assert!(idents.contains(&"after"));
+        assert!(!idents.contains(&"tests"));
+        assert!(!idents.contains(&"t"));
+    }
+
+    #[test]
+    fn strip_test_items_handles_stacked_attributes_and_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap() }\nfn keep() {}";
+        let toks = strip_test_items(&lex(src).unwrap());
+        assert!(toks.iter().any(|t| t.is_ident("keep")));
+        assert!(!toks.iter().any(|t| t.is_ident("helper")));
+        // Brace-less item: #[cfg(test)] use stops at the semicolon.
+        let src2 = "#[cfg(test)] use std::collections::HashMap;\nfn keep() {}";
+        let toks2 = strip_test_items(&lex(src2).unwrap());
+        assert!(toks2.iter().any(|t| t.is_ident("keep")));
+        assert!(!toks2.iter().any(|t| t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn unterminated_literals_are_lex_errors() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Repo-specific static analysis for the water-immersion workspace.
+//!
+//! `watercool lint` walks every library source file (crate `src/`
+//! trees plus the root crate), tokenizes it with a hand-rolled lexer
+//! (no external parser dependency — the container is offline), strips
+//! `#[cfg(test)]` items, and enforces the five rules documented in
+//! DESIGN.md §"Static analysis & unit conventions":
+//!
+//! - **R1** — no `unwrap()`/`expect()`/`panic!` in shipped code,
+//! - **R2** — public `f64` surface in `thermal`/`coolant`/`power`
+//!   carries a unit in its name (or uses a typed unit),
+//! - **R3** — no NaN-unsafe float comparisons,
+//! - **R4** — no `unsafe` outside `vendor/`,
+//! - **R5** — the experiment registry and campaign dispatch agree.
+//!
+//! Pre-existing debt is frozen in `lint.allow` (see [`Allowlist`]);
+//! the budget only ratchets down.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::Allowlist;
+pub use rules::{Rule, Violation};
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint.allow";
+
+/// Path (workspace-relative, `/`-separated) of the experiment registry
+/// that rule R5 cross-checks.
+pub const EXPERIMENTS_FILE: &str = "crates/bench/src/experiments.rs";
+
+/// Path of the campaign module that defines the summary job name.
+pub const CAMPAIGN_FILE: &str = "crates/bench/src/campaign.rs";
+
+/// Crates whose public `f64` surface rule R2 applies to.
+pub const R2_CRATES: &[&str] = &["crates/thermal/", "crates/coolant/", "crates/power/"];
+
+/// Outcome of linting the workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Hard failures: new violations, exceeded budgets, lex errors,
+    /// malformed allowlist.
+    pub errors: Vec<String>,
+    /// Soft findings: stale allowlist budgets that should ratchet down.
+    pub warnings: Vec<String>,
+    /// Violations absorbed by the allowlist.
+    pub suppressed: usize,
+    /// Source files scanned.
+    pub files_checked: usize,
+    /// Total allowed debt after this run (for the CI growth gate).
+    pub allowlist_total: usize,
+    /// Per-rule allowed debt after this run.
+    pub allowlist_by_rule: BTreeMap<Rule, usize>,
+}
+
+impl LintReport {
+    /// True when the workspace is clean (warnings do not fail the run).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Render the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            out.push_str("error: ");
+            out.push_str(e);
+            out.push('\n');
+        }
+        for w in &self.warnings {
+            out.push_str("warning: ");
+            out.push_str(w);
+            out.push('\n');
+        }
+        let debt: Vec<String> = self
+            .allowlist_by_rule
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, c)| format!("{} {c}", r.id()))
+            .collect();
+        out.push_str(&format!(
+            "lint: {} file(s) checked, {} error(s), {} warning(s), \
+             {} suppressed by lint.allow (debt: {})\n",
+            self.files_checked,
+            self.errors.len(),
+            self.warnings.len(),
+            self.suppressed,
+            if debt.is_empty() {
+                "none".to_string()
+            } else {
+                debt.join(", ")
+            }
+        ));
+        out
+    }
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collect the library sources to lint: `src/` under the root crate and
+/// every `crates/*` member. `vendor/` (sanctioned unsafe, external
+/// idiom) and the lint fixtures are deliberately out of scope; test
+/// directories never enter the walk because only `src/` trees do.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let p = entry?.path().join("src");
+            if p.is_dir() {
+                roots.push(p);
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            walk_rs(&r, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file's source text (rules R1–R4). `rel` is the
+/// workspace-relative, `/`-separated path; it decides whether R2
+/// applies. Returns `Err` with a message if the file does not lex.
+pub fn lint_source(rel: &str, src: &str) -> Result<Vec<Violation>, String> {
+    let tokens = lexer::lex(src).map_err(|e| format!("{rel}: {e}"))?;
+    let tokens = lexer::strip_test_items(&tokens);
+    let mut v = rules::check_r1(rel, &tokens);
+    if R2_CRATES.iter().any(|c| rel.starts_with(c)) {
+        v.extend(rules::check_r2(rel, &tokens));
+    }
+    v.extend(rules::check_r3(rel, &tokens));
+    v.extend(rules::check_r4(rel, &tokens));
+    Ok(v)
+}
+
+/// Lint the whole workspace rooted at `root`. When `fix_allowlist` is
+/// set, `lint.allow` is rewritten to the actual current counts (the
+/// ratchet action) before budgets are evaluated.
+pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // R1–R4 over every library source file.
+    for path in collect_sources(root)? {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().into_owned(),
+        };
+        let src = fs::read_to_string(&path)?;
+        report.files_checked += 1;
+        match lint_source(&rel, &src) {
+            Ok(v) => violations.extend(v),
+            Err(e) => report.errors.push(e),
+        }
+    }
+
+    // R5: experiment registry vs dispatch vs summary job.
+    let experiments_path = root.join(EXPERIMENTS_FILE);
+    if experiments_path.is_file() {
+        let src = fs::read_to_string(&experiments_path)?;
+        let summary = fs::read_to_string(root.join(CAMPAIGN_FILE))
+            .ok()
+            .and_then(|s| lexer::lex(&s).ok())
+            .and_then(|t| rules::summary_job_name(&t));
+        match lexer::lex(&src) {
+            Ok(tokens) => violations.extend(rules::check_r5(
+                EXPERIMENTS_FILE,
+                &tokens,
+                summary.as_deref(),
+            )),
+            Err(e) => report.errors.push(format!("{EXPERIMENTS_FILE}: {e}")),
+        }
+    }
+
+    // Group violations per (rule, file) for budget accounting.
+    let mut actual: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *actual.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+    }
+
+    let allowlist_path = root.join(ALLOWLIST_FILE);
+    if fix_allowlist {
+        fs::write(&allowlist_path, Allowlist::render(&actual))?;
+    }
+    let allowlist = match fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                report.errors.push(e);
+                Allowlist::default()
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    // Budgets: over → error (each violation listed); at → suppressed;
+    // under → warning (ratchet the budget down).
+    for (key @ (rule, file), &count) in &actual {
+        let allowed = allowlist.allowed(*rule, file);
+        if count > allowed {
+            for v in violations
+                .iter()
+                .filter(|v| (v.rule, &v.file) == (*rule, file))
+            {
+                report.errors.push(format!(
+                    "[{}] {}:{}: {}",
+                    v.rule.id(),
+                    v.file,
+                    v.line,
+                    v.msg
+                ));
+            }
+            if allowed > 0 {
+                report.errors.push(format!(
+                    "[{}] {file}: {count} violation(s) exceed the allowlisted budget of {allowed}",
+                    rule.id()
+                ));
+            }
+        } else {
+            report.suppressed += count;
+            if count < allowed {
+                report.warnings.push(format!(
+                    "[{}] {file}: allowlist budget {allowed} but only {count} violation(s) \
+                     remain — run `watercool lint --fix-allowlist` to ratchet it down",
+                    rule.id()
+                ));
+            }
+        }
+        let _ = key;
+    }
+    for ((rule, file), count) in allowlist.stale_entries(&actual) {
+        report.warnings.push(format!(
+            "[{}] {file}: allowlist budget {count} but the debt is fully paid — \
+             run `watercool lint --fix-allowlist` to drop the entry",
+            rule.id()
+        ));
+    }
+
+    report.allowlist_total = allowlist.total();
+    for r in [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5] {
+        report.allowlist_by_rule.insert(r, allowlist.total_for(r));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_root_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn lint_source_applies_r2_only_to_physics_crates() {
+        let src = "pub struct S { pub speed: f64 }";
+        let in_thermal = lint_source("crates/thermal/src/x.rs", src).unwrap();
+        assert!(in_thermal.iter().any(|v| v.rule == Rule::R2));
+        let in_archsim = lint_source("crates/archsim/src/x.rs", src).unwrap();
+        assert!(in_archsim.is_empty());
+    }
+}

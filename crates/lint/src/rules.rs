@@ -1,0 +1,578 @@
+//! The five repo-specific rules, as token-stream scans.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1   | no `unwrap()` / `expect()` / `panic!` in shipped library code |
+//! | R2   | public `f64` surface in `thermal`/`coolant`/`power` carries a unit in its name |
+//! | R3   | no NaN-unsafe float comparisons (`partial_cmp().unwrap()`, `==` on float literals) |
+//! | R4   | no `unsafe` outside `vendor/` |
+//! | R5   | every experiment name dispatches in `run_experiment` and vice versa |
+//!
+//! All scans run on token streams that already had `#[cfg(test)]`
+//! items stripped (see [`crate::lexer::strip_test_items`]); test code
+//! may unwrap and compare floats at will.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Which rule a violation belongs to. The `Display` form (`R1`..`R5`)
+/// is what the allowlist file uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Panicking calls in library code.
+    R1,
+    /// Unit-less public `f64` names in the physics crates.
+    R2,
+    /// NaN-unsafe float comparisons.
+    R3,
+    /// `unsafe` outside `vendor/`.
+    R4,
+    /// Experiment registry vs campaign dispatch drift.
+    R5,
+}
+
+impl Rule {
+    /// Stable identifier used in reports and `lint.allow`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+        }
+    }
+
+    /// Parse an allowlist rule column.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            _ => None,
+        }
+    }
+
+    /// One-line description shown in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::R1 => "no unwrap()/expect()/panic! in non-test library code",
+            Rule::R2 => "public f64 names in thermal/coolant/power must carry a unit",
+            Rule::R3 => "no NaN-unsafe float comparison outside tests",
+            Rule::R4 => "no `unsafe` outside vendor/",
+            Rule::R5 => "experiment registry and dispatch must agree",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+// ---------------------------------------------------------------------------
+// R1: panicking calls
+// ---------------------------------------------------------------------------
+
+/// Scan for `.unwrap()`, `.expect(` and `panic!` in shipped code.
+pub fn check_r1(file: &str, tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].is_punct(".");
+        let next_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_paren => Some(format!(".{}()", t.text)),
+            "panic" if next_bang => Some("panic!".to_string()),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(Violation {
+                rule: Rule::R1,
+                file: file.to_string(),
+                line: t.line,
+                msg: format!("{what} in non-test code (return a Result or use unwrap_or_*)"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R2: dimensional naming
+// ---------------------------------------------------------------------------
+
+/// Unit suffixes a public `f64` name may end with (`_m2`, `_k_per_w`,
+/// ... — compound suffixes like `w_per_m_k` end in a base unit, so
+/// checking the final `_`-separated segment covers them too).
+const UNIT_SEGMENTS: &[&str] = &[
+    "k", "c", "w", "kw", "v", "a", "hz", "ghz", "mhz", "j", "kwh", "ev", "m", "mm", "um", "nm",
+    "m2", "m3", "s", "ms", "us", "ns", "secs", "years", "kg", "g", "litre", "litres", "usd", "pct",
+    "watts", "volts", "celsius", "kelvin",
+];
+
+/// Dimensionless markers: acceptable as a final segment or as the whole
+/// name (`coverage`, `bond_metal_fraction`).
+const DIMENSIONLESS_SEGMENTS: &[&str] = &[
+    "frac",
+    "fraction",
+    "ratio",
+    "factor",
+    "multiplier",
+    "efficiency",
+    "coverage",
+    "activity",
+    "exponent",
+    "count",
+    "cycles",
+    "bits",
+    "bytes",
+];
+
+/// Whole names blessed without a suffix: either the unit *is* the name
+/// (`watts`, `celsius`) or the quantity is canonically dimensionless.
+const BLESSED_NAMES: &[&str] = &[
+    "watts",
+    "secs",
+    "volts",
+    "celsius",
+    "kelvin",
+    "ghz",
+    "hz",
+    "alpha",
+    "beta",
+    "gamma",
+    "tolerance",
+    "tol",
+    "eps",
+    "epsilon",
+    "dielectric",
+];
+
+/// Does a public `f64` identifier carry its unit?
+pub fn unit_name_ok(name: &str) -> bool {
+    let name = name.trim_start_matches('_');
+    if name.is_empty() {
+        // `_: f64` discards the value; nothing to misread.
+        return true;
+    }
+    if BLESSED_NAMES.contains(&name) {
+        return true;
+    }
+    let last = name.rsplit('_').next().unwrap_or(name);
+    if DIMENSIONLESS_SEGMENTS.contains(&last) {
+        return true;
+    }
+    // A unit suffix needs a stem: `area_m2` is good, a bare `w` is not.
+    UNIT_SEGMENTS.contains(&last) && last != name
+}
+
+/// Keywords that can follow `pub` and are therefore not field names.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "use", "mod", "const", "static", "trait", "type", "impl", "unsafe",
+    "extern", "async", "crate", "in", "super", "self", "where", "let", "ref", "dyn",
+];
+
+/// Scan a physics-crate file for unit-less public `f64` fields and
+/// `pub fn` parameters.
+pub fn check_r2(file: &str, tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // pub(crate) / pub(in path) visibility qualifier.
+        if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct("(") {
+                    depth += 1;
+                } else if tokens[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // `pub [const|unsafe|async|extern "C"] fn name(...)`.
+        let mut k = j;
+        while tokens.get(k).is_some_and(|t| {
+            matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern")
+                || t.kind == TokenKind::Str
+        }) {
+            k += 1;
+        }
+        if tokens.get(k).is_some_and(|t| t.is_ident("fn")) {
+            out.extend(check_fn_params(file, tokens, k + 1));
+            i = k + 1;
+            continue;
+        }
+        // `pub name: f64` struct field.
+        if let (Some(name_tok), Some(colon)) = (tokens.get(j), tokens.get(j + 1)) {
+            if name_tok.kind == TokenKind::Ident
+                && !ITEM_KEYWORDS.contains(&name_tok.text.as_str())
+                && colon.is_punct(":")
+                && type_is_bare_f64(tokens, j + 2, &[",", "}"])
+                && !unit_name_ok(&name_tok.text)
+            {
+                out.push(Violation {
+                    rule: Rule::R2,
+                    file: file.to_string(),
+                    line: name_tok.line,
+                    msg: format!(
+                        "public f64 field `{}` has no unit suffix (e.g. `{0}_w`, `{0}_m2`) \
+                         and is not a blessed dimensionless name",
+                        name_tok.text
+                    ),
+                });
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Check the parameter list of a `pub fn`; `start` is the token after
+/// `fn` (the function name).
+fn check_fn_params(file: &str, tokens: &[Token], start: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = start;
+    // Skip the name and any generic parameter list.
+    if tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
+        i += 1;
+    }
+    if tokens.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0isize;
+        while i < tokens.len() {
+            match tokens[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.is_punct("(")) {
+        return out;
+    }
+    // Walk the parameter list, splitting on top-level commas.
+    i += 1;
+    let mut depth = 0isize;
+    let mut param_start = i;
+    let mut end = i;
+    while end < tokens.len() {
+        let t = &tokens[end];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            ")" | "]" | "}" if depth > 0 => depth -= 1,
+            ")" => break,
+            "," if depth == 0 => {
+                out.extend(check_one_param(file, &tokens[param_start..end]));
+                param_start = end + 1;
+            }
+            _ => {}
+        }
+        end += 1;
+    }
+    if param_start < end {
+        out.extend(check_one_param(file, &tokens[param_start..end]));
+    }
+    out
+}
+
+/// Check one `name: type` parameter slice.
+fn check_one_param(file: &str, param: &[Token]) -> Option<Violation> {
+    let colon = param.iter().position(|t| t.is_punct(":"))?;
+    // Last identifier before the colon is the binding name (skips
+    // `mut`, `&`, pattern sugar); bail on destructuring patterns.
+    let name_tok = param[..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")?;
+    if name_tok.text == "self" {
+        return None;
+    }
+    let ty = &param[colon + 1..];
+    let bare_f64 = ty.len() == 1 && ty[0].is_ident("f64");
+    if bare_f64 && !unit_name_ok(&name_tok.text) {
+        return Some(Violation {
+            rule: Rule::R2,
+            file: file.to_string(),
+            line: name_tok.line,
+            msg: format!(
+                "pub fn parameter `{}: f64` has no unit suffix (e.g. `{0}_w`, `{0}_secs`) \
+                 and is not a blessed dimensionless name",
+                name_tok.text
+            ),
+        });
+    }
+    None
+}
+
+/// Is the type starting at `i` exactly the single token `f64`,
+/// terminated by one of `stop` at nesting depth 0?
+fn type_is_bare_f64(tokens: &[Token], i: usize, stop: &[&str]) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident("f64"))
+        && tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Punct && stop.contains(&t.text.as_str()))
+}
+
+// ---------------------------------------------------------------------------
+// R3: NaN-unsafe float comparisons
+// ---------------------------------------------------------------------------
+
+/// How many tokens past `partial_cmp` to look for the `unwrap`/`expect`
+/// that turns a NaN into a panic. Covers `.partial_cmp(&b).unwrap()`
+/// with a short argument expression.
+const PARTIAL_CMP_WINDOW: usize = 12;
+
+/// Scan for `partial_cmp(..).unwrap()` chains and `==`/`!=` against
+/// float literals.
+pub fn check_r3(file: &str, tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("partial_cmp") {
+            let window = &tokens[i..tokens.len().min(i + PARTIAL_CMP_WINDOW)];
+            if window
+                .iter()
+                .any(|w| w.is_ident("unwrap") || w.is_ident("expect"))
+            {
+                out.push(Violation {
+                    rule: Rule::R3,
+                    file: file.to_string(),
+                    line: t.line,
+                    msg: "partial_cmp().unwrap() panics on NaN; use f64::total_cmp".to_string(),
+                });
+            }
+        }
+        if t.is_punct("==") || t.is_punct("!=") {
+            let float_neighbor = [i.wrapping_sub(1), i + 1]
+                .iter()
+                .filter_map(|&j| tokens.get(j))
+                .any(Token::is_float_literal);
+            if float_neighbor {
+                out.push(Violation {
+                    rule: Rule::R3,
+                    file: file.to_string(),
+                    line: t.line,
+                    msg: format!(
+                        "`{}` against a float literal is NaN/rounding-unsafe; \
+                         compare with a tolerance or use total_cmp",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R4: unsafe
+// ---------------------------------------------------------------------------
+
+/// Scan for the `unsafe` keyword. The workspace walk never descends
+/// into `vendor/`, so every hit here is outside the sanctioned zone.
+pub fn check_r4(file: &str, tokens: &[Token]) -> Vec<Violation> {
+    tokens
+        .iter()
+        .filter(|t| t.is_ident("unsafe"))
+        .map(|t| Violation {
+            rule: Rule::R4,
+            file: file.to_string(),
+            line: t.line,
+            msg: "`unsafe` outside vendor/ (isolate it behind a safe API in vendor/, \
+                  or justify it in the allowlist)"
+                .to_string(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// R5: experiment registry vs dispatch
+// ---------------------------------------------------------------------------
+
+/// Collect the string literals of the `EXPERIMENTS` array.
+pub fn experiment_registry(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("EXPERIMENTS") {
+            // Scan past the `=` (skipping the `&[&str]` type annotation)
+            // to the opening '[' of the array literal.
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct("=") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            while j < tokens.len() && !tokens[j].is_punct("[") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("[") {
+                j += 1;
+                while j < tokens.len() && !tokens[j].is_punct("]") {
+                    if tokens[j].kind == TokenKind::Str {
+                        out.push(tokens[j].text.clone());
+                    }
+                    j += 1;
+                }
+                if !out.is_empty() {
+                    return out;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect the string-literal match arms (`"name" =>`) inside
+/// `fn run_experiment`.
+pub fn dispatch_arms(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(fn_pos) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident("run_experiment"))
+    else {
+        return out;
+    };
+    // Find the body and brace-match it.
+    let mut i = fn_pos;
+    while i < tokens.len() && !tokens[i].is_punct("{") {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("{") {
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if tokens[i].kind == TokenKind::Str
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("=>"))
+        {
+            out.push(tokens[i].text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extract the `SUMMARY_JOB` string constant from the campaign module.
+pub fn summary_job_name(tokens: &[Token]) -> Option<String> {
+    let pos = tokens.iter().position(|t| t.is_ident("SUMMARY_JOB"))?;
+    tokens[pos..]
+        .iter()
+        .take(10)
+        .find(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.clone())
+}
+
+/// Cross-check registry vs dispatch vs the summary job name.
+pub fn check_r5(
+    experiments_file: &str,
+    experiments_tokens: &[Token],
+    summary_job: Option<&str>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let registry = experiment_registry(experiments_tokens);
+    let arms = dispatch_arms(experiments_tokens);
+    let at = |msg: String| Violation {
+        rule: Rule::R5,
+        file: experiments_file.to_string(),
+        line: 1,
+        msg,
+    };
+    if registry.is_empty() {
+        out.push(at("EXPERIMENTS array not found or empty".to_string()));
+        return out;
+    }
+    if arms.is_empty() {
+        out.push(at(
+            "run_experiment dispatch not found or has no string arms".to_string(),
+        ));
+        return out;
+    }
+    for name in &registry {
+        if !arms.contains(name) {
+            out.push(at(format!(
+                "experiment \"{name}\" is registered but run_experiment has no arm for it"
+            )));
+        }
+    }
+    for name in &arms {
+        if !registry.contains(name) {
+            out.push(at(format!(
+                "run_experiment dispatches \"{name}\" but it is not in EXPERIMENTS \
+                 (the campaign will never schedule it)"
+            )));
+        }
+    }
+    if let Some(summary) = summary_job {
+        if registry.iter().any(|n| n == summary) {
+            out.push(at(format!(
+                "experiment \"{summary}\" collides with the campaign summary job name"
+            )));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_name_grammar() {
+        for good in [
+            "area_m2",
+            "power_w",
+            "ambient_c",
+            "exchanger_w_per_k",
+            "density_kg_per_m3",
+            "v_m_per_s",
+            "film_um",
+            "lifetime_years",
+            "bond_metal_fraction",
+            "pump_efficiency",
+            "coverage",
+            "alpha",
+            "watts",
+            "tolerance",
+            "freq_ghz",
+            "_ignored_w",
+        ] {
+            assert!(unit_name_ok(good), "{good} should pass");
+        }
+        for bad in ["h", "w", "x", "temp", "power", "value", "ambient", "speed"] {
+            assert!(!unit_name_ok(bad), "{bad} should fail");
+        }
+    }
+}

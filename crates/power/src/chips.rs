@@ -38,9 +38,9 @@ pub struct ChipModel {
     pub dynamic_fraction: f64,
     /// Junction temperature at which `max_power_watts` was characterised
     /// (leakage reference), °C.
-    pub leakage_ref_temp: f64,
+    pub leakage_ref_temp_c: f64,
     /// The recommended maximum operating temperature, °C.
-    pub temp_threshold: f64,
+    pub temp_threshold_c: f64,
     /// Core count (Table 1: 4 for the synthetic CMPs).
     pub cores: usize,
 }
@@ -56,8 +56,8 @@ pub fn low_power_cmp() -> ChipModel {
         decomposition: Decomposition::baseline_16_tile(),
         max_power_watts: 47.2,
         dynamic_fraction: 0.70,
-        leakage_ref_temp: 80.0,
-        temp_threshold: 80.0,
+        leakage_ref_temp_c: 80.0,
+        temp_threshold_c: 80.0,
         cores: 4,
     }
 }
@@ -73,8 +73,8 @@ pub fn high_frequency_cmp() -> ChipModel {
         decomposition: Decomposition::baseline_16_tile(),
         max_power_watts: 56.8,
         dynamic_fraction: 0.70,
-        leakage_ref_temp: 80.0,
-        temp_threshold: 80.0,
+        leakage_ref_temp_c: 80.0,
+        temp_threshold_c: 80.0,
         cores: 4,
     }
 }
@@ -113,8 +113,8 @@ pub fn xeon_e5_2667v4() -> ChipModel {
         decomposition: Decomposition::xeon_e5(),
         max_power_watts: 135.0,
         dynamic_fraction: 0.72,
-        leakage_ref_temp: 78.0,
-        temp_threshold: 78.0,
+        leakage_ref_temp_c: 78.0,
+        temp_threshold_c: 78.0,
         cores: 8,
     }
 }
@@ -145,8 +145,8 @@ pub fn xeon_phi_7290() -> ChipModel {
         decomposition: Decomposition::uniform_tiles("TILE", 36, ComponentKind::Core),
         max_power_watts: 245.0,
         dynamic_fraction: 0.72,
-        leakage_ref_temp: 80.0,
-        temp_threshold: 80.0,
+        leakage_ref_temp_c: 80.0,
+        temp_threshold_c: 80.0,
         cores: 72,
     }
 }
@@ -205,7 +205,7 @@ mod tests {
     fn real_chip_anchors() {
         let e5 = xeon_e5_2667v4();
         assert_eq!(e5.cores, 8);
-        assert_eq!(e5.temp_threshold, 78.0);
+        assert_eq!(e5.temp_threshold_c, 78.0);
         let phi = xeon_phi_7290();
         assert_eq!(phi.cores, 72);
         assert!((phi.vfs.max_step().freq_ghz - 1.6).abs() < 1e-12);

@@ -32,6 +32,8 @@
 //! assert!((report.total() - 47.2).abs() < 1e-6); // Table 1 anchor
 //! ```
 
+pub use immersion_units as units;
+
 pub mod cacti;
 pub mod chips;
 pub mod components;

@@ -21,15 +21,15 @@ pub struct PowerReport {
     /// Watts per floorplan block.
     pub per_block: BTreeMap<String, f64>,
     /// Total dynamic power, watts.
-    pub dynamic: f64,
+    pub dynamic_w: f64,
     /// Total static (leakage) power, watts.
-    pub static_: f64,
+    pub static_w: f64,
 }
 
 impl PowerReport {
     /// Total chip power, watts.
     pub fn total(&self) -> f64 {
-        self.dynamic + self.static_
+        self.dynamic_w + self.static_w
     }
 
     /// Power of one block, watts.
@@ -42,15 +42,15 @@ impl PowerReport {
 /// block (the paper's steady-state assumption: "each module fully
 /// works").
 ///
-/// `junction_temp` enables temperature-dependent leakage relative to the
+/// `junction_temp_c` enables temperature-dependent leakage relative to the
 /// chip's characterisation temperature; `None` reproduces the paper's
 /// flow (leakage pinned at the threshold-temperature worst case).
-pub fn analyze(chip: &ChipModel, step: VfsStep, junction_temp: Option<f64>) -> PowerReport {
+pub fn analyze(chip: &ChipModel, step: VfsStep, junction_temp_c: Option<f64>) -> PowerReport {
     let scale = power_scale(step, chip.vfs.max_step());
-    let mut dynamic = chip.max_power_watts * chip.dynamic_fraction * scale.dynamic;
-    let mut static_ = chip.max_power_watts * (1.0 - chip.dynamic_fraction) * scale.static_;
-    if let Some(t) = junction_temp {
-        static_ *= leakage_temperature_factor(t, chip.leakage_ref_temp);
+    let mut dynamic = chip.max_power_watts * chip.dynamic_fraction * scale.dynamic_factor;
+    let mut static_ = chip.max_power_watts * (1.0 - chip.dynamic_fraction) * scale.static_factor;
+    if let Some(t) = junction_temp_c {
+        static_ *= leakage_temperature_factor(t, chip.leakage_ref_temp_c);
     }
     // Avoid -0.0 artifacts at pathological inputs.
     dynamic = dynamic.max(0.0);
@@ -71,8 +71,8 @@ pub fn analyze(chip: &ChipModel, step: VfsStep, junction_temp: Option<f64>) -> P
     PowerReport {
         step,
         per_block,
-        dynamic,
-        static_,
+        dynamic_w: dynamic,
+        static_w: static_,
     }
 }
 
@@ -185,7 +185,7 @@ mod tests {
         for (f, measured) in rapl_anchors("e5").unwrap() {
             let modeled = curve
                 .iter()
-                .min_by(|a, b| (a.0 - f).abs().partial_cmp(&(b.0 - f).abs()).unwrap())
+                .min_by(|a, b| (a.0 - f).abs().total_cmp(&(b.0 - f).abs()))
                 .unwrap()
                 .1;
             assert!(

@@ -10,10 +10,10 @@
 //! so the achievable frequency at supply voltage `V` is
 //! `f(V) ∝ (V − Vth)^α / V`. Given a chip's maximum operating point
 //! `(f_max, V_max)`, [`VfsCurve::voltage_for`] inverts this relation by
-//! bisection to find the minimum stable voltage for any lower frequency
+//! bisection to find the minimum stable voltage_v for any lower frequency
 //! step, and the power model scales
 //!
-//! * dynamic power as `P_dyn ∝ V²·f` (switched-capacitance energy), and
+//! * dynamic_factor power as `P_dyn ∝ V²·f` (switched-capacitance energy), and
 //! * static power as `P_stat ∝ V²` (supply times DIBL-amplified leakage
 //!   current, both roughly linear in `V`),
 //!
@@ -27,42 +27,42 @@ pub struct VfsStep {
     /// Clock frequency, GHz.
     pub freq_ghz: f64,
     /// Supply voltage, volts.
-    pub voltage: f64,
+    pub voltage_v: f64,
 }
 
 /// The alpha-power-law frequency/voltage relation of one chip.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VfsCurve {
-    /// Frequency at `v_max`, GHz.
+    /// Frequency at `v_max_v`, GHz.
     pub f_max_ghz: f64,
     /// Supply voltage at `f_max_ghz`, volts.
-    pub v_max: f64,
+    pub v_max_v: f64,
     /// Threshold voltage, volts (from the McPAT technology file).
-    pub v_th: f64,
+    pub v_th_v: f64,
     /// Velocity-saturation index (the paper sets α = 1.3).
     pub alpha: f64,
 }
 
 impl VfsCurve {
     /// A curve with the paper's α = 1.3.
-    pub fn new(f_max_ghz: f64, v_max: f64, v_th: f64) -> Self {
-        assert!(f_max_ghz > 0.0 && v_max > v_th && v_th > 0.0);
+    pub fn new(f_max_ghz: f64, v_max_v: f64, v_th_v: f64) -> Self {
+        assert!(f_max_ghz > 0.0 && v_max_v > v_th_v && v_th_v > 0.0);
         VfsCurve {
             f_max_ghz,
-            v_max,
-            v_th,
+            v_max_v,
+            v_th_v,
             alpha: 1.3,
         }
     }
 
     /// Relative drive strength `(V − Vth)^α / V`, before normalisation.
-    fn drive(&self, v: f64) -> f64 {
-        (v - self.v_th).max(0.0).powf(self.alpha) / v
+    fn drive(&self, v_volts: f64) -> f64 {
+        (v_volts - self.v_th_v).max(0.0).powf(self.alpha) / v_volts
     }
 
-    /// The frequency (GHz) achievable at supply voltage `v`.
-    pub fn freq_at(&self, v: f64) -> f64 {
-        self.f_max_ghz * self.drive(v) / self.drive(self.v_max)
+    /// The frequency (GHz) achievable at supply voltage_v `v`.
+    pub fn freq_at(&self, v_volts: f64) -> f64 {
+        self.f_max_ghz * self.drive(v_volts) / self.drive(self.v_max_v)
     }
 
     /// The minimum supply voltage for frequency `f_ghz`, by bisection.
@@ -73,8 +73,8 @@ impl VfsCurve {
         if f_ghz <= 0.0 || f_ghz > self.f_max_ghz * (1.0 + 1e-9) {
             return None;
         }
-        let (mut lo, mut hi) = (self.v_th + 1e-6, self.v_max);
-        // freq_at is monotonically increasing in V on (v_th, v_max].
+        let (mut lo, mut hi) = (self.v_th_v + 1e-6, self.v_max_v);
+        // freq_at is monotonically increasing in V on (v_th_v, v_max_v].
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
             if self.freq_at(mid) < f_ghz {
@@ -88,9 +88,9 @@ impl VfsCurve {
 
     /// The `(freq, voltage)` step for frequency `f_ghz`.
     pub fn step_for(&self, f_ghz: f64) -> Option<VfsStep> {
-        self.voltage_for(f_ghz).map(|voltage| VfsStep {
+        self.voltage_for(f_ghz).map(|voltage_v| VfsStep {
             freq_ghz: f_ghz,
-            voltage,
+            voltage_v,
         })
     }
 }
@@ -108,12 +108,12 @@ impl VfsTable {
     /// the paper's low-power CMP is `linear(curve, 1.0, 2.0, 0.1)` → 11
     /// steps and the high-frequency CMP `linear(curve, 1.2, 3.6, 0.2)`
     /// → 13 steps).
-    pub fn linear(curve: VfsCurve, f_min: f64, f_max: f64, delta: f64) -> Self {
-        assert!(f_min > 0.0 && f_max >= f_min && delta > 0.0);
-        let n = ((f_max - f_min) / delta).round() as usize + 1;
+    pub fn linear(curve: VfsCurve, f_min_ghz: f64, f_max_ghz: f64, delta_ghz: f64) -> Self {
+        assert!(f_min_ghz > 0.0 && f_max_ghz >= f_min_ghz && delta_ghz > 0.0);
+        let n = ((f_max_ghz - f_min_ghz) / delta_ghz).round() as usize + 1;
         let steps = (0..n)
             .map(|i| {
-                let f = f_min + i as f64 * delta;
+                let f = f_min_ghz + i as f64 * delta_ghz;
                 curve
                     .step_for(f.min(curve.f_max_ghz))
                     .expect("step within curve range")
@@ -170,23 +170,23 @@ impl VfsTable {
 
 /// Relative power scaling between two operating points.
 ///
-/// `dynamic`: `V²·f` ratio; `static_`: `V²` ratio — both relative to the
+/// `dynamic_factor`: `V²·f` ratio; `static_factor`: `V²` ratio — both relative to the
 /// reference step (normally the chip's maximum).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerScale {
     /// Dynamic-power multiplier relative to the reference.
-    pub dynamic: f64,
+    pub dynamic_factor: f64,
     /// Static-power multiplier relative to the reference.
-    pub static_: f64,
+    pub static_factor: f64,
 }
 
 /// Power scaling of `step` relative to `reference`.
 pub fn power_scale(step: VfsStep, reference: VfsStep) -> PowerScale {
-    let v = step.voltage / reference.voltage;
+    let v = step.voltage_v / reference.voltage_v;
     let f = step.freq_ghz / reference.freq_ghz;
     PowerScale {
-        dynamic: v * v * f,
-        static_: v * v,
+        dynamic_factor: v * v * f,
+        static_factor: v * v,
     }
 }
 
@@ -268,20 +268,20 @@ mod tests {
         let c = curve();
         let top = c.step_for(3.6).unwrap();
         let s = power_scale(top, top);
-        assert!((s.dynamic - 1.0).abs() < 1e-12);
-        assert!((s.static_ - 1.0).abs() < 1e-12);
+        assert!((s.dynamic_factor - 1.0).abs() < 1e-12);
+        assert!((s.static_factor - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn power_scale_is_superlinear_in_frequency() {
-        // Halving frequency must save more than half the dynamic power,
+        // Halving frequency must save more than half the dynamic_factor power,
         // because voltage drops too (the Figure 6 convexity).
         let c = curve();
         let top = c.step_for(3.6).unwrap();
         let half = c.step_for(1.8).unwrap();
         let s = power_scale(half, top);
-        assert!(s.dynamic < 0.5, "dyn = {}", s.dynamic);
-        assert!(s.static_ < 1.0 && s.static_ > s.dynamic);
+        assert!(s.dynamic_factor < 0.5, "dyn = {}", s.dynamic_factor);
+        assert!(s.static_factor < 1.0 && s.static_factor > s.dynamic_factor);
     }
 
     #[test]

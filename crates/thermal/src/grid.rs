@@ -22,6 +22,7 @@ use crate::materials::Material;
 use crate::sparse::{solve_cg, CgOptions, CsrMatrix, TripletMatrix};
 use crate::steady::Solution;
 use crate::{Result, ThermalError};
+use immersion_units::{Celsius, HeatTransferCoeff};
 use serde::{Deserialize, Serialize};
 
 /// Which surface of a layer a boundary condition applies to.
@@ -54,7 +55,7 @@ pub struct LayerSpec {
     /// Bulk material.
     pub material: Material,
     /// Thickness in meters.
-    pub thickness: f64,
+    pub thickness_m: f64,
     /// Lateral extent in the global (board) coordinate system, meters.
     pub extent: Rect,
     /// Lateral resolution.
@@ -70,7 +71,7 @@ impl LayerSpec {
     pub fn new(
         name: &str,
         material: Material,
-        thickness: f64,
+        thickness_m: f64,
         extent: Rect,
         nx: usize,
         ny: usize,
@@ -78,7 +79,7 @@ impl LayerSpec {
         LayerSpec {
             name: name.to_string(),
             material,
-            thickness,
+            thickness_m,
             extent,
             nx,
             ny,
@@ -96,9 +97,9 @@ impl LayerSpec {
     /// this layer, blending pattern blocks by covered area fraction.
     pub(crate) fn cell_properties(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let n = self.cells();
-        let mut k_lat = vec![self.material.lateral_conductivity; n];
-        let mut k_vert = vec![self.material.conductivity; n];
-        let mut vhc = vec![self.material.volumetric_heat_capacity; n];
+        let mut k_lat = vec![self.material.lateral_conductivity.raw(); n];
+        let mut k_vert = vec![self.material.conductivity.raw(); n];
+        let mut vhc = vec![self.material.volumetric_heat_capacity.raw(); n];
         if let Some(pat) = &self.pattern {
             // Fraction of each cell covered, accumulated per block.
             let cell_area = (self.extent.w / self.nx as f64) * (self.extent.h / self.ny as f64);
@@ -108,11 +109,12 @@ impl LayerSpec {
                     // rasterize weights are fractions of the *block*;
                     // convert to the fraction of the *cell* covered.
                     let covered = (frac_of_block * block.rect.area() / cell_area).min(1.0);
-                    k_lat[cell] +=
-                        covered * (mat.lateral_conductivity - self.material.lateral_conductivity);
-                    k_vert[cell] += covered * (mat.conductivity - self.material.conductivity);
+                    k_lat[cell] += covered
+                        * (mat.lateral_conductivity - self.material.lateral_conductivity).raw();
+                    k_vert[cell] += covered * (mat.conductivity - self.material.conductivity).raw();
                     vhc[cell] += covered
-                        * (mat.volumetric_heat_capacity - self.material.volumetric_heat_capacity);
+                        * (mat.volumetric_heat_capacity - self.material.volumetric_heat_capacity)
+                            .raw();
                 }
             }
         }
@@ -120,7 +122,7 @@ impl LayerSpec {
     }
 
     fn validate(&self) -> Result<()> {
-        if self.thickness <= 0.0 || self.extent.w <= 0.0 || self.extent.h <= 0.0 {
+        if self.thickness_m <= 0.0 || self.extent.w <= 0.0 || self.extent.h <= 0.0 {
             return Err(ThermalError::BadParameter(format!(
                 "layer {}: non-positive dimension",
                 self.name
@@ -132,7 +134,7 @@ impl LayerSpec {
                 self.name
             )));
         }
-        if self.material.conductivity <= 0.0 {
+        if self.material.conductivity.raw() <= 0.0 {
             return Err(ThermalError::BadParameter(format!(
                 "layer {}: non-positive conductivity",
                 self.name
@@ -171,27 +173,27 @@ pub struct Convection {
     pub layer: usize,
     /// Which face of the layer.
     pub surface: Surface,
-    /// Heat transfer coefficient of the coolant film, W/(m²·K).
-    pub h: f64,
+    /// Heat transfer coefficient of the coolant film.
+    pub h: HeatTransferCoeff,
     /// Effective-area multiplier (e.g. heatsink fins: Table 2's 0.3024 m²
     /// over a 12×12 cm base is a 21× multiplier).
     pub area_multiplier: f64,
     /// Extra series resistance per unit area, m²·K/W — used for thin
     /// conformal coatings such as the parylene film (R'' = t/k).
-    pub series_resistance: f64,
-    /// Coolant temperature, °C.
-    pub ambient: f64,
+    pub series_resistance_m2_k_per_w: f64,
+    /// Coolant temperature.
+    pub ambient: Celsius,
 }
 
 impl Convection {
     /// A plain convective surface with no coating and no fins.
-    pub fn simple(layer: usize, surface: Surface, h: f64, ambient: f64) -> Self {
+    pub fn simple(layer: usize, surface: Surface, h: HeatTransferCoeff, ambient: Celsius) -> Self {
         Convection {
             layer,
             surface,
             h,
             area_multiplier: 1.0,
-            series_resistance: 0.0,
+            series_resistance_m2_k_per_w: 0.0,
             ambient,
         }
     }
@@ -200,8 +202,8 @@ impl Convection {
     /// half-layer conduction `half_r` (m²K/W) from the node at the layer
     /// mid-plane to the surface.
     fn conductance_per_area(&self, half_r: f64) -> f64 {
-        let film = 1.0 / (self.h * self.area_multiplier);
-        1.0 / (half_r + self.series_resistance + film)
+        let film = 1.0 / (self.h.raw() * self.area_multiplier);
+        1.0 / (half_r + self.series_resistance_m2_k_per_w + film)
     }
 }
 
@@ -365,15 +367,15 @@ impl ModelBuilder {
                 for ix in 0..l.nx {
                     let cell = iy * l.nx + ix;
                     let node = off + cell;
-                    capacities[node] = vhc[cell] * dx * dy * l.thickness;
+                    capacities[node] = vhc[cell] * dx * dy * l.thickness_m;
                     if ix + 1 < l.nx {
                         // Series of the two half-cells (harmonic mean).
-                        let g = l.thickness * dy
+                        let g = l.thickness_m * dy
                             / (dx / (2.0 * k_lat[cell]) + dx / (2.0 * k_lat[cell + 1]));
                         trip.add_conductance(node, node + 1, g);
                     }
                     if iy + 1 < l.ny {
-                        let g = l.thickness * dx
+                        let g = l.thickness_m * dx
                             / (dy / (2.0 * k_lat[cell]) + dy / (2.0 * k_lat[cell + l.nx]));
                         trip.add_conductance(node, node + l.nx, g);
                     }
@@ -394,7 +396,7 @@ impl ModelBuilder {
                     let cell_a = iya * a.nx + ixa;
                     let cell_b = iyb * b.nx + ixb;
                     let r_per_area =
-                        a.thickness / (2.0 * ka[cell_a]) + b.thickness / (2.0 * kb[cell_b]);
+                        a.thickness_m / (2.0 * ka[cell_a]) + b.thickness_m / (2.0 * kb[cell_b]);
                     let g = area / r_per_area;
                     let na = offsets[li] + cell_a;
                     let nb = offsets[li + 1] + cell_b;
@@ -409,7 +411,7 @@ impl ModelBuilder {
             let l = self.layers.get(c.layer).ok_or_else(|| {
                 ThermalError::BadParameter(format!("convection on layer {}", c.layer))
             })?;
-            if c.h <= 0.0 || c.area_multiplier <= 0.0 {
+            if c.h.raw() <= 0.0 || c.area_multiplier <= 0.0 {
                 return Err(ThermalError::BadParameter(format!(
                     "convection on layer {}: non-positive h",
                     c.layer
@@ -420,10 +422,10 @@ impl ModelBuilder {
             let dy = l.extent.h / l.ny as f64;
             let off = offsets[c.layer];
             for (cell, &k) in k_vert.iter().enumerate().take(l.cells()) {
-                let half_r = l.thickness / (2.0 * k);
+                let half_r = l.thickness_m / (2.0 * k);
                 let g_cell = c.conductance_per_area(half_r) * dx * dy;
                 trip.add_grounded(off + cell, g_cell);
-                conv_ties.push((off + cell, g_cell, c.ambient));
+                conv_ties.push((off + cell, g_cell, c.ambient.raw()));
             }
         }
         if conv_ties.is_empty() {
@@ -552,7 +554,7 @@ impl ThermalModel {
         for (pl, p) in self.power_layers.iter().enumerate() {
             for (b, cells) in p.raster.iter().enumerate() {
                 let w = power.values[pl][b];
-                if w != 0.0 {
+                if w.abs() > 0.0 {
                     for &(node, frac) in cells {
                         q[node] += w * frac;
                     }
@@ -639,6 +641,16 @@ fn overlaps_1d(
 mod tests {
     use super::*;
     use crate::materials::{COPPER, SILICON};
+    use immersion_units::{Celsius, HeatTransferCoeff};
+
+    fn conv(layer: usize, surface: Surface, h: f64) -> Convection {
+        Convection::simple(
+            layer,
+            surface,
+            HeatTransferCoeff::new(h),
+            Celsius::new(25.0),
+        )
+    }
 
     fn slab_model(nx: usize, ny: usize, h: f64) -> ThermalModel {
         // A single 10x10 mm silicon slab, 0.5 mm thick, convection on top.
@@ -654,7 +666,7 @@ mod tests {
             nx,
             ny,
         ));
-        mb.add_convection(Convection::simple(l, Surface::Top, h, 25.0));
+        mb.add_convection(conv(l, Surface::Top, h));
         mb.add_power_floorplan(l, fp);
         mb.build().unwrap()
     }
@@ -688,7 +700,7 @@ mod tests {
         let bot = mb.add_layer(LayerSpec::new("bot", SILICON, 0.4e-3, ext, 4, 4));
         let top = mb.add_layer(LayerSpec::new("top", COPPER, 1.0e-3, ext, 4, 4));
         let h = 500.0;
-        mb.add_convection(Convection::simple(top, Surface::Top, h, 25.0));
+        mb.add_convection(conv(top, Surface::Top, h));
         mb.add_power_floorplan(bot, fp);
         let model = mb.build().unwrap();
         let mut p = model.zero_power();
@@ -732,7 +744,7 @@ mod tests {
             .unwrap();
         let mut mb = ModelBuilder::new();
         let l = mb.add_layer(LayerSpec::new("die", SILICON, 0.15e-3, ext, 16, 16));
-        mb.add_convection(Convection::simple(l, Surface::Top, 800.0, 25.0));
+        mb.add_convection(conv(l, Surface::Top, 800.0));
         mb.add_power_floorplan(l, fp);
         let model = mb.build().unwrap();
         let mut p = model.zero_power();
@@ -765,7 +777,7 @@ mod tests {
         let mut mb = ModelBuilder::new();
         let plate = mb.add_layer(LayerSpec::new("plate", COPPER, 2e-3, plate_ext, 20, 20));
         let die = mb.add_layer(LayerSpec::new("die", SILICON, 0.15e-3, die_ext, 8, 8));
-        mb.add_convection(Convection::simple(plate, Surface::Bottom, 50.0, 25.0));
+        mb.add_convection(conv(plate, Surface::Bottom, 50.0));
         mb.add_power_floorplan(die, fp);
         let model = mb.build().unwrap();
         let mut p = model.zero_power();
@@ -803,7 +815,7 @@ mod tests {
             4,
             4,
         ));
-        mb.add_convection(Convection::simple(l, Surface::Top, 100.0, 25.0));
+        mb.add_convection(conv(l, Surface::Top, 100.0));
         let fp = Floorplan::new(0.02, 0.02); // wrong size
         mb.add_power_floorplan(l, fp);
         assert!(mb.build().is_err());

@@ -56,6 +56,8 @@
 //! assert!(sol.max_temp() < 80.0); // water keeps 60 W easily in check
 //! ```
 
+pub use immersion_units as units;
+
 pub mod floorplan;
 pub mod grid;
 pub mod hotspot_compat;

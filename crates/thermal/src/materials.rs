@@ -5,9 +5,11 @@
 //! the board-level materials needed to model full immersion of the
 //! motherboard.
 //!
-//! Values are bulk properties at ~300 K; conductivities in W/(m·K),
-//! volumetric heat capacities in J/(m³·K).
+//! Values are bulk properties at ~300 K. Quantities are typed
+//! ([`WattsPerMeterKelvin`], [`JoulesPerCubicMeterKelvin`]) so a
+//! conductivity can never be passed where a heat capacity is expected.
 
+use immersion_units::{JoulesPerCubicMeterKelvin, WattsPerMeterKelvin};
 use serde::{Deserialize, Serialize};
 
 /// A (possibly transversely isotropic) material.
@@ -21,18 +23,35 @@ use serde::{Deserialize, Serialize};
 pub struct Material {
     /// Human-readable name (used in reports).
     pub name: &'static str,
-    /// Through-plane thermal conductivity, W/(m·K).
-    pub conductivity: f64,
-    /// In-plane thermal conductivity, W/(m·K).
-    pub lateral_conductivity: f64,
-    /// Volumetric heat capacity, J/(m³·K). Only used by the transient
-    /// solver; steady-state solves ignore it.
-    pub volumetric_heat_capacity: f64,
+    /// Through-plane thermal conductivity.
+    pub conductivity: WattsPerMeterKelvin,
+    /// In-plane thermal conductivity.
+    pub lateral_conductivity: WattsPerMeterKelvin,
+    /// Volumetric heat capacity. Only used by the transient solver;
+    /// steady-state solves ignore it.
+    pub volumetric_heat_capacity: JoulesPerCubicMeterKelvin,
 }
 
 impl Material {
     /// An isotropic material.
-    pub const fn new(name: &'static str, conductivity: f64, vhc: f64) -> Self {
+    ///
+    /// The typed parameters make a unit mix-up a compile error:
+    ///
+    /// ```compile_fail
+    /// use immersion_thermal::materials::Material;
+    /// use immersion_units::{JoulesPerCubicMeterKelvin, Kelvin};
+    /// // A temperature is not a conductivity — this does not compile.
+    /// let m = Material::new(
+    ///     "oops",
+    ///     Kelvin::new(400.0),
+    ///     JoulesPerCubicMeterKelvin::new(3.55e6),
+    /// );
+    /// ```
+    pub const fn new(
+        name: &'static str,
+        conductivity: WattsPerMeterKelvin,
+        vhc: JoulesPerCubicMeterKelvin,
+    ) -> Self {
         Material {
             name,
             conductivity,
@@ -44,9 +63,9 @@ impl Material {
     /// A transversely isotropic material (laminate).
     pub const fn anisotropic(
         name: &'static str,
-        through_plane: f64,
-        in_plane: f64,
-        vhc: f64,
+        through_plane: WattsPerMeterKelvin,
+        in_plane: WattsPerMeterKelvin,
+        vhc: JoulesPerCubicMeterKelvin,
     ) -> Self {
         Material {
             name,
@@ -58,10 +77,18 @@ impl Material {
 }
 
 /// Bulk silicon (HotSpot's default die conductivity).
-pub const SILICON: Material = Material::new("silicon", 100.0, 1.75e6);
+pub const SILICON: Material = Material::new(
+    "silicon",
+    WattsPerMeterKelvin::new(100.0),
+    JoulesPerCubicMeterKelvin::new(1.75e6),
+);
 
 /// Copper: heat spreader and heatsink base (Table 2 gives 400 W/mK).
-pub const COPPER: Material = Material::new("copper", 400.0, 3.55e6);
+pub const COPPER: Material = Material::new(
+    "copper",
+    WattsPerMeterKelvin::new(400.0),
+    JoulesPerCubicMeterKelvin::new(3.55e6),
+);
 
 /// Thermal interface material between die and spreader / spreader and
 /// sink.
@@ -73,25 +100,50 @@ pub const COPPER: Material = Material::new("copper", 400.0, 3.55e6);
 /// contradicting every figure in the evaluation. We therefore read
 /// Table 2's 0.25 as the inter-die *glue* ([`GLUE`]) and keep HotSpot's
 /// default for the TIM proper. See DESIGN.md §2.
-pub const TIM: Material = Material::new("TIM", 4.0, 4.0e6);
+pub const TIM: Material = Material::new(
+    "TIM",
+    WattsPerMeterKelvin::new(4.0),
+    JoulesPerCubicMeterKelvin::new(4.0e6),
+);
 
 /// Inter-die bond glue (Table 2: 0.25 W/mK).
-pub const GLUE: Material = Material::new("glue", 0.25, 4.0e6);
+pub const GLUE: Material = Material::new(
+    "glue",
+    WattsPerMeterKelvin::new(0.25),
+    JoulesPerCubicMeterKelvin::new(4.0e6),
+);
 
 /// Parylene (diX C Plus) conformal film (Table 2: 0.14 W/mK).
-pub const PARYLENE: Material = Material::new("parylene", 0.14, 1.1e6);
+pub const PARYLENE: Material = Material::new(
+    "parylene",
+    WattsPerMeterKelvin::new(0.14),
+    JoulesPerCubicMeterKelvin::new(1.1e6),
+);
 
 /// Organic package substrate (build-up laminate with copper planes):
 /// ~10 W/mK through-plane (via fields), ~30 W/mK in-plane (planes).
-pub const PACKAGE_SUBSTRATE: Material =
-    Material::anisotropic("package-substrate", 10.0, 30.0, 2.0e6);
+pub const PACKAGE_SUBSTRATE: Material = Material::anisotropic(
+    "package-substrate",
+    WattsPerMeterKelvin::new(10.0),
+    WattsPerMeterKelvin::new(30.0),
+    JoulesPerCubicMeterKelvin::new(2.0e6),
+);
 
 /// FR-4 printed circuit board: ~2 W/mK through-plane (thermal vias under
 /// the package), ~30 W/mK in-plane (power/ground copper planes).
-pub const PCB: Material = Material::anisotropic("PCB", 2.0, 30.0, 2.2e6);
+pub const PCB: Material = Material::anisotropic(
+    "PCB",
+    WattsPerMeterKelvin::new(2.0),
+    WattsPerMeterKelvin::new(30.0),
+    JoulesPerCubicMeterKelvin::new(2.2e6),
+);
 
 /// Still air (used only when an air gap is explicitly modelled).
-pub const AIR: Material = Material::new("air", 0.026, 1.2e3);
+pub const AIR: Material = Material::new(
+    "air",
+    WattsPerMeterKelvin::new(0.026),
+    JoulesPerCubicMeterKelvin::new(1.2e3),
+);
 
 /// The inter-die bond of a 3-D stack: die-attach glue with a vertical
 /// metal (TSV / ThruChip-interface keep-out fill) fraction.
@@ -123,17 +175,17 @@ mod tests {
 
     #[test]
     fn table2_values_match_paper() {
-        assert_eq!(COPPER.conductivity, 400.0);
-        assert_eq!(GLUE.conductivity, 0.25);
-        assert_eq!(PARYLENE.conductivity, 0.14);
+        assert_eq!(COPPER.conductivity.raw(), 400.0);
+        assert_eq!(GLUE.conductivity.raw(), 0.25);
+        assert_eq!(PARYLENE.conductivity.raw(), 0.14);
     }
 
     #[test]
     fn bond_material_mixes_linearly() {
         let pure_glue = bond_material(0.0);
-        assert!((pure_glue.conductivity - GLUE.conductivity).abs() < 1e-12);
+        assert!((pure_glue.conductivity - GLUE.conductivity).raw().abs() < 1e-12);
         let pure_metal = bond_material(1.0);
-        assert!((pure_metal.conductivity - COPPER.conductivity).abs() < 1e-12);
+        assert!((pure_metal.conductivity - COPPER.conductivity).raw().abs() < 1e-12);
         let half = bond_material(0.5);
         assert!(half.conductivity > pure_glue.conductivity);
         assert!(half.conductivity < pure_metal.conductivity);

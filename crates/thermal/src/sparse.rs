@@ -34,32 +34,32 @@ impl TripletMatrix {
         self.n
     }
 
-    /// Accumulate `v` into entry `(i, j)`. Duplicates are summed on
-    /// conversion to CSR.
+    /// Accumulate a value (a conductance contribution, W/K) into
+    /// entry `(i, j)`. Duplicates are summed on conversion to CSR.
     #[inline]
-    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+    pub fn add(&mut self, i: usize, j: usize, value_w_per_k: f64) {
         debug_assert!(i < self.n && j < self.n, "index out of range");
-        if v != 0.0 {
-            self.entries.push((i as u32, j as u32, v));
+        if value_w_per_k.abs() > 0.0 {
+            self.entries.push((i as u32, j as u32, value_w_per_k));
         }
     }
 
     /// Add a symmetric conductance `g` between nodes `i` and `j`:
     /// `+g` on both diagonals, `−g` on both off-diagonals.
     #[inline]
-    pub fn add_conductance(&mut self, i: usize, j: usize, g: f64) {
+    pub fn add_conductance(&mut self, i: usize, j: usize, g_w_per_k: f64) {
         debug_assert!(i != j, "self-conductance is meaningless");
-        self.add(i, i, g);
-        self.add(j, j, g);
-        self.add(i, j, -g);
-        self.add(j, i, -g);
+        self.add(i, i, g_w_per_k);
+        self.add(j, j, g_w_per_k);
+        self.add(i, j, -g_w_per_k);
+        self.add(j, i, -g_w_per_k);
     }
 
     /// Add a grounded conductance at node `i` (e.g. a convective tie to
     /// the ambient node, which is eliminated onto the right-hand side).
     #[inline]
-    pub fn add_grounded(&mut self, i: usize, g: f64) {
-        self.add(i, i, g);
+    pub fn add_grounded(&mut self, i: usize, g_w_per_k: f64) {
+        self.add(i, i, g_w_per_k);
     }
 
     /// Finish assembly: sort, merge duplicates, and build CSR.
@@ -199,7 +199,7 @@ pub fn solve_cg(
         .collect();
 
     let bnorm = l2(b);
-    if bnorm == 0.0 {
+    if bnorm <= 0.0 {
         return Ok((vec![0.0; n], 0));
     }
 

@@ -23,18 +23,21 @@ use crate::grid::{Convection, LayerPattern, LayerSpec, ModelBuilder, Surface, Th
 use crate::materials;
 use crate::sparse::CgOptions;
 use crate::{Result, ThermalError};
+use immersion_units::{Celsius, HeatTransferCoeff};
 use serde::{Deserialize, Serialize};
 
-/// Heat-transfer coefficients used throughout the paper (§3.2), W/(m²·K).
+/// Heat-transfer coefficients used throughout the paper (§3.2).
 pub mod htc {
+    use immersion_units::HeatTransferCoeff;
+
     /// Forced air.
-    pub const AIR: f64 = 14.0;
+    pub const AIR: HeatTransferCoeff = HeatTransferCoeff::new(14.0);
     /// Mineral oil immersion.
-    pub const MINERAL_OIL: f64 = 160.0;
+    pub const MINERAL_OIL: HeatTransferCoeff = HeatTransferCoeff::new(160.0);
     /// Fluorinert immersion.
-    pub const FLUORINERT: f64 = 180.0;
+    pub const FLUORINERT: HeatTransferCoeff = HeatTransferCoeff::new(180.0);
     /// Water immersion.
-    pub const WATER: f64 = 800.0;
+    pub const WATER: HeatTransferCoeff = HeatTransferCoeff::new(800.0);
 }
 
 /// The primary (top-of-stack) cooling device.
@@ -44,15 +47,15 @@ pub enum PrimaryCooling {
     /// coefficient on the fins, the 0.3024 m² fin area gives the
     /// area multiplier.
     Heatsink {
-        /// Coolant heat-transfer coefficient, W/(m²·K).
-        h: f64,
+        /// Coolant heat-transfer coefficient on the fins.
+        h: HeatTransferCoeff,
     },
     /// A typical closed-loop liquid CPU cooler: a 6×6 cm microchannel
     /// cold plate; `effective_h` folds the pumped loop and radiator into
     /// one film coefficient on the plate.
     ColdPlate {
-        /// Loop-equivalent heat-transfer coefficient, W/(m²·K).
-        effective_h: f64,
+        /// Loop-equivalent heat-transfer coefficient.
+        effective_h: HeatTransferCoeff,
     },
 }
 
@@ -66,12 +69,12 @@ pub struct CoolingParams {
     /// Heat-transfer coefficient on the board underside (the secondary
     /// path): the coolant's `h` when the board is immersed, air's
     /// otherwise.
-    pub board_h: f64,
+    pub board_h: HeatTransferCoeff,
     /// Parylene film thickness on immersed board surfaces, meters
     /// (`None` for uncoated boards — air, oil, fluorinert, pipe).
-    pub film_thickness: Option<f64>,
-    /// Coolant temperature, °C (Table 2: 25 °C).
-    pub ambient: f64,
+    pub film_thickness_m: Option<f64>,
+    /// Coolant temperature (Table 2: 25 °C).
+    pub ambient: Celsius,
 }
 
 impl CoolingParams {
@@ -81,8 +84,8 @@ impl CoolingParams {
             name: "air",
             primary: PrimaryCooling::Heatsink { h: htc::AIR },
             board_h: htc::AIR,
-            film_thickness: None,
-            ambient: 25.0,
+            film_thickness_m: None,
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -91,11 +94,11 @@ impl CoolingParams {
         CoolingParams {
             name: "water-pipe",
             primary: PrimaryCooling::ColdPlate {
-                effective_h: 2800.0,
+                effective_h: HeatTransferCoeff::new(2800.0),
             },
             board_h: htc::AIR,
-            film_thickness: None,
-            ambient: 25.0,
+            film_thickness_m: None,
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -107,8 +110,8 @@ impl CoolingParams {
                 h: htc::MINERAL_OIL,
             },
             board_h: htc::MINERAL_OIL,
-            film_thickness: None,
-            ambient: 25.0,
+            film_thickness_m: None,
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -118,8 +121,8 @@ impl CoolingParams {
             name: "fluorinert",
             primary: PrimaryCooling::Heatsink { h: htc::FLUORINERT },
             board_h: htc::FLUORINERT,
-            film_thickness: None,
-            ambient: 25.0,
+            film_thickness_m: None,
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -131,19 +134,19 @@ impl CoolingParams {
             name: "water",
             primary: PrimaryCooling::Heatsink { h: htc::WATER },
             board_h: htc::WATER,
-            film_thickness: Some(120e-6),
-            ambient: 25.0,
+            film_thickness_m: Some(120e-6),
+            ambient: Celsius::new(25.0),
         }
     }
 
     /// Immersion in a custom coolant (for the §4.1 h sweep).
-    pub fn custom_immersion(name: &'static str, h: f64) -> Self {
+    pub fn custom_immersion(name: &'static str, h: HeatTransferCoeff) -> Self {
         CoolingParams {
             name,
             primary: PrimaryCooling::Heatsink { h },
             board_h: h,
-            film_thickness: Some(120e-6),
-            ambient: 25.0,
+            film_thickness_m: Some(120e-6),
+            ambient: Celsius::new(25.0),
         }
     }
 
@@ -163,52 +166,52 @@ impl CoolingParams {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PackageParams {
     /// Die thickness, m.
-    pub die_thickness: f64,
+    pub die_thickness_m: f64,
     /// Inter-die bond thickness, m (Table 2: 20 µm).
-    pub bond_thickness: f64,
+    pub bond_thickness_m: f64,
     /// Vertical-metal (TSV/TCI) area fraction of the bond. See DESIGN.md.
     pub bond_metal_fraction: f64,
     /// TIM thickness between top die / spreader and spreader / sink, m.
-    pub tim_thickness: f64,
+    pub tim_thickness_m: f64,
     /// Heat spreader side, m (Table 2: 6 cm).
-    pub spreader_side: f64,
+    pub spreader_side_m: f64,
     /// Heat spreader thickness, m (Table 2: 1 mm).
-    pub spreader_thickness: f64,
+    pub spreader_thickness_m: f64,
     /// Heatsink side, m (Table 2: 12 cm).
-    pub sink_side: f64,
+    pub sink_side_m: f64,
     /// Heatsink thickness, m (Table 2: 3 cm).
-    pub sink_thickness: f64,
+    pub sink_thickness_m: f64,
     /// Total convective fin area of the sink, m² (Table 2: 0.3024 m²).
-    pub sink_fin_area: f64,
+    pub sink_fin_area_m2: f64,
     /// Package substrate side and thickness, m.
-    pub substrate_side: f64,
+    pub substrate_side_m: f64,
     /// Package substrate thickness, m.
-    pub substrate_thickness: f64,
+    pub substrate_thickness_m: f64,
     /// Board side, m (mini-ITX-ish board).
-    pub board_side: f64,
+    pub board_side_m: f64,
     /// Board thickness, m.
-    pub board_thickness: f64,
+    pub board_thickness_m: f64,
     /// Cold-plate thickness when the pipe option replaces the sink, m.
-    pub cold_plate_thickness: f64,
+    pub cold_plate_thickness_m: f64,
 }
 
 impl Default for PackageParams {
     fn default() -> Self {
         PackageParams {
-            die_thickness: 0.15e-3,
-            bond_thickness: 20e-6,
+            die_thickness_m: 0.15e-3,
+            bond_thickness_m: 20e-6,
             bond_metal_fraction: 0.02,
-            tim_thickness: 20e-6,
-            spreader_side: 0.06,
-            spreader_thickness: 1.0e-3,
-            sink_side: 0.12,
-            sink_thickness: 0.03,
-            sink_fin_area: 0.3024,
-            substrate_side: 0.045,
-            substrate_thickness: 1.0e-3,
-            board_side: 0.17,
-            board_thickness: 1.6e-3,
-            cold_plate_thickness: 3.0e-3,
+            tim_thickness_m: 20e-6,
+            spreader_side_m: 0.06,
+            spreader_thickness_m: 1.0e-3,
+            sink_side_m: 0.12,
+            sink_thickness_m: 0.03,
+            sink_fin_area_m2: 0.3024,
+            substrate_side_m: 0.045,
+            substrate_thickness_m: 1.0e-3,
+            board_side_m: 0.17,
+            board_thickness_m: 1.6e-3,
+            cold_plate_thickness_m: 3.0e-3,
         }
     }
 }
@@ -236,21 +239,21 @@ pub enum TsvPlacement {
 /// pumped coolant flowing through etched channels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MicrochannelParams {
-    /// Convective coefficient inside the channels, W/(m²·K) — forced
-    /// single-phase water in 100 µm channels reaches 10⁴–10⁵.
-    pub h: f64,
+    /// Convective coefficient inside the channels — forced single-phase
+    /// water in 100 µm channels reaches 10⁴–10⁵ W/(m²·K).
+    pub h: HeatTransferCoeff,
     /// Fraction of the bond area occupied by channels.
     pub coverage: f64,
-    /// Coolant inlet temperature, °C.
-    pub inlet: f64,
+    /// Coolant inlet temperature.
+    pub inlet: Celsius,
 }
 
 impl Default for MicrochannelParams {
     fn default() -> Self {
         MicrochannelParams {
-            h: 20_000.0,
+            h: HeatTransferCoeff::new(20_000.0),
             coverage: 0.4,
-            inlet: 25.0,
+            inlet: Celsius::new(25.0),
         }
     }
 }
@@ -371,8 +374,8 @@ impl StackBuilder {
         let p = &self.package;
         let die_w = self.floorplan.width();
         let die_h = self.floorplan.height();
-        let cx = p.board_side / 2.0;
-        let cy = p.board_side / 2.0;
+        let cx = p.board_side_m / 2.0;
+        let cy = p.board_side_m / 2.0;
         let centered = |w: f64, h: f64| Rect::new(cx - w / 2.0, cy - h / 2.0, w, h);
         let die_ext = centered(die_w, die_h);
         let bond_mat = materials::bond_material(p.bond_metal_fraction);
@@ -384,16 +387,16 @@ impl StackBuilder {
         let board = mb.add_layer(LayerSpec::new(
             "board",
             materials::PCB,
-            p.board_thickness,
-            Rect::new(0.0, 0.0, p.board_side, p.board_side),
+            p.board_thickness_m,
+            Rect::new(0.0, 0.0, p.board_side_m, p.board_side_m),
             16,
             16,
         ));
         let _substrate = mb.add_layer(LayerSpec::new(
             "substrate",
             materials::PACKAGE_SUBSTRATE,
-            p.substrate_thickness,
-            centered(p.substrate_side, p.substrate_side),
+            p.substrate_thickness_m,
+            centered(p.substrate_side_m, p.substrate_side_m),
             12,
             12,
         ));
@@ -405,7 +408,7 @@ impl StackBuilder {
                 let mut spec = LayerSpec::new(
                     &format!("bond-{chip}"),
                     bond_mat,
-                    p.bond_thickness,
+                    p.bond_thickness_m,
                     die_ext,
                     self.grid_nx,
                     self.grid_ny,
@@ -425,9 +428,7 @@ impl StackBuilder {
                     let mut mats = Vec::new();
                     for b in self.floorplan.blocks() {
                         if blocks.iter().any(|n| n == &b.name) {
-                            pat_fp
-                                .add_block(&b.name, b.rect)
-                                .expect("pattern block within die");
+                            pat_fp.add_block(&b.name, b.rect)?;
                             mats.push(materials::bond_material(*fraction_under));
                         }
                     }
@@ -443,7 +444,7 @@ impl StackBuilder {
                         surface: Surface::Top,
                         h: mc.h,
                         area_multiplier: mc.coverage,
-                        series_resistance: 0.0,
+                        series_resistance_m2_k_per_w: 0.0,
                         ambient: mc.inlet,
                     });
                 }
@@ -451,7 +452,7 @@ impl StackBuilder {
             let li = mb.add_layer(LayerSpec::new(
                 &format!("die-{chip}"),
                 materials::SILICON,
-                p.die_thickness,
+                p.die_thickness_m,
                 die_ext,
                 self.grid_nx,
                 self.grid_ny,
@@ -463,7 +464,7 @@ impl StackBuilder {
         mb.add_layer(LayerSpec::new(
             "tim-die-spreader",
             materials::TIM,
-            p.tim_thickness,
+            p.tim_thickness_m,
             die_ext,
             self.grid_nx,
             self.grid_ny,
@@ -471,8 +472,8 @@ impl StackBuilder {
         let spreader_layer = mb.add_layer(LayerSpec::new(
             "spreader",
             materials::COPPER,
-            p.spreader_thickness,
-            centered(p.spreader_side, p.spreader_side),
+            p.spreader_thickness_m,
+            centered(p.spreader_side_m, p.spreader_side_m),
             12,
             12,
         ));
@@ -483,26 +484,26 @@ impl StackBuilder {
                 mb.add_layer(LayerSpec::new(
                     "tim-spreader-sink",
                     materials::TIM,
-                    p.tim_thickness,
-                    centered(p.spreader_side, p.spreader_side),
+                    p.tim_thickness_m,
+                    centered(p.spreader_side_m, p.spreader_side_m),
                     12,
                     12,
                 ));
                 let sink = mb.add_layer(LayerSpec::new(
                     "heatsink",
                     materials::COPPER,
-                    p.sink_thickness,
-                    centered(p.sink_side, p.sink_side),
+                    p.sink_thickness_m,
+                    centered(p.sink_side_m, p.sink_side_m),
                     12,
                     12,
                 ));
-                let base_area = p.sink_side * p.sink_side;
+                let base_area = p.sink_side_m * p.sink_side_m;
                 mb.add_convection(Convection {
                     layer: sink,
                     surface: Surface::Top,
                     h,
-                    area_multiplier: p.sink_fin_area / base_area,
-                    series_resistance: 0.0,
+                    area_multiplier: p.sink_fin_area_m2 / base_area,
+                    series_resistance_m2_k_per_w: 0.0,
                     ambient: self.cooling.ambient,
                 });
                 sink
@@ -511,16 +512,16 @@ impl StackBuilder {
                 mb.add_layer(LayerSpec::new(
                     "tim-spreader-plate",
                     materials::TIM,
-                    p.tim_thickness,
-                    centered(p.spreader_side, p.spreader_side),
+                    p.tim_thickness_m,
+                    centered(p.spreader_side_m, p.spreader_side_m),
                     12,
                     12,
                 ));
                 let plate = mb.add_layer(LayerSpec::new(
                     "cold-plate",
                     materials::COPPER,
-                    p.cold_plate_thickness,
-                    centered(p.spreader_side, p.spreader_side),
+                    p.cold_plate_thickness_m,
+                    centered(p.spreader_side_m, p.spreader_side_m),
                     12,
                     12,
                 ));
@@ -529,7 +530,7 @@ impl StackBuilder {
                     surface: Surface::Top,
                     h: effective_h,
                     area_multiplier: 1.0,
-                    series_resistance: 0.0,
+                    series_resistance_m2_k_per_w: 0.0,
                     ambient: self.cooling.ambient,
                 });
                 plate
@@ -539,16 +540,17 @@ impl StackBuilder {
         // Secondary path: the board's underside faces the coolant (or air),
         // through the parylene film when coated. The multiplier of 2 folds
         // in the board's exposed top face.
-        let film_r = self
-            .cooling
-            .film_thickness
-            .map_or(0.0, |t| t / materials::PARYLENE.conductivity);
+        let film_r = self.cooling.film_thickness_m.map_or(0.0, |t| {
+            materials::PARYLENE
+                .conductivity
+                .slab_resistance_m2_k_per_w(t)
+        });
         mb.add_convection(Convection {
             layer: board,
             surface: Surface::Bottom,
             h: self.cooling.board_h,
             area_multiplier: 2.0,
-            series_resistance: film_r,
+            series_resistance_m2_k_per_w: film_r,
             ambient: self.cooling.ambient,
         });
 

@@ -165,6 +165,7 @@ mod tests {
     use crate::floorplan::{Floorplan, Rect};
     use crate::grid::{Convection, LayerSpec, ModelBuilder, Surface};
     use crate::materials::SILICON;
+    use immersion_units::{Celsius, HeatTransferCoeff};
 
     fn model() -> ThermalModel {
         let mut fp = Floorplan::new(0.01, 0.01);
@@ -181,7 +182,12 @@ mod tests {
             8,
             8,
         ));
-        mb.add_convection(Convection::simple(l, Surface::Top, 200.0, 25.0));
+        mb.add_convection(Convection::simple(
+            l,
+            Surface::Top,
+            HeatTransferCoeff::new(200.0),
+            Celsius::new(25.0),
+        ));
         mb.add_power_floorplan(l, fp);
         mb.build().unwrap()
     }

@@ -27,15 +27,16 @@ pub struct TransientSolver<'m> {
 }
 
 impl<'m> TransientSolver<'m> {
-    /// Create an integrator with step `dt` seconds, starting from a
-    /// uniform ambient-temperature field.
-    pub fn new(model: &'m ThermalModel, dt: f64) -> Self {
-        Self::with_initial(model, dt, vec![model.mean_ambient(); model.n_nodes()])
+    /// Create an integrator with step `dt_secs` seconds, starting from
+    /// a uniform ambient-temperature field.
+    pub fn new(model: &'m ThermalModel, dt_secs: f64) -> Self {
+        Self::with_initial(model, dt_secs, vec![model.mean_ambient(); model.n_nodes()])
     }
 
     /// Create an integrator starting from an explicit temperature field
     /// (e.g. a previous steady state).
-    pub fn with_initial(model: &'m ThermalModel, dt: f64, initial: Vec<f64>) -> Self {
+    pub fn with_initial(model: &'m ThermalModel, dt_secs: f64, initial: Vec<f64>) -> Self {
+        let dt = dt_secs;
         assert!(dt > 0.0, "time step must be positive");
         assert_eq!(initial.len(), model.n_nodes());
         let n = model.n_nodes();
@@ -114,6 +115,7 @@ mod tests {
     use crate::floorplan::{Floorplan, Rect};
     use crate::grid::{Convection, LayerSpec, ModelBuilder, Surface};
     use crate::materials::SILICON;
+    use immersion_units::{Celsius, HeatTransferCoeff};
 
     fn slab() -> ThermalModel {
         let mut fp = Floorplan::new(0.01, 0.01);
@@ -128,7 +130,12 @@ mod tests {
             6,
             6,
         ));
-        mb.add_convection(Convection::simple(l, Surface::Top, 300.0, 25.0));
+        mb.add_convection(Convection::simple(
+            l,
+            Surface::Top,
+            HeatTransferCoeff::new(300.0),
+            Celsius::new(25.0),
+        ));
         mb.add_power_floorplan(l, fp);
         mb.build().unwrap()
     }

@@ -1,0 +1,338 @@
+//! Zero-cost typed physical units for the immersion-cooling stack.
+//!
+//! Every quantity that crosses a public API boundary in `thermal`,
+//! `coolant`, or `power` is either a newtype from this crate or an
+//! `f64` whose *name* carries the unit (enforced by `watercool lint`
+//! rule R2). The newtypes are `#[repr(transparent)]` wrappers around
+//! `f64` — no runtime cost — but they make a °C/K or W vs W/(m·K)
+//! mix-up a compile error instead of a silently wrong Figure.
+//!
+//! Mixing units does not compile:
+//!
+//! ```compile_fail
+//! use immersion_units::{HeatTransferCoeff, Kelvin};
+//! fn convect(h: HeatTransferCoeff) -> f64 { h.raw() }
+//! // A temperature is not a heat-transfer coefficient.
+//! convect(Kelvin::new(300.0));
+//! ```
+//!
+//! Explicit conversions are provided where they are physically
+//! meaningful (Celsius ↔ Kelvin); everything else requires going
+//! through `.raw()` on purpose.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Offset between the Celsius and Kelvin scales.
+pub const CELSIUS_OFFSET: f64 = 273.15;
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $symbol:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Wrap a raw magnitude in this unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The raw magnitude, shedding the unit on purpose.
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// Unit symbol, for printing and CSV headers.
+            pub const fn symbol() -> &'static str {
+                $symbol
+            }
+
+            /// Total order over the raw magnitude (NaN-safe; IEEE-754
+            /// `totalOrder`). Use this instead of `partial_cmp().unwrap()`.
+            pub fn total_cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// Componentwise minimum (NaN-safe via `f64::min`).
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Componentwise maximum (NaN-safe via `f64::max`).
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Absolute magnitude, keeping the unit.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// True when the magnitude is neither NaN nor infinite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Honour precision requests like `{:.2}`.
+                match f.precision() {
+                    Some(p) => write!(f, "{:.*} {}", p, self.0, $symbol),
+                    None => write!(f, "{} {}", self.0, $symbol),
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two quantities of the same unit yields a pure ratio.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl Serialize for $name {
+            fn to_value(&self) -> Value {
+                Value::F64(self.0)
+            }
+        }
+
+        impl Deserialize for $name {
+            fn from_value(v: &Value) -> Result<Self, SerdeError> {
+                f64::from_value(v).map(Self)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Absolute temperature or a temperature difference, kelvin.
+    Kelvin,
+    "K"
+);
+unit!(
+    /// Temperature on the Celsius scale, °C.
+    Celsius,
+    "°C"
+);
+unit!(
+    /// Power, watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Thermal conductivity, W/(m·K).
+    WattsPerMeterKelvin,
+    "W/(m·K)"
+);
+unit!(
+    /// Convective heat-transfer coefficient, W/(m²·K).
+    HeatTransferCoeff,
+    "W/(m²·K)"
+);
+unit!(
+    /// Volumetric heat capacity, J/(m³·K).
+    JoulesPerCubicMeterKelvin,
+    "J/(m³·K)"
+);
+unit!(
+    /// Frequency, hertz.
+    Hertz,
+    "Hz"
+);
+
+impl Celsius {
+    /// Convert to the Kelvin scale.
+    pub const fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + CELSIUS_OFFSET)
+    }
+}
+
+impl Kelvin {
+    /// Convert to the Celsius scale.
+    pub const fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - CELSIUS_OFFSET)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+impl Hertz {
+    /// Build from a magnitude in gigahertz.
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    /// The magnitude in gigahertz.
+    pub const fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl HeatTransferCoeff {
+    /// Thermal resistance of this coefficient acting over `area_m2`
+    /// square metres, K/W.
+    pub fn resistance_k_per_w(self, area_m2: f64) -> f64 {
+        1.0 / (self.0 * area_m2)
+    }
+}
+
+impl WattsPerMeterKelvin {
+    /// Series (through-thickness) areal resistance of a slab:
+    /// `thickness / k`, m²·K/W.
+    pub fn slab_resistance_m2_k_per_w(self, thickness_m: f64) -> f64 {
+        thickness_m / self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Celsius::new(80.0);
+        assert!((t.to_kelvin().raw() - 353.15).abs() < 1e-12);
+        assert!((t.to_kelvin().to_celsius().raw() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_keeps_units() {
+        let a = Watts::new(65.0);
+        let b = Watts::new(35.0);
+        assert_eq!((a + b).raw(), 100.0);
+        assert_eq!((a - b).raw(), 30.0);
+        assert_eq!((a * 2.0).raw(), 130.0);
+        assert_eq!((2.0 * b).raw(), 70.0);
+        assert!((a / b - 65.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_cmp_is_nan_safe() {
+        let mut v = [Watts::new(1.0), Watts::new(f64::NAN), Watts::new(-2.0)];
+        v.sort_by(Watts::total_cmp);
+        assert_eq!(v[0].raw(), -2.0);
+        assert_eq!(v[1].raw(), 1.0);
+        assert!(v[2].raw().is_nan());
+    }
+
+    #[test]
+    fn hertz_ghz_round_trip() {
+        let f = Hertz::from_ghz(3.6);
+        assert!((f.raw() - 3.6e9).abs() < 1.0);
+        assert!((f.as_ghz() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_symbol() {
+        assert_eq!(format!("{:.1}", Celsius::new(25.0)), "25.0 °C");
+        assert_eq!(
+            format!("{}", WattsPerMeterKelvin::new(400.0)),
+            "400 W/(m·K)"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = HeatTransferCoeff::new(800.0);
+        let v = h.to_value();
+        assert_eq!(HeatTransferCoeff::from_value(&v).unwrap().raw(), 800.0);
+    }
+
+    #[test]
+    fn convection_resistance_helper() {
+        // h = 800 W/(m²·K) over 0.01 m² → 0.125 K/W.
+        let r = HeatTransferCoeff::new(800.0).resistance_k_per_w(0.01);
+        assert!((r - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_resistance_helper() {
+        // 120 µm of parylene at 0.14 W/(m·K) → 8.57e-4 m²·K/W.
+        let r = WattsPerMeterKelvin::new(0.14).slab_resistance_m2_k_per_w(120e-6);
+        assert!((r - 120e-6 / 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_watts() {
+        let total: Watts = [10.0, 20.0, 30.0].into_iter().map(Watts::new).sum();
+        assert_eq!(total.raw(), 60.0);
+    }
+}

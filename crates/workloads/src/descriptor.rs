@@ -188,7 +188,7 @@ mod tests {
             .iter()
             .map(|b| (b.name(), b.descriptor().memory_fraction()))
             .collect();
-        by_mem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        by_mem.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top2: Vec<&str> = by_mem[..2].iter().map(|x| x.0).collect();
         assert!(top2.contains(&"CG") && top2.contains(&"IS"), "{top2:?}");
     }

@@ -82,7 +82,7 @@ fn smooth(cells: &mut [Cell], rounds: usize) {
     let mut order: Vec<u32> = (0..cells.len() as u32).collect();
     order.sort_by(|&a, &b| {
         let (ca, cb) = (&cells[a as usize], &cells[b as usize]);
-        (ca.y, ca.x).partial_cmp(&(cb.y, cb.x)).unwrap()
+        ca.y.total_cmp(&cb.y).then(ca.x.total_cmp(&cb.x))
     });
     for _ in 0..rounds {
         for pair in order.chunks_exact(2) {

@@ -12,6 +12,7 @@ use water_immersion::core_::design::CmpDesign;
 use water_immersion::core_::explorer::{frequency_vs_chips, max_frequency, solve_at};
 use water_immersion::power::chips::{high_frequency_cmp, low_power_cmp};
 use water_immersion::thermal::stack3d::CoolingParams;
+use water_immersion::thermal::units::HeatTransferCoeff;
 
 fn main() {
     // 1. Frequency vs chips (Figure 7's series, coarse grid for speed).
@@ -39,8 +40,12 @@ fn main() {
     let chip = high_frequency_cmp();
     let step = chip.vfs.max_step();
     for h in [14.0, 160.0, 800.0, 1600.0, 3200.0] {
-        let d = CmpDesign::new(chip.clone(), 4, CoolingParams::custom_immersion("h", h))
-            .with_grid(8, 8);
+        let d = CmpDesign::new(
+            chip.clone(),
+            4,
+            CoolingParams::custom_immersion("h", HeatTransferCoeff::new(h)),
+        )
+        .with_grid(8, 8);
         let model = d.thermal_model().expect("model builds");
         let t = solve_at(&d, &model, step, None).expect("solve").die_max();
         println!("  h = {h:>6.0} W/m2K -> {t:>6.1} C");

@@ -24,7 +24,7 @@ fn main() {
         chip.cores,
         chip.max_power_watts,
         chip.vfs.max_step().freq_ghz,
-        chip.temp_threshold
+        chip.temp_threshold_c
     );
     println!("stack: 4 chips, Table 2 package\n");
 

@@ -13,6 +13,7 @@ use water_immersion::thermal::floorplan::{Floorplan, Rect};
 use water_immersion::thermal::grid::{Convection, LayerSpec, ModelBuilder, Surface};
 use water_immersion::thermal::materials::SILICON;
 use water_immersion::thermal::stack3d::{CoolingParams, StackBuilder};
+use water_immersion::thermal::units::{Celsius, HeatTransferCoeff};
 
 // ---------------------------------------------------------------------------
 // Thermal invariants
@@ -33,7 +34,7 @@ proptest! {
         if let water_immersion::thermal::stack3d::PrimaryCooling::Heatsink { h: ref mut hh } =
             cooling.primary
         {
-            *hh = h;
+            *hh = HeatTransferCoeff::new(h);
         }
         let model = StackBuilder::new(fp)
             .chips(1)
@@ -135,7 +136,12 @@ proptest! {
             nx,
             ny,
         ));
-        mb.add_convection(Convection::simple(l, Surface::Top, 500.0, 25.0));
+        mb.add_convection(Convection::simple(
+            l,
+            Surface::Top,
+            HeatTransferCoeff::new(500.0),
+            Celsius::new(25.0),
+        ));
         mb.add_power_floorplan(l, fp);
         let model = mb.build().unwrap();
         let mut p = model.zero_power();
@@ -169,11 +175,11 @@ proptest! {
         let top = curve.step_for(2.0).unwrap();
         let lo = curve.step_for(f_lo * 2.0).unwrap();
         let s = power_scale(lo, top);
-        prop_assert!(s.dynamic > 0.0 && s.dynamic < 1.0);
-        prop_assert!(s.static_ > 0.0 && s.static_ < 1.0);
+        prop_assert!(s.dynamic_factor > 0.0 && s.dynamic_factor < 1.0);
+        prop_assert!(s.static_factor > 0.0 && s.static_factor < 1.0);
         // Dynamic scaling lies between linear (f) and cubic (f^3).
-        prop_assert!(s.dynamic <= f_lo + 1e-9, "dyn {} > linear {}", s.dynamic, f_lo);
-        prop_assert!(s.dynamic >= f_lo.powi(3) - 1e-9);
+        prop_assert!(s.dynamic_factor <= f_lo + 1e-9, "dyn {} > linear {}", s.dynamic_factor, f_lo);
+        prop_assert!(s.dynamic_factor >= f_lo.powi(3) - 1e-9);
     }
 
     /// Block powers are non-negative and sum to the chip total at any
@@ -357,5 +363,83 @@ proptest! {
                 min_ps
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static-analysis-era invariants (PR 2): matrix structure and units
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The assembled conductance matrix is symmetric for any stack
+    /// height, grid resolution, and convective strength: conduction and
+    /// convection both enter as symmetric two-node (or grounded) ties.
+    #[test]
+    fn conductance_matrix_is_symmetric(
+        chips in 1usize..5,
+        grid in 4usize..10,
+        h in 20.0f64..5000.0,
+    ) {
+        let fp = water_immersion::thermal::floorplan::baseline_16_tile();
+        let model = StackBuilder::new(fp)
+            .chips(chips)
+            .grid(grid, grid)
+            .cooling(CoolingParams::custom_immersion("prop", HeatTransferCoeff::new(h)))
+            .build()
+            .unwrap();
+        prop_assert!(
+            model.matrix().is_symmetric(1e-9),
+            "asymmetric conductance matrix at chips={chips} grid={grid} h={h}"
+        );
+    }
+
+    /// Heat only flows out: with non-negative power everywhere, no cell
+    /// may settle below the coolant ambient (steady-state temperature
+    /// rise is non-negative up to solver tolerance).
+    #[test]
+    fn steady_state_rise_is_non_negative(
+        powers in proptest::collection::vec(0.0f64..30.0, 16),
+        h in 50.0f64..3000.0,
+    ) {
+        let fp = water_immersion::thermal::floorplan::baseline_16_tile();
+        let model = StackBuilder::new(fp)
+            .chips(1)
+            .grid(8, 8)
+            .cooling(CoolingParams::custom_immersion("prop", HeatTransferCoeff::new(h)))
+            .build()
+            .unwrap();
+        let mut p = model.zero_power();
+        let mut i = 0;
+        p.fill_with(|_, _| {
+            let v = powers[i % powers.len()];
+            i += 1;
+            v
+        });
+        let sol = model.solve_steady(&p).unwrap();
+        let ambient = model.mean_ambient();
+        for &t in sol.temps() {
+            prop_assert!(
+                t >= ambient - 1e-6,
+                "cell at {t} C below ambient {ambient} C with non-negative power"
+            );
+        }
+    }
+
+    /// Celsius -> Kelvin -> Celsius is the identity (to rounding) over
+    /// the whole physically plausible range, and the Kelvin magnitude
+    /// is always offset by exactly 273.15.
+    #[test]
+    fn celsius_kelvin_round_trip(t in -273.15f64..2000.0) {
+        use water_immersion::thermal::units::{Kelvin, CELSIUS_OFFSET};
+        let c = Celsius::new(t);
+        let k: Kelvin = c.to_kelvin();
+        prop_assert!((k.raw() - (t + CELSIUS_OFFSET)).abs() < 1e-9);
+        let back = k.to_celsius();
+        prop_assert!((back.raw() - t).abs() < 1e-9, "{t} -> {} -> {}", k.raw(), back.raw());
+        // The From impls agree with the explicit conversions.
+        let via_from: Celsius = Kelvin::from(c).into();
+        prop_assert!((via_from.raw() - t).abs() < 1e-9);
     }
 }

@@ -61,16 +61,8 @@ fn analytical_model_ranks_benchmarks_like_the_simulator() {
         ));
     }
     // Spearman-ish: the two orderings of the extremes must agree.
-    let min_sim = sim
-        .iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-        .unwrap()
-        .1;
-    let min_pred = pred
-        .iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-        .unwrap()
-        .1;
+    let min_sim = sim.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap().1;
+    let min_pred = pred.iter().min_by(|a, b| a.0.total_cmp(&b.0)).unwrap().1;
     assert_eq!(min_sim, min_pred, "least memory-bound benchmark disagrees");
     assert_eq!(min_sim, "EP");
 }
@@ -112,7 +104,7 @@ fn sparse_cg_matches_dense_gaussian_elimination() {
         let mut rhs = b.clone();
         for col in 0..n {
             let piv = (col..n)
-                .max_by(|&p, &q| m[p][col].abs().partial_cmp(&m[q][col].abs()).unwrap())
+                .max_by(|&p, &q| m[p][col].abs().total_cmp(&m[q][col].abs()))
                 .unwrap();
             m.swap(col, piv);
             rhs.swap(col, piv);
