@@ -89,10 +89,14 @@ pub enum Command {
         /// Extra attempts after a first failure.
         retries: u32,
     },
-    /// Run the repo's static-analysis rules (R1–R5) over the workspace.
+    /// Run the repo's static-analysis rules (R1–R9) over the workspace.
     Lint {
         /// Rewrite lint.allow to the current violation counts.
         fix_allowlist: bool,
+        /// Report rendering: `text` (default), `json`, or `sarif`.
+        format: String,
+        /// Write the workspace call graph as Graphviz DOT to this path.
+        emit_callgraph: Option<String>,
     },
     /// Print usage.
     Help,
@@ -150,9 +154,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: get_or("--out", "results"),
             retries: num("--retries", "2")? as u32,
         }),
-        "lint" => Ok(Command::Lint {
-            fix_allowlist: has("--fix-allowlist"),
-        }),
+        "lint" => {
+            let format = get_or("--format", "text");
+            if !matches!(format.as_str(), "text" | "json" | "sarif") {
+                return Err(format!(
+                    "--format: expected text|json|sarif, got '{format}'"
+                ));
+            }
+            Ok(Command::Lint {
+                fix_allowlist: has("--fix-allowlist"),
+                format,
+                emit_callgraph: get("--emit-callgraph").map(str::to_string),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -168,7 +182,7 @@ pub fn usage() -> String {
        simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
        export-flp  --chip lp|hf|e5|phi\n\
        campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]\n\
-       lint        [--fix-allowlist]"
+       lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]"
         .to_string()
 }
 
@@ -199,13 +213,27 @@ pub fn cooling_by_key(key: &str) -> Result<CoolingParams, String> {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(usage()),
-        Command::Lint { fix_allowlist } => {
+        Command::Lint {
+            fix_allowlist,
+            format,
+            emit_callgraph,
+        } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             let root = immersion_lint::find_workspace_root(&cwd)
                 .ok_or("not inside a cargo workspace (no Cargo.toml with [workspace] above cwd)")?;
+            if let Some(path) = emit_callgraph {
+                let dot = immersion_lint::emit_callgraph_dot(&root)
+                    .map_err(|e| e.to_string())?
+                    .map_err(|errs| format!("call graph unavailable:\n{}", errs.join("\n")))?;
+                std::fs::write(&path, dot).map_err(|e| format!("{path}: {e}"))?;
+            }
             let report =
                 immersion_lint::lint_workspace(&root, fix_allowlist).map_err(|e| e.to_string())?;
-            let text = report.render();
+            let text = match format.as_str() {
+                "json" => immersion_lint::report::to_json(&report),
+                "sarif" => immersion_lint::report::to_sarif(&report),
+                _ => report.render(),
+            };
             if report.is_clean() {
                 Ok(text)
             } else {

@@ -34,8 +34,10 @@ pub fn cache_key(config: &Value, dep_keys: &[(String, String)]) -> String {
                 .collect(),
         ),
     );
+    // Serializing an already-constructed `Value` tree cannot fail; the
+    // fallback keeps the key deterministic even if that ever changes.
     let canonical = serde_json::to_string(&Value::Map(material))
-        .expect("canonical JSON serialization cannot fail");
+        .unwrap_or_else(|e| format!("<unserializable cache material: {e}>"));
     format!("{:016x}", fnv1a64(canonical.as_bytes()))
 }
 

@@ -28,7 +28,10 @@ impl Job {
     {
         Job {
             name: name.into(),
-            config: serde_json::to_value(config).expect("job config must serialize"),
+            // A config that refuses to serialize still gets a stable
+            // cache identity: the error message itself.
+            config: serde_json::to_value(config)
+                .unwrap_or_else(|e| Value::Str(format!("<unserializable job config: {e}>"))),
             deps: Vec::new(),
             work: Box::new(work),
         }

@@ -67,6 +67,8 @@ pub enum CampaignError {
     Cycle(Vec<String>),
     /// The cache directory could not be opened.
     Io(String),
+    /// A scheduler invariant was violated (a bug, not a user error).
+    Internal(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -80,6 +82,7 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "dependency cycle through: {}", names.join(", "))
             }
             CampaignError::Io(e) => write!(f, "cache I/O error: {e}"),
+            CampaignError::Internal(e) => write!(f, "internal scheduler error: {e}"),
         }
     }
 }
@@ -197,7 +200,11 @@ fn select(jobs: &[Job], by_name: &HashMap<&str, usize>, filter: Option<&str>) ->
             continue;
         }
         for dep in &jobs[i].deps {
-            stack.push(by_name[dep.as_str()]);
+            // Dependencies were validated before selection; unknown
+            // names simply contribute nothing here.
+            if let Some(&di) = by_name.get(dep.as_str()) {
+                stack.push(di);
+            }
         }
     }
     selected
@@ -219,7 +226,9 @@ fn check_acyclic(
     for (i, j) in jobs.iter().enumerate() {
         if selected[i] {
             for dep in &j.deps {
-                dependents[by_name[dep.as_str()]].push(i);
+                if let Some(&di) = by_name.get(dep.as_str()) {
+                    dependents[di].push(i);
+                }
             }
         }
     }
@@ -290,7 +299,9 @@ pub(crate) fn run(
         if selected[i] {
             pending[i] = j.deps.len();
             for dep in &j.deps {
-                dependents[by_name[dep.as_str()]].push(i);
+                if let Some(&di) = by_name.get(dep.as_str()) {
+                    dependents[di].push(i);
+                }
             }
         }
     }
@@ -324,7 +335,15 @@ pub(crate) fn run(
     });
 
     // --- Assemble the report.
-    let state = shared.state.into_inner().expect("scheduler state poisoned");
+    //
+    // Job panics are caught inside the workers, so a poisoned lock can
+    // only mean a scheduler bug; the state itself is still coherent
+    // (every mutation is a few atomic-in-spirit field writes), so
+    // recover it rather than cascading the panic.
+    let state = shared
+        .state
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut report = CampaignReport {
         jobs: Vec::with_capacity(n_selected),
         outputs: BTreeMap::new(),
@@ -338,9 +357,12 @@ pub(crate) fn run(
         if !sel {
             continue;
         }
-        let record = state.records[i]
-            .clone()
-            .expect("selected job left without a terminal record");
+        let Some(record) = state.records[i].clone() else {
+            return Err(CampaignError::Internal(format!(
+                "selected job `{}` finished without a terminal record",
+                jobs[i].name
+            )));
+        };
         match record.status {
             JobStatus::Completed => report.cache_misses += 1,
             JobStatus::Cached => report.cache_hits += 1,
@@ -364,10 +386,15 @@ fn worker(
     loop {
         // --- Claim a ready job (or exit when the campaign is done).
         let idx;
-        let dep_keys;
-        let ctx;
+        let resolved;
         {
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            // Job panics never poison this lock (they are caught below,
+            // outside the critical section), so recover rather than
+            // amplifying a scheduler bug into a worker crash.
+            let mut st = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             idx = loop {
                 if let Some(i) = st.ready.pop_front() {
                     break i;
@@ -375,37 +402,64 @@ fn worker(
                 if st.remaining == 0 {
                     return;
                 }
-                st = shared.wake.wait(st).expect("scheduler state poisoned");
+                st = shared
+                    .wake
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             };
             let job = &shared.jobs[idx];
-            dep_keys = job
+            // A job only becomes ready once every dependency has a
+            // terminal key and output; a gap is a scheduler bug, which
+            // we surface as a job failure instead of a panic.
+            resolved = job
                 .deps
                 .iter()
                 .map(|d| {
-                    let di = shared.jobs.iter().position(|j| &j.name == d).unwrap();
-                    (
-                        d.clone(),
-                        st.keys[di].clone().expect("dep finished without key"),
-                    )
+                    let di = shared
+                        .jobs
+                        .iter()
+                        .position(|j| &j.name == d)
+                        .ok_or_else(|| format!("dependency `{d}` is not in the job list"))?;
+                    let key = st.keys[di]
+                        .clone()
+                        .ok_or_else(|| format!("dependency `{d}` finished without a cache key"))?;
+                    let out = st.outputs[di]
+                        .clone()
+                        .ok_or_else(|| format!("dependency `{d}` finished without an output"))?;
+                    Ok((d.clone(), key, out))
                 })
-                .collect::<Vec<_>>();
-            ctx = JobCtx {
-                name: job.name.clone(),
-                dep_outputs: job
-                    .deps
-                    .iter()
-                    .map(|d| {
-                        let di = shared.jobs.iter().position(|j| &j.name == d).unwrap();
-                        (
-                            d.clone(),
-                            st.outputs[di].clone().expect("dep finished without output"),
-                        )
-                    })
-                    .collect(),
-            };
+                .collect::<Result<Vec<(String, String, Value)>, String>>();
         }
 
         let job = &shared.jobs[idx];
+        let deps = match resolved {
+            Ok(deps) => deps,
+            Err(error) => {
+                on_event(&Event::Failed {
+                    job: job.name.clone(),
+                    attempts: 0,
+                    error: error.clone(),
+                });
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    key: None,
+                    status: JobStatus::Failed,
+                    wall_ms: 0,
+                    attempts: 0,
+                    error: Some(error),
+                };
+                finish(shared, idx, record, None, on_event);
+                continue;
+            }
+        };
+        let dep_keys: Vec<(String, String)> = deps
+            .iter()
+            .map(|(d, k, _)| (d.clone(), k.clone()))
+            .collect();
+        let ctx = JobCtx {
+            name: job.name.clone(),
+            dep_outputs: deps.into_iter().map(|(d, _, o)| (d, o)).collect(),
+        };
         let key = cache_key(&job.config, &dep_keys);
 
         // --- Cache probe.
@@ -522,10 +576,14 @@ fn finish(
     output: Option<Value>,
     on_event: &(dyn Fn(&Event) + Sync),
 ) {
+    assert!(idx < shared.jobs.len());
     let succeeded = matches!(record.status, JobStatus::Completed | JobStatus::Cached);
     let mut skip_events = Vec::new();
     {
-        let mut st = shared.state.lock().expect("scheduler state poisoned");
+        let mut st = shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.keys[idx] = record.key.clone();
         st.records[idx] = Some(record);
         st.outputs[idx] = output;

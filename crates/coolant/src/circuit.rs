@@ -59,6 +59,7 @@ impl Circuit {
 
     /// Inject `watts` into node `a`.
     pub fn source(&mut self, a: usize, watts: f64) -> &mut Self {
+        assert!(a < self.sources.len());
         self.sources[a] += watts;
         self
     }

@@ -118,9 +118,11 @@ pub enum Placement {
 /// (factor ≈ 10⁴); at 150 µm slightly better than reference.
 pub fn film_acceleration(film_um: f64) -> f64 {
     assert!(film_um > 0.0, "film thickness must be positive");
-    // exp decay with 7.6 µm e-folding below the reference: 120→1,
+    // exp decay below the reference thickness: 120→1,
     // 50 µm → e^(70/7.6) ≈ 1e4, 150 µm → e^(-30/7.6) ≈ 0.02.
-    ((120.0 - film_um) / 7.6).exp()
+    const REF_FILM_UM: f64 = 120.0;
+    const EFOLD_UM: f64 = 7.6;
+    ((REF_FILM_UM - film_um) / EFOLD_UM).exp()
 }
 
 /// Water-temperature acceleration of film/component degradation:
@@ -129,7 +131,9 @@ pub fn film_acceleration(film_um: f64) -> f64 {
 /// water shortens the film's life, one more argument for siting
 /// in-water computers in cool natural water (§4.4).
 pub fn temperature_acceleration(water_celsius: f64) -> f64 {
-    2f64.powf((water_celsius - 25.0) / 10.0)
+    const REF_WATER_CELSIUS: f64 = 25.0;
+    const DOUBLING_STEP_CELSIUS: f64 = 10.0;
+    2f64.powf((water_celsius - REF_WATER_CELSIUS) / DOUBLING_STEP_CELSIUS)
 }
 
 /// One component on a configured board.

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert!(Allowlist::parse("R1 only-two-cols").is_err());
-        assert!(Allowlist::parse("R9 f.rs 1").is_err());
+        assert!(Allowlist::parse("R99 f.rs 1").is_err());
         assert!(Allowlist::parse("R1 f.rs banana").is_err());
         assert!(Allowlist::parse("R1 f.rs 0").is_err());
         assert!(Allowlist::parse("R1 f.rs 1\nR1 f.rs 2").is_err());

@@ -1,0 +1,1780 @@
+//! A lightweight recursive-descent parser over the lexer's token
+//! stream: token trees (delimiter nesting), items (functions with
+//! their signatures and visibility), blocks, and expressions (paths,
+//! calls, method calls, field access, indexing, binary operators,
+//! macros).
+//!
+//! Like the lexer, this is dependency-free by design — no syn, no
+//! proc-macro, no network. It is also deliberately *total* over the
+//! workspace: any construct it does not model parses into
+//! [`Expr::Other`] with its sub-expressions preserved, so the only
+//! hard errors are unbalanced delimiters. The parser-smoke test in
+//! `tests/` holds it to that contract for every source file in the
+//! repository, which is what lets the interprocedural rules (R6–R9)
+//! trust the call graph built on top of it.
+//!
+//! The AST is intentionally *not* a faithful precedence tree: binary
+//! operators chain right-associatively regardless of precedence. The
+//! semantic rules only ever inspect an operator together with its
+//! immediately adjacent operands (via [`leftmost`]), for which the
+//! flat chain is exact.
+
+use crate::lexer::{Token, TokenKind};
+
+// ---------------------------------------------------------------------------
+// Token trees
+// ---------------------------------------------------------------------------
+
+/// A token or a delimited group of trees (`(…)`, `[…]`, `{…}`).
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A single non-delimiter token.
+    Leaf(Token),
+    /// A delimited group; `delim` is the opening delimiter.
+    Group {
+        /// `'('`, `'['` or `'{'`.
+        delim: char,
+        /// Line of the opening delimiter.
+        line: u32,
+        /// The trees inside the delimiters.
+        trees: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// Source line this tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { line, .. } => *line,
+        }
+    }
+
+    /// Is this a punctuation leaf with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(s))
+    }
+
+    /// Is this an identifier leaf with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_ident(s))
+    }
+
+    /// Is this a group opened by `delim`?
+    pub fn is_group(&self, delim: char) -> bool {
+        matches!(self, Tree::Group { delim: d, .. } if *d == delim)
+    }
+
+    /// The identifier text, if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokenKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+}
+
+/// Nest a flat token stream into trees. The only possible failures are
+/// delimiter mismatches — everything else nests.
+pub fn build_trees(tokens: &[Token]) -> Result<Vec<Tree>, String> {
+    let mut i = 0usize;
+    let trees = build_level(tokens, &mut i, None)?;
+    if i < tokens.len() {
+        return Err(format!(
+            "line {}: unmatched closing `{}`",
+            tokens[i].line, tokens[i].text
+        ));
+    }
+    Ok(trees)
+}
+
+fn build_level(tokens: &[Token], i: &mut usize, close: Option<&str>) -> Result<Vec<Tree>, String> {
+    let mut out = Vec::new();
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => {
+                    let delim = t.text.chars().next().unwrap_or('(');
+                    let line = t.line;
+                    let expect = match delim {
+                        '(' => ")",
+                        '[' => "]",
+                        _ => "}",
+                    };
+                    *i += 1;
+                    let trees = build_level(tokens, i, Some(expect))?;
+                    if *i >= tokens.len() {
+                        return Err(format!("line {line}: unclosed `{delim}`"));
+                    }
+                    *i += 1; // consume the closer
+                    out.push(Tree::Group { delim, line, trees });
+                    continue;
+                }
+                ")" | "]" | "}" => {
+                    if close == Some(t.text.as_str()) {
+                        return Ok(out); // caller consumes the closer
+                    }
+                    if close.is_some() {
+                        return Err(format!(
+                            "line {}: mismatched `{}` (expected `{}`)",
+                            t.line,
+                            t.text,
+                            close.unwrap_or("")
+                        ));
+                    }
+                    return Ok(out); // top level: leave for build_trees to report
+                }
+                _ => {}
+            }
+        }
+        out.push(Tree::Leaf(t.clone()));
+        *i += 1;
+    }
+    if close.is_some() {
+        return Err("unexpected end of file inside a delimited group".to_string());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Items
+// ---------------------------------------------------------------------------
+
+/// Item visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` — part of the crate's public API.
+    Pub,
+    /// `pub(crate)` / `pub(in …)` — visible but not public API.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One `name: type` function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for methods; `_` patterns keep their text).
+    pub name: String,
+    /// The declared type, rendered as space-joined tokens.
+    pub ty: String,
+    /// Line of the binding.
+    pub line: u32,
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's own name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub qual: Option<String>,
+    /// Visibility.
+    pub vis: Vis,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Rendered return type (empty when the function returns `()`).
+    pub ret_ty: String,
+    /// The body, when the function has one (trait methods may not).
+    pub body: Option<Vec<Stmt>>,
+}
+
+impl FnDef {
+    /// `Type::name` when inside an impl/trait, else just `name`.
+    pub fn qual_name(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything the semantic pass needs from one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every function definition, including impl/trait methods and
+    /// functions nested in `mod` blocks.
+    pub fns: Vec<FnDef>,
+}
+
+/// Parse a whole file's token stream into its function definitions.
+pub fn parse_file(tokens: &[Token]) -> Result<ParsedFile, String> {
+    let trees = build_trees(tokens)?;
+    let mut file = ParsedFile::default();
+    parse_items(&trees, None, &mut file.fns);
+    Ok(file)
+}
+
+/// Scan one level of trees for items, recursing into `mod`, `impl` and
+/// `trait` bodies.
+fn parse_items(trees: &[Tree], qual: Option<&str>, out: &mut Vec<FnDef>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Attributes: `#[…]` / `#![…]`.
+        if trees[i].is_punct("#") {
+            i += 1;
+            if i < trees.len() && trees[i].is_punct("!") {
+                i += 1;
+            }
+            if i < trees.len() && trees[i].is_group('[') {
+                i += 1;
+            }
+            continue;
+        }
+        // Visibility.
+        let mut vis = Vis::Private;
+        if trees[i].is_ident("pub") {
+            vis = Vis::Pub;
+            i += 1;
+            if i < trees.len() && trees[i].is_group('(') {
+                vis = Vis::Restricted;
+                i += 1;
+            }
+        }
+        // Function modifiers before `fn`.
+        while i < trees.len()
+            && (trees[i].is_ident("const")
+                || trees[i].is_ident("async")
+                || trees[i].is_ident("unsafe")
+                || trees[i].is_ident("extern")
+                || matches!(&trees[i], Tree::Leaf(t) if t.kind == TokenKind::Str))
+        {
+            // `const NAME: …` is an item, not a modifier: only treat
+            // `const` as a modifier when `fn` follows the modifier run.
+            if trees[i].is_ident("const")
+                && !trees[i + 1..]
+                    .iter()
+                    .take(3)
+                    .any(|t| t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern"))
+            {
+                break;
+            }
+            i += 1;
+        }
+        let Some(word) = trees.get(i).and_then(Tree::ident) else {
+            i += 1;
+            continue;
+        };
+        match word {
+            "fn" => {
+                if let Some((def, next)) = parse_fn(trees, i, vis, qual) {
+                    out.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => {
+                let (ty, body) = impl_header(&trees[i + 1..]);
+                if let Some(body) = body {
+                    parse_items(body, ty.as_deref(), out);
+                }
+                i = skip_to_body_or_semi(trees, i + 1);
+            }
+            "trait" => {
+                let ty = trees.get(i + 1).and_then(Tree::ident).map(str::to_string);
+                let body_at = skip_to_body_or_semi(trees, i + 1);
+                if let Some(Tree::Group { trees: body, .. }) = trees.get(body_at - 1) {
+                    parse_items(body, ty.as_deref(), out);
+                }
+                i = body_at;
+            }
+            "mod" => {
+                let body_at = skip_to_body_or_semi(trees, i + 1);
+                if let Some(Tree::Group {
+                    delim: '{',
+                    trees: body,
+                    ..
+                }) = trees.get(body_at - 1)
+                {
+                    parse_items(body, None, out);
+                }
+                i = body_at;
+            }
+            "macro_rules" => {
+                // `macro_rules! name { … }`.
+                i = skip_to_body_or_semi(trees, i + 1);
+            }
+            _ => {
+                // use / const / static / type / struct / enum / extern
+                // blocks — skip to the terminating `;` or body group.
+                i = skip_to_body_or_semi(trees, i + 1);
+            }
+        }
+    }
+}
+
+/// Advance past the next top-level `;` or `{…}` group, whichever comes
+/// first, returning the index just after it.
+fn skip_to_body_or_semi(trees: &[Tree], mut i: usize) -> usize {
+    while i < trees.len() {
+        if trees[i].is_punct(";") || trees[i].is_group('{') {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// From the trees after the `impl` keyword, extract the implementing
+/// type name and the body group: `impl<T> Foo<T> { … }` → `Foo`,
+/// `impl Display for Bar { … }` → `Bar`.
+fn impl_header(trees: &[Tree]) -> (Option<String>, Option<&[Tree]>) {
+    let mut depth = 0i32;
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) if tok.kind == TokenKind::Punct => match tok.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            },
+            Tree::Leaf(tok) if tok.kind == TokenKind::Ident && depth == 0 => {
+                if tok.text == "for" {
+                    saw_for = true;
+                } else if tok.text == "where" {
+                    break;
+                } else if saw_for {
+                    if after_for.is_none()
+                        && tok.text != "mut"
+                        && tok.text != "dyn"
+                        && tok.text != "crate"
+                    {
+                        after_for = Some(tok.text.clone());
+                    }
+                } else if first_ident.is_none() {
+                    first_ident = Some(tok.text.clone());
+                }
+            }
+            Tree::Group {
+                delim: '{', trees, ..
+            } => {
+                return (after_for.or(first_ident), Some(trees));
+            }
+            _ => {}
+        }
+    }
+    (after_for.or(first_ident), None)
+}
+
+/// Parse `fn name<…>(params) -> Ret where … { body }` starting at the
+/// `fn` keyword. Returns the definition and the index just past it.
+fn parse_fn(trees: &[Tree], at: usize, vis: Vis, qual: Option<&str>) -> Option<(FnDef, usize)> {
+    let line = trees[at].line();
+    let mut i = at + 1;
+    let name = trees.get(i).and_then(Tree::ident)?.to_string();
+    i += 1;
+    // Generic parameter list: balanced angle leaves (groups inside,
+    // e.g. `Fn(i32) -> i32` bounds, are whole trees and skip freely).
+    if trees.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while i < trees.len() {
+            if let Tree::Leaf(tok) = &trees[i] {
+                match tok.text.as_str() {
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    let params = match trees.get(i) {
+        Some(Tree::Group {
+            delim: '(',
+            trees: p,
+            ..
+        }) => {
+            i += 1;
+            parse_params(p)
+        }
+        _ => return None,
+    };
+    // Return type: trees between `->` and the body/`;`/`where`.
+    let mut ret_ty = String::new();
+    if trees.get(i).is_some_and(|t| t.is_punct("->")) {
+        i += 1;
+        let start = i;
+        while i < trees.len()
+            && !trees[i].is_group('{')
+            && !trees[i].is_punct(";")
+            && !trees[i].is_ident("where")
+        {
+            i += 1;
+        }
+        ret_ty = render(&trees[start..i]);
+    }
+    // Where clause.
+    if trees.get(i).is_some_and(|t| t.is_ident("where")) {
+        while i < trees.len() && !trees[i].is_group('{') && !trees[i].is_punct(";") {
+            i += 1;
+        }
+    }
+    let body = match trees.get(i) {
+        Some(Tree::Group {
+            delim: '{',
+            trees: b,
+            ..
+        }) => {
+            i += 1;
+            Some(parse_block(b))
+        }
+        Some(t) if t.is_punct(";") => {
+            i += 1;
+            None
+        }
+        _ => None,
+    };
+    Some((
+        FnDef {
+            name,
+            qual: qual.map(str::to_string),
+            vis,
+            line,
+            params,
+            ret_ty,
+            body,
+        },
+        i,
+    ))
+}
+
+/// Split a parameter group on top-level commas and parse each
+/// `pattern: type` pair.
+fn parse_params(trees: &[Tree]) -> Vec<Param> {
+    let mut out = Vec::new();
+    for part in split_on_comma(trees) {
+        if part.is_empty() {
+            continue;
+        }
+        let colon = part.iter().position(|t| t.is_punct(":"));
+        match colon {
+            Some(c) => {
+                // Last plain identifier before the colon is the binding.
+                let name = part[..c]
+                    .iter()
+                    .rev()
+                    .find_map(Tree::ident)
+                    .filter(|n| *n != "mut" && *n != "ref")
+                    .unwrap_or("_")
+                    .to_string();
+                out.push(Param {
+                    name,
+                    ty: render(&part[c + 1..]),
+                    line: part[0].line(),
+                });
+            }
+            None => {
+                // `self` / `&mut self` / `&'a self`.
+                if part.iter().any(|t| t.is_ident("self")) {
+                    out.push(Param {
+                        name: "self".to_string(),
+                        ty: "Self".to_string(),
+                        line: part[0].line(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render trees back to compact text (types, diagnostics).
+pub fn render(trees: &[Tree]) -> String {
+    let mut out = String::new();
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => {
+                if !out.is_empty() && needs_space(&out, &tok.text) {
+                    out.push(' ');
+                }
+                match tok.kind {
+                    TokenKind::Str => {
+                        out.push('"');
+                        out.push_str(&tok.text);
+                        out.push('"');
+                    }
+                    TokenKind::Lifetime => {
+                        out.push('\'');
+                        out.push_str(&tok.text);
+                    }
+                    _ => out.push_str(&tok.text),
+                }
+            }
+            Tree::Group { delim, trees, .. } => {
+                let (open, close) = match delim {
+                    '(' => ('(', ')'),
+                    '[' => ('[', ']'),
+                    _ => ('{', '}'),
+                };
+                out.push(open);
+                out.push_str(&render(trees));
+                out.push(close);
+            }
+        }
+    }
+    out
+}
+
+/// Would omitting a space glue two word-like tokens together?
+fn needs_space(left: &str, right: &str) -> bool {
+    let l = left
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let r = right
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    l && r
+}
+
+/// Split one tree level on top-level commas.
+pub fn split_on_comma(trees: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in trees.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&trees[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < trees.len() {
+        out.push(&trees[start..]);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Statements and expressions
+// ---------------------------------------------------------------------------
+
+/// One statement in a block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let <pattern> = <init>;` — all pattern binding names captured.
+    Let {
+        /// Every identifier bound by the pattern.
+        names: Vec<String>,
+        /// The initializer, when present.
+        init: Option<Expr>,
+        /// Line of the `let`.
+        line: u32,
+    },
+    /// An expression statement (with or without `;`).
+    Expr(Expr),
+}
+
+/// A lightweight expression. Constructs the rules do not model parse
+/// into [`Expr::Other`] with their sub-expressions preserved, so
+/// visitors still see every call underneath.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// `a::b::c` (one segment for plain identifiers).
+    Path {
+        /// The `::`-separated segments.
+        segs: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// A literal token (number, string, char).
+    Lit {
+        /// Literal kind from the lexer.
+        kind: TokenKind,
+        /// Literal text.
+        text: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `f(args…)` — `func` is usually a [`Expr::Path`].
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `recv.name(args…)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `base.name` (also tuple indices: `t.0`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `base[index]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Subscript expression.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `lhs op rhs` — right-associative chain, not a precedence tree.
+    Binary {
+        /// Operator text (`+`, `==`, `..`, …).
+        op: String,
+        /// Left operand (always the operand adjacent to `op`).
+        lhs: Box<Expr>,
+        /// Right operand chain.
+        rhs: Box<Expr>,
+        /// Source line of the operator.
+        line: u32,
+    },
+    /// `name!(…)` — arguments parsed best-effort as expressions.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Best-effort parsed arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `{ … }`.
+    Block {
+        /// The statements.
+        stmts: Vec<Stmt>,
+        /// Line of the opening brace.
+        line: u32,
+    },
+    /// `for <vars> in <iter> <body>` — vars captured for guard
+    /// analysis.
+    ForLoop {
+        /// Identifiers bound by the loop pattern.
+        vars: Vec<String>,
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Anything else (if/match/closures/struct literals/…), with all
+    /// recognizable sub-expressions as children.
+    Other {
+        /// Sub-expressions found inside the construct.
+        children: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// Source line of the expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Method { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::ForLoop { line, .. }
+            | Expr::Other { line, .. } => *line,
+        }
+    }
+}
+
+/// The operand textually adjacent to the *right* of a binary operator
+/// in the flat chain: the leftmost primary of the right subtree.
+pub fn leftmost(e: &Expr) -> &Expr {
+    match e {
+        Expr::Binary { lhs, .. } => leftmost(lhs),
+        other => other,
+    }
+}
+
+/// Parse the trees of a `{ … }` group into statements.
+pub fn parse_block(trees: &[Tree]) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Attributes on statements.
+        if trees[i].is_punct("#") {
+            i += 1;
+            if i < trees.len() && trees[i].is_punct("!") {
+                i += 1;
+            }
+            if i < trees.len() && trees[i].is_group('[') {
+                i += 1;
+            }
+            continue;
+        }
+        if trees[i].is_punct(";") {
+            i += 1;
+            continue;
+        }
+        // Nested items inside a body: skip their headers, but still
+        // surface nested fn bodies as block statements so calls inside
+        // them are visible.
+        if let Some(word) = trees[i].ident() {
+            if matches!(
+                word,
+                "use" | "struct" | "enum" | "type" | "trait" | "impl" | "mod"
+            ) {
+                i = skip_to_body_or_semi(trees, i + 1);
+                continue;
+            }
+            if word == "let" {
+                let (stmt, next) = parse_let(trees, i);
+                stmts.push(stmt);
+                i = next;
+                continue;
+            }
+        }
+        let (expr, next) = parse_expr(trees, i, false);
+        stmts.push(Stmt::Expr(expr));
+        i = next.max(i + 1);
+    }
+    stmts
+}
+
+/// Parse `let <pattern> (= <init>)? (else { … })? ;` starting at `let`.
+fn parse_let(trees: &[Tree], at: usize) -> (Stmt, usize) {
+    let line = trees[at].line();
+    let mut i = at + 1;
+    let pat_start = i;
+    while i < trees.len() && !trees[i].is_punct("=") && !trees[i].is_punct(";") {
+        i += 1;
+    }
+    let names = pattern_names(&trees[pat_start..i]);
+    let mut init = None;
+    if i < trees.len() && trees[i].is_punct("=") {
+        i += 1;
+        let (expr, next) = parse_expr(trees, i, false);
+        init = Some(expr);
+        i = next;
+    }
+    // let-else and any stragglers: consume to the `;`.
+    while i < trees.len() && !trees[i].is_punct(";") {
+        i += 1;
+    }
+    (Stmt::Let { names, init, line }, i.min(trees.len()))
+}
+
+/// All identifiers bound by a pattern, excluding keywords, type names
+/// in paths (`Some(x)` binds `x`, not `Some`) and the type annotation
+/// after a top-level `:`.
+fn pattern_names(trees: &[Tree]) -> Vec<String> {
+    let ty_split = trees.iter().position(|t| t.is_punct(":"));
+    let pat = &trees[..ty_split.unwrap_or(trees.len())];
+    let mut names = Vec::new();
+    collect_pattern_names(pat, &mut names);
+    names
+}
+
+fn collect_pattern_names(trees: &[Tree], names: &mut Vec<String>) {
+    for (i, t) in trees.iter().enumerate() {
+        match t {
+            Tree::Leaf(tok) if tok.kind == TokenKind::Ident => {
+                let s = tok.text.as_str();
+                if matches!(s, "mut" | "ref" | "box" | "_") {
+                    continue;
+                }
+                // Skip path prefixes (`Some` in `Some(x)`, `E` in
+                // `E::V`): an ident directly followed by `::` or a
+                // group is a constructor, not a binding.
+                let next = trees.get(i + 1);
+                let is_ctor =
+                    next.is_some_and(|n| n.is_punct("::") || n.is_group('(') || n.is_group('{'));
+                let after_path = i > 0 && trees[i - 1].is_punct("::");
+                if !is_ctor && !after_path {
+                    names.push(tok.text.clone());
+                }
+            }
+            Tree::Group { trees, .. } => collect_pattern_names(trees, names),
+            _ => {}
+        }
+    }
+}
+
+/// Binary operators the expression parser chains on.
+const BINARY_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=", "&&", "||", "&", "|", "^", "<<",
+    ">>", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "..", "..=",
+];
+
+/// Keywords that start a construct `parse_expr` models explicitly or
+/// wraps into `Other`.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "for"
+            | "while"
+            | "loop"
+            | "unsafe"
+            | "return"
+            | "break"
+            | "continue"
+            | "move"
+            | "async"
+            | "await"
+            | "let"
+    )
+}
+
+/// Parse one expression starting at `trees[i]`; returns the expression
+/// and the index just past it. `no_struct` disables struct-literal
+/// parsing (condition/iterator position, as in Rust itself).
+pub fn parse_expr(trees: &[Tree], i: usize, no_struct: bool) -> (Expr, usize) {
+    let (mut lhs, mut i) = parse_prefix(trees, i, no_struct);
+    // Binary chain, right-associative.
+    while i < trees.len() {
+        // `as` cast: swallow the type and keep chaining.
+        if trees[i].is_ident("as") {
+            i = skip_type(trees, i + 1);
+            continue;
+        }
+        let Some(op) = binary_op_at(trees, i) else {
+            break;
+        };
+        let line = trees[i].line();
+        let next = i + 1;
+        // Range with no right operand (`a..`): end of chain.
+        if (op == ".." || op == "..=") && range_has_no_rhs(trees, next) {
+            lhs = Expr::Binary {
+                op: op.to_string(),
+                lhs: Box::new(lhs),
+                rhs: Box::new(Expr::Other {
+                    children: Vec::new(),
+                    line,
+                }),
+                line,
+            };
+            i = next;
+            break;
+        }
+        let (rhs, after) = parse_expr(trees, next, no_struct);
+        lhs = Expr::Binary {
+            op: op.to_string(),
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            line,
+        };
+        i = after;
+        break; // rhs consumed the rest of the chain
+    }
+    (lhs, i)
+}
+
+/// The binary operator at `trees[i]`, if the position can continue an
+/// expression.
+fn binary_op_at(trees: &[Tree], i: usize) -> Option<&'static str> {
+    let Tree::Leaf(tok) = &trees[i] else {
+        return None;
+    };
+    if tok.kind != TokenKind::Punct {
+        return None;
+    }
+    BINARY_OPS.iter().find(|op| **op == tok.text).copied()
+}
+
+/// After `a..`, is there genuinely no right operand?
+fn range_has_no_rhs(trees: &[Tree], i: usize) -> bool {
+    match trees.get(i) {
+        None => true,
+        Some(t) => t.is_punct(",") || t.is_punct(";") || t.is_group('{'),
+    }
+}
+
+/// Skip a type after `as` / in a turbofish: path segments, balanced
+/// angles, references, and grouped types.
+fn skip_type(trees: &[Tree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(tok) => match tok.kind {
+                TokenKind::Ident => {
+                    if angle == 0 && is_expr_keyword(&tok.text) {
+                        return i;
+                    }
+                }
+                TokenKind::Lifetime => {}
+                TokenKind::Punct => match tok.text.as_str() {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "::" | "&" | "*" | "'" => {}
+                    "->" if angle > 0 => {}
+                    _ if angle > 0 => {}
+                    _ => return i,
+                },
+                _ => return i,
+            },
+            Tree::Group { .. } if angle > 0 => {}
+            Tree::Group { delim: '(', .. } | Tree::Group { delim: '[', .. } => {
+                // Tuple/array type: part of the type only if we have
+                // consumed nothing yet (e.g. `as (u8, u8)` — rare).
+                return i + 1;
+            }
+            Tree::Group { .. } => return i,
+        }
+        i += 1;
+        if angle <= 0 && i < trees.len() {
+            // A type ends when the next token cannot extend it.
+            if let Tree::Leaf(tok) = &trees[i] {
+                if tok.kind == TokenKind::Punct
+                    && !matches!(tok.text.as_str(), "::" | "<" | "&" | "*")
+                {
+                    return i;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse a prefix/primary expression plus its postfix operators.
+fn parse_prefix(trees: &[Tree], i: usize, no_struct: bool) -> (Expr, usize) {
+    let Some(t) = trees.get(i) else {
+        return (
+            Expr::Other {
+                children: Vec::new(),
+                line: 0,
+            },
+            i,
+        );
+    };
+    let line = t.line();
+    // Unary operators.
+    if t.is_punct("&") || t.is_punct("*") || t.is_punct("!") || t.is_punct("-") || t.is_punct("&&")
+    {
+        let mut j = i + 1;
+        while j < trees.len() && (trees[j].is_ident("mut") || trees[j].is_ident("dyn")) {
+            j += 1;
+        }
+        let (inner, next) = parse_prefix(trees, j, no_struct);
+        return (
+            Expr::Other {
+                children: vec![inner],
+                line,
+            },
+            next,
+        );
+    }
+    // Prefix range.
+    if t.is_punct("..") || t.is_punct("..=") {
+        if range_has_no_rhs(trees, i + 1) {
+            return (
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                },
+                i + 1,
+            );
+        }
+        let (inner, next) = parse_expr(trees, i + 1, no_struct);
+        return (
+            Expr::Other {
+                children: vec![inner],
+                line,
+            },
+            next,
+        );
+    }
+    // Closures.
+    if t.is_punct("|") || t.is_punct("||") {
+        return parse_closure(trees, i, no_struct);
+    }
+    // Loop labels: `'outer: loop { … }`.
+    if matches!(t, Tree::Leaf(tok) if tok.kind == TokenKind::Lifetime) {
+        let mut j = i + 1;
+        if trees.get(j).is_some_and(|t| t.is_punct(":")) {
+            j += 1;
+        }
+        return parse_prefix(trees, j, no_struct);
+    }
+    let (primary, next) = parse_primary(trees, i, no_struct);
+    parse_postfix(trees, primary, next, no_struct)
+}
+
+/// `|a, b| body` / `move |…| body` / `|| body`.
+fn parse_closure(trees: &[Tree], i: usize, no_struct: bool) -> (Expr, usize) {
+    let line = trees[i].line();
+    let mut j = i;
+    if trees[j].is_punct("||") {
+        j += 1;
+    } else {
+        // Skip to the closing `|` at this level.
+        j += 1;
+        while j < trees.len() && !trees[j].is_punct("|") {
+            j += 1;
+        }
+        j += 1;
+    }
+    // Optional return type.
+    if trees.get(j).is_some_and(|t| t.is_punct("->")) {
+        j = skip_type(trees, j + 1);
+        // Closure with declared return type must have a block body.
+    }
+    let (body, next) = parse_expr(trees, j, no_struct);
+    (
+        Expr::Other {
+            children: vec![body],
+            line,
+        },
+        next,
+    )
+}
+
+/// Primary expressions: literals, paths (with struct literals and
+/// macros), groups, keyword constructs.
+fn parse_primary(trees: &[Tree], i: usize, no_struct: bool) -> (Expr, usize) {
+    let t = &trees[i];
+    let line = t.line();
+    match t {
+        Tree::Leaf(tok) => match tok.kind {
+            TokenKind::Number | TokenKind::Str | TokenKind::Char => (
+                Expr::Lit {
+                    kind: tok.kind,
+                    text: tok.text.clone(),
+                    line,
+                },
+                i + 1,
+            ),
+            TokenKind::Ident if is_expr_keyword(&tok.text) => {
+                parse_keyword_expr(trees, i, &tok.text)
+            }
+            TokenKind::Ident => parse_path_expr(trees, i, no_struct),
+            _ => (
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                },
+                i + 1,
+            ),
+        },
+        Tree::Group {
+            delim,
+            trees: inner,
+            ..
+        } => {
+            let children = match delim {
+                '{' => {
+                    return (
+                        Expr::Block {
+                            stmts: parse_block(inner),
+                            line,
+                        },
+                        i + 1,
+                    )
+                }
+                _ => split_on_comma(inner)
+                    .into_iter()
+                    .filter(|part| !part.is_empty())
+                    .map(|part| parse_expr(part, 0, false).0)
+                    .collect::<Vec<_>>(),
+            };
+            if *delim == '(' && children.len() == 1 {
+                let mut children = children;
+                (children.remove(0), i + 1)
+            } else {
+                (Expr::Other { children, line }, i + 1)
+            }
+        }
+    }
+}
+
+/// `if`, `match`, `for`, `while`, `loop`, `unsafe`, `return`, `break`,
+/// `continue`, `move`, `async`.
+fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
+    let line = trees[i].line();
+    match word {
+        "if" => {
+            let mut j = i + 1;
+            let mut children = Vec::new();
+            // `if let pat = expr` — skip the pattern to the `=`.
+            if trees.get(j).is_some_and(|t| t.is_ident("let")) {
+                while j < trees.len() && !trees[j].is_punct("=") && !trees[j].is_group('{') {
+                    j += 1;
+                }
+                if trees.get(j).is_some_and(|t| t.is_punct("=")) {
+                    j += 1;
+                }
+            }
+            let (cond, next) = parse_expr(trees, j, true);
+            children.push(cond);
+            j = next;
+            if let Some(Tree::Group {
+                delim: '{',
+                trees: body,
+                ..
+            }) = trees.get(j)
+            {
+                children.push(Expr::Block {
+                    stmts: parse_block(body),
+                    line,
+                });
+                j += 1;
+            }
+            while trees.get(j).is_some_and(|t| t.is_ident("else")) {
+                j += 1;
+                if trees.get(j).is_some_and(|t| t.is_ident("if")) {
+                    let (elif, next) = parse_keyword_expr(trees, j, "if");
+                    children.push(elif);
+                    j = next;
+                } else if let Some(Tree::Group {
+                    delim: '{',
+                    trees: body,
+                    ..
+                }) = trees.get(j)
+                {
+                    children.push(Expr::Block {
+                        stmts: parse_block(body),
+                        line,
+                    });
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            (Expr::Other { children, line }, j)
+        }
+        "match" => {
+            let (scrut, mut j) = parse_expr(trees, i + 1, true);
+            let mut children = vec![scrut];
+            if let Some(Tree::Group {
+                delim: '{',
+                trees: arms,
+                ..
+            }) = trees.get(j)
+            {
+                children.extend(parse_match_arms(arms));
+                j += 1;
+            }
+            (Expr::Other { children, line }, j)
+        }
+        "for" => {
+            let mut j = i + 1;
+            let pat_start = j;
+            while j < trees.len() && !trees[j].is_ident("in") {
+                j += 1;
+            }
+            let vars = {
+                let mut names = Vec::new();
+                collect_pattern_names(&trees[pat_start..j.min(trees.len())], &mut names);
+                names
+            };
+            j += 1; // past `in`
+            let (iter, next) = parse_expr(trees, j, true);
+            j = next;
+            let body = if let Some(Tree::Group {
+                delim: '{',
+                trees: b,
+                ..
+            }) = trees.get(j)
+            {
+                j += 1;
+                Expr::Block {
+                    stmts: parse_block(b),
+                    line,
+                }
+            } else {
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                }
+            };
+            (
+                Expr::ForLoop {
+                    vars,
+                    iter: Box::new(iter),
+                    body: Box::new(body),
+                    line,
+                },
+                j,
+            )
+        }
+        "while" => {
+            let mut j = i + 1;
+            let mut children = Vec::new();
+            if trees.get(j).is_some_and(|t| t.is_ident("let")) {
+                while j < trees.len() && !trees[j].is_punct("=") && !trees[j].is_group('{') {
+                    j += 1;
+                }
+                if trees.get(j).is_some_and(|t| t.is_punct("=")) {
+                    j += 1;
+                }
+            }
+            let (cond, next) = parse_expr(trees, j, true);
+            children.push(cond);
+            j = next;
+            if let Some(Tree::Group {
+                delim: '{',
+                trees: b,
+                ..
+            }) = trees.get(j)
+            {
+                children.push(Expr::Block {
+                    stmts: parse_block(b),
+                    line,
+                });
+                j += 1;
+            }
+            (Expr::Other { children, line }, j)
+        }
+        "loop" | "unsafe" | "async" | "move" => {
+            let mut j = i + 1;
+            // `move |…|` closure.
+            if trees
+                .get(j)
+                .is_some_and(|t| t.is_punct("|") || t.is_punct("||"))
+            {
+                return parse_closure(trees, j, false);
+            }
+            let mut children = Vec::new();
+            if let Some(Tree::Group {
+                delim: '{',
+                trees: b,
+                ..
+            }) = trees.get(j)
+            {
+                children.push(Expr::Block {
+                    stmts: parse_block(b),
+                    line,
+                });
+                j += 1;
+            }
+            (Expr::Other { children, line }, j)
+        }
+        "return" | "break" | "continue" => {
+            let j = i + 1;
+            let done = match trees.get(j) {
+                None => true,
+                Some(t) => t.is_punct(";") || t.is_punct(",") || t.is_group('{'),
+            };
+            if done || word == "continue" {
+                return (
+                    Expr::Other {
+                        children: Vec::new(),
+                        line,
+                    },
+                    j,
+                );
+            }
+            let (inner, next) = parse_expr(trees, j, false);
+            (
+                Expr::Other {
+                    children: vec![inner],
+                    line,
+                },
+                next,
+            )
+        }
+        // `let` in expression position (let-chains) — skip pattern.
+        "let" => {
+            let mut j = i + 1;
+            while j < trees.len() && !trees[j].is_punct("=") && !trees[j].is_group('{') {
+                j += 1;
+            }
+            if trees.get(j).is_some_and(|t| t.is_punct("=")) {
+                let (inner, next) = parse_expr(trees, j + 1, true);
+                return (
+                    Expr::Other {
+                        children: vec![inner],
+                        line,
+                    },
+                    next,
+                );
+            }
+            (
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                },
+                j,
+            )
+        }
+        // `else`/`await` reached directly: consume defensively.
+        _ => (
+            Expr::Other {
+                children: Vec::new(),
+                line,
+            },
+            i + 1,
+        ),
+    }
+}
+
+/// Parse the bodies of match arms: everything after each top-level
+/// `=>` up to the arm-separating comma.
+fn parse_match_arms(trees: &[Tree]) -> Vec<Expr> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Skip the pattern (and any `if` guard) to the `=>`.
+        let mut guard: Option<Expr> = None;
+        while i < trees.len() && !trees[i].is_punct("=>") {
+            if trees[i].is_ident("if") {
+                let (g, next) = parse_expr(trees, i + 1, true);
+                guard = Some(g);
+                i = next;
+                continue;
+            }
+            i += 1;
+        }
+        if i >= trees.len() {
+            break;
+        }
+        i += 1; // past `=>`
+        if let Some(g) = guard {
+            out.push(g);
+        }
+        if i < trees.len() {
+            let (body, next) = parse_expr(trees, i, false);
+            out.push(body);
+            i = next.max(i + 1);
+        }
+        // Arm separator.
+        if i < trees.len() && trees[i].is_punct(",") {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Paths with optional turbofish, struct literals and macro calls.
+fn parse_path_expr(trees: &[Tree], i: usize, no_struct: bool) -> (Expr, usize) {
+    let line = trees[i].line();
+    let mut segs = Vec::new();
+    let mut j = i;
+    while j < trees.len() {
+        let Some(name) = trees[j].ident() else { break };
+        segs.push(name.to_string());
+        j += 1;
+        if trees.get(j).is_some_and(|t| t.is_punct("::")) {
+            j += 1;
+            // Turbofish `::<…>`.
+            if trees.get(j).is_some_and(|t| t.is_punct("<")) {
+                j = skip_angles(trees, j);
+                if trees.get(j).is_some_and(|t| t.is_punct("::")) {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            continue;
+        }
+        break;
+    }
+    if segs.is_empty() {
+        return (
+            Expr::Other {
+                children: Vec::new(),
+                line,
+            },
+            i + 1,
+        );
+    }
+    // Macro call: `name!(…)` / `name![…]` / `name!{…}`.
+    if trees.get(j).is_some_and(|t| t.is_punct("!")) {
+        if let Some(Tree::Group { trees: inner, .. }) = trees.get(j + 1) {
+            let args = split_on_comma(inner)
+                .into_iter()
+                .filter(|part| !part.is_empty())
+                .map(|part| parse_expr(part, 0, false).0)
+                .collect();
+            let name = segs.last().cloned().unwrap_or_default();
+            return (Expr::Macro { name, args, line }, j + 2);
+        }
+    }
+    // Struct literal: `Path { … }` when allowed and the path looks like
+    // a type (capitalized last segment or `Self`).
+    if !no_struct {
+        let looks_type = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(|c| c.is_ascii_uppercase());
+        if looks_type {
+            if let Some(Tree::Group {
+                delim: '{',
+                trees: inner,
+                ..
+            }) = trees.get(j)
+            {
+                let children = struct_literal_fields(inner);
+                return (Expr::Other { children, line }, j + 1);
+            }
+        }
+    }
+    (Expr::Path { segs, line }, j)
+}
+
+/// Field initializers of a struct literal: the expression after each
+/// top-level `name:`, plus any `..base` expression.
+fn struct_literal_fields(trees: &[Tree]) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for part in split_on_comma(trees) {
+        if part.is_empty() {
+            continue;
+        }
+        if part[0].is_punct("..") {
+            out.push(parse_expr(part, 1, false).0);
+            continue;
+        }
+        match part.iter().position(|t| t.is_punct(":")) {
+            Some(c) if c + 1 < part.len() => out.push(parse_expr(part, c + 1, false).0),
+            _ => out.push(parse_expr(part, 0, false).0),
+        }
+    }
+    out
+}
+
+/// Skip a balanced `<…>` starting at the `<`.
+fn skip_angles(trees: &[Tree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < trees.len() {
+        if let Tree::Leaf(tok) = &trees[i] {
+            match tok.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        i += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    i
+}
+
+/// Postfix operators: field access, method calls, calls, indexing, `?`.
+fn parse_postfix(trees: &[Tree], mut expr: Expr, mut i: usize, no_struct: bool) -> (Expr, usize) {
+    loop {
+        match trees.get(i) {
+            Some(t) if t.is_punct(".") => {
+                let line = t.line();
+                i += 1;
+                let Some(next) = trees.get(i) else { break };
+                match next {
+                    Tree::Leaf(tok)
+                        if tok.kind == TokenKind::Ident || tok.kind == TokenKind::Number =>
+                    {
+                        let name = tok.text.clone();
+                        i += 1;
+                        // Turbofish between name and args.
+                        if trees.get(i).is_some_and(|t| t.is_punct("::")) {
+                            i += 1;
+                            if trees.get(i).is_some_and(|t| t.is_punct("<")) {
+                                i = skip_angles(trees, i);
+                            }
+                        }
+                        if let Some(Tree::Group {
+                            delim: '(',
+                            trees: args,
+                            ..
+                        }) = trees.get(i)
+                        {
+                            let args = split_on_comma(args)
+                                .into_iter()
+                                .filter(|p| !p.is_empty())
+                                .map(|p| parse_expr(p, 0, false).0)
+                                .collect();
+                            expr = Expr::Method {
+                                recv: Box::new(expr),
+                                name,
+                                args,
+                                line,
+                            };
+                            i += 1;
+                        } else {
+                            expr = Expr::Field {
+                                base: Box::new(expr),
+                                name,
+                                line,
+                            };
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            Some(Tree::Group {
+                delim: '(',
+                trees: args,
+                line,
+            }) => {
+                let args = split_on_comma(args)
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| parse_expr(p, 0, false).0)
+                    .collect();
+                expr = Expr::Call {
+                    func: Box::new(expr),
+                    args,
+                    line: *line,
+                };
+                i += 1;
+            }
+            Some(Tree::Group {
+                delim: '[',
+                trees: idx,
+                line,
+            }) => {
+                let index = parse_expr(idx, 0, false).0;
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    line: *line,
+                };
+                i += 1;
+            }
+            Some(t) if t.is_punct("?") => {
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let _ = no_struct;
+    (expr, i)
+}
+
+// ---------------------------------------------------------------------------
+// Visitors
+// ---------------------------------------------------------------------------
+
+/// Visit `e` and every sub-expression, depth-first.
+pub fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } => {}
+        Expr::Call { func, args, .. } => {
+            walk_expr(func, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Block { stmts, .. } => walk_stmts(stmts, f),
+        Expr::ForLoop { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_expr(body, f);
+        }
+        Expr::Other { children, .. } => {
+            for c in children {
+                walk_expr(c, f);
+            }
+        }
+    }
+}
+
+/// Visit every expression in a statement list, depth-first.
+pub fn walk_stmts(stmts: &[Stmt], f: &mut dyn FnMut(&Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => walk_expr(e, f),
+            Stmt::Let { init: None, .. } => {}
+            Stmt::Expr(e) => walk_expr(e, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src).expect("lexes")).expect("parses")
+    }
+
+    #[test]
+    fn fn_signatures_and_visibility() {
+        let f = parse(
+            "pub fn area_m2(w_m: f64, h_m: f64) -> f64 { w_m * h_m }\n\
+             pub(crate) fn helper() {}\n\
+             fn private(x: usize) {}",
+        );
+        assert_eq!(f.fns.len(), 3);
+        assert_eq!(f.fns[0].name, "area_m2");
+        assert_eq!(f.fns[0].vis, Vis::Pub);
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[0].name, "w_m");
+        assert_eq!(f.fns[0].params[0].ty, "f64");
+        assert_eq!(f.fns[0].ret_ty, "f64");
+        assert_eq!(f.fns[1].vis, Vis::Restricted);
+        assert_eq!(f.fns[2].vis, Vis::Private);
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let f = parse(
+            "struct T;\n\
+             impl T { pub fn go(&self) {} }\n\
+             impl std::fmt::Display for T { fn fmt(&self) {} }",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].qual_name(), "T::go");
+        assert_eq!(f.fns[0].params[0].name, "self");
+        assert_eq!(f.fns[1].qual_name(), "T::fmt");
+    }
+
+    #[test]
+    fn generic_fn_with_fn_bound_finds_real_params() {
+        let f = parse("pub fn run<F: Fn(i32) -> i32>(work: F, n: usize) {}");
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[0].name, "work");
+        assert_eq!(f.fns[0].params[1].name, "n");
+    }
+
+    #[test]
+    fn calls_methods_index_and_macros_are_visible() {
+        let f = parse(
+            "fn f(v: Vec<f64>, i: usize) {\n\
+               let x = v[i];\n\
+               let y = x.max(0.0);\n\
+               helper(x, y);\n\
+               mod_a::helper2();\n\
+               panic!(\"boom {}\", y);\n\
+             }",
+        );
+        let body = f.fns[0].body.as_ref().unwrap();
+        let mut saw = Vec::new();
+        walk_stmts(body, &mut |e| match e {
+            Expr::Index { .. } => saw.push("index".to_string()),
+            Expr::Method { name, .. } => saw.push(format!("m:{name}")),
+            Expr::Call { func, .. } => {
+                if let Expr::Path { segs, .. } = func.as_ref() {
+                    saw.push(format!("c:{}", segs.join("::")));
+                }
+            }
+            Expr::Macro { name, .. } => saw.push(format!("mac:{name}")),
+            _ => {}
+        });
+        assert!(saw.contains(&"index".to_string()), "{saw:?}");
+        assert!(saw.contains(&"m:max".to_string()), "{saw:?}");
+        assert!(saw.contains(&"c:helper".to_string()), "{saw:?}");
+        assert!(saw.contains(&"c:mod_a::helper2".to_string()), "{saw:?}");
+        assert!(saw.contains(&"mac:panic".to_string()), "{saw:?}");
+    }
+
+    #[test]
+    fn binary_chain_keeps_adjacent_operands() {
+        let f = parse("fn f(a_c: f64, b_k: f64) -> f64 { a_c + b_k }");
+        let body = f.fns[0].body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Binary { op, lhs, rhs, .. }) = &body[0] else {
+            panic!("expected binary, got {body:?}");
+        };
+        assert_eq!(op, "+");
+        assert!(matches!(lhs.as_ref(), Expr::Path { segs, .. } if segs == &["a_c"]));
+        assert!(matches!(leftmost(rhs), Expr::Path { segs, .. } if segs == &["b_k"]));
+    }
+
+    #[test]
+    fn for_loop_captures_bound_vars() {
+        let f = parse("fn f(n: usize) { for (i, j) in grid(n) { work(i, j); } }");
+        let body = f.fns[0].body.as_ref().unwrap();
+        let Stmt::Expr(Expr::ForLoop { vars, .. }) = &body[0] else {
+            panic!("expected for loop");
+        };
+        assert_eq!(vars, &["i", "j"]);
+    }
+
+    #[test]
+    fn match_arm_bodies_are_parsed() {
+        let f = parse(
+            "fn f(x: u8) { match x { 0 => zero(), 1 if cond() => one(), _ => { other(); } } }",
+        );
+        let mut calls = Vec::new();
+        walk_stmts(f.fns[0].body.as_ref().unwrap(), &mut |e| {
+            if let Expr::Call { func, .. } = e {
+                if let Expr::Path { segs, .. } = func.as_ref() {
+                    calls.push(segs.join("::"));
+                }
+            }
+        });
+        for c in ["zero", "cond", "one", "other"] {
+            assert!(calls.iter().any(|x| x == c), "{c} missing from {calls:?}");
+        }
+    }
+
+    #[test]
+    fn closures_and_nested_blocks_are_traversed() {
+        let f = parse("fn f() { let c = |a: u8| inner(a); run(move || other()); }");
+        let mut calls = Vec::new();
+        walk_stmts(f.fns[0].body.as_ref().unwrap(), &mut |e| {
+            if let Expr::Call { func, .. } = e {
+                if let Expr::Path { segs, .. } = func.as_ref() {
+                    calls.push(segs.join("::"));
+                }
+            }
+        });
+        assert!(calls.iter().any(|c| c == "inner"), "{calls:?}");
+        assert!(calls.iter().any(|c| c == "other"), "{calls:?}");
+    }
+
+    #[test]
+    fn let_pattern_names_are_collected() {
+        let f = parse("fn f() { let (a, mut b) = pair(); let Some(c) = opt() else { return; }; }");
+        let body = f.fns[0].body.as_ref().unwrap();
+        let Stmt::Let { names, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(names, &["a", "b"]);
+        let Stmt::Let { names, .. } = &body[1] else {
+            panic!()
+        };
+        assert_eq!(names, &["c"]);
+    }
+
+    #[test]
+    fn unbalanced_delimiters_are_the_only_errors() {
+        assert!(parse_file(&lex("fn f() { (").unwrap()).is_err());
+        assert!(parse_file(&lex("fn f() } {").unwrap()).is_err());
+        // Weird-but-balanced input parses.
+        assert!(parse_file(&lex("@ # $ fn f() {} %").unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,329 @@
+//! Workspace call graph, resolved by name over the symbol table.
+//!
+//! Resolution is a deliberate *under-approximation*: an edge is added
+//! only when a call site resolves to exactly one plausible definition
+//! (after preferring qualified matches and same-crate candidates).
+//! Ambiguous names — `new`, `len`, trait methods with many impls —
+//! produce no edge rather than a wrong one, so R6's printed call paths
+//! are always real paths, at the cost of possibly missing exotic ones.
+
+use crate::ast::{walk_stmts, Expr};
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// The call graph: `edges[caller] = sorted callee ids`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency list indexed by [`FnSym::id`].
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// A call site observed in a function body, before resolution.
+#[derive(Debug)]
+enum Site {
+    /// `foo(…)` or `a::b::foo(…)` — path segments.
+    Path(Vec<String>),
+    /// `recv.name(…)`.
+    Method(String),
+}
+
+impl CallGraph {
+    /// Build the graph over every function in the table.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); table.fns.len()];
+        for sym in &table.fns {
+            let Some(body) = &sym.def.body else { continue };
+            let mut sites = Vec::new();
+            walk_stmts(body, &mut |e| match e {
+                Expr::Call { func, .. } => {
+                    if let Expr::Path { segs, .. } = func.as_ref() {
+                        sites.push(Site::Path(segs.clone()));
+                    }
+                }
+                Expr::Method { name, .. } => sites.push(Site::Method(name.clone())),
+                _ => {}
+            });
+            let mut out = BTreeSet::new();
+            for site in sites {
+                if let Some(callee) = resolve(table, sym, &site) {
+                    if callee != sym.id {
+                        out.insert(callee);
+                    }
+                }
+            }
+            edges[sym.id] = out.into_iter().collect();
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS from `roots`; returns, for every reachable id, the id it was
+    /// first reached from (roots map to themselves). Use
+    /// [`CallGraph::path_to`] to reconstruct a shortest call path.
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < self.edges.len() && !parent.contains_key(&r) {
+                parent.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstruct the root→`target` path from a [`reachable`] parent
+    /// map.
+    ///
+    /// [`reachable`]: CallGraph::reachable
+    pub fn path_to(parent: &HashMap<usize, usize>, target: usize) -> Vec<usize> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Render the graph as a deterministic Graphviz DOT digraph:
+    /// nodes are `crate::Type::name`, sorted; edges sorted.
+    pub fn to_dot(&self, table: &SymbolTable) -> String {
+        let mut out = String::from("digraph callgraph {\n    rankdir=LR;\n");
+        let mut order: Vec<&FnSym> = table.fns.iter().collect();
+        order.sort_by(|a, b| a.display().cmp(&b.display()).then(a.id.cmp(&b.id)));
+        for sym in &order {
+            out.push_str(&format!(
+                "    \"{}\" [shape={}];\n",
+                sym.display(),
+                if sym.is_pub() { "box" } else { "ellipse" }
+            ));
+        }
+        let mut lines = BTreeSet::new();
+        for sym in &order {
+            for &callee in &self.edges[sym.id] {
+                lines.insert(format!(
+                    "    \"{}\" -> \"{}\";\n",
+                    sym.display(),
+                    table.fns[callee].display()
+                ));
+            }
+        }
+        for l in lines {
+            out.push_str(&l);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Ubiquitous trait-method names that many types implement via
+/// `derive` (which the parser cannot see). A lone manual impl would
+/// otherwise soak up every call site in the workspace as a false
+/// edge, so these never resolve by bare name.
+const NEVER_RESOLVE_METHODS: &[&str] = &[
+    "clone",
+    "fmt",
+    "default",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "next",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "to_string",
+    "serialize",
+    "deserialize",
+    "index",
+    "index_mut",
+    "deref",
+    "deref_mut",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "extend",
+    "from_iter",
+    "into_iter",
+];
+
+/// Resolve one call site from within `caller` to a unique definition,
+/// or `None` when ambiguous/external.
+fn resolve(table: &SymbolTable, caller: &FnSym, site: &Site) -> Option<usize> {
+    match site {
+        Site::Path(segs) => resolve_path_call(table, caller, segs),
+        Site::Method(name) => resolve_method_call(table, caller, name),
+    }
+}
+
+/// Resolve `a::b::name(…)` / `name(…)` to a unique definition.
+pub fn resolve_path_call(table: &SymbolTable, caller: &FnSym, segs: &[String]) -> Option<usize> {
+    let name = segs.last()?;
+    if segs.len() >= 2 {
+        // `Type::name` / `module::Type::name`: a qualified match wins
+        // outright when unique.
+        let qual = format!("{}::{name}", segs[segs.len() - 2]);
+        let qualified = table.lookup_qual(&qual);
+        if !qualified.is_empty() {
+            return unique_pref_crate(table, caller, qualified);
+        }
+    }
+    // Free-function match: exclude methods (those need a receiver or a
+    // qualified path).
+    let candidates: Vec<usize> = table
+        .lookup_name(name)
+        .iter()
+        .copied()
+        .filter(|&id| table.fns[id].def.qual.is_none())
+        .collect();
+    unique_pref_crate(table, caller, &candidates)
+}
+
+/// Resolve `recv.name(…)` to a unique method definition.
+pub fn resolve_method_call(table: &SymbolTable, caller: &FnSym, name: &str) -> Option<usize> {
+    if NEVER_RESOLVE_METHODS.contains(&name) {
+        return None;
+    }
+    let candidates: Vec<usize> = table
+        .lookup_name(name)
+        .iter()
+        .copied()
+        .filter(|&id| table.fns[id].def.qual.is_some())
+        .collect();
+    unique_pref_crate(table, caller, &candidates)
+}
+
+/// Collapse candidates: prefer same-crate definitions, then require
+/// uniqueness.
+fn unique_pref_crate(table: &SymbolTable, caller: &FnSym, ids: &[usize]) -> Option<usize> {
+    match ids {
+        [] => None,
+        [one] => Some(*one),
+        many => {
+            let same: Vec<usize> = many
+                .iter()
+                .copied()
+                .filter(|&id| table.fns[id].krate == caller.krate)
+                .collect();
+            match same.as_slice() {
+                [one] => Some(*one),
+                _ => None, // still ambiguous: no edge
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolTable;
+
+    fn graph(srcs: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let sources: Vec<(String, String)> = srcs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let (table, errs) = SymbolTable::build(&sources);
+        assert!(errs.is_empty(), "{errs:?}");
+        let g = CallGraph::build(&table);
+        (table, g)
+    }
+
+    fn id(t: &SymbolTable, display: &str) -> usize {
+        t.fns
+            .iter()
+            .find(|f| f.display() == display)
+            .unwrap_or_else(|| panic!("no fn {display}"))
+            .id
+    }
+
+    #[test]
+    fn direct_and_method_edges_resolve() {
+        let (t, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\n\
+             impl S { pub fn step(&self) { helper(); } }\n\
+             fn helper() {}\n\
+             pub fn run(s: &S) { s.step(); }",
+        )]);
+        let run = id(&t, "a::run");
+        let step = id(&t, "a::S::step");
+        let helper = id(&t, "a::helper");
+        assert_eq!(g.edges[run], vec![step]);
+        assert_eq!(g.edges[step], vec![helper]);
+    }
+
+    #[test]
+    fn ambiguous_names_produce_no_edge() {
+        let (t, g) = graph(&[
+            ("crates/a/src/lib.rs", "pub fn go() { work(); }"),
+            ("crates/b/src/lib.rs", "pub fn work() {}"),
+            ("crates/c/src/lib.rs", "pub fn work() {}"),
+        ]);
+        let go = id(&t, "a::go");
+        assert!(g.edges[go].is_empty(), "{:?}", g.edges[go]);
+    }
+
+    #[test]
+    fn same_crate_candidate_wins_over_cross_crate() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn go() { work(); }\npub fn work() {}",
+            ),
+            ("crates/b/src/lib.rs", "pub fn work() {}"),
+        ]);
+        let go = id(&t, "a::go");
+        let work_a = id(&t, "a::work");
+        assert_eq!(g.edges[go], vec![work_a]);
+    }
+
+    #[test]
+    fn reachability_reconstructs_shortest_path() {
+        let (t, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
+        let entry = id(&t, "a::entry");
+        let leaf = id(&t, "a::leaf");
+        let parent = g.reachable(&[entry]);
+        let path = CallGraph::path_to(&parent, leaf);
+        let names: Vec<String> = path.iter().map(|&i| t.fns[i].display()).collect();
+        assert_eq!(names, ["a::entry", "a::mid", "a::leaf"]);
+    }
+
+    #[test]
+    fn dot_dump_is_deterministic_and_sorted() {
+        let (t, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn b_fn() { a_fn(); }\nfn a_fn() {}",
+        )]);
+        let dot = g.to_dot(&t);
+        assert!(dot.starts_with("digraph callgraph {"));
+        let a_pos = dot.find("\"a::a_fn\" [shape=ellipse]").expect("a_fn node");
+        let b_pos = dot.find("\"a::b_fn\" [shape=box]").expect("b_fn node");
+        assert!(a_pos < b_pos, "nodes must be sorted");
+        assert!(dot.contains("\"a::b_fn\" -> \"a::a_fn\";"));
+    }
+}

@@ -13,12 +13,32 @@
 //! - **R4** — no `unsafe` outside `vendor/`,
 //! - **R5** — the experiment registry and campaign dispatch agree.
 //!
+//! On top of the token scans, a semantic pass (see [`ast`],
+//! [`symbols`], [`callgraph`], [`semantic`]) parses every file into a
+//! lightweight AST, builds a workspace call graph, and enforces:
+//!
+//! - **R6** — no panic site reachable from a `pub fn` in
+//!   `thermal`/`coolant`/`power`/`campaign` (call path printed),
+//! - **R7** — unit suffixes stay dimensionally consistent through
+//!   arithmetic,
+//! - **R8** — every fn in the experiment module is reachable from CLI
+//!   dispatch,
+//! - **R9** — no file I/O, `Command` spawn, or cross-crate solver call
+//!   while a scheduler lock guard is live.
+//!
 //! Pre-existing debt is frozen in `lint.allow` (see [`Allowlist`]);
-//! the budget only ratchets down.
+//! the budget only ratchets down. Reports render as text (default),
+//! JSON, or SARIF 2.1.0 (see [`report`]); the call graph dumps as
+//! Graphviz DOT.
 
 pub mod allowlist;
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 
 pub use allowlist::Allowlist;
 pub use rules::{Rule, Violation};
@@ -57,6 +77,12 @@ pub struct LintReport {
     pub allowlist_total: usize,
     /// Per-rule allowed debt after this run.
     pub allowlist_by_rule: BTreeMap<Rule, usize>,
+    /// Structured findings that exceeded their budget (the errors),
+    /// for JSON/SARIF rendering.
+    pub new_violations: Vec<Violation>,
+    /// Structured findings absorbed by the allowlist, for JSON/SARIF
+    /// rendering (marked suppressed there).
+    pub suppressed_violations: Vec<Violation>,
 }
 
 impl LintReport {
@@ -169,6 +195,25 @@ pub fn lint_source(rel: &str, src: &str) -> Result<Vec<Violation>, String> {
     Ok(v)
 }
 
+/// Build the semantic model for the workspace and render its call
+/// graph as Graphviz DOT (`--emit-callgraph`). Parse errors are
+/// returned as `Err` strings.
+pub fn emit_callgraph_dot(root: &Path) -> io::Result<Result<String, Vec<String>>> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().into_owned(),
+        };
+        sources.push((rel, fs::read_to_string(&path)?));
+    }
+    let sem = semantic::analyze(&sources);
+    if !sem.errors.is_empty() {
+        return Ok(Err(sem.errors));
+    }
+    Ok(Ok(sem.graph.to_dot(&sem.table)))
+}
+
 /// Lint the whole workspace rooted at `root`. When `fix_allowlist` is
 /// set, `lint.allow` is rewritten to the actual current counts (the
 /// ratchet action) before budgets are evaluated.
@@ -176,19 +221,34 @@ pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport
     let mut report = LintReport::default();
     let mut violations: Vec<Violation> = Vec::new();
 
-    // R1–R4 over every library source file.
+    // Read every library source once; both the token scans and the
+    // semantic pass run over the same snapshot.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in collect_sources(root)? {
         let rel = match path.strip_prefix(root) {
             Ok(r) => r.to_string_lossy().replace('\\', "/"),
             Err(_) => path.to_string_lossy().into_owned(),
         };
-        let src = fs::read_to_string(&path)?;
+        sources.push((rel, fs::read_to_string(&path)?));
+    }
+
+    // R1–R4 over every library source file.
+    for (rel, src) in &sources {
         report.files_checked += 1;
-        match lint_source(&rel, &src) {
+        match lint_source(rel, src) {
             Ok(v) => violations.extend(v),
             Err(e) => report.errors.push(e),
         }
     }
+
+    // R6–R9: the semantic pass. Parse failures are hard errors — the
+    // parser must stay total over the workspace or the call graph
+    // silently loses functions.
+    let sem = semantic::analyze(&sources);
+    for e in &sem.errors {
+        report.errors.push(format!("parse error: {e}"));
+    }
+    violations.extend(sem.check_all(EXPERIMENTS_FILE));
 
     // R5: experiment registry vs dispatch vs summary job.
     let experiments_path = root.join(EXPERIMENTS_FILE);
@@ -245,6 +305,7 @@ pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport
                     v.line,
                     v.msg
                 ));
+                report.new_violations.push(v.clone());
             }
             if allowed > 0 {
                 report.errors.push(format!(
@@ -254,6 +315,12 @@ pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport
             }
         } else {
             report.suppressed += count;
+            report.suppressed_violations.extend(
+                violations
+                    .iter()
+                    .filter(|v| (v.rule, &v.file) == (*rule, file))
+                    .cloned(),
+            );
             if count < allowed {
                 report.warnings.push(format!(
                     "[{}] {file}: allowlist budget {allowed} but only {count} violation(s) \
@@ -273,7 +340,7 @@ pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport
     }
 
     report.allowlist_total = allowlist.total();
-    for r in [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5] {
+    for &r in Rule::ALL {
         report.allowlist_by_rule.insert(r, allowlist.total_for(r));
     }
     Ok(report)

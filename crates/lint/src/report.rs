@@ -1,0 +1,252 @@
+//! Machine-readable renderings of a [`LintReport`]: a plain JSON
+//! object (`--format json`) and SARIF 2.1.0 (`--format sarif`), both
+//! hand-rolled so the lint crate stays dependency-free.
+//!
+//! JSON schema (`--format json`):
+//!
+//! ```json
+//! {
+//!   "files_checked": 82,
+//!   "clean": true,
+//!   "suppressed": 61,
+//!   "allowlist_total": 61,
+//!   "errors": ["<rendered error lines>"],
+//!   "warnings": ["<rendered warning lines>"],
+//!   "violations": [
+//!     {"rule": "R6", "file": "crates/x/src/y.rs", "line": 10,
+//!      "message": "...", "suppressed": true}
+//!   ]
+//! }
+//! ```
+//!
+//! `violations` lists new (budget-exceeding) findings first, then the
+//! ones absorbed by `lint.allow` with `"suppressed": true`.
+//!
+//! The SARIF rendering targets the 2.1.0 schema: one run, the driver
+//! named `watercool-lint` with all rules declared, one `result` per
+//! violation (`level: error`; allowlisted findings additionally carry a
+//! `suppressions` entry with `kind: external`), and non-violation
+//! errors (lex/parse failures, budget summaries) as
+//! `toolExecutionNotifications` on the invocation.
+
+use crate::rules::{Rule, Violation};
+use crate::LintReport;
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent + 2);
+    let body: Vec<String> = items
+        .iter()
+        .map(|s| format!("{pad}\"{}\"", escape_json(s)))
+        .collect();
+    format!("[\n{}\n{}]", body.join(",\n"), " ".repeat(indent))
+}
+
+fn value_array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent + 2);
+    let body: Vec<String> = items.iter().map(|s| format!("{pad}{s}")).collect();
+    format!("[\n{}\n{}]", body.join(",\n"), " ".repeat(indent))
+}
+
+fn violation_json(v: &Violation, suppressed: bool) -> String {
+    format!(
+        "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+         \"suppressed\": {suppressed}}}",
+        v.rule.id(),
+        escape_json(&v.file),
+        v.line,
+        escape_json(&v.msg)
+    )
+}
+
+/// Render the report as the plain JSON object documented in the module
+/// docs.
+pub fn to_json(r: &LintReport) -> String {
+    let mut violations: Vec<String> = Vec::new();
+    for v in &r.new_violations {
+        violations.push(violation_json(v, false));
+    }
+    for v in &r.suppressed_violations {
+        violations.push(violation_json(v, true));
+    }
+    format!(
+        "{{\n  \"files_checked\": {},\n  \"clean\": {},\n  \"suppressed\": {},\n  \
+         \"allowlist_total\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \
+         \"violations\": {}\n}}\n",
+        r.files_checked,
+        r.is_clean(),
+        r.suppressed,
+        r.allowlist_total,
+        string_array(&r.errors, 2),
+        string_array(&r.warnings, 2),
+        value_array(&violations, 2)
+    )
+}
+
+fn rule_index(rule: Rule) -> usize {
+    Rule::ALL.iter().position(|&r| r == rule).unwrap_or(0)
+}
+
+fn sarif_result(v: &Violation, suppressed: bool) -> String {
+    let suppression = if suppressed {
+        ", \"suppressions\": [{\"kind\": \"external\", \"justification\": \"lint.allow\"}]"
+    } else {
+        ""
+    };
+    format!(
+        "{{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+         \"message\": {{\"text\": \"{}\"}}, \
+         \"locations\": [{{\"physicalLocation\": {{\
+         \"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \
+         \"region\": {{\"startLine\": {}}}}}}}]{suppression}}}",
+        v.rule.id(),
+        rule_index(v.rule),
+        escape_json(&v.msg),
+        escape_json(&v.file),
+        v.line.max(1)
+    )
+}
+
+/// Render the report as a SARIF 2.1.0 log.
+pub fn to_sarif(r: &LintReport) -> String {
+    let rules: Vec<String> = Rule::ALL
+        .iter()
+        .map(|rule| {
+            format!(
+                "{{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                rule.id(),
+                escape_json(rule.summary())
+            )
+        })
+        .collect();
+
+    let mut results: Vec<String> = Vec::new();
+    for v in &r.new_violations {
+        results.push(sarif_result(v, false));
+    }
+    for v in &r.suppressed_violations {
+        results.push(sarif_result(v, true));
+    }
+
+    // Errors that are not renderings of a structured violation
+    // (lex/parse failures, budget summaries) become notifications so
+    // they survive the SARIF round trip.
+    let rendered: Vec<String> = r
+        .new_violations
+        .iter()
+        .map(|v| format!("[{}] {}:{}: {}", v.rule.id(), v.file, v.line, v.msg))
+        .collect();
+    let notifications: Vec<String> = r
+        .errors
+        .iter()
+        .filter(|e| !rendered.iter().any(|s| s == *e))
+        .map(|e| {
+            format!(
+                "{{\"level\": \"error\", \"message\": {{\"text\": \"{}\"}}}}",
+                escape_json(e)
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \
+         \"tool\": {{\"driver\": {{\"name\": \"watercool-lint\", \"version\": \"{}\", \
+         \"rules\": {}}}}},\n      \
+         \"invocations\": [{{\"executionSuccessful\": {}, \
+         \"toolExecutionNotifications\": {}}}],\n      \
+         \"results\": {}\n    }}\n  ]\n}}\n",
+        env!("CARGO_PKG_VERSION"),
+        value_array(&rules, 6),
+        r.is_clean(),
+        value_array(&notifications, 6),
+        value_array(&results, 6)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        let mut r = LintReport {
+            files_checked: 2,
+            suppressed: 1,
+            allowlist_total: 1,
+            ..LintReport::default()
+        };
+        r.errors.push("[R1] crates/a/src/x.rs:3: `unwrap()`".into());
+        r.warnings.push("stale budget".into());
+        r.new_violations.push(Violation {
+            rule: Rule::R1,
+            file: "crates/a/src/x.rs".into(),
+            line: 3,
+            msg: "`unwrap()`".into(),
+        });
+        r.suppressed_violations.push(Violation {
+            rule: Rule::R6,
+            file: "crates/b/src/y.rs".into(),
+            line: 7,
+            msg: "pub fn `f` can reach a panic site".into(),
+        });
+        r
+    }
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_lists_new_then_suppressed() {
+        let j = to_json(&sample_report());
+        assert!(j.contains("\"files_checked\": 2"));
+        let new_pos = j.find("\"suppressed\": false").unwrap();
+        let old_pos = j.find("\"suppressed\": true").unwrap();
+        assert!(new_pos < old_pos);
+    }
+
+    #[test]
+    fn sarif_declares_all_rules_and_marks_suppressions() {
+        let s = to_sarif(&sample_report());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for rule in Rule::ALL {
+            assert!(s.contains(&format!("\"id\": \"{}\"", rule.id())));
+        }
+        assert!(s.contains("\"kind\": \"external\""));
+        assert!(s.contains("\"executionSuccessful\": false"));
+    }
+
+    #[test]
+    fn empty_report_is_minimal_and_successful() {
+        let r = LintReport::default();
+        let j = to_json(&r);
+        assert!(j.contains("\"violations\": []"));
+        let s = to_sarif(&r);
+        assert!(s.contains("\"results\": []"));
+        assert!(s.contains("\"executionSuccessful\": true"));
+    }
+}

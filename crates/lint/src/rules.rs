@@ -7,6 +7,13 @@
 //! | R3   | no NaN-unsafe float comparisons (`partial_cmp().unwrap()`, `==` on float literals) |
 //! | R4   | no `unsafe` outside `vendor/` |
 //! | R5   | every experiment name dispatches in `run_experiment` and vice versa |
+//! | R6   | no panic site reachable from a `pub fn` in the physics/campaign crates |
+//! | R7   | unit suffixes stay dimensionally consistent through arithmetic |
+//! | R8   | every experiment fn is reachable from CLI dispatch and vice versa |
+//! | R9   | no I/O, spawn, or cross-crate solver call under a live scheduler lock |
+//!
+//! R1–R5 are token-stream scans; R6–R9 run on the AST / call graph and
+//! live in [`crate::semantic`].
 //!
 //! All scans run on token streams that already had `#[cfg(test)]`
 //! items stripped (see [`crate::lexer::strip_test_items`]); test code
@@ -28,6 +35,14 @@ pub enum Rule {
     R4,
     /// Experiment registry vs campaign dispatch drift.
     R5,
+    /// Panic site reachable from a public physics/campaign entry point.
+    R6,
+    /// Unit-dimension mismatch inferred through arithmetic.
+    R7,
+    /// Experiment function dead (or dispatched but undefined).
+    R8,
+    /// Blocking operation while a scheduler lock guard is live.
+    R9,
 }
 
 impl Rule {
@@ -39,8 +54,25 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
+
+    /// Every rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+    ];
 
     /// Parse an allowlist rule column.
     pub fn from_id(s: &str) -> Option<Rule> {
@@ -50,6 +82,10 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
             _ => None,
         }
     }
@@ -62,6 +98,10 @@ impl Rule {
             Rule::R3 => "no NaN-unsafe float comparison outside tests",
             Rule::R4 => "no `unsafe` outside vendor/",
             Rule::R5 => "experiment registry and dispatch must agree",
+            Rule::R6 => "no panic site reachable from a pub fn in thermal/coolant/power/campaign",
+            Rule::R7 => "unit suffixes must stay dimensionally consistent through arithmetic",
+            Rule::R8 => "every experiment fn must be reachable from CLI dispatch and vice versa",
+            Rule::R9 => "no file I/O, Command spawn, or solver call under a live scheduler lock",
         }
     }
 }
@@ -117,15 +157,15 @@ pub fn check_r1(file: &str, tokens: &[Token]) -> Vec<Violation> {
 /// Unit suffixes a public `f64` name may end with (`_m2`, `_k_per_w`,
 /// ... — compound suffixes like `w_per_m_k` end in a base unit, so
 /// checking the final `_`-separated segment covers them too).
-const UNIT_SEGMENTS: &[&str] = &[
+pub(crate) const UNIT_SEGMENTS: &[&str] = &[
     "k", "c", "w", "kw", "v", "a", "hz", "ghz", "mhz", "j", "kwh", "ev", "m", "mm", "um", "nm",
-    "m2", "m3", "s", "ms", "us", "ns", "secs", "years", "kg", "g", "litre", "litres", "usd", "pct",
-    "watts", "volts", "celsius", "kelvin",
+    "m2", "mm2", "cm2", "um2", "m3", "mm3", "cm3", "s", "ms", "us", "ns", "secs", "years", "kg",
+    "g", "litre", "litres", "usd", "pct", "watts", "volts", "celsius", "kelvin",
 ];
 
 /// Dimensionless markers: acceptable as a final segment or as the whole
 /// name (`coverage`, `bond_metal_fraction`).
-const DIMENSIONLESS_SEGMENTS: &[&str] = &[
+pub(crate) const DIMENSIONLESS_SEGMENTS: &[&str] = &[
     "frac",
     "fraction",
     "ratio",

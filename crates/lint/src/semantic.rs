@@ -1,0 +1,739 @@
+//! The interprocedural rules R6–R9, running on the AST, symbol table
+//! and call graph.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R6   | no `pub fn` in `thermal`/`coolant`/`power`/`campaign` can reach a panic site |
+//! | R7   | unit suffixes stay dimensionally consistent through arithmetic |
+//! | R8   | every fn in the experiment module is reachable from CLI dispatch |
+//! | R9   | no file I/O, `Command` spawn, or cross-crate solver call under a live lock |
+//!
+//! All four under-approximate on purpose: the call graph only has
+//! edges that resolve uniquely (see [`crate::callgraph`]), so a
+//! printed R6 call path is always a real path, and a silent R9 run
+//! really means no blocking call was provably made under a lock.
+
+use crate::ast::{leftmost, walk_stmts, Expr, FnDef, Stmt};
+use crate::callgraph::{resolve_method_call, resolve_path_call, CallGraph};
+use crate::rules::{Rule, Violation, DIMENSIONLESS_SEGMENTS, UNIT_SEGMENTS};
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::HashSet;
+
+/// Crates whose public functions must be panic-free (R6).
+pub const R6_CRATES: &[&str] = &["thermal", "coolant", "power", "campaign"];
+
+/// Crates R9 guards against calling while a scheduler lock is held.
+const SOLVER_CRATES: &[&str] = &["thermal", "coolant", "power"];
+
+/// The semantic pass over one set of sources: symbols + call graph.
+#[derive(Debug)]
+pub struct Semantic {
+    /// Every function in the analyzed sources.
+    pub table: SymbolTable,
+    /// The resolved call graph.
+    pub graph: CallGraph,
+    /// Files that failed to lex or parse (the parser is expected to be
+    /// total; any entry here fails CI).
+    pub errors: Vec<String>,
+}
+
+/// Build the semantic model from `(rel_path, source)` pairs.
+pub fn analyze(sources: &[(String, String)]) -> Semantic {
+    let (table, errors) = SymbolTable::build(sources);
+    let graph = CallGraph::build(&table);
+    Semantic {
+        table,
+        graph,
+        errors,
+    }
+}
+
+impl Semantic {
+    /// Run R6–R9. `experiments_file` is the workspace-relative path of
+    /// the experiment registry module (R8's scope).
+    pub fn check_all(&self, experiments_file: &str) -> Vec<Violation> {
+        let mut v = check_r6(&self.table, &self.graph);
+        v.extend(check_r7(&self.table));
+        v.extend(check_r8(&self.table, &self.graph, experiments_file));
+        v.extend(check_r9(&self.table));
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R6: panic reachability
+// ---------------------------------------------------------------------------
+
+/// A panic site local to one function body.
+#[derive(Debug, Clone)]
+struct PanicSite {
+    line: u32,
+    desc: String,
+}
+
+/// Flag every `pub fn` in [`R6_CRATES`] from which a panic site is
+/// reachable through the call graph, printing the shortest call path.
+pub fn check_r6(table: &SymbolTable, graph: &CallGraph) -> Vec<Violation> {
+    let sites: Vec<Option<PanicSite>> = table
+        .fns
+        .iter()
+        .map(|sym| first_panic_site(&sym.def))
+        .collect();
+    let mut out = Vec::new();
+    for sym in &table.fns {
+        if !sym.is_pub() || !R6_CRATES.contains(&sym.krate.as_str()) {
+            continue;
+        }
+        let parent = graph.reachable(&[sym.id]);
+        let mut hits: Vec<usize> = parent
+            .keys()
+            .copied()
+            .filter(|id| sites[*id].is_some())
+            .collect();
+        hits.sort_by_key(|&id| (CallGraph::path_to(&parent, id).len(), id));
+        let Some(&target) = hits.first() else {
+            continue;
+        };
+        let path: Vec<String> = CallGraph::path_to(&parent, target)
+            .into_iter()
+            .map(|id| table.fns[id].display())
+            .collect();
+        let site = sites[target].clone().unwrap_or(PanicSite {
+            line: 0,
+            desc: String::new(),
+        });
+        out.push(Violation {
+            rule: Rule::R6,
+            file: sym.file.clone(),
+            line: sym.def.line,
+            msg: format!(
+                "pub fn `{}` can reach a panic site: {} at {}:{} (call path: {})",
+                sym.qual_name(),
+                site.desc,
+                table.fns[target].file,
+                site.line,
+                path.join(" -> ")
+            ),
+        });
+    }
+    out
+}
+
+/// The earliest panic site in a function body, if any: `panic!`-family
+/// macros, `.unwrap()`/`.expect()`, or indexing with an unguarded raw
+/// parameter.
+fn first_panic_site(def: &FnDef) -> Option<PanicSite> {
+    let body = def.body.as_ref()?;
+    let params: HashSet<&str> = def
+        .params
+        .iter()
+        .map(|p| p.name.as_str())
+        .filter(|n| *n != "self" && *n != "_")
+        .collect();
+    let guarded = guarded_params(body, &params);
+    let mut best: Option<PanicSite> = None;
+    walk_stmts(body, &mut |e| {
+        let hit = match e {
+            Expr::Macro { name, line, .. }
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                Some(PanicSite {
+                    line: *line,
+                    desc: format!("{name}! macro"),
+                })
+            }
+            Expr::Method { name, line, .. } if name == "unwrap" || name == "expect" => {
+                Some(PanicSite {
+                    line: *line,
+                    desc: format!(".{name}() call"),
+                })
+            }
+            Expr::Index { index, line, .. } => params
+                .iter()
+                .find(|p| !guarded.contains(**p) && expr_mentions(index, p))
+                .map(|p| PanicSite {
+                    line: *line,
+                    desc: format!("indexing with unguarded parameter `{p}`"),
+                }),
+            _ => None,
+        };
+        if let Some(h) = hit {
+            if best.as_ref().is_none_or(|b| h.line < b.line) {
+                best = Some(h);
+            }
+        }
+    });
+    best
+}
+
+/// Parameters that appear under a bounds guard anywhere in the body: a
+/// comparison, an `assert!`-family macro, `.get(…)`, or a clamp
+/// (`.min`/`.max`/`.clamp`).
+fn guarded_params<'a>(body: &[Stmt], params: &HashSet<&'a str>) -> HashSet<&'a str> {
+    let mut guarded = HashSet::new();
+    walk_stmts(body, &mut |e| match e {
+        Expr::Binary { op, lhs, rhs, .. }
+            if matches!(op.as_str(), "<" | "<=" | ">" | ">=" | "==" | "!=") =>
+        {
+            for p in params.iter() {
+                if expr_mentions(lhs, p) || expr_mentions(rhs, p) {
+                    guarded.insert(*p);
+                }
+            }
+        }
+        Expr::Macro { name, args, .. }
+            if name.starts_with("assert") || name.starts_with("debug_assert") =>
+        {
+            for p in params.iter() {
+                if args.iter().any(|a| expr_mentions(a, p)) {
+                    guarded.insert(*p);
+                }
+            }
+        }
+        Expr::Method {
+            name, recv, args, ..
+        } if matches!(name.as_str(), "get" | "get_mut" | "min" | "max" | "clamp") => {
+            for p in params.iter() {
+                if expr_mentions(recv, p) || args.iter().any(|a| expr_mentions(a, p)) {
+                    guarded.insert(*p);
+                }
+            }
+        }
+        _ => {}
+    });
+    guarded
+}
+
+/// Does `e` mention the plain identifier `name` anywhere?
+fn expr_mentions(e: &Expr, name: &str) -> bool {
+    let mut found = false;
+    crate::ast::walk_expr(e, &mut |x| {
+        if let Expr::Path { segs, .. } = x {
+            if segs.len() == 1 && segs[0] == name {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------------
+// R7: unit-dimension inference
+// ---------------------------------------------------------------------------
+
+/// The inferred dimension of an operand, as far as naming tells us.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tail {
+    /// A compound unit suffix like `w`, `m2`, `w_per_m_k`.
+    Unit(String),
+    /// A raw float literal.
+    Float,
+    /// Unknown or dimensionless.
+    Other,
+}
+
+/// Propagate the R2 unit-suffix grammar through arithmetic in the
+/// physics crates: mismatched additive operands, raw float literals
+/// combined additively with suffixed operands, and `let` bindings whose
+/// name claims a dimension a product/quotient cannot produce.
+pub fn check_r7(table: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for sym in &table.fns {
+        if !crate::R2_CRATES.iter().any(|c| sym.file.starts_with(c)) {
+            continue;
+        }
+        let Some(body) = &sym.def.body else { continue };
+        // Additive checks over every expression. The walker tracks
+        // whether a node sits in the right-assoc chain directly under
+        // a multiplicative operator (the parser has no precedence, so
+        // `k * a + b` parses as `k * (a + b)` — the inner `+`'s left
+        // operand is really scaled by `k` and must not be paired).
+        for s in body {
+            match s {
+                Stmt::Let { init: Some(e), .. } => check_additive(sym, e, false, &mut out),
+                Stmt::Let { .. } => {}
+                Stmt::Expr(e) => check_additive(sym, e, false, &mut out),
+            }
+        }
+        // `let name_u = a * b` / `a / b` re-dimension checks.
+        for_each_stmt(body, &mut |s| {
+            let Stmt::Let {
+                names,
+                init: Some(init),
+                line,
+            } = s
+            else {
+                return;
+            };
+            let [name] = names.as_slice() else { return };
+            let Some(nt) = unit_tail(name) else { return };
+            let Expr::Binary { op, lhs, rhs, .. } = init else {
+                return;
+            };
+            let r = leftmost(rhs);
+            let pairs: &[(&Expr, &Expr)] = match op.as_str() {
+                "*" => &[(lhs, r), (r, lhs)],
+                "/" => &[(lhs, r)],
+                _ => return,
+            };
+            for (same, other) in pairs {
+                if tail_of(same) == Tail::Unit(nt.clone()) {
+                    if let Tail::Unit(o) = tail_of(other) {
+                        out.push(Violation {
+                            rule: Rule::R7,
+                            file: sym.file.clone(),
+                            line: *line,
+                            msg: format!(
+                                "`let {name}` claims `_{nt}` but the initializer `{op}`s a \
+                                 `_{nt}` operand by a `_{o}` operand — the result is not `_{nt}`"
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Walk an expression flagging dimension-mixing additive operators.
+/// `contaminated` marks nodes whose left operand is really the tail of
+/// an enclosing multiplicative chain (flat right-assoc parsing), where
+/// pairing would be wrong.
+fn check_additive(sym: &FnSym, e: &Expr, contaminated: bool, out: &mut Vec<Violation>) {
+    if let Expr::Binary { op, lhs, rhs, line } = e {
+        let additive = matches!(op.as_str(), "+" | "-" | "+=" | "-=");
+        if additive && !contaminated {
+            let l = tail_of(lhs);
+            let r = adjacent_operand(rhs).map_or(Tail::Other, tail_of);
+            match (&l, &r) {
+                (Tail::Unit(a), Tail::Unit(b)) if a != b => out.push(Violation {
+                    rule: Rule::R7,
+                    file: sym.file.clone(),
+                    line: *line,
+                    msg: format!(
+                        "`{op}` combines `_{a}` with `_{b}` in `{}` — convert to a \
+                         common unit first",
+                        sym.qual_name()
+                    ),
+                }),
+                (Tail::Unit(a), Tail::Float) | (Tail::Float, Tail::Unit(a)) => {
+                    out.push(Violation {
+                        rule: Rule::R7,
+                        file: sym.file.clone(),
+                        line: *line,
+                        msg: format!(
+                            "raw float literal combined (`{op}`) with a `_{a}` operand in \
+                             `{}` — bind the constant to a unit-suffixed name",
+                            sym.qual_name()
+                        ),
+                    })
+                }
+                _ => {}
+            }
+        }
+        let mult = matches!(op.as_str(), "*" | "/" | "%" | "*=" | "/=" | "%=");
+        check_additive(sym, lhs, false, out);
+        check_additive(sym, rhs, mult, out);
+        return;
+    }
+    // Every other variant: recurse into children with a clean slate.
+    match e {
+        Expr::Call { func, args, .. } => {
+            check_additive(sym, func, false, out);
+            for a in args {
+                check_additive(sym, a, false, out);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            check_additive(sym, recv, false, out);
+            for a in args {
+                check_additive(sym, a, false, out);
+            }
+        }
+        Expr::Field { base, .. } => check_additive(sym, base, false, out),
+        Expr::Index { base, index, .. } => {
+            check_additive(sym, base, false, out);
+            check_additive(sym, index, false, out);
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                check_additive(sym, a, false, out);
+            }
+        }
+        Expr::Block { stmts, .. } => {
+            for s in stmts {
+                match s {
+                    Stmt::Let { init: Some(i), .. } => check_additive(sym, i, false, out),
+                    Stmt::Let { .. } => {}
+                    Stmt::Expr(x) => check_additive(sym, x, false, out),
+                }
+            }
+        }
+        Expr::ForLoop { iter, body, .. } => {
+            check_additive(sym, iter, false, out);
+            check_additive(sym, body, false, out);
+        }
+        Expr::Other { children, .. } => {
+            for c in children {
+                check_additive(sym, c, false, out);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Binary { .. } => {}
+    }
+}
+
+/// The operand textually adjacent to the right of an additive
+/// operator: descend through additive sub-chains; a multiplicative or
+/// other sub-chain has no single adjacent operand.
+fn adjacent_operand(e: &Expr) -> Option<&Expr> {
+    match e {
+        Expr::Binary { op, lhs, .. } if matches!(op.as_str(), "+" | "-") => adjacent_operand(lhs),
+        Expr::Binary { .. } => None,
+        other => Some(other),
+    }
+}
+
+/// Extract the longest unit suffix of a snake_case name: `flux_w_per_m2`
+/// → `w_per_m2`. `None` for dimensionless or unsuffixed names.
+fn unit_tail(name: &str) -> Option<String> {
+    let lower = name.to_ascii_lowercase();
+    let segs: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    if segs.len() < 2 {
+        return None; // a suffix needs a stem
+    }
+    let last = segs[segs.len() - 1];
+    if DIMENSIONLESS_SEGMENTS.contains(&last) || !UNIT_SEGMENTS.contains(&last) {
+        return None;
+    }
+    let mut start = segs.len() - 1;
+    while start > 1 {
+        let prev = segs[start - 1];
+        if prev == "per" || UNIT_SEGMENTS.contains(&prev) {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    Some(segs[start..].join("_"))
+}
+
+/// The dimension an operand's *name* claims.
+fn tail_of(e: &Expr) -> Tail {
+    match e {
+        Expr::Path { segs, .. } => segs
+            .last()
+            .and_then(|s| unit_tail(s))
+            .map_or(Tail::Other, Tail::Unit),
+        Expr::Field { name, .. } => unit_tail(name).map_or(Tail::Other, Tail::Unit),
+        Expr::Lit { text, .. } if text.contains('.') && !text.starts_with("0x") => Tail::Float,
+        // Dimension-preserving method chains.
+        Expr::Method { name, recv, .. }
+            if matches!(name.as_str(), "abs" | "min" | "max" | "clamp") =>
+        {
+            tail_of(recv)
+        }
+        _ => Tail::Other,
+    }
+}
+
+/// Visit every statement at every block depth, in source order.
+fn for_each_stmt(stmts: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::Let { init: Some(e), .. } => for_each_stmt_expr(e, f),
+            Stmt::Let { .. } => {}
+            Stmt::Expr(e) => for_each_stmt_expr(e, f),
+        }
+    }
+}
+
+fn for_each_stmt_expr(e: &Expr, f: &mut dyn FnMut(&Stmt)) {
+    match e {
+        Expr::Block { stmts, .. } => for_each_stmt(stmts, f),
+        Expr::Call { func, args, .. } => {
+            for_each_stmt_expr(func, f);
+            for a in args {
+                for_each_stmt_expr(a, f);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            for_each_stmt_expr(recv, f);
+            for a in args {
+                for_each_stmt_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => for_each_stmt_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            for_each_stmt_expr(base, f);
+            for_each_stmt_expr(index, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            for_each_stmt_expr(lhs, f);
+            for_each_stmt_expr(rhs, f);
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                for_each_stmt_expr(a, f);
+            }
+        }
+        Expr::ForLoop { iter, body, .. } => {
+            for_each_stmt_expr(iter, f);
+            for_each_stmt_expr(body, f);
+        }
+        Expr::Other { children, .. } => {
+            for c in children {
+                for_each_stmt_expr(c, f);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R8: dead-experiment detection
+// ---------------------------------------------------------------------------
+
+/// Every function defined in the experiment module must be reachable
+/// from the rest of the workspace (the CLI dispatch, the campaign
+/// builder, the bench binaries). Deepens R5: R5 compares name strings,
+/// R8 checks the functions behind them are actually wired up.
+pub fn check_r8(table: &SymbolTable, graph: &CallGraph, experiments_file: &str) -> Vec<Violation> {
+    let exp: Vec<&FnSym> = table
+        .fns
+        .iter()
+        .filter(|f| f.file == experiments_file)
+        .collect();
+    if exp.is_empty() {
+        return Vec::new();
+    }
+    let roots: Vec<usize> = table
+        .fns
+        .iter()
+        .filter(|f| f.file != experiments_file)
+        .map(|f| f.id)
+        .collect();
+    let parent = graph.reachable(&roots);
+    exp.iter()
+        .filter(|sym| !parent.contains_key(&sym.id))
+        .map(|sym| Violation {
+            rule: Rule::R8,
+            file: sym.file.clone(),
+            line: sym.def.line,
+            msg: format!(
+                "fn `{}` in the experiment module is unreachable from CLI dispatch — \
+                 dead experiment code (wire it into run_experiment or remove it)",
+                sym.qual_name()
+            ),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// R9: lock-hold discipline
+// ---------------------------------------------------------------------------
+
+/// A lock guard bound by `let` and still in scope.
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    line: u32,
+}
+
+/// In the `campaign` crate, flag file I/O, `Command` spawns and
+/// cross-crate solver calls made while a `Mutex`/`RwLock` guard is
+/// live. Guards die at end of scope or at an explicit `drop(guard)`.
+pub fn check_r9(table: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for sym in &table.fns {
+        if sym.krate != "campaign" {
+            continue;
+        }
+        let Some(body) = &sym.def.body else { continue };
+        let mut guards: Vec<Guard> = Vec::new();
+        scan_r9_block(sym, table, body, &mut guards, &mut out);
+    }
+    out
+}
+
+fn scan_r9_block(
+    sym: &FnSym,
+    table: &SymbolTable,
+    stmts: &[Stmt],
+    guards: &mut Vec<Guard>,
+    out: &mut Vec<Violation>,
+) {
+    let scope_base = guards.len();
+    for s in stmts {
+        match s {
+            Stmt::Let { names, init, line } => {
+                if let Some(e) = init {
+                    check_r9_expr(sym, table, e, guards, out);
+                    if acquires_guard(e) {
+                        guards.push(Guard {
+                            name: names.first().cloned().unwrap_or_else(|| "_".to_string()),
+                            line: *line,
+                        });
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                if let Some(dropped) = dropped_guard(e) {
+                    if let Some(pos) = guards.iter().rposition(|g| g.name == dropped) {
+                        guards.remove(pos);
+                        continue;
+                    }
+                }
+                check_r9_expr(sym, table, e, guards, out);
+            }
+        }
+    }
+    guards.truncate(scope_base);
+}
+
+/// Does the initializer end in a zero-argument `.lock()` / `.read()` /
+/// `.write()` chain (a guard acquisition)?
+fn acquires_guard(e: &Expr) -> bool {
+    let mut found = false;
+    crate::ast::walk_expr(e, &mut |x| {
+        if let Expr::Method { name, args, .. } = x {
+            if args.is_empty() && matches!(name.as_str(), "lock" | "read" | "write") {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// `drop(g)` on a plain identifier: returns the guard name.
+fn dropped_guard(e: &Expr) -> Option<String> {
+    let Expr::Call { func, args, .. } = e else {
+        return None;
+    };
+    let Expr::Path { segs, .. } = func.as_ref() else {
+        return None;
+    };
+    if segs.len() != 1 || segs[0] != "drop" || args.len() != 1 {
+        return None;
+    }
+    let Expr::Path { segs: g, .. } = &args[0] else {
+        return None;
+    };
+    (g.len() == 1).then(|| g[0].clone())
+}
+
+/// Walk an expression under the current guard set; nested blocks open
+/// new scopes.
+fn check_r9_expr(
+    sym: &FnSym,
+    table: &SymbolTable,
+    e: &Expr,
+    guards: &mut Vec<Guard>,
+    out: &mut Vec<Violation>,
+) {
+    if let Expr::Block { stmts, .. } = e {
+        scan_r9_block(sym, table, stmts, guards, out);
+        return;
+    }
+    if !guards.is_empty() {
+        if let Some(what) = blocking_op(sym, table, e) {
+            let g = &guards[guards.len() - 1];
+            out.push(Violation {
+                rule: Rule::R9,
+                file: sym.file.clone(),
+                line: e.line(),
+                msg: format!(
+                    "{what} while lock guard `{}` (taken line {}) is live in `{}` — \
+                     release the lock first",
+                    g.name,
+                    g.line,
+                    sym.qual_name()
+                ),
+            });
+        }
+    }
+    match e {
+        Expr::Block { .. } => unreachable!("handled above"),
+        Expr::Call { func, args, .. } => {
+            check_r9_expr(sym, table, func, guards, out);
+            for a in args {
+                check_r9_expr(sym, table, a, guards, out);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            check_r9_expr(sym, table, recv, guards, out);
+            for a in args {
+                check_r9_expr(sym, table, a, guards, out);
+            }
+        }
+        Expr::Field { base, .. } => check_r9_expr(sym, table, base, guards, out),
+        Expr::Index { base, index, .. } => {
+            check_r9_expr(sym, table, base, guards, out);
+            check_r9_expr(sym, table, index, guards, out);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_r9_expr(sym, table, lhs, guards, out);
+            check_r9_expr(sym, table, rhs, guards, out);
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                check_r9_expr(sym, table, a, guards, out);
+            }
+        }
+        Expr::ForLoop { iter, body, .. } => {
+            check_r9_expr(sym, table, iter, guards, out);
+            check_r9_expr(sym, table, body, guards, out);
+        }
+        Expr::Other { children, .. } => {
+            for c in children {
+                check_r9_expr(sym, table, c, guards, out);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } => {}
+    }
+}
+
+/// Is this expression (at its own top level) a blocking operation R9
+/// forbids under a lock?
+fn blocking_op(sym: &FnSym, table: &SymbolTable, e: &Expr) -> Option<String> {
+    match e {
+        Expr::Call { func, .. } => {
+            let Expr::Path { segs, .. } = func.as_ref() else {
+                return None;
+            };
+            if segs.iter().any(|s| s == "fs") {
+                return Some(format!("file I/O (`{}`)", segs.join("::")));
+            }
+            if segs.len() >= 2 {
+                let qual = &segs[segs.len() - 2];
+                if qual == "File" || qual == "OpenOptions" {
+                    return Some(format!("file I/O (`{}`)", segs.join("::")));
+                }
+                if qual == "Command" {
+                    return Some(format!("process spawn (`{}`)", segs.join("::")));
+                }
+            }
+            let callee = resolve_path_call(table, sym, segs)?;
+            let target = &table.fns[callee];
+            SOLVER_CRATES
+                .contains(&target.krate.as_str())
+                .then(|| format!("cross-crate solver call (`{}`)", target.display()))
+        }
+        Expr::Method { name, .. } if name == "spawn" => {
+            Some("process spawn (`.spawn()`)".to_string())
+        }
+        Expr::Method { name, .. } => {
+            let callee = resolve_method_call(table, sym, name)?;
+            let target = &table.fns[callee];
+            SOLVER_CRATES
+                .contains(&target.krate.as_str())
+                .then(|| format!("cross-crate solver call (`{}`)", target.display()))
+        }
+        _ => None,
+    }
+}

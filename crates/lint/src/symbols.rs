@@ -1,0 +1,157 @@
+//! Per-crate symbol table over the parsed workspace.
+//!
+//! Every function definition the parser finds becomes a [`FnSym`] with
+//! a stable integer id, its crate (derived from the workspace-relative
+//! path), and the parsed [`FnDef`] itself. The table is the substrate
+//! the call graph resolves against.
+
+use crate::ast::{self, FnDef, Vis};
+use crate::lexer;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One function in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into [`SymbolTable::fns`].
+    pub id: usize,
+    /// Crate name: `crates/<name>/…` → `<name>`, root `src/…` → `root`.
+    pub krate: String,
+    /// Workspace-relative `/`-separated source path.
+    pub file: String,
+    /// The parsed definition (name, qual, vis, params, body).
+    pub def: FnDef,
+}
+
+impl FnSym {
+    /// `Type::name` or plain `name`.
+    pub fn qual_name(&self) -> String {
+        self.def.qual_name()
+    }
+
+    /// Display form used in call paths and the DOT dump:
+    /// `crate::Type::name`.
+    pub fn display(&self) -> String {
+        format!("{}::{}", self.krate, self.qual_name())
+    }
+
+    /// Is this part of a crate's public API surface? `pub(crate)` and
+    /// friends are *not* public for the rules' purposes.
+    pub fn is_pub(&self) -> bool {
+        self.def.vis == Vis::Pub
+    }
+}
+
+/// All function symbols in the workspace, indexed for call resolution.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function, id = index.
+    pub fns: Vec<FnSym>,
+    /// Bare name → ids of every fn with that name.
+    by_name: HashMap<String, Vec<usize>>,
+    /// `Type::name` → ids.
+    by_qual: HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table from `(rel_path, source)` pairs. Files that fail
+    /// to lex or parse are reported in the error list (and skipped);
+    /// the caller decides whether that is fatal.
+    pub fn build(sources: &[(String, String)]) -> (SymbolTable, Vec<String>) {
+        let mut table = SymbolTable::default();
+        let mut errors = Vec::new();
+        for (rel, src) in sources {
+            let tokens = match lexer::lex(src) {
+                Ok(t) => t,
+                Err(e) => {
+                    errors.push(format!("{rel}: {e}"));
+                    continue;
+                }
+            };
+            let tokens = lexer::strip_test_items(&tokens);
+            let parsed = match ast::parse_file(&tokens) {
+                Ok(p) => p,
+                Err(e) => {
+                    errors.push(format!("{rel}: {e}"));
+                    continue;
+                }
+            };
+            let krate = crate_of(rel);
+            for def in parsed.fns {
+                let id = table.fns.len();
+                table.by_name.entry(def.name.clone()).or_default().push(id);
+                table.by_qual.entry(def.qual_name()).or_default().push(id);
+                table.fns.push(FnSym {
+                    id,
+                    krate: krate.clone(),
+                    file: rel.clone(),
+                    def,
+                });
+            }
+        }
+        (table, errors)
+    }
+
+    /// Load and build the table for the workspace rooted at `root`.
+    pub fn from_workspace(root: &Path) -> io::Result<(SymbolTable, Vec<String>)> {
+        let mut sources = Vec::new();
+        for path in crate::collect_sources(root)? {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            sources.push((rel, fs::read_to_string(&path)?));
+        }
+        Ok(SymbolTable::build(&sources))
+    }
+
+    /// Ids of every fn with this bare name.
+    pub fn lookup_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Ids of every fn with this `Type::name`.
+    pub fn lookup_qual(&self, qual: &str) -> &[usize] {
+        self.by_qual.get(qual).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Crate name from a workspace-relative path.
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return rest[..slash].to_string();
+        }
+    }
+    "root".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_of("crates/thermal/src/solver.rs"), "thermal");
+        assert_eq!(crate_of("src/main.rs"), "root");
+    }
+
+    #[test]
+    fn table_indexes_by_name_and_qual() {
+        let sources = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub fn go() {}\nimpl T { pub fn go(&self) {} }".to_string(),
+            ),
+            ("crates/b/src/lib.rs".to_string(), "fn go() {}".to_string()),
+        ];
+        let (t, errs) = SymbolTable::build(&sources);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(t.lookup_name("go").len(), 3);
+        assert_eq!(t.lookup_qual("T::go").len(), 1);
+        assert_eq!(t.fns[t.lookup_qual("T::go")[0]].display(), "a::T::go");
+    }
+}

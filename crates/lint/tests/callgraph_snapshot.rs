@@ -1,0 +1,81 @@
+//! Snapshot test for the DOT rendering of the call graph: a small
+//! synthetic workspace with free functions, methods, cross-crate
+//! calls, and an unresolvable ambiguous call, compared byte-for-byte
+//! against `tests/golden/cgdemo.dot`.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p immersion-lint`.
+
+use immersion_lint::callgraph::CallGraph;
+use immersion_lint::symbols::SymbolTable;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/cgdemo.dot");
+
+fn demo_sources() -> Vec<(String, String)> {
+    vec![
+        (
+            "crates/thermal/src/demo.rs".to_string(),
+            "pub struct Grid;\n\
+             impl Grid {\n\
+                 pub fn solve(&self) -> f64 { self.relax() }\n\
+                 fn relax(&self) -> f64 { norm() }\n\
+             }\n\
+             fn norm() -> f64 { 0.0 }\n"
+                .to_string(),
+        ),
+        (
+            "crates/power/src/demo.rs".to_string(),
+            "pub fn chip_power_w(g: &Grid) -> f64 { g.solve() + leakage_w() }\n\
+             fn leakage_w() -> f64 { 0.0 }\n\
+             // `helper` exists in two crates: the ambiguous free call in\n\
+             // campaign resolves to neither.\n\
+             pub fn helper() {}\n"
+                .to_string(),
+        ),
+        (
+            "crates/coolant/src/demo.rs".to_string(),
+            "pub fn helper() {}\n".to_string(),
+        ),
+        (
+            "crates/campaign/src/demo.rs".to_string(),
+            "pub fn run(g: &Grid) -> f64 {\n\
+                 helper();\n\
+                 chip_power_w(g)\n\
+             }\n"
+            .to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn dot_snapshot_matches_golden() {
+    let (table, errors) = SymbolTable::build(&demo_sources());
+    assert!(errors.is_empty(), "{errors:?}");
+    let graph = CallGraph::build(&table);
+    let dot = graph.to_dot(&table);
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &dot).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(GOLDEN).expect("golden file (run with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        dot, expected,
+        "DOT snapshot drifted; rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn snapshot_edges_reflect_resolution_rules() {
+    let (table, _) = SymbolTable::build(&demo_sources());
+    let graph = CallGraph::build(&table);
+    let dot = graph.to_dot(&table);
+
+    // Method chain within thermal, cross-crate call, and the campaign
+    // entry edge all resolve:
+    assert!(dot.contains("\"thermal::Grid::solve\" -> \"thermal::Grid::relax\""));
+    assert!(dot.contains("\"power::chip_power_w\" -> \"thermal::Grid::solve\""));
+    assert!(dot.contains("\"campaign::run\" -> \"power::chip_power_w\""));
+    // Ambiguous free call (power::helper vs coolant::helper, caller in
+    // neither crate) must produce no edge at all:
+    assert!(!dot.contains("-> \"power::helper\""));
+    assert!(!dot.contains("-> \"coolant::helper\""));
+}

@@ -1,0 +1,135 @@
+//! Lexer edge-case regressions: nested block comments, raw strings,
+//! lifetimes vs char literals, and the other shapes that historically
+//! trip hand-rolled Rust lexers.
+
+use immersion_lint::lexer::{lex, strip_test_items, TokenKind};
+
+#[test]
+fn nested_block_comments() {
+    let toks = lex("a /* outer /* inner */ still comment */ b").unwrap();
+    let idents: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(idents, ["a", "b"]);
+}
+
+#[test]
+fn deeply_nested_block_comment_with_code_inside() {
+    let toks = lex("/* /* /* unwrap() */ */ panic!() */ fn ok() {}").unwrap();
+    assert!(toks.iter().any(|t| t.is_ident("ok")));
+    assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    assert!(!toks.iter().any(|t| t.is_ident("panic")));
+}
+
+#[test]
+fn unterminated_block_comment_is_an_error() {
+    assert!(lex("fn f() {} /* never closed").is_err());
+}
+
+#[test]
+fn raw_strings_with_hashes_and_quotes() {
+    let toks = lex(r####"let s = r#"quote " inside"#;"####).unwrap();
+    let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+    assert_eq!(s.text, "quote \" inside");
+}
+
+#[test]
+fn raw_string_with_two_hashes_containing_one_hash_terminator() {
+    let toks = lex(r#####"let s = r##"ends "# not yet"##;"#####).unwrap();
+    let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+    assert_eq!(s.text, "ends \"# not yet");
+}
+
+#[test]
+fn raw_string_swallows_would_be_tokens() {
+    // The contents must not leak tokens: `unwrap()` inside a raw
+    // string is data, not a call.
+    let toks = lex(r##"let s = r"x.unwrap()";"##).unwrap();
+    assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let toks = lex(r#"let b = b"bytes"; let c = b'x';"#).unwrap();
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Str && t.text == "bytes"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").unwrap();
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["a", "a", "a"]);
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
+}
+
+#[test]
+fn static_lifetime_and_label() {
+    let toks = lex("static X: &'static str = \"s\"; 'outer: loop { break 'outer; }").unwrap();
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["static", "outer", "outer"]);
+}
+
+#[test]
+fn char_literal_with_escapes() {
+    let toks = lex(r"let nl = '\n'; let q = '\''; let tick = '\u{2713}';").unwrap();
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, [r"\n", r"\'", r"\u{2713}"]);
+}
+
+#[test]
+fn numeric_literal_flavours() {
+    let toks = lex("0xff 0b1010 0o77 1_000 1.5e-3 2.0f64 3f32").unwrap();
+    assert!(toks.iter().all(|t| t.kind == TokenKind::Number));
+    assert_eq!(toks.len(), 7);
+    assert!(!toks[0].is_float_literal()); // 0xff
+    assert!(toks[4].is_float_literal()); // 1.5e-3
+    assert!(toks[5].is_float_literal()); // 2.0f64
+}
+
+#[test]
+fn maximal_munch_multi_punct() {
+    let toks = lex("a <<= b ..= c => d :: e").unwrap();
+    let puncts: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Punct)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(puncts, ["<<=", "..=", "=>", "::"]);
+}
+
+#[test]
+fn line_numbers_survive_comments_and_strings() {
+    let src = "// line 1\n/* spans\nlines */ a\nb";
+    let toks = lex(src).unwrap();
+    assert_eq!(toks[0].text, "a");
+    assert_eq!(toks[0].line, 3);
+    assert_eq!(toks[1].text, "b");
+    assert_eq!(toks[1].line, 4);
+}
+
+#[test]
+fn strip_test_items_removes_cfg_test_module_only() {
+    let src = "pub fn keep() {}\n\
+               #[cfg(test)]\nmod tests { fn gone() { x.unwrap(); } }\n\
+               pub fn also_keep() {}";
+    let toks = strip_test_items(&lex(src).unwrap());
+    assert!(toks.iter().any(|t| t.is_ident("keep")));
+    assert!(toks.iter().any(|t| t.is_ident("also_keep")));
+    assert!(!toks.iter().any(|t| t.is_ident("gone")));
+    assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+}

@@ -1,0 +1,34 @@
+//! The parser must stay *total* over the repository: every workspace
+//! source file (raw, before test-stripping) must lex, nest into token
+//! trees, and parse into items without error. CI runs this test so a
+//! new syntax construct that defeats the parser fails the build
+//! instead of silently dropping functions from the call graph.
+
+use immersion_lint::{ast, collect_sources, find_workspace_root, lexer};
+
+#[test]
+fn every_workspace_file_parses() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+    let files = collect_sources(&root).expect("collect sources");
+    assert!(files.len() > 50, "suspiciously few files: {}", files.len());
+    let mut parsed_fns = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).expect("read source");
+        let tokens = lexer::lex(&src).unwrap_or_else(|e| panic!("{rel}: lex error: {e}"));
+        let file = ast::parse_file(&tokens).unwrap_or_else(|e| panic!("{rel}: parse error: {e}"));
+        parsed_fns += file.fns.len();
+    }
+    // The workspace defines hundreds of functions; if the item parser
+    // silently skipped most of them the call graph would be hollow.
+    assert!(
+        parsed_fns > 300,
+        "only {parsed_fns} fns parsed across {} files — item parser is dropping definitions",
+        files.len()
+    );
+}

@@ -1,0 +1,153 @@
+//! Golden-file test for the SARIF rendering: a fixed [`LintReport`]
+//! rendered to `tests/golden/sample.sarif`, plus a structural schema
+//! check (the SARIF 2.1.0 subset we emit) done by actually parsing the
+//! JSON with the vendored `serde_json`.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p immersion-lint`.
+
+use immersion_lint::report::{to_json, to_sarif};
+use immersion_lint::rules::{Rule, Violation};
+use immersion_lint::LintReport;
+use serde_json::Value;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sample.sarif");
+
+fn sample_report() -> LintReport {
+    let mut r = LintReport {
+        files_checked: 3,
+        suppressed: 1,
+        allowlist_total: 1,
+        ..LintReport::default()
+    };
+    r.errors
+        .push("[R6] crates/power/src/vfs.rs:12: pub fn `max_step` can reach a panic site".into());
+    r.errors
+        .push("parse error: crates/power/src/broken.rs:4: unbalanced `}`".into());
+    r.warnings.push(
+        "[R1] crates/power/src/vfs.rs: allowlist budget 2 but only 1 violation(s) remain — \
+               run `watercool lint --fix-allowlist` to ratchet it down"
+            .into(),
+    );
+    r.new_violations.push(Violation {
+        rule: Rule::R6,
+        file: "crates/power/src/vfs.rs".into(),
+        line: 12,
+        msg: "pub fn `max_step` can reach a panic site".into(),
+    });
+    r.suppressed_violations.push(Violation {
+        rule: Rule::R1,
+        file: "crates/power/src/vfs.rs".into(),
+        line: 40,
+        msg: ".expect() in non-test code (return a Result or use unwrap_or_*)".into(),
+    });
+    r
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    match v {
+        Value::Map(m) => m.get(key).unwrap_or_else(|| panic!("missing key `{key}`")),
+        other => panic!("expected object for `{key}`, got {other:?}"),
+    }
+}
+
+fn seq(v: &Value) -> &[Value] {
+    match v {
+        Value::Seq(s) => s,
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+fn string(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn sarif_matches_golden() {
+    let sarif = to_sarif(&sample_report());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &sarif).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(GOLDEN).expect("golden file (run with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        sarif, expected,
+        "SARIF output drifted; rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn sarif_conforms_to_the_emitted_schema_subset() {
+    let sarif = to_sarif(&sample_report());
+    let doc: Value = serde_json::from_str(&sarif).expect("SARIF must be valid JSON");
+
+    assert_eq!(string(field(&doc, "version")), "2.1.0");
+    assert!(string(field(&doc, "$schema")).contains("sarif-2.1.0"));
+
+    let runs = seq(field(&doc, "runs"));
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+
+    let driver = field(field(run, "tool"), "driver");
+    assert_eq!(string(field(driver, "name")), "watercool-lint");
+    let rules = seq(field(driver, "rules"));
+    assert_eq!(rules.len(), Rule::ALL.len());
+    for (decl, rule) in rules.iter().zip(Rule::ALL) {
+        assert_eq!(string(field(decl, "id")), rule.id());
+        let text = string(field(field(decl, "shortDescription"), "text"));
+        assert!(!text.is_empty());
+    }
+
+    // Each result: ruleId among the declared rules, a message, and a
+    // physical location with a 1-based line.
+    let results = seq(field(run, "results"));
+    assert_eq!(results.len(), 2);
+    for res in results {
+        let rule_id = string(field(res, "ruleId"));
+        assert!(Rule::from_id(rule_id).is_some(), "unknown ruleId {rule_id}");
+        assert!(!string(field(field(res, "message"), "text")).is_empty());
+        let locations = seq(field(res, "locations"));
+        assert_eq!(locations.len(), 1);
+        let phys = field(&locations[0], "physicalLocation");
+        let uri = string(field(field(phys, "artifactLocation"), "uri"));
+        assert!(uri.starts_with("crates/"), "{uri}");
+        match field(field(phys, "region"), "startLine") {
+            Value::U64(n) => assert!(*n >= 1),
+            other => panic!("startLine must be a number, got {other:?}"),
+        }
+    }
+
+    // Suppressed findings carry a suppression; new ones must not.
+    let suppressions: Vec<bool> = results
+        .iter()
+        .map(|r| matches!(r, Value::Map(m) if m.contains_key("suppressions")))
+        .collect();
+    assert_eq!(suppressions, [false, true]);
+
+    // The failed invocation and the non-violation error notification.
+    let invocations = seq(field(run, "invocations"));
+    assert_eq!(invocations.len(), 1);
+    assert_eq!(
+        field(&invocations[0], "executionSuccessful"),
+        &Value::Bool(false)
+    );
+    let notes = seq(field(&invocations[0], "toolExecutionNotifications"));
+    assert_eq!(notes.len(), 1);
+    assert!(string(field(field(&notes[0], "message"), "text")).contains("parse error"));
+}
+
+#[test]
+fn json_rendering_is_parsable_and_complete() {
+    let report = sample_report();
+    let doc: Value = serde_json::from_str(&to_json(&report)).expect("JSON must parse");
+    assert_eq!(field(&doc, "files_checked"), &Value::U64(3));
+    assert_eq!(field(&doc, "clean"), &Value::Bool(false));
+    assert_eq!(seq(field(&doc, "errors")).len(), 2);
+    assert_eq!(seq(field(&doc, "warnings")).len(), 1);
+    let violations = seq(field(&doc, "violations"));
+    assert_eq!(violations.len(), 2);
+    assert_eq!(string(field(&violations[0], "rule")), "R6");
+    assert_eq!(field(&violations[0], "suppressed"), &Value::Bool(false));
+    assert_eq!(field(&violations[1], "suppressed"), &Value::Bool(true));
+}

@@ -1,0 +1,290 @@
+//! Good/bad fixture pairs for the semantic rules R6–R9, driven through
+//! the in-memory [`SymbolTable::build`] API with synthetic workspace
+//! paths (the rules key off `crates/<name>/` prefixes).
+
+use immersion_lint::callgraph::CallGraph;
+use immersion_lint::rules::Rule;
+use immersion_lint::semantic::{check_r6, check_r7, check_r8, check_r9};
+use immersion_lint::symbols::SymbolTable;
+
+fn model(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    let (table, errors) = SymbolTable::build(&sources);
+    assert!(errors.is_empty(), "fixture must parse: {errors:?}");
+    let graph = CallGraph::build(&table);
+    (table, graph)
+}
+
+// --- R6: panic reachability -----------------------------------------------
+
+#[test]
+fn r6_flags_pub_fn_reaching_unwrap_through_private_helper() {
+    let (table, graph) = model(&[(
+        "crates/power/src/fixture.rs",
+        "pub fn peak_w(xs: &[f64]) -> f64 { helper(xs) }\n\
+         fn helper(xs: &[f64]) -> f64 { *xs.first().unwrap() }",
+    )]);
+    let v = check_r6(&table, &graph);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::R6);
+    assert!(v[0].msg.contains("peak_w"), "{}", v[0].msg);
+    assert!(v[0].msg.contains("call path"), "{}", v[0].msg);
+    assert!(v[0].msg.contains("helper"), "{}", v[0].msg);
+}
+
+#[test]
+fn r6_accepts_result_returning_version() {
+    let (table, graph) = model(&[(
+        "crates/power/src/fixture.rs",
+        "pub fn peak_w(xs: &[f64]) -> Option<f64> { helper(xs) }\n\
+         fn helper(xs: &[f64]) -> Option<f64> { xs.first().copied() }",
+    )]);
+    assert!(check_r6(&table, &graph).is_empty());
+}
+
+#[test]
+fn r6_flags_unguarded_param_indexing_but_accepts_asserted() {
+    let bad = model(&[(
+        "crates/thermal/src/fixture.rs",
+        "pub struct G { xs: Vec<f64> }\n\
+         impl G { pub fn at(&self, i: usize) -> f64 { self.xs[i] } }",
+    )]);
+    let v = check_r6(&bad.0, &bad.1);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("indexing"), "{}", v[0].msg);
+
+    let good = model(&[(
+        "crates/thermal/src/fixture.rs",
+        "pub struct G { xs: Vec<f64> }\n\
+         impl G { pub fn at(&self, i: usize) -> f64 { \
+         assert!(i < self.xs.len()); self.xs[i] } }",
+    )]);
+    assert!(check_r6(&good.0, &good.1).is_empty());
+}
+
+#[test]
+fn r6_ignores_crates_outside_the_physics_set() {
+    let (table, graph) = model(&[(
+        "crates/archsim/src/fixture.rs",
+        "pub fn go(xs: &[f64]) -> f64 { *xs.first().unwrap() }",
+    )]);
+    assert!(check_r6(&table, &graph).is_empty());
+}
+
+#[test]
+fn r6_panic_macro_is_a_site_and_cross_crate_paths_resolve() {
+    let (table, graph) = model(&[
+        (
+            "crates/coolant/src/fixture.rs",
+            "pub fn film_w(x: f64) -> f64 { inner_solver(x) }",
+        ),
+        (
+            "crates/thermal/src/fixture.rs",
+            "pub fn inner_solver(x: f64) -> f64 { \
+             if x < 0.0 { panic!(\"negative\"); } x }",
+        ),
+    ]);
+    let v = check_r6(&table, &graph);
+    // Both pub fns flag: the thermal entry point directly, the coolant
+    // one through the cross-crate edge.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v
+        .iter()
+        .any(|v| v.msg.contains("film_w")
+            && v.msg.contains("coolant::film_w -> thermal::inner_solver")));
+}
+
+// --- R7: unit-dimension inference -----------------------------------------
+
+#[test]
+fn r7_flags_mixed_unit_addition() {
+    let (table, _) = model(&[(
+        "crates/thermal/src/fixture.rs",
+        "pub fn mix(temp_c: f64, temp_k: f64) -> f64 { temp_c + temp_k }",
+    )]);
+    let v = check_r7(&table);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::R7);
+    assert!(v[0].msg.contains("_c"), "{}", v[0].msg);
+    assert!(v[0].msg.contains("_k"), "{}", v[0].msg);
+}
+
+#[test]
+fn r7_accepts_matching_units_and_dimensionless_operands() {
+    let (table, _) = model(&[(
+        "crates/thermal/src/fixture.rs",
+        "pub fn ok(temp_c: f64, delta_c: f64, ratio: f64) -> f64 { \
+         temp_c + delta_c * ratio }",
+    )]);
+    assert!(check_r7(&table).is_empty());
+}
+
+#[test]
+fn r7_flags_raw_literal_added_to_suffixed_operand() {
+    let (table, _) = model(&[(
+        "crates/power/src/fixture.rs",
+        "pub fn bump(power_w: f64) -> f64 { power_w + 3.5 }",
+    )]);
+    let v = check_r7(&table);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("literal"), "{}", v[0].msg);
+}
+
+#[test]
+fn r7_flags_product_assigned_to_same_unit_name() {
+    // power × area cannot still be watts.
+    let (table, _) = model(&[(
+        "crates/power/src/fixture.rs",
+        "pub fn density(power_w: f64, area_mm2: f64) -> f64 { \
+         let total_w = power_w * area_mm2; total_w }",
+    )]);
+    let v = check_r7(&table);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("total_w"), "{}", v[0].msg);
+}
+
+#[test]
+fn r7_accepts_product_with_dimensionless_factor() {
+    let (table, _) = model(&[(
+        "crates/power/src/fixture.rs",
+        "pub fn scaled(power_w: f64, factor: f64) -> f64 { \
+         let out_w = power_w * factor; out_w }",
+    )]);
+    assert!(check_r7(&table).is_empty());
+}
+
+#[test]
+fn r7_does_not_apply_outside_the_unit_crates() {
+    let (table, _) = model(&[(
+        "crates/campaign/src/fixture.rs",
+        "pub fn mix(temp_c: f64, temp_k: f64) -> f64 { temp_c + temp_k }",
+    )]);
+    assert!(check_r7(&table).is_empty());
+}
+
+// --- R8: dead experiment detection ----------------------------------------
+
+const EXP_FILE: &str = "crates/bench/src/experiments.rs";
+
+#[test]
+fn r8_flags_experiment_unreachable_from_dispatch() {
+    let (table, graph) = model(&[
+        (
+            EXP_FILE,
+            "pub fn fig4_speedup() {}\npub fn orphan_study() {}",
+        ),
+        (
+            "crates/bench/src/cli.rs",
+            "pub fn dispatch() { fig4_speedup(); }",
+        ),
+    ]);
+    let v = check_r8(&table, &graph, EXP_FILE);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::R8);
+    assert!(v[0].msg.contains("orphan_study"), "{}", v[0].msg);
+}
+
+#[test]
+fn r8_accepts_fully_wired_registry() {
+    let (table, graph) = model(&[
+        (EXP_FILE, "pub fn fig4_speedup() {}\npub fn fig6_power() {}"),
+        (
+            "crates/bench/src/cli.rs",
+            "pub fn dispatch() { fig4_speedup(); fig6_power(); }",
+        ),
+    ]);
+    assert!(check_r8(&table, &graph, EXP_FILE).is_empty());
+}
+
+#[test]
+fn r8_counts_intra_registry_helpers_reached_via_a_dispatched_fn() {
+    // A helper called only by a dispatched experiment is not dead.
+    let (table, graph) = model(&[
+        (
+            EXP_FILE,
+            "pub fn fig4_speedup() { shared_setup(); }\nfn shared_setup() {}",
+        ),
+        (
+            "crates/bench/src/cli.rs",
+            "pub fn dispatch() { fig4_speedup(); }",
+        ),
+    ]);
+    assert!(check_r8(&table, &graph, EXP_FILE).is_empty());
+}
+
+// --- R9: lock-hold discipline ---------------------------------------------
+
+#[test]
+fn r9_flags_file_io_under_live_guard() {
+    let (table, _) = model(&[(
+        "crates/campaign/src/fixture.rs",
+        "pub fn worker(s: &Shared) {\n\
+         let g = s.state.lock();\n\
+         let _ = std::fs::read_to_string(\"cache.json\");\n\
+         drop(g);\n}",
+    )]);
+    let v = check_r9(&table);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::R9);
+    assert!(v[0].msg.contains("file I/O"), "{}", v[0].msg);
+}
+
+#[test]
+fn r9_accepts_io_after_drop_or_outside_guard_scope() {
+    let (table, _) = model(&[(
+        "crates/campaign/src/fixture.rs",
+        "pub fn worker(s: &Shared) {\n\
+         let g = s.state.lock();\n\
+         drop(g);\n\
+         let _ = std::fs::read_to_string(\"cache.json\");\n}\n\
+         pub fn scoped(s: &Shared) {\n\
+         { let g = s.state.lock(); let _ = g; }\n\
+         let _ = std::fs::read_to_string(\"cache.json\");\n}",
+    )]);
+    assert!(check_r9(&table).is_empty());
+}
+
+#[test]
+fn r9_flags_command_spawn_under_guard() {
+    let (table, _) = model(&[(
+        "crates/campaign/src/fixture.rs",
+        "pub fn runner(s: &Shared) {\n\
+         let st = s.state.write();\n\
+         let _ = std::process::Command::new(\"solver\").spawn();\n\
+         drop(st);\n}",
+    )]);
+    let v = check_r9(&table);
+    assert!(!v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn r9_flags_cross_crate_solver_call_under_guard() {
+    let (table, _) = model(&[
+        (
+            "crates/campaign/src/fixture.rs",
+            "pub fn tick(s: &Shared) {\n\
+             let g = s.state.lock();\n\
+             solve_steady();\n\
+             drop(g);\n}",
+        ),
+        ("crates/thermal/src/fixture.rs", "pub fn solve_steady() {}"),
+    ]);
+    let v = check_r9(&table);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("solver"), "{}", v[0].msg);
+}
+
+#[test]
+fn r9_ignores_lock_shaped_calls_outside_campaign() {
+    let (table, _) = model(&[(
+        "crates/archsim/src/fixture.rs",
+        "pub fn worker(s: &Shared) {\n\
+         let g = s.state.lock();\n\
+         let _ = std::fs::read_to_string(\"trace.bin\");\n\
+         drop(g);\n}",
+    )]);
+    assert!(check_r9(&table).is_empty());
+}

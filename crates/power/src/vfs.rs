@@ -56,13 +56,13 @@ impl VfsCurve {
     }
 
     /// Relative drive strength `(V − Vth)^α / V`, before normalisation.
-    fn drive(&self, v_volts: f64) -> f64 {
-        (v_volts - self.v_th_v).max(0.0).powf(self.alpha) / v_volts
+    fn drive(&self, supply_v: f64) -> f64 {
+        (supply_v - self.v_th_v).max(0.0).powf(self.alpha) / supply_v
     }
 
-    /// The frequency (GHz) achievable at supply voltage_v `v`.
-    pub fn freq_at(&self, v_volts: f64) -> f64 {
-        self.f_max_ghz * self.drive(v_volts) / self.drive(self.v_max_v)
+    /// The frequency (GHz) achievable at supply voltage `supply_v`.
+    pub fn freq_at(&self, supply_v: f64) -> f64 {
+        self.f_max_ghz * self.drive(supply_v) / self.drive(self.v_max_v)
     }
 
     /// The minimum supply voltage for frequency `f_ghz`, by bisection.
@@ -114,9 +114,12 @@ impl VfsTable {
         let steps = (0..n)
             .map(|i| {
                 let f = f_min_ghz + i as f64 * delta_ghz;
-                curve
-                    .step_for(f.min(curve.f_max_ghz))
-                    .expect("step within curve range")
+                // `f.min(f_max)` is always in (0, f_max], so `step_for`
+                // returns `Some`; fall back to the top step regardless.
+                curve.step_for(f.min(curve.f_max_ghz)).unwrap_or(VfsStep {
+                    freq_ghz: curve.f_max_ghz,
+                    voltage_v: curve.v_max_v,
+                })
             })
             .collect();
         VfsTable { curve, steps }
@@ -150,7 +153,7 @@ impl VfsTable {
 
     /// The highest step.
     pub fn max_step(&self) -> VfsStep {
-        *self.steps.last().expect("table is non-empty")
+        self.steps[self.steps.len() - 1]
     }
 
     /// The highest step with frequency ≤ `f_ghz`, if any.
@@ -164,6 +167,7 @@ impl VfsTable {
 
     /// The step at index `i` (ascending frequency).
     pub fn step(&self, i: usize) -> VfsStep {
+        assert!(i < self.steps.len());
         self.steps[i]
     }
 }

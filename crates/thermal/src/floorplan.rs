@@ -199,6 +199,7 @@ impl Floorplan {
     /// pairs. The fractions over all cells sum to 1, so distributing a
     /// block's power by these weights conserves it exactly.
     pub fn rasterize_block(&self, block_idx: usize, nx: usize, ny: usize) -> Vec<(usize, f64)> {
+        assert!(block_idx < self.blocks.len());
         let b = &self.blocks[block_idx];
         let dx = self.width / nx as f64;
         let dy = self.height / ny as f64;

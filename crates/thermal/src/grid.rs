@@ -492,6 +492,7 @@ impl ThermalModel {
 
     /// Index of the first node of layer `li`.
     pub fn layer_offset(&self, li: usize) -> usize {
+        assert!(li < self.offsets.len());
         self.offsets[li]
     }
 

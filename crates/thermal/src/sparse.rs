@@ -111,6 +111,7 @@ impl CsrMatrix {
 
     /// Read entry `(i, j)` (zero if not stored).
     pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i + 1 < self.row_ptr.len());
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
         match self.col_idx[lo..hi].binary_search(&(j as u32)) {
             Ok(k) => self.values[lo + k],
@@ -120,6 +121,7 @@ impl CsrMatrix {
 
     /// Iterate over the stored `(column, value)` pairs of row `i`.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i + 1 < self.row_ptr.len());
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
         self.col_idx[lo..hi]
             .iter()

@@ -47,6 +47,7 @@ impl<'m> Solution<'m> {
 
     /// Hottest node within physical layer `li`.
     pub fn layer_max(&self, li: usize) -> f64 {
+        assert!(li < self.model.layers().len());
         let off = self.model.layer_offset(li);
         let n = self.model.layers()[li].nx * self.model.layers()[li].ny;
         self.temps[off..off + n]
@@ -67,6 +68,7 @@ impl<'m> Solution<'m> {
     /// The temperature field of physical layer `li`, row-major
     /// (`ny` rows × `nx` columns).
     pub fn layer_map(&self, li: usize) -> Vec<f64> {
+        assert!(li < self.model.layers().len());
         let l = &self.model.layers()[li];
         let off = self.model.layer_offset(li);
         self.temps[off..off + l.nx * l.ny].to_vec()
@@ -135,6 +137,7 @@ impl ThermalMap {
 
     /// Temperature at `(ix, iy)`.
     pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny);
         self.temps[iy * self.nx + ix]
     }
 
