@@ -89,6 +89,17 @@ pub enum Command {
         /// Extra attempts after a first failure.
         retries: u32,
     },
+    /// Fixed thermal-solver benchmark writing `BENCH_thermal.json`.
+    BenchThermal {
+        /// CI-sized workload (small grids, single repetition).
+        smoke: bool,
+        /// Widest thread pool to measure (1..=N).
+        threads: usize,
+        /// Output path for the JSON report.
+        out: String,
+        /// Baseline JSON; >20% regression of mean cold CG iterations fails.
+        check: Option<String>,
+    },
     /// Run the repo's static-analysis rules (R1–R9) over the workspace.
     Lint {
         /// Rewrite lint.allow to the current violation counts.
@@ -154,6 +165,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: get_or("--out", "results"),
             retries: num("--retries", "2")? as u32,
         }),
+        "bench" => match rest.first().copied() {
+            Some("thermal") => Ok(Command::BenchThermal {
+                smoke: has("--smoke"),
+                threads: num("--threads", "4")? as usize,
+                out: get_or("--out", "BENCH_thermal.json"),
+                check: get("--check").map(str::to_string),
+            }),
+            other => Err(format!(
+                "bench: expected a suite name ('thermal'), got {}\n{}",
+                other.map_or("nothing".to_string(), |o| format!("'{o}'")),
+                usage()
+            )),
+        },
         "lint" => {
             let format = get_or("--format", "text");
             if !matches!(format.as_str(), "text" | "json" | "sarif") {
@@ -182,6 +206,7 @@ pub fn usage() -> String {
        simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
        export-flp  --chip lp|hf|e5|phi\n\
        campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]\n\
+       bench       thermal [--smoke] [--threads N] [--out PATH] [--check BASELINE]\n\
        lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]"
         .to_string()
 }
@@ -213,6 +238,17 @@ pub fn cooling_by_key(key: &str) -> Result<CoolingParams, String> {
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(usage()),
+        Command::BenchThermal {
+            smoke,
+            threads,
+            out,
+            check,
+        } => crate::thermal_bench::run_and_report(&crate::thermal_bench::BenchConfig {
+            smoke,
+            threads,
+            out,
+            check,
+        }),
         Command::Lint {
             fix_allowlist,
             format,
@@ -519,5 +555,32 @@ mod tests {
     fn help_prints_usage() {
         let out = run(Command::Help).unwrap();
         assert!(out.contains("watercool"));
+    }
+
+    #[test]
+    fn parses_bench_thermal() {
+        assert_eq!(
+            parse(&args("bench thermal")).unwrap(),
+            Command::BenchThermal {
+                smoke: false,
+                threads: 4,
+                out: "BENCH_thermal.json".into(),
+                check: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "bench thermal --smoke --threads 2 --out /tmp/b.json --check BENCH_baseline.json"
+            ))
+            .unwrap(),
+            Command::BenchThermal {
+                smoke: true,
+                threads: 2,
+                out: "/tmp/b.json".into(),
+                check: Some("BENCH_baseline.json".into()),
+            }
+        );
+        assert!(parse(&args("bench")).is_err());
+        assert!(parse(&args("bench quantum")).is_err());
     }
 }

@@ -12,6 +12,8 @@
 pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub mod thermal_bench;
 
 pub use campaign::{build_campaign, SUMMARY_JOB};
 pub use experiments::{run_experiment, Quality, EXPERIMENTS};
+pub use thermal_bench::{run_bench, BenchConfig, BenchReport};

@@ -16,6 +16,22 @@ use immersion_power::vfs::VfsStep;
 use immersion_thermal::grid::{PowerAssignment, ThermalModel};
 use immersion_thermal::steady::Solution;
 use immersion_thermal::{Result, ThermalError};
+use rayon::prelude::*;
+
+/// Cost counters for one explorer search: how many feasibility probes
+/// the binary search made, how many steady solves they required
+/// (leakage fixpoints take several per probe), and the total CG
+/// iterations underneath. The benchmark compares warm- vs cold-start
+/// searches on `cg_iterations`, which is machine-independent.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Feasibility probes (steps evaluated by the binary search).
+    pub probes: usize,
+    /// Steady-state solves across all probes and fixpoint rounds.
+    pub solves: usize,
+    /// CG iterations summed over all those solves.
+    pub cg_iterations: usize,
+}
 
 /// Build the power assignment for every die at `step`.
 ///
@@ -43,16 +59,52 @@ pub fn peak_temperature(design: &CmpDesign, model: &ThermalModel, step: VfsStep)
 }
 
 /// Solve the thermal field of the design at `step`. `warm` optionally
-/// provides an initial guess (the previous step of a sweep).
+/// provides an initial guess (the previous step of a sweep); without
+/// one the model's own cached field still warm-starts the solve.
 pub fn solve_at<'m>(
     design: &CmpDesign,
     model: &'m ThermalModel,
     step: VfsStep,
     warm: Option<&[f64]>,
 ) -> Result<Solution<'m>> {
-    let solve = |power: &PowerAssignment, guess: Option<&[f64]>| match guess {
-        Some(g) => model.solve_steady_from(power, g),
-        None => model.solve_steady(power),
+    solve_at_traced(
+        design,
+        model,
+        step,
+        warm,
+        false,
+        &mut SearchStats::default(),
+    )
+}
+
+/// [`solve_at`] with cost accounting: every steady solve (including
+/// each leakage-fixpoint round) bumps `stats.solves` and adds its CG
+/// iterations to `stats.cg_iterations`.
+///
+/// `cold` forces **every** CG solve — including leakage-fixpoint rounds
+/// — to start from the ambient guess with no state reuse at all; it is
+/// the benchmark's no-reuse baseline, not something callers want for
+/// speed.
+pub fn solve_at_traced<'m>(
+    design: &CmpDesign,
+    model: &'m ThermalModel,
+    step: VfsStep,
+    warm: Option<&[f64]>,
+    cold: bool,
+    stats: &mut SearchStats,
+) -> Result<Solution<'m>> {
+    let mut solve = |power: &PowerAssignment, guess: Option<&[f64]>| -> Result<Solution<'m>> {
+        let sol = if cold {
+            model.solve_steady_cold(power)?
+        } else {
+            match guess {
+                Some(g) => model.solve_steady_from(power, g)?,
+                None => model.solve_steady(power)?,
+            }
+        };
+        stats.solves += 1;
+        stats.cg_iterations += sol.iterations();
+        Ok(sol)
     };
 
     if !design.leakage_feedback {
@@ -64,23 +116,60 @@ pub fn solve_at<'m>(
     // Damped iteration from the characterisation temperature; converges
     // in a handful of rounds because the coupling is weak.
     let mut t_j = design.chip.leakage_ref_temp_c;
-    let mut sol = {
-        let p = power_at(design, model, step, Some(t_j))?;
-        solve(&p, warm)?
-    };
+    let mut p = power_at(design, model, step, Some(t_j))?;
+    let mut sol = solve(&p, warm)?;
+    let ambient = model.mean_ambient();
+    // Field and junction temperature of the round before the current
+    // one, for extrapolated warm starts.
+    let mut prev: Option<(Vec<f64>, f64)> = None;
+    let mut delta = f64::INFINITY;
     for _ in 0..20 {
         let t_new = sol.die_max();
-        if (t_new - t_j).abs() < 0.05 {
+        delta = (t_new - t_j).abs();
+        if delta < 0.05 {
             return Ok(sol);
         }
-        t_j = 0.5 * t_j + 0.5 * t_new;
+        let t_next = 0.5 * t_j + 0.5 * t_new;
         let temps = sol.into_temps();
-        let p = power_at(design, model, step, Some(t_j))?;
-        sol = solve(&p, Some(&temps))?;
+        let p_new = power_at(design, model, step, Some(t_next))?;
+        // Seed the next CG solve with the best field prediction we can
+        // make. The solved field is (for fixed power shape) affine in
+        // the junction temperature driving the leakage, so once two
+        // rounds exist, linear extrapolation along the t_j trajectory
+        // predicts the next field to second order. Before that, rescale
+        // the temperature rise by the total-power ratio (the system is
+        // linear in power), which cancels the uniform part of the shift.
+        let extrapolated = prev
+            .as_ref()
+            .and_then(|(f_prev, t_prev)| Some((f_prev, extrapolation_ratio(t_prev, t_j, t_next)?)));
+        let guess: Vec<f64> = match extrapolated {
+            Some((f_prev, c)) => temps
+                .iter()
+                .zip(f_prev)
+                .map(|(&t, &q)| t + c * (t - q))
+                .collect(),
+            None => {
+                let ratio = if p.total() > 0.0 {
+                    p_new.total() / p.total()
+                } else {
+                    1.0
+                };
+                temps
+                    .iter()
+                    .map(|&t| ambient + ratio * (t - ambient))
+                    .collect()
+            }
+        };
+        sol = solve(&p_new, Some(&guess))?;
+        prev = Some((temps, t_j));
+        t_j = t_next;
+        p = p_new;
     }
+    // Report the actual last junction-temperature delta (°C) so the
+    // caller can see how far from the 0.05 °C band the fixpoint stalled.
     Err(ThermalError::SolverDiverged {
         iterations: 20,
-        residual: f64::NAN,
+        residual: delta,
     })
 }
 
@@ -93,39 +182,147 @@ pub fn max_frequency(design: &CmpDesign) -> Option<VfsStep> {
 }
 
 /// [`max_frequency`] against a pre-built thermal model (the model does
-/// not depend on the step, so sweeps reuse it).
+/// not depend on the step, so sweeps reuse it). Probes warm-start from
+/// the nearest already-solved step.
 pub fn max_frequency_with_model(design: &CmpDesign, model: &ThermalModel) -> Option<VfsStep> {
+    max_frequency_searched(design, model, true).0
+}
+
+/// The binary search itself, with its cost counters exposed and
+/// warm-starting switchable (the benchmark runs both ways to measure
+/// the saving).
+///
+/// With `warm_start`, every probe's converged field is kept and the
+/// next probe seeds CG from the field of the **nearest previously
+/// solved step** — nearest in step index, so the power maps (and hence
+/// the fields) are as close as the search history allows — and the
+/// leakage fixpoint chains fields between its rounds as usual. Without
+/// it, every CG solve anywhere in the search starts from the ambient
+/// guess: the no-reuse baseline the benchmark compares against.
+pub fn max_frequency_searched(
+    design: &CmpDesign,
+    model: &ThermalModel,
+    warm_start: bool,
+) -> (Option<VfsStep>, SearchStats) {
     let steps = design.chip.vfs.steps();
     let threshold = design.threshold();
-    let feasible = |idx: usize| -> bool {
-        solve_at(design, model, steps[idx], None)
-            .map(|s| s.die_max() <= threshold)
-            .unwrap_or(false)
+    let mut stats = SearchStats::default();
+    // Per solved step index: the converged temperature field and the
+    // total power that produced it.
+    let mut fields: Vec<Option<(Vec<f64>, f64)>> = vec![None; steps.len()];
+
+    // Round-1 power of a probe (the leakage fixpoint pins the junction
+    // temperature to the characterisation point on its first round).
+    let probe_power = |idx: usize| -> Option<f64> {
+        let t_j = design
+            .leakage_feedback
+            .then_some(design.chip.leakage_ref_temp_c);
+        power_at(design, model, steps[idx], t_j)
+            .ok()
+            .map(|p| p.total())
     };
+
+    let mut feasible = |idx: usize, fields: &mut Vec<Option<(Vec<f64>, f64)>>| -> bool {
+        stats.probes += 1;
+        let guess = if warm_start {
+            scaled_nearest_field(fields, idx, probe_power(idx), model.mean_ambient())
+        } else {
+            model.reset_solver_state();
+            None
+        };
+        let solved = solve_at_traced(
+            design,
+            model,
+            steps[idx],
+            guess.as_deref(),
+            !warm_start,
+            &mut stats,
+        );
+        match solved {
+            Ok(sol) => {
+                let ok = sol.die_max() <= threshold;
+                if warm_start {
+                    let p = probe_power(idx).unwrap_or(f64::NAN);
+                    fields[idx] = Some((sol.into_temps(), p));
+                }
+                ok
+            }
+            Err(_) => false,
+        }
+    };
+
     // Binary search for the last feasible index.
-    if !feasible(0) {
-        return None;
+    if !feasible(0, &mut fields) {
+        return (None, stats);
     }
     let (mut lo, mut hi) = (0usize, steps.len() - 1);
-    if feasible(hi) {
-        return Some(steps[hi]);
+    if feasible(hi, &mut fields) {
+        return (Some(steps[hi]), stats);
     }
     // Invariant: feasible(lo), !feasible(hi).
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        if feasible(mid) {
+        if feasible(mid, &mut fields) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    Some(steps[lo])
+    (Some(steps[lo]), stats)
+}
+
+/// Step ratio for linear field extrapolation along the leakage-fixpoint
+/// trajectory: `(t_next − t_cur) / (t_cur − t_prev)`, or `None` when
+/// the denominator vanishes or the ratio is too large for extrapolation
+/// to be trustworthy (runaway fixpoints).
+fn extrapolation_ratio(t_prev: &f64, t_cur: f64, t_next: f64) -> Option<f64> {
+    let denom = t_cur - t_prev;
+    if denom.abs() < 1e-9 {
+        return None;
+    }
+    let c = (t_next - t_cur) / denom;
+    (c.is_finite() && c.abs() <= 4.0).then_some(c)
+}
+
+/// The solved field whose step index is closest to `idx`, rescaled to
+/// the target operating point: the steady system is linear, so the
+/// temperature **rise** over ambient scales with total power, and
+/// `T_amb + (P_new/P_old)·(T_old − T_amb)` cancels the bulk of the
+/// step-to-step difference. Only the leakage-shape mismatch remains,
+/// which CG mops up in a handful of iterations.
+fn scaled_nearest_field(
+    fields: &[Option<(Vec<f64>, f64)>],
+    idx: usize,
+    target_power: Option<f64>,
+    ambient: f64,
+) -> Option<Vec<f64>> {
+    let (field, p_old) = fields
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.as_ref().map(|v| (i.abs_diff(idx), v)))
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, v)| v)?;
+    let ratio = match target_power {
+        Some(p_new) if *p_old > 0.0 && p_new.is_finite() => p_new / p_old,
+        _ => 1.0,
+    };
+    Some(
+        field
+            .iter()
+            .map(|&t| ambient + ratio * (t - ambient))
+            .collect(),
+    )
 }
 
 /// Maximum frequency for stack heights `1..=max_chips` — one series of
-/// Figures 1, 7, 8 and 17.
+/// Figures 1, 7, 8 and 17. The stack heights are independent designs
+/// (each builds its own model), so they run concurrently on the thread
+/// pool; `with_min_len(1)` keeps the split per-design even though the
+/// item count is far below the element-wise threshold.
 pub fn frequency_vs_chips(base: &CmpDesign, max_chips: usize) -> Vec<(usize, Option<VfsStep>)> {
     (1..=max_chips)
+        .into_par_iter()
+        .with_min_len(1)
         .map(|n| {
             let mut d = base.clone();
             d.chips = n;
@@ -225,6 +422,32 @@ mod tests {
         // Feedback at sub-threshold temperatures lowers leakage, so it can
         // only help or tie relative to the pinned worst case.
         assert!(f1 >= f0, "feedback {f1} < pinned {f0}");
+    }
+
+    #[test]
+    fn warm_and_cold_searches_agree_and_warm_costs_less() {
+        let d = quick(CmpDesign::new(
+            low_power_cmp(),
+            8,
+            CoolingParams::water_immersion(),
+        ))
+        .with_leakage_feedback(true);
+        let model = d.thermal_model().unwrap();
+        let (cold_step, cold) = max_frequency_searched(&d, &model, false);
+        model.reset_solver_state();
+        let (warm_step, warm) = max_frequency_searched(&d, &model, true);
+        assert_eq!(
+            cold_step.map(|s| s.freq_ghz),
+            warm_step.map(|s| s.freq_ghz),
+            "warm start must not change the answer"
+        );
+        assert_eq!(cold.probes, warm.probes, "same search path");
+        assert!(
+            (warm.cg_iterations as f64) <= 0.7 * cold.cg_iterations as f64,
+            "warm search should save >=30% CG iterations: warm {} vs cold {}",
+            warm.cg_iterations,
+            cold.cg_iterations
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Semantic {
         let mut v = check_r6(&self.table, &self.graph);
         v.extend(check_r7(&self.table));
         v.extend(check_r8(&self.table, &self.graph, experiments_file));
-        v.extend(check_r9(&self.table));
+        v.extend(check_r9(&self.table, &self.graph));
         v
     }
 }
@@ -545,25 +545,65 @@ struct Guard {
     line: u32,
 }
 
-/// In the `campaign` crate, flag file I/O, `Command` spawns and
-/// cross-crate solver calls made while a `Mutex`/`RwLock` guard is
-/// live. Guards die at end of scope or at an explicit `drop(guard)`.
-pub fn check_r9(table: &SymbolTable) -> Vec<Violation> {
+/// Crates whose lock-holding code R9 scans (the scheduler and the
+/// explorer's concurrent sweep path).
+const R9_CRATES: &[&str] = &["campaign", "core"];
+
+/// In the scheduler (`campaign`) and sweep (`core`) crates, flag file
+/// I/O, `Command` spawns and cross-crate solver calls made while a
+/// `Mutex`/`RwLock` guard is live. Guards die at end of scope or at an
+/// explicit `drop(guard)`.
+///
+/// Solver calls are caught **transitively**: a call to a local helper
+/// counts when the call graph shows the helper can reach a
+/// `thermal`/`coolant`/`power` function, so a thermal solve can never
+/// hide behind one level of indirection while a scheduler lock is held.
+pub fn check_r9(table: &SymbolTable, graph: &CallGraph) -> Vec<Violation> {
+    let reaches_solver = solver_reachability(table, graph);
     let mut out = Vec::new();
     for sym in &table.fns {
-        if sym.krate != "campaign" {
+        if !R9_CRATES.contains(&sym.krate.as_str()) {
             continue;
         }
         let Some(body) = &sym.def.body else { continue };
         let mut guards: Vec<Guard> = Vec::new();
-        scan_r9_block(sym, table, body, &mut guards, &mut out);
+        scan_r9_block(sym, table, &reaches_solver, body, &mut guards, &mut out);
     }
     out
+}
+
+/// `reaches[i]` ⇔ function `i` is in a solver crate or can reach one
+/// through the call graph (reverse BFS from every solver-crate fn).
+fn solver_reachability(table: &SymbolTable, graph: &CallGraph) -> Vec<bool> {
+    let n = table.fns.len();
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        for &callee in callees {
+            reverse[callee].push(caller);
+        }
+    }
+    let mut reaches = vec![false; n];
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| SOLVER_CRATES.contains(&table.fns[i].krate.as_str()))
+        .collect();
+    for &i in &queue {
+        reaches[i] = true;
+    }
+    while let Some(i) = queue.pop() {
+        for &caller in &reverse[i] {
+            if !reaches[caller] {
+                reaches[caller] = true;
+                queue.push(caller);
+            }
+        }
+    }
+    reaches
 }
 
 fn scan_r9_block(
     sym: &FnSym,
     table: &SymbolTable,
+    reaches_solver: &[bool],
     stmts: &[Stmt],
     guards: &mut Vec<Guard>,
     out: &mut Vec<Violation>,
@@ -573,7 +613,7 @@ fn scan_r9_block(
         match s {
             Stmt::Let { names, init, line } => {
                 if let Some(e) = init {
-                    check_r9_expr(sym, table, e, guards, out);
+                    check_r9_expr(sym, table, reaches_solver, e, guards, out);
                     if acquires_guard(e) {
                         guards.push(Guard {
                             name: names.first().cloned().unwrap_or_else(|| "_".to_string()),
@@ -589,7 +629,7 @@ fn scan_r9_block(
                         continue;
                     }
                 }
-                check_r9_expr(sym, table, e, guards, out);
+                check_r9_expr(sym, table, reaches_solver, e, guards, out);
             }
         }
     }
@@ -632,16 +672,17 @@ fn dropped_guard(e: &Expr) -> Option<String> {
 fn check_r9_expr(
     sym: &FnSym,
     table: &SymbolTable,
+    reaches_solver: &[bool],
     e: &Expr,
     guards: &mut Vec<Guard>,
     out: &mut Vec<Violation>,
 ) {
     if let Expr::Block { stmts, .. } = e {
-        scan_r9_block(sym, table, stmts, guards, out);
+        scan_r9_block(sym, table, reaches_solver, stmts, guards, out);
         return;
     }
     if !guards.is_empty() {
-        if let Some(what) = blocking_op(sym, table, e) {
+        if let Some(what) = blocking_op(sym, table, reaches_solver, e) {
             let g = &guards[guards.len() - 1];
             out.push(Violation {
                 rule: Rule::R9,
@@ -660,38 +701,38 @@ fn check_r9_expr(
     match e {
         Expr::Block { .. } => unreachable!("handled above"),
         Expr::Call { func, args, .. } => {
-            check_r9_expr(sym, table, func, guards, out);
+            check_r9_expr(sym, table, reaches_solver, func, guards, out);
             for a in args {
-                check_r9_expr(sym, table, a, guards, out);
+                check_r9_expr(sym, table, reaches_solver, a, guards, out);
             }
         }
         Expr::Method { recv, args, .. } => {
-            check_r9_expr(sym, table, recv, guards, out);
+            check_r9_expr(sym, table, reaches_solver, recv, guards, out);
             for a in args {
-                check_r9_expr(sym, table, a, guards, out);
+                check_r9_expr(sym, table, reaches_solver, a, guards, out);
             }
         }
-        Expr::Field { base, .. } => check_r9_expr(sym, table, base, guards, out),
+        Expr::Field { base, .. } => check_r9_expr(sym, table, reaches_solver, base, guards, out),
         Expr::Index { base, index, .. } => {
-            check_r9_expr(sym, table, base, guards, out);
-            check_r9_expr(sym, table, index, guards, out);
+            check_r9_expr(sym, table, reaches_solver, base, guards, out);
+            check_r9_expr(sym, table, reaches_solver, index, guards, out);
         }
         Expr::Binary { lhs, rhs, .. } => {
-            check_r9_expr(sym, table, lhs, guards, out);
-            check_r9_expr(sym, table, rhs, guards, out);
+            check_r9_expr(sym, table, reaches_solver, lhs, guards, out);
+            check_r9_expr(sym, table, reaches_solver, rhs, guards, out);
         }
         Expr::Macro { args, .. } => {
             for a in args {
-                check_r9_expr(sym, table, a, guards, out);
+                check_r9_expr(sym, table, reaches_solver, a, guards, out);
             }
         }
         Expr::ForLoop { iter, body, .. } => {
-            check_r9_expr(sym, table, iter, guards, out);
-            check_r9_expr(sym, table, body, guards, out);
+            check_r9_expr(sym, table, reaches_solver, iter, guards, out);
+            check_r9_expr(sym, table, reaches_solver, body, guards, out);
         }
         Expr::Other { children, .. } => {
             for c in children {
-                check_r9_expr(sym, table, c, guards, out);
+                check_r9_expr(sym, table, reaches_solver, c, guards, out);
             }
         }
         Expr::Path { .. } | Expr::Lit { .. } => {}
@@ -700,7 +741,12 @@ fn check_r9_expr(
 
 /// Is this expression (at its own top level) a blocking operation R9
 /// forbids under a lock?
-fn blocking_op(sym: &FnSym, table: &SymbolTable, e: &Expr) -> Option<String> {
+fn blocking_op(
+    sym: &FnSym,
+    table: &SymbolTable,
+    reaches_solver: &[bool],
+    e: &Expr,
+) -> Option<String> {
     match e {
         Expr::Call { func, .. } => {
             let Expr::Path { segs, .. } = func.as_ref() else {
@@ -719,21 +765,34 @@ fn blocking_op(sym: &FnSym, table: &SymbolTable, e: &Expr) -> Option<String> {
                 }
             }
             let callee = resolve_path_call(table, sym, segs)?;
-            let target = &table.fns[callee];
-            SOLVER_CRATES
-                .contains(&target.krate.as_str())
-                .then(|| format!("cross-crate solver call (`{}`)", target.display()))
+            solver_call_msg(table, reaches_solver, callee)
         }
         Expr::Method { name, .. } if name == "spawn" => {
             Some("process spawn (`.spawn()`)".to_string())
         }
         Expr::Method { name, .. } => {
             let callee = resolve_method_call(table, sym, name)?;
-            let target = &table.fns[callee];
-            SOLVER_CRATES
-                .contains(&target.krate.as_str())
-                .then(|| format!("cross-crate solver call (`{}`)", target.display()))
+            solver_call_msg(table, reaches_solver, callee)
         }
         _ => None,
     }
+}
+
+/// Message for a resolved callee that is a solver-crate function or
+/// transitively reaches one; `None` when the callee is harmless.
+fn solver_call_msg(table: &SymbolTable, reaches_solver: &[bool], callee: usize) -> Option<String> {
+    let target = &table.fns[callee];
+    if SOLVER_CRATES.contains(&target.krate.as_str()) {
+        return Some(format!("cross-crate solver call (`{}`)", target.display()));
+    }
+    reaches_solver
+        .get(callee)
+        .copied()
+        .unwrap_or(false)
+        .then(|| {
+            format!(
+                "call (`{}`) that transitively reaches a solver crate",
+                target.display()
+            )
+        })
 }

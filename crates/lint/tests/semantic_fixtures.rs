@@ -219,14 +219,14 @@ fn r8_counts_intra_registry_helpers_reached_via_a_dispatched_fn() {
 
 #[test]
 fn r9_flags_file_io_under_live_guard() {
-    let (table, _) = model(&[(
+    let (table, graph) = model(&[(
         "crates/campaign/src/fixture.rs",
         "pub fn worker(s: &Shared) {\n\
          let g = s.state.lock();\n\
          let _ = std::fs::read_to_string(\"cache.json\");\n\
          drop(g);\n}",
     )]);
-    let v = check_r9(&table);
+    let v = check_r9(&table, &graph);
     assert_eq!(v.len(), 1, "{v:?}");
     assert_eq!(v[0].rule, Rule::R9);
     assert!(v[0].msg.contains("file I/O"), "{}", v[0].msg);
@@ -234,7 +234,7 @@ fn r9_flags_file_io_under_live_guard() {
 
 #[test]
 fn r9_accepts_io_after_drop_or_outside_guard_scope() {
-    let (table, _) = model(&[(
+    let (table, graph) = model(&[(
         "crates/campaign/src/fixture.rs",
         "pub fn worker(s: &Shared) {\n\
          let g = s.state.lock();\n\
@@ -244,25 +244,25 @@ fn r9_accepts_io_after_drop_or_outside_guard_scope() {
          { let g = s.state.lock(); let _ = g; }\n\
          let _ = std::fs::read_to_string(\"cache.json\");\n}",
     )]);
-    assert!(check_r9(&table).is_empty());
+    assert!(check_r9(&table, &graph).is_empty());
 }
 
 #[test]
 fn r9_flags_command_spawn_under_guard() {
-    let (table, _) = model(&[(
+    let (table, graph) = model(&[(
         "crates/campaign/src/fixture.rs",
         "pub fn runner(s: &Shared) {\n\
          let st = s.state.write();\n\
          let _ = std::process::Command::new(\"solver\").spawn();\n\
          drop(st);\n}",
     )]);
-    let v = check_r9(&table);
+    let v = check_r9(&table, &graph);
     assert!(!v.is_empty(), "{v:?}");
 }
 
 #[test]
 fn r9_flags_cross_crate_solver_call_under_guard() {
-    let (table, _) = model(&[
+    let (table, graph) = model(&[
         (
             "crates/campaign/src/fixture.rs",
             "pub fn tick(s: &Shared) {\n\
@@ -272,19 +272,79 @@ fn r9_flags_cross_crate_solver_call_under_guard() {
         ),
         ("crates/thermal/src/fixture.rs", "pub fn solve_steady() {}"),
     ]);
-    let v = check_r9(&table);
+    let v = check_r9(&table, &graph);
     assert_eq!(v.len(), 1, "{v:?}");
     assert!(v[0].msg.contains("solver"), "{}", v[0].msg);
 }
 
 #[test]
 fn r9_ignores_lock_shaped_calls_outside_campaign() {
-    let (table, _) = model(&[(
+    let (table, graph) = model(&[(
         "crates/archsim/src/fixture.rs",
         "pub fn worker(s: &Shared) {\n\
          let g = s.state.lock();\n\
          let _ = std::fs::read_to_string(\"trace.bin\");\n\
          drop(g);\n}",
     )]);
-    assert!(check_r9(&table).is_empty());
+    assert!(check_r9(&table, &graph).is_empty());
+}
+
+#[test]
+fn r9_flags_transitive_solver_call_under_guard() {
+    // The lock-holding fn never names the solver crate directly: it
+    // calls a local helper that calls another helper that finally
+    // crosses into `thermal`. The call-graph pass must still flag it.
+    let (table, graph) = model(&[
+        (
+            "crates/campaign/src/fixture.rs",
+            "pub fn tick(s: &Shared) {\n\
+             let g = s.state.lock();\n\
+             refresh();\n\
+             drop(g);\n}\n\
+             pub fn refresh() { hot_path(); }\n\
+             pub fn hot_path() { solve_steady(); }",
+        ),
+        ("crates/thermal/src/fixture.rs", "pub fn solve_steady() {}"),
+    ]);
+    let v = check_r9(&table, &graph);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].msg.contains("transitively reaches a solver crate"),
+        "{}",
+        v[0].msg
+    );
+    assert!(v[0].msg.contains("refresh"), "{}", v[0].msg);
+}
+
+#[test]
+fn r9_accepts_local_helper_that_never_reaches_a_solver() {
+    let (table, graph) = model(&[(
+        "crates/campaign/src/fixture.rs",
+        "pub fn tick(s: &Shared) {\n\
+         let g = s.state.lock();\n\
+         bump();\n\
+         drop(g);\n}\n\
+         pub fn bump() { count(); }\n\
+         pub fn count() {}",
+    )]);
+    assert!(check_r9(&table, &graph).is_empty());
+}
+
+#[test]
+fn r9_covers_the_core_crate_sweep_path() {
+    // `core` holds the explorer's concurrent sweep; a direct solver
+    // call under a lock there is just as illegal as in `campaign`.
+    let (table, graph) = model(&[
+        (
+            "crates/core/src/fixture.rs",
+            "pub fn sweep(s: &Shared) {\n\
+             let g = s.state.lock();\n\
+             solve_steady();\n\
+             drop(g);\n}",
+        ),
+        ("crates/thermal/src/fixture.rs", "pub fn solve_steady() {}"),
+    ]);
+    let v = check_r9(&table, &graph);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].msg.contains("solver"), "{}", v[0].msg);
 }

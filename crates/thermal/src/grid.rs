@@ -19,11 +19,12 @@
 
 use crate::floorplan::{Floorplan, Rect};
 use crate::materials::Material;
-use crate::sparse::{solve_cg, CgOptions, CsrMatrix, TripletMatrix};
+use crate::sparse::{solve_cg_with, CgOptions, CsrMatrix, SolverContext, TripletMatrix};
 use crate::steady::Solution;
 use crate::{Result, ThermalError};
 use immersion_units::{Celsius, HeatTransferCoeff};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Which surface of a layer a boundary condition applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -282,6 +283,11 @@ pub struct ThermalModel {
     /// Per-node heat capacity (J/K), for the transient solver.
     capacities: Vec<f64>,
     cg: CgOptions,
+    /// Reusable CG state (inverse diagonal, scratch vectors, last
+    /// solution). Taken out of the lock for the duration of a solve so
+    /// the solve itself never runs under the mutex; a concurrent solve
+    /// that finds the slot empty just builds a throwaway context.
+    solver: Mutex<SolverContext>,
 }
 
 /// Incremental builder for a [`ThermalModel`].
@@ -466,15 +472,18 @@ impl ModelBuilder {
             });
         }
 
+        let matrix = trip.to_csr();
+        let solver = Mutex::new(SolverContext::new(&matrix));
         Ok(ThermalModel {
             layers: self.layers,
             offsets,
             n_nodes: n,
-            matrix: trip.to_csr(),
+            matrix,
             conv_ties,
             power_layers,
             capacities,
             cg: self.cg,
+            solver,
         })
     }
 }
@@ -568,22 +577,84 @@ impl ThermalModel {
         Ok(q)
     }
 
-    /// Steady-state solve from a cold start.
+    /// Steady-state solve, warm-started from the model's last converged
+    /// field when one is cached (repeated solves on the same model —
+    /// sweeps, fixpoints — reuse it automatically). First solve falls
+    /// back to the ambient guess. Use [`solve_steady_cold`] to force
+    /// the ambient start.
+    ///
+    /// [`solve_steady_cold`]: ThermalModel::solve_steady_cold
     pub fn solve_steady(&self, power: &PowerAssignment) -> Result<Solution<'_>> {
+        let q = self.rhs(power)?;
+        let mut ctx = self.take_solver();
+        let guess = match ctx.warm_guess() {
+            Some(w) => w.to_vec(),
+            None => vec![self.mean_ambient(); self.n_nodes],
+        };
+        let solved = solve_cg_with(&self.matrix, &q, &guess, self.cg, &mut ctx);
+        self.put_solver(ctx);
+        let (t, iters) = solved?;
+        Ok(Solution::new(self, t, iters))
+    }
+
+    /// Steady-state solve from the ambient guess, ignoring (but not
+    /// discarding) any cached field — the benchmark's cold baseline.
+    pub fn solve_steady_cold(&self, power: &PowerAssignment) -> Result<Solution<'_>> {
         let guess = vec![self.mean_ambient(); self.n_nodes];
         self.solve_steady_from(power, &guess)
     }
 
-    /// Steady-state solve warm-started from `guess` (e.g. the previous
-    /// frequency step of a sweep).
+    /// Steady-state solve warm-started from an explicit `guess` (e.g.
+    /// the previous frequency step of a sweep).
     pub fn solve_steady_from(
         &self,
         power: &PowerAssignment,
         guess: &[f64],
     ) -> Result<Solution<'_>> {
         let q = self.rhs(power)?;
-        let (t, iters) = solve_cg(&self.matrix, &q, guess, self.cg)?;
+        let mut ctx = self.take_solver();
+        let solved = solve_cg_with(&self.matrix, &q, guess, self.cg, &mut ctx);
+        self.put_solver(ctx);
+        let (t, iters) = solved?;
         Ok(Solution::new(self, t, iters))
+    }
+
+    /// `(solves, total CG iterations)` recorded by the cached solver
+    /// context since construction or the last [`reset_solver_state`].
+    ///
+    /// [`reset_solver_state`]: ThermalModel::reset_solver_state
+    pub fn solver_stats(&self) -> (usize, usize) {
+        let ctx = self.lock_solver();
+        (ctx.solves(), ctx.total_iterations())
+    }
+
+    /// Drop the cached field so the next [`solve_steady`] cold-starts.
+    /// Scratch vectors and the inverse diagonal are kept.
+    ///
+    /// [`solve_steady`]: ThermalModel::solve_steady
+    pub fn reset_solver_state(&self) {
+        self.lock_solver().forget_solution();
+    }
+
+    /// Move the cached context out of its slot so the solve runs
+    /// without holding the lock. A concurrent caller finding the slot
+    /// already taken gets a default context, which `solve_cg_with`
+    /// transparently rebuilds — correct, just without the warm start.
+    fn take_solver(&self) -> SolverContext {
+        std::mem::take(&mut *self.lock_solver())
+    }
+
+    /// Return the context after a solve. If another solve slipped in
+    /// meanwhile, keep whichever context has seen more work.
+    fn put_solver(&self, ctx: SolverContext) {
+        let mut slot = self.lock_solver();
+        if ctx.solves() >= slot.solves() {
+            *slot = ctx;
+        }
+    }
+
+    fn lock_solver(&self) -> std::sync::MutexGuard<'_, SolverContext> {
+        self.solver.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Mean ambient over the convective ties, used as the cold-start guess.
@@ -850,5 +921,41 @@ mod tests {
     fn matrix_is_symmetric() {
         let model = slab_model(6, 5, 200.0);
         assert!(model.matrix().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn repeated_solves_warm_start_from_the_cached_field() {
+        let model = slab_model(24, 24, 500.0);
+        let mut p = model.zero_power();
+        p.set(0, "ALL", 8.0).unwrap();
+        let cold = model.solve_steady(&p).unwrap().iterations();
+        let warm = model.solve_steady(&p).unwrap().iterations();
+        assert!(warm <= 2, "second identical solve is free, got {warm}");
+        assert!(cold > warm);
+        let (solves, total) = model.solver_stats();
+        assert_eq!(solves, 2);
+        assert_eq!(total, cold + warm);
+        model.reset_solver_state();
+        let recold = model.solve_steady(&p).unwrap().iterations();
+        assert_eq!(recold, cold, "reset restores the cold-start behaviour");
+    }
+
+    #[test]
+    fn warm_and_cold_solves_agree() {
+        let model = slab_model(16, 16, 300.0);
+        let mut p = model.zero_power();
+        p.set(0, "ALL", 5.0).unwrap();
+        let first = model.solve_steady(&p).unwrap().into_temps();
+        // Perturb the cached field with a different workload, then
+        // re-solve the original one warm: same fixed point.
+        let mut p2 = model.zero_power();
+        p2.set(0, "ALL", 12.0).unwrap();
+        model.solve_steady(&p2).unwrap();
+        let warm = model.solve_steady(&p).unwrap().into_temps();
+        let cold = model.solve_steady_cold(&p).unwrap().into_temps();
+        for ((w, c), f) in warm.iter().zip(&cold).zip(&first) {
+            assert!((w - c).abs() < 1e-6);
+            assert!((w - f).abs() < 1e-6);
+        }
     }
 }

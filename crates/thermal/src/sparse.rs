@@ -134,7 +134,9 @@ impl CsrMatrix {
         (0..self.n).map(|i| self.get(i, i)).collect()
     }
 
-    /// `y = A·x`, parallelised over rows.
+    /// `y = A·x`, partitioned by rows across the current thread pool
+    /// (each output row is owned by exactly one chunk, so no writes
+    /// conflict; the gather from `x` is read-only).
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
@@ -146,6 +148,21 @@ impl CsrMatrix {
             }
             *yi = acc;
         });
+    }
+
+    /// Sequential reference for [`CsrMatrix::mul_vec`]; the equivalence
+    /// tests pin the parallel path against it.
+    pub fn mul_vec_seq(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yi = acc;
+        }
     }
 
     /// Check structural symmetry with value agreement to `tol`
@@ -181,92 +198,292 @@ impl Default for CgOptions {
     }
 }
 
+/// Reusable per-matrix solver state: the Jacobi inverse diagonal, the
+/// four CG scratch vectors, and the last converged solution.
+///
+/// A context is keyed to one matrix (checked cheaply by `(dim, nnz)`):
+/// [`ThermalModel`](crate::grid::ThermalModel) caches one per model so
+/// repeated solves reuse the scratch allocations and warm-start from
+/// the previous operating point instead of the ambient guess. The only
+/// per-solve allocations left are the solution vector itself (owned by
+/// the caller) and the guess copy; nothing is allocated per iteration.
+#[derive(Debug, Default, Clone)]
+pub struct SolverContext {
+    /// `(dim, nnz)` of the matrix this state was built for.
+    key: (usize, usize),
+    inv_diag: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    last_solution: Option<Vec<f64>>,
+    solves: usize,
+    total_iterations: usize,
+}
+
+impl SolverContext {
+    /// A context ready to solve against `a` (inverse diagonal computed,
+    /// scratch sized).
+    pub fn new(a: &CsrMatrix) -> SolverContext {
+        let mut ctx = SolverContext::default();
+        ctx.prepare(a);
+        ctx
+    }
+
+    /// (Re)build the per-matrix state when the context does not match
+    /// `a`; a matching context keeps its scratch and warm state.
+    fn prepare(&mut self, a: &CsrMatrix) {
+        let key = (a.dim(), a.nnz());
+        if self.key == key && !self.inv_diag.is_empty() {
+            return;
+        }
+        let n = a.dim();
+        self.key = key;
+        self.inv_diag = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() < 1e-300 { 1.0 } else { 1.0 / d })
+            .collect();
+        self.r = vec![0.0; n];
+        self.z = vec![0.0; n];
+        self.p = vec![0.0; n];
+        self.ap = vec![0.0; n];
+        self.last_solution = None;
+    }
+
+    /// The last converged solution, if any — the warm-start guess for
+    /// the next solve against the same matrix.
+    pub fn warm_guess(&self) -> Option<&[f64]> {
+        self.last_solution.as_deref()
+    }
+
+    /// Record a converged solution and its iteration count.
+    fn remember(&mut self, x: &[f64], iterations: usize) {
+        self.solves += 1;
+        self.total_iterations += iterations;
+        match &mut self.last_solution {
+            Some(buf) if buf.len() == x.len() => buf.copy_from_slice(x),
+            slot => *slot = Some(x.to_vec()),
+        }
+    }
+
+    /// Drop the warm-start state (the scratch vectors stay); cold
+    /// benchmarks call this between solves.
+    pub fn forget_solution(&mut self) {
+        self.last_solution = None;
+    }
+
+    /// Number of successful solves recorded by this context.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Total CG iterations across all recorded solves.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+}
+
 /// Solve `A·x = b` for SPD `A` by Jacobi-preconditioned conjugate
-/// gradients, starting from `x0` (pass zeros when no better guess
-/// exists — the steady solver passes the previous operating point when
-/// sweeping frequencies).
+/// gradients, starting from `x0` (pass the ambient field when no better
+/// guess exists; sweeps pass the previous operating point).
+///
+/// Convenience wrapper building a throwaway [`SolverContext`]; hot
+/// paths use [`solve_cg_with`] to amortise it.
 pub fn solve_cg(
     a: &CsrMatrix,
     b: &[f64],
     x0: &[f64],
     opts: CgOptions,
 ) -> Result<(Vec<f64>, usize)> {
+    let mut ctx = SolverContext::new(a);
+    solve_cg_with(a, b, x0, opts, &mut ctx)
+}
+
+/// [`solve_cg`] against caller-owned solver state: scratch vectors and
+/// the inverse diagonal come from `ctx` (rebuilt only when the matrix
+/// changed), and a converged solution is recorded there for the next
+/// warm start. Only the solution vector is allocated per solve; each
+/// iteration is two fused passes plus one SpMV and one dot product.
+pub fn solve_cg_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: CgOptions,
+    ctx: &mut SolverContext,
+) -> Result<(Vec<f64>, usize)> {
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
-    let inv_diag: Vec<f64> = a
-        .diagonal()
-        .iter()
-        .map(|&d| if d.abs() < 1e-300 { 1.0 } else { 1.0 / d })
-        .collect();
+    ctx.prepare(a);
 
     let bnorm = l2(b);
     if bnorm <= 0.0 {
-        return Ok((vec![0.0; n], 0));
+        let x = vec![0.0; n];
+        ctx.remember(&x, 0);
+        return Ok((x, 0));
     }
 
     let mut x = x0.to_vec();
-    let mut r = vec![0.0; n];
-    a.mul_vec(&x, &mut r);
-    r.par_iter_mut()
-        .zip(b.par_iter())
-        .for_each(|(ri, &bi)| *ri = bi - *ri);
+    let SolverContext {
+        inv_diag,
+        r,
+        z,
+        p,
+        ap,
+        ..
+    } = &mut *ctx;
 
-    let mut z: Vec<f64> = r
-        .par_iter()
-        .zip(inv_diag.par_iter())
-        .map(|(&ri, &di)| ri * di)
-        .collect();
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    a.mul_vec(&x, r);
+    // r ← b − A·x fused with z ← D⁻¹r and both residual dot products.
+    let (mut rz, mut rr) = fused_residual(r, z, b, inv_diag);
+    p.copy_from_slice(z);
 
     for it in 0..opts.max_iterations {
-        let rnorm = l2(&r);
-        if rnorm <= opts.tolerance * bnorm {
+        if rr.sqrt() <= opts.tolerance * bnorm {
+            ctx.remember(&x, it);
             return Ok((x, it));
         }
-        a.mul_vec(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.mul_vec(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 {
             // Not SPD (or breakdown): fail loudly rather than return junk.
             return Err(ThermalError::SolverDiverged {
                 iterations: it,
-                residual: rnorm / bnorm,
+                residual: rr.sqrt() / bnorm,
             });
         }
         let alpha = rz / pap;
-        x.par_iter_mut()
-            .zip(p.par_iter())
-            .for_each(|(xi, &pi)| *xi += alpha * pi);
-        r.par_iter_mut()
-            .zip(ap.par_iter())
-            .for_each(|(ri, &api)| *ri -= alpha * api);
-        z.par_iter_mut()
-            .zip(r.par_iter().zip(inv_diag.par_iter()))
-            .for_each(|(zi, (&ri, &di))| *zi = ri * di);
-        let rz_new = dot(&r, &z);
+        let (rz_new, rr_new) = fused_step(&mut x, r, z, p, ap, inv_diag, alpha);
         let beta = rz_new / rz;
         rz = rz_new;
+        rr = rr_new;
+        // p ← z + β·p.
         p.par_iter_mut()
             .zip(z.par_iter())
             .for_each(|(pi, &zi)| *pi = zi + beta * *pi);
     }
 
-    let rnorm = l2(&r) / bnorm;
-    if rnorm <= opts.tolerance * 10.0 {
+    let rel = rr.sqrt() / bnorm;
+    if rel <= opts.tolerance * 10.0 {
         // Close enough for reporting purposes; accept with the cap hit.
+        ctx.remember(&x, opts.max_iterations);
         Ok((x, opts.max_iterations))
     } else {
         Err(ThermalError::SolverDiverged {
             iterations: opts.max_iterations,
-            residual: rnorm,
+            residual: rel,
         })
     }
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+/// Fused CG setup pass: `r ← b − r` (with `r` holding `A·x` on entry)
+/// and `z ← D⁻¹∘r` in one sweep, returning `(r·z, r·r)`.
+///
+/// All slices must share one length. One memory pass instead of four
+/// (subtract, precondition, two dots).
+pub fn fused_residual(r: &mut [f64], z: &mut [f64], b: &[f64], inv_diag: &[f64]) -> (f64, f64) {
+    assert_eq!(r.len(), b.len());
+    assert_eq!(z.len(), b.len());
+    assert_eq!(inv_diag.len(), b.len());
+    r.par_iter_mut()
+        .zip(z.par_iter_mut())
+        .zip(b.par_iter())
+        .zip(inv_diag.par_iter())
+        .map(|(((ri, zi), &bi), &di)| {
+            *ri = bi - *ri;
+            *zi = *ri * di;
+            (*ri * *zi, *ri * *ri)
+        })
+        .reduce(|| (0.0, 0.0), |s, t| (s.0 + t.0, s.1 + t.1))
+}
+
+/// Sequential reference for [`fused_residual`].
+pub fn fused_residual_seq(r: &mut [f64], z: &mut [f64], b: &[f64], inv_diag: &[f64]) -> (f64, f64) {
+    assert_eq!(r.len(), b.len());
+    assert_eq!(z.len(), b.len());
+    assert_eq!(inv_diag.len(), b.len());
+    let (mut rz, mut rr) = (0.0, 0.0);
+    for i in 0..b.len() {
+        r[i] = b[i] - r[i];
+        z[i] = r[i] * inv_diag[i];
+        rz += r[i] * z[i];
+        rr += r[i] * r[i];
+    }
+    (rz, rr)
+}
+
+/// Fused CG update pass: `x += α·p`, `r −= α·ap`, `z ← D⁻¹∘r` in one
+/// sweep, returning the updated `(r·z, r·r)`.
+///
+/// All slices must share one length. Replaces three axpy-style passes
+/// plus two dot products with a single traversal, which matters because
+/// steady-state CG is memory-bound.
+pub fn fused_step(
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    inv_diag: &[f64],
+    alpha: f64,
+) -> (f64, f64) {
+    assert_eq!(r.len(), x.len());
+    assert_eq!(z.len(), x.len());
+    assert_eq!(p.len(), x.len());
+    assert_eq!(ap.len(), x.len());
+    assert_eq!(inv_diag.len(), x.len());
+    x.par_iter_mut()
+        .zip(r.par_iter_mut())
+        .zip(z.par_iter_mut())
+        .zip(p.par_iter())
+        .zip(ap.par_iter())
+        .zip(inv_diag.par_iter())
+        .map(|(((((xi, ri), zi), &pi), &api), &di)| {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+            *zi = *ri * di;
+            (*ri * *zi, *ri * *ri)
+        })
+        .reduce(|| (0.0, 0.0), |s, t| (s.0 + t.0, s.1 + t.1))
+}
+
+/// Sequential reference for [`fused_step`].
+#[allow(clippy::too_many_arguments)]
+pub fn fused_step_seq(
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &[f64],
+    ap: &[f64],
+    inv_diag: &[f64],
+    alpha: f64,
+) -> (f64, f64) {
+    assert_eq!(r.len(), x.len());
+    assert_eq!(z.len(), x.len());
+    assert_eq!(p.len(), x.len());
+    assert_eq!(ap.len(), x.len());
+    assert_eq!(inv_diag.len(), x.len());
+    let (mut rz, mut rr) = (0.0, 0.0);
+    for i in 0..x.len() {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+        z[i] = r[i] * inv_diag[i];
+        rz += r[i] * z[i];
+        rr += r[i] * r[i];
+    }
+    (rz, rr)
+}
+
+/// Dot product with deterministic chunked accumulation (partials are
+/// combined in chunk order for a fixed thread count).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Sequential reference for [`dot`].
+pub fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
 fn l2(v: &[f64]) -> f64 {
@@ -399,5 +616,84 @@ mod tests {
         let a = t.to_csr();
         let r = solve_cg(&a, &[0.0, 1.0], &[0.0, 0.0], CgOptions::default());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn solver_context_warm_guess_cuts_iterations() {
+        let n = 500;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let mut ctx = SolverContext::new(&a);
+        assert!(ctx.warm_guess().is_none());
+        let (_, cold) =
+            solve_cg_with(&a, &b, &vec![0.0; n], CgOptions::default(), &mut ctx).unwrap();
+        let guess = ctx.warm_guess().unwrap().to_vec();
+        let (_, warm) = solve_cg_with(&a, &b, &guess, CgOptions::default(), &mut ctx).unwrap();
+        assert!(warm <= 2, "re-solving from the cached field is free");
+        assert!(cold > warm);
+        assert_eq!(ctx.solves(), 2);
+        assert_eq!(ctx.total_iterations(), cold + warm);
+    }
+
+    #[test]
+    fn solver_context_rebuilds_when_matrix_changes() {
+        let a = laplacian_1d(40);
+        let b40 = vec![1.0; 40];
+        let mut ctx = SolverContext::new(&a);
+        solve_cg_with(&a, &b40, &vec![0.0; 40], CgOptions::default(), &mut ctx).unwrap();
+        assert!(ctx.warm_guess().is_some());
+        // A different matrix invalidates the cached state but must still
+        // solve correctly through the same context.
+        let a2 = laplacian_1d(60);
+        let b60 = vec![1.0; 60];
+        let (x, _) =
+            solve_cg_with(&a2, &b60, &vec![0.0; 60], CgOptions::default(), &mut ctx).unwrap();
+        let mut ax = vec![0.0; 60];
+        a2.mul_vec(&x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b60) {
+            assert!((axi - bi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn forget_solution_clears_only_the_warm_state() {
+        let a = laplacian_1d(50);
+        let b = vec![1.0; 50];
+        let mut ctx = SolverContext::new(&a);
+        solve_cg_with(&a, &b, &vec![0.0; 50], CgOptions::default(), &mut ctx).unwrap();
+        let solves = ctx.solves();
+        ctx.forget_solution();
+        assert!(ctx.warm_guess().is_none());
+        assert_eq!(ctx.solves(), solves, "stats survive a forget");
+    }
+
+    #[test]
+    fn fused_kernels_match_sequential_references() {
+        let n = 257;
+        let a = laplacian_1d(n);
+        let inv_diag: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ax: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+
+        let (mut r1, mut z1) = (ax.clone(), vec![0.0; n]);
+        let (mut r2, mut z2) = (ax.clone(), vec![0.0; n]);
+        let s1 = fused_residual(&mut r1, &mut z1, &b, &inv_diag);
+        let s2 = fused_residual_seq(&mut r2, &mut z2, &b, &inv_diag);
+        assert!((s1.0 - s2.0).abs() <= 1e-12 * s2.0.abs().max(1.0));
+        assert!((s1.1 - s2.1).abs() <= 1e-12 * s2.1.abs().max(1.0));
+        assert_eq!(r1, r2);
+        assert_eq!(z1, z2);
+
+        let p: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut ap = vec![0.0; n];
+        a.mul_vec(&p, &mut ap);
+        let (mut x1, mut x2) = (b.clone(), b.clone());
+        let t1 = fused_step(&mut x1, &mut r1, &mut z1, &p, &ap, &inv_diag, 0.375);
+        let t2 = fused_step_seq(&mut x2, &mut r2, &mut z2, &p, &ap, &inv_diag, 0.375);
+        assert!((t1.0 - t2.0).abs() <= 1e-12 * t2.0.abs().max(1.0));
+        assert!((t1.1 - t2.1).abs() <= 1e-12 * t2.1.abs().max(1.0));
+        assert_eq!(x1, x2);
+        assert_eq!(r1, r2);
+        assert_eq!(z1, z2);
     }
 }

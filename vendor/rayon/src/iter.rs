@@ -1,0 +1,873 @@
+//! Index-addressed parallel iterators.
+//!
+//! Every source and adapter implements [`ParAccess`]: a random-access
+//! producer with a length and an `unsafe` per-index getter. Terminal
+//! operations cut `0..len` into the chunk plan from [`crate::pool`] and
+//! visit each index exactly once, which is what makes handing out
+//! `&mut` items and moving values out of a `Vec` sound: no index is
+//! ever produced twice, so no aliasing and no double-drop.
+//!
+//! Reductions (`sum`, `reduce`, `fold`, `collect`) compute one partial
+//! per chunk and combine the partials **in chunk order**, so for a
+//! fixed thread count the result is bitwise reproducible — chunk
+//! boundaries come from the deterministic plan, never from scheduling.
+
+use crate::pool::{chunk_plan, current_num_threads, execute_plan};
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Range, RangeInclusive};
+
+/// A random-access parallel producer: `len` items addressed `0..len`.
+///
+/// Shared across worker threads by reference, hence the `Sync` bound;
+/// items must be `Send` because each is handed to whichever thread
+/// claimed its chunk.
+pub trait ParAccess: Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of addressable items.
+    fn len(&self) -> usize;
+
+    /// Whether the producer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()`, and each index may be passed at most once over
+    /// the producer's lifetime (items may be `&mut` references or moved
+    /// values).
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Raw pointer wrapper that asserts cross-thread use is safe because
+/// the surrounding driver guarantees disjoint writes.
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole wrapper — edition-2021 disjoint capture would otherwise
+    /// grab the raw pointer field, which is not `Sync`.
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Sequential iterator over one chunk's indices of an access.
+struct ChunkIter<'r, A: ParAccess> {
+    access: &'r A,
+    cur: usize,
+    end: usize,
+}
+
+impl<A: ParAccess> Iterator for ChunkIter<'_, A> {
+    type Item = A::Item;
+
+    fn next(&mut self) -> Option<A::Item> {
+        if self.cur < self.end {
+            // SAFETY: this chunk exclusively owns indices cur..end and
+            // visits each once.
+            let v = unsafe { self.access.get(self.cur) };
+            self.cur += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+/// Run `per_chunk` over every chunk of `access` in parallel and return
+/// the per-chunk results **in chunk order**.
+fn map_chunks<A, T, F>(access: &A, min_len: usize, per_chunk: F) -> Vec<T>
+where
+    A: ParAccess,
+    T: Send,
+    F: Fn(ChunkIter<'_, A>) -> T + Sync,
+{
+    let len = access.len();
+    let (n_chunks, chunk_len) = chunk_plan(len, current_num_threads(), min_len);
+    if n_chunks <= 1 {
+        return vec![per_chunk(ChunkIter {
+            access,
+            cur: 0,
+            end: len,
+        })];
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    let body = move |ci: usize, start: usize, end: usize| {
+        let v = per_chunk(ChunkIter {
+            access,
+            cur: start,
+            end,
+        });
+        // SAFETY: each chunk index is claimed exactly once, so each
+        // slot is written by exactly one thread.
+        unsafe { slot_ptr.ptr().add(ci).write(Some(v)) };
+    };
+    execute_plan(len, n_chunks, chunk_len, &body);
+    slots
+        .into_iter()
+        .map(|s| s.expect("unfilled chunk slot"))
+        .collect()
+}
+
+/// Containers constructible from a parallel producer ([`ParIter::collect`]).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container by consuming every index of `access`;
+    /// `min_len` overrides the split threshold when non-zero.
+    fn from_par_access<A: ParAccess<Item = T>>(access: A, min_len: usize) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_access<A: ParAccess<Item = T>>(access: A, min_len: usize) -> Vec<T> {
+        let len = access.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let body = move |_ci: usize, start: usize, end: usize| {
+            for i in start..end {
+                // SAFETY: chunks cover disjoint ranges of the output
+                // buffer, and `i < len <= capacity`.
+                unsafe { out_ptr.ptr().add(i).write(access.get(i)) };
+            }
+        };
+        let (n_chunks, chunk_len) = chunk_plan(len, current_num_threads(), min_len);
+        execute_plan(len, n_chunks, chunk_len, &body);
+        // SAFETY: every index in 0..len was written exactly once.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterator facade
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a [`ParAccess`] producer. Adapters wrap the
+/// producer; terminal operations fork onto the current thread pool.
+pub struct ParIter<A: ParAccess> {
+    access: A,
+    /// Per-iterator split-threshold override (0 = use the global one).
+    min_len: usize,
+}
+
+/// Internal constructor used by sources (default threshold).
+fn par<A: ParAccess>(access: A) -> ParIter<A> {
+    ParIter { access, min_len: 0 }
+}
+
+impl<A: ParAccess> ParIter<A> {
+    /// Override the split threshold for this pipeline: fork as soon as
+    /// a chunk would hold at least `min` elements. Use `1` for
+    /// coarse-grained items (e.g. one whole design per element) that
+    /// the element-count heuristic would otherwise run sequentially.
+    pub fn with_min_len(mut self, min: usize) -> ParIter<A> {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Transform each element.
+    pub fn map<U, F>(self, f: F) -> ParIter<MapAccess<A, F>>
+    where
+        U: Send,
+        F: Fn(A::Item) -> U + Sync,
+    {
+        ParIter {
+            access: MapAccess {
+                base: self.access,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pair with a second producer, element by element; the shorter
+    /// length wins.
+    pub fn zip<B: IntoParallelIterator>(self, other: B) -> ParIter<ZipAccess<A, B::Access>> {
+        ParIter {
+            access: ZipAccess {
+                a: self.access,
+                b: other.into_par_iter().access,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Attach indices.
+    pub fn enumerate(self) -> ParIter<EnumerateAccess<A>> {
+        ParIter {
+            access: EnumerateAccess { base: self.access },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Skip the first `n` elements (with a by-value source the skipped
+    /// elements are leaked, not dropped).
+    pub fn skip(self, n: usize) -> ParIter<SkipAccess<A>> {
+        ParIter {
+            access: SkipAccess {
+                base: self.access,
+                n,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Keep only the first `n` elements.
+    pub fn take(self, n: usize) -> ParIter<TakeAccess<A>> {
+        ParIter {
+            access: TakeAccess {
+                base: self.access,
+                n,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Map each element to a sequential iterator and flatten; chunk
+    /// results are concatenated in chunk order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParFlatMap<A, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(A::Item) -> U + Sync,
+    {
+        ParFlatMap {
+            access: self.access,
+            f,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(A::Item) + Sync,
+    {
+        map_chunks(&self.access, self.min_len, move |it| {
+            for v in it {
+                f(v);
+            }
+        });
+    }
+
+    /// Sum all elements (chunk partials combined in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<A::Item> + std::iter::Sum<S> + Send,
+    {
+        map_chunks(&self.access, self.min_len, |it| it.sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// rayon-style reduce, seeded per chunk by `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> A::Item
+    where
+        ID: Fn() -> A::Item + Sync,
+        OP: Fn(A::Item, A::Item) -> A::Item + Sync,
+    {
+        map_chunks(&self.access, self.min_len, |it| it.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// rayon-style fold: one partial accumulator per chunk, returned as
+    /// a (short) parallel iterator to `reduce` over.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecAccess<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, A::Item) -> T + Sync,
+    {
+        let partials = map_chunks(&self.access, self.min_len, |it| {
+            it.fold(identity(), &fold_op)
+        });
+        ParIter {
+            access: VecAccess::new(partials),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Do all elements satisfy the predicate? (No early exit: every
+    /// element is visited, which by-value sources rely on.)
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(A::Item) -> bool + Sync,
+    {
+        map_chunks(&self.access, self.min_len, |mut it| it.all(&f))
+            .into_iter()
+            .all(|b| b)
+    }
+
+    /// Does any element satisfy the predicate?
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(A::Item) -> bool + Sync,
+    {
+        map_chunks(&self.access, self.min_len, |mut it| it.any(&f))
+            .into_iter()
+            .any(|b| b)
+    }
+
+    /// Number of elements (without producing them; with a by-value
+    /// source the elements are leaked, not dropped).
+    pub fn count(self) -> usize {
+        self.access.len()
+    }
+
+    /// Collect into a container; `Vec` is written in place by chunk.
+    pub fn collect<C: FromParallelIterator<A::Item>>(self) -> C {
+        C::from_par_access(self.access, self.min_len)
+    }
+}
+
+impl<'a, T, A> ParIter<A>
+where
+    T: Clone + Sync + Send + 'a,
+    A: ParAccess<Item = &'a T>,
+{
+    /// Clone out of references.
+    pub fn cloned(self) -> ParIter<ClonedAccess<A>> {
+        ParIter {
+            access: ClonedAccess { base: self.access },
+            min_len: self.min_len,
+        }
+    }
+}
+
+impl<'a, T, A> ParIter<A>
+where
+    T: Copy + Sync + Send + 'a,
+    A: ParAccess<Item = &'a T>,
+{
+    /// Copy out of references.
+    pub fn copied(self) -> ParIter<CopiedAccess<A>> {
+        ParIter {
+            access: CopiedAccess { base: self.access },
+            min_len: self.min_len,
+        }
+    }
+}
+
+/// Pending `flat_map_iter`: parallel over the outer producer, each
+/// element expanded sequentially on the thread that claimed it.
+pub struct ParFlatMap<A, F> {
+    access: A,
+    f: F,
+    min_len: usize,
+}
+
+impl<A, U, F> ParFlatMap<A, F>
+where
+    A: ParAccess,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(A::Item) -> U + Sync,
+{
+    /// Run `g` on every flattened element.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U::Item) + Sync,
+    {
+        map_chunks(&self.access, self.min_len, |it| {
+            for v in it {
+                for u in (self.f)(v) {
+                    g(u);
+                }
+            }
+        });
+    }
+
+    /// Collect the flattened elements, preserving chunk order.
+    pub fn collect<C: FromIterator<U::Item>>(self) -> C {
+        let partials = map_chunks(&self.access, self.min_len, |it| {
+            let mut buf = Vec::new();
+            for v in it {
+                buf.extend((self.f)(v));
+            }
+            buf
+        });
+        partials.into_iter().flatten().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceAccess<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParAccess for SliceAccess<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        let s: &'a [T] = self.slice;
+        // SAFETY: caller guarantees i < len.
+        unsafe { s.get_unchecked(i) }
+    }
+}
+
+/// Exclusive-slice source (`par_iter_mut`): hands out `&'a mut T` for
+/// disjoint indices through a raw pointer.
+pub struct SliceMutAccess<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is only ever to disjoint indices (ParAccess contract),
+// so sharing the pointer across threads is a parallel split borrow.
+unsafe impl<T: Send> Send for SliceMutAccess<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutAccess<'_, T> {}
+
+impl<'a, T: Send> ParAccess for SliceMutAccess<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: i < len, and the at-most-once contract means no two
+        // calls alias; the PhantomData pins the source borrow for 'a.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Fixed-size chunk source (`par_chunks`).
+pub struct ChunksAccess<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParAccess for ChunksAccess<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let s: &'a [T] = self.slice;
+        let start = i * self.size;
+        let end = (start + self.size).min(s.len());
+        &s[start..end]
+    }
+}
+
+/// Exclusive fixed-size chunk source (`par_chunks_mut`).
+pub struct ChunksMutAccess<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for SliceMutAccess — distinct indices yield disjoint chunks.
+unsafe impl<T: Send> Send for ChunksMutAccess<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutAccess<'_, T> {}
+
+impl<'a, T: Send> ParAccess for ChunksMutAccess<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.len);
+        // SAFETY: chunk i covers start..end, disjoint from every other
+        // chunk index; bounds follow from i < len().
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// Overlapping-window source (`par_windows`). Windows share elements,
+/// which is fine for shared references.
+pub struct WindowsAccess<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParAccess for WindowsAccess<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let s: &'a [T] = self.slice;
+        &s[i..i + self.size]
+    }
+}
+
+/// By-value `Vec` source: each element is moved out exactly once via
+/// `ptr::read`; the buffer (but not unconsumed elements) is freed on
+/// drop.
+pub struct VecAccess<T> {
+    buf: ManuallyDrop<Vec<T>>,
+}
+
+impl<T> VecAccess<T> {
+    fn new(v: Vec<T>) -> Self {
+        VecAccess {
+            buf: ManuallyDrop::new(v),
+        }
+    }
+}
+
+// SAFETY: concurrent `get` calls move disjoint elements to their
+// claiming threads, which only needs T: Send.
+unsafe impl<T: Send> Sync for VecAccess<T> {}
+
+impl<T: Send> ParAccess for VecAccess<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // SAFETY: i < len and the at-most-once contract prevents a
+        // double read (hence double drop).
+        unsafe { std::ptr::read(self.buf.as_ptr().add(i)) }
+    }
+}
+
+impl<T> Drop for VecAccess<T> {
+    fn drop(&mut self) {
+        // Free the allocation without dropping elements: terminal ops
+        // moved them out. Elements abandoned by a panic or `skip` leak
+        // rather than risk a double drop.
+        unsafe {
+            self.buf.set_len(0);
+            ManuallyDrop::drop(&mut self.buf);
+        }
+    }
+}
+
+/// Integer-range source.
+pub struct RangeAccess<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_access {
+    ($($t:ty),*) => {$(
+        impl ParAccess for RangeAccess<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Access = RangeAccess<$t>;
+            fn into_par_iter(self) -> ParIter<RangeAccess<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                par(RangeAccess {
+                    start: self.start,
+                    len,
+                })
+            }
+        }
+
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            type Access = RangeAccess<$t>;
+            fn into_par_iter(self) -> ParIter<RangeAccess<$t>> {
+                let (start, end) = (*self.start(), *self.end());
+                let len = if end >= start {
+                    (end - start) as usize + 1
+                } else {
+                    0
+                };
+                par(RangeAccess { start, len })
+            }
+        }
+    )*};
+}
+
+range_access!(usize, u32, u64, i32, i64);
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParIter::map`].
+pub struct MapAccess<A, F> {
+    base: A,
+    f: F,
+}
+
+impl<A, U, F> ParAccess for MapAccess<A, F>
+where
+    A: ParAccess,
+    U: Send,
+    F: Fn(A::Item) -> U + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> U {
+        // SAFETY: forwarded contract.
+        (self.f)(unsafe { self.base.get(i) })
+    }
+}
+
+/// See [`ParIter::zip`].
+pub struct ZipAccess<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParAccess, B: ParAccess> ParAccess for ZipAccess<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwarded contract; i < min of both lengths.
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// See [`ParIter::enumerate`].
+pub struct EnumerateAccess<A> {
+    base: A,
+}
+
+impl<A: ParAccess> ParAccess for EnumerateAccess<A> {
+    type Item = (usize, A::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, A::Item) {
+        // SAFETY: forwarded contract.
+        (i, unsafe { self.base.get(i) })
+    }
+}
+
+/// See [`ParIter::skip`].
+pub struct SkipAccess<A> {
+    base: A,
+    n: usize,
+}
+
+impl<A: ParAccess> ParAccess for SkipAccess<A> {
+    type Item = A::Item;
+    fn len(&self) -> usize {
+        self.base.len().saturating_sub(self.n)
+    }
+    unsafe fn get(&self, i: usize) -> A::Item {
+        // SAFETY: i + n < base.len() because i < len(); shift keeps
+        // indices unique.
+        unsafe { self.base.get(i + self.n) }
+    }
+}
+
+/// See [`ParIter::take`].
+pub struct TakeAccess<A> {
+    base: A,
+    n: usize,
+}
+
+impl<A: ParAccess> ParAccess for TakeAccess<A> {
+    type Item = A::Item;
+    fn len(&self) -> usize {
+        self.base.len().min(self.n)
+    }
+    unsafe fn get(&self, i: usize) -> A::Item {
+        // SAFETY: forwarded contract (a strict prefix of base indices).
+        unsafe { self.base.get(i) }
+    }
+}
+
+/// See [`ParIter::cloned`].
+pub struct ClonedAccess<A> {
+    base: A,
+}
+
+impl<'a, T, A> ParAccess for ClonedAccess<A>
+where
+    T: Clone + Sync + Send + 'a,
+    A: ParAccess<Item = &'a T>,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // SAFETY: forwarded contract.
+        unsafe { self.base.get(i) }.clone()
+    }
+}
+
+/// See [`ParIter::copied`].
+pub struct CopiedAccess<A> {
+    base: A,
+}
+
+impl<'a, T, A> ParAccess for CopiedAccess<A>
+where
+    T: Copy + Sync + Send + 'a,
+    A: ParAccess<Item = &'a T>,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // SAFETY: forwarded contract.
+        *unsafe { self.base.get(i) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Things convertible into a [`ParIter`] (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Underlying producer.
+    type Access: ParAccess<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Access>;
+}
+
+impl<A: ParAccess> IntoParallelIterator for ParIter<A> {
+    type Item = A::Item;
+    type Access = A;
+    fn into_par_iter(self) -> ParIter<A> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Access = VecAccess<T>;
+    fn into_par_iter(self) -> ParIter<VecAccess<T>> {
+        par(VecAccess::new(self))
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    type Access = VecAccess<T>;
+    fn into_par_iter(self) -> ParIter<VecAccess<T>> {
+        Vec::from(self).into_par_iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Access = SliceAccess<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceAccess<'a, T>> {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Access = SliceAccess<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceAccess<'a, T>> {
+        self.par_iter()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Access = SliceMutAccess<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceMutAccess<'a, T>> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Access = SliceMutAccess<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceMutAccess<'a, T>> {
+        self.par_iter_mut()
+    }
+}
+
+/// `par_iter` / `par_chunks` / `par_windows` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate shared references.
+    fn par_iter(&self) -> ParIter<SliceAccess<'_, T>>;
+    /// Iterate fixed-size chunks (the last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksAccess<'_, T>>;
+    /// Iterate overlapping windows.
+    fn par_windows(&self, size: usize) -> ParIter<WindowsAccess<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceAccess<'_, T>> {
+        par(SliceAccess { slice: self })
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksAccess<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        par(ChunksAccess { slice: self, size })
+    }
+    fn par_windows(&self, size: usize) -> ParIter<WindowsAccess<'_, T>> {
+        assert!(size > 0, "window size must be positive");
+        par(WindowsAccess { slice: self, size })
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Iterate exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutAccess<'_, T>>;
+    /// Iterate exclusive fixed-size chunks (the last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutAccess<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutAccess<'_, T>> {
+        par(SliceMutAccess {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutAccess<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        par(ChunksMutAccess {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        })
+    }
+}

@@ -1,422 +1,56 @@
 //! Offline stand-in for `rayon` with the API surface this workspace
-//! uses. The parallel-iterator adapters (`par_iter`, `par_chunks_mut`,
-//! `into_par_iter`, ...) execute **sequentially** — they exist so the
-//! NPB kernels and the sparse solver compile and run correctly without
-//! crates.io access; their semantics (disjoint chunks, associative
-//! reductions) are unchanged, only the speedup is gone.
+//! uses — and, unlike earlier revisions of this shim, **real fork-join
+//! execution**: `par_iter`, `par_iter_mut`, `par_chunks(_mut)`,
+//! `into_par_iter` and their adapters cut the index space into chunks
+//! and run them on a fixed-size thread pool.
 //!
-//! [`ThreadPool`], by contrast, is real: a fixed-size pool of OS
-//! threads with a FIFO injector queue. The campaign orchestration
-//! engine runs its job graph on it, so experiment-level parallelism —
-//! the level that dominates wall-clock for the paper's sweeps — is
-//! genuine.
+//! Guarantees the rest of the workspace builds on:
+//!
+//! - **Sequential fallback.** A loop shorter than twice
+//!   [`split_threshold`] (or on a 1-thread pool) runs inline on the
+//!   caller with zero synchronisation, so small grids never pay fork
+//!   overhead. The threshold is tunable via [`set_split_threshold`].
+//! - **Determinism for a fixed thread count.** Chunk boundaries are a
+//!   pure function of `(len, threshold, pool width)`, and reductions
+//!   combine per-chunk partials in chunk order — never in completion
+//!   order — so two runs on the same pool produce bitwise-identical
+//!   results.
+//! - **Pool scoping.** [`ThreadPool::install`] pins all parallel
+//!   regions opened inside it (however deeply nested) to that pool;
+//!   everything else uses a lazily-built global pool sized to the
+//!   machine.
+//!
+//! The implementation is index-addressed rather than split-based like
+//! upstream rayon: every source implements [`ParAccess`] (`len` plus an
+//! exactly-once indexed getter), which is enough for the slice, range,
+//! and `Vec` shapes the solver and NPB kernels need, at a fraction of
+//! the machinery.
 
-use std::collections::VecDeque;
-use std::fmt;
-use std::ops::{Range, RangeInclusive};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+mod iter;
+mod pool;
 
-/// Number of threads the sequential adapters pretend to use (and the
-/// default size for new pools).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-// ---------------------------------------------------------------------------
-// Sequential "parallel" iterators
-// ---------------------------------------------------------------------------
-
-/// A "parallel" iterator: a thin wrapper over a std iterator offering
-/// rayon's adapter names with sequential execution.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// Transform each element.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keep elements satisfying the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// Pair with a second iterable, element by element.
-    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Attach indices.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Skip the first `n` elements.
-    pub fn skip(self, n: usize) -> ParIter<std::iter::Skip<I>> {
-        ParIter(self.0.skip(n))
-    }
-
-    /// Take only the first `n` elements.
-    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
-        ParIter(self.0.take(n))
-    }
-
-    /// Map each element to a sequential iterator and flatten.
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
-    {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// Do all elements satisfy the predicate?
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.all(f)
-    }
-
-    /// Does any element satisfy the predicate?
-    pub fn any<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.any(f)
-    }
-
-    /// Run `f` on every element.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Sum all elements.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Collect into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Count the elements.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// rayon-style fold: produces per-"thread" partial accumulators —
-    /// sequentially, a single one.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// rayon-style reduce, seeded by `identity`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// The minimum element, if any.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(f)
-    }
-
-    /// The maximum element, if any.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-}
-
-impl<'a, I, T: 'a + Clone> ParIter<I>
-where
-    I: Iterator<Item = &'a T>,
-{
-    /// Clone out of references.
-    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
-        ParIter(self.0.cloned())
-    }
-}
-
-impl<'a, I, T: 'a + Copy> ParIter<I>
-where
-    I: Iterator<Item = &'a T>,
-{
-    /// Copy out of references.
-    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
-        ParIter(self.0.copied())
-    }
-}
-
-/// Things convertible into a [`ParIter`] (rayon's entry-point trait).
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Convert.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-    type Item = I::Item;
-    type Iter = I;
-    fn into_par_iter(self) -> ParIter<I> {
-        self
-    }
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<T, const N: usize> IntoParallelIterator for [T; N] {
-    type Item = T;
-    type Iter = std::array::IntoIter<T, N>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a Vec<T> {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a [T] {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a mut [T] {
-    type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter_mut())
-    }
-}
-
-impl<T> IntoParallelIterator for Range<T>
-where
-    Range<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type Iter = Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self)
-    }
-}
-
-impl<T> IntoParallelIterator for RangeInclusive<T>
-where
-    RangeInclusive<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type Iter = RangeInclusive<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self)
-    }
-}
-
-/// `par_iter` / `par_chunks` on slices.
-pub trait ParallelSlice<T> {
-    /// Iterate shared references.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Iterate fixed-size chunks.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    /// Iterate overlapping windows.
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
-    }
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter(self.windows(size))
-    }
-}
-
-/// `par_iter_mut` / `par_chunks_mut` on slices.
-pub trait ParallelSliceMut<T> {
-    /// Iterate exclusive references.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Iterate exclusive fixed-size chunks.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
-    }
-}
+pub use iter::{
+    ChunksAccess, ChunksMutAccess, ClonedAccess, CopiedAccess, EnumerateAccess,
+    FromParallelIterator, IntoParallelIterator, MapAccess, ParAccess, ParFlatMap, ParIter,
+    ParallelSlice, ParallelSliceMut, RangeAccess, SkipAccess, SliceAccess, SliceMutAccess,
+    TakeAccess, VecAccess, WindowsAccess, ZipAccess,
+};
+pub use pool::{
+    current_num_threads, set_split_threshold, split_threshold, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
 
 /// The glob import rayon users write.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-// ---------------------------------------------------------------------------
-// A real thread pool
-// ---------------------------------------------------------------------------
-
-/// Error building a pool (never produced by this shim, kept for API
-/// compatibility).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: Option<usize>,
-}
-
-impl ThreadPoolBuilder {
-    /// A fresh builder.
-    pub fn new() -> ThreadPoolBuilder {
-        ThreadPoolBuilder::default()
-    }
-
-    /// Fix the worker count (0 or unset means one per core).
-    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
-        self.num_threads = Some(n);
-        self
-    }
-
-    /// Build the pool.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = match self.num_threads {
-            Some(0) | None => current_num_threads(),
-            Some(n) => n,
-        };
-        Ok(ThreadPool::with_threads(n))
-    }
-}
-
-type Task = Box<dyn FnOnce() + Send + 'static>;
-
-struct PoolState {
-    queue: Mutex<VecDeque<Task>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-}
-
-/// A fixed-size pool of OS worker threads with a FIFO task queue.
-pub struct ThreadPool {
-    state: Arc<PoolState>,
-    workers: Vec<JoinHandle<()>>,
-    threads: usize,
-}
-
-impl ThreadPool {
-    fn with_threads(n: usize) -> ThreadPool {
-        let state = Arc::new(PoolState {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let workers = (0..n)
-            .map(|i| {
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("pool-worker-{i}"))
-                    .spawn(move || loop {
-                        let task = {
-                            let mut q = state.queue.lock().expect("pool queue poisoned");
-                            loop {
-                                if let Some(t) = q.pop_front() {
-                                    break t;
-                                }
-                                if state.shutdown.load(Ordering::SeqCst) {
-                                    return;
-                                }
-                                q = state.available.wait(q).expect("pool queue poisoned");
-                            }
-                        };
-                        task();
-                    })
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        ThreadPool {
-            state,
-            workers,
-            threads: n,
-        }
-    }
-
-    /// Worker count.
-    pub fn current_num_threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Run `op` to completion on the caller (rayon runs it inside the
-    /// pool; for the sequential adapters the distinction is
-    /// unobservable).
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
-    }
-
-    /// Enqueue an asynchronous task on the pool's workers.
-    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        let mut q = self.state.queue.lock().expect("pool queue poisoned");
-        q.push_back(Box::new(task));
-        drop(q);
-        self.state.available.notify_one();
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        self.state.available.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn adapters_behave_like_std() {
@@ -459,5 +93,116 @@ mod tests {
             rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
         }
         assert_eq!(done.load(Ordering::SeqCst), 16);
+    }
+
+    /// Force forking regardless of grid size by shrinking the threshold
+    /// inside a dedicated pool.
+    fn with_forced_parallelism<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let old = split_threshold();
+        set_split_threshold(8);
+        let r = pool.install(f);
+        set_split_threshold(old);
+        r
+    }
+
+    #[test]
+    fn forked_regions_use_multiple_threads() {
+        let ids: Vec<std::thread::ThreadId> = with_forced_parallelism(4, || {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|_| {
+                    // Small spin so chunks overlap in time.
+                    std::hint::black_box((0..50).sum::<usize>());
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "expected >1 worker to participate, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_element() {
+        let mut v = vec![0usize; 50_000];
+        with_forced_parallelism(4, || {
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn reductions_are_deterministic_for_fixed_thread_count() {
+        let data: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = || -> f64 { data.par_iter().map(|&x| x * 1.000001).sum() };
+        let (a, b) = with_forced_parallelism(4, || (run(), run()));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn install_bounds_region_concurrency() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+    }
+
+    #[test]
+    fn by_value_vec_moves_each_element_once() {
+        let v: Vec<String> = (0..5000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> =
+            with_forced_parallelism(3, || v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 5000);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[4999], 4);
+    }
+
+    #[test]
+    fn enumerate_skip_take_composition_stays_indexed() {
+        let mut v = vec![0usize; 4000];
+        with_forced_parallelism(4, || {
+            v.par_chunks_mut(100)
+                .enumerate()
+                .skip(1)
+                .take(38)
+                .for_each(|(i, c)| {
+                    for x in c {
+                        *x = i;
+                    }
+                });
+        });
+        assert!(v[..100].iter().all(|&x| x == 0), "skipped chunk untouched");
+        assert!(v[3900..].iter().all(|&x| x == 0), "tail chunk untouched");
+        assert_eq!(v[150], 1);
+        assert_eq!(v[3850], 38);
+    }
+
+    #[test]
+    fn panics_in_chunk_bodies_propagate_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            with_forced_parallelism(4, || {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    assert!(i != 7777, "boom");
+                });
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let total: usize = with_forced_parallelism(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| (0..1000usize).into_par_iter().map(|j| j % 7).sum::<usize>())
+                .sum()
+        });
+        let inner: usize = (0..1000).map(|j| j % 7).sum();
+        assert_eq!(total, 64 * inner);
     }
 }

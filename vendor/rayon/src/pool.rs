@@ -1,0 +1,381 @@
+//! The execution core: a fixed-size thread pool plus the fork-join
+//! region executor the parallel iterators run on.
+//!
+//! A *region* is one parallel loop over `0..len`, cut into contiguous
+//! chunks. Chunks are claimed from a shared atomic counter, so load
+//! balances dynamically, but the chunk *boundaries* are a pure function
+//! of `(len, split threshold, pool width)` — that is what makes
+//! reductions deterministic for a fixed thread count (partials are
+//! combined in chunk order, never in completion order).
+//!
+//! Deadlock freedom: the thread that opened a region participates in
+//! chunk execution and, while waiting for stragglers, drains the pool's
+//! task queue. Every queued task is a short-lived chunk helper, so the
+//! opener can never be parked behind work that needs the opener to run.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Minimum elements per chunk before a region is worth forking
+/// (see [`split_threshold`]).
+const DEFAULT_SPLIT_THRESHOLD: usize = 1024;
+
+/// Chunks created per pool thread: >1 so early-finishing threads can
+/// steal remaining chunks from the claim counter.
+const CHUNKS_PER_THREAD: usize = 4;
+
+static SPLIT_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_SPLIT_THRESHOLD);
+
+/// The current minimum number of elements a chunk must hold before a
+/// parallel region forks; loops shorter than twice this run inline on
+/// the caller.
+pub fn split_threshold() -> usize {
+    SPLIT_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Set the fork threshold (clamped to at least 1). Lower values
+/// parallelise smaller loops at higher fixed overhead per region;
+/// the default suits the thermal solver's vector lengths.
+pub fn set_split_threshold(min_chunk_len: usize) {
+    SPLIT_THRESHOLD.store(min_chunk_len.max(1), Ordering::Relaxed);
+}
+
+/// Worker count of the pool the current thread would run regions on:
+/// the innermost [`ThreadPool::install`] pool, or the global one.
+pub fn current_num_threads() -> usize {
+    current_state().threads
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct PoolState {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+}
+
+impl PoolState {
+    fn push(&self, task: Task) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(task);
+        drop(q);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
+
+thread_local! {
+    /// Stack of pools installed on this thread; the top is where new
+    /// regions fork. Pool workers pre-install their own pool so nested
+    /// regions stay inside it.
+    static INSTALLED: std::cell::RefCell<Vec<Arc<PoolState>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::with_threads(hardware_threads()))
+}
+
+pub(crate) fn current_state() -> Arc<PoolState> {
+    let installed = INSTALLED.with(|s| s.borrow().last().cloned());
+    installed.unwrap_or_else(|| Arc::clone(&global_pool().state))
+}
+
+/// Error building a pool (never produced by this shim, kept for API
+/// compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fix the worker count (0 or unset means one per core).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => hardware_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool::with_threads(n))
+    }
+}
+
+/// A fixed-size pool of OS worker threads with a FIFO task queue.
+///
+/// Parallel regions fork onto the innermost installed pool; a region
+/// opened under `pool.install(..)` uses the caller plus `n - 1` queued
+/// helpers, so `num_threads(n)` bounds a region's concurrency at `n`.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn with_threads(n: usize) -> ThreadPool {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads: n,
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || {
+                        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&state)));
+                        loop {
+                            let task = {
+                                let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+                                loop {
+                                    if let Some(t) = q.pop_front() {
+                                        break t;
+                                    }
+                                    if state.shutdown.load(Ordering::SeqCst) {
+                                        return;
+                                    }
+                                    q = state.available.wait(q).unwrap_or_else(|e| e.into_inner());
+                                }
+                            };
+                            task();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { state, workers }
+    }
+
+    /// Worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.state.threads
+    }
+
+    /// Run `op` on the caller with this pool installed: every parallel
+    /// region `op` opens (directly or nested) forks onto this pool
+    /// instead of the global one.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(Arc::clone(&self.state)));
+        struct PopOnDrop;
+        impl Drop for PopOnDrop {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopOnDrop;
+        op()
+    }
+
+    /// Enqueue an asynchronous task on the pool's workers.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.state.push(Box::new(task));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Chunk layout for a region of `len` elements on a `threads`-wide
+/// pool: `(chunk_count, chunk_len)`. Pure in its inputs — never
+/// consults completion order or wall-clock — so a fixed thread count
+/// always yields the same partials. `min_len` overrides the global
+/// split threshold when non-zero (see `ParIter::with_min_len`).
+pub(crate) fn chunk_plan(len: usize, threads: usize, min_len: usize) -> (usize, usize) {
+    let min = if min_len > 0 {
+        min_len
+    } else {
+        split_threshold()
+    };
+    if threads <= 1 || len < min.saturating_mul(2) {
+        return (1, len.max(1));
+    }
+    let max_chunks = (threads * CHUNKS_PER_THREAD).min(len / min).max(1);
+    let chunk_len = len.div_ceil(max_chunks);
+    (len.div_ceil(chunk_len), chunk_len)
+}
+
+/// One in-flight parallel region. Shared by the opener and its queued
+/// helpers; the opener guarantees it outlives every helper by waiting
+/// for `helpers_left == 0` before returning (even on panic).
+struct Region<'a> {
+    /// `body(chunk_index, start, end)` — must tolerate concurrent calls
+    /// with disjoint chunk indices.
+    body: &'a (dyn Fn(usize, usize, usize) + Sync),
+    len: usize,
+    n_chunks: usize,
+    chunk_len: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    helpers_left: AtomicUsize,
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Region<'_> {
+    fn finished(&self) -> bool {
+        self.completed.load(Ordering::Acquire) == self.n_chunks
+            && self.helpers_left.load(Ordering::Acquire) == 0
+    }
+
+    fn notify(&self) {
+        let _g = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        self.done_cv.notify_all();
+    }
+
+    fn mark_chunk_done(&self) {
+        if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n_chunks {
+            self.notify();
+        }
+    }
+
+    /// Claim and run chunks until the claim counter runs out. A panic
+    /// in `body` is recorded (first wins), poisons the region so the
+    /// remaining chunks drain without running, and is re-thrown on the
+    /// opener after all helpers have exited.
+    fn run_chunks(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.n_chunks {
+                return;
+            }
+            if !self.panicked.load(Ordering::Relaxed) {
+                let start = c * self.chunk_len;
+                let end = (start + self.chunk_len).min(self.len);
+                let r = catch_unwind(AssertUnwindSafe(|| (self.body)(c, start, end)));
+                if let Err(payload) = r {
+                    self.panicked.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
+            }
+            self.mark_chunk_done();
+        }
+    }
+
+    fn helper_exit(&self) {
+        if self.helpers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.notify();
+        }
+    }
+}
+
+/// Run `body(chunk_index, start, end)` over a pre-computed chunk plan,
+/// forking onto the current pool when the plan has more than one chunk.
+/// Blocks until every chunk is complete and no helper still references
+/// the region.
+pub(crate) fn execute_plan(
+    len: usize,
+    n_chunks: usize,
+    chunk_len: usize,
+    body: &(dyn Fn(usize, usize, usize) + Sync),
+) {
+    if n_chunks <= 1 {
+        body(0, 0, len);
+        return;
+    }
+    let state = current_state();
+    let helpers = (state.threads.saturating_sub(1)).min(n_chunks - 1);
+    let region = Region {
+        body,
+        len,
+        n_chunks,
+        chunk_len,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        helpers_left: AtomicUsize::new(helpers),
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    };
+    // SAFETY: helpers only run between here and the wait loop below,
+    // which does not return until `helpers_left == 0`; the region
+    // therefore strictly outlives every use of this 'static alias.
+    let r_static: &'static Region<'static> =
+        unsafe { &*std::ptr::from_ref(&region).cast::<Region<'static>>() };
+    for _ in 0..helpers {
+        state.push(Box::new(move || {
+            r_static.run_chunks();
+            r_static.helper_exit();
+        }));
+    }
+    region.run_chunks();
+    // Wait for stragglers, draining the queue so a helper stuck behind
+    // other regions' tasks (or behind our own un-popped helpers) still
+    // makes progress even when every worker is busy.
+    while !region.finished() {
+        if let Some(task) = state.try_pop() {
+            task();
+            continue;
+        }
+        let g = region.done.lock().unwrap_or_else(|e| e.into_inner());
+        if region.finished() {
+            break;
+        }
+        let _ = region
+            .done_cv
+            .wait_timeout(g, Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    let payload = {
+        let mut slot = region
+            .panic_payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        slot.take()
+    };
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
