@@ -8,6 +8,7 @@
 //! watercool simulate  --benchmark CG --chips 2 --freq 2.0 --ops 50000 [--gem5-stats]
 //! watercool export-flp --chip e5
 //! watercool campaign  [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR]
+//! watercool faultsim  [--seed N] [--matrix | --site SITE --kind KIND] [--out DIR]
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency) and unit-tested
@@ -89,6 +90,22 @@ pub enum Command {
         /// Extra attempts after a first failure.
         retries: u32,
     },
+    /// Deterministic fault-injection conformance matrix (or one cell).
+    Faultsim {
+        /// Matrix seed; each cell derives its injection occurrence
+        /// from it, so a seed plus a (site, kind) pair replays a cell
+        /// exactly.
+        seed: u64,
+        /// Run the full site × kind matrix (default when no cell is
+        /// named).
+        matrix: bool,
+        /// Replay one cell: the hook site to inject at.
+        site: Option<String>,
+        /// Replay one cell: the fault kind to inject.
+        kind: Option<String>,
+        /// Working directory for cell caches and the JSON report.
+        out: String,
+    },
     /// Fixed thermal-solver benchmark writing `BENCH_thermal.json`.
     BenchThermal {
         /// CI-sized workload (small grids, single repetition).
@@ -165,6 +182,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: get_or("--out", "results"),
             retries: num("--retries", "2")? as u32,
         }),
+        "faultsim" => {
+            let site = get("--site").map(str::to_string);
+            let kind = get("--kind").map(str::to_string);
+            if site.is_some() != kind.is_some() {
+                return Err("faultsim: --site and --kind must be given together".to_string());
+            }
+            Ok(Command::Faultsim {
+                seed: num("--seed", "42")? as u64,
+                matrix: has("--matrix") || site.is_none(),
+                site,
+                kind,
+                out: get_or("--out", "target/faultsim"),
+            })
+        }
         "bench" => match rest.first().copied() {
             Some("thermal") => Ok(Command::BenchThermal {
                 smoke: has("--smoke"),
@@ -206,6 +237,7 @@ pub fn usage() -> String {
        simulate    --benchmark BT..UA --chips N --freq GHz --ops N [--gem5-stats]\n\
        export-flp  --chip lp|hf|e5|phi\n\
        campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]\n\
+       faultsim    [--seed N] [--matrix | --site SITE --kind KIND] [--out DIR]\n\
        bench       thermal [--smoke] [--threads N] [--out PATH] [--check BASELINE]\n\
        lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]"
         .to_string()
@@ -274,6 +306,62 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 Ok(text)
             } else {
                 Err(text)
+            }
+        }
+        Command::Faultsim {
+            seed,
+            matrix,
+            site,
+            kind,
+            out,
+        } => {
+            use crate::faultharness;
+            use immersion_faultsim::FaultKind;
+            let out_dir = std::path::PathBuf::from(&out);
+            if let (Some(site), Some(kind_name)) = (site.as_deref(), kind.as_deref()) {
+                let k = FaultKind::from_name(kind_name).ok_or_else(|| {
+                    format!(
+                        "unknown fault kind '{kind_name}' (one of: {})",
+                        FaultKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+                let cell = faultharness::run_single(seed, site, k, &out_dir)?;
+                let text = format!(
+                    "cell {} / {} (seed {seed}, occurrence {}): {} fault(s) fired, \
+                     {} corrupt entr(ies) quarantined\n{}",
+                    cell.site,
+                    cell.kind,
+                    cell.nth,
+                    cell.injected,
+                    cell.corrupt_entries,
+                    if cell.passed {
+                        "all invariants held".to_string()
+                    } else {
+                        format!("FAILED: {}\nreplay: {}", cell.detail, cell.replay_line())
+                    }
+                );
+                if cell.passed {
+                    Ok(text)
+                } else {
+                    Err(text)
+                }
+            } else {
+                debug_assert!(matrix);
+                let report = faultharness::run_matrix(seed, &out_dir)?;
+                let report_path = out_dir.join("faultsim_report.json");
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                immersion_campaign::fsutil::atomic_write(&report_path, json.as_bytes())
+                    .map_err(|e| e.to_string())?;
+                let text = format!("{}report: {}", report.render(), report_path.display());
+                if report.passed() {
+                    Ok(text)
+                } else {
+                    Err(text)
+                }
             }
         }
         Command::MaxFreq {
@@ -549,6 +637,35 @@ mod tests {
                 retries: 0,
             }
         );
+    }
+
+    #[test]
+    fn parses_faultsim() {
+        assert_eq!(
+            parse(&args("faultsim")).unwrap(),
+            Command::Faultsim {
+                seed: 42,
+                matrix: true,
+                site: None,
+                kind: None,
+                out: "target/faultsim".into(),
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "faultsim --seed 7 --site thermal::cg --kind diverge --out /tmp/fs"
+            ))
+            .unwrap(),
+            Command::Faultsim {
+                seed: 7,
+                matrix: false,
+                site: Some("thermal::cg".into()),
+                kind: Some("diverge".into()),
+                out: "/tmp/fs".into(),
+            }
+        );
+        assert!(parse(&args("faultsim --site thermal::cg")).is_err());
+        assert!(parse(&args("faultsim --kind diverge")).is_err());
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The fault-matrix conformance harness: every hook site crossed with
+//! every fault kind, each cell asserting the invariants that make the
+//! campaign/thermal stack safe to trust after a failure.
+//!
+//! ## The cell protocol
+//!
+//! One **reference run** executes a small demo campaign (an arithmetic
+//! diamond plus a real thermal solve and a real explorer search)
+//! fault-free and records its canonical manifest and outputs. Each
+//! cell then:
+//!
+//! 1. arms a seeded [`FaultPlan`] injecting its `(site, kind)` on a
+//!    seed-derived occurrence and re-runs the campaign from an empty
+//!    cache (single worker, so the probe order — and therefore the
+//!    injection point — is a pure function of the seed);
+//! 2. asserts the faulted run still converges to the **bitwise
+//!    canonical manifest** of the reference run (retries and fallbacks
+//!    must recover, not approximately but exactly);
+//! 3. disarms and **resumes** over the surviving cache, asserting that
+//!    resumed outputs are bitwise-identical, that cache hits equal
+//!    exactly the valid entries the faulted run left behind (no
+//!    corrupt entry ever becomes a hit, no valid entry is wasted), and
+//!    that every corrupt entry was quarantined to `.poison`.
+//!
+//! A failing cell prints its replay line:
+//! `watercool faultsim --seed N --site S --kind K`.
+
+use immersion_campaign::hash::fnv1a64;
+use immersion_campaign::{CacheEntry, Campaign, CampaignReport, Event, Job, Manifest, RunOptions};
+use immersion_core::design::CmpDesign;
+use immersion_core::explorer::{max_frequency, peak_temperature};
+use immersion_desim::SplitMix64;
+use immersion_faultsim::{self as faultsim, FaultKind, FaultPlan, FaultRule, Trigger};
+use immersion_power::chips::low_power_cmp;
+use immersion_thermal::stack3d::CoolingParams;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The matrix axes: every hook site crossed with every fault kind.
+/// Kinds inapplicable at a site (e.g. a torn write at a CG solve)
+/// still fire, and must be survived as no-ops.
+pub const MATRIX_SITES: [&str; 7] = faultsim::site::ALL;
+
+/// The fault kinds of the matrix.
+pub const MATRIX_KINDS: [FaultKind; 6] = FaultKind::ALL;
+
+/// The demo campaign the matrix drives: a dependency diamond of cheap
+/// arithmetic jobs, one real steady-state thermal solve, one real
+/// explorer binary search, and a rollup depending on all of them —
+/// small enough to run dozens of times, real enough to cross every
+/// instrumented layer (cache, fsutil, scheduler, thermal CG, explorer
+/// warm starts).
+pub fn demo_campaign() -> Campaign {
+    let mut c = Campaign::new();
+    c.add(Job::new("alpha", &6u64, |_| Ok(Value::U64(6))));
+    c.add(Job::new("beta", &7u64, |_| Ok(Value::U64(7))));
+    c.add(
+        Job::new("gamma", &"product", |ctx| {
+            let a = ctx
+                .dep("alpha")
+                .and_then(Value::as_u64)
+                .ok_or("alpha output missing")?;
+            let b = ctx
+                .dep("beta")
+                .and_then(Value::as_u64)
+                .ok_or("beta output missing")?;
+            Ok(Value::U64(a * b))
+        })
+        .after("alpha")
+        .after("beta"),
+    );
+    c.add(Job::new("hotspot", &"lp x2 water 8x8 peak", |_| {
+        let d = demo_design();
+        let model = d.thermal_model().map_err(|e| e.to_string())?;
+        let step = d.chip.vfs.max_step();
+        let t = peak_temperature(&d, &model, step).map_err(|e| e.to_string())?;
+        Ok(Value::Str(format!("{t:.3}")))
+    }));
+    c.add(Job::new("maxfreq", &"lp x2 water 8x8 search", |_| {
+        let d = demo_design();
+        let f = max_frequency(&d)
+            .map(|s| format!("{:.3}", s.freq_ghz))
+            .unwrap_or_else(|| "infeasible".to_string());
+        Ok(Value::Str(f))
+    }));
+    c.add(
+        Job::new("rollup", &"rollup", |ctx| {
+            Ok(Value::Map(ctx.deps().clone()))
+        })
+        .after("gamma")
+        .after("hotspot")
+        .after("maxfreq"),
+    );
+    c
+}
+
+fn demo_design() -> CmpDesign {
+    CmpDesign::new(low_power_cmp(), 2, CoolingParams::water_immersion()).with_grid(8, 8)
+}
+
+/// Run the demo campaign over `cache_dir` with `workers` threads.
+/// Retries are generous (the matrix injects at most two failures per
+/// site) and backoffs are trimmed to keep the matrix fast.
+pub fn run_demo(
+    cache_dir: &Path,
+    workers: usize,
+    on_event: &(dyn Fn(&Event) + Sync),
+) -> Result<(CampaignReport, Manifest), String> {
+    let campaign = demo_campaign();
+    let opts = RunOptions {
+        workers,
+        cache_dir: Some(cache_dir.to_path_buf()),
+        use_cache: true,
+        retries: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 4,
+        filter: None,
+    };
+    let report = campaign.run(&opts, on_event).map_err(|e| e.to_string())?;
+    let manifest = Manifest::from_report(&report, workers, None);
+    Ok((report, manifest))
+}
+
+/// What the fault-free world computed: the yardstick every cell is
+/// measured against, bitwise.
+#[derive(Debug, Clone)]
+pub struct ReferenceRun {
+    /// Canonical manifest JSON of the fault-free run.
+    pub canonical: String,
+    /// Canonical JSON of the fault-free job outputs.
+    pub outputs_json: String,
+    /// Number of jobs in the demo campaign.
+    pub jobs: usize,
+}
+
+/// Execute the fault-free reference run in `dir` (recreated fresh).
+pub fn reference_run(dir: &Path) -> Result<ReferenceRun, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let (report, manifest) = run_demo(&dir.join("cache"), 1, &|_| {})?;
+    if !report.all_ok() {
+        return Err("reference run did not complete cleanly".to_string());
+    }
+    Ok(ReferenceRun {
+        canonical: manifest.canonical_json(),
+        outputs_json: outputs_json(&report),
+        jobs: report.jobs.len(),
+    })
+}
+
+/// Canonical JSON of a report's job outputs.
+pub fn outputs_json(report: &CampaignReport) -> String {
+    serde_json::to_string_pretty(&Value::Map(report.outputs.clone())).unwrap_or_default()
+}
+
+/// The plan a cell arms: the cell's `(site, kind)` on a seed-derived
+/// occurrence (1st or 2nd reach of the site), plus — for the retry
+/// site, which is only reachable after a first failure — two benign
+/// spawn-site failures to force retries into existence. Returns the
+/// plan and the chosen occurrence.
+pub fn cell_plan(seed: u64, site: &str, kind: FaultKind) -> (FaultPlan, u64) {
+    let mix = seed ^ fnv1a64(site.as_bytes()) ^ fnv1a64(kind.name().as_bytes()).rotate_left(17);
+    let nth = 1 + SplitMix64::new(mix).next_below(2);
+    let mut plan = FaultPlan::new(seed);
+    if site == faultsim::site::SCHED_RETRY {
+        plan = plan
+            .with_rule(FaultRule::new(
+                faultsim::site::SCHED_SPAWN,
+                FaultKind::IoError,
+                Trigger::Nth(1),
+            ))
+            .with_rule(FaultRule::new(
+                faultsim::site::SCHED_SPAWN,
+                FaultKind::IoError,
+                Trigger::Nth(2),
+            ));
+    }
+    plan = plan.with_rule(FaultRule::new(site, kind, Trigger::Nth(nth)));
+    (plan, nth)
+}
+
+/// One matrix cell's outcome.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct CellReport {
+    /// Hook site injected.
+    pub site: String,
+    /// Fault kind injected (stable name).
+    pub kind: String,
+    /// Matrix seed.
+    pub seed: u64,
+    /// Seed-derived occurrence the fault fired on.
+    pub nth: u64,
+    /// Faults that actually fired during the faulted run.
+    pub injected: usize,
+    /// Corrupt cache entries the faulted run left behind (all of which
+    /// must be quarantined, never hit, by the resume).
+    pub corrupt_entries: usize,
+    /// Did every invariant hold?
+    pub passed: bool,
+    /// Failed invariants, `;`-joined (empty when passed).
+    pub detail: String,
+}
+
+impl CellReport {
+    /// The command line that replays exactly this cell.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "watercool faultsim --seed {} --site {} --kind {}",
+            self.seed, self.site, self.kind
+        )
+    }
+}
+
+/// Count the `.json` entries under `dir` that parse as valid cache
+/// entries vs. those present but corrupt. Reads raw bytes — never
+/// through [`immersion_campaign::Cache`] — so scanning does not
+/// quarantine anything.
+fn scan_entries(dir: &Path) -> (usize, usize) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    let (mut valid, mut corrupt) = (0, 0);
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "json") {
+            continue;
+        }
+        let parsed = std::fs::read(&path)
+            .ok()
+            .and_then(|b| serde_json::from_slice::<CacheEntry>(&b).ok());
+        match parsed {
+            Some(_) => valid += 1,
+            None => corrupt += 1,
+        }
+    }
+    (valid, corrupt)
+}
+
+/// Run one matrix cell in `cell_dir` (recreated fresh). Every
+/// invariant violation lands in the returned report's `detail`; the
+/// function itself only errs on harness-level failures.
+pub fn run_cell(
+    seed: u64,
+    site: &str,
+    kind: FaultKind,
+    cell_dir: &Path,
+    reference: &ReferenceRun,
+) -> CellReport {
+    let _ = std::fs::remove_dir_all(cell_dir);
+    let cache_dir = cell_dir.join("cache");
+    let (plan, nth) = cell_plan(seed, site, kind);
+    let mut problems: Vec<String> = Vec::new();
+
+    // --- Faulted run, from an empty cache.
+    let armed = faultsim::install(plan);
+    let faulted = run_demo(&cache_dir, 1, &|_| {});
+    let injected = armed.hit_count();
+    drop(armed);
+    match &faulted {
+        Ok((report, manifest)) => {
+            if !report.all_ok() {
+                problems.push(format!(
+                    "faulted run did not recover: {} failed, {} skipped",
+                    report.failed, report.skipped
+                ));
+            } else if manifest.canonical_json() != reference.canonical {
+                problems.push("faulted-run manifest != fault-free manifest".to_string());
+            }
+        }
+        Err(e) => problems.push(format!("faulted run errored: {e}")),
+    }
+    if injected == 0 {
+        problems.push("plan never fired (site unreachable?)".to_string());
+    }
+
+    // --- Cache state the crash left behind.
+    let (valid, corrupt) = scan_entries(&cache_dir);
+
+    // --- Resume run, fault-free, over the surviving cache.
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let resumed = run_demo(&cache_dir, 1, &|ev| {
+        if let Ok(mut v) = events.lock() {
+            v.push(ev.clone());
+        }
+    });
+    match &resumed {
+        Ok((report, manifest)) => {
+            if !report.all_ok() {
+                problems.push("resume did not complete".to_string());
+            }
+            if manifest.canonical_json() != reference.canonical {
+                problems.push("resumed manifest != fault-free manifest".to_string());
+            }
+            if outputs_json(report) != reference.outputs_json {
+                problems.push("resumed outputs != fault-free outputs".to_string());
+            }
+            if report.cache_hits != valid {
+                problems.push(format!(
+                    "resume hit {} cached jobs but the faulted run left {} valid entries",
+                    report.cache_hits, valid
+                ));
+            }
+            if report.cache_misses != reference.jobs - valid {
+                problems.push(format!(
+                    "resume re-ran {} jobs, expected {}",
+                    report.cache_misses,
+                    reference.jobs - valid
+                ));
+            }
+            let poisoned = events
+                .lock()
+                .map(|v| {
+                    v.iter()
+                        .filter(|e| matches!(e, Event::CachePoisoned { .. }))
+                        .count()
+                })
+                .unwrap_or(0);
+            if poisoned != corrupt {
+                problems.push(format!(
+                    "{corrupt} corrupt entries on disk but {poisoned} quarantine events"
+                ));
+            }
+        }
+        Err(e) => problems.push(format!("resume errored: {e}")),
+    }
+    let (_, corrupt_after) = scan_entries(&cache_dir);
+    if corrupt_after != 0 {
+        problems.push(format!(
+            "{corrupt_after} corrupt entries survived the resume unquarantined"
+        ));
+    }
+
+    CellReport {
+        site: site.to_string(),
+        kind: kind.name().to_string(),
+        seed,
+        nth,
+        injected,
+        corrupt_entries: corrupt,
+        passed: problems.is_empty(),
+        detail: problems.join("; "),
+    }
+}
+
+/// The whole matrix's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixReport {
+    /// Matrix seed (every cell derives its occurrence from it).
+    pub seed: u64,
+    /// Per-cell outcomes, site-major in matrix order.
+    pub cells: Vec<CellReport>,
+}
+
+impl MatrixReport {
+    /// Did every cell pass?
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.passed)
+    }
+
+    /// Human-readable table plus replay lines for failing cells.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fault matrix: seed {}, {} cells ({} sites x {} kinds)\n",
+            self.seed,
+            self.cells.len(),
+            MATRIX_SITES.len(),
+            MATRIX_KINDS.len()
+        );
+        out.push_str(&format!(
+            "{:<30} {:<12} {:>3} {:>4} {:>8}  result\n",
+            "site", "kind", "nth", "hits", "corrupt"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<30} {:<12} {:>3} {:>4} {:>8}  {}\n",
+                c.site,
+                c.kind,
+                c.nth,
+                c.injected,
+                c.corrupt_entries,
+                if c.passed { "ok" } else { "FAILED" }
+            ));
+        }
+        let failed: Vec<&CellReport> = self.cells.iter().filter(|c| !c.passed).collect();
+        if failed.is_empty() {
+            out.push_str("all cells passed\n");
+        } else {
+            out.push_str(&format!("{} cell(s) FAILED:\n", failed.len()));
+            for c in failed {
+                out.push_str(&format!("  {}\n    {}\n", c.replay_line(), c.detail));
+            }
+        }
+        out
+    }
+}
+
+/// Run the full site × kind matrix under `root` (recreated fresh).
+pub fn run_matrix(seed: u64, root: &Path) -> Result<MatrixReport, String> {
+    with_quiet_injected_panics(|| {
+        let reference = reference_run(&root.join("reference"))?;
+        let mut cells = Vec::new();
+        for site in MATRIX_SITES {
+            for kind in MATRIX_KINDS {
+                let cell_dir = root.join(cell_dir_name(site, kind));
+                cells.push(run_cell(seed, site, kind, &cell_dir, &reference));
+            }
+        }
+        Ok(MatrixReport { seed, cells })
+    })
+}
+
+/// Replay a single cell (the CLI's `--site S --kind K` path).
+pub fn run_single(
+    seed: u64,
+    site: &str,
+    kind: FaultKind,
+    root: &Path,
+) -> Result<CellReport, String> {
+    if !MATRIX_SITES.contains(&site) {
+        return Err(format!(
+            "unknown site '{site}' (one of: {})",
+            MATRIX_SITES.join(", ")
+        ));
+    }
+    with_quiet_injected_panics(|| {
+        let reference = reference_run(&root.join("reference"))?;
+        let cell_dir = root.join(cell_dir_name(site, kind));
+        Ok(run_cell(seed, site, kind, &cell_dir, &reference))
+    })
+}
+
+fn cell_dir_name(site: &str, kind: FaultKind) -> PathBuf {
+    PathBuf::from(format!("{}-{}", site.replace("::", "_"), kind.name()))
+}
+
+/// Run `f` with injected-panic messages silenced: the matrix unwinds
+/// through dozens of deliberate panics, and the default hook would
+/// spray backtrace noise over the report. Genuine panics (anything not
+/// carrying the injector's `String` payload) still print normally.
+fn with_quiet_injected_panics<T>(f: impl FnOnce() -> T) -> T {
+    type Hook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send;
+    let prev: Arc<Hook> = Arc::from(std::panic::take_hook());
+    let inner = Arc::clone(&prev);
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected panic at "));
+        if !injected {
+            inner(info);
+        }
+    }));
+    let out = f();
+    std::panic::set_hook(Box::new(move |info| prev(info)));
+    out
+}
+
+/// Outputs of the demo campaign as a `name -> value` map, for direct
+/// inspection in tests.
+pub fn output_map(report: &CampaignReport) -> BTreeMap<String, Value> {
+    report.outputs.clone()
+}

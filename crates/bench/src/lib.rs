@@ -12,8 +12,10 @@
 pub mod campaign;
 pub mod cli;
 pub mod experiments;
+pub mod faultharness;
 pub mod thermal_bench;
 
 pub use campaign::{build_campaign, SUMMARY_JOB};
 pub use experiments::{run_experiment, Quality, EXPERIMENTS};
+pub use faultharness::{run_cell, run_matrix, CellReport, MatrixReport};
 pub use thermal_bench::{run_bench, BenchConfig, BenchReport};

@@ -1,10 +1,18 @@
 //! Content-addressed on-disk result cache: one JSON file per cache
 //! key under `<dir>/<key>.json`. Entries self-describe (job name,
 //! config, output, wall time), so a cache directory is inspectable
-//! with nothing but `cat`. Corrupt or unreadable entries are treated
-//! as misses, never as errors — a killed run can always resume.
+//! with nothing but `cat`.
+//!
+//! A cache must stay safe to resume from after *any* interruption, so
+//! unreadable state is handled in degrees: a missing entry is a miss;
+//! a present-but-unparsable entry (a torn or garbage write that
+//! somehow reached the final path) is **quarantined** — renamed to
+//! `<key>.poison`, preserving the evidence — and then treated as a
+//! miss, so it can never satisfy a hit and never blocks recomputation;
+//! orphaned temp files from a mid-write kill are swept on open.
 
-use crate::fsutil::atomic_write;
+use crate::fsutil::{apply_write_fault, atomic_write};
+use immersion_faultsim as faultsim;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::io;
@@ -23,6 +31,18 @@ pub struct CacheEntry {
     pub wall_ms: u64,
 }
 
+/// What a cache probe found.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A valid entry.
+    Hit(Box<CacheEntry>),
+    /// No entry on disk.
+    Miss,
+    /// An entry was present but unparsable; it has been quarantined to
+    /// `<key>.poison` and the key now reads as a miss.
+    Poisoned,
+}
+
 /// A cache directory.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -30,10 +50,21 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Open (creating if needed) a cache at `dir`.
+    /// Open (creating if needed) a cache at `dir`. Sweeps temp files
+    /// orphaned by a previous run's mid-write crash — they are
+    /// droppings of the atomic-write protocol, never valid entries.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Cache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        if let Ok(rd) = std::fs::read_dir(&dir) {
+            for entry in rd.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.contains(".tmp.") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
         Ok(Cache { dir })
     }
 
@@ -47,10 +78,39 @@ impl Cache {
         self.dir.join(format!("{key}.json"))
     }
 
-    /// Look up a key. Missing or corrupt entries are `None`.
+    /// The quarantine file a corrupt entry for `key` is moved to.
+    pub fn poison_path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.poison"))
+    }
+
+    /// Probe a key, distinguishing a clean miss from a quarantined
+    /// corrupt entry (which this call moves to `<key>.poison`).
+    pub fn lookup(&self, key: &str) -> Lookup {
+        let path = self.path_for(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Lookup::Miss,
+        };
+        match serde_json::from_slice::<CacheEntry>(&bytes) {
+            Ok(entry) => Lookup::Hit(Box::new(entry)),
+            Err(_) => {
+                // Quarantine, preserving the corrupt bytes for
+                // inspection. If even the rename fails, fall back to
+                // deleting so the poison can never be read as a hit.
+                if std::fs::rename(&path, self.poison_path_for(key)).is_err() {
+                    let _ = std::fs::remove_file(&path);
+                }
+                Lookup::Poisoned
+            }
+        }
+    }
+
+    /// Look up a key. Missing or quarantined entries are `None`.
     pub fn load(&self, key: &str) -> Option<CacheEntry> {
-        let bytes = std::fs::read(self.path_for(key)).ok()?;
-        serde_json::from_slice(&bytes).ok()
+        match self.lookup(key) {
+            Lookup::Hit(entry) => Some(*entry),
+            Lookup::Miss | Lookup::Poisoned => None,
+        }
     }
 
     /// Store an entry under `key` (atomic; concurrent writers of the
@@ -59,6 +119,10 @@ impl Cache {
         let path = self.path_for(key);
         let json = serde_json::to_string_pretty(entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if let Some(result) = apply_write_fault(faultsim::site::CACHE_WRITE, &path, json.as_bytes())
+        {
+            return result.map(|()| path);
+        }
         atomic_write(&path, json.as_bytes())?;
         Ok(path)
     }
@@ -77,6 +141,17 @@ impl Cache {
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of quarantined (`.poison`) entries currently on disk.
+    pub fn quarantined(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "poison"))
+                    .count()
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -115,6 +190,39 @@ mod tests {
         let cache = scratch_cache("corrupt");
         std::fs::write(cache.path_for("bad"), b"{not json").unwrap();
         assert!(cache.load("bad").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_recomputable() {
+        let cache = scratch_cache("poison");
+        std::fs::write(cache.path_for("bad"), b"{\"job\": \"fig7\", \"conf").unwrap();
+        assert!(matches!(cache.lookup("bad"), Lookup::Poisoned));
+        // The evidence moved aside; the key is now a clean miss.
+        assert!(cache.poison_path_for("bad").exists());
+        assert!(!cache.path_for("bad").exists());
+        assert!(matches!(cache.lookup("bad"), Lookup::Miss));
+        assert_eq!(cache.quarantined(), 1);
+        // Storing a fresh entry over a quarantined key works normally.
+        let entry = CacheEntry {
+            job: "fig7".into(),
+            config: Value::Null,
+            output: Value::U64(1),
+            wall_ms: 1,
+        };
+        cache.store("bad", &entry).unwrap();
+        assert!(matches!(cache.lookup("bad"), Lookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_temp_files() {
+        let cache = scratch_cache("sweep");
+        let orphan = cache.dir().join(".abc.json.tmp.999.0");
+        std::fs::write(&orphan, b"half-written").unwrap();
+        let reopened = Cache::open(cache.dir()).unwrap();
+        assert!(!orphan.exists(), "orphaned temp file must be swept");
+        assert!(reopened.is_empty());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -21,6 +21,14 @@ pub enum Event {
         /// The content-addressed key that hit.
         key: String,
     },
+    /// A corrupt cache entry for this job was quarantined to
+    /// `<key>.poison`; the job re-runs as if the key had missed.
+    CachePoisoned {
+        /// Job name.
+        job: String,
+        /// The key whose entry was quarantined.
+        key: String,
+    },
     /// A job ran to completion.
     Finished {
         /// Job name.
@@ -67,6 +75,7 @@ impl Event {
         match self {
             Event::Started { job }
             | Event::CacheHit { job, .. }
+            | Event::CachePoisoned { job, .. }
             | Event::Finished { job, .. }
             | Event::Retrying { job, .. }
             | Event::Failed { job, .. }
@@ -97,6 +106,10 @@ impl ProgressPrinter {
             Event::CacheHit { job, key } => {
                 let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
                 format!("[{n}/{}] {job}: cached ({key})", self.total)
+            }
+            // Informational, not terminal: the job goes on to execute.
+            Event::CachePoisoned { job, key } => {
+                format!("      {job}: corrupt cache entry quarantined ({key}.poison)")
             }
             Event::Finished {
                 job,

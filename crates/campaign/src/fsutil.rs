@@ -2,7 +2,16 @@
 //! directory, then rename over the destination. A reader (or a
 //! campaign resuming after a mid-write kill) never observes a
 //! half-written artifact.
+//!
+//! Both phases carry fault-injection hooks
+//! ([`FS_WRITE`](immersion_faultsim::site::FS_WRITE) before the temp
+//! file is touched, [`FS_RENAME`](immersion_faultsim::site::FS_RENAME)
+//! between `sync_all` and the rename), so the conformance suite can
+//! manufacture exactly the power-cut artifacts this module exists to
+//! contain: torn destination files, garbage bytes, and orphaned temp
+//! files whose rename never happened.
 
+use immersion_faultsim::{self as faultsim, FaultKind};
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +28,9 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    if let Some(result) = apply_write_fault(faultsim::site::FS_WRITE, path, bytes) {
+        return result;
+    }
     let tmp_name = format!(
         ".{}.tmp.{}.{}",
         file_name.to_string_lossy(),
@@ -29,16 +41,71 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
     };
-    let result = (|| {
+    let written = (|| {
         let mut f = std::fs::File::create(&tmp_path)?;
         f.write_all(bytes)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp_path, path)
+        f.sync_all()
     })();
-    if result.is_err() {
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(e);
+    }
+    match faultsim::probe(faultsim::site::FS_RENAME) {
+        Some(FaultKind::IoError) => {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(faultsim::io_error(
+                faultsim::site::FS_RENAME,
+                FaultKind::IoError,
+            ));
+        }
+        // The "process died between sync and rename" artifact: the
+        // fully written temp file is deliberately left behind and the
+        // destination never appears.
+        Some(FaultKind::CrashSkip) => {
+            return Err(faultsim::io_error(
+                faultsim::site::FS_RENAME,
+                FaultKind::CrashSkip,
+            ));
+        }
+        Some(FaultKind::Panic) => faultsim::panic_now(faultsim::site::FS_RENAME),
+        _ => {}
+    }
+    let renamed = std::fs::rename(&tmp_path, path);
+    if renamed.is_err() {
         let _ = std::fs::remove_file(&tmp_path);
     }
-    result
+    renamed
+}
+
+/// Consult a write-phase fault site for an operation that would place
+/// `bytes` at `path`. `None` means proceed normally; `Some(result)` is
+/// the injected outcome, with the destination left in whatever broken
+/// state the fault kind dictates (a torn prefix, garbage bytes, or
+/// untouched). Shared by [`atomic_write`] and the cache's entry-write
+/// site so both manufacture identical artifacts.
+pub(crate) fn apply_write_fault(
+    site: &'static str,
+    path: &Path,
+    bytes: &[u8],
+) -> Option<io::Result<()>> {
+    let kind = faultsim::probe(site)?;
+    match kind {
+        FaultKind::IoError | FaultKind::CrashSkip => Some(Err(faultsim::io_error(site, kind))),
+        // A torn write bypasses the temp-file protocol entirely — this
+        // is the artifact of a write that was *not* atomic — leaving a
+        // prefix of the payload at the destination.
+        FaultKind::TornWrite => {
+            let (half, _) = bytes.split_at(bytes.len() / 2);
+            Some(std::fs::write(path, half).and(Err(faultsim::io_error(site, kind))))
+        }
+        FaultKind::Garbage => Some(
+            std::fs::write(path, b"\xff\xfeinjected garbage\x00")
+                .and(Err(faultsim::io_error(site, kind))),
+        ),
+        FaultKind::Panic => faultsim::panic_now(site),
+        // A solver-style kind has no meaning at a file write: proceed.
+        FaultKind::Diverge => None,
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ mod job;
 pub mod manifest;
 mod scheduler;
 
-pub use cache::{Cache, CacheEntry};
+pub use cache::{Cache, CacheEntry, Lookup};
 pub use events::{Event, ProgressPrinter};
 pub use job::{Job, JobCtx};
 pub use manifest::Manifest;

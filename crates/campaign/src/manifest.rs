@@ -89,6 +89,64 @@ impl Manifest {
         }
     }
 
+    /// The canonical, machine-independent view of this manifest: the
+    /// per-job results that define *what the campaign computed*, with
+    /// everything incidental to *how this particular run went* dropped
+    /// — wall times, attempt counts, worker count, absolute cache
+    /// paths, hit/miss statistics — and `Cached` collapsed into
+    /// `Completed`. Two runs that converged to the same results
+    /// serialize byte-identically here, no matter how many retries,
+    /// injected faults, workers, or cache hits separated them.
+    pub fn canonical_json(&self) -> String {
+        use serde_json::Value;
+        use std::collections::BTreeMap;
+        let jobs: Vec<Value> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut row = BTreeMap::new();
+                row.insert("name".to_string(), Value::Str(j.name.clone()));
+                row.insert(
+                    "key".to_string(),
+                    match &j.key {
+                        Some(k) => Value::Str(k.clone()),
+                        None => Value::Null,
+                    },
+                );
+                let status = match j.status {
+                    JobStatus::Completed | JobStatus::Cached => "ok",
+                    JobStatus::Failed => "failed",
+                    JobStatus::Skipped => "skipped",
+                };
+                row.insert("status".to_string(), Value::Str(status.to_string()));
+                row.insert(
+                    "error".to_string(),
+                    match &j.error {
+                        Some(e) => Value::Str(e.clone()),
+                        None => Value::Null,
+                    },
+                );
+                let artifacts: Vec<Value> = j
+                    .artifacts
+                    .iter()
+                    .map(|a| {
+                        let base = Path::new(a)
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| a.clone());
+                        Value::Str(base)
+                    })
+                    .collect();
+                row.insert("artifacts".to_string(), Value::Seq(artifacts));
+                Value::Map(row)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("schema".to_string(), Value::U64(u64::from(self.schema)));
+        root.insert("jobs".to_string(), Value::Seq(jobs));
+        serde_json::to_string_pretty(&Value::Map(root)).unwrap_or_default()
+    }
+
     /// Record that `job` produced the artifact at `path`.
     pub fn add_artifact(&mut self, job: &str, path: impl Into<String>) {
         if let Some(row) = self.jobs.iter_mut().find(|j| j.name == job) {

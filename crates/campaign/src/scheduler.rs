@@ -3,11 +3,12 @@
 //! exponential backoff, and content-addressed caching of every
 //! successful result.
 
-use crate::cache::{Cache, CacheEntry};
+use crate::cache::{Cache, CacheEntry, Lookup};
 use crate::events::Event;
 use crate::glob::glob_match;
 use crate::hash::cache_key;
 use crate::job::{Job, JobCtx};
+use immersion_faultsim as faultsim;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -464,21 +465,30 @@ fn worker(
 
         // --- Cache probe.
         if opts.use_cache {
-            if let Some(entry) = cache.and_then(|c| c.load(&key)) {
-                on_event(&Event::CacheHit {
+            match cache.map(|c| c.lookup(&key)) {
+                Some(Lookup::Hit(entry)) => {
+                    on_event(&Event::CacheHit {
+                        job: job.name.clone(),
+                        key: key.clone(),
+                    });
+                    let record = JobRecord {
+                        name: job.name.clone(),
+                        key: Some(key),
+                        status: JobStatus::Cached,
+                        wall_ms: 0,
+                        attempts: 0,
+                        error: None,
+                    };
+                    finish(shared, idx, record, Some(entry.output), on_event);
+                    continue;
+                }
+                // A corrupt entry was quarantined; surface that and
+                // fall through to execute as on a miss.
+                Some(Lookup::Poisoned) => on_event(&Event::CachePoisoned {
                     job: job.name.clone(),
                     key: key.clone(),
-                });
-                let record = JobRecord {
-                    name: job.name.clone(),
-                    key: Some(key),
-                    status: JobStatus::Cached,
-                    wall_ms: 0,
-                    attempts: 0,
-                    error: None,
-                };
-                finish(shared, idx, record, Some(entry.output), on_event);
-                continue;
+                }),
+                Some(Lookup::Miss) | None => {}
             }
         }
 
@@ -492,7 +502,22 @@ fn worker(
         let mut attempts = 0;
         for attempt in 1..=max_attempts {
             attempts = attempt;
-            let result = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));
+            // Fault hooks for the attempt itself: first attempts and
+            // retries are distinct sites, and the injected outcome
+            // (an Err or an unwinding panic) flows through the same
+            // catch_unwind/retry machinery a real job failure would.
+            let site = if attempt == 1 {
+                faultsim::site::SCHED_SPAWN
+            } else {
+                faultsim::site::SCHED_RETRY
+            };
+            let injected = faultsim::probe(site);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(kind) = injected {
+                    faultsim::act(site, kind)?;
+                }
+                (job.work)(&ctx)
+            }));
             outcome = match result {
                 Ok(r) => r,
                 // as_ref() so we downcast the payload, not the Box.
@@ -519,17 +544,20 @@ fn worker(
         match outcome {
             Ok(output) => {
                 if let Some(c) = cache {
-                    // Best-effort: a failed store costs a future
-                    // cache hit, not the result.
-                    let _ = c.store(
-                        &key,
-                        &CacheEntry {
-                            job: job.name.clone(),
-                            config: job.config.clone(),
-                            output: output.clone(),
-                            wall_ms,
-                        },
-                    );
+                    // Best-effort: a failed (or even panicking) store
+                    // costs a future cache hit, not the result — the
+                    // worker must survive it either way.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = c.store(
+                            &key,
+                            &CacheEntry {
+                                job: job.name.clone(),
+                                config: job.config.clone(),
+                                output: output.clone(),
+                                wall_ms,
+                            },
+                        );
+                    }));
                 }
                 on_event(&Event::Finished {
                     job: job.name.clone(),

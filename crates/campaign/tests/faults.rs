@@ -1,0 +1,133 @@
+//! Fault-injection regressions for the cache write path: kill a write
+//! mid-stream through the faultsim hooks and prove the cache can
+//! neither serve the wreckage as a hit nor get stuck on it.
+
+use immersion_campaign::{Cache, CacheEntry, Lookup};
+use immersion_faultsim::{self as faultsim, FaultKind, FaultPlan, FaultRule, Trigger};
+use serde_json::Value;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The injector is process-global state; hold this across each test
+/// body so the armed windows of parallel tests never interleave.
+fn serial() -> MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn scratch_cache(tag: &str) -> Cache {
+    let d = std::env::temp_dir().join(format!("immersion-faults-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&d);
+    Cache::open(d).unwrap()
+}
+
+fn entry(output: u64) -> CacheEntry {
+    CacheEntry {
+        job: "victim".into(),
+        config: Value::Str("cfg".into()),
+        output: Value::U64(output),
+        wall_ms: 1,
+    }
+}
+
+fn plan_always(site: &str, kind: FaultKind) -> FaultPlan {
+    FaultPlan::new(0).with_rule(FaultRule::new(site, kind, Trigger::Always))
+}
+
+#[test]
+fn torn_write_is_quarantined_never_hit() {
+    let _serial = serial();
+    let cache = scratch_cache("torn");
+
+    // Kill the store mid-stream: only a prefix of the JSON reaches the
+    // final path.
+    let armed = faultsim::install(plan_always(
+        faultsim::site::CACHE_WRITE,
+        FaultKind::TornWrite,
+    ));
+    assert!(cache.store("k", &entry(7)).is_err());
+    assert_eq!(armed.hit_count(), 1);
+    drop(armed);
+
+    // The torn bytes are on disk at the entry's real path...
+    assert!(cache.path_for("k").exists());
+    // ...but the first probe quarantines them instead of hitting.
+    assert!(matches!(cache.lookup("k"), Lookup::Poisoned));
+    assert!(cache.poison_path_for("k").exists());
+    assert_eq!(cache.quarantined(), 1);
+    assert!(matches!(cache.lookup("k"), Lookup::Miss));
+
+    // The key is fully recomputable: a clean store hits again, and the
+    // quarantined evidence stays aside.
+    cache.store("k", &entry(7)).unwrap();
+    match cache.lookup("k") {
+        Lookup::Hit(e) => assert_eq!(e.output, Value::U64(7)),
+        other => panic!("expected a hit after re-store, got {other:?}"),
+    }
+    assert_eq!(cache.quarantined(), 1);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn garbage_write_is_quarantined_never_hit() {
+    let _serial = serial();
+    let cache = scratch_cache("garbage");
+
+    let armed = faultsim::install(plan_always(faultsim::site::FS_WRITE, FaultKind::Garbage));
+    assert!(cache.store("k", &entry(1)).is_err());
+    drop(armed);
+
+    assert!(matches!(cache.lookup("k"), Lookup::Poisoned));
+    assert!(cache.load("k").is_none());
+    assert_eq!(cache.quarantined(), 1);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn crash_before_rename_leaves_a_miss_and_open_sweeps_the_droppings() {
+    let _serial = serial();
+    let cache = scratch_cache("crash");
+
+    // The temp file is written and synced, then the process "dies"
+    // before the rename: the final path must not exist.
+    let armed = faultsim::install(plan_always(faultsim::site::FS_RENAME, FaultKind::CrashSkip));
+    assert!(cache.store("k", &entry(3)).is_err());
+    drop(armed);
+
+    assert!(!cache.path_for("k").exists());
+    assert!(matches!(cache.lookup("k"), Lookup::Miss));
+    let droppings = std::fs::read_dir(cache.dir())
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .count();
+    assert_eq!(droppings, 1, "the aborted temp file is the crash evidence");
+
+    // Reopening the cache (what a resumed campaign does) sweeps it.
+    let reopened = Cache::open(cache.dir()).unwrap();
+    assert!(reopened.is_empty());
+    let droppings = std::fs::read_dir(cache.dir())
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .count();
+    assert_eq!(droppings, 0);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn io_error_on_store_leaves_no_partial_state() {
+    let _serial = serial();
+    let cache = scratch_cache("ioerr");
+
+    let armed = faultsim::install(plan_always(faultsim::site::FS_WRITE, FaultKind::IoError));
+    assert!(cache.store("k", &entry(9)).is_err());
+    drop(armed);
+
+    assert!(!cache.path_for("k").exists());
+    assert!(matches!(cache.lookup("k"), Lookup::Miss));
+    assert_eq!(cache.quarantined(), 0);
+    // And with the fault gone the same store succeeds verbatim.
+    cache.store("k", &entry(9)).unwrap();
+    assert!(matches!(cache.lookup("k"), Lookup::Hit(_)));
+    let _ = std::fs::remove_dir_all(cache.dir());
+}

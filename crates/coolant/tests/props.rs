@@ -1,0 +1,130 @@
+//! Physical invariants of the coolant layer, checked over randomized
+//! inputs: convection must strengthen monotonically with flow, no
+//! cooling architecture can have PUE below 1 (that would be a facility
+//! creating energy), and the immersion tank's RC thermal response must
+//! conserve energy — heat in equals heat stored plus heat rejected —
+//! to near machine precision.
+
+use immersion_coolant::flow::FlowSystem;
+use immersion_coolant::pue::{pue, CoolingArchitecture, HeatRejection};
+use immersion_coolant::tank::Tank;
+use proptest::prelude::*;
+
+/// A randomized but physical cooling architecture.
+fn arb_architecture() -> impl Strategy<Value = CoolingArchitecture> {
+    (0.0f64..0.2, 0.0f64..0.2, 0u8..3, 0.5f64..10.0, 0.0f64..0.2).prop_map(
+        |(primary, secondary, tag, cop, fraction)| CoolingArchitecture {
+            name: "randomized",
+            primary_fraction: primary,
+            secondary_fraction: secondary,
+            rejection: match tag {
+                0 => HeatRejection::Chiller { cop },
+                1 => HeatRejection::DryCooler {
+                    fan_fraction: fraction,
+                },
+                _ => HeatRejection::NaturalBody {
+                    pump_fraction: fraction,
+                },
+            },
+        },
+    )
+}
+
+/// A randomized immersion tank with an active exchanger.
+fn arb_tank() -> impl Strategy<Value = Tank> {
+    (10.0f64..5000.0, 1.0f64..2000.0).prop_map(|(volume_litres, exchanger_w_per_k)| {
+        Tank::production_tank(volume_litres, exchanger_w_per_k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dittus–Boelter convection: more flow, more h — strictly, at any
+    /// two distinct positive velocities.
+    #[test]
+    fn h_is_monotone_in_flow(v1 in 0.01f64..5.0, dv in 0.001f64..5.0) {
+        let sys = FlowSystem::water_tank();
+        let v2 = v1 + dv;
+        prop_assert!(
+            sys.h_at(v2).raw() > sys.h_at(v1).raw(),
+            "h({v2}) = {} must exceed h({v1}) = {}",
+            sys.h_at(v2).raw(),
+            sys.h_at(v1).raw()
+        );
+    }
+
+    /// Pumping power must also be monotone in flow (cubic law), so the
+    /// optimal-flow search is over a well-ordered trade-off.
+    #[test]
+    fn pump_power_is_monotone_in_flow(v1 in 0.01f64..5.0, dv in 0.001f64..5.0) {
+        let sys = FlowSystem::water_tank();
+        prop_assert!(sys.pump_power_at(v1 + dv) > sys.pump_power_at(v1));
+    }
+
+    /// No architecture beats PUE 1.0: cooling can cost nothing at best.
+    #[test]
+    fn pue_is_at_least_one(arch in arb_architecture()) {
+        let p = pue(&arch);
+        prop_assert!(p >= 1.0, "PUE {p} < 1 for {arch:?}");
+        prop_assert!(p.is_finite());
+    }
+
+    /// The paper's comparison set obeys the same bound, and the direct
+    /// natural-water proposal is the cheapest of them.
+    #[test]
+    fn paper_architectures_are_ordered(_x in 0u8..1) {
+        let direct = pue(&CoolingArchitecture::direct_natural_water());
+        for arch in CoolingArchitecture::all() {
+            prop_assert!(pue(&arch) >= 1.0);
+            prop_assert!(direct <= pue(&arch));
+        }
+    }
+
+    /// Energy balance of the tank's RC response: over any horizon,
+    /// heat put in = heat stored in the coolant + heat pushed through
+    /// the exchanger, to 1e-9 relative.
+    #[test]
+    fn tank_energy_balance_closes(
+        tank in arb_tank(),
+        watts in 1.0f64..50_000.0,
+        secs in 1.0f64..1_000_000.0,
+    ) {
+        let c = tank.heat_capacity();
+        let ua = tank.exchanger_w_per_k;
+        let tau = c / ua;
+        let temp = tank.temp_after(watts, secs);
+        let stored = c * (temp - tank.ambient_c);
+        // Rejected heat is the closed-form integral of UA·(T(t) − amb):
+        // UA·(P/UA)·(t − τ(1 − e^{−t/τ})) = P·t − stored, so computing
+        // it independently and summing must recover exactly P·t.
+        let rejected = watts * (secs - tau * (1.0 - (-secs / tau).exp()));
+        let input = watts * secs;
+        let relative_gap = ((stored + rejected) - input).abs() / input;
+        prop_assert!(
+            relative_gap < 1e-9,
+            "energy leak: stored {stored} + rejected {rejected} != input {input} \
+             (relative gap {relative_gap:e})"
+        );
+        // And the response is physical: warming toward, never past,
+        // the steady state.
+        let steady = tank.steady_temp(watts).expect("exchanger is active");
+        prop_assert!(temp >= tank.ambient_c && temp <= steady + 1e-12);
+    }
+
+    /// A plain tub (no exchanger) stores every joule: T rises linearly
+    /// and C·ΔT equals the input energy to 1e-9 relative.
+    #[test]
+    fn tub_without_exchanger_stores_all_heat(
+        volume in 10.0f64..5000.0,
+        watts in 1.0f64..50_000.0,
+        secs in 1.0f64..1_000_000.0,
+    ) {
+        let mut tank = Tank::prototype_tub();
+        tank.volume_litres = volume;
+        tank.exchanger_w_per_k = 0.0;
+        let stored = tank.heat_capacity() * (tank.temp_after(watts, secs) - tank.ambient_c);
+        let input = watts * secs;
+        prop_assert!(((stored - input) / input).abs() < 1e-9);
+    }
+}

@@ -224,13 +224,20 @@ pub fn max_frequency_searched(
 
     let mut feasible = |idx: usize, fields: &mut Vec<Option<(Vec<f64>, f64)>>| -> bool {
         stats.probes += 1;
-        let guess = if warm_start {
+        let mut guess = if warm_start {
             scaled_nearest_field(fields, idx, probe_power(idx), model.mean_ambient())
         } else {
             model.reset_solver_state();
             None
         };
-        let solved = solve_at_traced(
+        // Fault hook: an injected warm-state corruption drops the
+        // guess and the model's cached field. Feasibility — and hence
+        // the search answer — must not depend on warm state.
+        if immersion_faultsim::warm_fault(immersion_faultsim::site::EXPLORER_PROBE) {
+            model.reset_solver_state();
+            guess = None;
+        }
+        let mut solved = solve_at_traced(
             design,
             model,
             steps[idx],
@@ -238,6 +245,15 @@ pub fn max_frequency_searched(
             !warm_start,
             &mut stats,
         );
+        // A diverging solve must not silently masquerade as "this step
+        // is thermally infeasible": retry once from a clean cold start
+        // (warm guesses and reused solver state are accelerators, not
+        // ground truth). A step that genuinely cannot converge still
+        // fails the retry and reads as infeasible, as before.
+        if solved.is_err() {
+            model.reset_solver_state();
+            solved = solve_at_traced(design, model, steps[idx], None, true, &mut stats);
+        }
         match solved {
             Ok(sol) => {
                 let ok = sol.die_max() <= threshold;

@@ -39,9 +39,11 @@
 //! ```
 
 pub mod engine;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Event, EventQueue, Priority};
+pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, StatSet, TimeWeighted};
 pub use time::{Clock, Time};

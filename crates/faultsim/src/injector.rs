@@ -1,0 +1,304 @@
+//! The process-wide injector the hook sites consult.
+//!
+//! Disarmed (the default, and the only state production code ever
+//! sees) a probe is one relaxed atomic load of a false flag — no lock,
+//! no allocation, no branch history beyond the single predictable
+//! test. Arming installs a [`FaultPlan`] behind a mutex and flips the
+//! flag; the returned [`Armed`] guard holds a process-wide exclusivity
+//! lock (two concurrent plans would race each other's occurrence
+//! counters) and disarms on drop, so a panicking test cannot leak an
+//! armed injector into its neighbours.
+
+use crate::plan::{site_matches, FaultKind, FaultPlan, Trigger};
+use immersion_desim::SplitMix64;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Fast-path flag: `probe` returns `None` immediately while false.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// One fault that actually fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultHit {
+    /// The site that was reached.
+    pub site: String,
+    /// The kind injected there.
+    pub kind: FaultKind,
+    /// Which reach of the site this was (1-based).
+    pub occurrence: u64,
+}
+
+struct Active {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    counts: BTreeMap<String, u64>,
+    hits: Vec<FaultHit>,
+}
+
+fn state() -> &'static Mutex<Option<Active>> {
+    static STATE: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+fn exclusivity() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn lock_state() -> MutexGuard<'static, Option<Active>> {
+    // Injected panics unwind through probe callers, never through this
+    // lock's critical sections, so poison here means a bug in the
+    // injector itself; the state is still coherent either way.
+    state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII guard for an armed injector: the plan stays active until the
+/// guard drops. Holding it also excludes every other would-be
+/// installer, so concurrent tests serialize instead of interleaving.
+pub struct Armed {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    /// Everything that has fired under this plan so far, in order.
+    pub fn hits(&self) -> Vec<FaultHit> {
+        lock_state()
+            .as_ref()
+            .map(|a| a.hits.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of faults fired so far.
+    pub fn hit_count(&self) -> usize {
+        lock_state().as_ref().map(|a| a.hits.len()).unwrap_or(0)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *lock_state() = None;
+    }
+}
+
+/// Arm the injector with `plan`. Blocks until any previously armed
+/// plan is dropped; the plan disarms when the returned guard drops.
+pub fn install(plan: FaultPlan) -> Armed {
+    let exclusive = exclusivity().lock().unwrap_or_else(PoisonError::into_inner);
+    let rng = SplitMix64::new(plan.seed);
+    *lock_state() = Some(Active {
+        plan,
+        rng,
+        counts: BTreeMap::new(),
+        hits: Vec::new(),
+    });
+    ARMED.store(true, Ordering::SeqCst);
+    Armed {
+        _exclusive: exclusive,
+    }
+}
+
+/// Is a plan currently armed?
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Consult the injector at `site`. Returns the fault to inject, if
+/// any. Disarmed this is a single relaxed load; instrumented code must
+/// treat `None` as "proceed exactly as if the hook did not exist".
+#[inline]
+pub fn probe(site: &str) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    probe_armed(site)
+}
+
+#[cold]
+fn probe_armed(site: &str) -> Option<FaultKind> {
+    let mut guard = lock_state();
+    let active = guard.as_mut()?;
+    let Active {
+        plan,
+        rng,
+        counts,
+        hits,
+    } = active;
+    let count = counts.entry(site.to_string()).or_insert(0);
+    *count += 1;
+    let occurrence = *count;
+    for rule in &plan.rules {
+        if !site_matches(&rule.site, site) {
+            continue;
+        }
+        let fires = match rule.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => occurrence == n,
+            Trigger::EveryNth(n) => n > 0 && occurrence.is_multiple_of(n),
+            Trigger::Prob(p) => rng.next_f64() < p,
+        };
+        if fires {
+            hits.push(FaultHit {
+                site: site.to_string(),
+                kind: rule.kind,
+                occurrence,
+            });
+            return Some(rule.kind);
+        }
+    }
+    None
+}
+
+/// Unwind with an injected panic. Uses `panic_any` with a `String`
+/// payload, which the campaign scheduler's panic recovery downcasts
+/// into a readable failure message.
+pub fn panic_now(site: &str) -> ! {
+    std::panic::panic_any(format!("injected panic at {site}"))
+}
+
+/// An `io::Error` describing an injected fault at `site`.
+pub fn io_error(site: &str, kind: FaultKind) -> io::Error {
+    io::Error::other(format!("injected {} at {site}", kind.name()))
+}
+
+/// Turn a fault into a job outcome: `Panic` unwinds, everything else
+/// becomes an `Err` message. For scheduler-level sites, where any
+/// non-panic kind means "this attempt failed".
+pub fn act(site: &str, kind: FaultKind) -> Result<(), String> {
+    match kind {
+        FaultKind::Panic => panic_now(site),
+        k => Err(format!("injected {} at {site}", k.name())),
+    }
+}
+
+/// Probe a solver-convergence site: `Diverge` asks the caller to
+/// report divergence, `Panic` unwinds here, every other kind is
+/// inapplicable at a solver and proceeds normally.
+pub fn solve_fault(site: &str) -> bool {
+    match probe(site) {
+        Some(FaultKind::Panic) => panic_now(site),
+        Some(FaultKind::Diverge) => true,
+        _ => false,
+    }
+}
+
+/// Probe a warm-start site: `true` means "the warm state is suspect —
+/// drop it and proceed cold" (which must never change the final
+/// answer). `Panic` unwinds here; other kinds proceed normally.
+pub fn warm_fault(site: &str) -> bool {
+    match probe(site) {
+        Some(FaultKind::Panic) => panic_now(site),
+        Some(FaultKind::Diverge) | Some(FaultKind::Garbage) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRule;
+
+    // The injector is process-global; serialize these tests fully so
+    // assertions about the disarmed state cannot race a concurrent
+    // test's install (the exclusivity lock only serializes the armed
+    // windows themselves).
+    fn serial() -> MutexGuard<'static, ()> {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_probe_is_none() {
+        let _serial = serial();
+        assert_eq!(probe("thermal::cg"), None);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _serial = serial();
+        let armed = install(FaultPlan::new(1).with_rule(FaultRule::new(
+            "a::site",
+            FaultKind::IoError,
+            Trigger::Nth(2),
+        )));
+        assert_eq!(probe("a::site"), None);
+        assert_eq!(probe("a::site"), Some(FaultKind::IoError));
+        assert_eq!(probe("a::site"), None);
+        assert_eq!(probe("other"), None);
+        let hits = armed.hits();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].occurrence, 2);
+    }
+
+    #[test]
+    fn every_nth_and_prefix_patterns() {
+        let _serial = serial();
+        let armed = install(FaultPlan::new(1).with_rule(FaultRule::new(
+            "campaign::*",
+            FaultKind::TornWrite,
+            Trigger::EveryNth(3),
+        )));
+        let fired: Vec<bool> = (0..9)
+            .map(|_| probe("campaign::cache::write").is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(probe("thermal::cg"), None);
+        assert_eq!(armed.hit_count(), 3);
+    }
+
+    #[test]
+    fn prob_trigger_is_seed_deterministic() {
+        let _serial = serial();
+        let draw = |seed: u64| -> Vec<bool> {
+            let _armed = install(FaultPlan::new(seed).with_rule(FaultRule::new(
+                "x",
+                FaultKind::Diverge,
+                Trigger::Prob(0.5),
+            )));
+            (0..64).map(|_| probe("x").is_some()).collect()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn drop_disarms() {
+        let _serial = serial();
+        {
+            let _armed = install(FaultPlan::new(1).with_rule(FaultRule::new(
+                "x",
+                FaultKind::IoError,
+                Trigger::Always,
+            )));
+            assert!(is_armed());
+            assert_eq!(probe("x"), Some(FaultKind::IoError));
+        }
+        assert!(!is_armed());
+        assert_eq!(probe("x"), None);
+    }
+
+    #[test]
+    fn injected_panic_payload_is_a_string() {
+        let _serial = serial();
+        let _armed = install(FaultPlan::new(1).with_rule(FaultRule::new(
+            "x",
+            FaultKind::Panic,
+            Trigger::Always,
+        )));
+        let result = std::panic::catch_unwind(|| {
+            if let Some(FaultKind::Panic) = probe("x") {
+                panic_now("x");
+            }
+        });
+        let payload = result.expect_err("must unwind");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("String payload for readable scheduler messages");
+        assert!(msg.contains("injected panic at x"), "{msg}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # immersion-faultsim
+//!
+//! Seeded, deterministic fault injection for the campaign/thermal
+//! stack. The long-running sweep pipeline this repo reproduces is only
+//! as trustworthy as its behaviour under failure: a crash between a
+//! temp-file write and its rename, a torn cache entry, a CG solve that
+//! diverges halfway through a binary search. This crate gives every
+//! such failure a name (a hook **site**), a vocabulary
+//! ([`FaultKind`]), and a replayable trigger schedule ([`FaultPlan`]),
+//! so the conformance suite can march a whole matrix of
+//! site × kind cells through the real code paths and assert the
+//! invariants that make the campaign safe to resume.
+//!
+//! ## Zero-cost when disarmed
+//!
+//! Instrumented code calls [`probe`] at each site. With no plan armed
+//! — the only state benchmarks and production runs ever see — that is
+//! a single relaxed load of a static `false`, and the hook behaves
+//! exactly as if it did not exist. `watercool bench thermal --check`
+//! guards this: cold CG iteration counts must not move against the
+//! tracked baseline.
+//!
+//! ## Determinism
+//!
+//! A plan owns a [SplitMix64](immersion_desim::SplitMix64) stream
+//! seeded from `FaultPlan::seed`; per-site occurrence counters plus
+//! that stream make every trigger decision a pure function of the
+//! seed and the (deterministic, single-worker) probe order. A failing
+//! matrix cell prints its seed; `watercool faultsim --seed N --site S
+//! --kind K` replays exactly that world.
+
+pub mod injector;
+pub mod plan;
+
+pub use injector::{
+    act, install, io_error, is_armed, panic_now, probe, solve_fault, warm_fault, Armed, FaultHit,
+};
+pub use plan::{site_matches, FaultKind, FaultPlan, FaultRule, Trigger};
+
+/// The named hook sites threaded through the stack.
+pub mod site {
+    /// `campaign::cache::Cache::store`: the final cache-entry write.
+    pub const CACHE_WRITE: &str = "campaign::cache::write";
+    /// `campaign::fsutil::atomic_write`: the temp-file write phase.
+    pub const FS_WRITE: &str = "campaign::fsutil::write";
+    /// `campaign::fsutil::atomic_write`: the rename-into-place phase.
+    pub const FS_RENAME: &str = "campaign::fsutil::rename";
+    /// `campaign::scheduler`: first attempt of a job's work closure.
+    pub const SCHED_SPAWN: &str = "campaign::scheduler::spawn";
+    /// `campaign::scheduler`: retry attempts of a job's work closure.
+    pub const SCHED_RETRY: &str = "campaign::scheduler::retry";
+    /// `thermal::grid`: entry of every steady-state CG solve.
+    pub const THERMAL_CG: &str = "thermal::cg";
+    /// `core::explorer`: warm-start guess of a feasibility probe.
+    pub const EXPLORER_PROBE: &str = "explorer::probe";
+
+    /// Every site, in a stable order (the matrix axes iterate this).
+    pub const ALL: [&str; 7] = [
+        CACHE_WRITE,
+        FS_WRITE,
+        FS_RENAME,
+        SCHED_SPAWN,
+        SCHED_RETRY,
+        THERMAL_CG,
+        EXPLORER_PROBE,
+    ];
+}

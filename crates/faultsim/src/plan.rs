@@ -1,0 +1,168 @@
+//! The fault vocabulary: what can go wrong ([`FaultKind`]), when it
+//! fires ([`Trigger`]), where it applies ([`FaultRule`]), and the
+//! seeded bundle of rules a run arms itself with ([`FaultPlan`]).
+//!
+//! Plans are plain serde values so a failing matrix cell can print
+//! itself and be replayed verbatim from the command line.
+
+use serde::{Deserialize, Serialize};
+
+/// One family of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The operation reports an I/O error without touching anything.
+    IoError,
+    /// A write is cut mid-stream: the destination receives a prefix of
+    /// the intended bytes (the classic power-cut artifact).
+    TornWrite,
+    /// The process "dies" between the temp-file write and the rename:
+    /// the temp file is left behind, the destination never appears.
+    CrashSkip,
+    /// The code at the site panics (an unwinding crash, not an `Err`).
+    Panic,
+    /// An iterative solver reports divergence instead of converging.
+    Diverge,
+    /// The destination receives well-formed-looking garbage bytes.
+    Garbage,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable order (the matrix axes iterate this).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::IoError,
+        FaultKind::TornWrite,
+        FaultKind::CrashSkip,
+        FaultKind::Panic,
+        FaultKind::Diverge,
+        FaultKind::Garbage,
+    ];
+
+    /// Stable lowercase name, for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::IoError => "io-error",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::CrashSkip => "crash-skip",
+            FaultKind::Panic => "panic",
+            FaultKind::Diverge => "diverge",
+            FaultKind::Garbage => "garbage",
+        }
+    }
+
+    /// Parse a [`FaultKind::name`] back.
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// When a matching rule actually fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Every time the site is reached.
+    Always,
+    /// Only on the n-th reach of the site (1-based), once.
+    Nth(u64),
+    /// On every n-th reach of the site.
+    EveryNth(u64),
+    /// Independently with this probability, drawn from the plan's
+    /// seeded stream (deterministic given the seed and probe order).
+    Prob(f64),
+}
+
+/// One injection rule: at `site`, inject `kind` when `trigger` says so.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRule {
+    /// Hook-site name ([`crate::site`]), exact or with a trailing `*`
+    /// to match a prefix (e.g. `campaign::*`).
+    pub site: String,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// When to inject it.
+    pub trigger: Trigger,
+}
+
+impl FaultRule {
+    /// A rule for `site`.
+    pub fn new(site: impl Into<String>, kind: FaultKind, trigger: Trigger) -> FaultRule {
+        FaultRule {
+            site: site.into(),
+            kind,
+            trigger,
+        }
+    }
+}
+
+/// A seeded set of rules. The seed drives every probabilistic trigger,
+/// so a plan is a complete, replayable description of a faulty world.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the plan's random stream.
+    pub seed: u64,
+    /// Rules, consulted in order; the first that fires wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Builder-style rule registration.
+    pub fn with_rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// Does rule pattern `pattern` cover `site`? Exact match, or prefix
+/// match when the pattern ends in `*`.
+pub fn site_matches(pattern: &str, site: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => site.starts_with(prefix),
+        None => pattern == site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("meteor-strike"), None);
+    }
+
+    #[test]
+    fn site_patterns() {
+        assert!(site_matches("thermal::cg", "thermal::cg"));
+        assert!(!site_matches("thermal::cg", "thermal::cg2"));
+        assert!(site_matches("campaign::*", "campaign::cache::write"));
+        assert!(!site_matches("campaign::*", "thermal::cg"));
+        assert!(site_matches("*", "anything"));
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultPlan::new(7)
+            .with_rule(FaultRule::new(
+                "campaign::cache::write",
+                FaultKind::TornWrite,
+                Trigger::Nth(2),
+            ))
+            .with_rule(FaultRule::new(
+                "thermal::cg",
+                FaultKind::Diverge,
+                Trigger::Prob(0.25),
+            ));
+        let json = serde_json::to_string(&plan).expect("plans are plain data");
+        let back: FaultPlan = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, plan);
+    }
+}

@@ -585,6 +585,7 @@ impl ThermalModel {
     ///
     /// [`solve_steady_cold`]: ThermalModel::solve_steady_cold
     pub fn solve_steady(&self, power: &PowerAssignment) -> Result<Solution<'_>> {
+        self.injected_divergence()?;
         let q = self.rhs(power)?;
         let mut ctx = self.take_solver();
         let guess = match ctx.warm_guess() {
@@ -611,12 +612,28 @@ impl ThermalModel {
         power: &PowerAssignment,
         guess: &[f64],
     ) -> Result<Solution<'_>> {
+        self.injected_divergence()?;
         let q = self.rhs(power)?;
         let mut ctx = self.take_solver();
         let solved = solve_cg_with(&self.matrix, &q, guess, self.cg, &mut ctx);
         self.put_solver(ctx);
         let (t, iters) = solved?;
         Ok(Solution::new(self, t, iters))
+    }
+
+    /// Fault-injection hook at the entry of every steady solve: one
+    /// disarmed probe per solve (never per CG iteration, so iteration
+    /// counts and the bench baseline are untouched). An armed
+    /// `Diverge` surfaces as the same [`ThermalError::SolverDiverged`]
+    /// a genuine convergence failure produces.
+    fn injected_divergence(&self) -> Result<()> {
+        if immersion_faultsim::solve_fault(immersion_faultsim::site::THERMAL_CG) {
+            return Err(ThermalError::SolverDiverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            });
+        }
+        Ok(())
     }
 
     /// `(solves, total CG iterations)` recorded by the cached solver

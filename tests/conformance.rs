@@ -1,0 +1,109 @@
+//! Conformance goldens and scheduling-invariance checks.
+//!
+//! The golden files under `tests/goldens/` pin the exact CSV output of
+//! two paper figures at smoke quality: the Figure 7 frequency-vs-chips
+//! sweep (1–15 chips × five cooling options) and the Figure 10 NPB
+//! relative-time summary. Any drift — a solver change, a VFS-table
+//! tweak, an accidental reordering — fails with a diff pointer. To
+//! accept an intentional change, regenerate with:
+//!
+//! ```text
+//! BLESS_GOLDENS=1 cargo test --test conformance
+//! ```
+//!
+//! The pool-width test proves the campaign engine's outputs and
+//! canonical manifest are a pure function of the job graph, not of
+//! worker interleaving — the property that makes the fault matrix's
+//! bitwise comparisons meaningful.
+
+use immersion_bench::experiments::{run_experiment, Quality};
+use immersion_bench::faultharness::{outputs_json, run_demo};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compare `actual` against the named golden, or rewrite the golden
+/// when `BLESS_GOLDENS=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDENS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir goldens");
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with BLESS_GOLDENS=1 cargo test --test conformance",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let first_bad = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()) + 1);
+        panic!(
+            "{name} drifted from its golden (first differing line {first_bad}).\n\
+             --- expected ({}):\n{expected}\n--- actual:\n{actual}\n\
+             if this change is intentional: BLESS_GOLDENS=1 cargo test --test conformance",
+            path.display()
+        );
+    }
+}
+
+/// Render an experiment's tables the way the golden stores them: CSVs
+/// separated by blank lines, in order.
+fn experiment_csv(name: &str) -> String {
+    let tables = run_experiment(name, Quality::quick())
+        .unwrap_or_else(|| panic!("unknown experiment '{name}'"));
+    let mut out = String::new();
+    for t in &tables {
+        out.push_str(&t.to_csv());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fig7_freq_vs_chips_matches_golden() {
+    check_golden("fig7_freq_vs_chips.csv", &experiment_csv("fig7"));
+}
+
+#[test]
+fn fig10_npb_summary_matches_golden() {
+    check_golden("fig10_npb_summary.csv", &experiment_csv("fig10"));
+}
+
+#[test]
+fn campaign_results_are_invariant_to_pool_width() {
+    let root = std::env::temp_dir().join(format!(
+        "immersion-conformance-width-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut manifests = Vec::new();
+    let mut outputs = Vec::new();
+    for workers in [1, 2, 4] {
+        // A fresh cache per width: each run computes everything itself.
+        let (report, manifest) =
+            run_demo(&root.join(format!("w{workers}/cache")), workers, &|_| {})
+                .expect("demo campaign");
+        assert!(report.all_ok(), "width {workers} failed");
+        assert_eq!(report.cache_hits, 0, "fresh cache must not hit");
+        manifests.push(manifest.canonical_json());
+        outputs.push(outputs_json(&report));
+    }
+    assert_eq!(manifests[0], manifests[1], "1 vs 2 workers: manifest drift");
+    assert_eq!(manifests[0], manifests[2], "1 vs 4 workers: manifest drift");
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 workers: output drift");
+    assert_eq!(outputs[0], outputs[2], "1 vs 4 workers: output drift");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
