@@ -117,6 +117,26 @@ pub enum Command {
         /// Baseline JSON; >20% regression of mean cold CG iterations fails.
         check: Option<String>,
     },
+    /// Serve the models over HTTP (or load-test the service).
+    Serve {
+        /// Bind address.
+        addr: String,
+        /// HTTP worker threads.
+        threads: usize,
+        /// Run the deterministic load test instead of serving forever.
+        loadtest: bool,
+        /// Load-test seed (the whole workload derives from it).
+        seed: u64,
+        /// Load-test request count.
+        requests: usize,
+        /// Load-test concurrent client connections.
+        clients: usize,
+        /// Load-test report path.
+        out: String,
+        /// Baseline report; >20% regression of the latency proxies
+        /// (solves/request, reuse rate) fails.
+        check: Option<String>,
+    },
     /// Run the repo's static-analysis rules (R1–R9) over the workspace.
     Lint {
         /// Rewrite lint.allow to the current violation counts.
@@ -209,6 +229,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 usage()
             )),
         },
+        "serve" => Ok(Command::Serve {
+            addr: get_or("--addr", "127.0.0.1:8080"),
+            threads: num("--threads", "4")? as usize,
+            loadtest: has("--loadtest"),
+            seed: num("--seed", "42")? as u64,
+            requests: num("--requests", "120")? as usize,
+            clients: num("--clients", "4")? as usize,
+            out: get_or("--out", "BENCH_serve.json"),
+            check: get("--check").map(str::to_string),
+        }),
         "lint" => {
             let format = get_or("--format", "text");
             if !matches!(format.as_str(), "text" | "json" | "sarif") {
@@ -239,6 +269,8 @@ pub fn usage() -> String {
        campaign    [--jobs N] [--filter GLOB] [--no-cache] [--quick] [--out DIR] [--retries N]\n\
        faultsim    [--seed N] [--matrix | --site SITE --kind KIND] [--out DIR]\n\
        bench       thermal [--smoke] [--threads N] [--out PATH] [--check BASELINE]\n\
+       serve       [--addr HOST:PORT] [--threads N] [--loadtest] [--seed N] [--requests N]\n\
+                   [--clients N] [--out PATH] [--check BASELINE]\n\
        lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]"
         .to_string()
 }
@@ -281,6 +313,84 @@ pub fn run(cmd: Command) -> Result<String, String> {
             out,
             check,
         }),
+        Command::Serve {
+            addr,
+            threads,
+            loadtest,
+            seed,
+            requests,
+            clients,
+            out,
+            check,
+        } => {
+            use immersion_serve::loadgen;
+            if !loadtest {
+                return immersion_serve::run_forever(&immersion_serve::ServeConfig {
+                    addr,
+                    threads,
+                    state_dir: None,
+                    pool_capacity: 8,
+                });
+            }
+            let report = loadgen::run_loadtest(&loadgen::LoadConfig {
+                seed,
+                requests,
+                clients,
+                threads,
+            })?;
+            let out_path = std::path::PathBuf::from(&out);
+            loadgen::write_report(&report, &out_path)?;
+            let det = |k: &str| -> String {
+                report
+                    .get("deterministic")
+                    .and_then(|d| d.get(k))
+                    .map(|v| serde_json::to_string(v).unwrap_or_default())
+                    .unwrap_or_else(|| "?".to_string())
+            };
+            let timing = |k: &str| -> String {
+                report
+                    .get("timing")
+                    .and_then(|t| t.get(k))
+                    .map(|v| serde_json::to_string(v).unwrap_or_default())
+                    .unwrap_or_else(|| "?".to_string())
+            };
+            let mut text = format!(
+                "serve loadtest: seed {seed}, {} requests over {} client(s), {} server thread(s)\n\
+                 distinct bodies {}, solves {}, deduped {} (reuse rate {})\n\
+                 latency p50 {} us, p99 {} us, throughput {} req/s\n\
+                 report: {}\n",
+                det("requests"),
+                det("clients"),
+                det("threads"),
+                det("distinct_bodies"),
+                det("solves_total"),
+                det("dedup_total"),
+                det("reuse_rate"),
+                timing("latency_p50_us"),
+                timing("latency_p99_us"),
+                timing("throughput_rps"),
+                out_path.display(),
+            );
+            if let Some(baseline_path) = check {
+                let baseline = loadgen::load_report(std::path::Path::new(&baseline_path))?;
+                match loadgen::check_against_baseline(&report, &baseline) {
+                    Ok(passes) => {
+                        text.push_str(&format!("baseline check vs {baseline_path}:\n"));
+                        for p in passes {
+                            text.push_str(&format!("  ok: {p}\n"));
+                        }
+                    }
+                    Err(failures) => {
+                        let mut msg = format!("{text}baseline check vs {baseline_path} FAILED:\n");
+                        for f in failures {
+                            msg.push_str(&format!("  {f}\n"));
+                        }
+                        return Err(msg);
+                    }
+                }
+            }
+            Ok(text)
+        }
         Command::Lint {
             fix_allowlist,
             format,
@@ -329,6 +439,29 @@ pub fn run(cmd: Command) -> Result<String, String> {
                             .join(", ")
                     )
                 })?;
+                if site.starts_with("serve::") {
+                    let cell = immersion_serve::faultcells::run_serve_single(
+                        seed,
+                        site,
+                        k,
+                        &out_dir.join("serve"),
+                    )?;
+                    let text = format!(
+                        "serve cell {} / {} (seed {seed}): {} fault(s) fired, status {}, \
+                         {} quarantined\n{}",
+                        cell.site,
+                        cell.kind,
+                        cell.injected,
+                        cell.fault_status,
+                        cell.quarantined,
+                        if cell.passed {
+                            "all invariants held".to_string()
+                        } else {
+                            format!("FAILED: {}\nreplay: {}", cell.detail, cell.replay_line())
+                        }
+                    );
+                    return if cell.passed { Ok(text) } else { Err(text) };
+                }
                 let cell = faultharness::run_single(seed, site, k, &out_dir)?;
                 let text = format!(
                     "cell {} / {} (seed {seed}, occurrence {}): {} fault(s) fired, \
@@ -356,8 +489,21 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
                 immersion_campaign::fsutil::atomic_write(&report_path, json.as_bytes())
                     .map_err(|e| e.to_string())?;
-                let text = format!("{}report: {}", report.render(), report_path.display());
-                if report.passed() {
+                let serve_report =
+                    immersion_serve::faultcells::run_serve_matrix(seed, &out_dir.join("serve"))?;
+                let serve_path = out_dir.join("faultsim_serve_report.json");
+                let serve_json =
+                    serde_json::to_string_pretty(&serve_report).map_err(|e| e.to_string())?;
+                immersion_campaign::fsutil::atomic_write(&serve_path, serve_json.as_bytes())
+                    .map_err(|e| e.to_string())?;
+                let text = format!(
+                    "{}report: {}\n\n{}report: {}",
+                    report.render(),
+                    report_path.display(),
+                    serve_report.render(),
+                    serve_path.display()
+                );
+                if report.passed() && serve_report.passed() {
                     Ok(text)
                 } else {
                     Err(text)
@@ -666,6 +812,40 @@ mod tests {
         );
         assert!(parse(&args("faultsim --site thermal::cg")).is_err());
         assert!(parse(&args("faultsim --kind diverge")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                threads: 4,
+                loadtest: false,
+                seed: 42,
+                requests: 120,
+                clients: 4,
+                out: "BENCH_serve.json".into(),
+                check: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "serve --addr 0.0.0.0:9000 --threads 1 --loadtest --seed 7 --requests 30 \
+                 --clients 2 --out /tmp/s.json --check BENCH_serve.json"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                threads: 1,
+                loadtest: true,
+                seed: 7,
+                requests: 30,
+                clients: 2,
+                out: "/tmp/s.json".into(),
+                check: Some("BENCH_serve.json".into()),
+            }
+        );
     }
 
     #[test]

@@ -30,14 +30,16 @@ use immersion_campaign::{CacheEntry, Campaign, CampaignReport, Event, Job, Manif
 use immersion_core::design::CmpDesign;
 use immersion_core::explorer::{max_frequency, peak_temperature};
 use immersion_desim::SplitMix64;
-use immersion_faultsim::{self as faultsim, FaultKind, FaultPlan, FaultRule, Trigger};
+use immersion_faultsim::{
+    self as faultsim, with_quiet_injected_panics, FaultKind, FaultPlan, FaultRule, Trigger,
+};
 use immersion_power::chips::low_power_cmp;
 use immersion_thermal::stack3d::CoolingParams;
 use serde::Serialize;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
 /// The matrix axes: every hook site crossed with every fault kind.
 /// Kinds inapplicable at a site (e.g. a torn write at a CG solve)
@@ -435,28 +437,7 @@ fn cell_dir_name(site: &str, kind: FaultKind) -> PathBuf {
     PathBuf::from(format!("{}-{}", site.replace("::", "_"), kind.name()))
 }
 
-/// Run `f` with injected-panic messages silenced: the matrix unwinds
-/// through dozens of deliberate panics, and the default hook would
-/// spray backtrace noise over the report. Genuine panics (anything not
-/// carrying the injector's `String` payload) still print normally.
-fn with_quiet_injected_panics<T>(f: impl FnOnce() -> T) -> T {
-    type Hook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send;
-    let prev: Arc<Hook> = Arc::from(std::panic::take_hook());
-    let inner = Arc::clone(&prev);
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|s| s.starts_with("injected panic at "));
-        if !injected {
-            inner(info);
-        }
-    }));
-    let out = f();
-    std::panic::set_hook(Box::new(move |info| prev(info)));
-    out
-}
-
+//
 /// Outputs of the demo campaign as a `name -> value` map, for direct
 /// inspection in tests.
 pub fn output_map(report: &CampaignReport) -> BTreeMap<String, Value> {

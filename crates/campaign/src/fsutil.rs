@@ -81,13 +81,10 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// `bytes` at `path`. `None` means proceed normally; `Some(result)` is
 /// the injected outcome, with the destination left in whatever broken
 /// state the fault kind dictates (a torn prefix, garbage bytes, or
-/// untouched). Shared by [`atomic_write`] and the cache's entry-write
-/// site so both manufacture identical artifacts.
-pub(crate) fn apply_write_fault(
-    site: &'static str,
-    path: &Path,
-    bytes: &[u8],
-) -> Option<io::Result<()>> {
+/// untouched). Shared by [`atomic_write`], the cache's entry-write
+/// site, and the serve layer's result-store write, so every
+/// write-phase site manufactures identical artifacts.
+pub fn apply_write_fault(site: &'static str, path: &Path, bytes: &[u8]) -> Option<io::Result<()>> {
     let kind = faultsim::probe(site)?;
     match kind {
         FaultKind::IoError | FaultKind::CrashSkip => Some(Err(faultsim::io_error(site, kind))),

@@ -14,7 +14,7 @@ use immersion_desim::SplitMix64;
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Fast-path flag: `probe` returns `None` immediately while false.
 static ARMED: AtomicBool = AtomicBool::new(false);
@@ -193,6 +193,29 @@ pub fn warm_fault(site: &str) -> bool {
         Some(FaultKind::Diverge) | Some(FaultKind::Garbage) => true,
         _ => false,
     }
+}
+
+/// Run `f` with injected-panic messages silenced: a fault matrix
+/// unwinds through dozens of deliberate panics, and the default hook
+/// would spray backtrace noise over the report. Genuine panics
+/// (anything not carrying [`panic_now`]'s `String` payload) still
+/// print normally. The previous hook is restored before returning.
+pub fn with_quiet_injected_panics<T>(f: impl FnOnce() -> T) -> T {
+    type Hook = dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send;
+    let prev: Arc<Hook> = Arc::from(std::panic::take_hook());
+    let inner = Arc::clone(&prev);
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected panic at "));
+        if !injected {
+            inner(info);
+        }
+    }));
+    let out = f();
+    std::panic::set_hook(Box::new(move |info| prev(info)));
+    out
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@ pub mod injector;
 pub mod plan;
 
 pub use injector::{
-    act, install, io_error, is_armed, panic_now, probe, solve_fault, warm_fault, Armed, FaultHit,
+    act, install, io_error, is_armed, panic_now, probe, solve_fault, warm_fault,
+    with_quiet_injected_panics, Armed, FaultHit,
 };
 pub use plan::{site_matches, FaultKind, FaultPlan, FaultRule, Trigger};
 
@@ -54,7 +55,18 @@ pub mod site {
     /// `core::explorer`: warm-start guess of a feasibility probe.
     pub const EXPLORER_PROBE: &str = "explorer::probe";
 
-    /// Every site, in a stable order (the matrix axes iterate this).
+    /// `serve`: the accept gate consulted once per incoming connection.
+    pub const SERVE_ACCEPT: &str = "serve::accept";
+    /// `serve::api`: entry of request-body parsing.
+    pub const SERVE_PARSE: &str = "serve::parse";
+    /// `serve::api`: batch dispatch, just before a single-flight leader
+    /// runs the solve.
+    pub const SERVE_DISPATCH: &str = "serve::dispatch";
+    /// `serve::store`: the result-store write after a completed solve.
+    pub const SERVE_STORE: &str = "serve::store";
+
+    /// Every campaign-pipeline site, in a stable order (the campaign
+    /// fault matrix iterates exactly these axes).
     pub const ALL: [&str; 7] = [
         CACHE_WRITE,
         FS_WRITE,
@@ -64,4 +76,9 @@ pub mod site {
         THERMAL_CG,
         EXPLORER_PROBE,
     ];
+
+    /// Every serving-layer site, in request-path order (the serve fault
+    /// matrix iterates these separately: its cells drive a live HTTP
+    /// server, not the campaign scheduler).
+    pub const SERVE_ALL: [&str; 4] = [SERVE_ACCEPT, SERVE_PARSE, SERVE_DISPATCH, SERVE_STORE];
 }

@@ -20,7 +20,7 @@ use crate::symbols::{FnSym, SymbolTable};
 use std::collections::HashSet;
 
 /// Crates whose public functions must be panic-free (R6).
-pub const R6_CRATES: &[&str] = &["thermal", "coolant", "power", "campaign"];
+pub const R6_CRATES: &[&str] = &["thermal", "coolant", "power", "campaign", "serve"];
 
 /// Crates R9 guards against calling while a scheduler lock is held.
 const SOLVER_CRATES: &[&str] = &["thermal", "coolant", "power"];
@@ -545,14 +545,15 @@ struct Guard {
     line: u32,
 }
 
-/// Crates whose lock-holding code R9 scans (the scheduler and the
-/// explorer's concurrent sweep path).
-const R9_CRATES: &[&str] = &["campaign", "core"];
+/// Crates whose lock-holding code R9 scans (the scheduler, the
+/// explorer's concurrent sweep path, and the HTTP service's pool /
+/// single-flight / registry locks).
+const R9_CRATES: &[&str] = &["campaign", "core", "serve"];
 
-/// In the scheduler (`campaign`) and sweep (`core`) crates, flag file
-/// I/O, `Command` spawns and cross-crate solver calls made while a
-/// `Mutex`/`RwLock` guard is live. Guards die at end of scope or at an
-/// explicit `drop(guard)`.
+/// In the scheduler (`campaign`), sweep (`core`), and service
+/// (`serve`) crates, flag file I/O, `Command` spawns and cross-crate
+/// solver calls made while a `Mutex`/`RwLock` guard is live. Guards
+/// die at end of scope or at an explicit `drop(guard)`.
 ///
 /// Solver calls are caught **transitively**: a call to a local helper
 /// counts when the call graph shows the helper can reach a

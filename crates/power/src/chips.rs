@@ -79,6 +79,15 @@ pub fn high_frequency_cmp() -> ChipModel {
     }
 }
 
+/// Install a constant block. The geometries below are compile-time
+/// constants exercised by this module's tests, so a failed insert can
+/// only mean a typo in those constants — caught by the debug assert
+/// under `cargo test`, not worth a release panic path.
+fn add_const_block(fp: &mut Floorplan, name: &str, rect: Rect) {
+    let added = fp.add_block(name, rect);
+    debug_assert!(added.is_ok(), "invalid chip constant {name}: {added:?}");
+}
+
 /// The Intel Xeon E5-2667v4 model (8 cores, 135 W TDP, 78 °C
 /// threshold per its specification — Figure 1's constraint).
 pub fn xeon_e5_2667v4() -> ChipModel {
@@ -92,18 +101,23 @@ pub fn xeon_e5_2667v4() -> ChipModel {
     let l3_w = w - 2.0 * core_w;
     for r in 0..4 {
         let y = strip + r as f64 * row_h;
-        fp.add_block(&format!("CORE{}", r + 1), Rect::new(0.0, y, core_w, row_h))
-            .expect("E5 floorplan is valid");
-        fp.add_block(
+        add_const_block(
+            &mut fp,
+            &format!("CORE{}", r + 1),
+            Rect::new(0.0, y, core_w, row_h),
+        );
+        add_const_block(
+            &mut fp,
             &format!("CORE{}", r + 5),
             Rect::new(w - core_w, y, core_w, row_h),
-        )
-        .expect("E5 floorplan is valid");
-        fp.add_block(&format!("L3_{}", r + 1), Rect::new(core_w, y, l3_w, row_h))
-            .expect("E5 floorplan is valid");
+        );
+        add_const_block(
+            &mut fp,
+            &format!("L3_{}", r + 1),
+            Rect::new(core_w, y, l3_w, row_h),
+        );
     }
-    fp.add_block("UNCORE", Rect::new(0.0, 0.0, w, strip))
-        .expect("E5 floorplan is valid");
+    add_const_block(&mut fp, "UNCORE", Rect::new(0.0, 0.0, w, strip));
 
     let curve = VfsCurve::new(3.6, 1.2, 0.35);
     ChipModel {
@@ -129,11 +143,11 @@ pub fn xeon_phi_7290() -> ChipModel {
     let mut n = 1;
     for r in 0..6 {
         for c in 0..6 {
-            fp.add_block(
+            add_const_block(
+                &mut fp,
                 &format!("TILE{n}"),
                 Rect::new(c as f64 * tile, r as f64 * tile, tile, tile),
-            )
-            .expect("Phi floorplan is valid");
+            );
             n += 1;
         }
     }

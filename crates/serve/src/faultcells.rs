@@ -1,0 +1,436 @@
+//! The serve fault matrix: every serve hook site
+//! ([`faultsim::site::SERVE_ALL`]) crossed with every fault kind,
+//! against a *live* server over loopback.
+//!
+//! Each cell asserts the service's two fault invariants:
+//!
+//! 1. **A faulted request dies cleanly.** The client always gets a
+//!    well-formed HTTP response — a 5xx naming the injected fault (or,
+//!    for a kind that is inapplicable at the site, a normal 200) —
+//!    never a hung connection or a torn response.
+//! 2. **The store is never poisoned.** After the fault window closes,
+//!    re-issuing the identical request returns the same result a
+//!    fault-free server produces; a torn or garbage store artifact is
+//!    quarantined on the next lookup, not served.
+//!
+//! Cells run against a fresh server + store each, with the shared
+//! reference result computed once per matrix on an unfaulted server.
+
+use crate::{start, Running, ServeConfig};
+use immersion_faultsim::{
+    self as faultsim, install, with_quiet_injected_panics, FaultKind, FaultPlan, FaultRule, Trigger,
+};
+use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// The serve sites the matrix covers.
+pub const SERVE_MATRIX_SITES: [&str; 4] = faultsim::site::SERVE_ALL;
+
+/// Every fault kind, in canonical order.
+pub const SERVE_MATRIX_KINDS: [FaultKind; 6] = FaultKind::ALL;
+
+/// The probe body every cell replays: small grid, cheap solve.
+const CELL_BODY: &str = r#"{"chip":"lp","chips":2,"cooling":"water","grid":[4,4]}"#;
+
+/// Tolerance for peak temperature across warm/cold solver paths.
+const PEAK_TOL_C: f64 = 1e-6;
+
+/// One cell's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeCellReport {
+    /// The faulted hook site.
+    pub site: String,
+    /// The injected kind's canonical name.
+    pub kind: String,
+    /// Matrix seed (recorded for the replay line).
+    pub seed: u64,
+    /// Faults that actually fired during the armed window.
+    pub injected: usize,
+    /// HTTP status of the faulted request.
+    pub fault_status: u16,
+    /// Quarantined (`.poison`) store entries after recovery.
+    pub quarantined: usize,
+    /// Did every invariant hold?
+    pub passed: bool,
+    /// Failure detail (empty when passed).
+    pub detail: String,
+}
+
+impl ServeCellReport {
+    /// The CLI line replaying exactly this cell.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "watercool faultsim --seed {} --site {} --kind {}",
+            self.seed, self.site, self.kind
+        )
+    }
+}
+
+/// The whole serve matrix's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeMatrixReport {
+    /// Matrix seed.
+    pub seed: u64,
+    /// Per-cell outcomes, site-major in matrix order.
+    pub cells: Vec<ServeCellReport>,
+}
+
+impl ServeMatrixReport {
+    /// Did every cell pass?
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.passed)
+    }
+
+    /// Human-readable table plus replay lines for failing cells.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve fault matrix: seed {}, {} cells ({} sites x {} kinds)\n",
+            self.seed,
+            self.cells.len(),
+            SERVE_MATRIX_SITES.len(),
+            SERVE_MATRIX_KINDS.len()
+        );
+        out.push_str(&format!(
+            "{:<18} {:<12} {:>4} {:>6} {:>10}  result\n",
+            "site", "kind", "hits", "status", "quarantine"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<18} {:<12} {:>4} {:>6} {:>10}  {}\n",
+                c.site,
+                c.kind,
+                c.injected,
+                c.fault_status,
+                c.quarantined,
+                if c.passed { "ok" } else { "FAILED" }
+            ));
+        }
+        let failed: Vec<&ServeCellReport> = self.cells.iter().filter(|c| !c.passed).collect();
+        if failed.is_empty() {
+            out.push_str("all cells passed\n");
+        } else {
+            out.push_str(&format!("{} cell(s) FAILED:\n", failed.len()));
+            for c in failed {
+                out.push_str(&format!("  {}\n    {}\n", c.replay_line(), c.detail));
+            }
+        }
+        out
+    }
+}
+
+/// Boot a single-threaded cell server with a fresh state dir.
+fn boot(state_dir: PathBuf) -> Result<Running, String> {
+    let _ = std::fs::remove_dir_all(&state_dir);
+    start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        state_dir: Some(state_dir),
+        pool_capacity: 8,
+    })
+    .map_err(|e| format!("cell server failed to start: {e}"))
+}
+
+/// Issue the probe body; returns the status and raw body text (the
+/// accept gate's 503 refusal is plain text, not JSON).
+fn post_body(client: &mut minihttp::Client) -> Result<(u16, String), String> {
+    let resp = client
+        .send("POST", "/v1/evaluate", CELL_BODY.as_bytes())
+        .map_err(|e| {
+            format!(
+                "transport error (the fault must surface as HTTP, not a dead \
+                              socket): {e}"
+            )
+        })?;
+    Ok((resp.status, resp.text()))
+}
+
+/// Extract `result` from a 200 response body.
+fn result_of(text: &str) -> Result<Value, String> {
+    let body: Value =
+        serde_json::from_str(text).map_err(|e| format!("response is not JSON ({e}): {text:?}"))?;
+    body.get("result")
+        .cloned()
+        .ok_or_else(|| format!("response has no 'result': {text:?}"))
+}
+
+/// The status a faulted request must produce for `(site, kind)`.
+/// `serve::accept` refuses the connection up front (503); a `Diverge`
+/// at the store write is inapplicable (file writes cannot diverge) and
+/// proceeds normally; everything else fails the request with a 500.
+fn expected_fault_status(site: &str, kind: FaultKind) -> u16 {
+    if site == faultsim::site::SERVE_ACCEPT {
+        503
+    } else if site == faultsim::site::SERVE_STORE && kind == FaultKind::Diverge {
+        200
+    } else {
+        500
+    }
+}
+
+/// Compare a served result against the fault-free reference: exact on
+/// feasibility, threshold, and the VFS step, tolerance on the peak
+/// (warm-started and cold solves may differ in final ulps).
+fn compare_results(expected: &Value, got: &Value, problems: &mut Vec<String>) {
+    let field = |v: &Value, k: &str| v.get(k).cloned().unwrap_or(Value::Null);
+    for k in ["feasible", "threshold_c"] {
+        if field(expected, k) != field(got, k) {
+            problems.push(format!(
+                "result.{k} diverged: expected {:?}, got {:?}",
+                field(expected, k),
+                field(got, k)
+            ));
+        }
+    }
+    for k in ["freq_ghz", "voltage_v"] {
+        let e = field(&field(expected, "step"), k);
+        let g = field(&field(got, "step"), k);
+        if e != g {
+            problems.push(format!(
+                "result.step.{k} diverged: expected {e:?}, got {g:?}"
+            ));
+        }
+    }
+    let e_peak = field(expected, "peak_c").as_f64().unwrap_or(f64::NAN);
+    let g_peak = field(got, "peak_c").as_f64().unwrap_or(f64::NAN);
+    // NaN-safe: a NaN on either side must count as divergence.
+    let within = matches!(
+        (e_peak - g_peak).abs().partial_cmp(&PEAK_TOL_C),
+        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+    );
+    if !within {
+        problems.push(format!(
+            "result.peak_c diverged: expected {e_peak}, got {g_peak} (tol {PEAK_TOL_C})"
+        ));
+    }
+}
+
+/// Compute the fault-free reference result on its own server.
+fn reference_result(dir: &Path) -> Result<Value, String> {
+    let running = boot(dir.to_path_buf())?;
+    let mut client = minihttp::Client::new(running.addr().to_string());
+    let outcome = post_body(&mut client);
+    running.shutdown();
+    let (status, text) = outcome?;
+    if status != 200 {
+        return Err(format!("reference request failed with {status}: {text:?}"));
+    }
+    result_of(&text)
+}
+
+/// Run one cell: fault the first probe of `(site, kind)`, assert the
+/// faulted request dies cleanly, then assert full recovery against the
+/// reference once disarmed.
+pub fn run_serve_cell(
+    seed: u64,
+    site: &'static str,
+    kind: FaultKind,
+    dir: &Path,
+    expected: &Value,
+) -> ServeCellReport {
+    let mut problems = Vec::new();
+    let mut fault_status = 0u16;
+    let mut injected = 0usize;
+    let mut quarantined = 0usize;
+
+    match boot(dir.to_path_buf()) {
+        Err(e) => problems.push(e),
+        Ok(running) => {
+            // --- Faulted request, fresh connection inside the armed
+            // window so `Nth(1)` lands on exactly this request.
+            {
+                let armed = install(FaultPlan::new(seed).with_rule(FaultRule::new(
+                    site,
+                    kind,
+                    Trigger::Nth(1),
+                )));
+                let mut client = minihttp::Client::new(running.addr().to_string());
+                match post_body(&mut client) {
+                    Err(e) => problems.push(e),
+                    Ok((status, text)) => {
+                        fault_status = status;
+                        let want = expected_fault_status(site, kind);
+                        if status != want {
+                            problems.push(format!(
+                                "faulted request returned {status}, expected {want}"
+                            ));
+                        }
+                        if want >= 400 {
+                            if !text.contains("injected") {
+                                problems.push(format!(
+                                    "error response does not name the injected fault: {text}"
+                                ));
+                            }
+                        } else {
+                            match result_of(&text) {
+                                Ok(result) => compare_results(expected, &result, &mut problems),
+                                Err(e) => problems.push(e),
+                            }
+                        }
+                    }
+                }
+                injected = armed.hit_count();
+                if injected == 0 {
+                    problems.push("no fault fired during the armed window".to_string());
+                }
+            }
+
+            // --- Recovery: disarmed, same body, fresh connection. The
+            // service must produce the reference result; a torn store
+            // artifact must read as quarantined, never as data.
+            let mut client = minihttp::Client::new(running.addr().to_string());
+            match post_body(&mut client) {
+                Err(e) => problems.push(format!("recovery request failed: {e}")),
+                Ok((status, text)) => {
+                    if status != 200 {
+                        problems.push(format!("recovery returned {status}: {text:?}"));
+                    } else {
+                        match result_of(&text) {
+                            Ok(result) => compare_results(expected, &result, &mut problems),
+                            Err(e) => problems.push(e),
+                        }
+                    }
+                }
+            }
+
+            quarantined = running.state.store.quarantined();
+            let want_quarantined = usize::from(
+                site == faultsim::site::SERVE_STORE
+                    && matches!(kind, FaultKind::TornWrite | FaultKind::Garbage),
+            );
+            if quarantined != want_quarantined {
+                problems.push(format!(
+                    "{quarantined} quarantined entr(ies), expected {want_quarantined}"
+                ));
+            }
+            if running.state.store.len() != 1 {
+                problems.push(format!(
+                    "store holds {} valid entr(ies) after recovery, expected exactly 1",
+                    running.state.store.len()
+                ));
+            }
+            running.shutdown();
+        }
+    }
+
+    ServeCellReport {
+        site: site.to_string(),
+        kind: kind.name().to_string(),
+        seed,
+        injected,
+        fault_status,
+        quarantined,
+        passed: problems.is_empty(),
+        detail: problems.join("; "),
+    }
+}
+
+fn cell_dir_name(site: &str, kind: FaultKind) -> PathBuf {
+    PathBuf::from(format!("{}-{}", site.replace("::", "_"), kind.name()))
+}
+
+/// Run the full serve site × kind matrix under `root` (recreated
+/// fresh).
+pub fn run_serve_matrix(seed: u64, root: &Path) -> Result<ServeMatrixReport, String> {
+    with_quiet_injected_panics(|| {
+        let _ = std::fs::remove_dir_all(root);
+        let expected = reference_result(&root.join("reference"))?;
+        let mut cells = Vec::new();
+        for site in SERVE_MATRIX_SITES {
+            for kind in SERVE_MATRIX_KINDS {
+                let cell_dir = root.join(cell_dir_name(site, kind));
+                cells.push(run_serve_cell(seed, site, kind, &cell_dir, &expected));
+            }
+        }
+        Ok(ServeMatrixReport { seed, cells })
+    })
+}
+
+/// Replay a single serve cell (the CLI's `--site serve::* --kind K`
+/// path).
+pub fn run_serve_single(
+    seed: u64,
+    site: &str,
+    kind: FaultKind,
+    root: &Path,
+) -> Result<ServeCellReport, String> {
+    let site = SERVE_MATRIX_SITES
+        .iter()
+        .copied()
+        .find(|&s| s == site)
+        .ok_or_else(|| {
+            format!(
+                "unknown serve site '{site}' (one of: {})",
+                SERVE_MATRIX_SITES.join(", ")
+            )
+        })?;
+    with_quiet_injected_panics(|| {
+        let expected = reference_result(&root.join("reference"))?;
+        let cell_dir = root.join(cell_dir_name(site, kind));
+        Ok(run_serve_cell(seed, site, kind, &cell_dir, &expected))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "immersion-serve-cells-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Three representative cells inline; the full 4x6 matrix runs in
+    /// the cross-crate conformance suite.
+    #[test]
+    fn representative_cells_hold_their_invariants() {
+        let _serial = crate::testutil::injector_serial();
+        let root = scratch("rep");
+        let cells = with_quiet_injected_panics(|| {
+            let expected = reference_result(&root.join("reference")).expect("reference");
+            [
+                (faultsim::site::SERVE_ACCEPT, FaultKind::IoError),
+                (faultsim::site::SERVE_DISPATCH, FaultKind::Panic),
+                (faultsim::site::SERVE_STORE, FaultKind::TornWrite),
+            ]
+            .map(|(site, kind)| {
+                run_serve_cell(
+                    7,
+                    site,
+                    kind,
+                    &root.join(cell_dir_name(site, kind)),
+                    &expected,
+                )
+            })
+        });
+        for c in &cells {
+            assert!(c.passed, "{} / {}: {}", c.site, c.kind, c.detail);
+            assert!(c.injected >= 1, "{} / {} fired nothing", c.site, c.kind);
+        }
+        assert_eq!(cells[0].fault_status, 503);
+        assert_eq!(cells[1].fault_status, 500);
+        assert_eq!(cells[2].fault_status, 500);
+        assert_eq!(
+            cells[2].quarantined, 1,
+            "torn store artifact must quarantine"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn single_cell_rejects_unknown_sites() {
+        let err = run_serve_single(
+            1,
+            "campaign::cache::write",
+            FaultKind::IoError,
+            &scratch("bad"),
+        )
+        .expect_err("non-serve site must be rejected here");
+        assert!(err.contains("unknown serve site"), "{err}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Single-flight dedup: identical in-flight request bodies collapse
+//! onto one solve.
+//!
+//! The first request for a content key becomes the **leader** and runs
+//! the work; every identical request arriving while the leader is in
+//! flight becomes a **joiner** and blocks on the leader's slot until
+//! the result lands. The leader publishes through an RAII
+//! [`LeaderToken`]: if the leader unwinds (an injected panic, say)
+//! before publishing, the token's drop publishes a clean error — a
+//! dying leader can never strand its joiners on the condvar.
+//!
+//! Lock discipline (lint R9): the group mutex guards only the key map,
+//! and a slot's mutex guards only its result cell. The work itself —
+//! the thermal solve — always runs with neither held.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// What a flight resolves to: the leader's published payload, or an
+/// error message every joiner relays as a 5xx.
+pub type FlightResult = Result<Arc<String>, String>;
+
+struct Slot {
+    result: Mutex<Option<FlightResult>>,
+    ready: Condvar,
+    /// Requests that joined this flight (leader excluded).
+    joiners: Mutex<u64>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            joiners: Mutex::new(0),
+        }
+    }
+}
+
+/// The single-flight group: one slot per in-flight content key.
+pub struct SingleFlight {
+    slots: Mutex<BTreeMap<String, Arc<Slot>>>,
+}
+
+/// How a request entered the group.
+pub enum Entry {
+    /// This request leads the solve; publish through the token.
+    Leader(LeaderToken),
+    /// An identical request was already in flight; this is its result.
+    Joined(FlightResult),
+}
+
+impl Default for SingleFlight {
+    fn default() -> SingleFlight {
+        SingleFlight::new()
+    }
+}
+
+impl SingleFlight {
+    /// An empty group.
+    pub fn new() -> SingleFlight {
+        SingleFlight {
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Enter the flight for `key`: lead it, or join the one in flight.
+    /// Joining blocks until the leader publishes.
+    pub fn enter(&self, group: &Arc<SingleFlight>, key: &str) -> Entry {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            match slots.get(key) {
+                Some(slot) => {
+                    let slot = Arc::clone(slot);
+                    let mut j = slot.joiners.lock().unwrap_or_else(PoisonError::into_inner);
+                    *j += 1;
+                    drop(j);
+                    Some(slot)
+                }
+                None => {
+                    slots.insert(key.to_string(), Arc::new(Slot::new()));
+                    None
+                }
+            }
+        };
+        match slot {
+            Some(slot) => Entry::Joined(wait_for(&slot)),
+            None => Entry::Leader(LeaderToken {
+                group: Arc::clone(group),
+                key: key.to_string(),
+                published: false,
+            }),
+        }
+    }
+
+    /// In-flight key count (for tests and diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Publish `result` for `key`, wake every joiner, and retire the
+    /// slot. Returns the number of joiners that were coalesced.
+    fn publish(&self, key: &str, result: FlightResult) -> u64 {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.remove(key)
+        };
+        let Some(slot) = slot else { return 0 };
+        let joined = *slot.joiners.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cell = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *cell = Some(result);
+        drop(cell);
+        slot.ready.notify_all();
+        joined
+    }
+}
+
+fn wait_for(slot: &Slot) -> FlightResult {
+    let mut cell = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if let Some(result) = cell.as_ref() {
+            return result.clone();
+        }
+        cell = slot
+            .ready
+            .wait(cell)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The leader's obligation to publish. Dropping without
+/// [`publish`](Self::publish) — a panic unwinding through the solve —
+/// publishes a clean error so joiners never hang.
+pub struct LeaderToken {
+    group: Arc<SingleFlight>,
+    key: String,
+    published: bool,
+}
+
+impl LeaderToken {
+    /// Publish the flight's result; returns how many requests joined
+    /// (the solve's batch size is that plus one, the leader).
+    pub fn publish(mut self, result: FlightResult) -> u64 {
+        self.published = true;
+        self.group.publish(&self.key, result)
+    }
+
+    /// The content key this token leads.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl Drop for LeaderToken {
+    fn drop(&mut self) {
+        if !self.published {
+            self.group.publish(
+                &self.key,
+                Err(format!("leader aborted for key {}", self.key)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn leader_runs_joiners_share() {
+        let group = Arc::new(SingleFlight::new());
+        let solves = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let group = Arc::clone(&group);
+                let solves = Arc::clone(&solves);
+                std::thread::spawn(move || match group.enter(&group, "k") {
+                    Entry::Leader(token) => {
+                        std::thread::sleep(Duration::from_millis(50));
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        let joined = token.publish(Ok(Arc::new("42".to_string())));
+                        ("led", joined, "42".to_string())
+                    }
+                    Entry::Joined(result) => {
+                        ("joined", 0, result.expect("leader published").to_string())
+                    }
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = workers
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+        let leaders = outcomes.iter().filter(|(r, _, _)| *r == "led").count();
+        assert_eq!(leaders, 1);
+        assert!(outcomes.iter().all(|(_, _, v)| v == "42"));
+        let (_, joined, _) = outcomes
+            .iter()
+            .find(|(r, _, _)| *r == "led")
+            .expect("a leader");
+        assert_eq!(*joined, 3, "all three others joined the flight");
+        assert_eq!(group.in_flight(), 0, "slot retired after publish");
+    }
+
+    #[test]
+    fn sequential_entries_each_lead() {
+        let group = Arc::new(SingleFlight::new());
+        for _ in 0..3 {
+            match group.enter(&group, "k") {
+                Entry::Leader(token) => {
+                    assert_eq!(token.publish(Ok(Arc::new("x".into()))), 0);
+                }
+                Entry::Joined(_) => panic!("nothing should be in flight"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_leader_unblocks_joiners_with_error() {
+        let group = Arc::new(SingleFlight::new());
+        let token = match group.enter(&group, "k") {
+            Entry::Leader(t) => t,
+            Entry::Joined(_) => panic!("first entry must lead"),
+        };
+        let waiter = {
+            let group = Arc::clone(&group);
+            std::thread::spawn(move || match group.enter(&group, "k") {
+                Entry::Joined(result) => result,
+                Entry::Leader(_) => panic!("leader already in flight"),
+            })
+        };
+        // Give the joiner time to park, then abandon the flight.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(token);
+        let result = waiter.join().expect("join");
+        let err = result.expect_err("abandoned flight must error");
+        assert!(err.contains("leader aborted"), "{err}");
+        assert_eq!(group.in_flight(), 0);
+    }
+}

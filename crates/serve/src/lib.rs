@@ -1,0 +1,160 @@
+//! # immersion-serve
+//!
+//! Campaign-as-a-service: the paper's batch pipeline exposed as a
+//! long-running HTTP service. The north star of this reproduction is a
+//! production-scale system serving heavy traffic over the thermal
+//! models, so this crate turns "requests per second at p99 latency"
+//! into a first-class, CI-gated metric.
+//!
+//! Layering:
+//!
+//! - [`minihttp`] (vendored): blocking-accept + worker-pool HTTP/1.1
+//!   transport with keep-alive and graceful shutdown.
+//! - [`api`]: the endpoint surface — `POST /v1/evaluate`,
+//!   `POST /v1/search`, `POST /v1/campaign` + `GET /v1/campaign/{id}`,
+//!   `GET /healthz`, `GET /metrics`.
+//! - [`pool`] + [`flight`] + [`store`]: the batching/dedup core —
+//!   warm-model pool, content-hash single-flight, and the shared
+//!   content-addressed result store (a [`immersion_campaign::Cache`]
+//!   with poison-quarantine semantics).
+//! - [`loadgen`]: the desim-seeded deterministic load generator behind
+//!   `watercool serve --loadtest`, emitting `BENCH_serve.json`.
+//! - [`faultcells`]: the serve fault matrix — every
+//!   [`immersion_faultsim::site::SERVE_ALL`] site crossed with every
+//!   fault kind against a live server.
+
+pub mod api;
+pub mod campaigns;
+pub mod faultcells;
+pub mod flight;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod store;
+
+pub use api::{ApiError, DesignSpec, ServeState};
+pub use store::ResultStore;
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub threads: usize,
+    /// Result-store / campaign-cache root. `None` uses a fresh
+    /// process-unique directory under the system temp dir.
+    pub state_dir: Option<PathBuf>,
+    /// Warm-model pool capacity.
+    pub pool_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 4,
+            state_dir: None,
+            pool_capacity: 8,
+        }
+    }
+}
+
+/// A running service: the HTTP handle plus its shared state.
+pub struct Running {
+    /// The transport handle (bound address, shutdown).
+    pub server: minihttp::ServerHandle,
+    /// The service state behind the handler.
+    pub state: Arc<ServeState>,
+}
+
+impl Running {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// Graceful shutdown: stop accepting, drain, join workers.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// Start the service. Returns once the listener is bound.
+pub fn start(cfg: &ServeConfig) -> io::Result<Running> {
+    let state_dir = match &cfg.state_dir {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!("watercool-serve-{}", std::process::id())),
+    };
+    let state = Arc::new(ServeState {
+        metrics: metrics::Metrics::new(),
+        pool: pool::ModelPool::new(cfg.pool_capacity),
+        flight: Arc::new(flight::SingleFlight::new()),
+        store: store::ResultStore::open(state_dir.join("results"))?,
+        campaigns: campaigns::CampaignRegistry::new(state_dir.join("campaigns")),
+    });
+    let server = minihttp::serve(
+        &cfg.addr,
+        minihttp::ServerConfig {
+            threads: cfg.threads.max(1),
+            ..minihttp::ServerConfig::default()
+        },
+        api::handler(Arc::clone(&state)),
+        Some(api::accept_gate()),
+    )?;
+    Ok(Running { server, state })
+}
+
+/// Run the service in the foreground (the `watercool serve` path
+/// without `--loadtest`): start, report the bound address on stdout,
+/// and park until the process is killed.
+pub fn run_forever(cfg: &ServeConfig) -> Result<String, String> {
+    let running = start(cfg).map_err(|e| format!("bind {} failed: {e}", cfg.addr))?;
+    println!(
+        "watercool serve: listening on http://{} ({} worker thread(s))",
+        running.addr(),
+        cfg.threads.max(1)
+    );
+    println!("endpoints: /healthz /metrics /v1/evaluate /v1/search /v1/campaign");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Serialize tests that touch the process-global fault injector —
+    /// by arming plans or by driving servers whose handlers probe the
+    /// serve sites. Without this, one test's armed `Nth(1)` rule can
+    /// be consumed by another test's concurrent request.
+    pub fn injector_serial() -> MutexGuard<'static, ()> {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_on_ephemeral_port_and_shuts_down() {
+        let _serial = testutil::injector_serial();
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            ..ServeConfig::default()
+        };
+        let running = start(&cfg).expect("bind");
+        assert_ne!(running.addr().port(), 0);
+        let state_dir = running.state.store.dir().to_path_buf();
+        running.shutdown();
+        let _ = std::fs::remove_dir_all(state_dir.parent().unwrap_or(&state_dir));
+    }
+}

@@ -1,0 +1,588 @@
+//! The deterministic load generator behind `watercool serve
+//! --loadtest`: an open-loop arrival process over the live HTTP
+//! service, seeded with the simulator's SplitMix64 discipline so the
+//! *workload* — every arrival time, endpoint, and body — replays
+//! bit-for-bit from the seed.
+//!
+//! The schedule is drawn through a [`desim::EventQueue`]: arrivals are
+//! scheduled at virtual instants with heavy-tailed (bounded-Pareto)
+//! inter-arrival gaps, drained in deterministic `(time, seq)` order,
+//! and then *replayed against the wall clock* by a pool of client
+//! threads. Open-loop means arrival times are fixed up front — a slow
+//! response does not delay the next arrival, it stacks behind it, which
+//! is exactly the regime where batching and single-flight dedup earn
+//! their keep.
+//!
+//! The emitted report (`BENCH_serve.json`) is split in two:
+//!
+//! - `deterministic`: byte-identical across runs with the same seed
+//!   and config — the schedule digest, distinct-body count, solve and
+//!   dedup totals, response-class counts, pool shapes. The CI gate
+//!   compares these (solves/request and reuse rate are the p99-latency
+//!   proxies: every deduped request is a solve that never happened).
+//! - `timing`: wall-clock throughput, client-observed latency
+//!   quantiles, batch-size and hit-source distributions — honest
+//!   numbers that vary run to run and are *not* gated byte-for-byte.
+
+use crate::{start, ServeConfig};
+use immersion_desim::{EventQueue, SplitMix64, Time};
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The workload palette: a small closed world of designs so the
+/// duplicate rate is high enough to exercise the dedup core. Eight
+/// distinct pool keys — exactly the default pool capacity, so a replay
+/// never depends on eviction order.
+const CHIP_KEYS: [&str; 2] = ["lp", "hf"];
+const COOLING_KEYS: [&str; 2] = ["water", "oil"];
+const STACK_HEIGHTS: [u64; 2] = [1, 2];
+const THRESHOLDS: [Option<f64>; 2] = [None, Some(75.0)];
+const GRID: (u64, u64) = (5, 5);
+
+/// Bounded-Pareto inter-arrival parameters (microseconds).
+const PARETO_ALPHA: f64 = 1.3;
+const PARETO_SCALE_US: f64 = 600.0;
+const PARETO_CAP_US: u64 = 30_000;
+
+/// Distinguishes loadgen scratch directories across runs in one
+/// process (the replay test runs the generator twice).
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Load-test configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Master seed: the whole schedule derives from it.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Server worker threads.
+    pub threads: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            seed: 42,
+            requests: 120,
+            clients: 4,
+            threads: 1,
+        }
+    }
+}
+
+/// One planned request: fixed arrival offset, endpoint, and body.
+#[derive(Debug, Clone)]
+struct Planned {
+    at_us: u64,
+    path: &'static str,
+    body: String,
+}
+
+/// Draw a bounded-Pareto inter-arrival gap in microseconds.
+fn pareto_gap_us(rng: &mut SplitMix64) -> u64 {
+    let u: f64 = rng.next_f64().min(1.0 - 1e-12);
+    let t = PARETO_SCALE_US * (1.0 - u).powf(-1.0 / PARETO_ALPHA);
+    (t as u64).min(PARETO_CAP_US)
+}
+
+/// Draw one palette entry.
+fn pick<T: Copy>(rng: &mut SplitMix64, options: &[T], fallback: T) -> T {
+    let idx = rng.next_below(options.len() as u64) as usize;
+    options.get(idx).copied().unwrap_or(fallback)
+}
+
+/// An evaluate body over the palette.
+fn evaluate_body(rng: &mut SplitMix64) -> String {
+    let chip = pick(rng, &CHIP_KEYS, "lp");
+    let cooling = pick(rng, &COOLING_KEYS, "water");
+    let chips = pick(rng, &STACK_HEIGHTS, 1);
+    let threshold = pick(rng, &THRESHOLDS, None);
+    let mut m = BTreeMap::new();
+    m.insert("chip".to_string(), Value::Str(chip.to_string()));
+    m.insert("chips".to_string(), Value::U64(chips));
+    m.insert("cooling".to_string(), Value::Str(cooling.to_string()));
+    m.insert(
+        "grid".to_string(),
+        Value::Seq(vec![Value::U64(GRID.0), Value::U64(GRID.1)]),
+    );
+    if let Some(t) = threshold {
+        m.insert("threshold_c".to_string(), Value::F64(t));
+    }
+    serde_json::to_string(&Value::Map(m)).unwrap_or_default()
+}
+
+/// A search body over the palette (fixed stack height: search walks the
+/// whole VFS table, so keep its solve volume in check).
+fn search_body(rng: &mut SplitMix64) -> String {
+    let chip = pick(rng, &CHIP_KEYS, "lp");
+    let cooling = pick(rng, &COOLING_KEYS, "water");
+    let mut m = BTreeMap::new();
+    m.insert("chip".to_string(), Value::Str(chip.to_string()));
+    m.insert("chips".to_string(), Value::U64(2));
+    m.insert("cooling".to_string(), Value::Str(cooling.to_string()));
+    m.insert(
+        "grid".to_string(),
+        Value::Seq(vec![Value::U64(GRID.0), Value::U64(GRID.1)]),
+    );
+    serde_json::to_string(&Value::Map(m)).unwrap_or_default()
+}
+
+/// Build the full schedule: a pure function of `(seed, requests)`.
+/// Arrivals go through the desim event queue so ordering ties break by
+/// the same `(time, priority, seq)` rule as every other experiment in
+/// the repo.
+fn build_schedule(cfg: &LoadConfig) -> Vec<Planned> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut body_rng = rng.split();
+    let mut queue: EventQueue<Planned> = EventQueue::new();
+    let mut at_us = 0u64;
+    for _ in 0..cfg.requests {
+        at_us += pareto_gap_us(&mut rng);
+        let (path, body) = if rng.next_below(10) < 7 {
+            ("/v1/evaluate", evaluate_body(&mut body_rng))
+        } else {
+            ("/v1/search", search_body(&mut body_rng))
+        };
+        queue.schedule(Time(at_us * 1_000), 0, Planned { at_us, path, body });
+    }
+    let mut plan = Vec::with_capacity(cfg.requests);
+    while let Some(ev) = queue.pop() {
+        plan.push(ev.payload);
+    }
+    plan
+}
+
+/// FNV-1a over the rendered schedule: two runs with equal digests
+/// issued byte-identical workloads.
+fn schedule_digest(plan: &[Planned]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut step = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in plan {
+        step(&p.at_us.to_le_bytes());
+        step(p.path.as_bytes());
+        step(p.body.as_bytes());
+        step(b"\n");
+    }
+    format!("{h:016x}")
+}
+
+/// What one client thread observed for one request.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    status: u16,
+    latency_us: u64,
+}
+
+/// Replay the plan against `addr`: client `k` takes requests
+/// `i % clients == k` in order, sleeping until each fixed arrival
+/// offset (or sending immediately if already past it — open loop).
+fn run_clients(
+    addr: std::net::SocketAddr,
+    plan: &[Planned],
+    clients: usize,
+) -> Result<Vec<Observation>, String> {
+    let epoch = Instant::now();
+    let mut handles = Vec::new();
+    for k in 0..clients.max(1) {
+        let mine: Vec<Planned> = plan
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % clients.max(1) == k)
+            .map(|(_, p)| p.clone())
+            .collect();
+        handles.push(std::thread::spawn(
+            move || -> Result<Vec<Observation>, String> {
+                let mut client = minihttp::Client::new(addr.to_string());
+                let mut seen = Vec::with_capacity(mine.len());
+                for p in &mine {
+                    let target = Duration::from_micros(p.at_us);
+                    let elapsed = epoch.elapsed();
+                    if elapsed < target {
+                        std::thread::sleep(target - elapsed);
+                    }
+                    let sent = Instant::now();
+                    let resp = client
+                        .send("POST", p.path, p.body.as_bytes())
+                        .map_err(|e| format!("POST {} failed: {e}", p.path))?;
+                    seen.push(Observation {
+                        status: resp.status,
+                        latency_us: sent.elapsed().as_micros() as u64,
+                    });
+                }
+                Ok(seen)
+            },
+        ));
+    }
+    let mut all = Vec::with_capacity(plan.len());
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(seen)) => all.extend(seen),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => first_err = first_err.or_else(|| Some("client thread panicked".to_string())),
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(all),
+    }
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the load test: boot an in-process server on an ephemeral port
+/// with a fresh result store, replay the seeded schedule, and return
+/// the two-section report.
+pub fn run_loadtest(cfg: &LoadConfig) -> Result<Value, String> {
+    let plan = build_schedule(cfg);
+    let digest = schedule_digest(&plan);
+    let distinct: BTreeSet<(&str, &str)> = plan.iter().map(|p| (p.path, p.body.as_str())).collect();
+    let evaluate_n = plan.iter().filter(|p| p.path == "/v1/evaluate").count();
+    let search_n = plan.len() - evaluate_n;
+
+    let scratch = std::env::temp_dir().join(format!(
+        "watercool-loadgen-{}-{}-{}",
+        std::process::id(),
+        cfg.seed,
+        RUN_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let running = start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: cfg.threads,
+        state_dir: Some(scratch.clone()),
+        pool_capacity: 8,
+    })
+    .map_err(|e| format!("loadtest server failed to start: {e}"))?;
+    let addr = running.addr();
+
+    let wall = Instant::now();
+    let outcome = run_clients(addr, &plan, cfg.clients);
+    let wall_ms = wall.elapsed().as_millis() as u64;
+
+    let state = std::sync::Arc::clone(&running.state);
+    running.shutdown();
+    let observations = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&scratch);
+            return Err(e);
+        }
+    };
+
+    let mut latencies: Vec<u64> = observations.iter().map(|o| o.latency_us).collect();
+    latencies.sort_unstable();
+    let n2xx = observations
+        .iter()
+        .filter(|o| (200..300).contains(&o.status))
+        .count();
+    let n4xx = observations
+        .iter()
+        .filter(|o| (400..500).contains(&o.status))
+        .count();
+    let n5xx = observations.iter().filter(|o| o.status >= 500).count();
+
+    let m = &state.metrics;
+    let solves = m.solves_total.load(Ordering::Relaxed);
+    let store_hits = m.store_hits.load(Ordering::Relaxed);
+    let flight_joins = m.flight_joins.load(Ordering::Relaxed);
+    let pool_hits = m.pool_hits.load(Ordering::Relaxed);
+    let pool_builds = m.pool_builds.load(Ordering::Relaxed);
+    let requests = plan.len() as u64;
+
+    let mut det = BTreeMap::new();
+    det.insert("seed".to_string(), Value::U64(cfg.seed));
+    det.insert("requests".to_string(), Value::U64(requests));
+    det.insert("clients".to_string(), Value::U64(cfg.clients as u64));
+    det.insert("threads".to_string(), Value::U64(cfg.threads as u64));
+    det.insert("schedule_digest".to_string(), Value::Str(digest));
+    det.insert(
+        "evaluate_requests".to_string(),
+        Value::U64(evaluate_n as u64),
+    );
+    det.insert("search_requests".to_string(), Value::U64(search_n as u64));
+    det.insert(
+        "distinct_bodies".to_string(),
+        Value::U64(distinct.len() as u64),
+    );
+    det.insert("solves_total".to_string(), Value::U64(solves));
+    det.insert(
+        "dedup_total".to_string(),
+        Value::U64(store_hits + flight_joins),
+    );
+    det.insert("responses_2xx".to_string(), Value::U64(n2xx as u64));
+    det.insert("responses_4xx".to_string(), Value::U64(n4xx as u64));
+    det.insert("responses_5xx".to_string(), Value::U64(n5xx as u64));
+    det.insert(
+        "solves_per_request".to_string(),
+        Value::F64(solves as f64 / requests.max(1) as f64),
+    );
+    det.insert(
+        "reuse_rate".to_string(),
+        Value::F64((store_hits + flight_joins) as f64 / requests.max(1) as f64),
+    );
+    let shapes: Vec<Value> = state
+        .pool
+        .shapes()
+        .iter()
+        .map(|s| {
+            let mut sm = BTreeMap::new();
+            sm.insert("dim".to_string(), Value::U64(s.dim as u64));
+            sm.insert("nnz".to_string(), Value::U64(s.nnz as u64));
+            sm.insert("entries".to_string(), Value::U64(s.entries as u64));
+            Value::Map(sm)
+        })
+        .collect();
+    det.insert("pool_shapes".to_string(), Value::Seq(shapes));
+
+    let mut timing = BTreeMap::new();
+    timing.insert("wall_ms".to_string(), Value::U64(wall_ms));
+    timing.insert(
+        "throughput_rps".to_string(),
+        Value::F64(requests as f64 / (wall_ms.max(1) as f64 / 1000.0)),
+    );
+    timing.insert(
+        "latency_p50_us".to_string(),
+        Value::U64(quantile_us(&latencies, 0.50)),
+    );
+    timing.insert(
+        "latency_p99_us".to_string(),
+        Value::U64(quantile_us(&latencies, 0.99)),
+    );
+    timing.insert(
+        "latency_mean_us".to_string(),
+        Value::F64(latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64),
+    );
+    timing.insert(
+        "latency_max_us".to_string(),
+        Value::U64(latencies.last().copied().unwrap_or(0)),
+    );
+    timing.insert("store_hits".to_string(), Value::U64(store_hits));
+    timing.insert("flight_joins".to_string(), Value::U64(flight_joins));
+    timing.insert("pool_hits".to_string(), Value::U64(pool_hits));
+    timing.insert("pool_builds".to_string(), Value::U64(pool_builds));
+    let batch: Vec<Value> = m.batch_counts().iter().map(|&c| Value::U64(c)).collect();
+    timing.insert("batch_size_buckets".to_string(), Value::Seq(batch));
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut root = BTreeMap::new();
+    root.insert(
+        "schema".to_string(),
+        Value::Str("watercool-bench-serve-v1".to_string()),
+    );
+    root.insert("deterministic".to_string(), Value::Map(det));
+    root.insert("timing".to_string(), Value::Map(timing));
+    Ok(Value::Map(root))
+}
+
+/// The deterministic section rendered to a string — what "replays
+/// bit-for-bit" is asserted over.
+pub fn deterministic_section(report: &Value) -> String {
+    report
+        .get("deterministic")
+        .map(|d| serde_json::to_string_pretty(d).unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// Write the report to `path` (pretty, trailing newline).
+pub fn write_report(report: &Value, path: &Path) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(report).map_err(|e| format!("report unserializable: {e}"))?;
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Load a previously written report.
+pub fn load_report(path: &Path) -> Result<Value, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn det_u64(report: &Value, key: &str) -> Option<u64> {
+    report.get("deterministic")?.get(key)?.as_u64()
+}
+
+fn det_f64(report: &Value, key: &str) -> Option<f64> {
+    report.get("deterministic")?.get(key)?.as_f64()
+}
+
+fn det_str<'a>(report: &'a Value, key: &str) -> Option<&'a str> {
+    report.get("deterministic")?.get(key)?.as_str()
+}
+
+/// The CI regression gate: compare a fresh run against the checked-in
+/// baseline. Fails on >20% regression of either p99-latency proxy —
+/// solves per request (work that should have been deduped) or reuse
+/// rate (dedup hits that stopped landing) — on any error responses,
+/// or on a schedule mismatch (which means the workload itself changed
+/// and the baseline must be regenerated deliberately).
+pub fn check_against_baseline(
+    current: &Value,
+    baseline: &Value,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+
+    match (
+        det_str(current, "schedule_digest"),
+        det_str(baseline, "schedule_digest"),
+    ) {
+        (Some(c), Some(b)) if c == b => passes.push(format!("schedule digest matches ({c})")),
+        (Some(c), Some(b)) => failures.push(format!(
+            "schedule digest changed ({b} -> {c}): workload drift; if intentional, regenerate \
+             the baseline with `watercool serve --loadtest --threads 1 --out BENCH_serve.json`"
+        )),
+        _ => failures.push("schedule_digest missing from a report".to_string()),
+    }
+
+    let n5xx = det_u64(current, "responses_5xx").unwrap_or(u64::MAX);
+    let n4xx = det_u64(current, "responses_4xx").unwrap_or(u64::MAX);
+    if n5xx == 0 && n4xx == 0 {
+        passes.push("no error responses".to_string());
+    } else {
+        failures.push(format!("error responses present: {n4xx} 4xx, {n5xx} 5xx"));
+    }
+
+    match (
+        det_u64(current, "solves_total"),
+        det_u64(current, "distinct_bodies"),
+    ) {
+        (Some(s), Some(d)) if s == d => {
+            passes.push(format!("solves == distinct bodies ({s})"));
+        }
+        (Some(s), Some(d)) => failures.push(format!(
+            "dedup invariant broken: {s} solves for {d} distinct bodies"
+        )),
+        _ => failures.push("solve counters missing".to_string()),
+    }
+
+    match (
+        det_f64(current, "solves_per_request"),
+        det_f64(baseline, "solves_per_request"),
+    ) {
+        (Some(c), Some(b)) if c <= b * 1.20 + 1e-12 => {
+            passes.push(format!(
+                "solves/request {c:.4} within 20% of baseline {b:.4}"
+            ));
+        }
+        (Some(c), Some(b)) => failures.push(format!(
+            "solves/request regressed >20%: {c:.4} vs baseline {b:.4}"
+        )),
+        _ => failures.push("solves_per_request missing".to_string()),
+    }
+
+    match (
+        det_f64(current, "reuse_rate"),
+        det_f64(baseline, "reuse_rate"),
+    ) {
+        (Some(c), Some(b)) if c >= b * 0.80 - 1e-12 => {
+            passes.push(format!("reuse rate {c:.4} within 20% of baseline {b:.4}"));
+        }
+        (Some(c), Some(b)) => failures.push(format!(
+            "reuse rate regressed >20%: {c:.4} vs baseline {b:.4}"
+        )),
+        _ => failures.push("reuse_rate missing".to_string()),
+    }
+
+    if failures.is_empty() {
+        Ok(passes)
+    } else {
+        failures.extend(passes.into_iter().map(|p| format!("(pass) {p}")));
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LoadConfig {
+        LoadConfig {
+            seed: 42,
+            requests: 24,
+            clients: 2,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_seed() {
+        let a = build_schedule(&small());
+        let b = build_schedule(&small());
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        let c = build_schedule(&LoadConfig {
+            seed: 43,
+            ..small()
+        });
+        assert_ne!(schedule_digest(&a), schedule_digest(&c));
+        // Arrival times are sorted (open-loop schedule).
+        assert!(a.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn replays_bit_for_bit_modulo_timing() {
+        let _serial = crate::testutil::injector_serial();
+        let r1 = run_loadtest(&small()).expect("run 1");
+        let r2 = run_loadtest(&small()).expect("run 2");
+        assert_eq!(
+            deterministic_section(&r1),
+            deterministic_section(&r2),
+            "deterministic sections must be byte-identical for the same seed"
+        );
+        // And the invariants the CI gate rests on hold.
+        assert_eq!(det_u64(&r1, "responses_4xx"), Some(0));
+        assert_eq!(det_u64(&r1, "responses_5xx"), Some(0));
+        assert_eq!(
+            det_u64(&r1, "solves_total"),
+            det_u64(&r1, "distinct_bodies"),
+            "every distinct body solves exactly once"
+        );
+        assert!(
+            det_u64(&r1, "dedup_total").unwrap_or(0) > 0,
+            "palette must produce duplicates"
+        );
+        // A run checks clean against itself as baseline.
+        check_against_baseline(&r1, &r2).expect("self-check");
+    }
+
+    #[test]
+    fn baseline_gate_catches_regressions() {
+        let _serial = crate::testutil::injector_serial();
+        let base = run_loadtest(&small()).expect("baseline run");
+        // Forge a "regressed" current: solves/request doubled.
+        let mut root = base.as_map().cloned().expect("report is a map");
+        let mut det = root
+            .get("deterministic")
+            .and_then(Value::as_map)
+            .cloned()
+            .expect("deterministic section");
+        let spr = det
+            .get("solves_per_request")
+            .and_then(Value::as_f64)
+            .expect("solves_per_request");
+        det.insert("solves_per_request".to_string(), Value::F64(spr * 2.0));
+        root.insert("deterministic".to_string(), Value::Map(det));
+        let cur = Value::Map(root);
+        let err = check_against_baseline(&cur, &base).expect_err("must fail");
+        assert!(err.iter().any(|f| f.contains("solves/request")), "{err:?}");
+    }
+}

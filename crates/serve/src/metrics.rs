@@ -1,0 +1,301 @@
+//! Service counters, exposed as `GET /metrics` in a flat
+//! `name value` text format (one counter per line, prometheus-style,
+//! parseable with `awk`).
+//!
+//! Everything here is lock-free: plain relaxed atomics bumped on the
+//! request path, read with the same ordering by the renderer. The
+//! numbers are monotone counters (plus one gauge, `in_flight`), so a
+//! torn read across two counters can only ever show a state the
+//! service passed through.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Latency histogram bucket upper bounds, microseconds. The last
+/// bucket is the +inf overflow.
+pub const LATENCY_BOUNDS_US: [u64; 16] = [
+    100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400, 204_800, 409_600,
+    819_200, 1_638_400, 3_276_800,
+];
+
+/// Batch-size histogram buckets: exact sizes 1..=8, then an 8+ overflow.
+pub const BATCH_BUCKETS: usize = 9;
+
+const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket histogram of request latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation, microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket where the `q`-quantile falls
+    /// (`q` in `[0,1]`); the last finite bound for the overflow bucket.
+    /// Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]);
+            }
+        }
+        LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            let bound = LATENCY_BOUNDS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "inf".to_string());
+            out.push_str(&format!("{name}_bucket_le_{bound}_us {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_sum_us {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// All service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests that reached the router.
+    pub requests_total: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (client errors: malformed bodies, unknown routes).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (solver failures, injected faults).
+    pub responses_5xx: AtomicU64,
+    /// Thermal solves actually executed (single-flight leaders only).
+    pub solves_total: AtomicU64,
+    /// Requests answered from the content-addressed result store.
+    pub store_hits: AtomicU64,
+    /// Requests that joined an identical in-flight solve instead of
+    /// starting their own (single-flight dedup).
+    pub flight_joins: AtomicU64,
+    /// Pool lookups that found a warm model for the design key.
+    pub pool_hits: AtomicU64,
+    /// Models built because the pool had no warm entry.
+    pub pool_builds: AtomicU64,
+    /// Warm models evicted to respect the pool bound.
+    pub pool_evictions: AtomicU64,
+    /// Result-store writes that failed (and failed the request).
+    pub store_errors: AtomicU64,
+    /// Requests currently being handled (gauge).
+    pub in_flight: AtomicU64,
+    /// Campaigns accepted via `POST /v1/campaign`.
+    pub campaigns_submitted: AtomicU64,
+    /// Request latency histogram (handler-measured).
+    pub latency: LatencyHistogram,
+    /// Batch sizes: how many requests each completed solve answered
+    /// (1 = no coalescing; index 8 collects 9-and-larger).
+    pub batch: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record the status class of a finished response.
+    pub fn observe_status(&self, status: u16) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the batch size of one completed solve: the leader plus
+    /// every request that coalesced onto it.
+    pub fn observe_batch(&self, size: u64) {
+        let idx = (size.max(1) as usize - 1).min(BATCH_BUCKETS - 1);
+        self.batch[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the batch-size histogram counts.
+    pub fn batch_counts(&self) -> [u64; BATCH_BUCKETS] {
+        let mut counts = [0u64; BATCH_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(self.batch.iter()) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        counts
+    }
+
+    /// Requests deduplicated away (store hits + flight joins).
+    pub fn dedup_total(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed) + self.flight_joins.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /metrics` payload.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut line = |name: &str, v: u64| {
+            out.push_str(&format!("{name} {v}\n"));
+        };
+        line(
+            "serve_requests_total",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_responses_2xx",
+            self.responses_2xx.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_responses_4xx",
+            self.responses_4xx.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_responses_5xx",
+            self.responses_5xx.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_solves_total",
+            self.solves_total.load(Ordering::Relaxed),
+        );
+        line("serve_store_hits", self.store_hits.load(Ordering::Relaxed));
+        line(
+            "serve_flight_joins",
+            self.flight_joins.load(Ordering::Relaxed),
+        );
+        line("serve_pool_hits", self.pool_hits.load(Ordering::Relaxed));
+        line(
+            "serve_pool_builds",
+            self.pool_builds.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_pool_evictions",
+            self.pool_evictions.load(Ordering::Relaxed),
+        );
+        line(
+            "serve_store_errors",
+            self.store_errors.load(Ordering::Relaxed),
+        );
+        line("serve_in_flight", self.in_flight.load(Ordering::Relaxed));
+        line(
+            "serve_campaigns_submitted",
+            self.campaigns_submitted.load(Ordering::Relaxed),
+        );
+        for (i, b) in self.batch.iter().enumerate() {
+            let label = if i + 1 < BATCH_BUCKETS {
+                format!("{}", i + 1)
+            } else {
+                format!("{}_plus", BATCH_BUCKETS)
+            };
+            out.push_str(&format!(
+                "serve_batch_size_{label} {}\n",
+                b.load(Ordering::Relaxed)
+            ));
+        }
+        self.latency.render("serve_latency", &mut out);
+        out
+    }
+}
+
+/// RAII in-flight gauge: increments on creation, decrements on drop
+/// (including unwinds through an injected panic).
+pub struct InFlight<'m> {
+    metrics: &'m Metrics,
+}
+
+impl<'m> InFlight<'m> {
+    /// Enter the in-flight window.
+    pub fn enter(metrics: &'m Metrics) -> InFlight<'m> {
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight { metrics }
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_track_buckets() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.observe_us(150); // -> le_200 bucket
+        }
+        h.observe_us(1_000_000); // -> le_1638400 bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 200);
+        assert_eq!(h.quantile_us(0.99), 200);
+        assert_eq!(h.quantile_us(1.0), 1_638_400);
+    }
+
+    #[test]
+    fn batch_sizes_clamp_into_overflow() {
+        let m = Metrics::new();
+        m.observe_batch(1);
+        m.observe_batch(3);
+        m.observe_batch(40);
+        assert_eq!(m.batch[0].load(Ordering::Relaxed), 1);
+        assert_eq!(m.batch[2].load(Ordering::Relaxed), 1);
+        assert_eq!(m.batch[BATCH_BUCKETS - 1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn render_is_line_oriented() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(5, Ordering::Relaxed);
+        m.observe_status(200);
+        m.observe_status(500);
+        let text = m.render_text();
+        assert!(text.contains("serve_requests_total 5\n"), "{text}");
+        assert!(text.contains("serve_responses_2xx 1\n"), "{text}");
+        assert!(text.contains("serve_responses_5xx 1\n"), "{text}");
+        assert!(text.contains("serve_latency_count 0\n"), "{text}");
+    }
+
+    #[test]
+    fn in_flight_guard_decrements_on_drop() {
+        let m = Metrics::new();
+        {
+            let _g = InFlight::enter(&m);
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The warm-model pool: a bounded LRU of built [`ThermalModel`]s keyed
+//! by canonical design key.
+//!
+//! A `ThermalModel` carries its own cached `SolverContext` (PR 4), so
+//! keeping the model warm keeps the whole solver state warm — the
+//! matrix, the preconditioner diagonal, the last converged field.
+//! Concurrent requests whose designs share a pooled model therefore
+//! coalesce onto one warm context: the first solve pays the build, the
+//! rest ride the cached field. The pool groups its report by the
+//! `(dim, nnz)` shape of each model's system so `/metrics` shows which
+//! problem shapes the warm capacity is spent on.
+//!
+//! Lock discipline (lint R9): the pool mutex guards only the map —
+//! model **builds** (which run the solver machinery) always happen
+//! outside the lock. Two requests racing to build the same key may
+//! both build; `admit` keeps the first and the loser's copy is
+//! dropped. That wastes one build, never correctness.
+
+use immersion_thermal::ThermalModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One pooled model with its bookkeeping.
+struct PoolEntry {
+    key: String,
+    model: Arc<ThermalModel>,
+    /// System dimension (thermal nodes).
+    dim: usize,
+    /// Nonzeros of the conductance matrix.
+    nnz: usize,
+    /// LRU tick of the last `get` or insert.
+    last_used: u64,
+    /// Times a `get` reused this entry.
+    reuses: u64,
+}
+
+/// A `(dim, nnz, reuses)` row of [`ModelPool::shapes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolShape {
+    /// System dimension.
+    pub dim: usize,
+    /// Matrix nonzeros.
+    pub nnz: usize,
+    /// Pooled entries with this shape.
+    pub entries: usize,
+    /// Total reuses across those entries.
+    pub reuses: u64,
+}
+
+/// Bounded LRU pool of warm thermal models.
+pub struct ModelPool {
+    entries: Mutex<Vec<PoolEntry>>,
+    capacity: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ModelPool {
+    /// A pool retaining at most `capacity` warm models (minimum 1).
+    pub fn new(capacity: usize) -> ModelPool {
+        ModelPool {
+            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The warm model for `key`, if pooled. Bumps LRU and reuse
+    /// accounting.
+    pub fn get(&self, key: &str) -> Option<Arc<ThermalModel>> {
+        let tick = self.next_tick();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let e = entries.iter_mut().find(|e| e.key == key)?;
+        e.last_used = tick;
+        e.reuses += 1;
+        Some(Arc::clone(&e.model))
+    }
+
+    /// Insert a freshly built model under `key`, evicting the
+    /// least-recently-used entry when at capacity. If another request
+    /// raced the build in first, the incumbent wins and is returned —
+    /// so every caller ends up solving on the *same* shared context.
+    pub fn admit(&self, key: &str, model: ThermalModel) -> Arc<ThermalModel> {
+        // Shape probes touch the thermal crate; take them before the lock.
+        let dim = model.n_nodes();
+        let nnz = model.matrix().nnz();
+        let model = Arc::new(model);
+        let tick = self.next_tick();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            return Arc::clone(&e.model);
+        }
+        if entries.len() >= self.capacity {
+            if let Some(lru) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                entries.swap_remove(lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.push(PoolEntry {
+            key: key.to_string(),
+            model: Arc::clone(&model),
+            dim,
+            nnz,
+            last_used: tick,
+            reuses: 0,
+        });
+        model
+    }
+
+    /// Currently pooled model count.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The pool's contents grouped by `(dim, nnz)` shape, sorted by
+    /// dimension then nonzeros (stable for `/metrics` output).
+    pub fn shapes(&self) -> Vec<PoolShape> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shapes: Vec<PoolShape> = Vec::new();
+        for e in entries.iter() {
+            match shapes.iter_mut().find(|s| s.dim == e.dim && s.nnz == e.nnz) {
+                Some(s) => {
+                    s.entries += 1;
+                    s.reuses += e.reuses;
+                }
+                None => shapes.push(PoolShape {
+                    dim: e.dim,
+                    nnz: e.nnz,
+                    entries: 1,
+                    reuses: e.reuses,
+                }),
+            }
+        }
+        shapes.sort_by_key(|a| (a.dim, a.nnz));
+        shapes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immersion_core::design::CmpDesign;
+    use immersion_power::chips::low_power_cmp;
+    use immersion_thermal::stack3d::CoolingParams;
+
+    fn tiny_model(chips: usize) -> ThermalModel {
+        CmpDesign::new(low_power_cmp(), chips, CoolingParams::water_immersion())
+            .with_grid(4, 4)
+            .thermal_model()
+            .expect("tiny model builds")
+    }
+
+    #[test]
+    fn get_after_insert_returns_same_model() {
+        let pool = ModelPool::new(4);
+        assert!(pool.get("a").is_none());
+        let m = pool.admit("a", tiny_model(1));
+        let again = pool.get("a").expect("pooled");
+        assert!(Arc::ptr_eq(&m, &again));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_incumbent() {
+        let pool = ModelPool::new(4);
+        let first = pool.admit("a", tiny_model(1));
+        let second = pool.admit("a", tiny_model(1));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let pool = ModelPool::new(2);
+        pool.admit("a", tiny_model(1));
+        pool.admit("b", tiny_model(2));
+        // Touch "a" so "b" is the LRU.
+        assert!(pool.get("a").is_some());
+        pool.admit("c", tiny_model(3));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get("a").is_some());
+        assert!(pool.get("b").is_none(), "LRU entry must be evicted");
+        assert!(pool.get("c").is_some());
+        assert_eq!(pool.evictions(), 1);
+    }
+
+    #[test]
+    fn shapes_group_by_dim_and_nnz() {
+        let pool = ModelPool::new(4);
+        pool.admit("a", tiny_model(1));
+        pool.admit("b", tiny_model(1)); // same shape, different key
+        pool.admit("c", tiny_model(2)); // taller stack -> bigger system
+        let _ = pool.get("a");
+        let shapes = pool.shapes();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[0].entries, 2);
+        assert_eq!(shapes[0].reuses, 1);
+        assert!(shapes[0].dim < shapes[1].dim);
+    }
+}

@@ -1,0 +1,151 @@
+//! The shared content-addressed result store: completed solves land
+//! here keyed by the content hash of the request that produced them,
+//! so identical requests — concurrent or hours apart — cost exactly
+//! one solve per distinct body.
+//!
+//! The store *is* a [`campaign::Cache`](immersion_campaign::Cache)
+//! directory, with everything that buys: atomic temp-file writes,
+//! poison-quarantine of corrupt entries on lookup, orphan sweeping on
+//! open. A torn write injected at the
+//! [`SERVE_STORE`](immersion_faultsim::site::SERVE_STORE) hook leaves
+//! the same artifact a power cut would, and the next lookup of that
+//! key quarantines it to `<key>.poison` and recomputes — the store can
+//! be corrupted at rest but can never *serve* corruption.
+
+use immersion_campaign::fsutil::apply_write_fault;
+use immersion_campaign::{Cache, CacheEntry, Lookup};
+use immersion_faultsim as faultsim;
+use serde_json::Value;
+use std::io;
+use std::path::Path;
+
+/// The serve layer's result store.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    cache: Cache,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ResultStore> {
+        Ok(ResultStore {
+            cache: Cache::open(dir.as_ref().to_path_buf())?,
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        self.cache.dir()
+    }
+
+    /// Look up a content key. A corrupt entry is quarantined by this
+    /// call and reads as a miss.
+    pub fn lookup(&self, key: &str) -> Lookup {
+        self.cache.lookup(key)
+    }
+
+    /// The stored result payload for `key`, if present and valid.
+    pub fn load(&self, key: &str) -> Option<Value> {
+        self.cache.load(key).map(|e| e.output)
+    }
+
+    /// Persist a completed solve: `endpoint` names the producing API
+    /// route, `request` is the canonical request body (provenance),
+    /// `output` the response payload. Probes the
+    /// [`SERVE_STORE`](immersion_faultsim::site::SERVE_STORE) fault
+    /// site with the campaign stack's write-fault semantics.
+    pub fn store(
+        &self,
+        key: &str,
+        endpoint: &str,
+        request: Value,
+        output: Value,
+        wall_ms: u64,
+    ) -> io::Result<()> {
+        let entry = CacheEntry {
+            job: endpoint.to_string(),
+            config: request,
+            output,
+            wall_ms,
+        };
+        let json = serde_json::to_string_pretty(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let path = self.cache.path_for(key);
+        if let Some(result) = apply_write_fault(faultsim::site::SERVE_STORE, &path, json.as_bytes())
+        {
+            return result;
+        }
+        self.cache.store(key, &entry).map(|_| ())
+    }
+
+    /// Valid entries currently on disk.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Quarantined (`.poison`) entries currently on disk.
+    pub fn quarantined(&self) -> usize {
+        self.cache.quarantined()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use immersion_faultsim::{install, FaultKind, FaultPlan, FaultRule, Trigger};
+
+    fn scratch(tag: &str) -> ResultStore {
+        let d = std::env::temp_dir().join(format!(
+            "immersion-serve-store-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        ResultStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn round_trips_outputs() {
+        let store = scratch("rt");
+        assert!(store.load("k").is_none());
+        store
+            .store("k", "/v1/evaluate", Value::Null, Value::U64(7), 3)
+            .unwrap();
+        assert_eq!(store.load("k"), Some(Value::U64(7)));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_store_write_is_quarantined_not_served() {
+        let _serial = crate::testutil::injector_serial();
+        let store = scratch("torn");
+        {
+            let _armed = install(FaultPlan::new(7).with_rule(FaultRule::new(
+                faultsim::site::SERVE_STORE,
+                FaultKind::TornWrite,
+                Trigger::Nth(1),
+            )));
+            let err = store
+                .store("k", "/v1/evaluate", Value::Null, Value::U64(7), 3)
+                .expect_err("torn write must surface as an error");
+            assert!(err.to_string().contains("injected"), "{err}");
+        }
+        // The torn artifact is on disk but must never be served: the
+        // next lookup quarantines it and reads as a miss.
+        assert!(matches!(store.lookup("k"), Lookup::Poisoned));
+        assert!(store.load("k").is_none());
+        assert_eq!(store.quarantined(), 1);
+        // Recomputing over the quarantined key works normally.
+        store
+            .store("k", "/v1/evaluate", Value::Null, Value::U64(7), 3)
+            .unwrap();
+        assert_eq!(store.load("k"), Some(Value::U64(7)));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -233,23 +233,28 @@ pub fn baseline_16_tile() -> Floorplan {
     let die = 0.013; // 13 mm; 169 mm^2
     let tile = die / 4.0;
     let mut fp = Floorplan::new(die, die);
+    // The tile rects are compile-time constants checked by this
+    // module's tests; a failed insert can only mean a typo here, so a
+    // debug assert suffices — no release panic path.
+    let mut add = |name: String, rect: Rect| {
+        let added = fp.add_block(&name, rect);
+        debug_assert!(added.is_ok(), "invalid baseline tile {name}: {added:?}");
+    };
     // Bottom row: cores (high power density).
     for c in 0..4 {
-        fp.add_block(
-            &format!("CORE{}", c + 1),
+        add(
+            format!("CORE{}", c + 1),
             Rect::new(c as f64 * tile, 0.0, tile, tile),
-        )
-        .expect("baseline floorplan is valid");
+        );
     }
     // Remaining 12 tiles: L2 banks, row-major from the second row.
     let mut bank = 1;
     for row in 1..4 {
         for col in 0..4 {
-            fp.add_block(
-                &format!("L2_{bank}"),
+            add(
+                format!("L2_{bank}"),
                 Rect::new(col as f64 * tile, row as f64 * tile, tile, tile),
-            )
-            .expect("baseline floorplan is valid");
+            );
             bank += 1;
         }
     }

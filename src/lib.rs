@@ -9,4 +9,5 @@ pub use immersion_core as core_;
 pub use immersion_desim as desim;
 pub use immersion_npb as npb;
 pub use immersion_power as power;
+pub use immersion_serve as serve;
 pub use immersion_thermal as thermal;

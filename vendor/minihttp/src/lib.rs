@@ -1,0 +1,807 @@
+//! Offline stand-in for a minimal HTTP stack: a blocking-accept +
+//! worker-pool HTTP/1.1 server and a tiny keep-alive client, written
+//! against `std::net` alone (the container has no registry access).
+//!
+//! ## Server model
+//!
+//! One acceptor thread pushes connections onto a bounded queue; `N`
+//! worker threads pop a connection, serve **one** request, and requeue
+//! the connection while it stays alive. That single-request round-robin
+//! is what lets a 1-thread pool serve many persistent connections
+//! fairly — a worker never parks on an idle socket, it `peek`s with a
+//! short timeout and moves on. Requests are parsed strictly (request
+//! line, header block, `Content-Length` body, both size-capped);
+//! responses carry either a fixed `Content-Length` or a chunked
+//! `Transfer-Encoding`. A handler panic is caught and mapped to a 500,
+//! so one poisoned request can never take a worker down.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips a flag, wakes the acceptor with a
+//! loopback connect, drains the queue, and joins every thread — no
+//! request in flight is abandoned mid-write.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted header block, bytes.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, including any query string.
+    pub path: String,
+    /// Header `(name, value)` pairs in wire order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Did the request ask to keep the connection open?
+    keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if it is valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The path split at the first `?`: `(path, query)`.
+    pub fn path_and_query(&self) -> (&str, Option<&str>) {
+        match self.path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (self.path.as_str(), None),
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra header `(name, value)` pairs (content-length/connection
+    /// are managed by the writer).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Write the body with `Transfer-Encoding: chunked` instead of a
+    /// fixed `Content-Length`.
+    pub chunked: bool,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .with_header("content-type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Builder: set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Builder: append a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: switch the writer to chunked transfer encoding.
+    pub fn with_chunked(mut self) -> Response {
+        self.chunked = true;
+        self
+    }
+
+    /// Canonical reason phrase for the status codes this stack emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire parsing
+// ---------------------------------------------------------------------------
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed before a full request arrived.
+    Closed,
+    /// The bytes were not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// Header block or body exceeded its cap.
+    TooLarge(&'static str),
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+/// Read one request off `stream`. `None` body when no Content-Length.
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    // Accumulate until the blank line ending the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_crlfcrlf(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge("header block"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut rest = buf.split_off(header_end + 4);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version: {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| ReadError::Malformed("unparsable content-length".into()))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge("body"));
+    }
+    while rest.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Closed),
+            Ok(n) => rest.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    rest.truncate(content_length);
+    let keep_alive = {
+        let conn = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase());
+        match conn.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+            _ => version == "HTTP/1.1",
+        }
+    };
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body: rest,
+        keep_alive,
+    })
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serialise and send `resp`; `close` forces `Connection: close`.
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        resp.status,
+        Response::reason(resp.status)
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(if close {
+        "connection: close\r\n"
+    } else {
+        "connection: keep-alive\r\n"
+    });
+    if resp.chunked {
+        head.push_str("transfer-encoding: chunked\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        // One chunk per 8 KiB slice, then the terminating zero chunk.
+        for piece in resp.body.chunks(8 * 1024) {
+            stream.write_all(format!("{:x}\r\n", piece.len()).as_bytes())?;
+            stream.write_all(piece)?;
+            stream.write_all(b"\r\n")?;
+        }
+        stream.write_all(b"0\r\n\r\n")?;
+    } else {
+        head.push_str(&format!("content-length: {}\r\n\r\n", resp.body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&resp.body)?;
+    }
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The request handler: pure function of the request. Must be
+/// panic-tolerant in aggregate — a panic inside is caught and mapped
+/// to a 500 response.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Consulted once per accepted connection, before any byte is read.
+/// `Err(reason)` refuses the connection with a 503 carrying `reason`.
+pub type AcceptGate = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (minimum 1).
+    pub threads: usize,
+    /// Idle-poll timeout per queued connection: how long a worker
+    /// waits for the first byte before requeueing the connection.
+    pub poll: Duration,
+    /// Read timeout once a request has started arriving.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 4,
+            poll: Duration::from_millis(5),
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, stream: TcpStream) {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// A running server; dropping it without [`shutdown`](Self::shutdown)
+/// detaches the threads (tests should always shut down).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the queue, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.ready.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `handler` on a worker
+/// pool. Returns once the listener is bound and the threads are up.
+pub fn serve(
+    addr: &str,
+    cfg: ServerConfig,
+    handler: Handler,
+    accept_gate: Option<AcceptGate>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                if let Some(gate) = &accept_gate {
+                    if let Err(reason) = gate() {
+                        let resp = Response::text(503, reason);
+                        let _ = write_response(&mut stream, &resp, true);
+                        continue;
+                    }
+                }
+                let _ = stream.set_nodelay(true);
+                shared.push(stream);
+            }
+        })
+    };
+
+    let workers: Vec<JoinHandle<()>> = (0..cfg.threads.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || worker_loop(&shared, &handler, &cfg))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_loop(shared: &Shared, handler: &Handler, cfg: &ServerConfig) {
+    while let Some(mut stream) = shared.pop() {
+        // Is a request waiting? Peek under the short poll timeout so an
+        // idle keep-alive connection cannot monopolise this worker.
+        let _ = stream.set_read_timeout(Some(cfg.poll));
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => continue, // peer closed; drop the connection
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.push(stream);
+                    // All connections may be idle; yield so the requeue
+                    // cannot spin a core.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                continue;
+            }
+            Err(_) => continue,
+        }
+        // A request has started: read it whole under the long timeout.
+        let _ = stream.set_read_timeout(Some(cfg.request_timeout));
+        match read_request(&mut stream) {
+            Ok(req) => {
+                let resp = match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "handler panicked".to_string());
+                        Response::text(500, format!("internal error: {msg}"))
+                    }
+                };
+                let close = !req.keep_alive || shared.shutdown.load(Ordering::SeqCst);
+                if write_response(&mut stream, &resp, close).is_ok() && !close {
+                    shared.push(stream);
+                }
+            }
+            Err(ReadError::Closed) => {}
+            Err(ReadError::Malformed(why)) => {
+                let _ = write_response(&mut stream, &Response::text(400, why), true);
+            }
+            Err(ReadError::TooLarge(what)) => {
+                let resp = Response::text(413, format!("{what} too large"));
+                let _ = write_response(&mut stream, &resp, true);
+            }
+            Err(ReadError::Io(_)) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (chunked transfer decoded).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 client bound to one server address. Reuses a
+/// single connection across [`send`](Self::send) calls, transparently
+/// reconnecting once when the server has dropped the idle connection.
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            stream: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Builder: per-request read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issue one request and read the full response.
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        match self.try_send(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) if self.stream.is_some() => {
+                // The reused connection may have been closed under us;
+                // one reconnect-and-retry is part of keep-alive life.
+                self.stream = None;
+                self.try_send(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(&self.addr)?;
+            s.set_read_timeout(Some(self.timeout))?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::other("no connection"))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            &self_addr_host(&self.addr),
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let resp = read_client_response(stream);
+        if resp.is_err() {
+            self.stream = None;
+        }
+        resp
+    }
+}
+
+fn self_addr_host(addr: &str) -> &str {
+    addr.split_once(':').map(|(h, _)| h).unwrap_or(addr)
+}
+
+fn read_client_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_crlfcrlf(&buf) {
+            break pos;
+        }
+        match stream.read(&mut chunk)? {
+            0 => return Err(io::Error::other("connection closed mid-response")),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut rest = buf.split_off(header_end + 4);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line: {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(stream, &mut rest)?
+    } else {
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        while rest.len() < content_length {
+            match stream.read(&mut chunk)? {
+                0 => return Err(io::Error::other("connection closed mid-body")),
+                n => rest.extend_from_slice(&chunk[..n]),
+            }
+        }
+        rest.truncate(content_length);
+        rest
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Decode a chunked body; `rest` holds bytes already read past the
+/// header block.
+fn decode_chunked(stream: &mut TcpStream, rest: &mut Vec<u8>) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        // Ensure a full size line is buffered.
+        let line_end = loop {
+            if let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+                break pos;
+            }
+            match stream.read(&mut chunk)? {
+                0 => return Err(io::Error::other("closed inside chunk size")),
+                n => rest.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let size_str = String::from_utf8_lossy(&rest[..line_end]).into_owned();
+        let size = usize::from_str_radix(size_str.trim(), 16)
+            .map_err(|_| io::Error::other(format!("bad chunk size: {size_str:?}")))?;
+        rest.drain(..line_end + 2);
+        while rest.len() < size + 2 {
+            match stream.read(&mut chunk)? {
+                0 => return Err(io::Error::other("closed inside chunk")),
+                n => rest.extend_from_slice(&chunk[..n]),
+            }
+        }
+        if size == 0 {
+            return Ok(out);
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest.drain(..size + 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server(threads: usize) -> ServerHandle {
+        let handler: Handler =
+            Arc::new(
+                |req: &Request| match (req.method.as_str(), req.path_and_query().0) {
+                    ("GET", "/ping") => Response::text(200, "pong"),
+                    ("POST", "/echo") => Response::new(200).with_body(req.body.clone()),
+                    ("GET", "/chunky") => Response::text(200, "a".repeat(20_000)).with_chunked(),
+                    ("GET", "/boom") => panic!("kaboom"),
+                    _ => Response::text(404, "nope"),
+                },
+            );
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+            handler,
+            None,
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn round_trips_and_keeps_alive() {
+        let server = echo_server(2);
+        let mut client = Client::new(server.addr().to_string());
+        for i in 0..5 {
+            let r = client
+                .send("POST", "/echo", format!("body {i}").as_bytes())
+                .unwrap();
+            assert_eq!(r.status, 200);
+            assert_eq!(r.text(), format!("body {i}"));
+        }
+        let r = client.send("GET", "/ping", b"").unwrap();
+        assert_eq!(r.text(), "pong");
+        server.shutdown();
+    }
+
+    #[test]
+    fn single_worker_serves_many_connections() {
+        let server = echo_server(1);
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::new(addr);
+                    let r = c.send("POST", "/echo", format!("t{i}").as_bytes()).unwrap();
+                    (r.status, r.text())
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (status, text) = h.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(text, format!("t{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn chunked_responses_decode() {
+        let server = echo_server(2);
+        let mut client = Client::new(server.addr().to_string());
+        let r = client.send("GET", "/chunky", b"").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.len(), 20_000);
+        assert!(r.body.iter().all(|&b| b == b'a'));
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panics_become_500() {
+        let server = echo_server(2);
+        let mut client = Client::new(server.addr().to_string());
+        let r = client.send("GET", "/boom", b"").unwrap();
+        assert_eq!(r.status, 500);
+        assert!(r.text().contains("kaboom"), "{}", r.text());
+        // The worker survives the panic.
+        let r = client.send("GET", "/ping", b"").unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = echo_server(1);
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = raw.read_to_end(&mut buf);
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_gate_refuses_with_503() {
+        let gate: AcceptGate = Arc::new(|| Err("drained".to_string()));
+        let handler: Handler = Arc::new(|_| Response::text(200, "unreachable"));
+        let server = serve("127.0.0.1:0", ServerConfig::default(), handler, Some(gate)).unwrap();
+        let mut client = Client::new(server.addr().to_string());
+        let r = client.send("GET", "/ping", b"").unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.text(), "drained");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = echo_server(3);
+        let mut client = Client::new(server.addr().to_string());
+        let r = client.send("GET", "/ping", b"").unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown();
+    }
+}
