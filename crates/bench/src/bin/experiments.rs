@@ -63,7 +63,10 @@ fn main() {
         Quality::full()
     };
     for dir in [&csv_dir, &json_dir].into_iter().flatten() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create output dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
     }
 
     for name in names {
@@ -76,12 +79,25 @@ fn main() {
             println!("{table}");
             if let Some(dir) = &csv_dir {
                 let file = dir.join(format!("{name}_{i}.csv"));
-                atomic_write(&file, table.to_csv().as_bytes()).expect("write csv");
+                if let Err(e) = atomic_write(&file, table.to_csv().as_bytes()) {
+                    eprintln!("error: could not write {}: {e}", file.display());
+                    std::process::exit(1);
+                }
             }
             if let Some(dir) = &json_dir {
                 let file = dir.join(format!("{name}_{i}.json"));
-                let json = serde_json::to_string_pretty(table).expect("serialise table");
-                atomic_write(&file, json.as_bytes()).expect("write json");
+                match serde_json::to_string_pretty(table) {
+                    Ok(json) => {
+                        if let Err(e) = atomic_write(&file, json.as_bytes()) {
+                            eprintln!("error: could not write {}: {e}", file.display());
+                            std::process::exit(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: could not serialise {}: {e}", file.display());
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         eprintln!("[{name}: {:.1?}]", t0.elapsed());

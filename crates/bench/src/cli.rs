@@ -137,7 +137,7 @@ pub enum Command {
         /// (solves/request, reuse rate) fails.
         check: Option<String>,
     },
-    /// Run the repo's static-analysis rules (R1–R9) over the workspace.
+    /// Run the repo's static-analysis rules (R1–R12) over the workspace.
     Lint {
         /// Rewrite lint.allow to the current violation counts.
         fix_allowlist: bool,
@@ -145,6 +145,10 @@ pub enum Command {
         format: String,
         /// Write the workspace call graph as Graphviz DOT to this path.
         emit_callgraph: Option<String>,
+        /// Write the R11 lock-order graph as Graphviz DOT to this path.
+        emit_lockgraph: Option<String>,
+        /// Skip the `target/lint-cache` incremental cache.
+        no_cache: bool,
     },
     /// Print usage.
     Help,
@@ -250,6 +254,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 fix_allowlist: has("--fix-allowlist"),
                 format,
                 emit_callgraph: get("--emit-callgraph").map(str::to_string),
+                emit_lockgraph: get("--emit-lockgraph").map(str::to_string),
+                no_cache: has("--no-cache"),
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -271,7 +277,8 @@ pub fn usage() -> String {
        bench       thermal [--smoke] [--threads N] [--out PATH] [--check BASELINE]\n\
        serve       [--addr HOST:PORT] [--threads N] [--loadtest] [--seed N] [--requests N]\n\
                    [--clients N] [--out PATH] [--check BASELINE]\n\
-       lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]"
+       lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]\n\
+                   [--emit-lockgraph PATH] [--no-cache]"
         .to_string()
 }
 
@@ -395,6 +402,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
             fix_allowlist,
             format,
             emit_callgraph,
+            emit_lockgraph,
+            no_cache,
         } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             let root = immersion_lint::find_workspace_root(&cwd)
@@ -405,8 +414,14 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     .map_err(|errs| format!("call graph unavailable:\n{}", errs.join("\n")))?;
                 std::fs::write(&path, dot).map_err(|e| format!("{path}: {e}"))?;
             }
-            let report =
-                immersion_lint::lint_workspace(&root, fix_allowlist).map_err(|e| e.to_string())?;
+            if let Some(path) = emit_lockgraph {
+                let dot = immersion_lint::emit_lockgraph_dot(&root)
+                    .map_err(|e| e.to_string())?
+                    .map_err(|errs| format!("lock graph unavailable:\n{}", errs.join("\n")))?;
+                std::fs::write(&path, dot).map_err(|e| format!("{path}: {e}"))?;
+            }
+            let report = immersion_lint::lint_workspace_with(&root, fix_allowlist, !no_cache)
+                .map_err(|e| e.to_string())?;
             let text = match format.as_str() {
                 "json" => immersion_lint::report::to_json(&report),
                 "sarif" => immersion_lint::report::to_sarif(&report),

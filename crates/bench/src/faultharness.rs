@@ -138,9 +138,24 @@ pub struct ReferenceRun {
     pub jobs: usize,
 }
 
+/// Remove a cell/reference scratch directory ahead of a fresh run.
+/// Absence is the normal case; any other failure is logged rather than
+/// swallowed — the subsequent create fails loudly if the directory is
+/// truly unusable.
+fn clean_scratch(dir: &Path) {
+    match std::fs::remove_dir_all(dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!(
+            "warning: could not clean scratch dir {}: {e}",
+            dir.display()
+        ),
+    }
+}
+
 /// Execute the fault-free reference run in `dir` (recreated fresh).
 pub fn reference_run(dir: &Path) -> Result<ReferenceRun, String> {
-    let _ = std::fs::remove_dir_all(dir);
+    clean_scratch(dir);
     let (report, manifest) = run_demo(&dir.join("cache"), 1, &|_| {})?;
     if !report.all_ok() {
         return Err("reference run did not complete cleanly".to_string());
@@ -250,7 +265,7 @@ pub fn run_cell(
     cell_dir: &Path,
     reference: &ReferenceRun,
 ) -> CellReport {
-    let _ = std::fs::remove_dir_all(cell_dir);
+    clean_scratch(cell_dir);
     let cache_dir = cell_dir.join("cache");
     let (plan, nth) = cell_plan(seed, site, kind);
     let mut problems: Vec<String> = Vec::new();

@@ -61,7 +61,7 @@ impl Cache {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
                 if name.starts_with('.') && name.contains(".tmp.") {
-                    let _ = std::fs::remove_file(entry.path());
+                    crate::fsutil::remove_best_effort(&entry.path());
                 }
             }
         }
@@ -98,7 +98,7 @@ impl Cache {
                 // inspection. If even the rename fails, fall back to
                 // deleting so the poison can never be read as a hit.
                 if std::fs::rename(&path, self.poison_path_for(key)).is_err() {
-                    let _ = std::fs::remove_file(&path);
+                    crate::fsutil::remove_best_effort(&path);
                 }
                 Lookup::Poisoned
             }

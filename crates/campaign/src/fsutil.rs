@@ -18,6 +18,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Best-effort removal of a temp or poisoned artifact. Absence is the
+/// normal case; any other failure is logged rather than swallowed,
+/// because a stranded temp file is indistinguishable from a genuine
+/// crash artifact on the next resume.
+pub(crate) fn remove_best_effort(path: &Path) {
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!("warning: could not remove {}: {e}", path.display()),
+    }
+}
+
 /// Write `bytes` to `path` atomically (temp file + rename). Creates
 /// parent directories as needed.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
@@ -47,12 +59,12 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.sync_all()
     })();
     if let Err(e) = written {
-        let _ = std::fs::remove_file(&tmp_path);
+        remove_best_effort(&tmp_path);
         return Err(e);
     }
     match faultsim::probe(faultsim::site::FS_RENAME) {
         Some(FaultKind::IoError) => {
-            let _ = std::fs::remove_file(&tmp_path);
+            remove_best_effort(&tmp_path);
             return Err(faultsim::io_error(
                 faultsim::site::FS_RENAME,
                 FaultKind::IoError,
@@ -72,7 +84,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     }
     let renamed = std::fs::rename(&tmp_path, path);
     if renamed.is_err() {
-        let _ = std::fs::remove_file(&tmp_path);
+        remove_best_effort(&tmp_path);
     }
     renamed
 }

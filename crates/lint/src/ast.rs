@@ -566,8 +566,11 @@ pub fn split_on_comma(trees: &[Tree]) -> Vec<&[Tree]> {
 pub enum Stmt {
     /// `let <pattern> = <init>;` — all pattern binding names captured.
     Let {
-        /// Every identifier bound by the pattern.
+        /// Every identifier bound by the pattern (`["_"]` for a bare
+        /// wildcard discard, so rules can see `let _ =`).
         names: Vec<String>,
+        /// The declared type annotation, rendered, when present.
+        ty: Option<String>,
         /// The initializer, when present.
         init: Option<Expr>,
         /// Line of the `let`.
@@ -675,8 +678,59 @@ pub enum Expr {
         /// Source line.
         line: u32,
     },
-    /// Anything else (if/match/closures/struct literals/…), with all
-    /// recognizable sub-expressions as children.
+    /// `if cond { … } else …` (also `if let`, with the pattern
+    /// skipped and the scrutinee as `cond`).
+    If {
+        /// The condition (or `if let` scrutinee).
+        cond: Box<Expr>,
+        /// The then-block.
+        then_branch: Box<Expr>,
+        /// `else` block or chained `else if`, when present.
+        else_branch: Option<Box<Expr>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `match scrut { … }` — arm guards and bodies flattened in order.
+    Match {
+        /// The scrutinee.
+        scrut: Box<Expr>,
+        /// Arm guards and bodies in source order.
+        arms: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while cond { … }` (also `while let`).
+    While {
+        /// The condition (or `while let` scrutinee).
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `loop { … }`.
+    Loop {
+        /// Loop body.
+        body: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return` / `return value`.
+    Ret {
+        /// The returned value, when present.
+        value: Option<Box<Expr>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `inner?`.
+    Try {
+        /// The expression the `?` applies to.
+        inner: Box<Expr>,
+        /// Source line of the `?`.
+        line: u32,
+    },
+    /// Anything else (closures/struct literals/unsafe blocks/…), with
+    /// all recognizable sub-expressions as children.
     Other {
         /// Sub-expressions found inside the construct.
         children: Vec<Expr>,
@@ -699,6 +753,12 @@ impl Expr {
             | Expr::Macro { line, .. }
             | Expr::Block { line, .. }
             | Expr::ForLoop { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Ret { line, .. }
+            | Expr::Try { line, .. }
             | Expr::Other { line, .. } => *line,
         }
     }
@@ -766,7 +826,21 @@ fn parse_let(trees: &[Tree], at: usize) -> (Stmt, usize) {
     while i < trees.len() && !trees[i].is_punct("=") && !trees[i].is_punct(";") {
         i += 1;
     }
-    let names = pattern_names(&trees[pat_start..i]);
+    // Split the pattern from the type annotation at the top-level `:`
+    // (`::` is a distinct token, so path separators never match).
+    let pat_and_ty = &trees[pat_start..i];
+    let ty_split = pat_and_ty.iter().position(|t| t.is_punct(":"));
+    let pat = &pat_and_ty[..ty_split.unwrap_or(pat_and_ty.len())];
+    let ty = ty_split
+        .map(|c| render(&pat_and_ty[c + 1..]))
+        .filter(|t| !t.is_empty());
+    let mut names = Vec::new();
+    collect_pattern_names(pat, &mut names);
+    // A bare `let _ = …` discard binds nothing; surface it as the
+    // sentinel name `_` so the error-flow rule can see the drop.
+    if names.is_empty() && pat.len() == 1 && pat[0].is_ident("_") {
+        names.push("_".to_string());
+    }
     let mut init = None;
     if i < trees.len() && trees[i].is_punct("=") {
         i += 1;
@@ -778,18 +852,15 @@ fn parse_let(trees: &[Tree], at: usize) -> (Stmt, usize) {
     while i < trees.len() && !trees[i].is_punct(";") {
         i += 1;
     }
-    (Stmt::Let { names, init, line }, i.min(trees.len()))
-}
-
-/// All identifiers bound by a pattern, excluding keywords, type names
-/// in paths (`Some(x)` binds `x`, not `Some`) and the type annotation
-/// after a top-level `:`.
-fn pattern_names(trees: &[Tree]) -> Vec<String> {
-    let ty_split = trees.iter().position(|t| t.is_punct(":"));
-    let pat = &trees[..ty_split.unwrap_or(trees.len())];
-    let mut names = Vec::new();
-    collect_pattern_names(pat, &mut names);
-    names
+    (
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            line,
+        },
+        i.min(trees.len()),
+    )
 }
 
 fn collect_pattern_names(trees: &[Tree], names: &mut Vec<String>) {
@@ -1114,7 +1185,6 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
     match word {
         "if" => {
             let mut j = i + 1;
-            let mut children = Vec::new();
             // `if let pat = expr` — skip the pattern to the `=`.
             if trees.get(j).is_some_and(|t| t.is_ident("let")) {
                 while j < trees.len() && !trees[j].is_punct("=") && !trees[j].is_group('{') {
@@ -1125,25 +1195,30 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
                 }
             }
             let (cond, next) = parse_expr(trees, j, true);
-            children.push(cond);
             j = next;
-            if let Some(Tree::Group {
+            let then_branch = if let Some(Tree::Group {
                 delim: '{',
                 trees: body,
                 ..
             }) = trees.get(j)
             {
-                children.push(Expr::Block {
+                j += 1;
+                Expr::Block {
                     stmts: parse_block(body),
                     line,
-                });
-                j += 1;
-            }
-            while trees.get(j).is_some_and(|t| t.is_ident("else")) {
+                }
+            } else {
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                }
+            };
+            let mut else_branch = None;
+            if trees.get(j).is_some_and(|t| t.is_ident("else")) {
                 j += 1;
                 if trees.get(j).is_some_and(|t| t.is_ident("if")) {
                     let (elif, next) = parse_keyword_expr(trees, j, "if");
-                    children.push(elif);
+                    else_branch = Some(Box::new(elif));
                     j = next;
                 } else if let Some(Tree::Group {
                     delim: '{',
@@ -1151,30 +1226,43 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
                     ..
                 }) = trees.get(j)
                 {
-                    children.push(Expr::Block {
+                    else_branch = Some(Box::new(Expr::Block {
                         stmts: parse_block(body),
                         line,
-                    });
+                    }));
                     j += 1;
-                } else {
-                    break;
                 }
             }
-            (Expr::Other { children, line }, j)
+            (
+                Expr::If {
+                    cond: Box::new(cond),
+                    then_branch: Box::new(then_branch),
+                    else_branch,
+                    line,
+                },
+                j,
+            )
         }
         "match" => {
             let (scrut, mut j) = parse_expr(trees, i + 1, true);
-            let mut children = vec![scrut];
+            let mut arms = Vec::new();
             if let Some(Tree::Group {
                 delim: '{',
-                trees: arms,
+                trees: arm_trees,
                 ..
             }) = trees.get(j)
             {
-                children.extend(parse_match_arms(arms));
+                arms = parse_match_arms(arm_trees);
                 j += 1;
             }
-            (Expr::Other { children, line }, j)
+            (
+                Expr::Match {
+                    scrut: Box::new(scrut),
+                    arms,
+                    line,
+                },
+                j,
+            )
         }
         "for" => {
             let mut j = i + 1;
@@ -1219,7 +1307,6 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
         }
         "while" => {
             let mut j = i + 1;
-            let mut children = Vec::new();
             if trees.get(j).is_some_and(|t| t.is_ident("let")) {
                 while j < trees.len() && !trees[j].is_punct("=") && !trees[j].is_group('{') {
                     j += 1;
@@ -1229,23 +1316,61 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
                 }
             }
             let (cond, next) = parse_expr(trees, j, true);
-            children.push(cond);
             j = next;
-            if let Some(Tree::Group {
+            let body = if let Some(Tree::Group {
                 delim: '{',
                 trees: b,
                 ..
             }) = trees.get(j)
             {
-                children.push(Expr::Block {
+                j += 1;
+                Expr::Block {
                     stmts: parse_block(b),
                     line,
-                });
-                j += 1;
-            }
-            (Expr::Other { children, line }, j)
+                }
+            } else {
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                }
+            };
+            (
+                Expr::While {
+                    cond: Box::new(cond),
+                    body: Box::new(body),
+                    line,
+                },
+                j,
+            )
         }
-        "loop" | "unsafe" | "async" | "move" => {
+        "loop" => {
+            let mut j = i + 1;
+            let body = if let Some(Tree::Group {
+                delim: '{',
+                trees: b,
+                ..
+            }) = trees.get(j)
+            {
+                j += 1;
+                Expr::Block {
+                    stmts: parse_block(b),
+                    line,
+                }
+            } else {
+                Expr::Other {
+                    children: Vec::new(),
+                    line,
+                }
+            };
+            (
+                Expr::Loop {
+                    body: Box::new(body),
+                    line,
+                },
+                j,
+            )
+        }
+        "unsafe" | "async" | "move" => {
             let mut j = i + 1;
             // `move |…|` closure.
             if trees
@@ -1269,7 +1394,25 @@ fn parse_keyword_expr(trees: &[Tree], i: usize, word: &str) -> (Expr, usize) {
             }
             (Expr::Other { children, line }, j)
         }
-        "return" | "break" | "continue" => {
+        "return" => {
+            let j = i + 1;
+            let done = match trees.get(j) {
+                None => true,
+                Some(t) => t.is_punct(";") || t.is_punct(",") || t.is_group('{'),
+            };
+            if done {
+                return (Expr::Ret { value: None, line }, j);
+            }
+            let (inner, next) = parse_expr(trees, j, false);
+            (
+                Expr::Ret {
+                    value: Some(Box::new(inner)),
+                    line,
+                },
+                next,
+            )
+        }
+        "break" | "continue" => {
             let j = i + 1;
             let done = match trees.get(j) {
                 None => true,
@@ -1554,6 +1697,10 @@ fn parse_postfix(trees: &[Tree], mut expr: Expr, mut i: usize, no_struct: bool) 
                 i += 1;
             }
             Some(t) if t.is_punct("?") => {
+                expr = Expr::Try {
+                    inner: Box::new(expr),
+                    line: t.line(),
+                };
                 i += 1;
             }
             _ => break,
@@ -1603,6 +1750,35 @@ pub fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
             walk_expr(iter, f);
             walk_expr(body, f);
         }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_expr(cond, f);
+            walk_expr(then_branch, f);
+            if let Some(e) = else_branch {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            walk_expr(scrut, f);
+            for a in arms {
+                walk_expr(a, f);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, f);
+            walk_expr(body, f);
+        }
+        Expr::Loop { body, .. } => walk_expr(body, f),
+        Expr::Ret { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Try { inner, .. } => walk_expr(inner, f),
         Expr::Other { children, .. } => {
             for c in children {
                 walk_expr(c, f);

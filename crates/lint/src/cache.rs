@@ -1,0 +1,238 @@
+//! Incremental lint cache under `target/lint-cache`.
+//!
+//! Two kinds of entries, both keyed by content hashes (FNV-1a 64 over
+//! the bytes that can change the answer — never by mtime):
+//!
+//! - **per-file** entries hold one file's R1–R4 findings, keyed by the
+//!   file's own path + content *and* by a fingerprint of the lint
+//!   crate's sources, so editing a rule invalidates every file;
+//! - one **semantic** entry holds the whole-workspace findings
+//!   (R5–R12), keyed by the concatenation of every `(path, content)`
+//!   pair — any edit anywhere re-runs the interprocedural pass, which
+//!   is the only sound granularity for call-graph rules.
+//!
+//! On an unchanged tree the second run therefore hits for every file
+//! and for the semantic pass, and does no parsing at all. Corrupt or
+//! unreadable entries degrade to a miss, never to a wrong answer.
+
+use crate::rules::{Rule, Violation};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump when the entry format changes (hash inputs already cover rule
+/// behaviour via the lint-source fingerprint).
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// Directory under the workspace root where entries live.
+pub const CACHE_DIR: &str = "target/lint-cache";
+
+/// FNV-1a 64 (matches the repo's deterministic-hash idiom in
+/// `campaign::hash`; no dependency on `DefaultHasher` stability).
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The open cache plus hit/miss counters for the report.
+#[derive(Debug)]
+pub struct LintCache {
+    dir: PathBuf,
+    /// Fingerprint of the lint crate's own sources, mixed into every
+    /// per-file key.
+    lint_fingerprint: u64,
+    /// Entries served from disk.
+    pub hits: usize,
+    /// Entries recomputed and (re)written.
+    pub misses: usize,
+}
+
+impl LintCache {
+    /// Open (creating the directory if needed) the cache for a
+    /// workspace whose sources are `(rel_path, content)` pairs.
+    pub fn open(root: &Path, sources: &[(String, String)]) -> LintCache {
+        let mut lint_fingerprint = u64::from(CACHE_SCHEMA);
+        for (rel, src) in sources {
+            if rel.starts_with("crates/lint/") {
+                lint_fingerprint = fnv1a64(lint_fingerprint, rel.as_bytes());
+                lint_fingerprint = fnv1a64(lint_fingerprint, src.as_bytes());
+            }
+        }
+        let dir = root.join(CACHE_DIR);
+        // Failure to create the directory just means every write
+        // fails, which degrades to an uncached run.
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+        LintCache {
+            dir,
+            lint_fingerprint,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn file_key(&self, rel: &str, src: &str) -> u64 {
+        let h = fnv1a64(self.lint_fingerprint, rel.as_bytes());
+        fnv1a64(h, src.as_bytes())
+    }
+
+    /// Key covering every source in the workspace (semantic entry).
+    pub fn workspace_key(&self, sources: &[(String, String)]) -> u64 {
+        let mut h = self.lint_fingerprint;
+        for (rel, src) in sources {
+            h = fnv1a64(h, rel.as_bytes());
+            h = fnv1a64(h, src.as_bytes());
+        }
+        h
+    }
+
+    /// Cached R1–R4 findings for one file, if present and readable.
+    pub fn get_file(&mut self, rel: &str, src: &str) -> Option<Vec<Violation>> {
+        let path = self
+            .dir
+            .join(format!("file-{:016x}.lint", self.file_key(rel, src)));
+        match fs::read_to_string(&path).ok().and_then(|t| decode(&t)) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store one file's R1–R4 findings.
+    pub fn put_file(&self, rel: &str, src: &str, v: &[Violation]) {
+        let path = self
+            .dir
+            .join(format!("file-{:016x}.lint", self.file_key(rel, src)));
+        if let Err(e) = fs::write(&path, encode(v)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    /// Cached whole-workspace semantic findings, if present.
+    pub fn get_semantic(&mut self, key: u64) -> Option<Vec<Violation>> {
+        let path = self.dir.join(format!("semantic-{key:016x}.lint"));
+        match fs::read_to_string(&path).ok().and_then(|t| decode(&t)) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the semantic findings, dropping entries for older trees
+    /// (only one workspace state is ever current).
+    pub fn put_semantic(&self, key: u64, v: &[Violation]) {
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for entry in rd.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("semantic-") && name.ends_with(".lint") {
+                    crate::best_effort_remove(&entry.path());
+                }
+            }
+        }
+        let path = self.dir.join(format!("semantic-{key:016x}.lint"));
+        if let Err(e) = fs::write(&path, encode(v)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// One violation per line: `rule\tfile\tline\tmsg` with the message
+/// backslash-escaped so embedded newlines/tabs round-trip.
+fn encode(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            v.rule.id(),
+            v.file,
+            v.line,
+            v.msg
+                .replace('\\', "\\\\")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t"),
+        ));
+    }
+    out
+}
+
+/// Inverse of [`encode`]; `None` on any malformed line (treated as a
+/// cache miss by the callers).
+fn decode(text: &str) -> Option<Vec<Violation>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(4, '\t');
+        let rule = Rule::from_id(parts.next()?)?;
+        let file = parts.next()?.to_string();
+        let line_no: u32 = parts.next()?.parse().ok()?;
+        let msg = unescape(parts.next()?);
+        out.push(Violation {
+            rule,
+            file,
+            line: line_no,
+            msg,
+        });
+    }
+    Some(out)
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_round_trip_through_encode_decode() {
+        let v = vec![Violation {
+            rule: Rule::R10,
+            file: "a/b.rs".to_string(),
+            line: 7,
+            msg: "tab\there\nand a \\ backslash".to_string(),
+        }];
+        let decoded = decode(&encode(&v)).expect("decodes");
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].rule, Rule::R10);
+        assert_eq!(decoded[0].msg, v[0].msg);
+    }
+
+    #[test]
+    fn malformed_lines_are_a_miss_not_a_panic() {
+        assert!(decode("R1\tonly-two-fields").is_none());
+        assert!(decode("R99\ta\t1\tmsg").is_none());
+    }
+}

@@ -166,6 +166,14 @@ const NEVER_RESOLVE_METHODS: &[&str] = &[
     "extend",
     "from_iter",
     "into_iter",
+    // Std-container accessors: every map/vec call site would otherwise
+    // resolve to whichever crate-local `get` happens to be unique
+    // (seen: `BTreeMap::get` → `ModelPool::get`, a phantom lock edge).
+    "get",
+    "insert",
+    "remove",
+    "contains",
+    "push",
 ];
 
 /// Resolve one call site from within `caller` to a unique definition,

@@ -1,0 +1,387 @@
+//! Per-function control-flow graphs over the [`crate::ast`] trees,
+//! plus a small forward dataflow engine.
+//!
+//! The CFG is built per statement: statement-position `if`/`match`/
+//! `while`/`for`/`loop` lower into diamonds and loop headers with back
+//! edges; `return` terminates the current block with an edge to the
+//! exit block; any statement containing a `?` (or an embedded
+//! `return`) additionally gets an early edge to the exit, modelling
+//! the propagated-error path. Expression-position control flow (a
+//! `let x = if …` initializer, closure bodies) stays inside its
+//! enclosing action — the dataflow analyses walk those sub-trees
+//! through the action's expression instead.
+//!
+//! Like the parser the CFG *over*-approximates paths (every loop can
+//! run zero times, every `loop` can break): a may-analysis over it
+//! therefore never misses a real path, which is the direction the
+//! R10/R12 rules need to stay sound-for-their-findings.
+
+use crate::ast::{walk_expr, Expr, Stmt};
+
+/// One atomic step inside a basic block.
+#[derive(Debug, Clone, Copy)]
+pub enum Action<'a> {
+    /// A `let` binding: names, declared type, initializer.
+    Bind {
+        /// The bound names (`["_"]` for a wildcard discard).
+        names: &'a [String],
+        /// Declared type annotation, when present.
+        ty: Option<&'a str>,
+        /// Initializer expression, when present.
+        init: Option<&'a Expr>,
+        /// Line of the `let`.
+        line: u32,
+    },
+    /// An evaluated expression. `used` is true when its value flows
+    /// onward (a function's trailing return expression or the tail of
+    /// a branch in return position) rather than being discarded.
+    Eval {
+        /// The expression.
+        expr: &'a Expr,
+        /// Is the value consumed by the enclosing context?
+        used: bool,
+    },
+}
+
+/// A basic block: straight-line actions and successor edges.
+#[derive(Debug, Default)]
+pub struct Block<'a> {
+    /// Actions in execution order.
+    pub actions: Vec<Action<'a>>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph. Block 0 is the entry; `exit` is
+/// a distinguished empty block every return path reaches.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// All blocks; index 0 is the entry.
+    pub blocks: Vec<Block<'a>>,
+    /// Index of the exit block.
+    pub exit: usize,
+}
+
+impl<'a> Cfg<'a> {
+    /// Build the CFG for a function body. `returns_value` marks the
+    /// trailing expression (and branch tails in that position) as
+    /// value-consuming, so analyses don't mistake `fn f() -> R { g() }`
+    /// for a dropped result.
+    pub fn build(body: &'a [Stmt], returns_value: bool) -> Cfg<'a> {
+        let mut b = Builder {
+            blocks: vec![Block::default(), Block::default()],
+            exit: 1,
+        };
+        let last = b.lower_stmts(body, 0, returns_value);
+        b.edge(last, b.exit);
+        Cfg {
+            blocks: b.blocks,
+            exit: b.exit,
+        }
+    }
+
+    /// Predecessor lists (for the dataflow engine).
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for &s in &self.blocks[i].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+struct Builder<'a> {
+    blocks: Vec<Block<'a>>,
+    exit: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Lower a statement list into blocks starting at `cur`; returns
+    /// the block control falls out of. `tail_used` marks the final
+    /// statement's value as consumed (function trailing expression).
+    fn lower_stmts(&mut self, stmts: &'a [Stmt], mut cur: usize, tail_used: bool) -> usize {
+        for (i, s) in stmts.iter().enumerate() {
+            let is_tail = tail_used && i + 1 == stmts.len();
+            cur = self.lower_stmt(s, cur, is_tail);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: &'a Stmt, cur: usize, tail_used: bool) -> usize {
+        match s {
+            Stmt::Let {
+                names,
+                ty,
+                init,
+                line,
+            } => {
+                self.blocks[cur].actions.push(Action::Bind {
+                    names,
+                    ty: ty.as_deref(),
+                    init: init.as_ref(),
+                    line: *line,
+                });
+                match init {
+                    Some(e) if has_early_exit(e) => self.split_for_early_exit(cur),
+                    _ => cur,
+                }
+            }
+            Stmt::Expr(e) => self.lower_expr(e, cur, tail_used),
+        }
+    }
+
+    /// Lower a statement-position expression. Control-flow constructs
+    /// get structural edges; everything else is a single action.
+    fn lower_expr(&mut self, e: &'a Expr, cur: usize, used: bool) -> usize {
+        match e {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.blocks[cur].actions.push(Action::Eval {
+                    expr: cond,
+                    used: true,
+                });
+                let cur = if has_early_exit(cond) {
+                    self.split_for_early_exit(cur)
+                } else {
+                    cur
+                };
+                let join = self.new_block();
+                let then_start = self.new_block();
+                self.edge(cur, then_start);
+                let then_end = self.lower_branch(then_branch, then_start, used);
+                self.edge(then_end, join);
+                match else_branch {
+                    Some(eb) => {
+                        let else_start = self.new_block();
+                        self.edge(cur, else_start);
+                        let else_end = self.lower_branch(eb, else_start, used);
+                        self.edge(else_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Expr::Match { scrut, arms, .. } => {
+                self.blocks[cur].actions.push(Action::Eval {
+                    expr: scrut,
+                    used: true,
+                });
+                let cur = if has_early_exit(scrut) {
+                    self.split_for_early_exit(cur)
+                } else {
+                    cur
+                };
+                let join = self.new_block();
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let start = self.new_block();
+                    self.edge(cur, start);
+                    let end = self.lower_branch(arm, start, used);
+                    self.edge(end, join);
+                }
+                join
+            }
+            Expr::While { cond, body, .. } => {
+                let header = self.new_block();
+                self.edge(cur, header);
+                self.blocks[header].actions.push(Action::Eval {
+                    expr: cond,
+                    used: true,
+                });
+                let header_out = if has_early_exit(cond) {
+                    self.split_for_early_exit(header)
+                } else {
+                    header
+                };
+                let body_start = self.new_block();
+                self.edge(header_out, body_start);
+                let body_end = self.lower_branch(body, body_start, false);
+                self.edge(body_end, header);
+                let after = self.new_block();
+                self.edge(header_out, after);
+                after
+            }
+            Expr::ForLoop { iter, body, .. } => {
+                let header = self.new_block();
+                self.edge(cur, header);
+                self.blocks[header].actions.push(Action::Eval {
+                    expr: iter,
+                    used: true,
+                });
+                let header_out = if has_early_exit(iter) {
+                    self.split_for_early_exit(header)
+                } else {
+                    header
+                };
+                let body_start = self.new_block();
+                self.edge(header_out, body_start);
+                let body_end = self.lower_branch(body, body_start, false);
+                self.edge(body_end, header);
+                let after = self.new_block();
+                self.edge(header_out, after);
+                after
+            }
+            Expr::Loop { body, .. } => {
+                let header = self.new_block();
+                self.edge(cur, header);
+                let body_end = self.lower_branch(body, header, false);
+                self.edge(body_end, header);
+                // Any `break` leaves the loop: over-approximate with an
+                // exit edge from the header.
+                let after = self.new_block();
+                self.edge(header, after);
+                after
+            }
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    self.blocks[cur].actions.push(Action::Eval {
+                        expr: v,
+                        used: true,
+                    });
+                }
+                self.edge(cur, self.exit);
+                // Code after an unconditional return is unreachable:
+                // keep building into a fresh, unconnected block.
+                self.new_block()
+            }
+            Expr::Block { stmts, .. } => self.lower_stmts(stmts, cur, used),
+            _ => {
+                self.blocks[cur]
+                    .actions
+                    .push(Action::Eval { expr: e, used });
+                if has_early_exit(e) {
+                    self.split_for_early_exit(cur)
+                } else {
+                    cur
+                }
+            }
+        }
+    }
+
+    /// Lower a branch body (a `Block`, an `else if`, or a bare arm
+    /// expression) starting in `start`.
+    fn lower_branch(&mut self, e: &'a Expr, start: usize, used: bool) -> usize {
+        match e {
+            Expr::Block { stmts, .. } => self.lower_stmts(stmts, start, used),
+            _ => self.lower_expr(e, start, used),
+        }
+    }
+
+    /// After an action that may early-return (`?` or an embedded
+    /// `return`), split the block: an edge to the exit models the
+    /// error path, fall-through continues in a new block.
+    fn split_for_early_exit(&mut self, cur: usize) -> usize {
+        self.edge(cur, self.exit);
+        let next = self.new_block();
+        self.edge(cur, next);
+        next
+    }
+}
+
+/// Does this expression contain a `?` or an embedded `return` (so
+/// evaluating it may leave the function early)?
+pub fn has_early_exit(e: &Expr) -> bool {
+    let mut found = false;
+    walk_expr(e, &mut |x| {
+        if matches!(x, Expr::Try { .. } | Expr::Ret { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------------
+// Forward dataflow
+// ---------------------------------------------------------------------------
+
+/// Solve a forward dataflow problem to fixpoint with a worklist.
+///
+/// `state` is the lattice value (join = `join`, must be monotone with
+/// `transfer` for termination); `transfer` maps a block's in-state to
+/// its out-state. Returns the in-state of every block. The entry's
+/// in-state is `init`; unreachable blocks keep `init` untouched.
+pub fn forward<S, T, J>(cfg: &Cfg, init: S, mut transfer: T, join: J) -> Vec<S>
+where
+    S: Clone + PartialEq,
+    T: FnMut(usize, &Block, &S) -> S,
+    J: Fn(&mut S, &S),
+{
+    let preds = cfg.preds();
+    let n = cfg.blocks.len();
+    let mut in_states: Vec<S> = vec![init.clone(); n];
+    let mut out_states: Vec<Option<S>> = vec![None; n];
+    let mut work: Vec<usize> = (0..n).collect();
+    // Bounded by lattice height in practice; the hard cap keeps a
+    // non-monotone transfer from looping forever.
+    let mut budget = n.saturating_mul(64) + 256;
+    while let Some(i) = work.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let mut state = init.clone();
+        for &p in &preds[i] {
+            if let Some(o) = &out_states[p] {
+                join(&mut state, o);
+            }
+        }
+        in_states[i] = state.clone();
+        let out = transfer(i, &cfg.blocks[i], &state);
+        if out_states[i].as_ref() != Some(&out) {
+            out_states[i] = Some(out);
+            for &s in &cfg.blocks[i].succs {
+                if !work.contains(&s) {
+                    work.push(s);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+/// The out-state that reaches the exit block (the in-state of `exit`),
+/// for analyses that only care about function end.
+pub fn exit_state<S, T, J>(cfg: &Cfg, init: S, transfer: T, join: J) -> S
+where
+    S: Clone + PartialEq,
+    T: FnMut(usize, &Block, &S) -> S,
+    J: Fn(&mut S, &S),
+{
+    let mut states = forward(cfg, init, transfer, join);
+    states.swap_remove(cfg.exit)
+}

@@ -1,0 +1,320 @@
+//! R10: determinism of the replay-critical call cone.
+//!
+//! The repo's headline guarantee is bit-for-bit replay: fault-matrix
+//! manifests, campaign cache keys, the desim schedule, and the serve
+//! loadtest digest must reproduce exactly from a seed. One stray
+//! `Instant::now()` or `HashMap` iteration feeding any of those
+//! silently breaks the guarantee, so R10 makes it structural: from a
+//! fixed set of replay-critical **root files** (manifest
+//! canonicalization, campaign cache keys, the desim rng/engine,
+//! faultsim plans, the loadgen schedule/digest) it walks the call
+//! graph forward and flags every nondeterministic value source in the
+//! reachable cone:
+//!
+//! - wall clock: `Instant::now()`, `SystemTime::now()`,
+//! - thread identity: `thread::current()`,
+//! - pool width: `available_parallelism()`, `current_num_threads()`,
+//! - unordered iteration: `.iter()`/`.keys()`/`for _ in m` over a
+//!   binding whose declared type or initializer is a
+//!   `HashMap`/`HashSet` (tracked with the value-source lattice over
+//!   the [`crate::cfg`] CFG).
+//!
+//! Legitimate timing-measurement sites (latency histograms around the
+//! deterministic work, not feeding any digest) opt out with a
+//! `// lint: wall-clock-ok` comment on the same or the preceding line.
+
+use crate::ast::{walk_expr, Expr};
+use crate::callgraph::CallGraph;
+use crate::cfg::{self, Action, Cfg};
+use crate::rules::{Rule, Violation};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Files whose every function is a replay-critical root.
+pub const R10_ROOT_FILES: &[&str] = &[
+    "crates/campaign/src/manifest.rs",
+    "crates/campaign/src/hash.rs",
+    "crates/desim/src/rng.rs",
+    "crates/desim/src/engine.rs",
+    "crates/faultsim/src/plan.rs",
+    "crates/serve/src/loadgen.rs",
+];
+
+/// The text of the escape-hatch comment.
+pub const WALL_CLOCK_OK: &str = "lint: wall-clock-ok";
+
+/// Per-file sets of lines on which a wall-clock finding is suppressed
+/// (the annotated line itself and the line after a comment-only
+/// annotation).
+pub type WallClockOk = HashMap<String, HashSet<u32>>;
+
+/// Scan raw sources for `// lint: wall-clock-ok` annotations. The
+/// lexer strips comments, so this runs over the untokenized text.
+pub fn collect_wall_clock_ok(sources: &[(String, String)]) -> WallClockOk {
+    let mut out: WallClockOk = HashMap::new();
+    for (rel, src) in sources {
+        let mut lines: HashSet<u32> = HashSet::new();
+        for (idx, line) in src.lines().enumerate() {
+            if line.contains(WALL_CLOCK_OK) {
+                let n = idx as u32 + 1;
+                lines.insert(n);
+                lines.insert(n + 1);
+            }
+        }
+        if !lines.is_empty() {
+            out.insert(rel.clone(), lines);
+        }
+    }
+    out
+}
+
+/// One nondeterministic value source found in a function body.
+struct NondetSite {
+    line: u32,
+    desc: String,
+    wall_clock: bool,
+}
+
+/// Run R10 over the workspace.
+pub fn check_r10(table: &SymbolTable, graph: &CallGraph, wall_ok: &WallClockOk) -> Vec<Violation> {
+    let roots: Vec<usize> = table
+        .fns
+        .iter()
+        .filter(|f| R10_ROOT_FILES.contains(&f.file.as_str()))
+        .map(|f| f.id)
+        .collect();
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let parent = graph.reachable(&roots);
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for sym in &table.fns {
+        if !parent.contains_key(&sym.id) {
+            continue;
+        }
+        let Some(body) = &sym.def.body else { continue };
+        let path: Vec<String> = CallGraph::path_to(&parent, sym.id)
+            .into_iter()
+            .map(|id| table.fns[id].display())
+            .collect();
+        let via = if path.len() > 1 {
+            format!(" (replay root path: {})", path.join(" -> "))
+        } else {
+            String::new()
+        };
+        for site in nondet_sites(sym, body) {
+            if site.wall_clock
+                && wall_ok
+                    .get(&sym.file)
+                    .is_some_and(|lines| lines.contains(&site.line))
+            {
+                continue;
+            }
+            if seen.insert((sym.file.clone(), site.line, site.desc.clone())) {
+                out.push(Violation {
+                    rule: Rule::R10,
+                    file: sym.file.clone(),
+                    line: site.line,
+                    msg: format!(
+                        "{} in replay-critical fn `{}`{via} — replace with a \
+                         deterministic source or sort before use",
+                        site.desc,
+                        sym.qual_name()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every nondeterministic site in one function body: direct wall-clock
+/// / thread-id / pool-width calls, plus unordered-container iteration
+/// found with the value-source lattice over the CFG.
+fn nondet_sites(sym: &crate::symbols::FnSym, body: &[crate::ast::Stmt]) -> Vec<NondetSite> {
+    let mut sites = Vec::new();
+
+    // Direct nondeterministic calls anywhere in the body.
+    crate::ast::walk_stmts(body, &mut |e| {
+        if let Some((desc, wall_clock)) = nondet_call(e) {
+            sites.push(NondetSite {
+                line: e.line(),
+                desc,
+                wall_clock,
+            });
+        }
+    });
+
+    // Unordered-container iteration: run the value-source lattice
+    // forward (set of bindings known to be HashMap/HashSet), then
+    // re-scan each block against its in-state.
+    let cfg = Cfg::build(body, !sym.def.ret_ty.is_empty());
+    let mut init: BTreeSet<String> = BTreeSet::new();
+    for p in &sym.def.params {
+        if is_unordered_ty(&p.ty) {
+            init.insert(p.name.clone());
+        }
+    }
+    let transfer = |_i: usize, blk: &cfg::Block, state: &BTreeSet<String>| {
+        let mut s = state.clone();
+        for a in &blk.actions {
+            apply_sources(a, &mut s);
+        }
+        s
+    };
+    let join = |a: &mut BTreeSet<String>, b: &BTreeSet<String>| {
+        a.extend(b.iter().cloned());
+    };
+    let in_states = cfg::forward(&cfg, init, transfer, join);
+    let reachable = cfg.reachable();
+    for (i, blk) in cfg.blocks.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let mut state = in_states[i].clone();
+        for a in &blk.actions {
+            let expr = match a {
+                Action::Bind { init: Some(e), .. } => Some(*e),
+                Action::Bind { .. } => None,
+                Action::Eval { expr, .. } => Some(*expr),
+            };
+            if let Some(e) = expr {
+                walk_expr(e, &mut |x| {
+                    if let Some((line, what)) = unordered_iteration(x, &state) {
+                        sites.push(NondetSite {
+                            line,
+                            desc: format!("unordered {what} iteration"),
+                            wall_clock: false,
+                        });
+                    }
+                });
+            }
+            apply_sources(a, &mut state);
+        }
+    }
+    sites
+}
+
+/// Is this expression a direct nondeterministic call? Returns the
+/// description and whether the `wall-clock-ok` escape hatch applies.
+fn nondet_call(e: &Expr) -> Option<(String, bool)> {
+    let Expr::Call { func, .. } = e else {
+        return None;
+    };
+    let Expr::Path { segs, .. } = func.as_ref() else {
+        return None;
+    };
+    let last = segs.last().map(String::as_str)?;
+    let prev = segs.len().checked_sub(2).map(|i| segs[i].as_str());
+    match (prev, last) {
+        (Some("Instant"), "now") => Some(("wall clock (`Instant::now()`)".to_string(), true)),
+        (Some("SystemTime"), "now") => Some(("wall clock (`SystemTime::now()`)".to_string(), true)),
+        (Some("thread"), "current") => {
+            Some(("thread identity (`thread::current()`)".to_string(), false))
+        }
+        (_, "available_parallelism") => {
+            Some(("pool width (`available_parallelism()`)".to_string(), false))
+        }
+        (_, "current_num_threads") => {
+            Some(("pool width (`current_num_threads()`)".to_string(), false))
+        }
+        _ => None,
+    }
+}
+
+/// Update the value-source set for one action: single-name `let`
+/// bindings gain membership when the declared type or initializer is
+/// an unordered container, and lose it on rebinding.
+fn apply_sources(a: &Action, state: &mut BTreeSet<String>) {
+    let Action::Bind {
+        names, ty, init, ..
+    } = a
+    else {
+        return;
+    };
+    let [name] = names else { return };
+    let unordered =
+        ty.is_some_and(is_unordered_ty) || init.is_some_and(|e| constructs_unordered(e).is_some());
+    if unordered {
+        state.insert(name.clone());
+    } else {
+        state.remove(name);
+    }
+}
+
+/// Does a rendered type mention an unordered std container?
+fn is_unordered_ty(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
+}
+
+/// Does this expression construct a `HashMap`/`HashSet` at its top
+/// level (`HashMap::new()`, `HashSet::with_capacity(n)`, …)? Returns
+/// the container name.
+fn constructs_unordered(e: &Expr) -> Option<&'static str> {
+    match e {
+        Expr::Call { func, .. } => {
+            let Expr::Path { segs, .. } = func.as_ref() else {
+                return None;
+            };
+            if segs.iter().any(|s| s == "HashMap") {
+                Some("HashMap")
+            } else if segs.iter().any(|s| s == "HashSet") {
+                Some("HashSet")
+            } else {
+                None
+            }
+        }
+        // `HashMap::from_iter(…)` spelled through a method chain, or a
+        // chained constructor (`HashMap::new().into_iter()` is handled
+        // at the iteration site).
+        Expr::Method { recv, .. } => constructs_unordered(recv),
+        Expr::Try { inner, .. } => constructs_unordered(inner),
+        _ => None,
+    }
+}
+
+/// Iteration methods whose order is arbitrary on unordered containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Is this expression an iteration over a known-unordered binding (or
+/// a freshly constructed unordered container)? Returns (line, what).
+fn unordered_iteration(e: &Expr, state: &BTreeSet<String>) -> Option<(u32, String)> {
+    match e {
+        Expr::Method {
+            recv, name, line, ..
+        } if ITER_METHODS.contains(&name.as_str()) => {
+            unordered_operand(recv, state).map(|what| (*line, format!("{what} `.{name}()`")))
+        }
+        Expr::ForLoop { iter, line, .. } => {
+            // `for k in map` / `for k in &map`.
+            let target = match iter.as_ref() {
+                Expr::Other { children, .. } if children.len() == 1 => &children[0],
+                other => other,
+            };
+            unordered_operand(target, state).map(|what| (*line, format!("`for` over {what}")))
+        }
+        _ => None,
+    }
+}
+
+/// Resolve an iteration receiver to an unordered source: a tracked
+/// binding name or an inline construction.
+fn unordered_operand(e: &Expr, state: &BTreeSet<String>) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 && state.contains(&segs[0]) => {
+            Some(format!("`{}`", segs[0]))
+        }
+        _ => constructs_unordered(e).map(|c| format!("fresh `{c}`")),
+    }
+}

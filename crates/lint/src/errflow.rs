@@ -1,0 +1,203 @@
+//! R12: swallowed-error detection over the CFG.
+//!
+//! A `Result` from a fallible operation must reach `?`, a `match`, or
+//! some consuming sink on **every** CFG path. The compiler's
+//! `#[must_use]` already catches a bare `fallible();` statement, but
+//! two swallowing idioms slip past it and past code review:
+//!
+//! - `let _ = fallible();` — explicitly silences `must_use`, and the
+//!   error disappears without a trace;
+//! - `let r = fallible();` followed by a branch where `r` is consumed
+//!   on one arm but silently dropped on the other.
+//!
+//! The second case is where the [`crate::cfg`] layer earns its keep: a
+//! forward may-analysis tracks pending `Result` bindings, any mention
+//! of the binding counts as consumption (deliberately generous — `?`,
+//! `match`, logging, or passing it on all mention the name), and a
+//! binding still pending in the exit block's in-state was dropped on
+//! at least one path.
+
+use crate::ast::{walk_expr, Expr, Stmt};
+use crate::callgraph::{resolve_method_call, resolve_path_call};
+use crate::cfg::{self, Action, Cfg};
+use crate::rules::{Rule, Violation};
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::BTreeSet;
+
+/// Method names that are fallible I/O regardless of receiver type.
+const FALLIBLE_METHODS: &[&str] = &[
+    "write_all",
+    "write_fmt",
+    "flush",
+    "sync_all",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "read_line",
+    "set_len",
+];
+
+/// Path-call prefixes that are fallible std I/O (`fs::write`,
+/// `File::create`, …).
+const FALLIBLE_PATH_PREFIXES: &[&str] = &["fs", "File", "OpenOptions"];
+
+/// Run R12 over every function in the workspace.
+pub fn check_r12(table: &SymbolTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for sym in &table.fns {
+        let Some(body) = &sym.def.body else { continue };
+        check_fn(table, sym, body, &mut out);
+    }
+    out
+}
+
+fn check_fn(table: &SymbolTable, sym: &FnSym, body: &[Stmt], out: &mut Vec<Violation>) {
+    let cfg = Cfg::build(body, !sym.def.ret_ty.is_empty());
+    let reachable = cfg.reachable();
+
+    // Immediate violations: `let _ = fallible()` and a dropped
+    // statement whose value is a fresh fallible Result.
+    for (i, blk) in cfg.blocks.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        for a in &blk.actions {
+            match a {
+                Action::Bind {
+                    names,
+                    init: Some(e),
+                    line,
+                    ..
+                } if names == &["_".to_string()] => {
+                    if let Some(what) = fallible_call(table, sym, e) {
+                        out.push(Violation {
+                            rule: Rule::R12,
+                            file: sym.file.clone(),
+                            line: *line,
+                            msg: format!(
+                                "`let _ =` swallows the fallible result of {what} in `{}` — \
+                                 propagate with `?`, match it, or log the error",
+                                sym.qual_name()
+                            ),
+                        });
+                    }
+                }
+                Action::Eval { expr, used: false } => {
+                    if let Some(what) = fallible_call(table, sym, expr) {
+                        out.push(Violation {
+                            rule: Rule::R12,
+                            file: sym.file.clone(),
+                            line: expr.line(),
+                            msg: format!(
+                                "result of {what} dropped on the floor in `{}` — \
+                                 propagate with `?`, match it, or log the error",
+                                sym.qual_name()
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Path-sensitive violations: a named Result binding that some path
+    // never mentions again. State = set of (name, bind line) pending.
+    let init: BTreeSet<(String, u32)> = BTreeSet::new();
+    let transfer = |_i: usize, blk: &cfg::Block, state: &BTreeSet<(String, u32)>| {
+        let mut s = state.clone();
+        for a in &blk.actions {
+            apply_action(table, sym, a, &mut s);
+        }
+        s
+    };
+    let join = |a: &mut BTreeSet<(String, u32)>, b: &BTreeSet<(String, u32)>| {
+        a.extend(b.iter().cloned());
+    };
+    for (name, line) in cfg::exit_state(&cfg, init, transfer, join) {
+        out.push(Violation {
+            rule: Rule::R12,
+            file: sym.file.clone(),
+            line,
+            msg: format!(
+                "fallible result bound to `{name}` in `{}` is never consumed on at least \
+                 one path — propagate with `?`, match it, or log the error",
+                sym.qual_name()
+            ),
+        });
+    }
+}
+
+/// Transfer for one action: mentions consume pending bindings, a new
+/// fallible single-name `let` starts tracking, rebinding clears.
+fn apply_action(table: &SymbolTable, sym: &FnSym, a: &Action, state: &mut BTreeSet<(String, u32)>) {
+    match a {
+        Action::Bind {
+            names, init, line, ..
+        } => {
+            if let Some(e) = init {
+                consume_mentions(e, state);
+            }
+            for n in names.iter() {
+                state.retain(|(p, _)| p != n);
+            }
+            if let [name] = names {
+                if name != "_" && init.is_some_and(|e| fallible_call(table, sym, e).is_some()) {
+                    state.insert((name.clone(), *line));
+                }
+            }
+        }
+        Action::Eval { expr, .. } => consume_mentions(expr, state),
+    }
+}
+
+/// Any mention of a pending name — in a `?`, a `match` scrutinee, a
+/// call argument, a log macro, a closure — counts as consumption.
+fn consume_mentions(e: &Expr, state: &mut BTreeSet<(String, u32)>) {
+    if state.is_empty() {
+        return;
+    }
+    walk_expr(e, &mut |x| {
+        if let Expr::Path { segs, .. } = x {
+            if let Some(first) = segs.first() {
+                state.retain(|(p, _)| p != first);
+            }
+        }
+    });
+}
+
+/// Is this expression, at its top level, a fallible call whose value
+/// is a `Result`? Returns a short description for the message.
+///
+/// Chained consumption (`f().ok()`, `f()?`) makes the *chain* the top
+/// level, so those never report; only a bare fallible call does.
+fn fallible_call(table: &SymbolTable, sym: &FnSym, e: &Expr) -> Option<String> {
+    match e {
+        Expr::Call { func, .. } => {
+            let Expr::Path { segs, .. } = func.as_ref() else {
+                return None;
+            };
+            if segs.len() >= 2 {
+                let prev = &segs[segs.len() - 2];
+                if FALLIBLE_PATH_PREFIXES.contains(&prev.as_str()) {
+                    return Some(format!("`{}()`", segs.join("::")));
+                }
+            }
+            let callee = resolve_path_call(table, sym, segs)?;
+            returns_result(table, callee).then(|| format!("`{}()`", segs.join("::")))
+        }
+        Expr::Method { name, .. } => {
+            if FALLIBLE_METHODS.contains(&name.as_str()) {
+                return Some(format!("`.{name}()`"));
+            }
+            let callee = resolve_method_call(table, sym, name)?;
+            returns_result(table, callee).then(|| format!("`.{name}()`"))
+        }
+        _ => None,
+    }
+}
+
+/// Does a workspace function's declared return type carry a `Result`?
+fn returns_result(table: &SymbolTable, id: usize) -> bool {
+    table.fns[id].def.ret_ty.contains("Result")
+}

@@ -33,8 +33,13 @@
 
 pub mod allowlist;
 pub mod ast;
+pub mod cache;
 pub mod callgraph;
+pub mod cfg;
+pub mod determinism;
+pub mod errflow;
 pub mod lexer;
+pub mod lockorder;
 pub mod report;
 pub mod rules;
 pub mod semantic;
@@ -83,6 +88,11 @@ pub struct LintReport {
     /// Structured findings absorbed by the allowlist, for JSON/SARIF
     /// rendering (marked suppressed there).
     pub suppressed_violations: Vec<Violation>,
+    /// Incremental-cache entries served from `target/lint-cache`
+    /// (zero when the cache is disabled).
+    pub cache_hits: usize,
+    /// Incremental-cache entries recomputed this run.
+    pub cache_misses: usize,
 }
 
 impl LintReport {
@@ -112,7 +122,7 @@ impl LintReport {
             .collect();
         out.push_str(&format!(
             "lint: {} file(s) checked, {} error(s), {} warning(s), \
-             {} suppressed by lint.allow (debt: {})\n",
+             {} suppressed by lint.allow (debt: {}), cache: {} hit(s) / {} miss(es)\n",
             self.files_checked,
             self.errors.len(),
             self.warnings.len(),
@@ -121,9 +131,20 @@ impl LintReport {
                 "none".to_string()
             } else {
                 debt.join(", ")
-            }
+            },
+            self.cache_hits,
+            self.cache_misses,
         ));
         out
+    }
+}
+
+/// Best-effort file removal: absence is fine, anything else is logged.
+pub(crate) fn best_effort_remove(path: &Path) {
+    match fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!("warning: could not remove {}: {e}", path.display()),
     }
 }
 
@@ -214,10 +235,40 @@ pub fn emit_callgraph_dot(root: &Path) -> io::Result<Result<String, Vec<String>>
     Ok(Ok(sem.graph.to_dot(&sem.table)))
 }
 
-/// Lint the whole workspace rooted at `root`. When `fix_allowlist` is
-/// set, `lint.allow` is rewritten to the actual current counts (the
-/// ratchet action) before budgets are evaluated.
+/// Build the semantic model for the workspace and render the R11
+/// lock-acquisition-order graph as Graphviz DOT (`--emit-lockgraph`).
+/// Parse errors are returned as `Err` strings.
+pub fn emit_lockgraph_dot(root: &Path) -> io::Result<Result<String, Vec<String>>> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().into_owned(),
+        };
+        sources.push((rel, fs::read_to_string(&path)?));
+    }
+    let sem = semantic::analyze(&sources);
+    if !sem.errors.is_empty() {
+        return Ok(Err(sem.errors));
+    }
+    Ok(Ok(sem.lock_graph().to_dot()))
+}
+
+/// Lint the whole workspace rooted at `root`, using the incremental
+/// cache. When `fix_allowlist` is set, `lint.allow` is rewritten to
+/// the actual current counts (the ratchet action) before budgets are
+/// evaluated.
 pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport> {
+    lint_workspace_with(root, fix_allowlist, true)
+}
+
+/// [`lint_workspace`] with the `target/lint-cache` incremental cache
+/// switchable (`--no-cache`).
+pub fn lint_workspace_with(
+    root: &Path,
+    fix_allowlist: bool,
+    use_cache: bool,
+) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     let mut violations: Vec<Violation> = Vec::new();
 
@@ -231,41 +282,81 @@ pub fn lint_workspace(root: &Path, fix_allowlist: bool) -> io::Result<LintReport
         };
         sources.push((rel, fs::read_to_string(&path)?));
     }
+    let mut cache = use_cache.then(|| cache::LintCache::open(root, &sources));
 
-    // R1–R4 over every library source file.
+    // R1–R4 over every library source file, cached per file.
     for (rel, src) in &sources {
         report.files_checked += 1;
+        if let Some(v) = cache.as_mut().and_then(|c| c.get_file(rel, src)) {
+            violations.extend(v);
+            continue;
+        }
         match lint_source(rel, src) {
-            Ok(v) => violations.extend(v),
+            Ok(v) => {
+                if let Some(c) = &cache {
+                    c.put_file(rel, src, &v);
+                }
+                violations.extend(v);
+            }
             Err(e) => report.errors.push(e),
         }
     }
 
-    // R6–R9: the semantic pass. Parse failures are hard errors — the
-    // parser must stay total over the workspace or the call graph
-    // silently loses functions.
-    let sem = semantic::analyze(&sources);
-    for e in &sem.errors {
-        report.errors.push(format!("parse error: {e}"));
-    }
-    violations.extend(sem.check_all(EXPERIMENTS_FILE));
+    // R5–R12: the whole-workspace pass, cached as a single entry keyed
+    // by every source (interprocedural rules can't be cached per file).
+    let semantic_key = cache.as_ref().map(|c| c.workspace_key(&sources));
+    let cached_semantic = match (cache.as_mut(), semantic_key) {
+        (Some(c), Some(k)) => c.get_semantic(k),
+        _ => None,
+    };
+    if let Some(v) = cached_semantic {
+        violations.extend(v);
+    } else {
+        let mut sem_violations: Vec<Violation> = Vec::new();
+        let mut sem_errors = false;
 
-    // R5: experiment registry vs dispatch vs summary job.
-    let experiments_path = root.join(EXPERIMENTS_FILE);
-    if experiments_path.is_file() {
-        let src = fs::read_to_string(&experiments_path)?;
-        let summary = fs::read_to_string(root.join(CAMPAIGN_FILE))
-            .ok()
-            .and_then(|s| lexer::lex(&s).ok())
-            .and_then(|t| rules::summary_job_name(&t));
-        match lexer::lex(&src) {
-            Ok(tokens) => violations.extend(rules::check_r5(
-                EXPERIMENTS_FILE,
-                &tokens,
-                summary.as_deref(),
-            )),
-            Err(e) => report.errors.push(format!("{EXPERIMENTS_FILE}: {e}")),
+        // R6–R12: the semantic pass. Parse failures are hard errors —
+        // the parser must stay total over the workspace or the call
+        // graph silently loses functions.
+        let sem = semantic::analyze(&sources);
+        for e in &sem.errors {
+            report.errors.push(format!("parse error: {e}"));
+            sem_errors = true;
         }
+        sem_violations.extend(sem.check_all(EXPERIMENTS_FILE));
+
+        // R5: experiment registry vs dispatch vs summary job.
+        let experiments_path = root.join(EXPERIMENTS_FILE);
+        if experiments_path.is_file() {
+            let src = fs::read_to_string(&experiments_path)?;
+            let summary = fs::read_to_string(root.join(CAMPAIGN_FILE))
+                .ok()
+                .and_then(|s| lexer::lex(&s).ok())
+                .and_then(|t| rules::summary_job_name(&t));
+            match lexer::lex(&src) {
+                Ok(tokens) => sem_violations.extend(rules::check_r5(
+                    EXPERIMENTS_FILE,
+                    &tokens,
+                    summary.as_deref(),
+                )),
+                Err(e) => {
+                    report.errors.push(format!("{EXPERIMENTS_FILE}: {e}"));
+                    sem_errors = true;
+                }
+            }
+        }
+        // Hard errors are reported through `report.errors`, which the
+        // cache entry does not carry — only clean analyses are stored.
+        if !sem_errors {
+            if let (Some(c), Some(k)) = (&cache, semantic_key) {
+                c.put_semantic(k, &sem_violations);
+            }
+        }
+        violations.extend(sem_violations);
+    }
+    if let Some(c) = &cache {
+        report.cache_hits = c.hits;
+        report.cache_misses = c.misses;
     }
 
     // Group violations per (rule, file) for budget accounting.

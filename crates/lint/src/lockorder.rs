@@ -1,0 +1,554 @@
+//! R11: workspace-wide lock-acquisition-order analysis.
+//!
+//! R9 checks what happens *under* one lock; R11 generalizes to the
+//! relationships *between* locks. Every `.lock()`/`.read()`/`.write()`
+//! acquisition in the `campaign`/`thermal`/`serve`/`core` crates gets
+//! a stable identity derived from its receiver (`self.field` in
+//! `impl T` → `crate::T.field`, a static → `crate::NAME`, any other
+//! field chain → `crate::field`). The scan then records:
+//!
+//! - an **order edge** `A → B` whenever `B` is acquired while `A` is
+//!   held, both directly and through a call edge (using per-function
+//!   transitive acquisition sets over the call graph, so a helper
+//!   that locks on the callee side still orders after the holder);
+//! - a **re-entry** finding when a function calls, while holding `A`,
+//!   into a callee whose transitive acquisition set contains `A`
+//!   (a self-deadlock on non-reentrant `std` mutexes);
+//! - a **cycle** finding for every cycle in the resulting lock graph
+//!   (two functions taking the same pair of locks in opposite orders
+//!   can deadlock under concurrency).
+//!
+//! The graph itself dumps as Graphviz DOT via `--emit-lockgraph`.
+
+use crate::ast::{Expr, Stmt};
+use crate::callgraph::{resolve_method_call, resolve_path_call, CallGraph};
+use crate::rules::{Rule, Violation};
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Crates whose lock population R11 analyzes.
+pub const R11_CRATES: &[&str] = &["campaign", "thermal", "serve", "core"];
+
+/// The lock-acquisition-order graph, plus provenance for diagnostics.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Edge `A → B` ⇒ `B` was acquired (possibly through calls) while
+    /// `A` was held; the value is one witness `file:line (fn)`.
+    pub edges: BTreeMap<(String, String), String>,
+}
+
+impl LockGraph {
+    /// All lock identities appearing in the graph.
+    pub fn nodes(&self) -> BTreeSet<&str> {
+        self.edges
+            .keys()
+            .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+            .collect()
+    }
+
+    /// Render as Graphviz DOT (deterministic ordering).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph lockorder {\n    rankdir=LR;\n");
+        for n in self.nodes() {
+            out.push_str(&format!("    \"{n}\";\n"));
+        }
+        for ((a, b), why) in &self.edges {
+            out.push_str(&format!("    \"{a}\" -> \"{b}\" [label=\"{why}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Find one representative cycle per strongly-connected knot, as a
+    /// list of lock names `a → b → … → a`. Empty when acyclic.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut cycles = Vec::new();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        for &start in adj.keys().collect::<Vec<_>>().iter() {
+            if done.contains(start) {
+                continue;
+            }
+            // Iterative DFS with an explicit path stack.
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            let mut path: Vec<&str> = vec![start];
+            let mut on_path: BTreeSet<&str> = BTreeSet::new();
+            on_path.insert(start);
+            while let Some((node, idx)) = stack.pop() {
+                let next = adj.get(node).and_then(|v| v.get(idx)).copied();
+                match next {
+                    Some(succ) => {
+                        stack.push((node, idx + 1));
+                        if on_path.contains(succ) {
+                            // Found a cycle: slice the path from succ.
+                            let from = path.iter().position(|n| *n == succ).unwrap_or(0);
+                            let mut cyc: Vec<String> =
+                                path[from..].iter().map(|s| s.to_string()).collect();
+                            cyc.push(succ.to_string());
+                            cycles.push(cyc);
+                            for n in &path {
+                                done.insert(*n);
+                            }
+                            stack.clear();
+                        } else if !done.contains(succ) {
+                            stack.push((succ, 0));
+                            path.push(succ);
+                            on_path.insert(succ);
+                        }
+                    }
+                    None => {
+                        done.insert(node);
+                        if path.last() == Some(&node) {
+                            path.pop();
+                            on_path.remove(node);
+                        }
+                    }
+                }
+            }
+        }
+        cycles
+    }
+}
+
+/// A lock currently held during the scan of one function.
+#[derive(Debug, Clone)]
+struct Held {
+    id: String,
+    /// Guard binding name (temporary guards have none and die with
+    /// their statement).
+    guard: Option<String>,
+    line: u32,
+}
+
+/// Scan results prior to interprocedural closure.
+struct FnLockInfo {
+    /// Lock ids this function acquires directly anywhere in its body.
+    direct: BTreeSet<String>,
+    /// `(held lock id, callee fn id, line)` — calls made under a lock.
+    calls_under: Vec<(String, usize, u32)>,
+}
+
+/// Run R11: returns the violations and the lock graph (for DOT).
+pub fn check_r11(table: &SymbolTable, graph: &CallGraph) -> (Vec<Violation>, LockGraph) {
+    let mut lg = LockGraph::default();
+    let mut out = Vec::new();
+    let mut infos: HashMap<usize, FnLockInfo> = HashMap::new();
+
+    // Pass 1: intraprocedural — direct order edges, direct acquisition
+    // sets, and the call-under-lock events.
+    for sym in &table.fns {
+        if !R11_CRATES.contains(&sym.krate.as_str()) {
+            continue;
+        }
+        let Some(body) = &sym.def.body else { continue };
+        let mut scan = Scan {
+            sym,
+            table,
+            info: FnLockInfo {
+                direct: BTreeSet::new(),
+                calls_under: Vec::new(),
+            },
+            held: Vec::new(),
+            lg: &mut lg,
+            out: &mut out,
+        };
+        scan.block(body);
+        infos.insert(sym.id, scan.info);
+    }
+
+    // Pass 2: interprocedural — close acquisition sets over the call
+    // graph, then turn calls-under-lock into order edges / re-entry
+    // findings.
+    let transitive = transitive_acquires(graph, &infos);
+    for (&caller, info) in infos.iter().collect::<BTreeMap<_, _>>() {
+        let sym = &table.fns[caller];
+        for (held_id, callee, line) in &info.calls_under {
+            let Some(acquired) = transitive.get(callee) else {
+                continue;
+            };
+            for lock in acquired {
+                if lock == held_id {
+                    out.push(Violation {
+                        rule: Rule::R11,
+                        file: sym.file.clone(),
+                        line: *line,
+                        msg: format!(
+                            "`{}` calls `{}` while holding `{held_id}`, and the callee can \
+                             re-acquire that lock — self-deadlock on a non-reentrant mutex",
+                            sym.qual_name(),
+                            table.fns[*callee].qual_name()
+                        ),
+                    });
+                } else {
+                    lg.edges
+                        .entry((held_id.clone(), lock.clone()))
+                        .or_insert_with(|| {
+                            format!(
+                                "{}:{} ({} -> {})",
+                                sym.file,
+                                line,
+                                sym.qual_name(),
+                                table.fns[*callee].qual_name()
+                            )
+                        });
+                }
+            }
+        }
+    }
+
+    // Pass 3: cycles in the combined graph.
+    for cyc in lg.cycles() {
+        let witness = cyc
+            .windows(2)
+            .find_map(|w| lg.edges.get(&(w[0].clone(), w[1].clone())))
+            .cloned()
+            .unwrap_or_default();
+        let (file, line) = witness
+            .split_once(':')
+            .and_then(|(f, rest)| {
+                let line = rest
+                    .split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse()
+                    .ok()?;
+                Some((f.to_string(), line))
+            })
+            .unwrap_or_else(|| ("lint.allow".to_string(), 0));
+        out.push(Violation {
+            rule: Rule::R11,
+            file,
+            line,
+            msg: format!(
+                "lock-order cycle: {} — two paths can take these locks in \
+                 opposite orders and deadlock (witness edge at {witness})",
+                cyc.join(" -> ")
+            ),
+        });
+    }
+
+    (out, lg)
+}
+
+/// Close each function's acquisition set over everything it can reach
+/// in the call graph (memoized per needed callee).
+fn transitive_acquires(
+    graph: &CallGraph,
+    infos: &HashMap<usize, FnLockInfo>,
+) -> HashMap<usize, BTreeSet<String>> {
+    let needed: BTreeSet<usize> = infos
+        .values()
+        .flat_map(|i| i.calls_under.iter().map(|(_, c, _)| *c))
+        .collect();
+    let mut out = HashMap::new();
+    for &callee in &needed {
+        let parent = graph.reachable(&[callee]);
+        let mut acc = BTreeSet::new();
+        for id in parent.keys() {
+            if let Some(info) = infos.get(id) {
+                acc.extend(info.direct.iter().cloned());
+            }
+        }
+        out.insert(callee, acc);
+    }
+    out
+}
+
+struct Scan<'a> {
+    sym: &'a FnSym,
+    table: &'a SymbolTable,
+    info: FnLockInfo,
+    held: Vec<Held>,
+    lg: &'a mut LockGraph,
+    out: &'a mut Vec<Violation>,
+}
+
+impl Scan<'_> {
+    fn block(&mut self, stmts: &[Stmt]) {
+        let base = self.held.len();
+        for s in stmts {
+            match s {
+                Stmt::Let { names, init, .. } => {
+                    if let Some(e) = init {
+                        let guard = names.first().cloned();
+                        let before = self.held.len();
+                        self.expr(e, guard.as_deref());
+                        // Temporary acquisitions inside the initializer
+                        // beyond the persisted guard die with the
+                        // statement.
+                        self.drop_temporaries(before);
+                    }
+                }
+                Stmt::Expr(e) => {
+                    if let Some(g) = dropped_guard(e) {
+                        if let Some(pos) = self
+                            .held
+                            .iter()
+                            .rposition(|h| h.guard.as_deref() == Some(g.as_str()))
+                        {
+                            self.held.remove(pos);
+                            continue;
+                        }
+                    }
+                    let before = self.held.len();
+                    self.expr(e, None);
+                    self.drop_temporaries(before);
+                }
+            }
+        }
+        self.held.truncate(base);
+    }
+
+    /// Drop locks acquired after `before` that have no guard binding.
+    fn drop_temporaries(&mut self, before: usize) {
+        let mut i = before;
+        while i < self.held.len() {
+            if self.held[i].guard.is_none() {
+                self.held.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Record a new acquisition: order edges from everything held,
+    /// re-entry finding if already held, then push.
+    fn acquire(&mut self, id: String, guard: Option<&str>, line: u32) {
+        self.info.direct.insert(id.clone());
+        for h in &self.held {
+            if h.id == id {
+                self.out.push(Violation {
+                    rule: Rule::R11,
+                    file: self.sym.file.clone(),
+                    line,
+                    msg: format!(
+                        "`{}` re-acquires `{id}` (already held since line {}) — \
+                         self-deadlock on a non-reentrant mutex",
+                        self.sym.qual_name(),
+                        h.line
+                    ),
+                });
+            } else {
+                self.lg
+                    .edges
+                    .entry((h.id.clone(), id.clone()))
+                    .or_insert_with(|| {
+                        format!("{}:{} ({})", self.sym.file, line, self.sym.qual_name())
+                    });
+            }
+        }
+        self.held.push(Held {
+            id,
+            guard: guard.map(str::to_string),
+            line,
+        });
+    }
+
+    /// Walk one expression under the current held set. `guard` is the
+    /// binding name acquisitions in this expression persist under
+    /// (set for `let` initializers).
+    fn expr(&mut self, e: &Expr, guard: Option<&str>) {
+        match e {
+            Expr::Block { stmts, .. } => {
+                self.block(stmts);
+                return;
+            }
+            Expr::Method {
+                recv,
+                name,
+                args,
+                line,
+            } if args.is_empty() && matches!(name.as_str(), "lock" | "read" | "write") => {
+                // Evaluate the receiver first (it may itself lock).
+                self.expr(recv, None);
+                if let Some(id) = lock_id(recv, self.sym) {
+                    self.acquire(id, guard, *line);
+                }
+                return;
+            }
+            _ => {}
+        }
+        // Calls made while locks are held: record for the
+        // interprocedural pass.
+        if !self.held.is_empty() {
+            if let Some(callee) = self.resolve_call(e) {
+                let ids: Vec<String> = self.held.iter().map(|h| h.id.clone()).collect();
+                for id in ids {
+                    self.info.calls_under.push((id, callee, e.line()));
+                }
+            }
+        }
+        // Guard-returning helpers: `let g = self.lock_helper();` keeps
+        // the callee's locks held in this scope.
+        if guard.is_some() {
+            if let Some(callee) = self.resolve_call(e) {
+                let def = &self.table.fns[callee].def;
+                if def.ret_ty.contains("Guard") {
+                    for id in helper_direct_locks(&self.table.fns[callee]) {
+                        self.acquire(id, guard, e.line());
+                    }
+                }
+            }
+        }
+        // Generic recursion.
+        match e {
+            Expr::Call { func, args, .. } => {
+                self.expr(func, None);
+                for a in args {
+                    self.expr(a, guard);
+                }
+            }
+            Expr::Method { recv, args, .. } => {
+                self.expr(recv, guard);
+                for a in args {
+                    self.expr(a, None);
+                }
+            }
+            Expr::Field { base, .. } => self.expr(base, guard),
+            Expr::Index { base, index, .. } => {
+                self.expr(base, None);
+                self.expr(index, None);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, guard);
+                self.expr(rhs, None);
+            }
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.expr(a, None);
+                }
+            }
+            Expr::ForLoop { iter, body, .. } => {
+                self.expr(iter, None);
+                self.expr(body, None);
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.expr(cond, guard);
+                self.expr(then_branch, None);
+                if let Some(eb) = else_branch {
+                    self.expr(eb, None);
+                }
+            }
+            Expr::Match { scrut, arms, .. } => {
+                self.expr(scrut, guard);
+                for a in arms {
+                    self.expr(a, None);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                self.expr(cond, None);
+                self.expr(body, None);
+            }
+            Expr::Loop { body, .. } => self.expr(body, None),
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v, None);
+                }
+            }
+            Expr::Try { inner, .. } => self.expr(inner, guard),
+            Expr::Other { children, .. } => {
+                for c in children {
+                    self.expr(c, None);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Block { .. } => {}
+        }
+    }
+
+    /// Resolve a call expression to a workspace function id.
+    fn resolve_call(&self, e: &Expr) -> Option<usize> {
+        match e {
+            Expr::Call { func, .. } => match func.as_ref() {
+                Expr::Path { segs, .. } => resolve_path_call(self.table, self.sym, segs),
+                _ => None,
+            },
+            Expr::Method { name, .. } => resolve_method_call(self.table, self.sym, name),
+            _ => None,
+        }
+    }
+}
+
+/// Locks a guard-returning helper acquires directly in its own body.
+fn helper_direct_locks(sym: &FnSym) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(body) = &sym.def.body {
+        crate::ast::walk_stmts(body, &mut |e| {
+            if let Expr::Method {
+                recv, name, args, ..
+            } = e
+            {
+                if args.is_empty() && matches!(name.as_str(), "lock" | "read" | "write") {
+                    if let Some(id) = lock_id(recv, sym) {
+                        out.push(id);
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Stable identity for the lock behind an acquisition receiver.
+///
+/// - `self.field` in `impl T` → `crate::T.field`
+/// - any other `….field` chain → `crate::field`
+/// - a path (static or imported) → `crate::PATH`
+/// - a call result (`stderr().lock()`) → `crate::fn()`
+///
+/// Local `let m = Mutex::new(…)` receivers resolve to the variable
+/// name scoped by the function, so unrelated locals never unify.
+fn lock_id(recv: &Expr, sym: &FnSym) -> Option<String> {
+    match recv {
+        Expr::Field { base, name, .. } => match base.as_ref() {
+            Expr::Path { segs, .. } if segs.len() == 1 && segs[0] == "self" => {
+                match &sym.def.qual {
+                    Some(q) => Some(format!("{}::{q}.{name}", sym.krate)),
+                    None => Some(format!("{}::{name}", sym.krate)),
+                }
+            }
+            _ => Some(format!("{}::{name}", sym.krate)),
+        },
+        Expr::Path { segs, .. } => {
+            let last = segs.last()?;
+            if last.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+                Some(format!("{}::{last}", sym.krate))
+            } else {
+                // A local variable: scope by function so two unrelated
+                // locals in different functions stay distinct.
+                Some(format!("{}::{}::{last}", sym.krate, sym.def.name))
+            }
+        }
+        Expr::Call { func, .. } => match func.as_ref() {
+            Expr::Path { segs, .. } => Some(format!("{}::{}()", sym.krate, segs.last()?)),
+            _ => None,
+        },
+        Expr::Method { name, .. } => Some(format!("{}::{name}()", sym.krate)),
+        Expr::Try { inner, .. } | Expr::Index { base: inner, .. } => lock_id(inner, sym),
+        Expr::Other { children, .. } if children.len() == 1 => lock_id(&children[0], sym),
+        _ => None,
+    }
+}
+
+/// `drop(g)` on a plain identifier: the released guard name.
+fn dropped_guard(e: &Expr) -> Option<String> {
+    let Expr::Call { func, args, .. } = e else {
+        return None;
+    };
+    let Expr::Path { segs, .. } = func.as_ref() else {
+        return None;
+    };
+    if segs.len() != 1 || segs[0] != "drop" || args.len() != 1 {
+        return None;
+    }
+    let Expr::Path { segs: g, .. } = &args[0] else {
+        return None;
+    };
+    (g.len() == 1).then(|| g[0].clone())
+}

@@ -11,6 +11,9 @@
 //! | R7   | unit suffixes stay dimensionally consistent through arithmetic |
 //! | R8   | every experiment fn is reachable from CLI dispatch and vice versa |
 //! | R9   | no I/O, spawn, or cross-crate solver call under a live scheduler lock |
+//! | R10  | no nondeterministic value source reachable from a replay-critical root |
+//! | R11  | lock-acquisition order stays acyclic; no re-entrant holds across calls |
+//! | R12  | every fallible `Result` reaches `?`, `match`, or a sink on every path |
 //!
 //! R1–R5 are token-stream scans; R6–R9 run on the AST / call graph and
 //! live in [`crate::semantic`].
@@ -43,6 +46,12 @@ pub enum Rule {
     R8,
     /// Blocking operation while a scheduler lock guard is live.
     R9,
+    /// Nondeterministic value source reachable from a replay root.
+    R10,
+    /// Lock-order cycle or re-entrant acquisition across call edges.
+    R11,
+    /// Fallible `Result` dropped on the floor on some path.
+    R12,
 }
 
 impl Rule {
@@ -58,6 +67,9 @@ impl Rule {
             Rule::R7 => "R7",
             Rule::R8 => "R8",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
+            Rule::R12 => "R12",
         }
     }
 
@@ -72,6 +84,9 @@ impl Rule {
         Rule::R7,
         Rule::R8,
         Rule::R9,
+        Rule::R10,
+        Rule::R11,
+        Rule::R12,
     ];
 
     /// Parse an allowlist rule column.
@@ -86,6 +101,9 @@ impl Rule {
             "R7" => Some(Rule::R7),
             "R8" => Some(Rule::R8),
             "R9" => Some(Rule::R9),
+            "R10" => Some(Rule::R10),
+            "R11" => Some(Rule::R11),
+            "R12" => Some(Rule::R12),
             _ => None,
         }
     }
@@ -102,6 +120,11 @@ impl Rule {
             Rule::R7 => "unit suffixes must stay dimensionally consistent through arithmetic",
             Rule::R8 => "every experiment fn must be reachable from CLI dispatch and vice versa",
             Rule::R9 => "no file I/O, Command spawn, or solver call under a live scheduler lock",
+            Rule::R10 => {
+                "no wall-clock, unordered iteration, or thread-id value may reach a replay root"
+            }
+            Rule::R11 => "lock-acquisition-order graph must stay acyclic with no re-entrant holds",
+            Rule::R12 => "a fallible Result must reach `?`, `match`, or a sink on every path",
         }
     }
 }

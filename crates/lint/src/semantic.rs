@@ -15,6 +15,9 @@
 
 use crate::ast::{leftmost, walk_stmts, Expr, FnDef, Stmt};
 use crate::callgraph::{resolve_method_call, resolve_path_call, CallGraph};
+use crate::determinism::{self, WallClockOk};
+use crate::errflow;
+use crate::lockorder::{self, LockGraph};
 use crate::rules::{Rule, Violation, DIMENSIONLESS_SEGMENTS, UNIT_SEGMENTS};
 use crate::symbols::{FnSym, SymbolTable};
 use std::collections::HashSet;
@@ -35,28 +38,46 @@ pub struct Semantic {
     /// Files that failed to lex or parse (the parser is expected to be
     /// total; any entry here fails CI).
     pub errors: Vec<String>,
+    /// Per-file lines where `// lint: wall-clock-ok` suppresses an R10
+    /// wall-clock finding (scanned from raw sources, since the lexer
+    /// strips comments).
+    pub wall_clock_ok: WallClockOk,
 }
 
 /// Build the semantic model from `(rel_path, source)` pairs.
 pub fn analyze(sources: &[(String, String)]) -> Semantic {
     let (table, errors) = SymbolTable::build(sources);
     let graph = CallGraph::build(&table);
+    let wall_clock_ok = determinism::collect_wall_clock_ok(sources);
     Semantic {
         table,
         graph,
         errors,
+        wall_clock_ok,
     }
 }
 
 impl Semantic {
-    /// Run R6–R9. `experiments_file` is the workspace-relative path of
+    /// Run R6–R12. `experiments_file` is the workspace-relative path of
     /// the experiment registry module (R8's scope).
     pub fn check_all(&self, experiments_file: &str) -> Vec<Violation> {
         let mut v = check_r6(&self.table, &self.graph);
         v.extend(check_r7(&self.table));
         v.extend(check_r8(&self.table, &self.graph, experiments_file));
         v.extend(check_r9(&self.table, &self.graph));
+        v.extend(determinism::check_r10(
+            &self.table,
+            &self.graph,
+            &self.wall_clock_ok,
+        ));
+        v.extend(lockorder::check_r11(&self.table, &self.graph).0);
+        v.extend(errflow::check_r12(&self.table));
         v
+    }
+
+    /// The R11 lock-acquisition-order graph (for `--emit-lockgraph`).
+    pub fn lock_graph(&self) -> LockGraph {
+        lockorder::check_r11(&self.table, &self.graph).1
     }
 }
 
@@ -264,6 +285,7 @@ pub fn check_r7(table: &SymbolTable) -> Vec<Violation> {
                 names,
                 init: Some(init),
                 line,
+                ..
             } = s
             else {
                 return;
@@ -378,6 +400,35 @@ fn check_additive(sym: &FnSym, e: &Expr, contaminated: bool, out: &mut Vec<Viola
             check_additive(sym, iter, false, out);
             check_additive(sym, body, false, out);
         }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            check_additive(sym, cond, false, out);
+            check_additive(sym, then_branch, false, out);
+            if let Some(e) = else_branch {
+                check_additive(sym, e, false, out);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            check_additive(sym, scrut, false, out);
+            for a in arms {
+                check_additive(sym, a, false, out);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            check_additive(sym, cond, false, out);
+            check_additive(sym, body, false, out);
+        }
+        Expr::Loop { body, .. } => check_additive(sym, body, false, out),
+        Expr::Ret { value, .. } => {
+            if let Some(v) = value {
+                check_additive(sym, v, false, out);
+            }
+        }
+        Expr::Try { inner, .. } => check_additive(sym, inner, contaminated, out),
         Expr::Other { children, .. } => {
             for c in children {
                 check_additive(sym, c, false, out);
@@ -437,6 +488,8 @@ fn tail_of(e: &Expr) -> Tail {
         {
             tail_of(recv)
         }
+        // `?` is dimension-transparent.
+        Expr::Try { inner, .. } => tail_of(inner),
         _ => Tail::Other,
     }
 }
@@ -486,6 +539,35 @@ fn for_each_stmt_expr(e: &Expr, f: &mut dyn FnMut(&Stmt)) {
             for_each_stmt_expr(iter, f);
             for_each_stmt_expr(body, f);
         }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for_each_stmt_expr(cond, f);
+            for_each_stmt_expr(then_branch, f);
+            if let Some(e) = else_branch {
+                for_each_stmt_expr(e, f);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            for_each_stmt_expr(scrut, f);
+            for a in arms {
+                for_each_stmt_expr(a, f);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            for_each_stmt_expr(cond, f);
+            for_each_stmt_expr(body, f);
+        }
+        Expr::Loop { body, .. } => for_each_stmt_expr(body, f),
+        Expr::Ret { value, .. } => {
+            if let Some(v) = value {
+                for_each_stmt_expr(v, f);
+            }
+        }
+        Expr::Try { inner, .. } => for_each_stmt_expr(inner, f),
         Expr::Other { children, .. } => {
             for c in children {
                 for_each_stmt_expr(c, f);
@@ -612,7 +694,9 @@ fn scan_r9_block(
     let scope_base = guards.len();
     for s in stmts {
         match s {
-            Stmt::Let { names, init, line } => {
+            Stmt::Let {
+                names, init, line, ..
+            } => {
                 if let Some(e) = init {
                     check_r9_expr(sym, table, reaches_solver, e, guards, out);
                     if acquires_guard(e) {
@@ -731,6 +815,35 @@ fn check_r9_expr(
             check_r9_expr(sym, table, reaches_solver, iter, guards, out);
             check_r9_expr(sym, table, reaches_solver, body, guards, out);
         }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            check_r9_expr(sym, table, reaches_solver, cond, guards, out);
+            check_r9_expr(sym, table, reaches_solver, then_branch, guards, out);
+            if let Some(e) = else_branch {
+                check_r9_expr(sym, table, reaches_solver, e, guards, out);
+            }
+        }
+        Expr::Match { scrut, arms, .. } => {
+            check_r9_expr(sym, table, reaches_solver, scrut, guards, out);
+            for a in arms {
+                check_r9_expr(sym, table, reaches_solver, a, guards, out);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            check_r9_expr(sym, table, reaches_solver, cond, guards, out);
+            check_r9_expr(sym, table, reaches_solver, body, guards, out);
+        }
+        Expr::Loop { body, .. } => check_r9_expr(sym, table, reaches_solver, body, guards, out),
+        Expr::Ret { value, .. } => {
+            if let Some(v) = value {
+                check_r9_expr(sym, table, reaches_solver, v, guards, out);
+            }
+        }
+        Expr::Try { inner, .. } => check_r9_expr(sym, table, reaches_solver, inner, guards, out),
         Expr::Other { children, .. } => {
             for c in children {
                 check_r9_expr(sym, table, reaches_solver, c, guards, out);

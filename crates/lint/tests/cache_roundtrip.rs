@@ -1,0 +1,61 @@
+//! The incremental cache must hit for every file (and the semantic
+//! entry) on an unchanged tree, and invalidate on any edit.
+
+use immersion_lint::lint_workspace_with;
+use std::fs;
+use std::path::PathBuf;
+
+/// A throwaway single-file workspace under the system temp dir.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> TempWorkspace {
+        let root =
+            std::env::temp_dir().join(format!("lint-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("src")).expect("mkdir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+        fs::write(root.join("src/lib.rs"), "pub fn ok() -> u64 { 1 }\n").expect("source");
+        TempWorkspace { root }
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn unchanged_tree_hits_for_every_file_and_the_semantic_entry() {
+    let ws = TempWorkspace::new("warm");
+    let cold = lint_workspace_with(&ws.root, false, true).expect("cold run");
+    assert!(cold.is_clean(), "{:?}", cold.errors);
+    // One per-file entry plus the semantic entry, all cold.
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, cold.files_checked + 1);
+
+    let warm = lint_workspace_with(&ws.root, false, true).expect("warm run");
+    assert_eq!(warm.cache_misses, 0, "warm run recomputed something");
+    assert_eq!(warm.cache_hits, warm.files_checked + 1);
+}
+
+#[test]
+fn an_edit_invalidates_the_file_and_semantic_entries() {
+    let ws = TempWorkspace::new("edit");
+    lint_workspace_with(&ws.root, false, true).expect("cold run");
+    fs::write(ws.root.join("src/lib.rs"), "pub fn ok() -> u64 { 2 }\n").expect("edit");
+    let after = lint_workspace_with(&ws.root, false, true).expect("post-edit run");
+    // The edited file and the workspace-wide semantic entry both miss.
+    assert_eq!(after.cache_misses, 2, "{after:?}");
+}
+
+#[test]
+fn disabling_the_cache_reports_no_traffic() {
+    let ws = TempWorkspace::new("off");
+    let report = lint_workspace_with(&ws.root, false, false).expect("uncached run");
+    assert_eq!(report.cache_hits + report.cache_misses, 0);
+    assert!(!ws.root.join("target/lint-cache").exists());
+}

@@ -1,0 +1,147 @@
+//! Structural tests for the per-function CFG builder and the forward
+//! dataflow engine: if/else diamonds, loop back edges, early `return`,
+//! and `?` splits.
+
+use immersion_lint::ast::{parse_file, Stmt};
+use immersion_lint::cfg::{forward, Action, Cfg};
+use immersion_lint::lexer::lex;
+use std::collections::BTreeSet;
+
+fn body_of(src: &str) -> Vec<Stmt> {
+    let tokens = lex(src).expect("fixture lexes");
+    let file = parse_file(&tokens).expect("fixture parses");
+    assert_eq!(file.fns.len(), 1, "one fn per fixture");
+    file.fns[0].body.clone().expect("fn has a body")
+}
+
+/// Does any block have an edge back to an earlier block (a loop)?
+fn has_back_edge(cfg: &Cfg) -> bool {
+    cfg.blocks
+        .iter()
+        .enumerate()
+        .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != cfg.exit))
+}
+
+/// Blocks (other than straight-line predecessors of exit) that jump to
+/// the exit — early-return/`?` edges.
+fn blocks_reaching_exit(cfg: &Cfg) -> usize {
+    cfg.blocks
+        .iter()
+        .filter(|b| b.succs.contains(&cfg.exit))
+        .count()
+}
+
+#[test]
+fn if_else_builds_a_diamond() {
+    let body = body_of(
+        "fn f(x: u64) -> u64 {\n\
+         let mut out = 0;\n\
+         if x > 1 { out = 1; } else { out = 2; }\n\
+         out\n}",
+    );
+    let cfg = Cfg::build(&body, true);
+    // Entry must branch two ways (then/else), and both arms must be
+    // reachable.
+    let branching = cfg.blocks.iter().filter(|b| b.succs.len() >= 2).count();
+    assert!(branching >= 1, "no branch block: {cfg:?}");
+    let reach = cfg.reachable();
+    assert!(reach[cfg.exit], "exit unreachable: {cfg:?}");
+    assert!(
+        cfg.blocks.len() >= 5,
+        "diamond needs entry/then/else/join/exit: {cfg:?}"
+    );
+}
+
+#[test]
+fn while_and_for_loops_have_back_edges() {
+    let while_cfg_body = body_of(
+        "fn f(mut x: u64) -> u64 {\n\
+         while x > 0 { x -= 1; }\n\
+         x\n}",
+    );
+    let cfg = Cfg::build(&while_cfg_body, true);
+    assert!(
+        has_back_edge(&cfg),
+        "while loop lost its back edge: {cfg:?}"
+    );
+
+    let for_body = body_of(
+        "fn f(xs: &[u64]) -> u64 {\n\
+         let mut acc = 0;\n\
+         for x in xs { acc += x; }\n\
+         acc\n}",
+    );
+    let cfg = Cfg::build(&for_body, true);
+    assert!(has_back_edge(&cfg), "for loop lost its back edge: {cfg:?}");
+}
+
+#[test]
+fn early_return_edges_to_exit_and_marks_tail_unreachable() {
+    let body = body_of(
+        "fn f(x: u64) -> u64 {\n\
+         if x == 0 { return 7; }\n\
+         x + 1\n}",
+    );
+    let cfg = Cfg::build(&body, true);
+    // Both the return inside the branch and the natural fall-out edge
+    // reach the exit.
+    assert!(
+        blocks_reaching_exit(&cfg) >= 2,
+        "return edge missing: {cfg:?}"
+    );
+}
+
+#[test]
+fn question_mark_splits_the_block_with_an_exit_edge() {
+    let no_try = body_of("fn f() -> u64 { let a = g(); a }");
+    let with_try = body_of("fn f() -> Result<u64, E> { let a = g()?; Ok(a) }");
+    let plain = Cfg::build(&no_try, true);
+    let split = Cfg::build(&with_try, true);
+    assert!(
+        blocks_reaching_exit(&split) > blocks_reaching_exit(&plain),
+        "`?` added no early-exit edge: {split:?}"
+    );
+}
+
+#[test]
+fn forward_dataflow_unions_branch_facts_and_terminates_on_loops() {
+    let body = body_of(
+        "fn f(c: bool) -> u64 {\n\
+         if c { let lhs = 1; } else { let rhs = 2; }\n\
+         while c { let inner = 3; }\n\
+         0\n}",
+    );
+    let cfg = Cfg::build(&body, true);
+    // May-analysis: collect every name ever bound along any path.
+    let exit_names = immersion_lint::cfg::exit_state(
+        &cfg,
+        BTreeSet::<String>::new(),
+        |_, blk, state| {
+            let mut s = state.clone();
+            for a in &blk.actions {
+                if let Action::Bind { names, .. } = a {
+                    s.extend(names.iter().cloned());
+                }
+            }
+            s
+        },
+        |a, b| a.extend(b.iter().cloned()),
+    );
+    for name in ["lhs", "rhs", "inner"] {
+        assert!(exit_names.contains(name), "{name} missing: {exit_names:?}");
+    }
+}
+
+#[test]
+fn forward_returns_in_states_for_every_block() {
+    let body = body_of("fn f() -> u64 { let a = 1; a }");
+    let cfg = Cfg::build(&body, true);
+    let states = forward(
+        &cfg,
+        0usize,
+        |_, blk, s| s + blk.actions.len(),
+        |a, b| *a = (*a).max(*b),
+    );
+    assert_eq!(states.len(), cfg.blocks.len());
+    assert!(states[cfg.exit] >= 1, "exit saw no actions: {states:?}");
+}

@@ -1,0 +1,28 @@
+//! R10 fixture (violating): wall clock, unordered iteration over a
+//! parameter, and unordered iteration over a local binding — all in a
+//! file the test presents as a replay-critical root.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn seed_material() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn digest_counts(counts: &HashMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (_k, v) in counts.iter() {
+        acc = acc.wrapping_mul(31).wrapping_add(*v);
+    }
+    acc
+}
+
+pub fn local_map_iteration() -> u64 {
+    let mut m = HashMap::new();
+    m.insert("a", 1u64);
+    let mut acc = 0u64;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+//! R10 fixture (clean): ordered containers everywhere and the one
+//! timing site annotated with the escape hatch.
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub fn digest_counts(counts: &BTreeMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (_k, v) in counts.iter() {
+        acc = acc.wrapping_mul(31).wrapping_add(*v);
+    }
+    acc
+}
+
+pub fn timed_section() -> u64 {
+    let t = Instant::now(); // lint: wall-clock-ok
+    let _elapsed = t.elapsed();
+    42
+}

@@ -1,0 +1,36 @@
+//! R11 fixture (violating): two functions take the same pair of locks
+//! in opposite orders (a cycle), and a third calls a helper that
+//! re-acquires a lock the caller already holds.
+pub struct Hub {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl Hub {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        combine(ga, gb)
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        combine(ga, gb)
+    }
+
+    pub fn tick(&self) {
+        let g = self.a.lock();
+        self.bump();
+        drop(g);
+    }
+
+    pub fn bump(&self) {
+        let g = self.a.lock();
+        drop(g);
+    }
+}
+
+fn combine(_x: std::sync::LockResult<std::sync::MutexGuard<u64>>, _y: u64) -> u64 {
+    0
+}

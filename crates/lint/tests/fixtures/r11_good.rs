@@ -1,0 +1,33 @@
+//! R11 fixture (clean): every path takes the locks in the same order
+//! and guards are dropped before any re-acquisition.
+pub struct Hub {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl Hub {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        combine(ga, gb)
+    }
+
+    pub fn also_forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        combine(ga, gb)
+    }
+
+    pub fn scoped(&self) {
+        {
+            let g = self.a.lock();
+            drop(g);
+        }
+        let g2 = self.a.lock();
+        drop(g2);
+    }
+}
+
+fn combine(_x: std::sync::LockResult<std::sync::MutexGuard<u64>>, _y: u64) -> u64 {
+    0
+}

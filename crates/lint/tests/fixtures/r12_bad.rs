@@ -1,0 +1,24 @@
+//! R12 fixture (violating): a `let _ =` swallow, a bare dropped
+//! Result, and a binding consumed on only one of two paths.
+pub fn save(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::write(path, bytes);
+}
+
+pub fn branchy(path: &std::path::Path, fast: bool) -> u64 {
+    let r = std::fs::read_to_string(path);
+    if fast {
+        return match r {
+            Ok(s) => s.len() as u64,
+            Err(_) => 0,
+        };
+    }
+    7
+}
+
+fn helper() -> Result<u64, String> {
+    Ok(1)
+}
+
+pub fn fire_and_forget() {
+    helper();
+}

@@ -1,0 +1,29 @@
+//! R12 fixture (clean): every fallible result reaches `?`, a `match`,
+//! or a logged sink on every path.
+pub fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+pub fn save_logged(path: &std::path::Path, bytes: &[u8]) {
+    if let Err(e) = std::fs::write(path, bytes) {
+        eprintln!("write failed: {e}");
+    }
+}
+
+pub fn consumed_on_both(path: &std::path::Path) -> u64 {
+    let r = std::fs::read_to_string(path);
+    match r {
+        Ok(s) => s.len() as u64,
+        Err(_) => 0,
+    }
+}
+
+fn helper() -> Result<u64, String> {
+    Ok(1)
+}
+
+pub fn propagated() -> Result<u64, String> {
+    let n = helper()?;
+    Ok(n + 1)
+}

@@ -382,7 +382,7 @@ fn solve_deduped(
     if delay_ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(delay_ms.min(MAX_DELAY_MS)));
     }
-    let started = Instant::now();
+    let started = Instant::now(); // lint: wall-clock-ok
     let output = match compute() {
         Ok(v) => v,
         Err(e) => {
@@ -584,7 +584,7 @@ pub fn handler(state: Arc<ServeState>) -> Handler {
     Arc::new(move |req: &Request| {
         state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlight::enter(&state.metrics);
-        let started = Instant::now();
+        let started = Instant::now(); // lint: wall-clock-ok
         let resp = route(&state, req);
         state
             .metrics

@@ -121,7 +121,7 @@ impl ServeMatrixReport {
 
 /// Boot a single-threaded cell server with a fresh state dir.
 fn boot(state_dir: PathBuf) -> Result<Running, String> {
-    let _ = std::fs::remove_dir_all(&state_dir);
+    crate::clean_scratch(&state_dir);
     start(&ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 1,

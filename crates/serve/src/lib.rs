@@ -64,6 +64,21 @@ impl Default for ServeConfig {
     }
 }
 
+/// Remove a scratch directory ahead of a fresh run. Absence is the
+/// normal case; any other failure is logged rather than swallowed —
+/// if the directory is truly unusable the subsequent create fails
+/// loudly anyway.
+pub(crate) fn clean_scratch(dir: &std::path::Path) {
+    match std::fs::remove_dir_all(dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!(
+            "warning: could not clean scratch dir {}: {e}",
+            dir.display()
+        ),
+    }
+}
+
 /// A running service: the HTTP handle plus its shared state.
 pub struct Running {
     /// The transport handle (bound address, shutdown).

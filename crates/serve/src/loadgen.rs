@@ -191,7 +191,9 @@ fn run_clients(
     plan: &[Planned],
     clients: usize,
 ) -> Result<Vec<Observation>, String> {
-    let epoch = Instant::now();
+    // Client-side latency measurement around the deterministic plan;
+    // timings feed the observation histogram, never the digest.
+    let epoch = Instant::now(); // lint: wall-clock-ok
     let mut handles = Vec::new();
     for k in 0..clients.max(1) {
         let mine: Vec<Planned> = plan
@@ -210,7 +212,7 @@ fn run_clients(
                     if elapsed < target {
                         std::thread::sleep(target - elapsed);
                     }
-                    let sent = Instant::now();
+                    let sent = Instant::now(); // lint: wall-clock-ok
                     let resp = client
                         .send("POST", p.path, p.body.as_bytes())
                         .map_err(|e| format!("POST {} failed: {e}", p.path))?;
@@ -262,7 +264,7 @@ pub fn run_loadtest(cfg: &LoadConfig) -> Result<Value, String> {
         cfg.seed,
         RUN_SEQ.fetch_add(1, Ordering::Relaxed),
     ));
-    let _ = std::fs::remove_dir_all(&scratch);
+    crate::clean_scratch(&scratch);
     let running = start(&ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: cfg.threads,
@@ -272,7 +274,7 @@ pub fn run_loadtest(cfg: &LoadConfig) -> Result<Value, String> {
     .map_err(|e| format!("loadtest server failed to start: {e}"))?;
     let addr = running.addr();
 
-    let wall = Instant::now();
+    let wall = Instant::now(); // lint: wall-clock-ok
     let outcome = run_clients(addr, &plan, cfg.clients);
     let wall_ms = wall.elapsed().as_millis() as u64;
 
@@ -380,7 +382,7 @@ pub fn run_loadtest(cfg: &LoadConfig) -> Result<Value, String> {
     let batch: Vec<Value> = m.batch_counts().iter().map(|&c| Value::U64(c)).collect();
     timing.insert("batch_size_buckets".to_string(), Value::Seq(batch));
 
-    let _ = std::fs::remove_dir_all(&scratch);
+    crate::clean_scratch(&scratch);
 
     let mut root = BTreeMap::new();
     root.insert(

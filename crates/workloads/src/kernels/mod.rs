@@ -80,11 +80,19 @@ pub fn run_all(class: Class, threads: usize) -> Vec<KernelResult> {
 /// Run `f` on a scoped rayon pool of `threads` threads (the OpenMP
 /// `OMP_NUM_THREADS` analogue).
 pub(crate) fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
+    match rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("rayon pool")
-        .install(f)
+    {
+        Ok(pool) => pool.install(f),
+        // Pool creation only fails when the OS refuses to spawn
+        // threads; every kernel is still correct (just slower) on the
+        // caller's thread.
+        Err(e) => {
+            eprintln!("warning: rayon pool unavailable ({e}); running sequentially");
+            f()
+        }
+    }
 }
 
 #[cfg(test)]
