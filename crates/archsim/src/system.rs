@@ -336,12 +336,13 @@ impl System {
                     core.id, core.state, core.pending, core.prefetch_inflight, self.barrier_count
                 );
             }
-            panic!(
-                "simulation drained with {} of {} threads unfinished — protocol deadlock",
-                self.done_count,
-                self.cores.len()
-            );
         }
+        assert!(
+            self.done_count == self.cores.len(),
+            "simulation drained with {} of {} threads unfinished — protocol deadlock",
+            self.done_count,
+            self.cores.len()
+        );
         self.collect_stats()
     }
 
@@ -355,10 +356,12 @@ impl System {
                 self.queue.schedule(t, 1, Ev::Step(c));
                 return;
             }
-            let op = self.traces[c as usize]
-                .as_mut()
-                .expect("trace present while core alive")
-                .next();
+            let op = match self.traces[c as usize].as_mut() {
+                Some(trace) => trace.next(),
+                // A Step event for a core whose stream is gone is a
+                // stale wakeup; there is nothing left to retire.
+                None => return,
+            };
             let core = &mut self.cores[c as usize];
             match op {
                 None => {
@@ -613,19 +616,21 @@ impl System {
                 // A grant answers the demand only when the line matches
                 // AND the state suffices: a store must wait for its M
                 // grant, not a racing prefetch's E/S grant.
-                let is_demand = core
-                    .pending
-                    .map(|p| p.line == msg.line && (!p.is_write || to_state == L1State::M))
-                    .unwrap_or(false);
+                let is_demand = match core.pending.as_mut() {
+                    Some(p) if p.line == msg.line && (!p.is_write || to_state == L1State::M) => {
+                        p.have_data = true;
+                        p.acks_needed += acks_expected as i64;
+                        p.granted = if p.is_write { L1State::M } else { to_state };
+                        true
+                    }
+                    _ => false,
+                };
                 if is_demand {
-                    let p = core.pending.as_mut().expect("pending checked");
-                    p.have_data = true;
-                    p.acks_needed += acks_expected as i64;
-                    p.granted = if p.is_write { L1State::M } else { to_state };
                     self.maybe_finish_transaction(c, now);
                 } else {
                     // Prefetch fill (or a late duplicate): install
                     // without waking the core.
+                    let core = &mut self.cores[c as usize];
                     core.prefetch_inflight.remove(&msg.line);
                     self.install_line(c, msg.line, to_state, now);
                 }
@@ -657,10 +662,11 @@ impl System {
         if !self.cores[c as usize].transaction_complete() {
             return;
         }
-        let p = self.cores[c as usize]
-            .pending
-            .take()
-            .expect("pending checked");
+        let Some(p) = self.cores[c as usize].pending.take() else {
+            // transaction_complete() treats an idle core as complete;
+            // with nothing pending there is nothing to install.
+            return;
+        };
         let latency_ps = now.saturating_sub(p.started).as_ps();
         self.cores[c as usize].stats.miss_latency_ps += latency_ps;
         self.miss_latency_hist.record(latency_ps / 1000); // ns buckets
@@ -924,17 +930,21 @@ impl System {
     }
 
     fn mem_done(&mut self, b: u32, line: u64, now: Time) {
-        let busy = self.banks[b as usize]
-            .busy
-            .get(&line)
-            .expect("MemDone for an idle line");
+        let Some(busy) = self.banks[b as usize].busy.get(&line) else {
+            // Each begin_mem schedules exactly one MemDone, so an idle
+            // line here means the entry was already resolved; the
+            // completion is stale and carries no grant to deliver.
+            return;
+        };
         let BusyKind::AwaitMem {
             req,
             acks,
             was_sharer,
         } = busy.kind
         else {
-            panic!("MemDone while awaiting owner");
+            // Only begin_mem schedules MemDone, and it always installs
+            // an AwaitMem entry for the line.
+            unreachable!("MemDone while awaiting owner");
         };
         // Install the fetched line in L2, recalling any victim.
         let victim = {

@@ -150,6 +150,18 @@ pub enum Command {
         /// Skip the `target/lint-cache` incremental cache.
         no_cache: bool,
     },
+    /// Run the concurrency-sanitizer scenario and cross-validate the
+    /// dynamic lock graph against the static R11 graph.
+    Sanitize {
+        /// Extra contended rounds after the base scenario.
+        stress: usize,
+        /// Seed for the faultsim plan and stress-key rotation.
+        seed: u64,
+        /// Artifact directory.
+        out: String,
+        /// Rewrite `sanitize.ratchet` to the achieved coverage.
+        fix_ratchet: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -258,6 +270,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 no_cache: has("--no-cache"),
             })
         }
+        "sanitize" => Ok(Command::Sanitize {
+            stress: num("--stress", "0")? as usize,
+            seed: num("--seed", "42")? as u64,
+            out: get_or("--out", "target/sanitize"),
+            fix_ratchet: has("--fix-ratchet"),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -278,7 +296,8 @@ pub fn usage() -> String {
        serve       [--addr HOST:PORT] [--threads N] [--loadtest] [--seed N] [--requests N]\n\
                    [--clients N] [--out PATH] [--check BASELINE]\n\
        lint        [--fix-allowlist] [--format text|json|sarif] [--emit-callgraph PATH]\n\
-                   [--emit-lockgraph PATH] [--no-cache]"
+                   [--emit-lockgraph PATH] [--no-cache]\n\
+       sanitize    [--stress N] [--seed N] [--out DIR] [--fix-ratchet]"
         .to_string()
 }
 
@@ -433,6 +452,17 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 Err(text)
             }
         }
+        Command::Sanitize {
+            stress,
+            seed,
+            out,
+            fix_ratchet,
+        } => crate::sanitize::run_and_report(&crate::sanitize::SanitizeConfig {
+            stress,
+            seed,
+            out: std::path::PathBuf::from(out),
+            fix_ratchet,
+        }),
         Command::Faultsim {
             seed,
             matrix,
@@ -724,6 +754,33 @@ mod tests {
                 chips: 4,
                 cooling: "water".into(),
                 flip: false
+            }
+        );
+    }
+
+    #[test]
+    fn parses_sanitize() {
+        let cmd = parse(&args(
+            "sanitize --stress 500 --seed 7 --out scratch --fix-ratchet",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sanitize {
+                stress: 500,
+                seed: 7,
+                out: "scratch".into(),
+                fix_ratchet: true
+            }
+        );
+        let cmd = parse(&args("sanitize")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sanitize {
+                stress: 0,
+                seed: 42,
+                out: "target/sanitize".into(),
+                fix_ratchet: false
             }
         );
     }

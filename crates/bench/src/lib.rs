@@ -13,6 +13,7 @@ pub mod campaign;
 pub mod cli;
 pub mod experiments;
 pub mod faultharness;
+pub mod sanitize;
 pub mod thermal_bench;
 
 pub use campaign::{build_campaign, SUMMARY_JOB};

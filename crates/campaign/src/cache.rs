@@ -92,7 +92,16 @@ impl Cache {
             Err(_) => return Lookup::Miss,
         };
         match serde_json::from_slice::<CacheEntry>(&bytes) {
-            Ok(entry) => Lookup::Hit(Box::new(entry)),
+            Ok(entry) => {
+                // A successful read observes the publishing store's
+                // atomic rename; tell the sanitizer so cross-thread
+                // reuse of a cached entry is ordered after its write.
+                immersion_sanitizer::sync_read(
+                    "campaign::Cache.entry",
+                    immersion_sanitizer::key_id(key),
+                );
+                Lookup::Hit(Box::new(entry))
+            }
             Err(_) => {
                 // Quarantine, preserving the corrupt bytes for
                 // inspection. If even the rename fails, fall back to
@@ -124,6 +133,9 @@ impl Cache {
             return result.map(|()| path);
         }
         atomic_write(&path, json.as_bytes())?;
+        // Publication point: the rename inside `atomic_write` is what
+        // a later `lookup` of this key synchronizes with.
+        immersion_sanitizer::sync_write("campaign::Cache.entry", immersion_sanitizer::key_id(key));
         Ok(path)
     }
 

@@ -9,12 +9,12 @@ use crate::glob::glob_match;
 use crate::hash::cache_key;
 use crate::job::{Job, JobCtx};
 use immersion_faultsim as faultsim;
+use immersion_sanitizer::{TrackedCondvar, TrackedMutex};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// How a campaign run should execute.
@@ -178,8 +178,8 @@ struct State {
 struct Shared<'a> {
     jobs: &'a [Job],
     dependents: Vec<Vec<usize>>,
-    state: Mutex<State>,
-    wake: Condvar,
+    state: TrackedMutex<State>,
+    wake: TrackedCondvar,
 }
 
 /// Select the jobs to run: those matching `filter` (all, if none)
@@ -312,15 +312,18 @@ pub(crate) fn run(
     let shared = Shared {
         jobs,
         dependents,
-        state: Mutex::new(State {
-            ready,
-            pending,
-            records: vec![None; jobs.len()],
-            outputs: vec![None; jobs.len()],
-            keys: vec![None; jobs.len()],
-            remaining: n_selected,
-        }),
-        wake: Condvar::new(),
+        state: TrackedMutex::new(
+            "campaign::state",
+            State {
+                ready,
+                pending,
+                records: vec![None; jobs.len()],
+                outputs: vec![None; jobs.len()],
+                keys: vec![None; jobs.len()],
+                remaining: n_selected,
+            },
+        ),
+        wake: TrackedCondvar::new(),
     };
 
     let workers = match opts.workers {
@@ -329,11 +332,23 @@ pub(crate) fn run(
     }
     .min(n_selected.max(1));
 
+    // Sanitizer fork/join: each scoped worker is a task of this
+    // region, so accesses before the scope happen-before the workers
+    // and worker effects happen-before the report assembly below.
+    let san = immersion_sanitizer::fork();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(&shared, opts, cache.as_ref(), on_event));
+            scope.spawn(|| {
+                immersion_sanitizer::task_start(san);
+                worker(&shared, opts, cache.as_ref(), on_event);
+                immersion_sanitizer::task_end(san);
+            });
         }
     });
+    immersion_sanitizer::join(san);
+    // Every worker joined above, so the per-run state cell is dead;
+    // retire it so a later run reusing the allocation starts clean.
+    immersion_sanitizer::retire("campaign::state", immersion_sanitizer::obj_id(&shared));
 
     // --- Assemble the report.
     //
@@ -396,6 +411,10 @@ fn worker(
                 .state
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            immersion_sanitizer::shared_write(
+                "campaign::state",
+                immersion_sanitizer::obj_id(shared),
+            );
             idx = loop {
                 if let Some(i) = st.ready.pop_front() {
                     break i;
@@ -612,6 +631,7 @@ fn finish(
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        immersion_sanitizer::shared_write("campaign::state", immersion_sanitizer::obj_id(shared));
         st.keys[idx] = record.key.clone();
         st.records[idx] = Some(record);
         st.outputs[idx] = output;

@@ -46,6 +46,12 @@
 /// Typed physical units, re-exported from `immersion-units`.
 pub use immersion_units as units;
 
+/// The workspace concurrency sanitizer, re-exported so downstream
+/// crates (serve, bench) reach the tracked lock wrappers and the
+/// arming API through the contribution layer.
+pub use immersion_sanitizer as sanitizer;
+pub use immersion_sanitizer::{TrackedCondvar, TrackedMutex, TrackedRwLock};
+
 pub mod design;
 pub mod dtm;
 pub mod explorer;

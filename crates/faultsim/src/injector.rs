@@ -11,10 +11,11 @@
 
 use crate::plan::{site_matches, FaultKind, FaultPlan, Trigger};
 use immersion_desim::SplitMix64;
+use immersion_sanitizer::{TrackedMutex, TrackedMutexGuard};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// Fast-path flag: `probe` returns `None` immediately while false.
 static ARMED: AtomicBool = AtomicBool::new(false);
@@ -37,17 +38,17 @@ struct Active {
     hits: Vec<FaultHit>,
 }
 
-fn state() -> &'static Mutex<Option<Active>> {
-    static STATE: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
-    STATE.get_or_init(|| Mutex::new(None))
+fn state() -> &'static TrackedMutex<Option<Active>> {
+    static STATE: OnceLock<TrackedMutex<Option<Active>>> = OnceLock::new();
+    STATE.get_or_init(|| TrackedMutex::new("faultsim::state()", None))
 }
 
-fn exclusivity() -> &'static Mutex<()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
+fn exclusivity() -> &'static TrackedMutex<()> {
+    static LOCK: OnceLock<TrackedMutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| TrackedMutex::new("faultsim::exclusivity()", ()))
 }
 
-fn lock_state() -> MutexGuard<'static, Option<Active>> {
+fn lock_state() -> TrackedMutexGuard<'static, Option<Active>> {
     // Injected panics unwind through probe callers, never through this
     // lock's critical sections, so poison here means a bug in the
     // injector itself; the state is still coherent either way.
@@ -58,7 +59,7 @@ fn lock_state() -> MutexGuard<'static, Option<Active>> {
 /// guard drops. Holding it also excludes every other would-be
 /// installer, so concurrent tests serialize instead of interleaving.
 pub struct Armed {
-    _exclusive: MutexGuard<'static, ()>,
+    _exclusive: TrackedMutexGuard<'static, ()>,
 }
 
 impl Armed {
@@ -222,6 +223,7 @@ pub fn with_quiet_injected_panics<T>(f: impl FnOnce() -> T) -> T {
 mod tests {
     use super::*;
     use crate::plan::FaultRule;
+    use std::sync::{Mutex, MutexGuard};
 
     // The injector is process-global; serialize these tests fully so
     // assertions about the disarmed state cannot race a concurrent

@@ -18,6 +18,14 @@
 //!   (two functions taking the same pair of locks in opposite orders
 //!   can deadlock under concurrency).
 //!
+//! Re-entrant `RwLock::read` while a read guard on the same lock is
+//! held is **flagged, not whitelisted**: `std::sync::RwLock` makes no
+//! reentrancy guarantee, and on writer-priority implementations a
+//! writer queued between the two reads blocks the second read while
+//! the first guard blocks the writer — deadlock. The finding carries a
+//! distinct message so it can be triaged separately from write
+//! re-entry.
+//!
 //! The graph itself dumps as Graphviz DOT via `--emit-lockgraph`.
 
 use crate::ast::{Expr, Stmt};
@@ -27,7 +35,15 @@ use crate::symbols::{FnSym, SymbolTable};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Crates whose lock population R11 analyzes.
-pub const R11_CRATES: &[&str] = &["campaign", "thermal", "serve", "core"];
+pub const R11_CRATES: &[&str] = &["campaign", "thermal", "serve", "core", "faultsim"];
+
+/// How an acquisition takes the lock: `.read()` is shared, everything
+/// else (`.lock()`, `.write()`) exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcqMode {
+    Read,
+    Write,
+}
 
 /// The lock-acquisition-order graph, plus provenance for diagnostics.
 #[derive(Debug, Default)]
@@ -121,6 +137,7 @@ struct Held {
     /// their statement).
     guard: Option<String>,
     line: u32,
+    mode: AcqMode,
 }
 
 /// Scan results prior to interprocedural closure.
@@ -315,20 +332,34 @@ impl Scan<'_> {
 
     /// Record a new acquisition: order edges from everything held,
     /// re-entry finding if already held, then push.
-    fn acquire(&mut self, id: String, guard: Option<&str>, line: u32) {
+    fn acquire(&mut self, id: String, guard: Option<&str>, line: u32, mode: AcqMode) {
         self.info.direct.insert(id.clone());
         for h in &self.held {
             if h.id == id {
-                self.out.push(Violation {
-                    rule: Rule::R11,
-                    file: self.sym.file.clone(),
-                    line,
-                    msg: format!(
+                let msg = if h.mode == AcqMode::Read && mode == AcqMode::Read {
+                    // Deliberately flagged, not whitelisted: std makes
+                    // no read-reentrancy promise, and a writer queued
+                    // between the two reads deadlocks both.
+                    format!(
+                        "`{}` re-acquires read lock `{id}` (read guard held since line {}) — \
+                         std RwLock readers are not reentrant: a writer queued between the \
+                         two reads blocks the second read and deadlocks",
+                        self.sym.qual_name(),
+                        h.line
+                    )
+                } else {
+                    format!(
                         "`{}` re-acquires `{id}` (already held since line {}) — \
                          self-deadlock on a non-reentrant mutex",
                         self.sym.qual_name(),
                         h.line
-                    ),
+                    )
+                };
+                self.out.push(Violation {
+                    rule: Rule::R11,
+                    file: self.sym.file.clone(),
+                    line,
+                    msg,
                 });
             } else {
                 self.lg
@@ -343,6 +374,7 @@ impl Scan<'_> {
             id,
             guard: guard.map(str::to_string),
             line,
+            mode,
         });
     }
 
@@ -364,7 +396,12 @@ impl Scan<'_> {
                 // Evaluate the receiver first (it may itself lock).
                 self.expr(recv, None);
                 if let Some(id) = lock_id(recv, self.sym) {
-                    self.acquire(id, guard, *line);
+                    let mode = if name == "read" {
+                        AcqMode::Read
+                    } else {
+                        AcqMode::Write
+                    };
+                    self.acquire(id, guard, *line, mode);
                 }
                 return;
             }
@@ -386,8 +423,8 @@ impl Scan<'_> {
             if let Some(callee) = self.resolve_call(e) {
                 let def = &self.table.fns[callee].def;
                 if def.ret_ty.contains("Guard") {
-                    for id in helper_direct_locks(&self.table.fns[callee]) {
-                        self.acquire(id, guard, e.line());
+                    for (id, mode) in helper_direct_locks(&self.table.fns[callee]) {
+                        self.acquire(id, guard, e.line(), mode);
                     }
                 }
             }
@@ -475,8 +512,9 @@ impl Scan<'_> {
     }
 }
 
-/// Locks a guard-returning helper acquires directly in its own body.
-fn helper_direct_locks(sym: &FnSym) -> Vec<String> {
+/// Locks a guard-returning helper acquires directly in its own body,
+/// with the mode each acquisition takes them in.
+fn helper_direct_locks(sym: &FnSym) -> Vec<(String, AcqMode)> {
     let mut out = Vec::new();
     if let Some(body) = &sym.def.body {
         crate::ast::walk_stmts(body, &mut |e| {
@@ -486,7 +524,12 @@ fn helper_direct_locks(sym: &FnSym) -> Vec<String> {
             {
                 if args.is_empty() && matches!(name.as_str(), "lock" | "read" | "write") {
                     if let Some(id) = lock_id(recv, sym) {
-                        out.push(id);
+                        let mode = if name == "read" {
+                            AcqMode::Read
+                        } else {
+                            AcqMode::Write
+                        };
+                        out.push((id, mode));
                     }
                 }
             }

@@ -128,6 +128,33 @@ fn r11_accepts_consistent_order_and_scoped_guards() {
 }
 
 #[test]
+fn r11_flags_reentrant_read_with_live_read_guard() {
+    let (_, table, graph) = model(&[(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/r11_reread_bad.rs"),
+    )]);
+    let (v, _) = check_r11(&table, &graph);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::R11);
+    assert!(
+        v[0].msg.contains("readers are not reentrant"),
+        "read-read re-entry needs its own message: {}",
+        v[0].msg
+    );
+    assert!(v[0].msg.contains("serve::Snap.data"), "{}", v[0].msg);
+}
+
+#[test]
+fn r11_accepts_sequential_reads_with_dropped_guard() {
+    let (_, table, graph) = model(&[(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/r11_reread_good.rs"),
+    )]);
+    let (v, _) = check_r11(&table, &graph);
+    assert!(v.is_empty(), "clean fixture flagged: {v:?}");
+}
+
+#[test]
 fn r11_ignores_crates_outside_its_scope() {
     let (_, table, graph) = model(&[(
         "crates/archsim/src/fixture.rs",

@@ -1,0 +1,22 @@
+//! R11 fixture (violating): a second `.read()` on an `RwLock` whose
+//! read guard is still live. std makes no read-reentrancy promise — a
+//! writer queued between the two reads blocks the second read while
+//! the first guard blocks the writer, deadlocking all three.
+pub struct Snap {
+    data: std::sync::RwLock<u64>,
+}
+
+impl Snap {
+    pub fn doubled(&self) -> u64 {
+        let a = self.data.read();
+        let b = self.data.read();
+        combine(a, b)
+    }
+}
+
+fn combine(
+    _x: std::sync::LockResult<std::sync::RwLockReadGuard<u64>>,
+    _y: std::sync::LockResult<std::sync::RwLockReadGuard<u64>>,
+) -> u64 {
+    0
+}

@@ -1,0 +1,21 @@
+//! R11 fixture (clean): the first read guard is dropped before the
+//! same `RwLock` is read again, so no writer can wedge between two
+//! live read guards held by one thread.
+pub struct Snap {
+    data: std::sync::RwLock<u64>,
+}
+
+impl Snap {
+    pub fn doubled(&self) -> u64 {
+        let first = {
+            let a = self.data.read();
+            peek(a)
+        };
+        let b = self.data.read();
+        first + peek(b)
+    }
+}
+
+fn peek(_x: std::sync::LockResult<std::sync::RwLockReadGuard<u64>>) -> u64 {
+    0
+}

@@ -1,0 +1,811 @@
+//! # immersion-sanitizer
+//!
+//! A runtime concurrency sanitizer for the workspace: Eraser-style
+//! lockset tracking plus vector-clock happens-before race detection,
+//! with the same disarmed fast path as `immersion-faultsim` — one
+//! relaxed atomic load of a false flag, so production binaries carry
+//! the instrumentation at zero cost.
+//!
+//! ## What is tracked
+//!
+//! - **Locks**: [`TrackedMutex`] / [`TrackedRwLock`] /
+//!   [`TrackedCondvar`] are drop-in wrappers over the `std::sync`
+//!   types. While armed, every acquire joins the acquiring thread's
+//!   vector clock with the lock's, every release publishes the
+//!   holder's clock into the lock, and acquiring `B` while holding `A`
+//!   records the edge `A → B` in the **dynamic lock-acquisition
+//!   graph** — the runtime twin of the static R11 lock-order graph
+//!   (`watercool lint --emit-lockgraph`). Wrapper names must equal the
+//!   static analyser's `lock_id()` strings so the two graphs diff
+//!   cleanly.
+//! - **Fork/join**: [`fork`] / [`task_start`] / [`task_end`] /
+//!   [`join`] thread happens-before edges through the vendored rayon
+//!   pool's chunked regions and the campaign scheduler's scoped
+//!   workers. [`chunk_claim`] additionally records each claimed chunk
+//!   as a labeled write, so a double-claimed chunk surfaces as a
+//!   write-write race.
+//! - **Annotated shared state**: [`shared_read`] / [`shared_write`]
+//!   mark the known hot shared state (solver-context take/put, the
+//!   warm-model pool, the single-flight map, …). Each access is
+//!   checked against the previous accesses' epochs; unordered
+//!   conflicting accesses are reported as races. [`sync_write`] /
+//!   [`sync_read`] give release/acquire semantics to out-of-band
+//!   publication channels (content-addressed cache and store entries
+//!   that flow between threads through the filesystem), and
+//!   [`atomic_access`] records accesses to relaxed atomic counters —
+//!   exempt from race checks (atomics cannot data-race) but present in
+//!   the access inventory.
+//!
+//! ## Race verdicts
+//!
+//! Races come from the vector clocks only: two accesses to the same
+//! `(name, instance)` cell, at least one a write, with neither
+//! ordered before the other. The Eraser lockset (the intersection of
+//! lock names held across all accesses to a cell) is advisory — an
+//! empty lockset on a multi-threaded cell is reported as a note, not
+//! a race, because happens-before already separates false alarms
+//! (fork/join hand-off, publication) from real ones.
+//!
+//! ## Arming
+//!
+//! Disarmed, every entry point is one relaxed load of [`ARMED`] and a
+//! predictable branch. [`install`] resets the shadow state, flips the
+//! flag and returns an RAII [`Armed`] guard holding a process-wide
+//! exclusivity lock; dropping it disarms. [`Armed::finish`] harvests
+//! the [`report::Report`] (races, dynamic lock graph, lockset notes,
+//! access inventory).
+
+pub mod locks;
+pub mod report;
+pub mod vc;
+
+pub use locks::{TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock};
+pub use report::{Edge, Race, Report, VarStat};
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use vc::VectorClock;
+
+/// Fast-path flag: every instrumentation entry point returns
+/// immediately while false.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Lock-instance slots are handed out once per `Tracked*` instance
+/// and never reused, so a stale guard from a previous arm session can
+/// release without touching a fresh session's state.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(1);
+
+/// Is the sanitizer armed? One relaxed load — the disarmed fast path.
+#[inline]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Claim a fresh lock-instance slot (used by the `Tracked*` wrappers).
+pub(crate) fn next_slot() -> usize {
+    NEXT_SLOT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Acquisition mode, for the held-lock stack and reader semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Exclusive: `Mutex::lock` / `RwLock::write`.
+    Write,
+    /// Shared: `RwLock::read`.
+    Read,
+}
+
+/// One entry in a thread's held-lock stack.
+#[derive(Debug, Clone)]
+struct Held {
+    slot: usize,
+    name: &'static str,
+}
+
+/// Per-thread shadow state.
+#[derive(Debug, Default)]
+struct ThreadState {
+    vc: VectorClock,
+    held: Vec<Held>,
+}
+
+/// Per-`(name, instance)` shadow cell for annotated shared state.
+#[derive(Debug, Default)]
+struct VarState {
+    /// Epoch of the last write: `(tid, clk)` plus its source location.
+    write: Option<(usize, u64)>,
+    write_loc: String,
+    /// Reads since the last write: tid → (clk, location).
+    reads: BTreeMap<usize, (u64, String)>,
+    /// Eraser lockset: intersection of lock names held across all
+    /// accesses. `None` until the first access.
+    lockset: Option<BTreeSet<&'static str>>,
+    /// Threads that have touched this cell.
+    threads: BTreeSet<usize>,
+    /// Whether any access was a write.
+    written: bool,
+    /// Marked by [`atomic_access`]: exempt from checks.
+    atomic: bool,
+    accesses: u64,
+}
+
+/// A fork region in flight: the opener's snapshot (joined by every
+/// task) and the accumulator of finished tasks (joined at the join).
+#[derive(Debug, Default)]
+struct Region {
+    snapshot: VectorClock,
+    joined: VectorClock,
+}
+
+/// Everything the sanitizer knows, reset on every [`install`].
+#[derive(Debug, Default)]
+struct Global {
+    /// Arm-session generation; thread-local tids are revalidated
+    /// against it so a tid from a previous session re-registers.
+    session: u64,
+    threads: Vec<ThreadState>,
+    /// Lock slot → the lock's vector clock.
+    locks: BTreeMap<usize, VectorClock>,
+    vars: BTreeMap<(String, u64), VarState>,
+    /// Release/acquire publication points for [`sync_write`]/[`sync_read`].
+    sync_vars: BTreeMap<(String, u64), VectorClock>,
+    regions: BTreeMap<u64, Region>,
+    next_region: u64,
+    /// Dynamic lock graph: (held, acquired) → (witness, count).
+    edges: BTreeMap<(String, String), (String, u64)>,
+    races: Vec<Race>,
+    race_keys: BTreeSet<String>,
+}
+
+fn global() -> &'static Mutex<Global> {
+    static STATE: OnceLock<Mutex<Global>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(Global::default()))
+}
+
+fn exclusivity() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn lock_global() -> MutexGuard<'static, Global> {
+    // Sanitizer bookkeeping never unwinds mid-section, so poison here
+    // means a bug in the sanitizer itself; the state stays coherent.
+    global().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// (session, tid): tid is valid only while session matches the
+    /// global generation.
+    static TID: std::cell::Cell<(u64, usize)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// The calling thread's tid for this session, registering it (with
+/// the session birth clock) on first contact.
+fn cur_tid(g: &mut Global) -> usize {
+    TID.with(|c| {
+        let (sess, t) = c.get();
+        if sess == g.session {
+            t
+        } else {
+            let t = g.threads.len();
+            let mut vc = VectorClock::new();
+            vc.set(t, 1);
+            g.threads.push(ThreadState {
+                vc,
+                held: Vec::new(),
+            });
+            c.set((g.session, t));
+            t
+        }
+    })
+}
+
+fn push_race(g: &mut Global, race: Race) {
+    let key = format!(
+        "{}|{}|{}|{}",
+        race.kind, race.name, race.first_loc, race.second_loc
+    );
+    if g.race_keys.insert(key) {
+        g.races.push(race);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock bookkeeping (called by the Tracked* wrappers)
+// ---------------------------------------------------------------------------
+
+/// After the real acquire: join the lock's clock, record dynamic lock
+/// edges from everything already held, push the held entry.
+pub(crate) fn on_acquire(slot: usize, name: &'static str, _mode: Mode, loc: &Location<'_>) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let lvc = g.locks.entry(slot).or_default().clone();
+    g.threads[t].vc.join(&lvc);
+    let held: Vec<&'static str> = g.threads[t].held.iter().map(|h| h.name).collect();
+    for h in held {
+        if h != name {
+            let e = g
+                .edges
+                .entry((h.to_string(), name.to_string()))
+                .or_insert_with(|| (format!("{}:{}", loc.file(), loc.line()), 0));
+            e.1 += 1;
+        }
+    }
+    g.threads[t].held.push(Held { slot, name });
+}
+
+/// Before the real release: publish the holder's clock into the lock,
+/// pop the held entry, start a new epoch for the thread.
+///
+/// Writers could assign the lock clock (they joined at acquire, so
+/// T ≥ L); a join is equivalent there and also correct for concurrent
+/// readers, so both modes use it. Reader releases joining the same
+/// clock is deliberately conservative: it adds reader→reader ordering
+/// that the real `RwLock` does not provide, which can only mask races
+/// on reader-side state, never invent them.
+pub(crate) fn on_release(slot: usize, _mode: Mode) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    if let Some(pos) = g.threads[t].held.iter().rposition(|h| h.slot == slot) {
+        g.threads[t].held.remove(pos);
+    }
+    let tvc = g.threads[t].vc.clone();
+    g.locks.entry(slot).or_default().join(&tvc);
+    g.threads[t].vc.bump(t);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-state annotations
+// ---------------------------------------------------------------------------
+
+/// A stable instance id for annotated shared state: the address of
+/// the owning object, so two live objects never collide. A freed
+/// object's address can be reused by a later allocation — owners of
+/// short-lived annotated cells must [`retire`] them on `Drop` so the
+/// successor does not inherit the dead object's epoch history.
+pub fn obj_id<T>(r: &T) -> usize {
+    r as *const T as usize
+}
+
+/// FNV-1a of a dynamic key (cache/store content hashes) for use as a
+/// [`sync_write`]/[`sync_read`] instance id.
+pub fn key_id(s: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as usize
+}
+
+fn access(name: &'static str, inst: usize, is_write: bool, loc: &Location<'_>) {
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let tvc = g.threads[t].vc.clone();
+    let here = format!("{}:{}", loc.file(), loc.line());
+    let held: BTreeSet<&'static str> = g.threads[t].held.iter().map(|h| h.name).collect();
+    let key = (name.to_string(), inst as u64);
+    let var = g.vars.entry(key.clone()).or_default();
+    var.accesses += 1;
+    var.threads.insert(t);
+    var.lockset = Some(match var.lockset.take() {
+        None => held,
+        Some(prev) => prev.intersection(&held).copied().collect(),
+    });
+    let mut found: Vec<Race> = Vec::new();
+    if let Some((wt, wc)) = var.write {
+        if wt != t && !tvc.covers(wt, wc) {
+            found.push(Race {
+                kind: if is_write {
+                    "write-write"
+                } else {
+                    "write-read"
+                }
+                .to_string(),
+                name: name.to_string(),
+                instance: inst as u64,
+                first_loc: var.write_loc.clone(),
+                second_loc: here.clone(),
+                first_thread: wt,
+                second_thread: t,
+            });
+        }
+    }
+    if is_write {
+        for (&rt, (rc, rloc)) in &var.reads {
+            if rt != t && !tvc.covers(rt, *rc) {
+                found.push(Race {
+                    kind: "read-write".to_string(),
+                    name: name.to_string(),
+                    instance: inst as u64,
+                    first_loc: rloc.clone(),
+                    second_loc: here.clone(),
+                    first_thread: rt,
+                    second_thread: t,
+                });
+            }
+        }
+        var.written = true;
+        var.write = Some((t, tvc.get(t)));
+        var.write_loc = here;
+        var.reads.clear();
+    } else {
+        var.reads.insert(t, (tvc.get(t), here));
+    }
+    for r in found {
+        push_race(&mut g, r);
+    }
+}
+
+/// Record a read of annotated shared state. Place it inside the
+/// critical section when the state is lock-guarded, so the Eraser
+/// lockset sees the guard. A write unordered with this read (by the
+/// vector clocks) is a race.
+#[track_caller]
+pub fn shared_read(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    access(name, inst, false, Location::caller());
+}
+
+/// Retire the shadow cell `(name, inst)`: call from the owning
+/// object's `Drop`. Ownership at drop time proves no other live
+/// references exist, so every real access happens-before this point;
+/// clearing the epoch history is therefore sound. Without retirement
+/// a later allocation of the same shape at the reused address would
+/// inherit the dead object's history and report phantom races (an
+/// ABA on the address-derived instance id). The access/thread
+/// inventory survives for the report.
+pub fn retire(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    if let Some(var) = g.vars.get_mut(&(name.to_string(), inst as u64)) {
+        var.write = None;
+        var.write_loc.clear();
+        var.reads.clear();
+    }
+}
+
+/// Record a write of annotated shared state. Any unordered previous
+/// access is a race.
+#[track_caller]
+pub fn shared_write(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    access(name, inst, true, Location::caller());
+}
+
+/// Release semantics: publish the calling thread's clock into the
+/// `(name, inst)` publication point. Use at out-of-band hand-off
+/// points the sanitizer cannot see (content-addressed cache/store
+/// entries published through the filesystem).
+pub fn sync_write(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let tvc = g.threads[t].vc.clone();
+    g.sync_vars
+        .entry((name.to_string(), inst as u64))
+        .or_default()
+        .join(&tvc);
+    g.threads[t].vc.bump(t);
+}
+
+/// Acquire semantics: join the `(name, inst)` publication point into
+/// the calling thread's clock. A no-op if nothing was published.
+pub fn sync_read(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let key = (name.to_string(), inst as u64);
+    if let Some(pvc) = g.sync_vars.get(&key).cloned() {
+        g.threads[t].vc.join(&pvc);
+    }
+}
+
+/// Record an access to a relaxed atomic (metrics counters). Atomics
+/// cannot data-race, so this is inventory only: the cell is counted
+/// and marked exempt, and no happens-before edge is created (relaxed
+/// atomics provide none in the real memory model either).
+pub fn atomic_access(name: &'static str, inst: usize) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let var = g.vars.entry((name.to_string(), inst as u64)).or_default();
+    var.accesses += 1;
+    var.threads.insert(t);
+    var.atomic = true;
+}
+
+// ---------------------------------------------------------------------------
+// Fork/join happens-before
+// ---------------------------------------------------------------------------
+
+/// A handle to a fork region. `Copy` so the vendored rayon pool and
+/// scoped-thread spawners can pass it into task closures freely. The
+/// zero token (returned while disarmed) makes every operation a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForkToken(u64);
+
+impl ForkToken {
+    /// The inert token: all fork/join operations ignore it.
+    pub const NONE: ForkToken = ForkToken(0);
+}
+
+/// Open a fork region: snapshot the opener's clock (tasks will join
+/// it) and start a new opener epoch.
+pub fn fork() -> ForkToken {
+    if !enabled() {
+        return ForkToken::NONE;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    g.next_region += 1;
+    let id = g.next_region;
+    let snapshot = g.threads[t].vc.clone();
+    g.regions.insert(
+        id,
+        Region {
+            snapshot,
+            joined: VectorClock::new(),
+        },
+    );
+    g.threads[t].vc.bump(t);
+    ForkToken(id)
+}
+
+/// A forked task begins on the calling thread: the task happens after
+/// the fork point.
+pub fn task_start(tok: ForkToken) {
+    if tok.0 == 0 || !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    if let Some(snapshot) = g.regions.get(&tok.0).map(|r| r.snapshot.clone()) {
+        g.threads[t].vc.join(&snapshot);
+    }
+}
+
+/// A forked task ends on the calling thread: fold its clock into the
+/// region accumulator so the join point happens after it.
+pub fn task_end(tok: ForkToken) {
+    if tok.0 == 0 || !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    let tvc = g.threads[t].vc.clone();
+    if let Some(r) = g.regions.get_mut(&tok.0) {
+        r.joined.join(&tvc);
+    }
+    g.threads[t].vc.bump(t);
+}
+
+/// Close a fork region on the opener: the opener happens after every
+/// task that called [`task_end`].
+pub fn join(tok: ForkToken) {
+    if tok.0 == 0 || !enabled() {
+        return;
+    }
+    let mut g = lock_global();
+    let t = cur_tid(&mut g);
+    if let Some(r) = g.regions.remove(&tok.0) {
+        g.threads[t].vc.join(&r.joined);
+    }
+}
+
+/// A labeled access for a claimed parallel chunk: chunk `c` of the
+/// region behind `tok` is recorded as a write to the cell
+/// `("rayon::chunk", region << 16 | c)` — two threads running the
+/// same chunk (a claim bug) surface as a write-write race.
+#[track_caller]
+pub fn chunk_claim(tok: ForkToken, c: usize) {
+    if tok.0 == 0 || !enabled() {
+        return;
+    }
+    access(
+        "rayon::chunk",
+        ((tok.0 as usize) << 16) | (c & 0xffff),
+        true,
+        Location::caller(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Arming
+// ---------------------------------------------------------------------------
+
+/// RAII guard for an armed sanitizer. Holding it excludes every other
+/// would-be installer (concurrent sessions would share shadow state);
+/// dropping it disarms, so a panicking test cannot leak an armed
+/// sanitizer into its neighbours.
+pub struct Armed {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    /// Snapshot the current report without disarming.
+    pub fn report(&self) -> Report {
+        snapshot_report()
+    }
+
+    /// Harvest the final report and disarm.
+    pub fn finish(self) -> Report {
+        let r = self.report();
+        drop(self);
+        r
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Arm the sanitizer: reset the shadow state and flip the fast-path
+/// flag. Blocks until any previously armed session drops its guard.
+pub fn install() -> Armed {
+    let exclusive = exclusivity().lock().unwrap_or_else(PoisonError::into_inner);
+    {
+        let mut g = lock_global();
+        let session = g.session + 1;
+        *g = Global {
+            session,
+            ..Global::default()
+        };
+    }
+    ARMED.store(true, Ordering::SeqCst);
+    Armed {
+        _exclusive: exclusive,
+    }
+}
+
+fn snapshot_report() -> Report {
+    let g = lock_global();
+    let mut vars: BTreeMap<String, VarStat> = BTreeMap::new();
+    let mut notes: Vec<String> = Vec::new();
+    for ((name, _inst), v) in &g.vars {
+        let stat = vars.entry(name.clone()).or_insert_with(|| VarStat {
+            name: name.clone(),
+            instances: 0,
+            accesses: 0,
+            threads: 0,
+            atomic: v.atomic,
+            lockset: Vec::new(),
+        });
+        stat.instances += 1;
+        stat.accesses += v.accesses;
+        stat.threads = stat.threads.max(v.threads.len());
+        if let Some(ls) = &v.lockset {
+            stat.lockset = ls.iter().map(|s| s.to_string()).collect();
+            if ls.is_empty() && v.written && v.threads.len() > 1 && !v.atomic {
+                let note = format!(
+                    "lockset empty: `{name}` written by {} thread(s) with no common lock \
+                     (ordering comes from fork/join or publication edges)",
+                    v.threads.len()
+                );
+                if !notes.contains(&note) {
+                    notes.push(note);
+                }
+            }
+        }
+    }
+    Report {
+        races: g.races.clone(),
+        edges: g
+            .edges
+            .iter()
+            .map(|((from, to), (witness, count))| Edge {
+                from: from.clone(),
+                to: to.clone(),
+                witness: witness.clone(),
+                count: *count,
+            })
+            .collect(),
+        lockset_notes: notes,
+        threads: g.threads.len(),
+        regions: g.next_region,
+        vars: vars.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    // The sanitizer is process-global; serialize tests that arm it so
+    // assertions about the disarmed state cannot race a concurrent
+    // install (the exclusivity lock only serializes armed windows).
+    fn serial() -> MutexGuard<'static, ()> {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_everything_is_inert() {
+        let _serial = serial();
+        assert!(!enabled());
+        shared_write("x", 1);
+        shared_read("x", 1);
+        let tok = fork();
+        assert_eq!(tok, ForkToken::NONE);
+        task_start(tok);
+        task_end(tok);
+        join(tok);
+        // Nothing recorded: arm and check the state is empty.
+        let armed = install();
+        let r = armed.finish();
+        assert!(r.races.is_empty());
+        assert!(r.vars.is_empty());
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let _serial = serial();
+        let armed = install();
+        let done = std::thread::spawn(|| shared_write("cell", 7))
+            .join()
+            .is_ok();
+        assert!(done);
+        shared_write("cell", 7);
+        let r = armed.finish();
+        assert_eq!(r.races.len(), 1, "{:?}", r.races);
+        assert_eq!(r.races[0].kind, "write-write");
+        assert_eq!(r.races[0].name, "cell");
+    }
+
+    #[test]
+    fn fork_join_orders_accesses() {
+        let _serial = serial();
+        let armed = install();
+        shared_write("fj", 1);
+        let tok = fork();
+        let handle = std::thread::spawn(move || {
+            task_start(tok);
+            shared_write("fj", 1);
+            task_end(tok);
+        });
+        assert!(handle.join().is_ok());
+        join(tok);
+        shared_read("fj", 1);
+        let r = armed.finish();
+        assert!(r.races.is_empty(), "{:?}", r.races);
+    }
+
+    #[test]
+    fn mutex_orders_accesses_and_write_without_lock_races() {
+        let _serial = serial();
+        let armed = install();
+        let m: Arc<TrackedMutex<u64>> = Arc::new(TrackedMutex::new("test::cell_lock", 0));
+        let inst = 99;
+        {
+            let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            *g += 1;
+            shared_write("locked_cell", inst);
+        }
+        let m2 = Arc::clone(&m);
+        let handle = std::thread::spawn(move || {
+            let mut g = m2.lock().unwrap_or_else(PoisonError::into_inner);
+            *g += 1;
+            shared_write("locked_cell", inst);
+        });
+        assert!(handle.join().is_ok());
+        let r = armed.report();
+        assert!(r.races.is_empty(), "{:?}", r.races);
+        // Now an unlocked write from a third thread: unordered.
+        let handle = std::thread::spawn(move || shared_write("locked_cell", inst));
+        assert!(handle.join().is_ok());
+        let r = armed.finish();
+        assert_eq!(r.races.len(), 1, "{:?}", r.races);
+    }
+
+    #[test]
+    fn nested_acquire_records_dynamic_edge() {
+        let _serial = serial();
+        let armed = install();
+        let a = TrackedMutex::new("test::outer", ());
+        let b = TrackedMutex::new("test::inner", ());
+        {
+            let _ga = a.lock().unwrap_or_else(PoisonError::into_inner);
+            let _gb = b.lock().unwrap_or_else(PoisonError::into_inner);
+        }
+        let r = armed.finish();
+        assert_eq!(r.edges.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.edges[0].from, "test::outer");
+        assert_eq!(r.edges[0].to, "test::inner");
+        assert_eq!(r.edges[0].count, 1);
+    }
+
+    #[test]
+    fn sync_publication_orders_cross_thread_handoff() {
+        let _serial = serial();
+        let armed = install();
+        shared_write("published", 3);
+        sync_write("chan", 42);
+        let handle = std::thread::spawn(|| {
+            sync_read("chan", 42);
+            shared_read("published", 3);
+        });
+        assert!(handle.join().is_ok());
+        let r = armed.finish();
+        assert!(r.races.is_empty(), "{:?}", r.races);
+    }
+
+    #[test]
+    fn atomic_cells_are_exempt() {
+        let _serial = serial();
+        let armed = install();
+        let handle = std::thread::spawn(|| atomic_access("ctr", 5));
+        assert!(handle.join().is_ok());
+        atomic_access("ctr", 5);
+        let r = armed.finish();
+        assert!(r.races.is_empty());
+        assert_eq!(r.vars.len(), 1);
+        assert!(r.vars[0].atomic);
+        assert_eq!(r.vars[0].accesses, 2);
+    }
+
+    #[test]
+    fn double_claimed_chunk_is_a_race() {
+        let _serial = serial();
+        let armed = install();
+        let tok = fork();
+        let h1 = std::thread::spawn(move || {
+            task_start(tok);
+            chunk_claim(tok, 4);
+            task_end(tok);
+        });
+        assert!(h1.join().is_ok());
+        let h2 = std::thread::spawn(move || {
+            task_start(tok);
+            chunk_claim(tok, 4);
+            task_end(tok);
+        });
+        assert!(h2.join().is_ok());
+        join(tok);
+        let r = armed.finish();
+        assert_eq!(r.races.len(), 1, "{:?}", r.races);
+        assert_eq!(r.races[0].name, "rayon::chunk");
+    }
+
+    #[test]
+    fn lockset_note_reported_for_fork_join_state() {
+        let _serial = serial();
+        let armed = install();
+        let tok = fork();
+        let h = std::thread::spawn(move || {
+            task_start(tok);
+            shared_write("no_lock_cell", 8);
+            task_end(tok);
+        });
+        assert!(h.join().is_ok());
+        join(tok);
+        shared_write("no_lock_cell", 8);
+        let r = armed.finish();
+        assert!(r.races.is_empty(), "{:?}", r.races);
+        assert_eq!(r.lockset_notes.len(), 1, "{:?}", r.lockset_notes);
+    }
+}

@@ -1,0 +1,388 @@
+//! Drop-in tracked wrappers over `std::sync` locks.
+//!
+//! Each wrapper carries a `&'static str` **name** that must equal the
+//! static R11 analyser's `lock_id()` string for the declaration site
+//! (`{crate}::{Type}.{field}` for `self.field` receivers,
+//! `{crate}::{fn}()` for `OnceLock`-style accessor results, …), so
+//! the dynamic lock graph recorded here diffs cleanly against
+//! `watercool lint --emit-lockgraph`. The accessor methods keep the
+//! `std` names — zero-argument `lock()` / `read()` / `write()` — so
+//! the static analyser keeps seeing every call site after a type is
+//! converted to its tracked form.
+//!
+//! Bookkeeping order matters for happens-before fidelity:
+//!
+//! - acquire: real lock **first**, then join the lock's vector clock —
+//!   the previous holder finished its release bookkeeping before it
+//!   unlocked, so the clock is current by the time we can run.
+//! - release: publish the clock **first** (while still holding the
+//!   real lock), then unlock. The [`Track`] token is declared before
+//!   the inner guard in every guard struct, and Rust drops fields in
+//!   declaration order.
+//!
+//! Poisoning passes through: a poisoned inner lock surfaces as a
+//! poisoned tracked guard, so the workspace idiom
+//! `.lock().unwrap_or_else(PoisonError::into_inner)` works unchanged.
+
+use crate::{next_slot, on_acquire, on_release, Mode};
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{
+    Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Release-on-drop token: runs the release bookkeeping for one held
+/// acquisition. Declared before the inner guard in each tracked guard
+/// so it drops (and publishes the clock) before the real unlock.
+pub(crate) struct Track {
+    slot: usize,
+    name: &'static str,
+    mode: Mode,
+}
+
+impl Drop for Track {
+    fn drop(&mut self) {
+        on_release(self.slot, self.mode);
+    }
+}
+
+/// Lazily assign this lock instance's slot (never reused, so stale
+/// guards from an earlier arm session stay harmless).
+fn slot_of(cell: &AtomicUsize) -> usize {
+    let cur = cell.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let fresh = next_slot();
+    match cell.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(won) => won,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrackedMutex
+// ---------------------------------------------------------------------------
+
+/// A [`Mutex`] that records acquisition order and happens-before
+/// edges while the sanitizer is armed; a plain mutex plus one relaxed
+/// load otherwise.
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    slot: AtomicUsize,
+    inner: Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wrap `value` under the static lock name `name`.
+    pub const fn new(name: &'static str, value: T) -> TrackedMutex<T> {
+        TrackedMutex {
+            name,
+            slot: AtomicUsize::new(0),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The static lock name this instance reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire, recording the acquisition against every lock already
+    /// held by this thread.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<TrackedMutexGuard<'_, T>> {
+        let loc = Location::caller();
+        let (inner, poisoned) = match self.inner.lock() {
+            Ok(g) => (g, false),
+            Err(e) => (e.into_inner(), true),
+        };
+        let slot = slot_of(&self.slot);
+        on_acquire(slot, self.name, Mode::Write, loc);
+        let guard = TrackedMutexGuard {
+            track: Track {
+                slot,
+                name: self.name,
+                mode: Mode::Write,
+            },
+            inner,
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Consume the mutex, returning the inner value. Not an
+    /// acquisition — ownership proves exclusivity, so nothing is
+    /// reported to the sanitizer (mirroring the static lock-order
+    /// analysis, which only sees `.lock()`-shaped calls).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard for a [`TrackedMutex`]. Field order is load-bearing: `track`
+/// drops first, publishing the release before the real unlock.
+pub struct TrackedMutexGuard<'a, T> {
+    track: Track,
+    inner: MutexGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrackedRwLock
+// ---------------------------------------------------------------------------
+
+/// An [`RwLock`] with the same tracking as [`TrackedMutex`]. Reader
+/// acquisitions participate in the dynamic lock graph too (a
+/// read-while-holding-read on the same name is exactly the
+/// re-entrancy hazard R11 flags statically).
+pub struct TrackedRwLock<T> {
+    name: &'static str,
+    slot: AtomicUsize,
+    inner: RwLock<T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wrap `value` under the static lock name `name`.
+    pub const fn new(name: &'static str, value: T) -> TrackedRwLock<T> {
+        TrackedRwLock {
+            name,
+            slot: AtomicUsize::new(0),
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// The static lock name this instance reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Shared acquire.
+    #[track_caller]
+    pub fn read(&self) -> LockResult<TrackedReadGuard<'_, T>> {
+        let loc = Location::caller();
+        let (inner, poisoned) = match self.inner.read() {
+            Ok(g) => (g, false),
+            Err(e) => (e.into_inner(), true),
+        };
+        let slot = slot_of(&self.slot);
+        on_acquire(slot, self.name, Mode::Read, loc);
+        let guard = TrackedReadGuard {
+            _track: Track {
+                slot,
+                name: self.name,
+                mode: Mode::Read,
+            },
+            inner,
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Exclusive acquire.
+    #[track_caller]
+    pub fn write(&self) -> LockResult<TrackedWriteGuard<'_, T>> {
+        let loc = Location::caller();
+        let (inner, poisoned) = match self.inner.write() {
+            Ok(g) => (g, false),
+            Err(e) => (e.into_inner(), true),
+        };
+        let slot = slot_of(&self.slot);
+        on_acquire(slot, self.name, Mode::Write, loc);
+        let guard = TrackedWriteGuard {
+            _track: Track {
+                slot,
+                name: self.name,
+                mode: Mode::Write,
+            },
+            inner,
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedRwLock")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared guard for a [`TrackedRwLock`].
+pub struct TrackedReadGuard<'a, T> {
+    _track: Track,
+    inner: RwLockReadGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard for a [`TrackedRwLock`].
+pub struct TrackedWriteGuard<'a, T> {
+    _track: Track,
+    inner: RwLockWriteGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrackedCondvar
+// ---------------------------------------------------------------------------
+
+/// A [`Condvar`] usable with [`TrackedMutexGuard`]s. A wait is a
+/// release (bookkeeping runs before the real unlock inside the inner
+/// wait) followed by a fresh acquire on wake-up, so the held-lock
+/// stack never shows the mutex as held across the blocked window and
+/// the happens-before edges match what the real condvar provides
+/// through its mutex.
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// A fresh condition variable.
+    pub const fn new() -> TrackedCondvar {
+        TrackedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing and re-acquiring the tracked
+    /// mutex around the wait.
+    #[track_caller]
+    pub fn wait<'a, T>(
+        &self,
+        guard: TrackedMutexGuard<'a, T>,
+    ) -> LockResult<TrackedMutexGuard<'a, T>> {
+        let loc = Location::caller();
+        let TrackedMutexGuard { track, inner } = guard;
+        let slot = track.slot;
+        let name = track.name;
+        drop(track); // release bookkeeping, before the real unlock in wait()
+        let (inner, poisoned) = match self.inner.wait(inner) {
+            Ok(g) => (g, false),
+            Err(e) => (e.into_inner(), true),
+        };
+        on_acquire(slot, name, Mode::Write, loc);
+        let guard = TrackedMutexGuard {
+            track: Track {
+                slot,
+                name,
+                mode: Mode::Write,
+            },
+            inner,
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Block until notified or `dur` elapses.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: TrackedMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(TrackedMutexGuard<'a, T>, WaitTimeoutResult)> {
+        let loc = Location::caller();
+        let TrackedMutexGuard { track, inner } = guard;
+        let slot = track.slot;
+        let name = track.name;
+        drop(track);
+        let (inner, timeout, poisoned) = match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => (g, t, false),
+            Err(e) => {
+                let (g, t) = e.into_inner();
+                (g, t, true)
+            }
+        };
+        on_acquire(slot, name, Mode::Write, loc);
+        let guard = TrackedMutexGuard {
+            track: Track {
+                slot,
+                name,
+                mode: Mode::Write,
+            },
+            inner,
+        };
+        if poisoned {
+            Err(PoisonError::new((guard, timeout)))
+        } else {
+            Ok((guard, timeout))
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for TrackedCondvar {
+    fn default() -> TrackedCondvar {
+        TrackedCondvar::new()
+    }
+}
+
+impl std::fmt::Debug for TrackedCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedCondvar").finish()
+    }
+}

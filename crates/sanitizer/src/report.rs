@@ -1,0 +1,338 @@
+//! The sanitizer's teardown artifacts: the race list, the dynamic
+//! lock-acquisition graph, the Eraser lockset advisories, and the
+//! annotated-state access inventory — renderable as JSON, SARIF
+//! 2.1.0, and Graphviz DOT (the dynamic twin of
+//! `watercool lint --emit-lockgraph`).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// One detected race: two accesses to the same shadow cell, at least
+/// one a write, unordered by the vector clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// `write-write`, `read-write` or `write-read` (first kind named
+    /// first in program order of discovery).
+    pub kind: String,
+    /// The annotated cell name (e.g. `serve::ModelPool.entries`).
+    pub name: String,
+    /// Instance id the cell was keyed by.
+    pub instance: u64,
+    /// `file:line` of the earlier access.
+    pub first_loc: String,
+    /// `file:line` of the later access.
+    pub second_loc: String,
+    /// Sanitizer tid of the earlier access.
+    pub first_thread: usize,
+    /// Sanitizer tid of the later access.
+    pub second_thread: usize,
+}
+
+/// One dynamic lock-graph edge: `from` was held when `to` was
+/// acquired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Name of the held lock.
+    pub from: String,
+    /// Name of the acquired lock.
+    pub to: String,
+    /// `file:line` of the first acquisition that created the edge.
+    pub witness: String,
+    /// How many times the edge was exercised.
+    pub count: u64,
+}
+
+/// Access inventory for one annotated cell name (aggregated over
+/// instances).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarStat {
+    /// Cell name.
+    pub name: String,
+    /// Distinct instances seen.
+    pub instances: u64,
+    /// Total accesses across instances.
+    pub accesses: u64,
+    /// Max distinct threads touching any one instance.
+    pub threads: usize,
+    /// Relaxed-atomic cell (exempt from race checks).
+    pub atomic: bool,
+    /// Final Eraser lockset (lock names held at every access).
+    pub lockset: Vec<String>,
+}
+
+/// Everything harvested from an armed session.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Detected races (empty on a clean run).
+    pub races: Vec<Race>,
+    /// The dynamic lock-acquisition graph.
+    pub edges: Vec<Edge>,
+    /// Advisory notes: multi-thread written cells whose lockset went
+    /// empty (ordering proven by fork/join or publication instead).
+    pub lockset_notes: Vec<String>,
+    /// Threads registered during the session.
+    pub threads: usize,
+    /// Fork regions opened during the session.
+    pub regions: u64,
+    /// Access inventory per annotated cell name.
+    pub vars: Vec<VarStat>,
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<String, Value>>(),
+    )
+}
+
+impl Report {
+    /// No races detected?
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// The full report as a JSON value (deterministic key order).
+    pub fn to_json(&self) -> Value {
+        let races: Vec<Value> = self
+            .races
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("kind", Value::Str(r.kind.clone())),
+                    ("name", Value::Str(r.name.clone())),
+                    ("instance", Value::U64(r.instance)),
+                    ("first", Value::Str(r.first_loc.clone())),
+                    ("second", Value::Str(r.second_loc.clone())),
+                    ("first_thread", Value::U64(r.first_thread as u64)),
+                    ("second_thread", Value::U64(r.second_thread as u64)),
+                ])
+            })
+            .collect();
+        let edges: Vec<Value> = self
+            .edges
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("from", Value::Str(e.from.clone())),
+                    ("to", Value::Str(e.to.clone())),
+                    ("witness", Value::Str(e.witness.clone())),
+                    ("count", Value::U64(e.count)),
+                ])
+            })
+            .collect();
+        let vars: Vec<Value> = self
+            .vars
+            .iter()
+            .map(|v| {
+                obj(vec![
+                    ("name", Value::Str(v.name.clone())),
+                    ("instances", Value::U64(v.instances)),
+                    ("accesses", Value::U64(v.accesses)),
+                    ("threads", Value::U64(v.threads as u64)),
+                    ("atomic", Value::Bool(v.atomic)),
+                    (
+                        "lockset",
+                        Value::Seq(v.lockset.iter().map(|l| Value::Str(l.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("races", Value::Seq(races)),
+            ("dynamic_lock_edges", Value::Seq(edges)),
+            (
+                "lockset_notes",
+                Value::Seq(
+                    self.lockset_notes
+                        .iter()
+                        .map(|n| Value::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            ("threads", Value::U64(self.threads as u64)),
+            ("regions", Value::U64(self.regions)),
+            ("vars", Value::Seq(vars)),
+        ])
+    }
+
+    /// The dynamic lock graph in the same DOT dialect as the static
+    /// `--emit-lockgraph` output, with exercise counts on the edges.
+    pub fn dynamic_dot(&self) -> String {
+        let mut out = String::from("digraph lockorder_dynamic {\n    rankdir=LR;\n");
+        let mut nodes: Vec<&str> = Vec::new();
+        for e in &self.edges {
+            for n in [e.from.as_str(), e.to.as_str()] {
+                if !nodes.contains(&n) {
+                    nodes.push(n);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        for n in nodes {
+            out.push_str(&format!("    \"{n}\";\n"));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "    \"{}\" -> \"{}\" [label=\"{} (x{})\"];\n",
+                e.from, e.to, e.witness, e.count
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Races as a SARIF 2.1.0 log (one result per race, rule id
+    /// `SAN-RACE`), mirroring the lint SARIF shape so both feed the
+    /// same viewers.
+    pub fn to_sarif(&self) -> Value {
+        let results: Vec<Value> = self
+            .races
+            .iter()
+            .map(|r| {
+                let (file, line) = split_loc(&r.second_loc);
+                obj(vec![
+                    ("ruleId", Value::Str("SAN-RACE".to_string())),
+                    ("level", Value::Str("error".to_string())),
+                    (
+                        "message",
+                        obj(vec![(
+                            "text",
+                            Value::Str(format!(
+                                "{} race on `{}`: {} (thread {}) vs {} (thread {})",
+                                r.kind,
+                                r.name,
+                                r.first_loc,
+                                r.first_thread,
+                                r.second_loc,
+                                r.second_thread
+                            )),
+                        )]),
+                    ),
+                    (
+                        "locations",
+                        Value::Seq(vec![obj(vec![(
+                            "physicalLocation",
+                            obj(vec![
+                                (
+                                    "artifactLocation",
+                                    obj(vec![("uri", Value::Str(file.to_string()))]),
+                                ),
+                                ("region", obj(vec![("startLine", Value::U64(line))])),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            (
+                "$schema",
+                Value::Str(
+                    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                        .to_string(),
+                ),
+            ),
+            ("version", Value::Str("2.1.0".to_string())),
+            (
+                "runs",
+                Value::Seq(vec![obj(vec![
+                    (
+                        "tool",
+                        obj(vec![(
+                            "driver",
+                            obj(vec![
+                                ("name", Value::Str("immersion-sanitizer".to_string())),
+                                (
+                                    "informationUri",
+                                    Value::Str(
+                                        "https://github.com/example/water-immersion".to_string(),
+                                    ),
+                                ),
+                            ]),
+                        )]),
+                    ),
+                    ("results", Value::Seq(results)),
+                ])]),
+            ),
+        ])
+    }
+}
+
+/// Split `file:line` (line defaults to 1 when absent or unparsable).
+fn split_loc(loc: &str) -> (&str, u64) {
+    match loc.rsplit_once(':') {
+        Some((file, line)) => (file, line.parse().unwrap_or(1)),
+        None => (loc, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            races: vec![Race {
+                kind: "write-write".to_string(),
+                name: "cell".to_string(),
+                instance: 7,
+                first_loc: "crates/x/src/a.rs:10".to_string(),
+                second_loc: "crates/x/src/b.rs:20".to_string(),
+                first_thread: 0,
+                second_thread: 1,
+            }],
+            edges: vec![Edge {
+                from: "serve::SingleFlight.slots".to_string(),
+                to: "serve::joiners".to_string(),
+                witness: "crates/serve/src/flight.rs:75".to_string(),
+                count: 3,
+            }],
+            lockset_notes: vec!["note".to_string()],
+            threads: 2,
+            regions: 1,
+            vars: vec![VarStat {
+                name: "cell".to_string(),
+                instances: 1,
+                accesses: 2,
+                threads: 2,
+                atomic: false,
+                lockset: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_has_stable_shape() {
+        let v = sample().to_json();
+        let txt = serde_json::to_string_pretty(&v).unwrap();
+        let back: Value = serde_json::from_str(&txt).unwrap();
+        assert_eq!(v, back);
+        assert!(txt.contains("dynamic_lock_edges"));
+        assert!(txt.contains("write-write"));
+    }
+
+    #[test]
+    fn dot_lists_nodes_and_labeled_edges() {
+        let dot = sample().dynamic_dot();
+        assert!(dot.starts_with("digraph lockorder_dynamic"));
+        assert!(dot.contains("\"serve::SingleFlight.slots\" -> \"serve::joiners\""));
+        assert!(dot.contains("(x3)"));
+    }
+
+    #[test]
+    fn sarif_carries_one_result_per_race() {
+        let v = sample().to_sarif();
+        let txt = serde_json::to_string(&v).unwrap();
+        assert!(txt.contains("SAN-RACE"));
+        assert!(txt.contains("2.1.0"));
+        assert!(txt.contains("crates/x/src/b.rs"));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        assert!(Report::default().is_clean());
+        assert!(!sample().is_clean());
+    }
+}

@@ -1,0 +1,104 @@
+//! Vector clocks over sanitizer thread ids.
+//!
+//! A clock maps thread id → logical time. Thread ids are the small
+//! dense indices handed out by the sanitizer's thread registry, so a
+//! plain growable `Vec<u64>` (missing slots read as 0) beats a map:
+//! join and comparison are straight component loops.
+
+/// A vector clock: component `i` is the last observed logical time of
+/// sanitizer thread `i`. Absent components are implicitly zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> VectorClock {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// Component `i`, zero if never set.
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots.get(i).copied().unwrap_or(0)
+    }
+
+    /// Set component `i`, growing the clock as needed.
+    pub fn set(&mut self, i: usize, v: u64) {
+        if self.slots.len() <= i {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] = v;
+    }
+
+    /// Advance component `i` by one (a new epoch for thread `i`).
+    pub fn bump(&mut self, i: usize) {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered
+    /// before `o` is also ordered before `self`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (i, &v) in other.slots.iter().enumerate() {
+            if v > self.get(i) {
+                self.set(i, v);
+            }
+        }
+    }
+
+    /// Does the epoch `(tid, clk)` happen before (or equal) this
+    /// clock? This is the FastTrack-style race test: an earlier access
+    /// by thread `tid` at its local time `clk` is ordered before the
+    /// current access iff the current thread's clock has absorbed it.
+    pub fn covers(&self, tid: usize, clk: u64) -> bool {
+        clk <= self.get(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_covers_nothing_but_zero() {
+        let vc = VectorClock::new();
+        assert!(vc.covers(0, 0));
+        assert!(vc.covers(7, 0));
+        assert!(!vc.covers(0, 1));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn bump_advances_one_component() {
+        let mut a = VectorClock::new();
+        a.bump(4);
+        a.bump(4);
+        assert_eq!(a.get(4), 2);
+        assert_eq!(a.get(3), 0);
+    }
+
+    #[test]
+    fn covers_tracks_join() {
+        let mut a = VectorClock::new();
+        assert!(!a.covers(1, 2));
+        let mut b = VectorClock::new();
+        b.set(1, 2);
+        a.join(&b);
+        assert!(a.covers(1, 2));
+        assert!(!a.covers(1, 3));
+    }
+}

@@ -16,11 +16,13 @@ use immersion_campaign::hash::fnv1a64;
 use immersion_campaign::{Campaign, Job, RunOptions};
 use immersion_core::design::CmpDesign;
 use immersion_core::explorer::max_frequency_with_model;
+use immersion_core::sanitizer;
+use immersion_core::TrackedMutex;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 
 /// Where a submitted campaign stands.
 #[derive(Debug, Clone)]
@@ -41,7 +43,7 @@ struct Status {
 /// sits behind an `Arc` so each background runner owns a handle to it
 /// without borrowing the registry.
 pub struct CampaignRegistry {
-    entries: Arc<Mutex<BTreeMap<String, Status>>>,
+    entries: Arc<TrackedMutex<BTreeMap<String, Status>>>,
     seq: AtomicU64,
     dir: PathBuf,
 }
@@ -50,7 +52,10 @@ impl CampaignRegistry {
     /// A registry caching campaign results under `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> CampaignRegistry {
         CampaignRegistry {
-            entries: Arc::new(Mutex::new(BTreeMap::new())),
+            entries: Arc::new(TrackedMutex::new(
+                "serve::CampaignRegistry.entries",
+                BTreeMap::new(),
+            )),
             seq: AtomicU64::new(0),
             dir: dir.into(),
         }
@@ -114,6 +119,10 @@ impl CampaignRegistry {
         let completed = Arc::new(AtomicU64::new(0));
         {
             let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::shared_write(
+                "serve::CampaignRegistry.map",
+                sanitizer::obj_id(&*self.entries),
+            );
             entries.insert(
                 id.clone(),
                 Status {
@@ -167,7 +176,12 @@ impl CampaignRegistry {
         };
         let entries_handle = Arc::clone(&self.entries);
         let thread_id = id.clone();
+        // The detached runner is a task of a fork region so the
+        // registry insert above happens-before everything it does; the
+        // region is never joined (the thread may outlive the request).
+        let san = sanitizer::fork();
         std::thread::spawn(move || {
+            sanitizer::task_start(san);
             let counter = Arc::clone(&completed);
             let outcome = campaign.run(&opts, &move |ev| {
                 if matches!(
@@ -198,9 +212,15 @@ impl CampaignRegistry {
             let mut entries = entries_handle
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
+            sanitizer::shared_write(
+                "serve::CampaignRegistry.map",
+                sanitizer::obj_id(&*entries_handle),
+            );
             if let Some(status) = entries.get_mut(&thread_id) {
                 status.state = terminal;
             }
+            drop(entries);
+            sanitizer::task_end(san);
         });
 
         let mut resp = BTreeMap::new();
@@ -213,6 +233,10 @@ impl CampaignRegistry {
     /// Handle `GET /v1/campaign/{id}`.
     pub fn status(&self, id: &str) -> Result<Value, ApiError> {
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        sanitizer::shared_read(
+            "serve::CampaignRegistry.map",
+            sanitizer::obj_id(&*self.entries),
+        );
         let status = entries
             .get(id)
             .ok_or_else(|| ApiError::not_found(format!("no campaign '{id}'")))?;

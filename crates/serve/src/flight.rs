@@ -13,33 +13,43 @@
 //! and a slot's mutex guards only its result cell. The work itself —
 //! the thermal solve — always runs with neither held.
 
+use immersion_core::sanitizer;
+use immersion_core::{TrackedCondvar, TrackedMutex};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 
 /// What a flight resolves to: the leader's published payload, or an
 /// error message every joiner relays as a 5xx.
 pub type FlightResult = Result<Arc<String>, String>;
 
 struct Slot {
-    result: Mutex<Option<FlightResult>>,
-    ready: Condvar,
+    result: TrackedMutex<Option<FlightResult>>,
+    ready: TrackedCondvar,
     /// Requests that joined this flight (leader excluded).
-    joiners: Mutex<u64>,
+    joiners: TrackedMutex<u64>,
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        // Slots are short-lived; a successor at the reused address
+        // must not inherit this cell's epoch history.
+        sanitizer::retire("serve::Slot.result", sanitizer::obj_id(self));
+    }
 }
 
 impl Slot {
     fn new() -> Slot {
         Slot {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-            joiners: Mutex::new(0),
+            result: TrackedMutex::new("serve::result", None),
+            ready: TrackedCondvar::new(),
+            joiners: TrackedMutex::new("serve::joiners", 0),
         }
     }
 }
 
 /// The single-flight group: one slot per in-flight content key.
 pub struct SingleFlight {
-    slots: Mutex<BTreeMap<String, Arc<Slot>>>,
+    slots: TrackedMutex<BTreeMap<String, Arc<Slot>>>,
 }
 
 /// How a request entered the group.
@@ -48,6 +58,12 @@ pub enum Entry {
     Leader(LeaderToken),
     /// An identical request was already in flight; this is its result.
     Joined(FlightResult),
+}
+
+impl Drop for SingleFlight {
+    fn drop(&mut self) {
+        sanitizer::retire("serve::SingleFlight.map", sanitizer::obj_id(self));
+    }
 }
 
 impl Default for SingleFlight {
@@ -60,7 +76,7 @@ impl SingleFlight {
     /// An empty group.
     pub fn new() -> SingleFlight {
         SingleFlight {
-            slots: Mutex::new(BTreeMap::new()),
+            slots: TrackedMutex::new("serve::SingleFlight.slots", BTreeMap::new()),
         }
     }
 
@@ -69,6 +85,7 @@ impl SingleFlight {
     pub fn enter(&self, group: &Arc<SingleFlight>, key: &str) -> Entry {
         let slot = {
             let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::shared_write("serve::SingleFlight.map", sanitizer::obj_id(self));
             match slots.get(key) {
                 Some(slot) => {
                     let slot = Arc::clone(slot);
@@ -106,11 +123,13 @@ impl SingleFlight {
     fn publish(&self, key: &str, result: FlightResult) -> u64 {
         let slot = {
             let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::shared_write("serve::SingleFlight.map", sanitizer::obj_id(self));
             slots.remove(key)
         };
         let Some(slot) = slot else { return 0 };
         let joined = *slot.joiners.lock().unwrap_or_else(PoisonError::into_inner);
         let mut cell = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        sanitizer::shared_write("serve::Slot.result", sanitizer::obj_id(&*slot));
         *cell = Some(result);
         drop(cell);
         slot.ready.notify_all();
@@ -121,6 +140,7 @@ impl SingleFlight {
 fn wait_for(slot: &Slot) -> FlightResult {
     let mut cell = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
+        sanitizer::shared_read("serve::Slot.result", sanitizer::obj_id(slot));
         if let Some(result) = cell.as_ref() {
             return result.clone();
         }

@@ -8,6 +8,7 @@
 //! torn read across two counters can only ever show a state the
 //! service passed through.
 
+use immersion_core::sanitizer;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Latency histogram bucket upper bounds, microseconds. The last
@@ -33,6 +34,7 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// Record one observation, microseconds.
     pub fn observe_us(&self, us: u64) {
+        sanitizer::atomic_access("serve::Metrics.latency", sanitizer::obj_id(self));
         let idx = LATENCY_BOUNDS_US
             .iter()
             .position(|&b| us <= b)
@@ -134,6 +136,7 @@ impl Metrics {
 
     /// Record the status class of a finished response.
     pub fn observe_status(&self, status: u16) {
+        sanitizer::atomic_access("serve::Metrics.counters", sanitizer::obj_id(self));
         match status {
             200..=299 => &self.responses_2xx,
             400..=499 => &self.responses_4xx,
@@ -145,6 +148,7 @@ impl Metrics {
     /// Record the batch size of one completed solve: the leader plus
     /// every request that coalesced onto it.
     pub fn observe_batch(&self, size: u64) {
+        sanitizer::atomic_access("serve::Metrics.counters", sanitizer::obj_id(self));
         let idx = (size.max(1) as usize - 1).min(BATCH_BUCKETS - 1);
         self.batch[idx].fetch_add(1, Ordering::Relaxed);
     }
@@ -165,6 +169,7 @@ impl Metrics {
 
     /// The `GET /metrics` payload.
     pub fn render_text(&self) -> String {
+        sanitizer::atomic_access("serve::Metrics.counters", sanitizer::obj_id(self));
         let mut out = String::with_capacity(1024);
         let mut line = |name: &str, v: u64| {
             out.push_str(&format!("{name} {v}\n"));
@@ -237,6 +242,7 @@ pub struct InFlight<'m> {
 impl<'m> InFlight<'m> {
     /// Enter the in-flight window.
     pub fn enter(metrics: &'m Metrics) -> InFlight<'m> {
+        sanitizer::atomic_access("serve::Metrics.in_flight", sanitizer::obj_id(metrics));
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         InFlight { metrics }
     }

@@ -16,9 +16,11 @@
 //! both build; `admit` keeps the first and the loser's copy is
 //! dropped. That wastes one build, never correctness.
 
+use immersion_core::sanitizer;
+use immersion_core::TrackedMutex;
 use immersion_thermal::ThermalModel;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 
 /// One pooled model with its bookkeeping.
 struct PoolEntry {
@@ -49,17 +51,23 @@ pub struct PoolShape {
 
 /// Bounded LRU pool of warm thermal models.
 pub struct ModelPool {
-    entries: Mutex<Vec<PoolEntry>>,
+    entries: TrackedMutex<Vec<PoolEntry>>,
     capacity: usize,
     tick: AtomicU64,
     evictions: AtomicU64,
+}
+
+impl Drop for ModelPool {
+    fn drop(&mut self) {
+        sanitizer::retire("serve::ModelPool.lru", sanitizer::obj_id(self));
+    }
 }
 
 impl ModelPool {
     /// A pool retaining at most `capacity` warm models (minimum 1).
     pub fn new(capacity: usize) -> ModelPool {
         ModelPool {
-            entries: Mutex::new(Vec::new()),
+            entries: TrackedMutex::new("serve::ModelPool.entries", Vec::new()),
             capacity: capacity.max(1),
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -67,6 +75,7 @@ impl ModelPool {
     }
 
     fn next_tick(&self) -> u64 {
+        sanitizer::atomic_access("serve::ModelPool.tick", sanitizer::obj_id(self));
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -75,6 +84,7 @@ impl ModelPool {
     pub fn get(&self, key: &str) -> Option<Arc<ThermalModel>> {
         let tick = self.next_tick();
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        sanitizer::shared_write("serve::ModelPool.lru", sanitizer::obj_id(self));
         let e = entries.iter_mut().find(|e| e.key == key)?;
         e.last_used = tick;
         e.reuses += 1;
@@ -92,6 +102,7 @@ impl ModelPool {
         let model = Arc::new(model);
         let tick = self.next_tick();
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        sanitizer::shared_write("serve::ModelPool.lru", sanitizer::obj_id(self));
         if let Some(e) = entries.iter_mut().find(|e| e.key == key) {
             e.last_used = tick;
             return Arc::clone(&e.model);
@@ -104,6 +115,7 @@ impl ModelPool {
                 .map(|(i, _)| i)
             {
                 entries.swap_remove(lru);
+                sanitizer::atomic_access("serve::ModelPool.evictions", sanitizer::obj_id(self));
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -140,6 +152,7 @@ impl ModelPool {
     /// dimension then nonzeros (stable for `/metrics` output).
     pub fn shapes(&self) -> Vec<PoolShape> {
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        sanitizer::shared_read("serve::ModelPool.lru", sanitizer::obj_id(self));
         let mut shapes: Vec<PoolShape> = Vec::new();
         for e in entries.iter() {
             match shapes.iter_mut().find(|s| s.dim == e.dim && s.nnz == e.nnz) {

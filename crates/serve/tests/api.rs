@@ -292,3 +292,64 @@ fn campaign_submits_polls_and_completes() {
     running.shutdown();
     let _ = std::fs::remove_dir_all(dir);
 }
+
+/// The full request sequence of this test, run against a private
+/// server; returns every `(status, body)` in a deterministic order so
+/// two runs can be compared byte-for-byte.
+fn sanitizer_probe_sequence(tag: &str) -> Vec<(u16, String)> {
+    let (running, dir) = boot(tag, 3);
+    let addr = running.addr().to_string();
+    let mut c = client(&running);
+    let mut out = Vec::new();
+
+    // Sequential: solve, then the byte-equal store hit.
+    for _ in 0..2 {
+        let resp = c
+            .send("POST", "/v1/evaluate", LP_WATER.as_bytes())
+            .expect("round trip");
+        out.push((resp.status, resp.text()));
+    }
+
+    // Concurrent clients on distinct grids: every body is unique, so
+    // each response is an independent fresh solve regardless of the
+    // schedule, and the set is deterministic once ordered by grid.
+    let mut handles = Vec::new();
+    for grid in [5u32, 6, 7] {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = minihttp::Client::new(addr);
+            let body =
+                format!(r#"{{"chip":"lp","chips":2,"cooling":"water","grid":[{grid},{grid}]}}"#);
+            let resp = c
+                .send("POST", "/v1/evaluate", body.as_bytes())
+                .expect("round trip");
+            (resp.status, resp.text())
+        }));
+    }
+    for h in handles {
+        out.push(h.join().expect("client thread"));
+    }
+
+    running.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    out
+}
+
+/// Satellite of the concurrency-sanitizer work: the identical request
+/// sequence, once disarmed and once under the armed sanitizer, must
+/// produce byte-identical responses and a race-free report.
+#[test]
+fn sanitizer_armed_run_is_race_free_and_identical_to_disarmed() {
+    let baseline = sanitizer_probe_sequence("san-off");
+
+    let armed = immersion_core::sanitizer::install();
+    let observed = sanitizer_probe_sequence("san-on");
+    let report = armed.finish();
+
+    assert!(
+        report.races.is_empty(),
+        "sanitizer races during armed serve run: {:?}",
+        report.races
+    );
+    assert_eq!(baseline, observed, "armed run changed observable behaviour");
+}

@@ -22,9 +22,9 @@ use crate::materials::Material;
 use crate::sparse::{solve_cg_with, CgOptions, CsrMatrix, SolverContext, TripletMatrix};
 use crate::steady::Solution;
 use crate::{Result, ThermalError};
+use immersion_sanitizer::{TrackedMutex, TrackedMutexGuard};
 use immersion_units::{Celsius, HeatTransferCoeff};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 
 /// Which surface of a layer a boundary condition applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -287,7 +287,9 @@ pub struct ThermalModel {
     /// solution). Taken out of the lock for the duration of a solve so
     /// the solve itself never runs under the mutex; a concurrent solve
     /// that finds the slot empty just builds a throwaway context.
-    solver: Mutex<SolverContext>,
+    /// Tracked by the concurrency sanitizer under the same name the
+    /// static R11 lock-order analysis derives for this field.
+    solver: TrackedMutex<SolverContext>,
 }
 
 /// Incremental builder for a [`ThermalModel`].
@@ -473,7 +475,7 @@ impl ModelBuilder {
         }
 
         let matrix = trip.to_csr();
-        let solver = Mutex::new(SolverContext::new(&matrix));
+        let solver = TrackedMutex::new("thermal::ThermalModel.solver", SolverContext::new(&matrix));
         Ok(ThermalModel {
             layers: self.layers,
             offsets,
@@ -485,6 +487,18 @@ impl ModelBuilder {
             cg: self.cg,
             solver,
         })
+    }
+}
+
+impl Drop for ThermalModel {
+    fn drop(&mut self) {
+        // Models churn per request in the serve path; retire the
+        // solver cell so a successor at the reused address starts
+        // with a clean epoch history.
+        immersion_sanitizer::retire(
+            "thermal::ThermalModel.solver",
+            immersion_sanitizer::obj_id(self),
+        );
     }
 }
 
@@ -642,6 +656,10 @@ impl ThermalModel {
     /// [`reset_solver_state`]: ThermalModel::reset_solver_state
     pub fn solver_stats(&self) -> (usize, usize) {
         let ctx = self.lock_solver();
+        immersion_sanitizer::shared_read(
+            "thermal::ThermalModel.solver",
+            immersion_sanitizer::obj_id(self),
+        );
         (ctx.solves(), ctx.total_iterations())
     }
 
@@ -658,19 +676,28 @@ impl ThermalModel {
     /// already taken gets a default context, which `solve_cg_with`
     /// transparently rebuilds — correct, just without the warm start.
     fn take_solver(&self) -> SolverContext {
-        std::mem::take(&mut *self.lock_solver())
+        let mut slot = self.lock_solver();
+        immersion_sanitizer::shared_write(
+            "thermal::ThermalModel.solver",
+            immersion_sanitizer::obj_id(self),
+        );
+        std::mem::take(&mut *slot)
     }
 
     /// Return the context after a solve. If another solve slipped in
     /// meanwhile, keep whichever context has seen more work.
     fn put_solver(&self, ctx: SolverContext) {
         let mut slot = self.lock_solver();
+        immersion_sanitizer::shared_write(
+            "thermal::ThermalModel.solver",
+            immersion_sanitizer::obj_id(self),
+        );
         if ctx.solves() >= slot.solves() {
             *slot = ctx;
         }
     }
 
-    fn lock_solver(&self) -> std::sync::MutexGuard<'_, SolverContext> {
+    fn lock_solver(&self) -> TrackedMutexGuard<'_, SolverContext> {
         self.solver.lock().unwrap_or_else(|e| e.into_inner())
     }
 

@@ -260,6 +260,10 @@ struct Region<'a> {
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done: Mutex<()>,
     done_cv: Condvar,
+    /// Sanitizer fork region: chunk executions join the opener's
+    /// clock snapshot and accumulate into the region join point.
+    /// Inert (`ForkToken::NONE`) while the sanitizer is disarmed.
+    san: immersion_sanitizer::ForkToken,
 }
 
 impl Region<'_> {
@@ -292,7 +296,14 @@ impl Region<'_> {
             if !self.panicked.load(Ordering::Relaxed) {
                 let start = c * self.chunk_len;
                 let end = (start + self.chunk_len).min(self.len);
+                // Each chunk is a sanitizer task: it happens after the
+                // fork point, its claim is a labeled write (double
+                // claims surface as write-write races), and its end
+                // flows into the region join point.
+                immersion_sanitizer::task_start(self.san);
+                immersion_sanitizer::chunk_claim(self.san, c);
                 let r = catch_unwind(AssertUnwindSafe(|| (self.body)(c, start, end)));
+                immersion_sanitizer::task_end(self.san);
                 if let Err(payload) = r {
                     self.panicked.store(true, Ordering::Relaxed);
                     let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
@@ -338,6 +349,7 @@ pub(crate) fn execute_plan(
         panic_payload: Mutex::new(None),
         done: Mutex::new(()),
         done_cv: Condvar::new(),
+        san: immersion_sanitizer::fork(),
     };
     // SAFETY: helpers only run between here and the wait loop below,
     // which does not return until `helpers_left == 0`; the region
@@ -368,6 +380,10 @@ pub(crate) fn execute_plan(
             .wait_timeout(g, Duration::from_millis(1))
             .unwrap_or_else(|e| e.into_inner());
     }
+    // The opener happens after every completed chunk (helpers call
+    // `task_end` before bumping `completed`, so the accumulator is
+    // final by the time the wait loop falls through).
+    immersion_sanitizer::join(region.san);
     let payload = {
         let mut slot = region
             .panic_payload
