@@ -70,6 +70,7 @@ pub fn run_and_report(cfg: &SanitizeConfig) -> Result<String, String> {
     exercise_faultsim(cfg.seed);
     exercise_flight(&armed)?;
     exercise_rayon(4096)?;
+    exercise_thermal_mg()?;
     exercise_campaign(&cfg.out, cfg.seed)?;
     exercise_serve(&cfg.out)?;
     for round in 0..cfg.stress {
@@ -296,6 +297,66 @@ fn exercise_rayon(len: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Concurrent multigrid-preconditioned steady solves on one shared
+/// model. This drives the hierarchy's shared-access annotations
+/// (`thermal::MgHierarchy.levels`) from several threads at once: the
+/// first solver takes the cached context, the others rebuild default
+/// contexts, and `take_solver` re-arms every one with the same
+/// `Arc`-shared hierarchy. Beyond race-freedom, the solves must agree
+/// bitwise — the multigrid path promises width- and
+/// schedule-invariant arithmetic.
+fn exercise_thermal_mg() -> Result<(), String> {
+    use immersion_thermal::floorplan::{Floorplan, Rect};
+    use immersion_thermal::stack3d::{CoolingParams, StackBuilder};
+
+    let mut fp = Floorplan::new(0.01, 0.01);
+    fp.add_block("DIE", Rect::new(0.0, 0.0, 0.01, 0.01))
+        .map_err(|e| e.to_string())?;
+    let model = Arc::new(
+        StackBuilder::new(fp)
+            .chips(2)
+            .grid(6, 6)
+            .cooling(CoolingParams::water_immersion())
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    if model.multigrid().is_none() {
+        return Err("multigrid hierarchy failed to build for the sanitize fixture".into());
+    }
+    let san = sanitizer::fork();
+    let mut solvers = Vec::new();
+    for _ in 0..3 {
+        let model = Arc::clone(&model);
+        solvers.push(spawn_tracked(san, move || -> Result<Vec<f64>, String> {
+            let mut p = model.zero_power();
+            for die in 0..2 {
+                p.set(die, "DIE", 15.0).map_err(|e| e.to_string())?;
+            }
+            let sol = model.solve_steady_cold(&p).map_err(|e| e.to_string())?;
+            Ok(sol.into_temps())
+        }));
+    }
+    let mut fields = Vec::new();
+    for handle in solvers {
+        fields.push(
+            handle
+                .join()
+                .map_err(|_| "thermal solver thread panicked".to_string())??,
+        );
+    }
+    sanitizer::join(san);
+    for field in &fields[1..] {
+        for (a, b) in field.iter().zip(&fields[0]) {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "concurrent multigrid solves disagree bitwise: {a:?} vs {b:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A small multi-worker campaign run twice against the same cache
 /// directory: the first pass stores entries (`sync_write`), the second
 /// hits them (`sync_read`), and both drive the scheduler's tracked
@@ -470,6 +531,7 @@ fn stress_round(seed: u64, round: usize) -> Result<(), String> {
     if round.is_multiple_of(32) {
         exercise_faultsim(seed.wrapping_add(round as u64));
         exercise_rayon(1024)?;
+        exercise_thermal_mg()?;
     }
     Ok(())
 }

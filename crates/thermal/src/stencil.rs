@@ -1,0 +1,435 @@
+//! Structured-grid stencil kernels for grid-born conductance matrices.
+//!
+//! The finite-volume assembly in [`crate::grid`] produces a matrix with
+//! a rigid structure: inside each layer every cell couples only to its
+//! four lateral neighbours (a 5-point stencil with the layer's own
+//! stride), and across layers only to overlap partners in earlier
+//! ("down") or later ("up") layers. [`StencilMatrix`] re-lays the CSR
+//! data out along those roles — five dense per-row coefficient arrays
+//! for the lateral stencil plus two small CSR remainders for the
+//! vertical couplings — so the matvec walks contiguous arrays with
+//! branch-predictable bounds checks instead of chasing generic column
+//! indices.
+//!
+//! The accumulation order per row (down, south, west, diagonal, east,
+//! north, up) is exactly the ascending-column order of the CSR row, so
+//! [`StencilMatrix::mul_vec`] is **bitwise identical** to
+//! [`CsrMatrix::mul_vec`] — the solver can switch paths without
+//! perturbing a single bit of any solve. Classification is purely
+//! geometric; any stored entry that does not fit the stencil roles
+//! makes [`StencilMatrix::from_csr`] return `None` and the caller falls
+//! back to the generic CSR path.
+
+use crate::sparse::CsrMatrix;
+use rayon::prelude::*;
+
+/// The lateral shape of a layered grid discretization: per-layer
+/// `nx × ny` resolutions and the node offset of each layer, in stack
+/// order. This is the side-channel [`StencilMatrix::from_csr`] needs to
+/// map a flat node index back onto `(layer, ix, iy)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridStructure {
+    dims: Vec<(usize, usize)>,
+    offsets: Vec<usize>,
+    n: usize,
+}
+
+impl GridStructure {
+    /// A structure from per-layer `(nx, ny)` resolutions.
+    pub fn new(dims: &[(usize, usize)]) -> GridStructure {
+        let mut offsets = Vec::with_capacity(dims.len());
+        let mut n = 0usize;
+        for &(nx, ny) in dims {
+            offsets.push(n);
+            n += nx * ny;
+        }
+        GridStructure {
+            dims: dims.to_vec(),
+            offsets,
+            n,
+        }
+    }
+
+    /// Total node count across all layers.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `(nx, ny)` of layer `li`.
+    pub fn layer_dims(&self, li: usize) -> (usize, usize) {
+        assert!(li < self.dims.len());
+        self.dims[li]
+    }
+
+    /// Node offset of layer `li`.
+    pub fn layer_offset(&self, li: usize) -> usize {
+        assert!(li < self.offsets.len());
+        self.offsets[li]
+    }
+}
+
+/// A grid-born matrix split by stencil role.
+///
+/// Lateral couplings live in five per-row coefficient arrays
+/// (`south`/`west`/`diag`/`east`/`north`); a stored coefficient of
+/// exactly `0.0` marks a geometrically absent neighbour (layer border)
+/// and is skipped, matching CSR's absent entry. Vertical couplings to
+/// earlier/later layers keep a compact CSR form (`down`/`up`). The
+/// per-row lateral stride is the owning layer's `nx`.
+#[derive(Debug, Clone)]
+pub struct StencilMatrix {
+    key: (usize, usize),
+    n: usize,
+    diag: Vec<f64>,
+    west: Vec<f64>,
+    east: Vec<f64>,
+    south: Vec<f64>,
+    north: Vec<f64>,
+    /// Lateral stride (the layer's `nx`) per row.
+    stride: Vec<u32>,
+    down_ptr: Vec<usize>,
+    down_col: Vec<u32>,
+    down_val: Vec<f64>,
+    up_ptr: Vec<usize>,
+    up_col: Vec<u32>,
+    up_val: Vec<f64>,
+}
+
+impl StencilMatrix {
+    /// Classify `a` against `grid`. Returns `None` when any stored
+    /// entry falls outside the stencil roles (then the generic CSR path
+    /// must be used), when the dimensions disagree, or when a diagonal
+    /// entry is absent (the fused kernels assume a stored diagonal,
+    /// which every grid-born conductance matrix has).
+    pub fn from_csr(a: &CsrMatrix, grid: &GridStructure) -> Option<StencilMatrix> {
+        let n = a.dim();
+        if n != grid.n_nodes() || n == 0 {
+            return None;
+        }
+        let mut st = StencilMatrix {
+            key: (a.dim(), a.nnz()),
+            n,
+            diag: vec![0.0; n],
+            west: vec![0.0; n],
+            east: vec![0.0; n],
+            south: vec![0.0; n],
+            north: vec![0.0; n],
+            stride: vec![0; n],
+            down_ptr: Vec::with_capacity(n + 1),
+            down_col: Vec::new(),
+            down_val: Vec::new(),
+            up_ptr: Vec::with_capacity(n + 1),
+            up_col: Vec::new(),
+            up_val: Vec::new(),
+        };
+        st.down_ptr.push(0);
+        st.up_ptr.push(0);
+        for li in 0..grid.n_layers() {
+            let (nx, ny) = grid.layer_dims(li);
+            let off = grid.layer_offset(li);
+            let end = off + nx * ny;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let row = off + iy * nx + ix;
+                    st.stride[row] = nx as u32;
+                    for (col, val) in a.row(row) {
+                        if col == row {
+                            st.diag[row] = val;
+                        } else if col < off {
+                            st.down_col.push(col as u32);
+                            st.down_val.push(val);
+                        } else if col >= end {
+                            st.up_col.push(col as u32);
+                            st.up_val.push(val);
+                        } else if iy > 0 && col == row - nx {
+                            // With nx == 1 the south neighbour is also
+                            // row − 1; the south role is checked first
+                            // so the single entry lands there.
+                            if val.abs() <= 0.0 {
+                                return None;
+                            }
+                            st.south[row] = val;
+                        } else if ix > 0 && col == row - 1 {
+                            if val.abs() <= 0.0 {
+                                return None;
+                            }
+                            st.west[row] = val;
+                        } else if ix + 1 < nx && col == row + 1 {
+                            if val.abs() <= 0.0 {
+                                return None;
+                            }
+                            st.east[row] = val;
+                        } else if iy + 1 < ny && col == row + nx {
+                            if val.abs() <= 0.0 {
+                                return None;
+                            }
+                            st.north[row] = val;
+                        } else {
+                            // An in-layer coupling that is not a
+                            // 5-point neighbour: not grid-born.
+                            return None;
+                        }
+                    }
+                    if st.diag[row].abs() <= 0.0 {
+                        return None;
+                    }
+                    st.down_ptr.push(st.down_col.len());
+                    st.up_ptr.push(st.up_col.len());
+                }
+            }
+        }
+        Some(st)
+    }
+
+    /// `(dim, nnz)` of the CSR matrix this stencil was classified from;
+    /// the cheap identity check callers use before trusting the fast
+    /// path against a possibly different matrix.
+    pub fn key(&self) -> (usize, usize) {
+        self.key
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// One row of `A·x`, accumulated in ascending-column order:
+    /// down, south, west, diagonal, east, north, up.
+    #[inline]
+    fn row_apply(&self, i: usize, x: &[f64]) -> f64 {
+        debug_assert!(i < self.n);
+        let nx = self.stride[i] as usize;
+        let mut acc = 0.0;
+        for k in self.down_ptr[i]..self.down_ptr[i + 1] {
+            acc += self.down_val[k] * x[self.down_col[k] as usize];
+        }
+        let s = self.south[i];
+        if s.abs() > 0.0 {
+            acc += s * x[i - nx];
+        }
+        let w = self.west[i];
+        if w.abs() > 0.0 {
+            acc += w * x[i - 1];
+        }
+        acc += self.diag[i] * x[i];
+        let e = self.east[i];
+        if e.abs() > 0.0 {
+            acc += e * x[i + 1];
+        }
+        let nn = self.north[i];
+        if nn.abs() > 0.0 {
+            acc += nn * x[i + nx];
+        }
+        for k in self.up_ptr[i]..self.up_ptr[i + 1] {
+            acc += self.up_val[k] * x[self.up_col[k] as usize];
+        }
+        acc
+    }
+
+    /// `y = A·x`, row-partitioned like [`CsrMatrix::mul_vec`] and
+    /// bitwise identical to it (each row is one independent
+    /// ascending-column accumulation, so the parallel split cannot
+    /// change any result bit).
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, yi)| *yi = self.row_apply(i, x));
+    }
+
+    /// Sequential reference for [`StencilMatrix::mul_vec`].
+    pub fn mul_vec_seq(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_apply(i, x);
+        }
+    }
+
+    /// Fused damped-Jacobi sweep:
+    /// `x_new = x + damping_factor·D⁻¹∘(b − A·x)` in one traversal of
+    /// the stencil (out of place — Jacobi reads the whole old iterate).
+    pub fn smooth_damped(
+        &self,
+        x_old: &[f64],
+        b: &[f64],
+        inv_diag: &[f64],
+        damping_factor: f64,
+        x_new: &mut [f64],
+    ) {
+        assert_eq!(x_old.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        assert_eq!(inv_diag.len(), self.n);
+        assert_eq!(x_new.len(), self.n);
+        x_new.par_iter_mut().enumerate().for_each(|(i, xi)| {
+            *xi = x_old[i] + damping_factor * inv_diag[i] * (b[i] - self.row_apply(i, x_old));
+        });
+    }
+
+    /// Fused residual `out = b − A·x` in one traversal of the stencil.
+    pub fn residual(&self, b: &[f64], x: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, oi)| *oi = b[i] - self.row_apply(i, x));
+    }
+
+    /// One in-place symmetric Gauss-Seidel sweep (forward then
+    /// backward): `x[i] += D⁻¹[i]·(b[i] − (A·x)[i])` with the freshest
+    /// `x` values. Sequential by nature, which also makes it bitwise
+    /// deterministic regardless of the rayon pool.
+    pub fn sgs_sweep(&self, b: &[f64], inv_diag: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(inv_diag.len(), self.n);
+        assert_eq!(x.len(), self.n);
+        for i in 0..self.n {
+            x[i] += inv_diag[i] * (b[i] - self.row_apply(i, x));
+        }
+        for i in (0..self.n).rev() {
+            x[i] += inv_diag[i] * (b[i] - self.row_apply(i, x));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    /// A tiny two-layer grid-born-style matrix assembled by hand:
+    /// layer 0 is 3×2, layer 1 is 2×2, with a few cross couplings.
+    fn two_layer() -> (CsrMatrix, GridStructure) {
+        let grid = GridStructure::new(&[(3, 2), (2, 2)]);
+        let n = grid.n_nodes();
+        let mut t = TripletMatrix::new(n);
+        // Lateral in layer 0 (stride 3).
+        for iy in 0..2 {
+            for ix in 0..3 {
+                let node = iy * 3 + ix;
+                if ix + 1 < 3 {
+                    t.add_conductance(node, node + 1, 1.5 + node as f64);
+                }
+                if iy + 1 < 2 {
+                    t.add_conductance(node, node + 3, 2.5 + node as f64);
+                }
+            }
+        }
+        // Lateral in layer 1 (stride 2, offset 6).
+        for iy in 0..2 {
+            for ix in 0..2 {
+                let node = 6 + iy * 2 + ix;
+                if ix + 1 < 2 {
+                    t.add_conductance(node, node + 1, 0.5 + node as f64);
+                }
+                if iy + 1 < 2 {
+                    t.add_conductance(node, node + 2, 0.25 + node as f64);
+                }
+            }
+        }
+        // Vertical overlap couplings (not 1:1 — mixed resolutions).
+        t.add_conductance(0, 6, 3.0);
+        t.add_conductance(1, 6, 1.0);
+        t.add_conductance(1, 7, 2.0);
+        t.add_conductance(4, 8, 4.0);
+        t.add_conductance(5, 9, 5.0);
+        // Grounded ties so every diagonal is stored.
+        for i in 0..n {
+            t.add_grounded(i, 0.125 * (i + 1) as f64);
+        }
+        (t.to_csr(), grid)
+    }
+
+    #[test]
+    fn classifies_and_matches_csr_bitwise() {
+        let (a, grid) = two_layer();
+        let st = StencilMatrix::from_csr(&a, &grid).expect("grid-born matrix must classify");
+        assert_eq!(st.key(), (a.dim(), a.nnz()));
+        let x: Vec<f64> = (0..a.dim())
+            .map(|i| (i as f64 * 0.7).sin() + 0.01)
+            .collect();
+        let mut y_csr = vec![0.0; a.dim()];
+        let mut y_st = vec![0.0; a.dim()];
+        let mut y_seq = vec![0.0; a.dim()];
+        a.mul_vec(&x, &mut y_csr);
+        st.mul_vec(&x, &mut y_st);
+        st.mul_vec_seq(&x, &mut y_seq);
+        assert_eq!(y_csr, y_st, "stencil matvec must be bitwise CSR");
+        assert_eq!(y_st, y_seq);
+    }
+
+    #[test]
+    fn rejects_non_stencil_coupling() {
+        let grid = GridStructure::new(&[(3, 3)]);
+        let mut t = TripletMatrix::new(9);
+        for i in 0..9 {
+            t.add_grounded(i, 1.0 + i as f64);
+        }
+        // A diagonal (corner) coupling is not 5-point.
+        t.add_conductance(0, 4, 1.0);
+        assert!(StencilMatrix::from_csr(&t.to_csr(), &grid).is_none());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let grid = GridStructure::new(&[(2, 2)]);
+        let mut t = TripletMatrix::new(5);
+        for i in 0..5 {
+            t.add_grounded(i, 1.0);
+        }
+        assert!(StencilMatrix::from_csr(&t.to_csr(), &grid).is_none());
+    }
+
+    #[test]
+    fn degenerate_single_column_layer_uses_south_role() {
+        // nx == 1: the in-layer neighbour row−1 is the *south*
+        // neighbour even though it is also row−1.
+        let grid = GridStructure::new(&[(1, 4)]);
+        let mut t = TripletMatrix::new(4);
+        for i in 0..3 {
+            t.add_conductance(i, i + 1, 2.0 + i as f64);
+        }
+        for i in 0..4 {
+            t.add_grounded(i, 1.0);
+        }
+        let a = t.to_csr();
+        let st = StencilMatrix::from_csr(&a, &grid).expect("chain must classify");
+        let x = [1.0, -2.0, 3.0, -4.0];
+        let mut y_csr = vec![0.0; 4];
+        let mut y_st = vec![0.0; 4];
+        a.mul_vec(&x, &mut y_csr);
+        st.mul_vec(&x, &mut y_st);
+        assert_eq!(y_csr, y_st);
+    }
+
+    #[test]
+    fn fused_kernels_match_composed_ops() {
+        let (a, grid) = two_layer();
+        let st = StencilMatrix::from_csr(&a, &grid).unwrap();
+        let n = a.dim();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let inv_diag: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
+
+        let mut res = vec![0.0; n];
+        st.residual(&b, &x, &mut res);
+        let mut ax = vec![0.0; n];
+        a.mul_vec(&x, &mut ax);
+        for i in 0..n {
+            assert_eq!(res[i], b[i] - ax[i]);
+        }
+
+        let mut x_new = vec![0.0; n];
+        st.smooth_damped(&x, &b, &inv_diag, 0.8, &mut x_new);
+        for i in 0..n {
+            assert_eq!(x_new[i], x[i] + 0.8 * inv_diag[i] * (b[i] - ax[i]));
+        }
+    }
+}

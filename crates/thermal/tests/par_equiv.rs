@@ -198,3 +198,58 @@ fn parallel_solve_is_deterministic_for_fixed_thread_count() {
         assert_eq!(p.to_bits(), q.to_bits(), "bitwise determinism violated");
     }
 }
+
+/// The multigrid path makes the stronger promise: a cold solve is
+/// bitwise identical across **different** pool widths (and across
+/// runs). Every parallel kernel it touches is either elementwise, a
+/// row-partitioned matvec, or the fixed-chunk stable dot; the
+/// sequential symmetric Gauss–Seidel sweeps and coarse direct solve
+/// never fork at all, so the width can only change scheduling, never
+/// arithmetic.
+#[test]
+fn mg_cold_solve_is_bitwise_identical_across_pool_widths() {
+    use immersion_thermal::floorplan::{Floorplan, Rect};
+    use immersion_thermal::stack3d::{CoolingParams, StackBuilder};
+
+    let mut fp = Floorplan::new(0.01, 0.01);
+    fp.add_block("DIE", Rect::new(0.0, 0.0, 0.01, 0.01))
+        .unwrap();
+    let model = StackBuilder::new(fp)
+        .chips(4)
+        .grid(8, 8)
+        .cooling(CoolingParams::water_immersion())
+        .build()
+        .expect("model");
+    assert!(model.multigrid().is_some(), "multigrid must be armed");
+    let mut p = model.zero_power();
+    for die in 0..4 {
+        p.set(die, "DIE", 20.0).unwrap();
+    }
+
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let old = rayon::split_threshold();
+        rayon::set_split_threshold(8);
+        let sol = pool.install(|| model.solve_steady_cold(&p).expect("solve"));
+        rayon::set_split_threshold(old);
+        let iters = sol.iterations();
+        (sol.into_temps(), iters)
+    };
+
+    let (t_ref, it_ref) = run(1);
+    assert!(it_ref > 0, "cold solve must iterate");
+    for threads in [1usize, 2, 3, 4] {
+        let (t, it) = run(threads);
+        assert_eq!(it, it_ref, "iteration count changed at width {threads}");
+        for (i, (a, b)) in t.iter().zip(&t_ref).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "node {i} differs at width {threads}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
